@@ -1,0 +1,69 @@
+// Reproduces Fig. 3: "Impact of S-period on key server rekeying cost".
+// Sweeps K = Ts/Tp from 0 to 20 at the Table 1 defaults and prints the
+// per-epoch rekeying cost of the one-keytree baseline and the QT/TT/PT
+// two-partition schemes (analytic model, equations 8-10), plus discrete-
+// event simulation points at a reduced group size for cross-validation.
+
+#include <iostream>
+
+#include "analytic/two_partition_model.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/partition_sim.h"
+
+int main() {
+  using namespace gk;
+  bench::banner("Figure 3 — impact of S-period",
+                "N=65536, d=4, Tp=60s, Ms=3min, Ml=3h, alpha=0.8; K swept 0..20");
+
+  Table table({"K", "One-keytree", "TT", "QT", "PT", "TT gain %", "QT gain %"});
+  analytic::TwoPartitionParams p;
+  const double base = analytic::one_keytree_cost(p);
+  for (unsigned k = 0; k <= 20; ++k) {
+    p.s_period_epochs = k;
+    const double tt = analytic::tt_cost(p);
+    const double qt = analytic::qt_cost(p);
+    const double pt = analytic::pt_cost(p);
+    table.add_row({static_cast<double>(k), base, tt, qt, pt, bench::gain_pct(base, tt),
+                   bench::gain_pct(base, qt)},
+                  1);
+  }
+  bench::print_with_csv(table, "Fig. 3 (analytic): rekeying cost vs K");
+
+  std::cout << "Paper reference points: TT ~25% below one-keytree at K=10; "
+               "QT between TT and baseline for large K; PT best (~40% gain).\n";
+
+  // Discrete-event cross-check at N=4096 (full implementation, real trees).
+  Table simtab({"K", "scheme", "sim keys/epoch", "model keys/epoch"});
+  for (unsigned k : {0u, 5u, 10u}) {
+    for (const auto scheme :
+         {partition::SchemeKind::kOneKeyTree, partition::SchemeKind::kTt,
+          partition::SchemeKind::kQt}) {
+      sim::PartitionSimConfig config;
+      config.scheme = scheme;
+      config.group_size = 4096;
+      config.s_period_epochs = k;
+      config.epochs = 20;
+      config.warmup_epochs = k + 6;
+      config.seed = 2024;
+      const auto result = sim::run_partition_sim(config);
+
+      analytic::TwoPartitionParams mp;
+      mp.group_size = 4096;
+      mp.s_period_epochs = k;
+      double model = 0.0;
+      switch (scheme) {
+        case partition::SchemeKind::kOneKeyTree:
+          model = analytic::one_keytree_cost(mp);
+          break;
+        case partition::SchemeKind::kTt: model = analytic::tt_cost(mp); break;
+        case partition::SchemeKind::kQt: model = analytic::qt_cost(mp); break;
+        default: break;
+      }
+      simtab.add_row({std::to_string(k), partition::to_string(scheme),
+                      fmt(result.cost_per_epoch.mean(), 1), fmt(model, 1)});
+    }
+  }
+  bench::print_with_csv(simtab, "Fig. 3 cross-validation (simulation at N=4096)");
+  return 0;
+}

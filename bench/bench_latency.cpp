@@ -1,0 +1,128 @@
+// Rekey delivery latency — the soft real-time requirement of Section 2.2
+// ("the transport of a rekey message be finished with high probability
+// before the start of the next rekey interval"). Proactive redundancy is
+// how the protocols buy latency: WKA's weights and FEC's rho spend
+// bandwidth in round one to pull the completion-round distribution in.
+// This bench measures per-receiver completion rounds for each protocol and
+// the FEC proactivity sweep.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "crypto/keywrap.h"
+#include "transport/fec.h"
+#include "transport/multisend.h"
+#include "transport/session.h"
+#include "transport/wka_bkr.h"
+
+namespace {
+
+using namespace gk;
+
+std::vector<crypto::WrappedKey> make_payload(std::size_t count, Rng& rng) {
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload;
+  for (std::size_t i = 0; i < count; ++i)
+    payload.push_back(crypto::wrap_key(kek, crypto::make_key_id(i + 1), 0,
+                                       crypto::Key128::random(rng),
+                                       crypto::make_key_id(1000 + i), 1, rng));
+  return payload;
+}
+
+std::vector<transport::SessionReceiver> make_receivers(std::size_t count,
+                                                       std::size_t payload,
+                                                       Rng& rng) {
+  // Two-point losses as in Section 4: 25% at 20%, the rest at 2%.
+  std::vector<transport::SessionReceiver> receivers;
+  for (std::size_t r = 0; r < count; ++r) {
+    std::vector<std::uint32_t> interest;
+    while (interest.size() < 8) {
+      const auto w = static_cast<std::uint32_t>(rng.uniform_u64(payload));
+      if (std::find(interest.begin(), interest.end(), w) == interest.end())
+        interest.push_back(w);
+    }
+    std::sort(interest.begin(), interest.end());
+    const double loss = rng.bernoulli(0.25) ? 0.20 : 0.02;
+    receivers.emplace_back(
+        netsim::Receiver(workload::make_member_id(r), loss, rng.fork()),
+        std::move(interest));
+  }
+  return receivers;
+}
+
+struct LatencyRow {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double keys = 0.0;
+};
+
+LatencyRow run(transport::RekeyTransport& protocol, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto payload = make_payload(512, rng);
+  auto receivers = make_receivers(2048, payload.size(), rng);
+  const auto report = protocol.deliver(payload, receivers);
+
+  std::vector<double> rounds;
+  rounds.reserve(receivers.size());
+  for (const auto& r : receivers)
+    rounds.push_back(static_cast<double>(std::max<std::size_t>(r.completion_round, 1)));
+  std::sort(rounds.begin(), rounds.end());
+
+  LatencyRow row;
+  RunningStats stats;
+  for (const double v : rounds) stats.add(v);
+  row.mean = stats.mean();
+  row.p50 = rounds[rounds.size() / 2];
+  row.p99 = rounds[rounds.size() * 99 / 100];
+  row.max = rounds.back();
+  row.keys = static_cast<double>(report.key_transmissions);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Delivery latency — completion rounds per receiver",
+                "512-key payload, 2048 receivers (25% at 20% loss, 75% at 2%)");
+
+  Table table({"protocol", "mean", "p50", "p99", "max", "key transmissions"});
+  auto add = [&table](const char* name, const LatencyRow& row) {
+    table.add_row({name, fmt(row.mean, 2), fmt(row.p50, 0), fmt(row.p99, 0),
+                   fmt(row.max, 0), fmt(row.keys, 0)});
+  };
+
+  {
+    transport::WkaBkrTransport weighted({});
+    add("WKA-BKR (weighted)", run(weighted, 42));
+  }
+  {
+    transport::WkaBkrTransport::Config config;
+    config.weighted = false;
+    transport::WkaBkrTransport unweighted(config);
+    add("BKR only (no weights)", run(unweighted, 42));
+  }
+  {
+    transport::MultiSendTransport multisend({});
+    add("multi-send", run(multisend, 42));
+  }
+  for (const double rho : {1.0, 1.25, 1.5}) {
+    transport::ProactiveFecTransport::Config config;
+    config.proactivity = rho;
+    transport::ProactiveFecTransport fec(config);
+    add(rho == 1.0 ? "FEC rho=1.00" : (rho == 1.25 ? "FEC rho=1.25" : "FEC rho=1.50"),
+        run(fec, 42));
+  }
+  bench::print_with_csv(table, "Completion-round distribution by protocol");
+
+  std::cout << "Proactive redundancy (WKA weights, FEC parity) trades round-one\n"
+               "bandwidth for tail latency: watch p99/max fall as rho grows, and\n"
+               "weighted WKA beat plain BKR at similar total cost.\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks of the building blocks: crypto
+// primitives, key-tree operations, OFT operations, and the analytic
+// kernels. These quantify the key server's CPU cost per membership event,
+// complementing the figures' bandwidth metrics.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analytic/batch_cost.h"
+#include "analytic/wka_bkr_model.h"
+#include "common/rng.h"
+#include "crypto/keywrap.h"
+#include "crypto/sha256.h"
+#include "lkh/key_ring.h"
+#include "lkh/key_tree.h"
+#include "oft/oft_tree.h"
+
+namespace {
+
+using namespace gk;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    auto digest = crypto::sha256(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_WrapUnwrap(benchmark::State& state) {
+  Rng rng(1);
+  const auto kek = crypto::Key128::random(rng);
+  const auto payload = crypto::Key128::random(rng);
+  for (auto _ : state) {
+    const auto wrapped =
+        crypto::wrap_key(kek, crypto::make_key_id(1), 0, payload,
+                         crypto::make_key_id(2), 1, rng);
+    auto unwrapped = crypto::unwrap_key(kek, wrapped);
+    benchmark::DoNotOptimize(unwrapped);
+  }
+}
+BENCHMARK(BM_WrapUnwrap);
+
+void BM_KeyTreeJoinCommit(benchmark::State& state) {
+  const auto group_size = static_cast<std::uint64_t>(state.range(0));
+  lkh::KeyTree tree(4, Rng(2));
+  for (std::uint64_t i = 0; i < group_size; ++i)
+    tree.insert(workload::make_member_id(i));
+  (void)tree.commit(0);
+
+  std::uint64_t next = group_size;
+  std::uint64_t epoch = 1;
+  for (auto _ : state) {
+    tree.insert(workload::make_member_id(next++));
+    auto message = tree.commit(epoch++);
+    benchmark::DoNotOptimize(message);
+    state.PauseTiming();
+    tree.remove(workload::make_member_id(next - 1));  // hold size steady
+    (void)tree.commit(epoch++);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_KeyTreeJoinCommit)->Arg(1024)->Arg(16384);
+
+void BM_KeyTreeBatchCommit(benchmark::State& state) {
+  const auto group_size = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t batch = 64;
+  lkh::KeyTree tree(4, Rng(3));
+  for (std::uint64_t i = 0; i < group_size; ++i)
+    tree.insert(workload::make_member_id(i));
+  (void)tree.commit(0);
+
+  Rng rng(4);
+  std::uint64_t next = group_size;
+  std::uint64_t epoch = 1;
+  std::vector<std::uint64_t> present(group_size);
+  for (std::uint64_t i = 0; i < group_size; ++i) present[i] = i;
+
+  for (auto _ : state) {
+    for (std::uint64_t b = 0; b < batch; ++b) {
+      const auto victim = rng.uniform_u64(present.size());
+      tree.remove(workload::make_member_id(present[victim]));
+      present[victim] = next;
+      tree.insert(workload::make_member_id(next++));
+    }
+    auto message = tree.commit(epoch++);
+    benchmark::DoNotOptimize(message);
+  }
+}
+BENCHMARK(BM_KeyTreeBatchCommit)->Arg(4096)->Arg(65536);
+
+void BM_KeyRingProcess(benchmark::State& state) {
+  lkh::KeyTree tree(4, Rng(5));
+  std::vector<lkh::KeyTree::JoinGrant> grants;
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    grants.push_back(tree.insert(workload::make_member_id(i)));
+  (void)tree.commit(0);
+  for (std::uint64_t i = 0; i < 64; ++i) tree.remove(workload::make_member_id(i));
+  const auto message = tree.commit(1);
+
+  for (auto _ : state) {
+    lkh::KeyRing ring(workload::make_member_id(100), grants[100].leaf_id,
+                      grants[100].individual_key);
+    auto learned = ring.process(message);
+    benchmark::DoNotOptimize(learned);
+  }
+}
+BENCHMARK(BM_KeyRingProcess);
+
+void BM_OftLeave(benchmark::State& state) {
+  const auto group_size = static_cast<std::uint64_t>(state.range(0));
+  oft::OftTree tree(Rng(6));
+  lkh::RekeyMessage scratch;
+  for (std::uint64_t i = 0; i < group_size; ++i) {
+    scratch.wraps.clear();
+    (void)tree.join(workload::make_member_id(i), scratch);
+  }
+  std::uint64_t next = group_size;
+  std::uint64_t victim = 0;
+  for (auto _ : state) {
+    lkh::RekeyMessage message;
+    tree.leave(workload::make_member_id(victim++), message);
+    benchmark::DoNotOptimize(message);
+    state.PauseTiming();
+    lkh::RekeyMessage rejoin;
+    (void)tree.join(workload::make_member_id(next++), rejoin);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_OftLeave)->Arg(1024)->Arg(8192);
+
+void BM_AnalyticBatchCost(benchmark::State& state) {
+  for (auto _ : state) {
+    const double cost = analytic::batch_rekey_cost(65536.0, 1684.0, 4);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_AnalyticBatchCost);
+
+void BM_ExpectedTransmissions(benchmark::State& state) {
+  const std::vector<analytic::LossClass> losses{{0.02, 0.7}, {0.20, 0.3}};
+  for (auto _ : state) {
+    const double m = analytic::expected_transmissions(16384.0, losses);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ExpectedTransmissions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Extension study (beyond the paper's two trees): how many loss bins are
+// worth maintaining? The paper homogenizes into exactly two trees; with a
+// richer receiver population the same mechanism generalizes to B bins.
+// This bench evaluates B = 1, 2, 4 analytically on a four-point loss
+// population and cross-validates with the real WKA-BKR transport.
+
+#include <iostream>
+#include <vector>
+
+#include "analytic/wka_bkr_model.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/transport_sim.h"
+
+namespace {
+
+using namespace gk;
+
+// Receiver population: mostly clean links, a long tail of lossy ones.
+const std::vector<std::pair<double, double>> kPopulation = {
+    {0.01, 0.55}, {0.05, 0.25}, {0.12, 0.15}, {0.30, 0.05}};
+
+constexpr double kN = 65536.0;
+constexpr double kL = 256.0;
+
+double forest_cost(const std::vector<double>& bins) {
+  // Assign each population point to its bin, then cost each tree.
+  std::vector<analytic::WkaBkrParams> trees(bins.size());
+  std::vector<double> tree_weight(bins.size(), 0.0);
+  for (const auto& [rate, weight] : kPopulation) {
+    std::size_t bin = bins.size() - 1;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (rate <= bins[b]) {
+        bin = b;
+        break;
+      }
+    }
+    trees[bin].losses.push_back({rate, weight});
+    tree_weight[bin] += weight;
+  }
+  std::vector<analytic::WkaBkrParams> active;
+  for (std::size_t b = 0; b < trees.size(); ++b) {
+    if (tree_weight[b] <= 0.0) continue;
+    auto tree = trees[b];
+    for (auto& cls : tree.losses) cls.fraction /= tree_weight[b];
+    tree.members = tree_weight[b] * kN;
+    tree.departures = tree_weight[b] * kL;
+    tree.degree = 4;
+    active.push_back(std::move(tree));
+  }
+  return analytic::wka_bkr_forest_cost(active);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension — how many loss-homogenized bins?",
+                "4-point loss population (1%/5%/12%/30%), N=65536, L=256, WKA-BKR");
+
+  struct Case {
+    const char* name;
+    std::vector<double> bins;
+  };
+  const std::vector<Case> cases = {
+      {"1 tree (baseline)", {1.0}},
+      {"2 trees (paper)", {0.08, 1.0}},
+      {"3 trees", {0.03, 0.08, 1.0}},
+      {"4 trees (one per class)", {0.03, 0.08, 0.2, 1.0}},
+  };
+
+  Table table({"organization", "model cost (#keys)", "gain vs 1 tree %",
+               "sim keys/epoch (N=4096)"});
+  double baseline = 0.0;
+  for (const auto& c : cases) {
+    const double cost = forest_cost(c.bins);
+    if (baseline == 0.0) baseline = cost;
+
+    sim::TransportSimConfig config;
+    config.organization = c.bins.size() == 1
+                              ? sim::TransportSimConfig::Organization::kOneTree
+                              : sim::TransportSimConfig::Organization::kLossHomogenized;
+    config.custom_bins = c.bins;
+    config.loss_points = kPopulation;
+    config.group_size = 4096;
+    config.departures_per_epoch = 16;
+    config.epochs = 10;
+    config.warmup_epochs = 2;
+    config.seed = 60486;
+    const auto sim_result = sim::run_transport_sim(config);
+
+    table.add_row({c.name, fmt(cost, 1), fmt(bench::gain_pct(baseline, cost), 2),
+                   fmt(sim_result.keys_per_epoch.mean(), 1)});
+  }
+  bench::print_with_csv(table, "Bins vs rekey bandwidth");
+
+  std::cout << "Two bins capture most of the benefit; additional bins shave a\n"
+               "little more off by isolating the worst tail, at the cost of more\n"
+               "trees to manage and smaller batches per tree (diminishing returns).\n";
+  return 0;
+}

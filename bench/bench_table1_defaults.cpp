@@ -1,0 +1,53 @@
+// Reproduces Table 1 ("Default Parameter values for evaluation of the
+// two-partition algorithm") and reports the steady-state solution of the
+// Section 3.3.1 queueing model at those defaults.
+
+#include <iostream>
+
+#include "analytic/two_partition_model.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace gk;
+  bench::banner("Table 1 — default parameters",
+                "Two-partition model defaults and derived steady-state flows");
+
+  const analytic::TwoPartitionParams p;  // defaults == Table 1
+
+  Table params({"parameter", "symbol", "value"});
+  params.add_row({std::string("Rekeying period"), "Tp", fmt(p.rekey_period, 0) + " s"});
+  params.add_row({std::string("Group size"), "N", fmt(p.group_size, 0)});
+  params.add_row({std::string("Key tree degree"), "d", std::to_string(p.degree)});
+  params.add_row({std::string("S-period epochs"), "K = Ts/Tp",
+                  std::to_string(p.s_period_epochs)});
+  params.add_row({std::string("Short-class mean"), "Ms", fmt(p.short_mean / 60.0, 0) +
+                  " minutes"});
+  params.add_row({std::string("Long-class mean"), "Ml", fmt(p.long_mean / 3600.0, 0) +
+                  " hours"});
+  params.add_row({std::string("Fraction of class Cs"), "alpha", fmt(p.short_fraction, 1)});
+  bench::print_with_csv(params, "Table 1: default parameter values");
+
+  const auto s = analytic::solve_steady_state(p);
+  Table flows({"quantity", "symbol", "per-epoch value"});
+  flows.add_row({std::string("Join rate"), "J", fmt(s.joins, 1)});
+  flows.add_row({std::string("Class Cs population"), "Ncs", fmt(s.class_short_pop, 0)});
+  flows.add_row({std::string("Class Cl population"), "Ncl", fmt(s.class_long_pop, 0)});
+  flows.add_row({std::string("S-partition population"), "Ns", fmt(s.s_partition_pop, 0)});
+  flows.add_row({std::string("L-partition population"), "Nl", fmt(s.l_partition_pop, 0)});
+  flows.add_row({std::string("S-partition departures"), "Ls", fmt(s.s_departures, 1)});
+  flows.add_row({std::string("Migrations (== Ll)"), "Lm", fmt(s.migrations, 1)});
+  bench::print_with_csv(flows, "Derived steady state (equations 1-7)");
+
+  Table costs({"scheme", "cost (#keys/epoch)", "gain vs one-keytree (%)"});
+  const double base = analytic::one_keytree_cost(p);
+  costs.add_row({std::string("One-keytree"), fmt(base, 0), fmt(0.0, 1)});
+  costs.add_row({std::string("QT"), fmt(analytic::qt_cost(p), 0),
+                 fmt(bench::gain_pct(base, analytic::qt_cost(p)), 1)});
+  costs.add_row({std::string("TT"), fmt(analytic::tt_cost(p), 0),
+                 fmt(bench::gain_pct(base, analytic::tt_cost(p)), 1)});
+  costs.add_row({std::string("PT"), fmt(analytic::pt_cost(p), 0),
+                 fmt(bench::gain_pct(base, analytic::pt_cost(p)), 1)});
+  bench::print_with_csv(costs, "Per-epoch rekeying cost at the Table 1 operating point");
+  return 0;
+}

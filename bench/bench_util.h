@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace gk::bench {
+
+/// Shared figure-bench preamble: every bench binary announces which paper
+/// artifact it regenerates and with which conventions.
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::cout << "==================================================================\n"
+            << experiment << "\n"
+            << description << "\n"
+            << "metric: encrypted keys multicast by the key server per rekey epoch\n"
+            << "==================================================================\n";
+}
+
+/// Percentage reduction of `value` relative to `baseline`.
+[[nodiscard]] inline double gain_pct(double baseline, double value) {
+  if (baseline <= 0.0) return 0.0;
+  return 100.0 * (1.0 - value / baseline);
+}
+
+inline void print_with_csv(const Table& table, const std::string& title) {
+  table.print(std::cout, title);
+  std::cout << "CSV:\n" << table.to_csv() << '\n';
+}
+
+}  // namespace gk::bench

@@ -1,0 +1,116 @@
+// Interactive key-server console: drive any rekeying scheme by hand.
+//
+// A small operator REPL over the partition servers, useful for exploring
+// how rekey messages are shaped. Reads commands from stdin:
+//
+//   join <id>            stage a join (short class)
+//   joinlong <id>        stage a join (long class; only PT cares)
+//   leave <id>           stage a departure
+//   commit               end the rekey period, print the message summary
+//   stats                group/partition sizes and key version
+//   paths <id>           the member's key path (node ids)
+//   quit
+//
+// Usage: keyserver_repl [one|qt|tt|pt] [degree] [K]
+// Also accepts a command script on stdin, e.g.:
+//   printf 'join 1\njoin 2\ncommit\nleave 1\ncommit\nquit\n' | ./keyserver_repl tt 3 2
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "partition/factory.h"
+#include "partition/qt_server.h"
+#include "partition/tt_server.h"
+
+namespace {
+
+using namespace gk;
+
+partition::SchemeKind parse_scheme(const std::string& name) {
+  if (name == "qt") return partition::SchemeKind::kQt;
+  if (name == "tt") return partition::SchemeKind::kTt;
+  if (name == "pt") return partition::SchemeKind::kPt;
+  return partition::SchemeKind::kOneKeyTree;
+}
+
+workload::MemberProfile profile_of(std::uint64_t id, workload::MemberClass cls) {
+  workload::MemberProfile p;
+  p.id = workload::make_member_id(id);
+  p.member_class = cls;
+  return p;
+}
+
+void print_stats(const partition::RekeyServer& server) {
+  std::cout << "members=" << server.size() << " group-key-id="
+            << crypto::raw(server.group_key_id())
+            << " version=" << server.group_key().version;
+  if (const auto* tt = dynamic_cast<const partition::TtServer*>(&server))
+    std::cout << " S=" << tt->s_partition_size() << " L=" << tt->l_partition_size();
+  if (const auto* qt = dynamic_cast<const partition::QtServer*>(&server))
+    std::cout << " S(queue)=" << qt->s_partition_size()
+              << " L=" << qt->l_partition_size();
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scheme = parse_scheme(argc > 1 ? argv[1] : "one");
+  const unsigned degree = argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 4;
+  const unsigned k = argc > 3 ? static_cast<unsigned>(std::stoul(argv[3])) : 10;
+
+  auto server = partition::make_server(scheme, degree, k, Rng(20030519));
+  std::cout << "scheme=" << partition::to_string(scheme) << " degree=" << degree
+            << " K=" << k << "\ncommands: join/joinlong/leave <id>, commit, stats, "
+            << "paths <id>, quit\n";
+
+  std::uint64_t epoch = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    try {
+      if (command == "join" || command == "joinlong") {
+        std::uint64_t id = 0;
+        in >> id;
+        const auto cls = command == "join" ? workload::MemberClass::kShort
+                                           : workload::MemberClass::kLong;
+        const auto reg = server->join(profile_of(id, cls));
+        std::cout << "staged join " << id << " leaf-id=" << crypto::raw(reg.leaf_id)
+                  << " key=" << reg.individual_key.hex().substr(0, 8) << "...\n";
+      } else if (command == "leave") {
+        std::uint64_t id = 0;
+        in >> id;
+        server->leave(workload::make_member_id(id));
+        std::cout << "staged leave " << id << '\n';
+      } else if (command == "commit") {
+        const auto out = server->end_epoch();
+        std::cout << "epoch " << out.epoch << ": " << out.multicast_cost()
+                  << " encrypted keys multicast (" << out.joins << " joins, "
+                  << out.s_departures + out.l_departures << " leaves, "
+                  << out.migrations << " migrations)\n";
+        ++epoch;
+      } else if (command == "stats") {
+        print_stats(*server);
+      } else if (command == "paths") {
+        std::uint64_t id = 0;
+        in >> id;
+        std::cout << "member " << id << " path:";
+        for (const auto node : server->member_path(workload::make_member_id(id)))
+          std::cout << ' ' << crypto::raw(node);
+        std::cout << '\n';
+      } else if (command == "quit" || command == "exit") {
+        break;
+      } else if (!command.empty() && command[0] != '#') {
+        std::cout << "unknown command: " << command << '\n';
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << '\n';
+    }
+  }
+  std::cout << "bye (" << epoch << " epochs committed)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Pay-per-view broadcast: the two-partition optimization end to end.
+//
+// A pay-per-view session (one of the paper's motivating applications) has
+// exactly the churn the two-partition scheme targets: lots of browsers who
+// leave within minutes, a core of viewers who stay for hours. This example
+// runs the Section 3.4 control loop:
+//
+//   1. start on the one-keytree baseline and collect departure durations,
+//   2. fit the two-exponential mixture and ask the analytic model for the
+//      best scheme and S-period,
+//   3. re-run the same churn under the recommendation and report the
+//      measured bandwidth saving.
+//
+//   $ ./pay_per_view
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "partition/adaptive.h"
+#include "sim/partition_sim.h"
+
+int main() {
+  using namespace gk;
+
+  std::cout << "pay-per-view: adaptive two-partition rekeying\n\n";
+
+  // Audience model: 85% channel surfers (mean stay 2 min), 15% committed
+  // viewers (mean stay 2 h). 8192 concurrent viewers, 60 s rekey period.
+  constexpr double kShortMean = 120.0;
+  constexpr double kLongMean = 7200.0;
+  constexpr double kAlpha = 0.85;
+  constexpr std::uint64_t kViewers = 8192;
+
+  // --- Phase 1: baseline + measurement. ----------------------------------
+  sim::PartitionSimConfig baseline;
+  baseline.scheme = partition::SchemeKind::kOneKeyTree;
+  baseline.group_size = kViewers;
+  baseline.short_mean = kShortMean;
+  baseline.long_mean = kLongMean;
+  baseline.short_fraction = kAlpha;
+  baseline.epochs = 30;
+  baseline.warmup_epochs = 5;
+  baseline.seed = 1977;
+  const auto base_result = sim::run_partition_sim(baseline);
+  std::cout << "phase 1 — one-keytree baseline: "
+            << base_result.cost_per_epoch.mean() << " encrypted keys/epoch ("
+            << base_result.joins_per_epoch.mean() << " joins, "
+            << base_result.leaves_per_epoch.mean() << " leaves per epoch)\n";
+
+  // The key server observes completed membership durations as members
+  // depart (here: sampled from the same audience model it just served).
+  partition::AdaptiveController controller(baseline.rekey_period, baseline.degree);
+  Rng observation_rng(42);
+  for (int i = 0; i < 30000; ++i) {
+    const bool surfer = observation_rng.bernoulli(kAlpha);
+    controller.observe_duration(
+        observation_rng.exponential(surfer ? kShortMean : kLongMean));
+  }
+
+  // --- Phase 2: fit + recommend. ------------------------------------------
+  const auto fit = controller.fit();
+  std::cout << "\nphase 2 — fitted audience model: Ms=" << fit.short_mean
+            << " s, Ml=" << fit.long_mean << " s, alpha=" << fit.short_fraction
+            << '\n';
+  const auto rec = controller.recommend(static_cast<double>(kViewers));
+  std::cout << "recommendation: scheme=" << partition::to_string(rec.scheme)
+            << ", K=" << rec.s_period_epochs << " (predicted "
+            << rec.predicted_cost << " vs baseline " << rec.baseline_cost
+            << " keys/epoch)\n";
+
+  // --- Phase 3: deploy the recommendation. --------------------------------
+  auto tuned = baseline;
+  tuned.scheme = rec.scheme;
+  tuned.s_period_epochs = rec.s_period_epochs;
+  tuned.warmup_epochs = rec.s_period_epochs + 6;
+  const auto tuned_result = sim::run_partition_sim(tuned);
+
+  const double saving =
+      100.0 * (1.0 - tuned_result.cost_per_epoch.mean() /
+                         base_result.cost_per_epoch.mean());
+  std::cout << "\nphase 3 — deployed " << partition::to_string(rec.scheme)
+            << " (K=" << rec.s_period_epochs
+            << "): " << tuned_result.cost_per_epoch.mean()
+            << " encrypted keys/epoch\n";
+  std::cout << "measured key-server bandwidth saving: " << saving
+            << "%  (paper's Fig. 4 promises up to ~31% in this regime)\n";
+  std::cout << "migrations per epoch: " << tuned_result.migrations_per_epoch.mean()
+            << " — the price of not knowing who will stay\n";
+  return 0;
+}

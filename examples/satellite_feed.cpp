@@ -1,0 +1,77 @@
+// Satellite news feed: loss-homogenized key trees plus WKA-BKR transport.
+//
+// A broadcaster serves two receiver populations at once — wired
+// subscribers with clean links (~2% loss) and mobile/satellite receivers
+// with noisy ones (~20% loss). With a single key tree, every key the noisy
+// receivers share with the clean ones inherits their replication.
+// Section 4's fix: bin members into per-loss-class trees under one group
+// key. This example measures the rekey bandwidth of the three
+// organizations of Fig. 6 with the real WKA-BKR protocol over a simulated
+// lossy channel, then repeats under proactive FEC (Section 4.4).
+//
+//   $ ./satellite_feed
+
+#include <iostream>
+
+#include "sim/transport_sim.h"
+
+namespace {
+
+const char* name_of(gk::sim::TransportSimConfig::Organization org) {
+  using Org = gk::sim::TransportSimConfig::Organization;
+  switch (org) {
+    case Org::kOneTree: return "one key tree         ";
+    case Org::kRandomSplit: return "two random trees     ";
+    case Org::kLossHomogenized: return "two loss-homogenized ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace gk;
+  using Org = sim::TransportSimConfig::Organization;
+  using Proto = sim::TransportSimConfig::Protocol;
+
+  std::cout << "satellite feed: 4096 receivers, 25% on high-loss links "
+               "(ph=20%, pl=2%), 16 departures per 60 s epoch\n";
+
+  for (const auto proto : {Proto::kWkaBkr, Proto::kProactiveFec}) {
+    std::cout << "\n-- transport: "
+              << (proto == Proto::kWkaBkr ? "WKA-BKR" : "proactive FEC (RS over GF(256))")
+              << " --\n";
+    double baseline = 0.0;
+    for (const auto org : {Org::kOneTree, Org::kRandomSplit, Org::kLossHomogenized}) {
+      sim::TransportSimConfig config;
+      config.organization = org;
+      config.protocol = proto;
+      config.group_size = 4096;
+      config.departures_per_epoch = 16;
+      config.high_fraction = 0.25;
+      config.low_loss = 0.02;
+      config.high_loss = 0.20;
+      config.epochs = 12;
+      config.warmup_epochs = 3;
+      config.seed = 1999;
+      const auto result = sim::run_transport_sim(config);
+      if (org == Org::kOneTree) baseline = result.keys_per_epoch.mean();
+      const double delta =
+          100.0 * (1.0 - result.keys_per_epoch.mean() / baseline);
+      std::cout << "  " << name_of(org) << ": "
+                << result.keys_per_epoch.mean() << " key transmissions/epoch, "
+                << result.rounds_per_epoch.mean() << " rounds";
+      if (org != Org::kOneTree)
+        std::cout << "  (" << (delta >= 0 ? "-" : "+")
+                  << (delta >= 0 ? delta : -delta) << "% vs one tree)";
+      if (!result.all_delivered) std::cout << "  [DELIVERY INCOMPLETE]";
+      std::cout << '\n';
+    }
+  }
+
+  std::cout << "\nTakeaway (paper Sections 4.3-4.4): splitting trees at random "
+               "buys nothing,\nbut splitting by loss rate isolates the noisy "
+               "receivers' replication —\nand FEC transports benefit even more "
+               "than WKA-BKR.\n";
+  return 0;
+}

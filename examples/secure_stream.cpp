@@ -1,0 +1,135 @@
+// Capstone: an actual secure multicast data stream on top of the rekeying
+// machinery. The sender encrypts application payloads with ChaCha20 under
+// the current group DEK (per-epoch nonce discipline); members decrypt with
+// the DEK recovered from rekey messages. The demo shows:
+//
+//   * everyone present decrypts the stream,
+//   * a newly joined member cannot decrypt chunks sent before its join
+//     (backward confidentiality),
+//   * an evicted member decrypts nothing after its departure epoch
+//     (forward confidentiality),
+// all with real key material end to end.
+//
+//   $ ./secure_stream
+
+#include <array>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/kdf.h"
+#include "lkh/key_ring.h"
+#include "partition/factory.h"
+
+namespace {
+
+using namespace gk;
+
+/// A data chunk multicast to the group: ciphertext under the epoch's DEK.
+struct Chunk {
+  std::uint32_t dek_version = 0;
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> ciphertext;
+};
+
+/// Expand the 128-bit DEK to a ChaCha20 key (both sides derive alike).
+std::array<std::uint8_t, 32> stream_key(const crypto::Key128& dek) {
+  const auto k0 = crypto::derive_key(dek, "stream", 0);
+  const auto k1 = crypto::derive_key(dek, "stream", 1);
+  std::array<std::uint8_t, 32> key{};
+  std::copy(k0.bytes().begin(), k0.bytes().end(), key.begin());
+  std::copy(k1.bytes().begin(), k1.bytes().end(), key.begin() + 16);
+  return key;
+}
+
+Chunk encrypt_chunk(const crypto::VersionedKey& dek, const std::string& text,
+                    std::uint64_t sequence) {
+  Chunk chunk;
+  chunk.dek_version = dek.version;
+  for (int i = 0; i < 8; ++i)
+    chunk.nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sequence >> (8 * i));
+  crypto::ChaCha20 cipher(stream_key(dek.key), chunk.nonce);
+  chunk.ciphertext.assign(text.begin(), text.end());
+  cipher.crypt(chunk.ciphertext);
+  return chunk;
+}
+
+std::optional<std::string> decrypt_chunk(const lkh::KeyRing& ring,
+                                         crypto::KeyId dek_id, const Chunk& chunk) {
+  const auto dek = ring.lookup(dek_id);
+  if (!dek.has_value() || dek->version != chunk.dek_version) return std::nullopt;
+  crypto::ChaCha20 cipher(stream_key(dek->key), chunk.nonce);
+  auto plain = chunk.ciphertext;
+  cipher.crypt(plain);
+  return std::string(plain.begin(), plain.end());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "secure multicast stream over TT two-partition rekeying\n\n";
+
+  auto server = partition::make_server(partition::SchemeKind::kTt, 3, 2, Rng(777));
+  std::map<std::uint64_t, lkh::KeyRing> members;
+  auto join = [&](std::uint64_t id) {
+    workload::MemberProfile profile;
+    profile.id = workload::make_member_id(id);
+    const auto reg = server->join(profile);
+    members.emplace(id, lkh::KeyRing(profile.id, reg.leaf_id, reg.individual_key));
+  };
+
+  // Epoch 0: members 1..5 join.
+  for (std::uint64_t id = 1; id <= 5; ++id) join(id);
+  auto out = server->end_epoch();
+  for (auto& [id, ring] : members) ring.process(out.message);
+
+  std::uint64_t sequence = 0;
+  const auto chunk1 =
+      encrypt_chunk(server->group_key(), "market data tick #1", sequence++);
+  std::cout << "epoch 0 broadcast: \"market data tick #1\"\n";
+  for (const auto& [id, ring] : members) {
+    const auto plain = decrypt_chunk(ring, server->group_key_id(), chunk1);
+    std::cout << "  member " << id << ": "
+              << (plain.has_value() ? *plain : std::string("<cannot decrypt>")) << '\n';
+  }
+
+  // Epoch 1: member 6 joins; member 3 leaves.
+  join(6);
+  auto evicted = std::move(members.at(3));
+  members.erase(3);
+  server->leave(workload::make_member_id(3));
+  out = server->end_epoch();
+  for (auto& [id, ring] : members) ring.process(out.message);
+  evicted.process(out.message);  // keeps listening to the multicast
+
+  const auto chunk2 =
+      encrypt_chunk(server->group_key(), "market data tick #2", sequence++);
+  std::cout << "\nepoch 1 (member 6 joined, member 3 evicted): \"market data tick #2\"\n";
+  for (const auto& [id, ring] : members) {
+    const auto plain = decrypt_chunk(ring, server->group_key_id(), chunk2);
+    std::cout << "  member " << id << ": "
+              << (plain.has_value() ? *plain : std::string("<cannot decrypt>")) << '\n';
+  }
+  const auto evicted_view = decrypt_chunk(evicted, server->group_key_id(), chunk2);
+  std::cout << "  evicted 3: "
+            << (evicted_view.has_value() ? *evicted_view
+                                         : std::string("<cannot decrypt>"))
+            << "   <- forward confidentiality\n";
+
+  const auto newcomer_history = decrypt_chunk(members.at(6), server->group_key_id(),
+                                              chunk1);
+  std::cout << "  member 6 reading the epoch-0 chunk: "
+            << (newcomer_history.has_value() ? *newcomer_history
+                                             : std::string("<cannot decrypt>"))
+            << "   <- backward confidentiality\n";
+
+  std::cout << "\ngroup key version " << server->group_key().version << ", "
+            << server->size() << " members; every rekey cost above was "
+            << "carried by real wrapped keys.\n";
+  return 0;
+}

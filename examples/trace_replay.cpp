@@ -1,0 +1,96 @@
+// Trace replay: run every rekeying scheme against the same recorded
+// membership trace and compare key-server bandwidth.
+//
+// Usage:
+//   trace_replay                 generate a demo trace, replay it
+//   trace_replay <trace.csv>     replay a recorded trace (see trace_io.h)
+//   trace_replay --record <file> generate the demo trace and save it first
+//
+// Traces are plain CSV, so real session logs (e.g. MBone-style membership
+// dumps) can be converted and replayed against QT/TT/PT directly.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "partition/factory.h"
+#include "workload/membership.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace gk;
+
+workload::MembershipTrace demo_trace() {
+  auto durations =
+      std::make_shared<workload::TwoClassExponential>(180.0, 10800.0, 0.8);
+  auto losses = std::make_shared<workload::TwoPointLoss>(0.02, 0.2, 0.25);
+  workload::MembershipGenerator generator(durations, losses, 2048, Rng(8711));
+  return workload::MembershipTrace::generate(generator, 60.0, 40);
+}
+
+double replay(const workload::MembershipTrace& trace, partition::SchemeKind scheme,
+              unsigned k) {
+  auto server = partition::make_server(scheme, 4, k, Rng(5150));
+  for (const auto& member : trace.initial_members()) (void)server->join(member);
+  (void)server->end_epoch();
+
+  RunningStats cost;
+  const std::size_t warmup = k + 5;
+  for (const auto& epoch : trace.epochs()) {
+    // Incumbent departures first (vacancy reuse), same-epoch churn after.
+    std::vector<workload::MemberId> churn;
+    for (const auto id : epoch.leaves) {
+      const bool joined_now =
+          std::any_of(epoch.joins.begin(), epoch.joins.end(),
+                      [id](const auto& p) { return p.id == id; });
+      if (joined_now)
+        churn.push_back(id);
+      else
+        server->leave(id);
+    }
+    for (const auto& profile : epoch.joins) (void)server->join(profile);
+    for (const auto id : churn) server->leave(id);
+
+    const auto out = server->end_epoch();
+    if (epoch.index >= warmup) cost.add(static_cast<double>(out.multicast_cost()));
+  }
+  return cost.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::MembershipTrace trace = demo_trace();
+  if (argc >= 2 && std::string(argv[1]) == "--record") {
+    const std::string path = argc >= 3 ? argv[2] : "demo_trace.csv";
+    workload::save_trace(trace, path);
+    std::cout << "recorded demo trace to " << path << '\n';
+  } else if (argc >= 2) {
+    trace = workload::load_trace(argv[1]);
+    std::cout << "loaded trace from " << argv[1] << '\n';
+  }
+
+  std::cout << "trace: " << trace.initial_members().size() << " initial members, "
+            << trace.epochs().size() << " epochs of " << trace.rekey_period()
+            << " s, " << trace.mean_joins_per_epoch() << " joins/epoch, "
+            << trace.mean_leaves_per_epoch() << " leaves/epoch\n\n";
+
+  const double one = replay(trace, partition::SchemeKind::kOneKeyTree, 0);
+  std::cout << "one-keytree : " << one << " keys/epoch\n";
+  for (const unsigned k : {5u, 10u}) {
+    const double qt = replay(trace, partition::SchemeKind::kQt, k);
+    const double tt = replay(trace, partition::SchemeKind::kTt, k);
+    std::cout << "QT (K=" << k << ")   : " << qt << " keys/epoch  ("
+              << 100.0 * (1.0 - qt / one) << "% vs baseline)\n";
+    std::cout << "TT (K=" << k << ")   : " << tt << " keys/epoch  ("
+              << 100.0 * (1.0 - tt / one) << "% vs baseline)\n";
+  }
+  const double pt = replay(trace, partition::SchemeKind::kPt, 0);
+  std::cout << "PT (oracle) : " << pt << " keys/epoch  ("
+            << 100.0 * (1.0 - pt / one) << "% vs baseline)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analytic/batch_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+#include "common/math.h"
+
+namespace gk::analytic {
+namespace {
+
+/// C(n - s, l) / C(n, l) with real-valued arguments via lgamma, so the
+/// steady-state model's fractional populations evaluate directly.
+double untouched_probability(double n, double s, double l) {
+  if (l <= 0.0 || s <= 0.0) return 1.0;
+  if (n - s - l < 0.0) return 0.0;
+  const double log_ratio = std::lgamma(n - s + 1.0) - std::lgamma(n - s - l + 1.0) -
+                           (std::lgamma(n + 1.0) - std::lgamma(n - l + 1.0));
+  return std::exp(log_ratio);
+}
+
+}  // namespace
+
+double level_update_probability(std::uint64_t members, double departures, unsigned degree,
+                                unsigned level, unsigned height) {
+  GK_ENSURE(degree >= 2);
+  GK_ENSURE(level < height);
+  const double subtree = static_cast<double>(ipow(degree, height - level));
+  return 1.0 - untouched_probability(static_cast<double>(members), subtree, departures);
+}
+
+double batch_rekey_cost_full_tree(std::uint64_t members, double departures,
+                                  unsigned degree) {
+  return batch_rekey_cost(static_cast<double>(members), departures, degree);
+}
+
+double batch_rekey_cost(double members, double departures, unsigned degree) {
+  GK_ENSURE(degree >= 2);
+  if (members <= 1.0 || departures <= 0.0) return 0.0;
+  departures = std::min(departures, members);
+
+  // Appendix A, extended to partially full trees: a balanced tree over N
+  // leaves has height h = ceil(logd N); level i holds
+  //   n_i = min(d^i, N / d^(h-i))   (at least one node — the root)
+  // occupied keys, each covering S_i = N / n_i leaves on average and
+  // fanning out to S_i / S_{i+1} children. A level-i key updates with
+  // probability P_i = 1 - C(N - S_i, L) / C(N, L) and is re-encrypted once
+  // per child. For full trees this reduces exactly to
+  // Ne(N, L) = sum d * d^i * P_i (equation 12).
+  const unsigned height =
+      tree_height(static_cast<std::uint64_t>(std::ceil(members)), degree);
+  const double d = static_cast<double>(degree);
+
+  double cost = 0.0;
+  for (unsigned level = 0; level < height; ++level) {
+    const double keys_in_level = std::min(
+        std::pow(d, static_cast<double>(level)),
+        std::max(1.0, members / std::pow(d, static_cast<double>(height - level))));
+    const double subtree = members / keys_in_level;  // S_i
+    const double next_keys =
+        (level + 1 < height)
+            ? std::min(std::pow(d, static_cast<double>(level + 1)),
+                       std::max(1.0, members / std::pow(
+                                         d, static_cast<double>(height - level - 1))))
+            : members;  // "level h" nodes are the leaves themselves
+    const double children = next_keys / keys_in_level;
+    const double p_update = 1.0 - untouched_probability(members, subtree, departures);
+    cost += keys_in_level * p_update * children;
+  }
+  return cost;
+}
+
+}  // namespace gk::analytic

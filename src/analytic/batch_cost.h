@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gk::analytic {
+
+/// Appendix A: expected number of encrypted keys for one batched rekeying
+/// of a balanced d-ary key tree.
+///
+/// Given `members` (N) leaves, `departures` (L) uniformly placed batch
+/// departures (with an equal number of joins, J = L, per the appendix's
+/// assumption), a level-i key is updated with probability
+///   P_i = 1 - C(N - S_i, L) / C(N, L),     S_i = d^(h-i)
+/// and each updated key is encrypted once per child:
+///   Ne(N, L) = sum_{i=0}^{h-1} d * d^i * P_i.
+///
+/// `batch_rekey_cost` evaluates the formula exactly for full trees and, per
+/// the appendix's closing remark ("a simple extension"), handles partially
+/// full trees directly: height is ceil(logd N), level occupancy is capped
+/// by the member count, and each key is re-encrypted once per actual child.
+///
+/// Edge cases: returns 0 when members <= 1 or departures == 0 (the paper's
+/// model covers leave-driven cost; join-only epochs are cheaper and are
+/// exercised by the simulator, not this formula).
+[[nodiscard]] double batch_rekey_cost(double members, double departures, unsigned degree);
+
+/// Integer-argument convenience (same evaluation). Kept for tests that
+/// exercise exact full-tree sizes.
+[[nodiscard]] double batch_rekey_cost_full_tree(std::uint64_t members, double departures,
+                                                unsigned degree);
+
+/// Probability that the level-i key of a full d-ary tree with N leaves is
+/// updated when L departures are batched (Appendix A, eq. 11).
+[[nodiscard]] double level_update_probability(std::uint64_t members, double departures,
+                                              unsigned degree, unsigned level,
+                                              unsigned height);
+
+}  // namespace gk::analytic

@@ -1,0 +1,123 @@
+#include "analytic/fec_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace gk::analytic {
+namespace {
+
+/// log C(n, k) for integer arguments.
+double log_choose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// Binomial pmf P[Bin(n, q) = x].
+double binom_pmf(int n, double q, int x) {
+  if (x < 0 || x > n) return 0.0;
+  if (q <= 0.0) return x == 0 ? 1.0 : 0.0;
+  if (q >= 1.0) return x == n ? 1.0 : 0.0;
+  return std::exp(log_choose(n, x) + x * std::log(q) + (n - x) * std::log1p(-q));
+}
+
+/// Deficit distribution after receiving from `sent` packets with per-packet
+/// delivery probability q, starting from deficit `start` (> 0):
+/// deficit' = max(0, start - Bin(sent, q)).
+void apply_round(std::vector<double>& deficit_pmf, int sent, double q) {
+  const int k = static_cast<int>(deficit_pmf.size()) - 1;
+  std::vector<double> next(deficit_pmf.size(), 0.0);
+  next[0] = deficit_pmf[0];
+  for (int d = 1; d <= k; ++d) {
+    const double mass = deficit_pmf[d];
+    if (mass <= 0.0) continue;
+    for (int received = 0; received <= sent; ++received) {
+      const double p = binom_pmf(sent, q, received);
+      if (p <= 0.0) continue;
+      const int remaining = std::max(0, d - received);
+      next[remaining] += mass * p;
+      if (received >= d) {
+        // All larger receive-counts also clear the deficit; fold the tail
+        // in one step to keep the loop O(sent).
+      }
+    }
+  }
+  deficit_pmf = std::move(next);
+}
+
+}  // namespace
+
+double fec_block_cost(const FecParams& params) {
+  GK_ENSURE(params.block_size >= 1);
+  GK_ENSURE(params.proactivity >= 1.0);
+  GK_ENSURE(!params.losses.empty());
+  if (params.receivers <= 0.0) return 0.0;
+
+  const int k = static_cast<int>(params.block_size);
+  const int initial = static_cast<int>(std::ceil(params.proactivity * k));
+
+  // Per-class deficit distributions after round one.
+  struct ClassState {
+    double receivers = 0.0;
+    double loss = 0.0;
+    std::vector<double> deficit;  // index = missing packets, 0 = decoded
+  };
+  std::vector<ClassState> classes;
+  for (const auto& cls : params.losses) {
+    if (cls.fraction <= 0.0) continue;
+    ClassState state;
+    state.receivers = params.receivers * cls.fraction;
+    state.loss = cls.rate;
+    state.deficit.assign(static_cast<std::size_t>(k) + 1, 0.0);
+    const double q = 1.0 - cls.rate;
+    for (int received = 0; received <= initial; ++received) {
+      const double p = binom_pmf(initial, q, received);
+      const int deficit = std::max(0, k - received);
+      state.deficit[static_cast<std::size_t>(deficit)] += p;
+    }
+    classes.push_back(std::move(state));
+  }
+
+  double total_sent = initial;
+  constexpr int kMaxRounds = 64;
+  constexpr double kResidual = 1e-6;
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    // P[some receiver still undecoded] = 1 - prod_c P[decoded]^{R_c}.
+    double log_all_done = 0.0;
+    for (const auto& cls : classes)
+      log_all_done += cls.receivers * std::log(std::max(cls.deficit[0], 1e-300));
+    if (1.0 - std::exp(log_all_done) < kResidual) break;
+
+    // BKR-style feedback: the server learns the worst deficit and sends
+    // that many fresh parity packets. E[max deficit] over independent
+    // receivers: sum_j P[max > j].
+    double expected_max = 0.0;
+    const int kmax = k;
+    for (int j = 0; j < kmax; ++j) {
+      double log_le = 0.0;
+      for (const auto& cls : classes) {
+        double cdf = 0.0;
+        for (int d = 0; d <= j; ++d) cdf += cls.deficit[static_cast<std::size_t>(d)];
+        cdf = std::min(cdf, 1.0);
+        log_le += cls.receivers * std::log(std::max(cdf, 1e-300));
+      }
+      expected_max += 1.0 - std::exp(log_le);
+    }
+    const int sent = std::max(1, static_cast<int>(std::ceil(expected_max)));
+    total_sent += sent;
+
+    for (auto& cls : classes) apply_round(cls.deficit, sent, 1.0 - cls.loss);
+  }
+  return total_sent;
+}
+
+double fec_payload_cost(const FecParams& params) {
+  if (params.source_packets <= 0.0) return 0.0;
+  const double blocks =
+      std::ceil(params.source_packets / static_cast<double>(params.block_size));
+  return blocks * fec_block_cost(params);
+}
+
+}  // namespace gk::analytic

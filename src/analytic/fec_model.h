@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "analytic/wka_bkr_model.h"
+
+namespace gk::analytic {
+
+/// Bandwidth model for proactive-FEC rekey transport in the style of
+/// Yang et al [YLZL01], used for the Section 4.4 comparison.
+///
+/// The rekey payload of a tree is packed into FEC blocks of `block_size`
+/// (k) source packets. The server initially multicasts each block with a
+/// proactivity factor rho: round one carries ceil(rho * k) packets. A
+/// receiver decodes a block once it holds any k of the packets sent for
+/// it; after each round the server collects NACKs and multicasts enough
+/// additional parity to cover the worst remaining deficit.
+///
+/// Approximations (documented in DESIGN.md): per-receiver packet losses are
+/// independent Bernoulli(p); the expected worst-case deficit is computed
+/// from the exact binomial survival function across the loss classes; and
+/// rounds are modelled until the residual failure probability drops below
+/// 1e-6.
+struct FecParams {
+  double source_packets = 0.0;  ///< total rekey payload packets for the tree
+  unsigned block_size = 16;     ///< k
+  double proactivity = 1.25;    ///< rho >= 1
+  /// Interested receivers per block and their composition. For rekey
+  /// payloads, every member of the tree needs some block, so the paper's
+  /// convention is receivers = tree size (conservative) split per class.
+  double receivers = 0.0;
+  std::vector<LossClass> losses;
+};
+
+/// Expected packets transmitted for one block (initial + retransmission
+/// rounds) until all interested receivers can decode it.
+[[nodiscard]] double fec_block_cost(const FecParams& params);
+
+/// Expected total packets for the whole payload:
+/// ceil(source_packets / k) blocks, each at fec_block_cost.
+[[nodiscard]] double fec_payload_cost(const FecParams& params);
+
+}  // namespace gk::analytic

@@ -1,0 +1,35 @@
+#include "analytic/multisend_model.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace gk::analytic {
+
+unsigned multisend_replication(const MultiSendParams& params) {
+  GK_ENSURE(!params.losses.empty());
+  GK_ENSURE(params.target_delivery > 0.0 && params.target_delivery < 1.0);
+  if (params.receivers <= 0.0 || params.payload_keys <= 0.0) return 1;
+
+  constexpr unsigned kMaxReplication = 64;
+  for (unsigned m = 1; m <= kMaxReplication; ++m) {
+    // P[all receivers get all their keys] with independent losses:
+    //   prod_c (1 - p_c^m)^{keys_per_receiver * R_c}
+    double log_success = 0.0;
+    for (const auto& cls : params.losses) {
+      if (cls.fraction <= 0.0) continue;
+      const double miss = std::pow(cls.rate, m);
+      if (miss >= 1.0) return kMaxReplication;
+      log_success += params.keys_per_receiver * params.receivers * cls.fraction *
+                     std::log1p(-miss);
+    }
+    if (std::exp(log_success) >= params.target_delivery) return m;
+  }
+  return kMaxReplication;
+}
+
+double multisend_cost(const MultiSendParams& params) {
+  return params.payload_keys * static_cast<double>(multisend_replication(params));
+}
+
+}  // namespace gk::analytic

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "analytic/wka_bkr_model.h"
+
+namespace gk::analytic {
+
+/// The multi-send baseline [MSEC]: every encrypted key is multicast with
+/// the same fixed replication m, chosen as the smallest value for which the
+/// whole group receives everything it needs with probability at least
+/// `target_delivery`.
+struct MultiSendParams {
+  double payload_keys = 0.0;       ///< encrypted keys in the rekey message
+  double keys_per_receiver = 8.0;  ///< keys of interest per member (~ tree height)
+  double receivers = 0.0;          ///< group size
+  std::vector<LossClass> losses;
+  double target_delivery = 0.99;
+};
+
+/// The chosen uniform replication degree m.
+[[nodiscard]] unsigned multisend_replication(const MultiSendParams& params);
+
+/// Total transmissions: payload_keys * m.
+[[nodiscard]] double multisend_cost(const MultiSendParams& params);
+
+}  // namespace gk::analytic

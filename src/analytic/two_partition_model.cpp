@@ -1,0 +1,83 @@
+#include "analytic/two_partition_model.h"
+
+#include <cmath>
+
+#include "analytic/batch_cost.h"
+#include "common/ensure.h"
+
+namespace gk::analytic {
+
+double departure_probability(double t, double mean) {
+  GK_ENSURE(mean > 0.0);
+  GK_ENSURE(t >= 0.0);
+  return 1.0 - std::exp(-t / mean);
+}
+
+TwoPartitionSteadyState solve_steady_state(const TwoPartitionParams& p) {
+  GK_ENSURE(p.group_size > 0.0);
+  GK_ENSURE(p.rekey_period > 0.0);
+  GK_ENSURE(p.short_mean > 0.0 && p.long_mean > 0.0);
+  GK_ENSURE(p.short_fraction >= 0.0 && p.short_fraction <= 1.0);
+
+  const double alpha = p.short_fraction;
+  const double pr_short = departure_probability(p.rekey_period, p.short_mean);
+  const double pr_long = departure_probability(p.rekey_period, p.long_mean);
+
+  TwoPartitionSteadyState s;
+  // From (3)-(5): Lcs = Ncs * Pr(Tp, Ms) = alpha * J and similarly for Cl,
+  // with N = Ncs + Ncl closing the system.
+  s.joins = p.group_size / (alpha / pr_short + (1.0 - alpha) / pr_long);
+  s.class_short_pop = alpha * s.joins / pr_short;
+  s.class_long_pop = (1.0 - alpha) * s.joins / pr_long;
+  s.class_short_leaves = alpha * s.joins;
+  s.class_long_leaves = (1.0 - alpha) * s.joins;
+
+  // (6): members aged 0..K-1 periods reside in the S-partition.
+  double s_pop = 0.0;
+  for (unsigned i = 0; i < p.s_period_epochs; ++i) {
+    const double age = static_cast<double>(i) * p.rekey_period;
+    s_pop += alpha * s.joins * std::exp(-age / p.short_mean) +
+             (1.0 - alpha) * s.joins * std::exp(-age / p.long_mean);
+  }
+  s.s_partition_pop = s_pop;
+  s.l_partition_pop = p.group_size - s_pop;
+
+  // (7): only members that survive the full S-period migrate.
+  const double s_period = static_cast<double>(p.s_period_epochs) * p.rekey_period;
+  s.migrations = alpha * s.joins * std::exp(-s_period / p.short_mean) +
+                 (1.0 - alpha) * s.joins * std::exp(-s_period / p.long_mean);
+  s.l_departures = s.migrations;  // steady state: Ll = Lm
+  s.s_departures = s.joins - s.migrations;
+  return s;
+}
+
+double one_keytree_cost(const TwoPartitionParams& p) {
+  const auto s = solve_steady_state(p);
+  return batch_rekey_cost(p.group_size, s.joins, p.degree);
+}
+
+double qt_cost(const TwoPartitionParams& p) {
+  const auto s = solve_steady_state(p);
+  // (8): the queue pays one encryption per resident; the L-partition is a
+  // regular key tree absorbing Ll departures (and Lm joins, J = L).
+  const double queue_cost = s.s_partition_pop;
+  return queue_cost + batch_rekey_cost(s.l_partition_pop, s.l_departures, p.degree);
+}
+
+double tt_cost(const TwoPartitionParams& p) {
+  const auto s = solve_steady_state(p);
+  if (p.s_period_epochs == 0) return one_keytree_cost(p);
+  // (9): the S-tree sees J member removals per period (true departures plus
+  // migrations) and J joins.
+  return batch_rekey_cost(s.s_partition_pop, s.joins, p.degree) +
+         batch_rekey_cost(s.l_partition_pop, s.l_departures, p.degree);
+}
+
+double pt_cost(const TwoPartitionParams& p) {
+  const auto s = solve_steady_state(p);
+  // (10): the oracle routes each class to its own tree; no migrations.
+  return batch_rekey_cost(s.class_short_pop, s.class_short_leaves, p.degree) +
+         batch_rekey_cost(s.class_long_pop, s.class_long_leaves, p.degree);
+}
+
+}  // namespace gk::analytic

@@ -1,0 +1,45 @@
+#pragma once
+
+namespace gk::analytic {
+
+/// Parameters of the Section 3.3 analytic model, defaulted to Table 1.
+struct TwoPartitionParams {
+  double group_size = 65536.0;     ///< N
+  double rekey_period = 60.0;      ///< Tp, seconds
+  unsigned degree = 4;             ///< key tree fan-out d
+  unsigned s_period_epochs = 10;   ///< K = Ts / Tp
+  double short_mean = 180.0;       ///< Ms, seconds (3 minutes)
+  double long_mean = 10800.0;      ///< Ml, seconds (3 hours)
+  double short_fraction = 0.8;     ///< alpha, fraction of class Cs joins
+};
+
+/// Steady-state flows of the two-class open queueing system (Fig. 2 and
+/// equations (1)-(7) of the paper). All quantities are per rekey period.
+struct TwoPartitionSteadyState {
+  double joins = 0.0;              ///< J
+  double class_short_pop = 0.0;    ///< Ncs
+  double class_long_pop = 0.0;     ///< Ncl
+  double class_short_leaves = 0.0; ///< Lcs = alpha * J
+  double class_long_leaves = 0.0;  ///< Lcl = (1 - alpha) * J
+  double s_partition_pop = 0.0;    ///< Ns
+  double l_partition_pop = 0.0;    ///< Nl
+  double s_departures = 0.0;       ///< Ls (true departures from S)
+  double l_departures = 0.0;       ///< Ll (== Lm in steady state)
+  double migrations = 0.0;         ///< Lm (S -> L moves per period)
+};
+
+/// Solve equations (1)-(7) for the given parameters.
+[[nodiscard]] TwoPartitionSteadyState solve_steady_state(const TwoPartitionParams& params);
+
+/// Probability a member with exponential mean `mean` departs within `t`
+/// (equation (2)).
+[[nodiscard]] double departure_probability(double t, double mean);
+
+/// Rekeying cost per period, in encrypted keys, for each scheme
+/// (equations (8), (9), (10) plus the K = 0 baseline).
+[[nodiscard]] double one_keytree_cost(const TwoPartitionParams& params);
+[[nodiscard]] double qt_cost(const TwoPartitionParams& params);
+[[nodiscard]] double tt_cost(const TwoPartitionParams& params);
+[[nodiscard]] double pt_cost(const TwoPartitionParams& params);
+
+}  // namespace gk::analytic

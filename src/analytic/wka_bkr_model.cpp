@@ -1,0 +1,99 @@
+#include "analytic/wka_bkr_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analytic/batch_cost.h"
+#include "common/ensure.h"
+#include "common/math.h"
+
+namespace gk::analytic {
+
+double expected_transmissions(double receivers, const std::vector<LossClass>& losses) {
+  GK_ENSURE(!losses.empty());
+  if (receivers <= 0.0) return 0.0;
+
+  // E[M] = sum_{m>=1} (1 - prod_c (1 - p_c^{m-1})^{R_c}).  The m = 1 term
+  // is always 1; later terms decay geometrically, so truncate when the
+  // survival probability drops below epsilon.
+  constexpr double kEpsilon = 1e-10;
+  constexpr int kMaxRounds = 10000;
+  double expectation = 0.0;
+  for (int m = 1; m <= kMaxRounds; ++m) {
+    double log_all_done = 0.0;
+    for (const auto& cls : losses) {
+      if (cls.fraction <= 0.0) continue;
+      GK_ENSURE(cls.rate >= 0.0 && cls.rate < 1.0);
+      const double p_pow = std::pow(cls.rate, m - 1);
+      if (p_pow >= 1.0) {
+        log_all_done = -std::numeric_limits<double>::infinity();
+        break;
+      }
+      log_all_done += receivers * cls.fraction * std::log1p(-p_pow);
+    }
+    const double survival = 1.0 - std::exp(log_all_done);
+    expectation += survival;
+    if (survival < kEpsilon) break;
+  }
+  return expectation;
+}
+
+namespace {
+
+/// Probability that a subtree of `subtree` of the `members` leaves escapes
+/// all `departures` (real-valued lgamma evaluation, as in batch_cost).
+double untouched_probability(double members, double subtree, double departures) {
+  if (departures <= 0.0 || subtree <= 0.0) return 1.0;
+  if (members - subtree - departures < 0.0) return 0.0;
+  const double log_ratio =
+      std::lgamma(members - subtree + 1.0) -
+      std::lgamma(members - subtree - departures + 1.0) -
+      (std::lgamma(members + 1.0) - std::lgamma(members - departures + 1.0));
+  return std::exp(log_ratio);
+}
+
+}  // namespace
+
+double wka_bkr_cost(const WkaBkrParams& params) {
+  GK_ENSURE(params.degree >= 2);
+  if (params.members <= 1.0 || params.departures <= 0.0) return 0.0;
+  GK_ENSURE(!params.losses.empty());
+
+  // Equation (15) on the same (possibly partially full) tree structure as
+  // batch_cost: each level-l key that updates is encrypted once per child,
+  // and each encryption must reach the child's whole subtree, replicated
+  // E[M] times per equation (14).
+  const double members = params.members;
+  const double departures = std::min(params.departures, members);
+  const double d = static_cast<double>(params.degree);
+  const unsigned height =
+      tree_height(static_cast<std::uint64_t>(std::ceil(members)), params.degree);
+
+  double total = 0.0;
+  for (unsigned level = 0; level < height; ++level) {
+    const double keys_in_level = std::min(
+        std::pow(d, static_cast<double>(level)),
+        std::max(1.0, members / std::pow(d, static_cast<double>(height - level))));
+    const double subtree = members / keys_in_level;
+    const double next_keys =
+        (level + 1 < height)
+            ? std::min(std::pow(d, static_cast<double>(level + 1)),
+                       std::max(1.0, members / std::pow(
+                                         d, static_cast<double>(height - level - 1))))
+            : members;
+    const double children = next_keys / keys_in_level;
+    const double receivers_per_encryption = members / next_keys;  // S_{l+1}
+    const double p_update = 1.0 - untouched_probability(members, subtree, departures);
+    total += keys_in_level * p_update * children *
+             expected_transmissions(receivers_per_encryption, params.losses);
+  }
+  return total;
+}
+
+double wka_bkr_forest_cost(const std::vector<WkaBkrParams>& trees) {
+  double total = 0.0;
+  for (const auto& tree : trees) total += wka_bkr_cost(tree);
+  return total;
+}
+
+}  // namespace gk::analytic

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+namespace gk::analytic {
+
+/// One stratum of a tree's receiver population: a fraction of the members
+/// sharing (approximately) one loss rate.
+struct LossClass {
+  double rate = 0.0;      ///< independent per-packet loss probability
+  double fraction = 0.0;  ///< share of the tree's members (sums to 1)
+};
+
+/// Inputs for the Appendix B WKA-BKR bandwidth model, extended to
+/// heterogeneous receiver loss (Section 4.3): the expected number of
+/// receivers of a level-l key is split across the loss classes in
+/// proportion to their population shares.
+struct WkaBkrParams {
+  double members = 65536.0;   ///< N in this key tree
+  double departures = 256.0;  ///< L batched departures from this tree
+  unsigned degree = 4;        ///< d
+  std::vector<LossClass> losses;
+};
+
+/// E[M]: expected number of times one encryption must be transmitted until
+/// all `receivers` interested members have it, where the receivers are
+/// composed per `losses` (equation (14), generalized to a product over
+/// classes). `receivers` may be fractional.
+[[nodiscard]] double expected_transmissions(double receivers,
+                                            const std::vector<LossClass>& losses);
+
+/// E[V] of equation (15): the expected total encrypted-key transmissions
+/// (proactive replicas plus retransmissions) for one batched rekey of this
+/// tree under WKA-BKR. Non-power-of-d sizes interpolate between the two
+/// enclosing full trees, as in batch_cost.
+[[nodiscard]] double wka_bkr_cost(const WkaBkrParams& params);
+
+/// Multi-tree composition: total cost of a forest where tree t holds
+/// `trees[t].members` receivers with composition `trees[t].losses`, and the
+/// batch departures split proportionally to tree size (Section 4.3's
+/// evaluation convention).
+[[nodiscard]] double wka_bkr_forest_cost(const std::vector<WkaBkrParams>& trees);
+
+}  // namespace gk::analytic

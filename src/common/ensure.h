@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gk {
+
+/// Thrown when a library-level precondition or invariant is violated.
+///
+/// Library code signals contract violations with exceptions rather than
+/// aborting so that simulations driving millions of events can surface a
+/// precise diagnostic (which member, which epoch) to the harness.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": contract violated: (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace gk
+
+/// Precondition / invariant check that is always on (cheap checks only).
+#define GK_ENSURE(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::gk::detail::ensure_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+/// Variant carrying a human-readable context message.
+#define GK_ENSURE_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream gk_ensure_os;                                \
+      gk_ensure_os << msg;                                            \
+      ::gk::detail::ensure_fail(#expr, __FILE__, __LINE__, gk_ensure_os.str()); \
+    }                                                                 \
+  } while (false)

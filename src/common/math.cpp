@@ -1,0 +1,40 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gk {
+
+double log_binomial(std::int64_t n, std::int64_t k) noexcept {
+  if (k < 0 || k > n || n < 0) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0);
+}
+
+double prob_subtree_untouched(std::int64_t n, std::int64_t s, std::int64_t l) noexcept {
+  if (l <= 0) return 1.0;
+  if (s <= 0) return 1.0;
+  if (l > n - s) return 0.0;
+  const double log_p = log_binomial(n - s, l) - log_binomial(n, l);
+  return std::exp(log_p);
+}
+
+std::uint64_t ipow(std::uint64_t d, unsigned e) noexcept {
+  std::uint64_t result = 1;
+  while (e-- > 0) result *= d;
+  return result;
+}
+
+unsigned tree_height(std::uint64_t n, unsigned d) noexcept {
+  unsigned h = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < n) {
+    capacity *= d;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace gk

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gk {
+
+/// Natural log of the binomial coefficient C(n, k), evaluated via lgamma so
+/// it is stable for the group sizes the paper sweeps (N up to 2^18).
+/// Returns -infinity when k > n or k < 0 (an impossible choice).
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k) noexcept;
+
+/// C(n-s, l) / C(n, l): the probability that a specific subtree of s leaves
+/// receives none of l uniformly placed departures (Appendix A, eq. 11's
+/// complement). Computed in log space. Returns 0 when l > n - s.
+[[nodiscard]] double prob_subtree_untouched(std::int64_t n, std::int64_t s,
+                                            std::int64_t l) noexcept;
+
+/// Integer power d^e for small exponents (no overflow checking beyond
+/// 64-bit; callers sweep d <= 16, e <= 20).
+[[nodiscard]] std::uint64_t ipow(std::uint64_t d, unsigned e) noexcept;
+
+/// Smallest h such that d^h >= n (height of a balanced d-ary tree over n
+/// leaves). Precondition: d >= 2, n >= 1.
+[[nodiscard]] unsigned tree_height(std::uint64_t n, unsigned d) noexcept;
+
+/// Linear interpolation helper: a + t * (b - a).
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a + t * (b - a);
+}
+
+}  // namespace gk

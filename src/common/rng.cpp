@@ -1,0 +1,128 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gk {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded generation.
+  if (bound == 0) return 0;
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const auto m = static_cast<unsigned __int128>(x) * bound;
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      if (low < threshold) continue;
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+  // -mean * ln(U), guarding against U == 0.
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // For large means, a normal approximation with continuity correction is
+  // sufficient for workload generation (errors are far below the stochastic
+  // noise of the simulations that consume it).
+  const double sigma = std::sqrt(mean);
+  while (true) {
+    // Box–Muller.
+    const double u1 = uniform();
+    const double u2 = uniform();
+    if (u1 <= 0.0) continue;
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double value = mean + sigma * z + 0.5;
+    if (value >= 0.0) return static_cast<std::uint64_t>(value);
+  }
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  // Rejection-inversion sampling (W. Hormann, G. Derflinger 1996).
+  if (n <= 1) return 1;
+  const double e = 1.0 - s;
+  auto h = [&](double x) {
+    // Integral of x^-s; handles s == 1 via log.
+    return (std::abs(e) < 1e-12) ? std::log(x) : std::pow(x, e) / e;
+  };
+  auto h_inv = [&](double x) {
+    return (std::abs(e) < 1e-12) ? std::exp(x) : std::pow(e * x, 1.0 / e);
+  };
+  // Rejection-inversion bounds (Apache Commons' RejectionInversionZipfSampler
+  // layout): u is drawn between h(n + 1/2) and h(3/2) - 1, the latter
+  // extending the envelope by exactly p(1) = 1 so rank 1 keeps its mass.
+  const double h_x1 = h(1.5) - 1.0;
+  const double hn = h(static_cast<double>(n) + 0.5);
+  while (true) {
+    const double u = hn + uniform() * (h_x1 - hn);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::exp(-s * std::log(kd))) return k;
+  }
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace gk

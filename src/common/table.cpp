@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace gk {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GK_ENSURE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GK_ENSURE_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  GK_ENSURE(row < rows_.size());
+  GK_ENSURE(col < headers_.size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+
+  os << '\n' << title << '\n' << std::string(std::max(total, title.size()), '-') << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::setw(static_cast<int>(widths[c])) << headers_[c] << (c + 1 < headers_.size() ? " | " : "\n");
+  os << std::string(std::max(total, title.size()), '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << std::setw(static_cast<int>(widths[c])) << row[c] << (c + 1 < row.size() ? " | " : "\n");
+  }
+  os << '\n';
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+  return os.str();
+}
+
+}  // namespace gk

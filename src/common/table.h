@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gk {
+
+/// Column-aligned plain-text table used by the bench binaries to print the
+/// paper's figures as series. Also serializes to CSV so plots can be
+/// regenerated externally.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; width must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a row of doubles with the given precision.
+  void add_row(const std::vector<double>& values, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Pretty-print with a title banner.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Comma-separated form (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for ad-hoc rows).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+}  // namespace gk

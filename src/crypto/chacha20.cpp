@@ -1,0 +1,79 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace gk::crypto {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+                   std::span<const std::uint8_t, kNonceSize> nonce,
+                   std::uint32_t initial_counter) noexcept {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> working = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i)
+    store_le32(keystream_.data() + 4 * i, working[i] + state_[i]);
+  ++state_[12];
+  keystream_used_ = 0;
+}
+
+void ChaCha20::crypt(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& byte : data) {
+    if (keystream_used_ == keystream_.size()) refill();
+    byte ^= keystream_[keystream_used_++];
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20::crypt_copy(
+    std::span<const std::uint8_t> data) noexcept {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  crypt(std::span<std::uint8_t>(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace gk::crypto

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gk::crypto {
+
+/// ChaCha20 stream cipher (RFC 8439 quarter-round construction).
+///
+/// Used in counter mode to encrypt key material in rekey messages. XOR-based
+/// stream encryption means encrypt and decrypt are the same operation.
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+           std::span<const std::uint8_t, kNonceSize> nonce,
+           std::uint32_t initial_counter = 0) noexcept;
+
+  /// XOR the keystream into `data` in place.
+  void crypt(std::span<std::uint8_t> data) noexcept;
+
+  /// Out-of-place convenience.
+  [[nodiscard]] std::vector<std::uint8_t> crypt_copy(
+      std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> keystream_{};
+  std::size_t keystream_used_ = 64;  // force refill on first use
+};
+
+}  // namespace gk::crypto

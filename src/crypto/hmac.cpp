@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace gk::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> block_key{};
+
+  if (key.size() > kBlockSize) {
+    const auto digest = sha256(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace gk::crypto

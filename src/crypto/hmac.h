@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace gk::crypto {
+
+/// HMAC-SHA-256 (RFC 2104) used both as the MAC in our Encrypt-then-MAC key
+/// wrapping and as the PRF inside the KDF.
+[[nodiscard]] Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                         std::span<const std::uint8_t> message) noexcept;
+
+/// Constant-time comparison of two equal-length byte spans; returns false on
+/// length mismatch. Used for tag verification.
+[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace gk::crypto

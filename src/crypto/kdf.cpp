@@ -1,0 +1,35 @@
+#include "crypto/kdf.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/hmac.h"
+
+namespace gk::crypto {
+
+Key128 derive_key(const Key128& key, std::string_view label, std::uint64_t context) noexcept {
+  std::vector<std::uint8_t> input;
+  input.reserve(label.size() + 8);
+  input.insert(input.end(), label.begin(), label.end());
+  for (int i = 0; i < 8; ++i) input.push_back(static_cast<std::uint8_t>(context >> (8 * i)));
+
+  const auto digest = hmac_sha256(key.bytes(), std::span<const std::uint8_t>(input));
+  std::array<std::uint8_t, Key128::kSize> bytes;
+  std::memcpy(bytes.data(), digest.data(), bytes.size());
+  return Key128(bytes);
+}
+
+Key128 oft_blind(const Key128& key) noexcept { return derive_key(key, "oft-blind-g"); }
+
+Key128 oft_mix(const Key128& left_blinded, const Key128& right_blinded) noexcept {
+  std::array<std::uint8_t, Key128::kSize> mixed;
+  const auto l = left_blinded.bytes();
+  const auto r = right_blinded.bytes();
+  for (std::size_t i = 0; i < mixed.size(); ++i)
+    mixed[i] = static_cast<std::uint8_t>(l[i] ^ r[i]);
+  // A final PRF application matches OFT's f() and avoids structural
+  // relations between parent and children keys.
+  return derive_key(Key128(mixed), "oft-mix-f");
+}
+
+}  // namespace gk::crypto

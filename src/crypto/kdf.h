@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/key.h"
+
+namespace gk::crypto {
+
+/// Labelled key derivation: HMAC-SHA-256(key, label || context) truncated to
+/// 128 bits. Used for the OFT one-way functions and for deriving
+/// per-purpose subkeys. Distinct labels yield computationally independent
+/// outputs.
+[[nodiscard]] Key128 derive_key(const Key128& key, std::string_view label,
+                                std::uint64_t context = 0) noexcept;
+
+/// OFT "blinding" function g: reveals a one-way image of a node key that can
+/// be given to the sibling subtree without revealing the key itself.
+[[nodiscard]] Key128 oft_blind(const Key128& key) noexcept;
+
+/// OFT "mixing" function f: parent key from the XOR of the children's
+/// blinded keys (binary OFT per Balenson–McGrew–Sherman).
+[[nodiscard]] Key128 oft_mix(const Key128& left_blinded, const Key128& right_blinded) noexcept;
+
+}  // namespace gk::crypto

@@ -1,0 +1,25 @@
+#include "crypto/key.h"
+
+#include "crypto/sha256.h"
+
+namespace gk::crypto {
+
+Key128 Key128::random(Rng& rng) noexcept {
+  std::array<std::uint8_t, kSize> bytes;
+  for (std::size_t i = 0; i < kSize; i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t j = 0; j < 8; ++j)
+      bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return Key128(bytes);
+}
+
+bool Key128::is_zero() const noexcept {
+  for (std::uint8_t b : bytes_)
+    if (b != 0) return false;
+  return true;
+}
+
+std::string Key128::hex() const { return to_hex(bytes()); }
+
+}  // namespace gk::crypto

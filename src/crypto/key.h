@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+
+namespace gk::crypto {
+
+/// A 128-bit symmetric key — the unit of the paper's cost metric
+/// ("number of encrypted keys").
+///
+/// Keys are plain value types; the KeyServer generates them, wraps them
+/// under other keys for distribution, and members unwrap them. Deterministic
+/// generation from a seeded Rng keeps full simulations reproducible.
+class Key128 {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  constexpr Key128() noexcept = default;
+  explicit constexpr Key128(const std::array<std::uint8_t, kSize>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Fresh uniformly random key.
+  [[nodiscard]] static Key128 random(Rng& rng) noexcept;
+
+  [[nodiscard]] std::span<const std::uint8_t, kSize> bytes() const noexcept {
+    return std::span<const std::uint8_t, kSize>(bytes_);
+  }
+  [[nodiscard]] std::span<std::uint8_t, kSize> mutable_bytes() noexcept {
+    return std::span<std::uint8_t, kSize>(bytes_);
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] std::string hex() const;
+
+  friend constexpr auto operator<=>(const Key128&, const Key128&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+/// Stable identifier of a logical key-tree node. The id survives key
+/// *updates* (the node keeps its id while its key material is replaced), so
+/// members can match wrapped keys in a rekey message against the nodes they
+/// hold.
+enum class KeyId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t raw(KeyId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+[[nodiscard]] constexpr KeyId make_key_id(std::uint64_t v) noexcept {
+  return static_cast<KeyId>(v);
+}
+
+/// A key together with its version. Every update to a node's key material
+/// bumps the version; wrapped keys record which version of the wrapping key
+/// was used so receivers can detect stale state.
+struct VersionedKey {
+  Key128 key;
+  std::uint32_t version = 0;
+};
+
+}  // namespace gk::crypto
+
+template <>
+struct std::hash<gk::crypto::Key128> {
+  std::size_t operator()(const gk::crypto::Key128& k) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (std::uint8_t b : k.bytes()) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/key.h"
+
+namespace gk::crypto {
+
+/// An encrypted ("wrapped") key as carried in a rekey message: the payload
+/// key encrypted under a key-encryption key (KEK) with ChaCha20, plus an
+/// HMAC-SHA-256 tag over nonce || header || ciphertext (Encrypt-then-MAC).
+///
+/// One WrappedKey is the paper's unit of rekey bandwidth. kWireSize gives
+/// the serialized size used by the transport layer when packing packets.
+struct WrappedKey {
+  /// Node id of the key being distributed (the payload).
+  KeyId target_id{};
+  /// Version of the payload key.
+  std::uint32_t target_version = 0;
+  /// Node id of the KEK the payload is encrypted under.
+  KeyId wrapping_id{};
+  /// Version of the KEK that was used.
+  std::uint32_t wrapping_version = 0;
+
+  std::array<std::uint8_t, 12> nonce{};
+  std::array<std::uint8_t, Key128::kSize> ciphertext{};
+  std::array<std::uint8_t, 16> tag{};
+
+  /// Serialized size in bytes: ids/versions (24) + nonce (12) +
+  /// ciphertext (16) + tag (16).
+  static constexpr std::size_t kWireSize = 24 + 12 + Key128::kSize + 16;
+};
+
+/// Wrap `payload` under `kek`. The nonce is drawn from `rng`; all metadata
+/// is authenticated.
+[[nodiscard]] WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id,
+                                  std::uint32_t wrapping_version, const Key128& payload,
+                                  KeyId target_id, std::uint32_t target_version,
+                                  Rng& rng) noexcept;
+
+/// Unwrap with `kek`; returns nullopt if the tag does not verify (wrong key
+/// or corrupted message).
+[[nodiscard]] std::optional<Key128> unwrap_key(const Key128& kek,
+                                               const WrappedKey& wrapped) noexcept;
+
+}  // namespace gk::crypto

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace gk::crypto {
+
+/// SHA-256 digest (FIPS 180-4), implemented from the specification.
+///
+/// Streaming interface: construct, update() any number of times, finish().
+/// A one-shot free function is provided below. The implementation is pure
+/// portable C++ with no table lookups beyond the round constants, which is
+/// plenty for a protocol simulator (we wrap keys, we do not fight nation
+/// states).
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const std::string& data) noexcept;
+
+  /// Finalize and return the digest. The object must not be reused after
+  /// finish() without reassignment.
+  [[nodiscard]] Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience.
+[[nodiscard]] Sha256::Digest sha256(std::span<const std::uint8_t> data) noexcept;
+
+/// Hex rendering of any byte span (digests, keys) for logs and tests.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace gk::crypto

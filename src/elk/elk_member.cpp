@@ -1,0 +1,69 @@
+#include "elk/elk_member.h"
+
+namespace gk::elk {
+
+ElkMember::ElkMember(workload::MemberId owner, std::vector<ElkTree::PathKey> grant)
+    : owner_(owner) {
+  re_grant(std::move(grant));
+}
+
+void ElkMember::re_grant(std::vector<ElkTree::PathKey> grant) {
+  keys_.clear();
+  for (const auto& entry : grant) keys_[crypto::raw(entry.id)] = entry.key;
+}
+
+std::size_t ElkMember::process(const ElkRekeyMessage& message) {
+  std::size_t updated = 0;
+  bool progressed = true;
+  // Contributions for higher nodes may depend on lower updates; iterate.
+  while (progressed) {
+    progressed = false;
+    for (const auto& record : message.contributions) {
+      const auto under = keys_.find(crypto::raw(record.under));
+      if (under == keys_.end() || under->second.version != record.under_version)
+        continue;
+      const auto node = keys_.find(crypto::raw(record.node));
+      if (node == keys_.end() || node->second.version + 1 != record.new_version)
+        continue;
+
+      const unsigned my_bits = record.under_is_left ? record.left_bits
+                                                    : record.right_bits;
+      const unsigned other_bits = record.under_is_left ? record.right_bits
+                                                       : record.left_bits;
+      const std::uint64_t mine = ElkTree::contribution(
+          under->second.key, node->second.key, record.under_is_left, my_bits);
+      const std::uint64_t other =
+          record.ciphertext ^
+          ElkTree::pad(under->second.key, record.node, record.new_version, other_bits);
+      const std::uint64_t left = record.under_is_left ? mine : other;
+      const std::uint64_t right = record.under_is_left ? other : mine;
+      const auto candidate = ElkTree::combine(node->second.key, left, right);
+      if (ElkTree::check_value(candidate) != record.check) continue;  // garbled
+
+      node->second = {candidate, record.new_version};
+      ++updated;
+      progressed = true;
+    }
+  }
+  return updated;
+}
+
+void ElkMember::apply_refresh() {
+  for (auto& [id, key] : keys_) {
+    key.key = ElkTree::refresh(key.key);
+    ++key.version;
+  }
+}
+
+std::optional<crypto::VersionedKey> ElkMember::lookup(crypto::KeyId id) const {
+  const auto it = keys_.find(crypto::raw(id));
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ElkMember::holds(crypto::KeyId id, std::uint32_t version) const {
+  const auto it = keys_.find(crypto::raw(id));
+  return it != keys_.end() && it->second.version == version;
+}
+
+}  // namespace gk::elk

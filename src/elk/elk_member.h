@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "elk/elk_message.h"
+#include "elk/elk_tree.h"
+#include "workload/member.h"
+
+namespace gk::elk {
+
+/// An ELK member: holds its path keys (leaf to root, like LKH), applies the
+/// interval refresh locally, and reconstructs replacement keys from its own
+/// contribution plus the broadcast half.
+class ElkMember {
+ public:
+  ElkMember(workload::MemberId owner, std::vector<ElkTree::PathKey> grant);
+
+  /// Replace the whole path (registration or post-split re-grant).
+  void re_grant(std::vector<ElkTree::PathKey> grant);
+
+  /// Consume one operation's contributions; returns keys updated.
+  std::size_t process(const ElkRekeyMessage& message);
+
+  /// Mirror the server's interval refresh over every held key.
+  void apply_refresh();
+
+  [[nodiscard]] std::optional<crypto::VersionedKey> lookup(crypto::KeyId id) const;
+  [[nodiscard]] bool holds(crypto::KeyId id, std::uint32_t version) const;
+  [[nodiscard]] workload::MemberId owner() const noexcept { return owner_; }
+
+ private:
+  workload::MemberId owner_;
+  std::unordered_map<std::uint64_t, crypto::VersionedKey> keys_;
+};
+
+}  // namespace gk::elk

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/key.h"
+
+namespace gk::elk {
+
+/// One node-key update of ELK's departure protocol [PST01]: the *other*
+/// side's contribution, encrypted under the receiving side's child key.
+///
+/// ELK's bandwidth edge over LKH comes from these being a few *bits* each
+/// (n1/n2-bit contributions) rather than whole wrapped keys; `bits` is the
+/// ciphertext width. A 32-bit verification tag of the resulting key lets
+/// receivers confirm the combination.
+struct Contribution {
+  crypto::KeyId node{};             ///< the key being updated
+  std::uint32_t new_version = 0;
+  crypto::KeyId under{};            ///< child key the ciphertext is bound to
+  std::uint32_t under_version = 0;
+  bool under_is_left = false;       ///< which side `under` is
+  std::uint8_t left_bits = 0;       ///< n1: width of the left contribution
+  std::uint8_t right_bits = 0;      ///< n2: width of the right contribution
+  std::uint64_t ciphertext = 0;     ///< the other side's contribution, encrypted
+  std::uint32_t check = 0;          ///< verification tag of the new key
+};
+
+/// The multicast payload of one ELK epoch: per-operation contribution
+/// records. Joins and the periodic interval refresh cost nothing here —
+/// that is ELK's design point.
+struct ElkRekeyMessage {
+  std::uint64_t epoch = 0;
+  crypto::KeyId group_key_id{};
+  std::uint32_t group_key_version = 0;
+  std::vector<Contribution> contributions;
+
+  /// Total payload bits (ELK's own bandwidth metric).
+  [[nodiscard]] std::size_t payload_bits() const noexcept {
+    std::size_t bits = 0;
+    for (const auto& c : contributions)
+      bits += c.under_is_left ? c.right_bits : c.left_bits;
+    return bits;
+  }
+};
+
+}  // namespace gk::elk

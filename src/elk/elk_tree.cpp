@@ -1,0 +1,266 @@
+#include "elk/elk_tree.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/ensure.h"
+#include "crypto/kdf.h"
+
+namespace gk::elk {
+
+namespace {
+
+std::uint64_t low64(const crypto::Key128& key) noexcept {
+  std::uint64_t v = 0;
+  const auto bytes = key.bytes();
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t mask_bits(std::uint64_t v, unsigned bits) noexcept {
+  if (bits == 0) return 0;
+  if (bits >= 64) return v;
+  return v & ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace
+
+struct ElkTree::Node {
+  crypto::KeyId id{};
+  crypto::VersionedKey key;
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;  // 0..2
+  std::optional<workload::MemberId> member;
+  std::size_t leaf_count = 0;
+
+  [[nodiscard]] bool is_leaf() const noexcept { return member.has_value(); }
+};
+
+ElkTree::ElkTree(Rng rng, unsigned left_bits, unsigned right_bits,
+                 std::shared_ptr<lkh::IdAllocator> ids)
+    : rng_(rng), left_bits_(left_bits), right_bits_(right_bits),
+      ids_(ids ? std::move(ids) : lkh::IdAllocator::create()) {
+  GK_ENSURE(left_bits_ >= 1 && left_bits_ <= 64);
+  GK_ENSURE(right_bits_ <= 64);
+  root_ = std::make_unique<Node>();
+  root_->id = ids_->next();
+  root_->key = {crypto::Key128::random(rng_), 0};
+}
+
+ElkTree::~ElkTree() = default;
+ElkTree::ElkTree(ElkTree&&) noexcept = default;
+ElkTree& ElkTree::operator=(ElkTree&&) noexcept = default;
+
+crypto::Key128 ElkTree::refresh(const crypto::Key128& key) {
+  return crypto::derive_key(key, "elk-refresh");
+}
+
+std::uint64_t ElkTree::contribution(const crypto::Key128& child_key,
+                                    const crypto::Key128& old_parent, bool left,
+                                    unsigned bits) {
+  const auto derived =
+      crypto::derive_key(child_key, left ? "elk-cl" : "elk-cr", low64(old_parent));
+  return mask_bits(low64(derived), bits);
+}
+
+crypto::Key128 ElkTree::combine(const crypto::Key128& old_parent,
+                                std::uint64_t left_contribution,
+                                std::uint64_t right_contribution) {
+  const auto mid = crypto::derive_key(old_parent, "elk-kl", left_contribution);
+  return crypto::derive_key(mid, "elk-kr", right_contribution);
+}
+
+std::uint64_t ElkTree::pad(const crypto::Key128& child_key, crypto::KeyId node,
+                           std::uint32_t new_version, unsigned bits) {
+  const std::uint64_t context =
+      crypto::raw(node) * 0x9e3779b97f4a7c15ULL + new_version;
+  return mask_bits(low64(crypto::derive_key(child_key, "elk-pad", context)), bits);
+}
+
+std::uint32_t ElkTree::check_value(const crypto::Key128& key) {
+  return static_cast<std::uint32_t>(low64(crypto::derive_key(key, "elk-check")));
+}
+
+bool ElkTree::contains(workload::MemberId member) const noexcept {
+  return leaves_.count(workload::raw(member)) != 0;
+}
+
+ElkTree::Node* ElkTree::locate(workload::MemberId member) const {
+  const auto it = leaves_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != leaves_.end(),
+                "member " << workload::raw(member) << " not in ELK tree");
+  return it->second;
+}
+
+ElkTree::Node* ElkTree::lightest_leaf(Node* node) noexcept {
+  while (!node->is_leaf()) {
+    Node* lightest = node->children.front().get();
+    for (const auto& child : node->children)
+      if (child->leaf_count < lightest->leaf_count) lightest = child.get();
+    node = lightest;
+  }
+  return node;
+}
+
+void ElkTree::join(workload::MemberId member) {
+  GK_ENSURE_MSG(!contains(member),
+                "member " << workload::raw(member) << " already in ELK tree");
+  // relocated() must stay readable after end_epoch() (callers issue the
+  // re-grants then); reset it as the next epoch's joins begin.
+  if (relocated_epoch_ != epoch_) {
+    relocated_.clear();
+    relocated_epoch_ = epoch_;
+  }
+
+  auto leaf = std::make_unique<Node>();
+  leaf->id = ids_->next();
+  leaf->key = {crypto::Key128::random(rng_), 0};
+  leaf->member = member;
+  leaf->leaf_count = 1;
+  Node* leaf_raw = leaf.get();
+
+  if (root_->children.size() < 2) {
+    leaf->parent = root_.get();
+    root_->children.push_back(std::move(leaf));
+  } else {
+    Node* split = lightest_leaf(root_.get());
+    const auto split_member = *split->member;
+    Node* parent = split->parent;
+    auto slot = std::find_if(
+        parent->children.begin(), parent->children.end(),
+        [split](const std::unique_ptr<Node>& c) { return c.get() == split; });
+    GK_ENSURE(slot != parent->children.end());
+
+    auto interior = std::make_unique<Node>();
+    interior->id = ids_->next();
+    interior->key = {crypto::Key128::random(rng_), 0};
+    interior->parent = parent;
+    interior->leaf_count = 1;
+    auto owned_split = std::move(*slot);
+    owned_split->parent = interior.get();
+    leaf->parent = interior.get();
+    interior->children.push_back(std::move(owned_split));
+    interior->children.push_back(std::move(leaf));
+    *slot = std::move(interior);
+    // The split member gains a path node it cannot derive: re-grant it.
+    relocated_.push_back(split_member);
+  }
+
+  leaves_.emplace(workload::raw(member), leaf_raw);
+  for (Node* cursor = leaf_raw->parent; cursor != nullptr; cursor = cursor->parent)
+    ++cursor->leaf_count;
+  // No broadcast: backward confidentiality comes from the interval refresh
+  // at end_epoch(), after which the newcomer's grant is issued.
+}
+
+void ElkTree::rekey_upward(Node* from, ElkRekeyMessage& out) {
+  for (Node* node = from; node != nullptr; node = node->parent) {
+    GK_ENSURE(!node->children.empty());
+    const crypto::Key128 old_key = node->key.key;
+    Node* left = node->children.front().get();
+    Node* right = node->children.size() > 1 ? node->children.back().get() : nullptr;
+
+    const std::uint64_t cl =
+        contribution(left->key.key, old_key, true, left_bits_);
+    const std::uint64_t cr =
+        right != nullptr ? contribution(right->key.key, old_key, false, right_bits_)
+                         : 0;
+    node->key.key = combine(old_key, cl, cr);
+    ++node->key.version;
+    const std::uint32_t check = check_value(node->key.key);
+
+    // Left side receives the right contribution under the left child key.
+    Contribution to_left;
+    to_left.node = node->id;
+    to_left.new_version = node->key.version;
+    to_left.under = left->id;
+    to_left.under_version = left->key.version;
+    to_left.under_is_left = true;
+    to_left.left_bits = static_cast<std::uint8_t>(left_bits_);
+    to_left.right_bits = static_cast<std::uint8_t>(right != nullptr ? right_bits_ : 0);
+    to_left.ciphertext =
+        cr ^ pad(left->key.key, node->id, node->key.version,
+                 right != nullptr ? right_bits_ : 0);
+    to_left.check = check;
+    out.contributions.push_back(to_left);
+
+    if (right != nullptr) {
+      Contribution to_right = to_left;
+      to_right.under = right->id;
+      to_right.under_version = right->key.version;
+      to_right.under_is_left = false;
+      to_right.ciphertext =
+          cl ^ pad(right->key.key, node->id, node->key.version, left_bits_);
+      out.contributions.push_back(to_right);
+    }
+  }
+}
+
+void ElkTree::leave(workload::MemberId member, ElkRekeyMessage& out) {
+  Node* leaf = locate(member);
+  Node* parent = leaf->parent;
+  GK_ENSURE(parent != nullptr);
+  leaves_.erase(workload::raw(member));
+  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent)
+    --cursor->leaf_count;
+
+  auto slot = std::find_if(
+      parent->children.begin(), parent->children.end(),
+      [leaf](const std::unique_ptr<Node>& c) { return c.get() == leaf; });
+  GK_ENSURE(slot != parent->children.end());
+  parent->children.erase(slot);
+
+  Node* rekey_from = parent;
+  if (parent != root_.get() && parent->children.size() == 1) {
+    // Splice: promote the surviving child into the parent's slot.
+    Node* grandparent = parent->parent;
+    auto parent_slot = std::find_if(
+        grandparent->children.begin(), grandparent->children.end(),
+        [parent](const std::unique_ptr<Node>& c) { return c.get() == parent; });
+    GK_ENSURE(parent_slot != grandparent->children.end());
+    auto promoted = std::move(parent->children.front());
+    promoted->parent = grandparent;
+    *parent_slot = std::move(promoted);
+    rekey_from = grandparent;
+  }
+  if (root_->children.empty()) {
+    // Group emptied: retire the root key quietly.
+    root_->key.key = crypto::Key128::random(rng_);
+    ++root_->key.version;
+    out.group_key_id = root_->id;
+    out.group_key_version = root_->key.version;
+    return;
+  }
+
+  rekey_upward(rekey_from, out);
+  out.group_key_id = root_->id;
+  out.group_key_version = root_->key.version;
+  out.epoch = epoch_;
+}
+
+void ElkTree::end_epoch() {
+  // One-way refresh of every key; members mirror this locally at zero
+  // multicast cost (ELK's broadcast-free joins).
+  struct Walker {
+    static void run(Node* node) {
+      node->key.key = ElkTree::refresh(node->key.key);
+      ++node->key.version;
+      for (auto& child : node->children) run(child.get());
+    }
+  };
+  Walker::run(root_.get());
+  ++epoch_;
+}
+
+std::vector<ElkTree::PathKey> ElkTree::grant_for(workload::MemberId member) const {
+  std::vector<PathKey> path;
+  for (const Node* cursor = locate(member); cursor != nullptr; cursor = cursor->parent)
+    path.push_back({cursor->id, cursor->key});
+  return path;
+}
+
+crypto::KeyId ElkTree::root_id() const noexcept { return root_->id; }
+
+crypto::VersionedKey ElkTree::group_key() const { return root_->key; }
+
+}  // namespace gk::elk

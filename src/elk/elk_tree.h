@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key.h"
+#include "elk/elk_message.h"
+#include "lkh/ids.h"
+#include "workload/member.h"
+
+namespace gk::elk {
+
+/// ELK key server [PST01] — the third hierarchical scheme the paper names
+/// alongside LKH and OFT.
+///
+/// A binary key tree where:
+///  * **joins are broadcast-free**: the newcomer is granted its path keys
+///    over the registration unicast channel, and every key in the tree is
+///    advanced through a one-way *refresh* at the next interval boundary,
+///    so the newcomer cannot unwind to earlier keys;
+///  * **departures are cheap**: each ancestor's replacement key is built
+///    from two small *contributions* derived from its children's (current)
+///    keys; each side of the tree only needs the other side's n-bit
+///    contribution, encrypted under its own child key — a few bits per
+///    node versus whole wrapped keys in LKH.
+///
+/// Like OFT, ELK is a per-operation protocol: leave() emits its own
+/// message, and end_epoch() applies the interval refresh (cost: zero
+/// multicast).
+class ElkTree {
+ public:
+  /// n1/n2 contribution widths in bits (the paper's ELK uses e.g. 16+16).
+  ElkTree(Rng rng, unsigned left_bits = 16, unsigned right_bits = 16,
+          std::shared_ptr<lkh::IdAllocator> ids = nullptr);
+  ~ElkTree();
+
+  ElkTree(ElkTree&&) noexcept;
+  ElkTree& operator=(ElkTree&&) noexcept;
+  ElkTree(const ElkTree&) = delete;
+  ElkTree& operator=(const ElkTree&) = delete;
+
+  /// Stage a join. Broadcast-free; the grant is issued by grant_for()
+  /// *after* the next end_epoch() (ELK admits members at interval
+  /// boundaries, post-refresh). Splitting an existing leaf re-grants the
+  /// split member too (see relocated()).
+  void join(workload::MemberId member);
+
+  /// Immediate departure: emits this operation's contributions.
+  void leave(workload::MemberId member, ElkRekeyMessage& out);
+
+  /// Interval boundary: one-way refresh of every key (no message); the
+  /// epoch counter advances. Members apply the same refresh locally.
+  void end_epoch();
+
+  /// Unicast grant: the member's current path, leaf first, root last.
+  struct PathKey {
+    crypto::KeyId id{};
+    crypto::VersionedKey key;
+  };
+  [[nodiscard]] std::vector<PathKey> grant_for(workload::MemberId member) const;
+
+  /// Members whose leaf moved (their leaf was split by a join) since the
+  /// last end_epoch(); they need re-granting.
+  [[nodiscard]] const std::vector<workload::MemberId>& relocated() const noexcept {
+    return relocated_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return leaves_.size(); }
+  [[nodiscard]] bool contains(workload::MemberId member) const noexcept;
+  [[nodiscard]] crypto::KeyId root_id() const noexcept;
+  [[nodiscard]] crypto::VersionedKey group_key() const;
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- The ELK key schedule, shared with the member side. ---
+  /// One-way interval refresh.
+  [[nodiscard]] static crypto::Key128 refresh(const crypto::Key128& key);
+  /// A child's contribution to its parent's replacement key.
+  [[nodiscard]] static std::uint64_t contribution(const crypto::Key128& child_key,
+                                                  const crypto::Key128& old_parent,
+                                                  bool left, unsigned bits);
+  /// Replacement parent key from the old key and both contributions.
+  [[nodiscard]] static crypto::Key128 combine(const crypto::Key128& old_parent,
+                                              std::uint64_t left_contribution,
+                                              std::uint64_t right_contribution);
+  /// Keystream pad binding a ciphertext to (child key, node, version).
+  [[nodiscard]] static std::uint64_t pad(const crypto::Key128& child_key,
+                                         crypto::KeyId node, std::uint32_t new_version,
+                                         unsigned bits);
+  /// 32-bit verification tag of a key.
+  [[nodiscard]] static std::uint32_t check_value(const crypto::Key128& key);
+
+ private:
+  struct Node;
+
+  Node* locate(workload::MemberId member) const;
+  static Node* lightest_leaf(Node* node) noexcept;
+  void rekey_upward(Node* from, ElkRekeyMessage& out);
+
+  Rng rng_;
+  unsigned left_bits_;
+  unsigned right_bits_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<std::uint64_t, Node*> leaves_;
+  std::vector<workload::MemberId> relocated_;
+  std::uint64_t relocated_epoch_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gk::elk

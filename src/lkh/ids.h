@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/key.h"
+
+namespace gk::lkh {
+
+/// Allocates logical-key-node ids that are unique across every key tree of
+/// one key server. Composite schemes (two-partition, loss-homogenized)
+/// run several trees under one session, so trees share an allocator.
+class IdAllocator {
+ public:
+  [[nodiscard]] crypto::KeyId next() noexcept { return crypto::make_key_id(counter_++); }
+
+  /// Ensure future ids exceed `used` (snapshot restore: ids in the restored
+  /// tree must never be re-issued).
+  void advance_past(std::uint64_t used) noexcept {
+    if (counter_ <= used) counter_ = used + 1;
+  }
+
+  [[nodiscard]] static std::shared_ptr<IdAllocator> create() {
+    return std::make_shared<IdAllocator>();
+  }
+
+ private:
+  std::uint64_t counter_ = 1;  // 0 is reserved as "no key"
+};
+
+}  // namespace gk::lkh

@@ -1,0 +1,69 @@
+#include "lkh/key_queue.h"
+
+#include "common/ensure.h"
+
+namespace gk::lkh {
+
+KeyQueue::KeyQueue(Rng rng, std::shared_ptr<IdAllocator> ids)
+    : rng_(rng), ids_(ids ? std::move(ids) : IdAllocator::create()) {}
+
+KeyQueue::JoinGrant KeyQueue::insert(workload::MemberId member) {
+  GK_ENSURE_MSG(!contains(member),
+                "member " << workload::raw(member) << " already in queue");
+  Entry entry{crypto::Key128::random(rng_), ids_->next()};
+  const JoinGrant grant{entry.key, entry.id};
+  members_.emplace(workload::raw(member), entry);
+  return grant;
+}
+
+void KeyQueue::remove(workload::MemberId member) {
+  const auto erased = members_.erase(workload::raw(member));
+  GK_ENSURE_MSG(erased == 1, "member " << workload::raw(member) << " not in queue");
+}
+
+bool KeyQueue::contains(workload::MemberId member) const noexcept {
+  return members_.count(workload::raw(member)) != 0;
+}
+
+const KeyQueue::Entry& KeyQueue::entry(workload::MemberId member) const {
+  const auto it = members_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != members_.end(), "member " << workload::raw(member) << " not in queue");
+  return it->second;
+}
+
+std::vector<crypto::WrappedKey> KeyQueue::wrap_for_all(const crypto::Key128& payload,
+                                                       crypto::KeyId target_id,
+                                                       std::uint32_t target_version) {
+  std::vector<crypto::WrappedKey> wraps;
+  wraps.reserve(members_.size());
+  for (const auto& [raw_id, entry] : members_)
+    wraps.push_back(crypto::wrap_key(entry.key, entry.id, 0, payload, target_id,
+                                     target_version, rng_));
+  return wraps;
+}
+
+crypto::WrappedKey KeyQueue::wrap_for(workload::MemberId member,
+                                      const crypto::Key128& payload,
+                                      crypto::KeyId target_id,
+                                      std::uint32_t target_version) {
+  const Entry& e = entry(member);
+  return crypto::wrap_key(e.key, e.id, 0, payload, target_id, target_version, rng_);
+}
+
+const crypto::Key128& KeyQueue::individual_key(workload::MemberId member) const {
+  return entry(member).key;
+}
+
+crypto::KeyId KeyQueue::leaf_id(workload::MemberId member) const {
+  return entry(member).id;
+}
+
+std::vector<workload::MemberId> KeyQueue::members() const {
+  std::vector<workload::MemberId> out;
+  out.reserve(members_.size());
+  for (const auto& [raw_id, entry] : members_)
+    out.push_back(workload::make_member_id(raw_id));
+  return out;
+}
+
+}  // namespace gk::lkh

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "lkh/ids.h"
+#include "workload/member.h"
+
+namespace gk::lkh {
+
+/// The QT-scheme's S-partition: a flat "queue" of members who hold only
+/// their individual key and the session group key (Section 3.2).
+///
+/// Joining costs one key (the group key); the price is paid on departure,
+/// when a replacement group key must be wrapped individually for every
+/// queue resident. The two-partition server trades these against each
+/// other based on how many short-lived members it expects.
+class KeyQueue {
+ public:
+  explicit KeyQueue(Rng rng, std::shared_ptr<IdAllocator> ids = nullptr);
+
+  struct JoinGrant {
+    crypto::Key128 individual_key;
+    crypto::KeyId leaf_id{};
+  };
+  /// Register a member. No multicast cost; the grant travels on the
+  /// registration unicast channel.
+  JoinGrant insert(workload::MemberId member);
+
+  /// Deregister a member (departure or migration to the L-partition).
+  void remove(workload::MemberId member);
+
+  /// Wrap `payload` under every resident's individual key — the queue's
+  /// whole-partition rekey primitive (cost == size()).
+  [[nodiscard]] std::vector<crypto::WrappedKey> wrap_for_all(
+      const crypto::Key128& payload, crypto::KeyId target_id,
+      std::uint32_t target_version);
+
+  /// Wrap `payload` for a single resident (cost 1).
+  [[nodiscard]] crypto::WrappedKey wrap_for(workload::MemberId member,
+                                            const crypto::Key128& payload,
+                                            crypto::KeyId target_id,
+                                            std::uint32_t target_version);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] bool contains(workload::MemberId member) const noexcept;
+  [[nodiscard]] const crypto::Key128& individual_key(workload::MemberId member) const;
+  [[nodiscard]] crypto::KeyId leaf_id(workload::MemberId member) const;
+  [[nodiscard]] std::vector<workload::MemberId> members() const;
+
+ private:
+  struct Entry {
+    crypto::Key128 key;
+    crypto::KeyId id{};
+  };
+  const Entry& entry(workload::MemberId member) const;
+
+  Rng rng_;
+  std::shared_ptr<IdAllocator> ids_;
+  std::unordered_map<std::uint64_t, Entry> members_;
+};
+
+}  // namespace gk::lkh

@@ -1,0 +1,71 @@
+#include "lkh/key_ring.h"
+
+namespace gk::lkh {
+
+KeyRing::KeyRing(workload::MemberId owner, crypto::KeyId leaf_id,
+                 crypto::Key128 individual_key)
+    : owner_(owner), leaf_id_(leaf_id) {
+  keys_.emplace(crypto::raw(leaf_id), crypto::VersionedKey{individual_key, 0});
+}
+
+void KeyRing::grant(crypto::KeyId id, const crypto::VersionedKey& key) {
+  keys_[crypto::raw(id)] = key;
+}
+
+bool KeyRing::try_unwrap(const crypto::WrappedKey& wrap) {
+  const auto kek_it = keys_.find(crypto::raw(wrap.wrapping_id));
+  if (kek_it == keys_.end()) return false;
+  // A stale KEK version cannot decrypt (the MAC would fail); skip cheaply.
+  if (kek_it->second.version != wrap.wrapping_version) return false;
+
+  const auto existing = keys_.find(crypto::raw(wrap.target_id));
+  if (existing != keys_.end() && existing->second.version >= wrap.target_version)
+    return false;  // already have this or newer
+
+  const auto payload = crypto::unwrap_key(kek_it->second.key, wrap);
+  if (!payload.has_value()) return false;
+  keys_[crypto::raw(wrap.target_id)] = {*payload, wrap.target_version};
+  return true;
+}
+
+std::size_t KeyRing::process(std::span<const crypto::WrappedKey> wraps) {
+  std::size_t learned = 0;
+  bool progressed = true;
+  // Fixed point: each pass can unlock wraps whose KEK arrived "later" in
+  // the span. Terminates because each success strictly advances a version.
+  while (progressed) {
+    progressed = false;
+    for (const auto& wrap : wraps) {
+      if (try_unwrap(wrap)) {
+        ++learned;
+        progressed = true;
+      }
+    }
+  }
+  return learned;
+}
+
+std::size_t KeyRing::process(const RekeyMessage& message) {
+  return process(std::span<const crypto::WrappedKey>(message.wraps));
+}
+
+std::optional<crypto::VersionedKey> KeyRing::lookup(crypto::KeyId id) const {
+  const auto it = keys_.find(crypto::raw(id));
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KeyRing::holds(crypto::KeyId id, std::uint32_t version) const {
+  const auto it = keys_.find(crypto::raw(id));
+  return it != keys_.end() && it->second.version == version;
+}
+
+bool KeyRing::wants(const crypto::WrappedKey& wrap) const {
+  const auto kek_it = keys_.find(crypto::raw(wrap.wrapping_id));
+  if (kek_it == keys_.end() || kek_it->second.version != wrap.wrapping_version)
+    return false;
+  const auto existing = keys_.find(crypto::raw(wrap.target_id));
+  return existing == keys_.end() || existing->second.version < wrap.target_version;
+}
+
+}  // namespace gk::lkh

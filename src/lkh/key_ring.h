@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "lkh/rekey_message.h"
+#include "workload/member.h"
+
+namespace gk::lkh {
+
+/// A member's view of the key hierarchy: its individual key plus every
+/// KEK it has successfully unwrapped from rekey messages.
+///
+/// The ring is deliberately server-structure-agnostic — it knows node ids,
+/// not tree shapes — so the same class serves members of plain LKH trees,
+/// QT queues, and every composite scheme. process() iterates to a fixed
+/// point, so wraps may arrive in any order (multicast packets are not
+/// ordered) and chains resolve regardless.
+class KeyRing {
+ public:
+  KeyRing(workload::MemberId owner, crypto::KeyId leaf_id, crypto::Key128 individual_key);
+
+  /// Install a key received over the registration unicast channel.
+  void grant(crypto::KeyId id, const crypto::VersionedKey& key);
+
+  /// Attempt to unwrap every wrap; returns how many new/updated keys were
+  /// learned. Safe to call with messages that are mostly irrelevant to
+  /// this member (failed MACs are simply skipped).
+  std::size_t process(const RekeyMessage& message);
+  std::size_t process(std::span<const crypto::WrappedKey> wraps);
+
+  [[nodiscard]] std::optional<crypto::VersionedKey> lookup(crypto::KeyId id) const;
+
+  /// True if the ring holds `id` at exactly `version`.
+  [[nodiscard]] bool holds(crypto::KeyId id, std::uint32_t version) const;
+
+  /// True if this wrap could advance the ring: we hold the wrapping key at
+  /// the right version and do not yet hold the target at its version.
+  /// The transport layer uses this as the receiver's "key of interest"
+  /// predicate (the sparseness property of rekey payloads, Section 2.2).
+  [[nodiscard]] bool wants(const crypto::WrappedKey& wrap) const;
+
+  [[nodiscard]] workload::MemberId owner() const noexcept { return owner_; }
+  [[nodiscard]] crypto::KeyId leaf_id() const noexcept { return leaf_id_; }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+
+ private:
+  bool try_unwrap(const crypto::WrappedKey& wrap);
+
+  workload::MemberId owner_;
+  crypto::KeyId leaf_id_;
+  std::unordered_map<std::uint64_t, crypto::VersionedKey> keys_;
+};
+
+}  // namespace gk::lkh

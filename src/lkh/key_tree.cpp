@@ -1,0 +1,330 @@
+#include "lkh/key_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/ensure.h"
+#include "crypto/keywrap.h"
+#include "lkh/key_tree_node.h"
+
+namespace gk::lkh {
+
+namespace {
+
+void raise_mark(Mark& mark, Mark to) noexcept {
+  if (static_cast<std::uint8_t>(to) > static_cast<std::uint8_t>(mark)) mark = to;
+}
+
+}  // namespace
+
+KeyTree::KeyTree(unsigned degree, Rng rng, std::shared_ptr<IdAllocator> ids)
+    : degree_(degree), rng_(rng), ids_(ids ? std::move(ids) : IdAllocator::create()) {
+  GK_ENSURE(degree_ >= 2);
+  root_ = std::make_unique<Node>();
+  root_->id = ids_->next();
+  root_->key = {crypto::Key128::random(rng_), 0};
+}
+
+KeyTree::~KeyTree() = default;
+KeyTree::KeyTree(KeyTree&&) noexcept = default;
+KeyTree& KeyTree::operator=(KeyTree&&) noexcept = default;
+
+bool KeyTree::contains(workload::MemberId member) const noexcept {
+  return leaves_.count(workload::raw(member)) != 0;
+}
+
+KeyTree::Node* KeyTree::locate(workload::MemberId member) const {
+  const auto it = leaves_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != leaves_.end(), "member " << workload::raw(member) << " not in tree");
+  return it->second;
+}
+
+KeyTree::Node* KeyTree::choose_insert_parent() {
+  // Refill slots vacated by this batch's departures first: their paths are
+  // already dirty, so the join is (nearly) free in multicast cost.
+  while (!vacancies_.empty()) {
+    Node* candidate = vacancies_.back();
+    vacancies_.pop_back();
+    if (candidate->children.size() < degree_) return candidate;
+  }
+
+  Node* node = root_.get();
+  while (true) {
+    if (node->children.size() < degree_) return node;
+    // Full fan-out: descend into the lightest subtree to keep the tree
+    // balanced without global rebuilds.
+    Node* lightest = nullptr;
+    for (const auto& child : node->children)
+      if (lightest == nullptr || child->leaf_count < lightest->leaf_count)
+        lightest = child.get();
+    if (!lightest->is_leaf()) {
+      node = lightest;
+      continue;
+    }
+    // The lightest child is a leaf in a full node: grow downward by
+    // splitting the leaf under a fresh interior node.
+    auto interior = std::make_unique<Node>();
+    Node* interior_raw = interior.get();
+    interior->id = ids_->next();
+    interior->key = {crypto::Key128::random(rng_), 0};
+    interior->mark = Mark::kNew;
+    interior->parent = node;
+    interior->leaf_count = 1;
+
+    auto owned_leaf = std::move(*std::find_if(
+        node->children.begin(), node->children.end(),
+        [lightest](const std::unique_ptr<Node>& c) { return c.get() == lightest; }));
+    auto slot = std::find_if(node->children.begin(), node->children.end(),
+                             [](const std::unique_ptr<Node>& c) { return c == nullptr; });
+    owned_leaf->parent = interior_raw;
+    interior->children.push_back(std::move(owned_leaf));
+    *slot = std::move(interior);
+    return interior_raw;
+  }
+}
+
+void KeyTree::mark_path(Node* node, int level) {
+  const auto mark = static_cast<Mark>(level);
+  for (Node* cursor = node; cursor != nullptr; cursor = cursor->parent)
+    raise_mark(cursor->mark, mark);
+}
+
+KeyTree::JoinGrant KeyTree::insert(workload::MemberId member) {
+  return insert_with_key(member, crypto::Key128::random(rng_));
+}
+
+KeyTree::JoinGrant KeyTree::insert_with_key(workload::MemberId member,
+                                            const crypto::Key128& key) {
+  GK_ENSURE_MSG(!contains(member), "member " << workload::raw(member) << " already joined");
+
+  Node* parent = choose_insert_parent();
+
+  auto leaf = std::make_unique<Node>();
+  leaf->id = ids_->next();
+  leaf->key = {key, 0};
+  leaf->member = member;
+  leaf->new_leaf = true;
+  leaf->leaf_count = 1;
+  leaf->parent = parent;
+  Node* leaf_raw = leaf.get();
+  parent->children.push_back(std::move(leaf));
+  leaves_.emplace(workload::raw(member), leaf_raw);
+
+  // A parent that had no members cannot use the wrap-under-old-key
+  // optimization (nobody holds its old key) — mark it as newly keyed.
+  raise_mark(parent->mark,
+             parent->leaf_count == 0 ? Mark::kNew : Mark::kJoin);
+  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent) {
+    ++cursor->leaf_count;
+    if (cursor != parent) raise_mark(cursor->mark, Mark::kJoin);
+  }
+
+  return {leaf_raw->key.key, leaf_raw->id};
+}
+
+void KeyTree::forget_vacancy(Node* node) noexcept {
+  vacancies_.erase(std::remove(vacancies_.begin(), vacancies_.end(), node),
+                   vacancies_.end());
+}
+
+void KeyTree::splice_if_degenerate(Node* node) {
+  // Collapse chains left behind by departures so the tree stays compact:
+  // an interior node with a single child is replaced by that child; an
+  // empty interior node is deleted. The root is special — it anchors the
+  // tree-wide key id — so instead of being replaced it absorbs a lone
+  // interior child's children.
+  while (node != nullptr && node != root_.get() && !node->is_leaf()) {
+    Node* parent = node->parent;
+    auto self = std::find_if(parent->children.begin(), parent->children.end(),
+                             [node](const std::unique_ptr<Node>& c) { return c.get() == node; });
+    GK_ENSURE(self != parent->children.end());
+    if (node->children.empty()) {
+      forget_vacancy(node);
+      parent->children.erase(self);
+    } else if (node->children.size() == 1) {
+      forget_vacancy(node);
+      auto orphan = std::move(node->children.front());
+      orphan->parent = parent;
+      *self = std::move(orphan);
+    } else {
+      return;
+    }
+    node = parent;
+  }
+  if (node == root_.get() && root_->children.size() == 1 &&
+      !root_->children.front()->is_leaf()) {
+    forget_vacancy(root_->children.front().get());
+    auto lone = std::move(root_->children.front());
+    root_->children.clear();
+    for (auto& grandchild : lone->children) {
+      grandchild->parent = root_.get();
+      root_->children.push_back(std::move(grandchild));
+    }
+  }
+}
+
+void KeyTree::remove(workload::MemberId member) {
+  Node* leaf = locate(member);
+  Node* parent = leaf->parent;
+  GK_ENSURE(parent != nullptr);
+
+  leaves_.erase(workload::raw(member));
+  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent) {
+    GK_ENSURE(cursor->leaf_count > 0);
+    --cursor->leaf_count;
+  }
+  auto slot = std::find_if(parent->children.begin(), parent->children.end(),
+                           [leaf](const std::unique_ptr<Node>& c) { return c.get() == leaf; });
+  GK_ENSURE(slot != parent->children.end());
+  parent->children.erase(slot);
+
+  mark_path(parent, static_cast<int>(Mark::kLeave));
+  // Nodes that keep >= 2 children survive splicing and offer a free slot to
+  // this batch's joins; the root always survives.
+  if (parent->children.size() >= 2 || parent == root_.get())
+    vacancies_.push_back(parent);
+  splice_if_degenerate(parent);
+}
+
+bool KeyTree::dirty() const noexcept { return root_->is_dirty(); }
+
+void KeyTree::refresh_dirty(Node* node) {
+  if (!node->is_dirty()) return;
+  for (auto& child : node->children)
+    if (!child->is_leaf()) refresh_dirty(child.get());
+  node->old_key = node->key.key;
+  node->key.key = crypto::Key128::random(rng_);
+  ++node->key.version;
+}
+
+void KeyTree::emit_wraps(Node* node, RekeyMessage& out) {
+  if (!node->is_dirty()) return;
+
+  Rng& rng = rng_;  // nonce source
+
+  if (node->mark == Mark::kJoin) {
+    // One wrap under the node's previous key covers every incumbent...
+    out.wraps.push_back(crypto::wrap_key(node->old_key, node->id, node->key.version - 1,
+                                         node->key.key, node->id, node->key.version, rng));
+    // ...plus chain wraps so arriving members can climb from their leaf.
+    for (const auto& child : node->children) {
+      const bool arriving = child->new_leaf || (!child->is_leaf() && child->is_dirty());
+      if (arriving)
+        out.wraps.push_back(crypto::wrap_key(child->key.key, child->id, child->key.version,
+                                             node->key.key, node->id, node->key.version,
+                                             rng));
+    }
+  } else {
+    // kLeave / kNew: the old key is compromised or nonexistent — wrap under
+    // every surviving child key.
+    for (const auto& child : node->children)
+      out.wraps.push_back(crypto::wrap_key(child->key.key, child->id, child->key.version,
+                                           node->key.key, node->id, node->key.version, rng));
+  }
+
+  for (const auto& child : node->children)
+    if (!child->is_leaf()) emit_wraps(child.get(), out);
+}
+
+RekeyMessage KeyTree::commit(std::uint64_t epoch) {
+  RekeyMessage message;
+  message.epoch = epoch;
+
+  refresh_dirty(root_.get());
+  emit_wraps(root_.get(), message);
+
+  // Reset marks and new-leaf flags across the dirty region.
+  struct Resetter {
+    static void run(Node* node) {
+      node->mark = Mark::kClean;
+      for (auto& child : node->children) {
+        child->new_leaf = false;
+        if (child->is_dirty()) run(child.get());
+      }
+    }
+  };
+  if (root_->is_dirty()) Resetter::run(root_.get());
+  vacancies_.clear();  // vacancy reuse is a same-batch optimization only
+
+  message.group_key_id = root_->id;
+  message.group_key_version = root_->key.version;
+  return message;
+}
+
+KeyTree::OrganizationEstimate KeyTree::estimate_message_organizations() const {
+  OrganizationEstimate estimate;
+  struct Walker {
+    static void run(const Node* node, OrganizationEstimate& out) {
+      if (!node->is_dirty()) return;
+      ++out.key_oriented_messages;
+      if (node->mark == Mark::kJoin) {
+        // Mirrors emit_wraps: one wrap under the old key plus chain wraps.
+        ++out.group_oriented_encryptions;
+        for (const auto& child : node->children)
+          if (child->new_leaf || (!child->is_leaf() && child->is_dirty()))
+            ++out.group_oriented_encryptions;
+      } else {
+        out.group_oriented_encryptions += node->children.size();
+      }
+      // Every member below an updated key needs that key in its
+      // user-oriented message.
+      out.user_oriented_encryptions += node->leaf_count;
+      for (const auto& child : node->children)
+        if (!child->is_leaf()) run(child.get(), out);
+    }
+  };
+  Walker::run(root_.get(), estimate);
+  return estimate;
+}
+
+crypto::KeyId KeyTree::root_id() const noexcept { return root_->id; }
+
+const crypto::VersionedKey& KeyTree::root_key() const noexcept { return root_->key; }
+
+const crypto::Key128& KeyTree::individual_key(workload::MemberId member) const {
+  return locate(member)->key.key;
+}
+
+crypto::KeyId KeyTree::leaf_id(workload::MemberId member) const {
+  return locate(member)->id;
+}
+
+std::vector<crypto::KeyId> KeyTree::path_ids(workload::MemberId member) const {
+  std::vector<crypto::KeyId> path;
+  for (const Node* cursor = locate(member)->parent; cursor != nullptr;
+       cursor = cursor->parent)
+    path.push_back(cursor->id);
+  return path;
+}
+
+std::vector<workload::MemberId> KeyTree::members() const {
+  std::vector<workload::MemberId> out;
+  out.reserve(leaves_.size());
+  for (const auto& [id, node] : leaves_) out.push_back(workload::make_member_id(id));
+  return out;
+}
+
+TreeStats KeyTree::stats() const {
+  TreeStats stats;
+  stats.member_count = leaves_.size();
+  double depth_sum = 0.0;
+
+  std::deque<std::pair<const Node*, unsigned>> queue;
+  queue.emplace_back(root_.get(), 0);
+  while (!queue.empty()) {
+    const auto [node, depth] = queue.front();
+    queue.pop_front();
+    if (node->is_leaf()) {
+      stats.height = std::max(stats.height, depth);
+      depth_sum += depth;
+      continue;
+    }
+    ++stats.node_count;
+    for (const auto& child : node->children) queue.emplace_back(child.get(), depth + 1);
+  }
+  stats.mean_leaf_depth =
+      leaves_.empty() ? 0.0 : depth_sum / static_cast<double>(leaves_.size());
+  return stats;
+}
+
+}  // namespace gk::lkh

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key.h"
+#include "lkh/ids.h"
+#include "lkh/rekey_message.h"
+#include "workload/member.h"
+
+namespace gk::lkh {
+
+/// Per-level occupancy snapshot, for balance diagnostics and tests.
+struct TreeStats {
+  std::size_t member_count = 0;
+  unsigned height = 0;          // edges from root to deepest leaf
+  std::size_t node_count = 0;   // internal nodes incl. root (leaves excluded)
+  double mean_leaf_depth = 0.0;
+};
+
+/// A logical key hierarchy (LKH) maintained by the key server
+/// [WGL98, WHA98].
+///
+/// The tree's root key is the key-encryption key shared by everyone in the
+/// tree; interior nodes are auxiliary KEKs; each leaf is one member's
+/// individual key. Membership changes are *staged* with insert()/remove()
+/// and applied by commit(), which refreshes every compromised or extended
+/// path and returns the batched, group-oriented rekey message
+/// (Section 2.1.1 of the paper). Staging joins and leaves separately lets
+/// composite schemes (two-partition, loss-homogenized) batch migrations
+/// into the same commit.
+///
+/// Cost model: `commit().cost()` counts exactly the encrypted keys a real
+/// server would multicast, which is the unit used throughout the paper's
+/// evaluation.
+class KeyTree {
+ public:
+  /// `degree` is the tree fan-out d >= 2. Trees participating in one
+  /// session share `ids` so wrapped keys never collide across trees.
+  KeyTree(unsigned degree, Rng rng, std::shared_ptr<IdAllocator> ids = nullptr);
+  ~KeyTree();
+
+  KeyTree(KeyTree&&) noexcept;
+  KeyTree& operator=(KeyTree&&) noexcept;
+  KeyTree(const KeyTree&) = delete;
+  KeyTree& operator=(const KeyTree&) = delete;
+
+  /// Stage a join. Returns the member's individual key and its leaf node id
+  /// (delivered over the registration unicast channel in a real system).
+  struct JoinGrant {
+    crypto::Key128 individual_key;
+    crypto::KeyId leaf_id{};
+  };
+  JoinGrant insert(workload::MemberId member);
+
+  /// Stage a join reusing an individual key the member already shares with
+  /// the server (partition migration: the member keeps its registration
+  /// key, so no new unicast is needed and it can immediately unwrap its
+  /// new path from the multicast rekey message).
+  JoinGrant insert_with_key(workload::MemberId member, const crypto::Key128& key);
+
+  /// Stage a departure. The member must be present and not already removed.
+  void remove(workload::MemberId member);
+
+  /// Refresh every key an inserted member must learn or a removed member
+  /// knew, and emit the rekey message. Join-only path segments use the
+  /// "new key wrapped under old key" optimization (one wrap serves all
+  /// incumbents); any segment above a departure wraps per child.
+  [[nodiscard]] RekeyMessage commit(std::uint64_t epoch);
+
+  /// True if any membership change is staged but not committed.
+  [[nodiscard]] bool dirty() const noexcept;
+
+  /// Wong et al [WGL98] define three ways to cut one rekey operation into
+  /// messages; commit() natively emits the group-oriented form (one
+  /// multicast message, each updated key encrypted once per child). This
+  /// estimates, for the *currently staged* batch, what the alternatives
+  /// would cost the server — the classic trade-off the paper builds on:
+  /// user-oriented messages are friendly to receivers but cost the server
+  /// an encryption per (member x updated key on its path).
+  struct OrganizationEstimate {
+    /// Group-oriented: encryptions commit() will emit (= messages: 1).
+    std::size_t group_oriented_encryptions = 0;
+    /// Key-oriented: same per-child encryptions, but one message per
+    /// updated key.
+    std::size_t key_oriented_messages = 0;
+    /// User-oriented: sum over members of updated keys on their path.
+    std::size_t user_oriented_encryptions = 0;
+  };
+  [[nodiscard]] OrganizationEstimate estimate_message_organizations() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return leaves_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return leaves_.empty(); }
+  [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+  [[nodiscard]] bool contains(workload::MemberId member) const noexcept;
+
+  /// Root (tree-wide) key; in a standalone deployment this is the group
+  /// data-encryption key, in a composite scheme it is the partition KEK.
+  [[nodiscard]] crypto::KeyId root_id() const noexcept;
+  [[nodiscard]] const crypto::VersionedKey& root_key() const noexcept;
+
+  /// The member's individual key (server-side record; used by composite
+  /// schemes for unicast-style deliveries in the QT queue and for tests).
+  [[nodiscard]] const crypto::Key128& individual_key(workload::MemberId member) const;
+  [[nodiscard]] crypto::KeyId leaf_id(workload::MemberId member) const;
+
+  /// Node ids on the member's current path, leaf first, root last
+  /// (excluding the leaf's own id). Used by the transport layer to compute
+  /// per-receiver keys-of-interest.
+  [[nodiscard]] std::vector<crypto::KeyId> path_ids(workload::MemberId member) const;
+
+  /// All members currently in the tree (unspecified order).
+  [[nodiscard]] std::vector<workload::MemberId> members() const;
+
+  [[nodiscard]] TreeStats stats() const;
+
+ private:
+  struct Node;
+
+  // Persistence (snapshot.h) reconstructs private state directly.
+  friend std::vector<std::uint8_t> snapshot_tree(const KeyTree& tree);
+  friend KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng);
+  friend struct SnapshotAccess;
+
+  Node* locate(workload::MemberId member) const;
+  Node* choose_insert_parent();
+  void mark_path(Node* node, int level);
+  void refresh_dirty(Node* node);
+  void emit_wraps(Node* node, RekeyMessage& out);
+  void splice_if_degenerate(Node* node);
+  void forget_vacancy(Node* node) noexcept;
+
+  unsigned degree_;
+  Rng rng_;
+  std::shared_ptr<IdAllocator> ids_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<std::uint64_t, Node*> leaves_;  // raw(MemberId) -> leaf
+  /// Interior nodes that lost a leaf in the current batch. Joins staged in
+  /// the same epoch re-fill these slots first (Yang et al's batch marking
+  /// convention): the path is already marked for refresh by the departure,
+  /// so the join adds no extra dirty path.
+  std::vector<Node*> vacancies_;
+};
+
+}  // namespace gk::lkh

@@ -1,0 +1,41 @@
+#pragma once
+
+// Internal header: the KeyTree node representation, shared between
+// key_tree.cpp and snapshot.cpp. Not part of the public API.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/key.h"
+#include "lkh/key_tree.h"
+#include "workload/member.h"
+
+namespace gk::lkh {
+
+/// Dirty-mark lattice. Precedence (kLeave > kNew > kJoin) decides which
+/// emission rule a node uses at commit:
+///  - kJoin:  only joins below — one wrap under the node's *old* key serves
+///            every incumbent, plus chain wraps for arriving members.
+///  - kNew:   node created this epoch — no incumbent holds an old key, wrap
+///            under every child.
+///  - kLeave: a departure below — the old key is compromised, wrap under
+///            every surviving child.
+enum class Mark : std::uint8_t { kClean = 0, kJoin = 1, kNew = 2, kLeave = 3 };
+
+struct KeyTree::Node {
+  crypto::KeyId id{};
+  crypto::VersionedKey key;
+  crypto::Key128 old_key;  // pre-refresh key, valid during commit when mark == kJoin
+  Mark mark = Mark::kClean;
+  bool new_leaf = false;  // leaf inserted in the current (uncommitted) batch
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;
+  std::optional<workload::MemberId> member;
+  std::size_t leaf_count = 0;
+
+  [[nodiscard]] bool is_leaf() const noexcept { return member.has_value(); }
+  [[nodiscard]] bool is_dirty() const noexcept { return mark != Mark::kClean; }
+};
+
+}  // namespace gk::lkh

@@ -1,0 +1,13 @@
+#include "lkh/rekey_message.h"
+
+#include <iterator>
+
+namespace gk::lkh {
+
+void RekeyMessage::append(RekeyMessage&& other) {
+  wraps.insert(wraps.end(), std::make_move_iterator(other.wraps.begin()),
+               std::make_move_iterator(other.wraps.end()));
+  other.wraps.clear();
+}
+
+}  // namespace gk::lkh

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keywrap.h"
+
+namespace gk::lkh {
+
+/// The output of one (batched) rekey operation: the ordered list of wrapped
+/// keys the server must deliver. `wraps.size()` is exactly the paper's cost
+/// metric, "number of encrypted keys".
+///
+/// Wraps are emitted top-down (root first); a receiver that processes them
+/// in order can decrypt each wrap as soon as it appears, but the member-side
+/// KeyRing also handles arbitrary order (packets arrive shuffled) by
+/// iterating to a fixed point.
+struct RekeyMessage {
+  /// Rekey epoch this message belongs to.
+  std::uint64_t epoch = 0;
+  /// Node id of the session data-encryption key after this rekey.
+  crypto::KeyId group_key_id{};
+  /// Version of the group key after this rekey.
+  std::uint32_t group_key_version = 0;
+  std::vector<crypto::WrappedKey> wraps;
+
+  [[nodiscard]] std::size_t cost() const noexcept { return wraps.size(); }
+
+  /// Concatenate another message's wraps (composite schemes emit per-tree
+  /// messages and merge them).
+  void append(RekeyMessage&& other);
+};
+
+}  // namespace gk::lkh

@@ -1,0 +1,151 @@
+#include "lkh/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/ensure.h"
+
+// The snapshot format is a pre-order walk of the tree:
+//
+//   magic "GKT1" | u32 degree | nodes...
+//   node := u8 kind ('L' leaf | 'I' interior)
+//           u64 id | u32 key-version | 16-byte key
+//           leaf:     u64 member id
+//           interior: u32 child count | children...
+//
+// All integers little-endian.
+
+#include "lkh/key_tree_node.h"
+
+namespace gk::lkh {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    GK_ENSURE_MSG(offset_ + 1 <= bytes_.size(), "snapshot truncated");
+    return bytes_[offset_++];
+  }
+  std::uint32_t u32() {
+    GK_ENSURE_MSG(offset_ + 4 <= bytes_.size(), "snapshot truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    GK_ENSURE_MSG(offset_ + 8 <= bytes_.size(), "snapshot truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+  crypto::Key128 key() {
+    GK_ENSURE_MSG(offset_ + crypto::Key128::kSize <= bytes_.size(),
+                  "snapshot truncated");
+    std::array<std::uint8_t, crypto::Key128::kSize> raw;
+    std::memcpy(raw.data(), bytes_.data() + offset_, raw.size());
+    offset_ += raw.size();
+    return crypto::Key128(raw);
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+/// Friend of KeyTree: the recursive (de)serializers over private nodes.
+struct SnapshotAccess {
+  static void write_node(std::vector<std::uint8_t>& out, const KeyTree::Node& node) {
+    out.push_back(node.is_leaf() ? 'L' : 'I');
+    put_u64(out, crypto::raw(node.id));
+    put_u32(out, node.key.version);
+    out.insert(out.end(), node.key.key.bytes().begin(), node.key.key.bytes().end());
+    if (node.is_leaf()) {
+      put_u64(out, workload::raw(*node.member));
+      return;
+    }
+    put_u32(out, static_cast<std::uint32_t>(node.children.size()));
+    for (const auto& child : node.children) write_node(out, *child);
+  }
+
+  struct RestoreContext {
+    std::unordered_map<std::uint64_t, KeyTree::Node*>* leaves;
+    std::uint64_t max_id = 0;
+    unsigned degree = 0;
+  };
+
+  static std::unique_ptr<KeyTree::Node> read_node(Reader& in, KeyTree::Node* parent,
+                                                  RestoreContext& ctx, unsigned depth) {
+    GK_ENSURE_MSG(depth < 64, "snapshot nesting too deep");
+    auto node = std::make_unique<KeyTree::Node>();
+    const auto kind = in.u8();
+    GK_ENSURE_MSG(kind == 'L' || kind == 'I', "snapshot corrupt: bad node kind");
+    node->parent = parent;
+    node->id = crypto::make_key_id(in.u64());
+    ctx.max_id = std::max(ctx.max_id, crypto::raw(node->id));
+    node->key.version = in.u32();
+    node->key.key = in.key();
+
+    if (kind == 'L') {
+      node->member = workload::make_member_id(in.u64());
+      node->leaf_count = 1;
+      GK_ENSURE_MSG(
+          ctx.leaves->emplace(workload::raw(*node->member), node.get()).second,
+          "snapshot corrupt: duplicate member");
+      return node;
+    }
+    const auto child_count = in.u32();
+    GK_ENSURE_MSG(child_count <= ctx.degree, "snapshot corrupt: fan-out exceeds degree");
+    node->leaf_count = 0;
+    for (std::uint32_t c = 0; c < child_count; ++c) {
+      auto child = read_node(in, node.get(), ctx, depth + 1);
+      node->leaf_count += child->leaf_count;
+      node->children.push_back(std::move(child));
+    }
+    return node;
+  }
+};
+
+std::vector<std::uint8_t> snapshot_tree(const KeyTree& tree) {
+  GK_ENSURE_MSG(!tree.dirty(), "commit staged changes before snapshotting");
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  out.push_back('G');
+  out.push_back('K');
+  out.push_back('T');
+  out.push_back('1');
+  put_u32(out, tree.degree_);
+  SnapshotAccess::write_node(out, *tree.root_);
+  return out;
+}
+
+KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng) {
+  Reader in(bytes);
+  GK_ENSURE_MSG(in.u8() == 'G' && in.u8() == 'K' && in.u8() == 'T' && in.u8() == '1',
+                "not a key tree snapshot");
+  const auto degree = in.u32();
+  GK_ENSURE_MSG(degree >= 2 && degree <= 1024, "snapshot corrupt: bad degree");
+
+  KeyTree tree(degree, rng);
+  tree.leaves_.clear();
+  SnapshotAccess::RestoreContext ctx{&tree.leaves_, 0, degree};
+  tree.root_ = SnapshotAccess::read_node(in, nullptr, ctx, 0);
+  GK_ENSURE_MSG(in.exhausted(), "snapshot has trailing bytes");
+  GK_ENSURE_MSG(!tree.root_->is_leaf(), "snapshot corrupt: leaf root");
+  tree.ids_->advance_past(ctx.max_id);
+  return tree;
+}
+
+}  // namespace gk::lkh

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lkh/key_tree.h"
+
+namespace gk::lkh {
+
+/// Key-server persistence: serialize a KeyTree's complete state (structure,
+/// node ids, key material, versions, member bindings) so a restarted
+/// server resumes the session without rekeying the whole group.
+///
+/// The snapshot contains raw key material — treat the bytes like a master
+/// key (a production deployment would seal them to an HSM or encrypt with
+/// a KEK; that wrapping is orthogonal and omitted here).
+///
+/// Restrictions: a tree with staged (uncommitted) changes cannot be
+/// snapshotted — commit first. The RNG state is not captured; the restored
+/// tree is seeded freshly, which only affects *future* key generation.
+[[nodiscard]] std::vector<std::uint8_t> snapshot_tree(const KeyTree& tree);
+
+/// Rebuild a tree from snapshot bytes. `rng` seeds future key generation.
+/// Throws ContractViolation on malformed input.
+[[nodiscard]] KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng);
+
+}  // namespace gk::lkh

@@ -1,0 +1,103 @@
+#include "losshomo/multi_tree_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::losshomo {
+
+MultiTreeServer::MultiTreeServer(unsigned degree, std::vector<double> bin_upper_bounds,
+                                 Placement placement, Rng rng)
+    : bounds_(std::move(bin_upper_bounds)),
+      placement_(placement),
+      rng_(rng.fork()),
+      ids_(lkh::IdAllocator::create()),
+      dek_(rng.fork(), ids_),
+      arrivals_(bounds_.size(), false) {
+  GK_ENSURE(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) GK_ENSURE(bounds_[i] > bounds_[i - 1]);
+  trees_.reserve(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    trees_.emplace_back(degree, rng.fork(), ids_);
+}
+
+std::size_t MultiTreeServer::place(double reported_loss) {
+  if (placement_ == Placement::kRandom) return rng_.uniform_u64(trees_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    if (reported_loss <= bounds_[i]) return i;
+  return bounds_.size() - 1;  // above every bound: the lossiest tree
+}
+
+partition::Registration MultiTreeServer::join(workload::MemberId member,
+                                              double reported_loss) {
+  GK_ENSURE_MSG(records_.count(workload::raw(member)) == 0,
+                "member " << workload::raw(member) << " already joined");
+  const std::size_t tree = place(reported_loss);
+  const auto grant = trees_[tree].insert(member);
+  records_.emplace(workload::raw(member), tree);
+  arrivals_[tree] = true;
+  ++staged_joins_;
+  return {grant.individual_key, grant.leaf_id};
+}
+
+void MultiTreeServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  trees_[it->second].remove(member);
+  records_.erase(it);
+  ++staged_leaves_;
+}
+
+MultiTreeServer::Output MultiTreeServer::end_epoch() {
+  Output out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.leaves = staged_leaves_;
+  out.per_tree_cost.reserve(trees_.size());
+
+  for (auto& tree : trees_) {
+    auto message = tree.commit(epoch_);
+    out.per_tree_cost.push_back(message.cost());
+    out.message.append(std::move(message));
+  }
+
+  if (staged_leaves_ > 0) {
+    dek_.rotate();
+    for (auto& tree : trees_)
+      if (!tree.empty())
+        dek_.wrap_under(tree.root_key().key, tree.root_id(), tree.root_key().version,
+                        out.message);
+  } else if (staged_joins_ > 0) {
+    dek_.rotate();
+    dek_.wrap_under_previous(out.message);
+    for (std::size_t t = 0; t < trees_.size(); ++t)
+      if (arrivals_[t] && !trees_[t].empty())
+        dek_.wrap_under(trees_[t].root_key().key, trees_[t].root_id(),
+                        trees_[t].root_key().version, out.message);
+  }
+  dek_.stamp(out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_leaves_ = 0;
+  arrivals_.assign(trees_.size(), false);
+  return out;
+}
+
+std::size_t MultiTreeServer::tree_size(std::size_t tree) const {
+  GK_ENSURE(tree < trees_.size());
+  return trees_[tree].size();
+}
+
+std::size_t MultiTreeServer::tree_of(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  return it->second;
+}
+
+std::vector<crypto::KeyId> MultiTreeServer::member_path(
+    workload::MemberId member) const {
+  auto path = trees_[tree_of(member)].path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::losshomo

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lkh/key_tree.h"
+#include "partition/group_key.h"
+#include "partition/server.h"
+
+namespace gk::losshomo {
+
+/// How a joining member is assigned to one of the key trees.
+enum class Placement : std::uint8_t {
+  /// Section 4.2: members with similar loss rates share a tree, so the
+  /// proactive replication the high-loss members need never inflates the
+  /// keys only low-loss members want. A member is mapped to the first bin
+  /// whose upper bound covers its *reported* loss rate and never moves
+  /// again (the paper's answer to question two: moving costs more than
+  /// misclassification).
+  kLossHomogenized,
+  /// Control from Fig. 6: same number of trees, members placed uniformly
+  /// at random — isolates "multiple trees" from "loss-homogenized trees".
+  kRandom,
+};
+
+/// Key server maintaining multiple key trees under one session DEK, binned
+/// by member loss rate (the paper's second optimization, Section 4).
+class MultiTreeServer {
+ public:
+  /// `bin_upper_bounds` gives each tree's inclusive loss-rate ceiling in
+  /// ascending order; the last bin additionally absorbs anything above it.
+  /// E.g. {0.05, 1.0} builds a low-loss tree (p <= 5%) and a high-loss
+  /// tree.
+  MultiTreeServer(unsigned degree, std::vector<double> bin_upper_bounds,
+                  Placement placement, Rng rng);
+
+  /// Stage a join. `reported_loss` is what the member piggybacked on past
+  /// NACKs (or estimated during an S-partition stay); misreporting models
+  /// Fig. 7's misplacement.
+  partition::Registration join(workload::MemberId member, double reported_loss);
+
+  void leave(workload::MemberId member);
+
+  struct Output {
+    std::uint64_t epoch = 0;
+    lkh::RekeyMessage message;
+    /// Wraps contributed by each tree (DEK wraps excluded).
+    std::vector<std::size_t> per_tree_cost;
+    std::size_t joins = 0;
+    std::size_t leaves = 0;
+
+    [[nodiscard]] std::size_t multicast_cost() const noexcept { return message.cost(); }
+  };
+  Output end_epoch();
+
+  [[nodiscard]] crypto::VersionedKey group_key() const { return dek_.current(); }
+  [[nodiscard]] crypto::KeyId group_key_id() const noexcept { return dek_.id(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t tree_size(std::size_t tree) const;
+  [[nodiscard]] std::size_t tree_of(workload::MemberId member) const;
+
+  /// Leaf-to-DEK node ids for the member (transport interest sets).
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(workload::MemberId member) const;
+
+ private:
+  [[nodiscard]] std::size_t place(double reported_loss);
+
+  std::vector<double> bounds_;
+  Placement placement_;
+  Rng rng_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  std::vector<lkh::KeyTree> trees_;
+  partition::GroupKeyManager dek_;
+  std::unordered_map<std::uint64_t, std::size_t> records_;  // raw id -> tree
+  std::vector<bool> arrivals_;  // per tree, this epoch
+  std::uint64_t epoch_ = 0;
+  std::size_t staged_joins_ = 0;
+  std::size_t staged_leaves_ = 0;
+};
+
+}  // namespace gk::losshomo

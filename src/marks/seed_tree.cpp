@@ -1,0 +1,77 @@
+#include "marks/seed_tree.h"
+
+#include "common/ensure.h"
+#include "crypto/kdf.h"
+
+namespace gk::marks {
+
+MarksServer::MarksServer(unsigned levels, Rng rng) : levels_(levels) {
+  GK_ENSURE(levels >= 1 && levels <= 32);
+  root_ = crypto::Key128::random(rng);
+}
+
+crypto::Key128 MarksServer::child(const crypto::Key128& seed, bool right) {
+  return crypto::derive_key(seed, right ? "marks-R" : "marks-L");
+}
+
+crypto::Key128 MarksServer::seed_at(unsigned level, std::uint64_t index) const {
+  GK_ENSURE(level <= levels_);
+  GK_ENSURE(index < (std::uint64_t{1} << level));
+  crypto::Key128 seed = root_;
+  for (unsigned bit = level; bit-- > 0;)
+    seed = child(seed, ((index >> bit) & 1) != 0);
+  return seed;
+}
+
+crypto::Key128 MarksServer::slot_key(std::uint64_t slot) const {
+  GK_ENSURE(slot < slot_count());
+  return seed_at(levels_, slot);
+}
+
+std::vector<MarksServer::SeedGrant> MarksServer::subscribe(
+    std::uint64_t first_slot, std::uint64_t last_slot) const {
+  GK_ENSURE(first_slot <= last_slot);
+  GK_ENSURE(last_slot < slot_count());
+
+  // Canonical minimal segment cover on a complete binary tree: repeatedly
+  // take the largest aligned block starting at `cursor` that fits in the
+  // remaining interval.
+  std::vector<SeedGrant> grants;
+  std::uint64_t cursor = first_slot;
+  while (cursor <= last_slot) {
+    // Largest power-of-two block size that is aligned at cursor and fits.
+    unsigned block_levels = 0;  // block covers 2^block_levels slots
+    while (block_levels < levels_) {
+      const std::uint64_t next_size = std::uint64_t{1} << (block_levels + 1);
+      if (cursor % next_size != 0) break;
+      if (cursor + next_size - 1 > last_slot) break;
+      ++block_levels;
+    }
+    const unsigned level = levels_ - block_levels;
+    const std::uint64_t index = cursor >> block_levels;
+    grants.push_back({level, index, seed_at(level, index)});
+    cursor += std::uint64_t{1} << block_levels;
+  }
+  return grants;
+}
+
+MarksSubscriber::MarksSubscriber(std::vector<MarksServer::SeedGrant> grants,
+                                 unsigned levels)
+    : grants_(std::move(grants)), levels_(levels) {
+  GK_ENSURE(levels >= 1 && levels <= 32);
+}
+
+std::optional<crypto::Key128> MarksSubscriber::key_for(std::uint64_t slot) const {
+  if (slot >= (std::uint64_t{1} << levels_)) return std::nullopt;
+  for (const auto& grant : grants_) {
+    const unsigned depth = levels_ - grant.level;  // levels below the seed
+    if ((slot >> depth) != grant.index) continue;
+    crypto::Key128 seed = grant.seed;
+    for (unsigned bit = depth; bit-- > 0;)
+      seed = MarksServer::child(seed, ((slot >> bit) & 1) != 0);
+    return seed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gk::marks

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key.h"
+
+namespace gk::marks {
+
+/// MARKS [Briscoe99]: zero-side-effect key management for members whose
+/// membership interval is known at subscription time — one of the schemes
+/// the paper's related-work section positions itself against, and the
+/// natural comparison point for the PT oracle partition.
+///
+/// The session is divided into 2^levels time slots. Slot keys are the
+/// leaves of a binary hash tree grown from a root seed with two one-way
+/// functions (left/right). A subscriber to [first, last] receives the
+/// minimal set of subtree seeds covering the interval — at most
+/// 2 * levels seeds — and derives each slot key itself. Joins and
+/// departures at interval edges cost the key server *nothing* on the
+/// multicast channel; the trade-off is that early revocation is
+/// impossible (hence the paper's interest in LKH-style trees).
+class MarksServer {
+ public:
+  /// 2^levels slots; levels <= 32.
+  MarksServer(unsigned levels, Rng rng);
+
+  /// One seed handed to a subscriber: the subtree root at `level`
+  /// (0 == tree root) and position `index`, covering slots
+  /// [index << (levels-level), (index+1) << (levels-level)).
+  struct SeedGrant {
+    unsigned level = 0;
+    std::uint64_t index = 0;
+    crypto::Key128 seed;
+  };
+
+  /// Minimal cover of [first_slot, last_slot] (inclusive).
+  [[nodiscard]] std::vector<SeedGrant> subscribe(std::uint64_t first_slot,
+                                                 std::uint64_t last_slot) const;
+
+  /// The data key for one slot (server side).
+  [[nodiscard]] crypto::Key128 slot_key(std::uint64_t slot) const;
+
+  [[nodiscard]] unsigned levels() const noexcept { return levels_; }
+  [[nodiscard]] std::uint64_t slot_count() const noexcept {
+    return std::uint64_t{1} << levels_;
+  }
+
+ private:
+  friend class MarksSubscriber;
+  /// Derive the seed at (level, index) from the root.
+  [[nodiscard]] crypto::Key128 seed_at(unsigned level, std::uint64_t index) const;
+  static crypto::Key128 child(const crypto::Key128& seed, bool right);
+
+  unsigned levels_;
+  crypto::Key128 root_;
+};
+
+/// Member side: holds the granted seeds and derives slot keys. Slots
+/// outside every granted subtree are cryptographically out of reach.
+class MarksSubscriber {
+ public:
+  MarksSubscriber(std::vector<MarksServer::SeedGrant> grants, unsigned levels);
+
+  /// The slot's key, or nullopt if no granted seed covers it.
+  [[nodiscard]] std::optional<crypto::Key128> key_for(std::uint64_t slot) const;
+
+  [[nodiscard]] std::size_t seed_count() const noexcept { return grants_.size(); }
+
+ private:
+  std::vector<MarksServer::SeedGrant> grants_;
+  unsigned levels_;
+};
+
+}  // namespace gk::marks

@@ -1,0 +1,60 @@
+#include "netsim/receiver.h"
+
+#include "common/ensure.h"
+
+namespace gk::netsim {
+
+Receiver::Receiver(workload::MemberId id, double loss_rate, Rng rng)
+    : id_(id), mean_loss_(loss_rate), rng_(rng) {
+  GK_ENSURE(loss_rate >= 0.0 && loss_rate < 1.0);
+}
+
+Receiver::Receiver(workload::MemberId id, const BurstParams& params, Rng rng)
+    : id_(id), mean_loss_(params.stationary_loss()), bursty_(true), burst_(params),
+      rng_(rng) {
+  GK_ENSURE(params.good_loss >= 0.0 && params.good_loss < 1.0);
+  GK_ENSURE(params.bad_loss >= params.good_loss && params.bad_loss <= 1.0);
+  GK_ENSURE(params.good_to_bad >= 0.0 && params.good_to_bad <= 1.0);
+  GK_ENSURE(params.bad_to_good > 0.0 && params.bad_to_good <= 1.0);
+  // Start in the stationary distribution so short sessions are unbiased.
+  in_bad_ = rng_.bernoulli(params.good_to_bad /
+                           (params.good_to_bad + params.bad_to_good));
+}
+
+Receiver Receiver::bursty(workload::MemberId id, double target_mean_loss,
+                          double mean_burst_packets, Rng rng) {
+  BurstParams params;
+  GK_ENSURE(mean_burst_packets >= 1.0);
+  params.bad_to_good = 1.0 / mean_burst_packets;
+  GK_ENSURE_MSG(target_mean_loss > params.good_loss &&
+                    target_mean_loss < params.bad_loss,
+                "target loss " << target_mean_loss << " outside [good, bad] range");
+  const double pi_bad = (target_mean_loss - params.good_loss) /
+                        (params.bad_loss - params.good_loss);
+  params.good_to_bad = params.bad_to_good * pi_bad / (1.0 - pi_bad);
+  GK_ENSURE(params.good_to_bad <= 1.0);
+  return {id, params, rng};
+}
+
+bool Receiver::receives() noexcept {
+  ++offered_;
+  const double loss =
+      bursty_ ? (in_bad_ ? burst_.bad_loss : burst_.good_loss) : mean_loss_;
+  const bool ok = !rng_.bernoulli(loss);
+  if (ok) ++received_;
+  if (bursty_) {
+    if (in_bad_) {
+      if (rng_.bernoulli(burst_.bad_to_good)) in_bad_ = false;
+    } else {
+      if (rng_.bernoulli(burst_.good_to_bad)) in_bad_ = true;
+    }
+  }
+  return ok;
+}
+
+double Receiver::observed_loss() const noexcept {
+  if (offered_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(received_) / static_cast<double>(offered_);
+}
+
+}  // namespace gk::netsim

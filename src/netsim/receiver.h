@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/member.h"
+
+namespace gk::netsim {
+
+/// Gilbert-Elliott channel parameters: a Good state with light loss and a
+/// Bad state with heavy loss, geometric sojourns. Mean burst length is
+/// 1 / bad_to_good packets; stationary loss is
+///   pi_bad * bad_loss + (1 - pi_bad) * good_loss,
+/// with pi_bad = good_to_bad / (good_to_bad + bad_to_good).
+struct BurstParams {
+  double good_loss = 0.005;
+  double bad_loss = 0.5;
+  double good_to_bad = 0.02;
+  double bad_to_good = 0.25;
+
+  [[nodiscard]] double stationary_loss() const noexcept {
+    const double pi_bad = good_to_bad / (good_to_bad + bad_to_good);
+    return pi_bad * bad_loss + (1.0 - pi_bad) * good_loss;
+  }
+};
+
+/// A multicast receiver endpoint. Two loss models:
+///
+///  * Bernoulli — each packet dropped independently with `loss_rate`; the
+///    model the paper's Appendix B analysis assumes.
+///  * Gilbert-Elliott — two-state bursty loss, for probing how correlated
+///    losses move the WKA-BKR/FEC results away from the Bernoulli theory
+///    (real MBone loss was bursty [Handley97]).
+///
+/// Deterministic given its seed. loss_rate() reports the *mean* (stationary)
+/// loss either way, which is what WKA weighting consumes.
+class Receiver {
+ public:
+  /// Independent Bernoulli loss.
+  Receiver(workload::MemberId id, double loss_rate, Rng rng);
+
+  /// Bursty Gilbert-Elliott loss.
+  Receiver(workload::MemberId id, const BurstParams& params, Rng rng);
+
+  /// Bursty channel matched to a target mean loss with the given mean
+  /// burst length (packets). Requires good_loss < target < bad_loss of the
+  /// default BurstParams rates.
+  static Receiver bursty(workload::MemberId id, double target_mean_loss,
+                         double mean_burst_packets, Rng rng);
+
+  /// Draw one reception event: true if the packet arrives.
+  [[nodiscard]] bool receives() noexcept;
+
+  [[nodiscard]] workload::MemberId id() const noexcept { return id_; }
+  /// Mean per-packet loss probability (stationary for bursty channels).
+  [[nodiscard]] double loss_rate() const noexcept { return mean_loss_; }
+  [[nodiscard]] bool is_bursty() const noexcept { return bursty_; }
+  [[nodiscard]] std::uint64_t packets_offered() const noexcept { return offered_; }
+  [[nodiscard]] std::uint64_t packets_received() const noexcept { return received_; }
+
+  /// Empirical loss rate observed so far (what a real member would
+  /// piggyback on its NACKs for the loss-homogenized scheme, Section 4.2).
+  [[nodiscard]] double observed_loss() const noexcept;
+
+ private:
+  workload::MemberId id_;
+  double mean_loss_;
+  bool bursty_ = false;
+  BurstParams burst_{};
+  bool in_bad_ = false;
+  Rng rng_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Aggregate channel accounting for one transport session.
+struct ChannelStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t receptions = 0;
+  std::uint64_t losses = 0;
+
+  void merge(const ChannelStats& other) noexcept {
+    packets_sent += other.packets_sent;
+    receptions += other.receptions;
+    losses += other.losses;
+  }
+};
+
+}  // namespace gk::netsim

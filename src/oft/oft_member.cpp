@@ -1,0 +1,85 @@
+#include "oft/oft_member.h"
+
+#include "common/ensure.h"
+#include "crypto/kdf.h"
+
+namespace gk::oft {
+
+OftMember::OftMember(workload::MemberId owner, const OftTree::JoinGrant& grant,
+                     OftTree::PathInfo structure)
+    : owner_(owner), leaf_id_(grant.leaf_id),
+      leaf_key_{grant.leaf_key, grant.leaf_version},
+      structure_(std::move(structure)) {
+  for (const auto& sibling : grant.sibling_path)
+    blinded_[crypto::raw(sibling.id)] = {sibling.blinded, sibling.version};
+}
+
+void OftMember::set_structure(OftTree::PathInfo structure) {
+  structure_ = std::move(structure);
+}
+
+std::optional<crypto::Key128> OftMember::path_key(std::size_t level) const {
+  GK_ENSURE(level < structure_.path.size());
+  crypto::Key128 key = leaf_key_.key;
+  for (std::size_t i = 0; i < level; ++i) {
+    const crypto::KeyId sibling = structure_.siblings[i];
+    crypto::Key128 sibling_blinded{};  // zero key when the level is unary
+    if (crypto::raw(sibling) != 0) {
+      const auto it = blinded_.find(crypto::raw(sibling));
+      if (it == blinded_.end()) return std::nullopt;
+      sibling_blinded = it->second.key;
+    }
+    // Fold in child order? OFT mixing must be order-insensitive for the two
+    // subtrees to agree; oft_mix() XORs the blinded values, and XOR is
+    // commutative, so (own, sibling) ordering is immaterial.
+    key = crypto::oft_mix(crypto::oft_blind(key), sibling_blinded);
+  }
+  return key;
+}
+
+std::size_t OftMember::process(std::span<const crypto::WrappedKey> wraps) {
+  std::size_t accepted = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const auto& wrap : wraps) {
+      // Case 1: our own leaf key re-randomized (new wrapped under old).
+      if (wrap.target_id == leaf_id_ && wrap.wrapping_id == leaf_id_ &&
+          wrap.wrapping_version == leaf_key_.version &&
+          wrap.target_version > leaf_key_.version) {
+        const auto fresh = crypto::unwrap_key(leaf_key_.key, wrap);
+        if (fresh.has_value()) {
+          leaf_key_ = {*fresh, wrap.target_version};
+          ++accepted;
+          progressed = true;
+        }
+        continue;
+      }
+      // Case 2: a blinded sibling value encrypted under one of our path
+      // keys (including the leaf itself at level 0).
+      const auto existing = blinded_.find(crypto::raw(wrap.target_id));
+      if (existing != blinded_.end() &&
+          existing->second.version >= wrap.target_version)
+        continue;
+      for (std::size_t level = 0; level < structure_.path.size(); ++level) {
+        if (structure_.path[level] != wrap.wrapping_id) continue;
+        const auto kek = path_key(level);
+        if (!kek.has_value()) break;
+        const auto payload = crypto::unwrap_key(*kek, wrap);
+        if (payload.has_value()) {
+          blinded_[crypto::raw(wrap.target_id)] = {*payload, wrap.target_version};
+          ++accepted;
+          progressed = true;
+        }
+        break;
+      }
+    }
+  }
+  return accepted;
+}
+
+std::optional<crypto::Key128> OftMember::compute_group_key() const {
+  return path_key(structure_.path.size() - 1);
+}
+
+}  // namespace gk::oft

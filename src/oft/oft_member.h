@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "oft/oft_tree.h"
+#include "workload/member.h"
+
+namespace gk::oft {
+
+/// A member's OFT state: its leaf key, the blinded keys of its sibling
+/// path, and the (public) path topology. The group key is *derived*, not
+/// received: fold bottom-up with k(parent) = f(g(k(child)) ^ blinded
+/// sibling).
+class OftMember {
+ public:
+  OftMember(workload::MemberId owner, const OftTree::JoinGrant& grant,
+            OftTree::PathInfo structure);
+
+  /// Refresh the public topology after tree restructuring (splits above
+  /// this member, splices, promotions). Blinded values are retained — only
+  /// the fold order changes.
+  void set_structure(OftTree::PathInfo structure);
+
+  /// Consume rekey wraps; returns how many were accepted (new leaf key or
+  /// new blinded sibling values).
+  std::size_t process(std::span<const crypto::WrappedKey> wraps);
+
+  /// Fold up the path; nullopt if a blinded sibling value is missing.
+  [[nodiscard]] std::optional<crypto::Key128> compute_group_key() const;
+
+  [[nodiscard]] workload::MemberId owner() const noexcept { return owner_; }
+  [[nodiscard]] crypto::KeyId leaf_id() const noexcept { return leaf_id_; }
+
+ private:
+  /// Compute the key of path node `level` (0 = leaf); nullopt if blocked.
+  [[nodiscard]] std::optional<crypto::Key128> path_key(std::size_t level) const;
+
+  workload::MemberId owner_;
+  crypto::KeyId leaf_id_;
+  crypto::VersionedKey leaf_key_;
+  OftTree::PathInfo structure_;
+  std::unordered_map<std::uint64_t, crypto::VersionedKey> blinded_;
+};
+
+}  // namespace gk::oft

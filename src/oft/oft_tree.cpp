@@ -1,0 +1,304 @@
+#include "oft/oft_tree.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace gk::oft {
+
+struct OftTree::Node {
+  crypto::KeyId id{};
+  crypto::VersionedKey key;  // leaves: random; interior: f(g(left) ^ g(right))
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;  // 0..2 entries
+  std::optional<workload::MemberId> member;
+  std::size_t leaf_count = 0;
+
+  [[nodiscard]] bool is_leaf() const noexcept { return member.has_value(); }
+
+  [[nodiscard]] Node* other_child(const Node* one) const noexcept {
+    for (const auto& child : children)
+      if (child.get() != one) return child.get();
+    return nullptr;
+  }
+};
+
+/// Lightest-leaf descent: the leaf we split on join / re-randomize on
+/// departure, chosen to keep the tree balanced.
+OftTree::Node* OftTree::lightest_leaf(Node* node) noexcept {
+  while (!node->is_leaf()) {
+    Node* lightest = node->children.front().get();
+    for (const auto& child : node->children)
+      if (child->leaf_count < lightest->leaf_count) lightest = child.get();
+    node = lightest;
+  }
+  return node;
+}
+
+OftTree::OftTree(Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
+    : rng_(rng), ids_(ids ? std::move(ids) : lkh::IdAllocator::create()) {
+  root_ = std::make_unique<Node>();
+  root_->id = ids_->next();
+  root_->key = {crypto::Key128::random(rng_), 0};
+}
+
+OftTree::~OftTree() = default;
+OftTree::OftTree(OftTree&&) noexcept = default;
+OftTree& OftTree::operator=(OftTree&&) noexcept = default;
+
+bool OftTree::contains(workload::MemberId member) const noexcept {
+  return leaves_.count(workload::raw(member)) != 0;
+}
+
+OftTree::Node* OftTree::locate(workload::MemberId member) const {
+  const auto it = leaves_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != leaves_.end(),
+                "member " << workload::raw(member) << " not in OFT tree");
+  return it->second;
+}
+
+crypto::Key128 OftTree::node_blinded(const Node* node) const {
+  return crypto::oft_blind(node->key.key);
+}
+
+void OftTree::recompute_upward(Node* node) {
+  for (Node* cursor = node->parent; cursor != nullptr; cursor = cursor->parent) {
+    GK_ENSURE(!cursor->children.empty());
+    crypto::Key128 key;
+    if (cursor->children.size() == 1) {
+      key = crypto::oft_mix(node_blinded(cursor->children.front().get()),
+                            crypto::Key128{});
+    } else {
+      key = crypto::oft_mix(node_blinded(cursor->children[0].get()),
+                            node_blinded(cursor->children[1].get()));
+    }
+    cursor->key.key = key;
+    ++cursor->key.version;
+  }
+}
+
+OftTree::Node* OftTree::choose_split_leaf() {
+  if (root_->children.empty()) return nullptr;
+  return lightest_leaf(root_.get());
+}
+
+OftTree::JoinGrant OftTree::join(workload::MemberId member, lkh::RekeyMessage& out) {
+  GK_ENSURE_MSG(!contains(member),
+                "member " << workload::raw(member) << " already in OFT tree");
+
+  auto leaf = std::make_unique<Node>();
+  leaf->id = ids_->next();
+  leaf->key = {crypto::Key128::random(rng_), 0};
+  leaf->member = member;
+  leaf->leaf_count = 1;
+  Node* leaf_raw = leaf.get();
+
+  if (root_->children.size() < 2) {
+    // A free slot at the root (first or second member).
+    leaf->parent = root_.get();
+    root_->children.push_back(std::move(leaf));
+  } else {
+    // Replace the lightest leaf with a fresh interior node {old leaf, new}.
+    Node* split = choose_split_leaf();
+    Node* parent = split->parent;
+    auto slot = std::find_if(
+        parent->children.begin(), parent->children.end(),
+        [split](const std::unique_ptr<Node>& c) { return c.get() == split; });
+    GK_ENSURE(slot != parent->children.end());
+
+    auto interior = std::make_unique<Node>();
+    interior->id = ids_->next();
+    interior->parent = parent;
+    interior->leaf_count = split->leaf_count;
+    auto owned_split = std::move(*slot);
+    owned_split->parent = interior.get();
+    leaf->parent = interior.get();
+    interior->children.push_back(std::move(owned_split));
+    interior->children.push_back(std::move(leaf));
+    *slot = std::move(interior);
+  }
+
+  leaves_.emplace(workload::raw(member), leaf_raw);
+  for (Node* cursor = leaf_raw->parent; cursor != nullptr; cursor = cursor->parent)
+    ++cursor->leaf_count;
+
+  // Backward confidentiality: the newcomer will learn the blinded keys of
+  // its sibling path, so a key inside the sibling subtree must change or
+  // the newcomer could unwind the previous group key. Re-randomize the
+  // lightest leaf under the sibling (in the common split case this is the
+  // split leaf itself).
+  Node* sibling = leaf_raw->parent->other_child(leaf_raw);
+  Node* fresh = nullptr;
+  if (sibling != nullptr) {
+    fresh = lightest_leaf(sibling);
+    const crypto::Key128 old_key = fresh->key.key;
+    fresh->key.key = crypto::Key128::random(rng_);
+    ++fresh->key.version;
+    out.wraps.push_back(crypto::wrap_key(old_key, fresh->id, fresh->key.version - 1,
+                                         fresh->key.key, fresh->id, fresh->key.version,
+                                         rng_));
+  }
+
+  recompute_upward(leaf_raw);
+
+  // Blinded-key updates for incumbents. Inside the sibling subtree, the
+  // re-randomized leaf's path up to (but excluding) the join parent:
+  if (fresh != nullptr) {
+    Node* child_on_path = fresh;
+    for (Node* cursor = fresh->parent; cursor != leaf_raw->parent;
+         cursor = cursor->parent) {
+      Node* other = cursor->other_child(child_on_path);
+      if (other != nullptr)
+        out.wraps.push_back(crypto::wrap_key(
+            other->key.key, other->id, other->key.version,
+            node_blinded(child_on_path), child_on_path->id,
+            child_on_path->key.version, rng_));
+      child_on_path = cursor;
+    }
+  }
+  // ...and the new leaf's own path to the root (covers handing the
+  // newcomer's blinded key to the sibling subtree at the first level).
+  {
+    Node* child_on_path = leaf_raw;
+    for (Node* cursor = leaf_raw->parent; cursor != nullptr; cursor = cursor->parent) {
+      Node* other = cursor->other_child(child_on_path);
+      if (other != nullptr)
+        out.wraps.push_back(crypto::wrap_key(
+            other->key.key, other->id, other->key.version,
+            node_blinded(child_on_path), child_on_path->id,
+            child_on_path->key.version, rng_));
+      child_on_path = cursor;
+    }
+  }
+
+  JoinGrant grant;
+  grant.leaf_key = leaf_raw->key.key;
+  grant.leaf_id = leaf_raw->id;
+  grant.leaf_version = leaf_raw->key.version;
+  {
+    Node* child_on_path = leaf_raw;
+    for (Node* cursor = leaf_raw->parent; cursor != nullptr; cursor = cursor->parent) {
+      Node* sib = cursor->other_child(child_on_path);
+      if (sib != nullptr)
+        grant.sibling_path.push_back({sib->id, node_blinded(sib), sib->key.version});
+      child_on_path = cursor;
+    }
+  }
+
+  out.group_key_id = root_->id;
+  out.group_key_version = root_->key.version;
+  return grant;
+}
+
+void OftTree::leave(workload::MemberId member, lkh::RekeyMessage& out) {
+  Node* leaf = locate(member);
+  Node* parent = leaf->parent;
+  GK_ENSURE(parent != nullptr);
+  leaves_.erase(workload::raw(member));
+
+  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent)
+    --cursor->leaf_count;
+
+  Node* sibling = parent->other_child(leaf);
+
+  auto leaf_slot = std::find_if(
+      parent->children.begin(), parent->children.end(),
+      [leaf](const std::unique_ptr<Node>& c) { return c.get() == leaf; });
+  GK_ENSURE(leaf_slot != parent->children.end());
+  parent->children.erase(leaf_slot);
+
+  if (sibling == nullptr) {
+    // The departed member was alone under the root: no incumbents to rekey,
+    // just retire the group key.
+    GK_ENSURE(parent == root_.get());
+    root_->key.key = crypto::Key128::random(rng_);
+    ++root_->key.version;
+    out.group_key_id = root_->id;
+    out.group_key_version = root_->key.version;
+    return;
+  }
+
+  Node* promoted = sibling;
+  if (parent != root_.get()) {
+    // Splice: the sibling takes the parent's place.
+    Node* grandparent = parent->parent;
+    auto parent_slot = std::find_if(
+        grandparent->children.begin(), grandparent->children.end(),
+        [parent](const std::unique_ptr<Node>& c) { return c.get() == parent; });
+    GK_ENSURE(parent_slot != grandparent->children.end());
+    auto owned_sibling = std::move(parent->children.front());
+    owned_sibling->parent = grandparent;
+    promoted = owned_sibling.get();
+    *parent_slot = std::move(owned_sibling);
+  }
+
+  // Forward confidentiality: the departed member knew every blinded key on
+  // its sibling path, so re-randomize a leaf under the promoted subtree and
+  // recompute the functional keys above it.
+  Node* fresh = lightest_leaf(promoted);
+  const crypto::Key128 old_key = fresh->key.key;
+  fresh->key.key = crypto::Key128::random(rng_);
+  ++fresh->key.version;
+  out.wraps.push_back(crypto::wrap_key(old_key, fresh->id, fresh->key.version - 1,
+                                       fresh->key.key, fresh->id, fresh->key.version,
+                                       rng_));
+
+  recompute_upward(fresh);
+
+  Node* child_on_path = fresh;
+  for (Node* cursor = fresh->parent; cursor != nullptr; cursor = cursor->parent) {
+    Node* other = cursor->other_child(child_on_path);
+    if (other != nullptr)
+      out.wraps.push_back(crypto::wrap_key(other->key.key, other->id,
+                                           other->key.version,
+                                           node_blinded(child_on_path),
+                                           child_on_path->id,
+                                           child_on_path->key.version, rng_));
+    child_on_path = cursor;
+  }
+
+  out.group_key_id = root_->id;
+  out.group_key_version = root_->key.version;
+}
+
+crypto::VersionedKey OftTree::group_key() const { return root_->key; }
+
+crypto::KeyId OftTree::root_id() const noexcept { return root_->id; }
+
+const crypto::Key128& OftTree::leaf_key(workload::MemberId member) const {
+  return locate(member)->key.key;
+}
+
+OftTree::JoinGrant OftTree::current_grant(workload::MemberId member) const {
+  const Node* leaf = locate(member);
+  JoinGrant grant;
+  grant.leaf_key = leaf->key.key;
+  grant.leaf_id = leaf->id;
+  grant.leaf_version = leaf->key.version;
+  const Node* child_on_path = leaf;
+  for (const Node* cursor = leaf->parent; cursor != nullptr; cursor = cursor->parent) {
+    const Node* sibling = cursor->other_child(child_on_path);
+    if (sibling != nullptr)
+      grant.sibling_path.push_back(
+          {sibling->id, node_blinded(sibling), sibling->key.version});
+    child_on_path = cursor;
+  }
+  return grant;
+}
+
+OftTree::PathInfo OftTree::path_info(workload::MemberId member) const {
+  PathInfo info;
+  const Node* child_on_path = locate(member);
+  info.path.push_back(child_on_path->id);
+  for (const Node* cursor = child_on_path->parent; cursor != nullptr;
+       cursor = cursor->parent) {
+    const Node* sibling = cursor->other_child(child_on_path);
+    info.siblings.push_back(sibling != nullptr ? sibling->id : crypto::make_key_id(0));
+    info.path.push_back(cursor->id);
+    child_on_path = cursor;
+  }
+  return info;
+}
+
+}  // namespace gk::oft
+

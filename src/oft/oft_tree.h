@@ -1,0 +1,111 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/kdf.h"
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "lkh/ids.h"
+#include "lkh/rekey_message.h"
+#include "workload/member.h"
+
+namespace gk::oft {
+
+/// One-way function tree (OFT) key server [BM00].
+///
+/// A binary tree in which each interior node's key is *computed*, not
+/// random: k(parent) = f(g(k(left)) XOR g(k(right))), where g is the
+/// blinding one-way function and f a PRF (crypto/kdf.h). Each member holds
+/// its leaf key plus the blinded keys of every sibling along its path, from
+/// which it derives the whole path up to the group key.
+///
+/// On a membership change the server re-randomizes the affected leaf's
+/// sibling path and distributes each changed *blinded* key encrypted under
+/// the key of the subtree that needs it — roughly log2(N) wrapped keys per
+/// departure versus d*logd(N) for LKH. The paper's Section 2.1.1 note that
+/// its partition optimizations "are also applicable" to OFT is demonstrated
+/// by parameterizing the two-partition server over this tree type as well.
+class OftTree {
+ public:
+  explicit OftTree(Rng rng, std::shared_ptr<lkh::IdAllocator> ids = nullptr);
+  ~OftTree();
+
+  OftTree(OftTree&&) noexcept;
+  OftTree& operator=(OftTree&&) noexcept;
+  OftTree(const OftTree&) = delete;
+  OftTree& operator=(const OftTree&) = delete;
+
+  /// Everything a joining member receives over the registration unicast
+  /// channel: its leaf key, ids, and the blinded sibling path at join time.
+  struct JoinGrant {
+    crypto::Key128 leaf_key;
+    crypto::KeyId leaf_id{};
+    /// Version of the leaf key at grant time (0 for fresh joins; higher
+    /// when a grant is re-derived after re-randomizations).
+    std::uint32_t leaf_version = 0;
+    /// (node id whose blinded key this is, blinded key, version) for each
+    /// sibling bottom-up.
+    struct BlindedSibling {
+      crypto::KeyId id{};
+      crypto::Key128 blinded;
+      std::uint32_t version = 0;
+    };
+    std::vector<BlindedSibling> sibling_path;
+  };
+
+  /// Add a member and emit the incremental rekey message for incumbents.
+  JoinGrant join(workload::MemberId member, lkh::RekeyMessage& out);
+
+  /// Re-derive the unicast grant for a current member (its leaf key plus
+  /// the *current* blinded sibling path). Used when a higher-level server
+  /// needs to re-issue registration state, e.g. after a partition
+  /// migration.
+  [[nodiscard]] JoinGrant current_grant(workload::MemberId member) const;
+
+  /// Remove a member and emit the rekey message (changed blinded keys
+  /// wrapped for the subtrees that need them).
+  void leave(workload::MemberId member, lkh::RekeyMessage& out);
+
+  [[nodiscard]] std::size_t size() const noexcept { return leaves_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return leaves_.empty(); }
+  [[nodiscard]] bool contains(workload::MemberId member) const noexcept;
+
+  /// Current group key (root of the one-way function computation).
+  [[nodiscard]] crypto::VersionedKey group_key() const;
+  [[nodiscard]] crypto::KeyId root_id() const noexcept;
+
+  /// Server-side record of a member's leaf key (tests / unicast).
+  [[nodiscard]] const crypto::Key128& leaf_key(workload::MemberId member) const;
+
+  /// Public topology of one member's path. `path` lists node ids leaf
+  /// first, root last; `siblings[i]` is the id of `path[i]`'s sibling under
+  /// `path[i+1]`, or KeyId{0} when that level has a single child (the
+  /// member folds with the zero key there). Tree shape is not secret in
+  /// LKH/OFT protocols, so members may read this directly; only *blinded
+  /// values* travel encrypted.
+  struct PathInfo {
+    std::vector<crypto::KeyId> path;
+    std::vector<crypto::KeyId> siblings;
+  };
+  [[nodiscard]] PathInfo path_info(workload::MemberId member) const;
+
+ private:
+  struct Node;
+
+  Node* locate(workload::MemberId member) const;
+  Node* choose_split_leaf();
+  static Node* lightest_leaf(Node* node) noexcept;
+  void recompute_upward(Node* node);
+  [[nodiscard]] crypto::Key128 node_blinded(const Node* node) const;
+
+  Rng rng_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<std::uint64_t, Node*> leaves_;
+};
+
+}  // namespace gk::oft

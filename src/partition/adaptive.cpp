@@ -1,0 +1,122 @@
+#include "partition/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+const char* to_string(SchemeKind kind) noexcept {
+  switch (kind) {
+    case SchemeKind::kOneKeyTree: return "one-keytree";
+    case SchemeKind::kQt: return "QT";
+    case SchemeKind::kTt: return "TT";
+    case SchemeKind::kPt: return "PT";
+  }
+  return "?";
+}
+
+AdaptiveController::AdaptiveController(double rekey_period, unsigned degree)
+    : rekey_period_(rekey_period), degree_(degree) {
+  GK_ENSURE(rekey_period > 0.0);
+  GK_ENSURE(degree >= 2);
+}
+
+void AdaptiveController::observe_duration(double seconds) {
+  GK_ENSURE(seconds >= 0.0);
+  durations_.push_back(std::max(seconds, 1e-9));
+}
+
+AdaptiveController::MixtureFit AdaptiveController::fit(unsigned em_iterations) const {
+  MixtureFit out;
+  if (durations_.empty()) return out;
+
+  const double mean =
+      std::accumulate(durations_.begin(), durations_.end(), 0.0) /
+      static_cast<double>(durations_.size());
+  std::vector<double> sorted = durations_;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  // EM for a two-exponential mixture, seeded from the median/mean split
+  // (heavy-tailed sessions have median << mean, per Almeroth-Ammar).
+  double ms = std::max(median * 0.5, 1e-6);
+  double ml = std::max(mean * 2.0, ms * 4.0);
+  double alpha = 0.5;
+
+  for (unsigned iter = 0; iter < em_iterations; ++iter) {
+    double resp_sum = 0.0;
+    double short_weighted = 0.0;
+    double long_weighted = 0.0;
+    double long_resp_sum = 0.0;
+    for (const double x : durations_) {
+      const double log_fs = -std::log(ms) - x / ms;
+      const double log_fl = -std::log(ml) - x / ml;
+      // Responsibility of the short component, computed stably in logs.
+      const double log_num = std::log(alpha) + log_fs;
+      const double log_den_alt = std::log1p(-alpha) + log_fl;
+      const double m = std::max(log_num, log_den_alt);
+      const double r =
+          std::exp(log_num - m) / (std::exp(log_num - m) + std::exp(log_den_alt - m));
+      resp_sum += r;
+      short_weighted += r * x;
+      long_resp_sum += 1.0 - r;
+      long_weighted += (1.0 - r) * x;
+    }
+    const auto n = static_cast<double>(durations_.size());
+    alpha = std::clamp(resp_sum / n, 1e-6, 1.0 - 1e-6);
+    if (resp_sum > 1e-9) ms = std::max(short_weighted / resp_sum, 1e-6);
+    if (long_resp_sum > 1e-9) ml = std::max(long_weighted / long_resp_sum, ms);
+  }
+
+  out.short_mean = ms;
+  out.long_mean = ml;
+  out.short_fraction = alpha;
+  out.well_separated = ml > 4.0 * ms;
+  return out;
+}
+
+AdaptiveController::Recommendation AdaptiveController::recommend(
+    double group_size, unsigned max_k, std::size_t min_observations) const {
+  Recommendation best;
+  analytic::TwoPartitionParams params;
+  params.group_size = group_size;
+  params.rekey_period = rekey_period_;
+  params.degree = degree_;
+
+  if (durations_.size() < min_observations) {
+    params.s_period_epochs = 0;
+    best.params = params;
+    best.predicted_cost = best.baseline_cost = analytic::one_keytree_cost(params);
+    return best;
+  }
+
+  const auto mixture = fit();
+  params.short_mean = mixture.short_mean;
+  params.long_mean = mixture.long_mean;
+  params.short_fraction = mixture.short_fraction;
+  params.s_period_epochs = 0;
+
+  best.params = params;
+  best.baseline_cost = analytic::one_keytree_cost(params);
+  best.predicted_cost = best.baseline_cost;
+
+  if (!mixture.well_separated) return best;
+
+  for (unsigned k = 1; k <= max_k; ++k) {
+    params.s_period_epochs = k;
+    const double qt = analytic::qt_cost(params);
+    const double tt = analytic::tt_cost(params);
+    if (qt < best.predicted_cost) {
+      best = {SchemeKind::kQt, k, qt, best.baseline_cost, params};
+    }
+    if (tt < best.predicted_cost) {
+      best = {SchemeKind::kTt, k, tt, best.baseline_cost, params};
+    }
+  }
+  return best;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/two_partition_model.h"
+
+namespace gk::partition {
+
+/// Which server construction to run.
+enum class SchemeKind : std::uint8_t { kOneKeyTree, kQt, kTt, kPt };
+
+[[nodiscard]] const char* to_string(SchemeKind kind) noexcept;
+
+/// Section 3.4's control loop: "at the beginning of a session, the key
+/// server just maintains one key tree; later, from its collected trace data
+/// it can compute the group statistics such as Ms, Ml, and alpha. Then
+/// using our analytic model, the key server can choose the best scheme."
+///
+/// The controller ingests completed membership durations, fits a
+/// two-exponential mixture by EM, and sweeps the analytic model over K to
+/// recommend {scheme, K}. PT is excluded from recommendations because it
+/// needs oracle class knowledge; it is reported for reference only.
+class AdaptiveController {
+ public:
+  AdaptiveController(double rekey_period, unsigned degree);
+
+  /// Record the full duration of a member that just departed.
+  void observe_duration(double seconds);
+
+  [[nodiscard]] std::size_t observations() const noexcept { return durations_.size(); }
+
+  /// Maximum-likelihood-ish fit of the two-class model from observations.
+  struct MixtureFit {
+    double short_mean = 0.0;     ///< Ms estimate
+    double long_mean = 0.0;      ///< Ml estimate
+    double short_fraction = 0.0; ///< alpha estimate
+    bool well_separated = false; ///< Ml / Ms large enough to bother
+  };
+  [[nodiscard]] MixtureFit fit(unsigned em_iterations = 50) const;
+
+  struct Recommendation {
+    SchemeKind scheme = SchemeKind::kOneKeyTree;
+    unsigned s_period_epochs = 0;  ///< chosen K (0 for one-keytree)
+    double predicted_cost = 0.0;
+    double baseline_cost = 0.0;    ///< one-keytree cost at the fit
+    analytic::TwoPartitionParams params;  ///< the fitted model inputs
+  };
+  /// Sweep K = 0..max_k for QT and TT at the fitted parameters and return
+  /// the cheapest configuration. With fewer than `min_observations`
+  /// samples, or a poorly separated fit, recommends the one-keytree
+  /// baseline (the safe default the paper falls back to).
+  [[nodiscard]] Recommendation recommend(double group_size, unsigned max_k = 20,
+                                         std::size_t min_observations = 200) const;
+
+ private:
+  double rekey_period_;
+  unsigned degree_;
+  std::vector<double> durations_;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// Thread-safe facade over any RekeyServer.
+///
+/// A deployed key server handles concurrent registration (join) and
+/// revocation (leave) requests from its front-ends while a timer thread
+/// drives the periodic commit. The underlying scheme implementations are
+/// deliberately single-threaded (tree surgery does not shard well and a
+/// rekey period is long compared to the critical sections), so the
+/// production-shaped answer is a coarse lock around the staging and commit
+/// operations — this wrapper. Statistics accessors share the same lock so
+/// callers never observe a tree mid-surgery.
+class ConcurrentServer final : public RekeyServer {
+ public:
+  explicit ConcurrentServer(std::unique_ptr<RekeyServer> inner)
+      : inner_(std::move(inner)) {}
+
+  Registration join(const workload::MemberProfile& profile) override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->join(profile);
+  }
+
+  void leave(workload::MemberId member) override {
+    const std::scoped_lock lock(mutex_);
+    inner_->leave(member);
+  }
+
+  EpochOutput end_epoch() override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->end_epoch();
+  }
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->group_key();
+  }
+
+  [[nodiscard]] crypto::KeyId group_key_id() const override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->group_key_id();
+  }
+
+  [[nodiscard]] std::size_t size() const override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->size();
+  }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override {
+    const std::scoped_lock lock(mutex_);
+    return inner_->member_path(member);
+  }
+
+  /// Run `fn` with the lock held and the raw scheme exposed — for
+  /// scheme-specific accessors (partition sizes, relocations).
+  template <typename Fn>
+  auto with_inner(Fn&& fn) const {
+    const std::scoped_lock lock(mutex_);
+    return fn(*inner_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<RekeyServer> inner_;
+};
+
+}  // namespace gk::partition

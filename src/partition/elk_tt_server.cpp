@@ -1,0 +1,108 @@
+#include "partition/elk_tt_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+ElkTtServer::ElkTtServer(unsigned s_period_epochs, Rng rng)
+    : s_period_epochs_(s_period_epochs),
+      ids_(lkh::IdAllocator::create()),
+      s_tree_{rng.fork(), 16, 16, ids_},
+      l_tree_{rng.fork(), 16, 16, ids_},
+      dek_(rng.fork(), ids_) {}
+
+void ElkTtServer::join(workload::MemberId member) {
+  const bool to_s = s_period_epochs_ > 0;
+  (to_s ? s_tree_ : l_tree_).join(member);
+  records_.emplace(workload::raw(member), Record{epoch_, to_s});
+  ++staged_joins_;
+}
+
+void ElkTtServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  if (it->second.in_s) {
+    s_tree_.leave(member, pending_);
+    ++staged_s_leaves_;
+  } else {
+    l_tree_.leave(member, pending_);
+    ++staged_l_leaves_;
+  }
+  records_.erase(it);
+}
+
+bool ElkTtServer::member_in_s(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  return it->second.in_s;
+}
+
+const elk::ElkTree& ElkTtServer::tree_of(workload::MemberId member) const {
+  return member_in_s(member) ? s_tree_ : l_tree_;
+}
+
+ElkTtServer::Output ElkTtServer::end_epoch() {
+  Output out;
+  out.epoch = epoch_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  // Batched migration: ELK leaf keys are plain random values, but the
+  // member's L-path is new, so it needs a unicast re-grant either way.
+  regrants_.clear();
+  if (s_period_epochs_ > 0) {
+    std::vector<workload::MemberId> migrants;
+    for (const auto& [raw_id, record] : records_) {
+      if (record.in_s && epoch_ >= record.joined_epoch + s_period_epochs_)
+        migrants.push_back(workload::make_member_id(raw_id));
+    }
+    for (const auto member : migrants) {
+      s_tree_.leave(member, pending_);
+      l_tree_.join(member);
+      records_[workload::raw(member)].in_s = false;
+      regrants_.push_back(member);
+    }
+    out.migrations = migrants.size();
+  }
+
+  out.contributions = std::move(pending_);
+  pending_ = {};
+
+  // Interval boundary: both trees refresh one-way (free), then the DEK.
+  s_tree_.end_epoch();
+  l_tree_.end_epoch();
+  for (const auto member : s_tree_.relocated())
+    if (records_.count(workload::raw(member)) != 0) regrants_.push_back(member);
+  for (const auto member : l_tree_.relocated())
+    if (records_.count(workload::raw(member)) != 0) regrants_.push_back(member);
+
+  const bool compromised = staged_s_leaves_ + staged_l_leaves_ > 0;
+  if (compromised || staged_joins_ > 0) {
+    dek_.rotate();
+    if (!compromised) dek_.wrap_under_previous(out.dek_wraps);
+    if (s_tree_.size() > 0) {
+      const auto root = s_tree_.group_key();
+      dek_.wrap_under(root.key, s_tree_.root_id(), root.version, out.dek_wraps);
+    }
+    if (l_tree_.size() > 0) {
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, out.dek_wraps);
+    }
+  }
+  out.dek_wraps.group_key_id = dek_.id();
+  out.dek_wraps.group_key_version = dek_.current().version;
+  out.contributions.epoch = epoch_;
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  return out;
+}
+
+std::vector<elk::ElkTree::PathKey> ElkTtServer::grant_for(
+    workload::MemberId member) const {
+  return tree_of(member).grant_for(member);
+}
+
+}  // namespace gk::partition

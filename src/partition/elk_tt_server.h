@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "elk/elk_tree.h"
+#include "partition/group_key.h"
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// The TT two-partition scheme over ELK trees — completing the paper's
+/// "also applicable" claim across all three hierarchical substrates it
+/// names (LkH: TtServer, OFT: OftTtServer, ELK: this).
+///
+/// ELK composes particularly well with the partition idea: joins are
+/// broadcast-free on either tree, so the S-partition only ever pays for
+/// the *departures* of short-lived members — and those disturb a tree of
+/// size Ns, not N. Unlike OFT, ELK's contribution records are id/version
+/// keyed with no client-side fold order, so a whole epoch's operations
+/// batch into one message safely.
+class ElkTtServer {
+ public:
+  ElkTtServer(unsigned s_period_epochs, Rng rng);
+
+  /// Stage a join (broadcast-free). The grant is issued post-commit via
+  /// grant_for(), per ELK's interval-boundary admission.
+  void join(workload::MemberId member);
+
+  /// Stage a departure (the contribution records accumulate into the
+  /// epoch's message).
+  void leave(workload::MemberId member);
+
+  struct Output {
+    std::uint64_t epoch = 0;
+    /// Sub-key-size contribution records from both partitions.
+    elk::ElkRekeyMessage contributions;
+    /// Whole-key wraps carrying the session DEK under the partition roots.
+    lkh::RekeyMessage dek_wraps;
+    std::size_t migrations = 0;
+    std::size_t s_departures = 0;
+    std::size_t l_departures = 0;
+
+    /// Multicast bits: contributions plus full wrapped keys.
+    [[nodiscard]] std::size_t payload_bits() const noexcept {
+      return contributions.payload_bits() +
+             dek_wraps.cost() * 8 * crypto::WrappedKey::kWireSize;
+    }
+  };
+  Output end_epoch();
+
+  [[nodiscard]] std::vector<elk::ElkTree::PathKey> grant_for(
+      workload::MemberId member) const;
+  /// Members needing a re-grant after the last commit (splits/migrations).
+  [[nodiscard]] const std::vector<workload::MemberId>& regrants() const noexcept {
+    return regrants_;
+  }
+
+  [[nodiscard]] crypto::VersionedKey group_key() const { return dek_.current(); }
+  [[nodiscard]] crypto::KeyId group_key_id() const noexcept { return dek_.id(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool member_in_s(workload::MemberId member) const;
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+  [[nodiscard]] const elk::ElkTree& tree_of(workload::MemberId member) const;
+
+ private:
+  struct Record {
+    std::uint64_t joined_epoch = 0;
+    bool in_s = true;
+  };
+
+  unsigned s_period_epochs_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  elk::ElkTree s_tree_;
+  elk::ElkTree l_tree_;
+  GroupKeyManager dek_;
+  std::unordered_map<std::uint64_t, Record> records_;
+  elk::ElkRekeyMessage pending_;
+  std::vector<workload::MemberId> regrants_;
+  std::uint64_t epoch_ = 0;
+  std::size_t staged_joins_ = 0;
+  std::size_t staged_s_leaves_ = 0;
+  std::size_t staged_l_leaves_ = 0;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,27 @@
+#include "partition/factory.h"
+
+#include "common/ensure.h"
+#include "partition/one_keytree_server.h"
+#include "partition/pt_server.h"
+#include "partition/qt_server.h"
+#include "partition/tt_server.h"
+
+namespace gk::partition {
+
+std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
+                                         unsigned s_period_epochs, Rng rng) {
+  switch (kind) {
+    case SchemeKind::kOneKeyTree:
+      return std::make_unique<OneKeyTreeServer>(degree, rng);
+    case SchemeKind::kQt:
+      return std::make_unique<QtServer>(degree, s_period_epochs, rng);
+    case SchemeKind::kTt:
+      return std::make_unique<TtServer>(degree, s_period_epochs, rng);
+    case SchemeKind::kPt:
+      return std::make_unique<PtServer>(degree, rng);
+  }
+  GK_ENSURE_MSG(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "partition/adaptive.h"
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// Construct a rekey server for the given scheme. `s_period_epochs` (K) is
+/// ignored by the one-keytree and PT schemes.
+[[nodiscard]] std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
+                                                       unsigned s_period_epochs, Rng rng);
+
+}  // namespace gk::partition

@@ -1,0 +1,34 @@
+#include "partition/group_key.h"
+
+namespace gk::partition {
+
+GroupKeyManager::GroupKeyManager(Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
+    : rng_(rng) {
+  id_ = ids->next();
+  key_ = {crypto::Key128::random(rng_), 0};
+  previous_ = key_.key;
+}
+
+void GroupKeyManager::rotate() {
+  previous_ = key_.key;
+  key_.key = crypto::Key128::random(rng_);
+  ++key_.version;
+}
+
+void GroupKeyManager::wrap_under(const crypto::Key128& kek, crypto::KeyId kek_id,
+                                 std::uint32_t kek_version, lkh::RekeyMessage& out) {
+  out.wraps.push_back(
+      crypto::wrap_key(kek, kek_id, kek_version, key_.key, id_, key_.version, rng_));
+}
+
+void GroupKeyManager::wrap_under_previous(lkh::RekeyMessage& out) {
+  out.wraps.push_back(crypto::wrap_key(previous_, id_, key_.version - 1, key_.key, id_,
+                                       key_.version, rng_));
+}
+
+void GroupKeyManager::stamp(lkh::RekeyMessage& out) const {
+  out.group_key_id = id_;
+  out.group_key_version = key_.version;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,141 @@
+#include "partition/oft_tt_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+OftTtServer::OftTtServer(unsigned s_period_epochs, Rng rng)
+    : s_period_epochs_(s_period_epochs),
+      ids_(lkh::IdAllocator::create()),
+      rng_(rng.fork()),
+      s_tree_(rng.fork(), ids_),
+      l_tree_(rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {}
+
+Registration OftTtServer::join(const workload::MemberProfile& profile) {
+  const bool to_s = s_period_epochs_ > 0;
+  auto& tree = to_s ? s_tree_ : l_tree_;
+  lkh::RekeyMessage op;
+  const auto grant = tree.join(profile.id, op);
+  records_.emplace(workload::raw(profile.id), Record{epoch_, to_s});
+  ++staged_joins_;
+  notify(OpEvent::Kind::kJoin, profile.id, op);
+  pending_.append(std::move(op));
+  return {grant.leaf_key, grant.leaf_id};
+}
+
+void OftTtServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  lkh::RekeyMessage op;
+  if (it->second.in_s) {
+    s_tree_.leave(member, op);
+    ++staged_s_leaves_;
+  } else {
+    l_tree_.leave(member, op);
+    ++staged_l_leaves_;
+  }
+  records_.erase(it);
+  notify(OpEvent::Kind::kLeave, member, op);
+  pending_.append(std::move(op));
+}
+
+bool OftTtServer::member_in_s(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  return it->second.in_s;
+}
+
+EpochOutput OftTtServer::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  migrations_.clear();
+  if (s_period_epochs_ > 0) {
+    std::vector<workload::MemberId> migrants;
+    for (const auto& [raw_id, record] : records_) {
+      if (record.in_s && epoch_ >= record.joined_epoch + s_period_epochs_)
+        migrants.push_back(workload::make_member_id(raw_id));
+    }
+    for (const auto member : migrants) {
+      // OFT leaf keys are entangled with the functional path keys, so the
+      // migrant gets a fresh leaf in the L-tree via a unicast grant.
+      lkh::RekeyMessage out_op;
+      s_tree_.leave(member, out_op);
+      notify(OpEvent::Kind::kMigrateOut, member, out_op);
+      pending_.append(std::move(out_op));
+
+      lkh::RekeyMessage in_op;
+      auto grant = l_tree_.join(member, in_op);
+      records_[workload::raw(member)].in_s = false;
+      migrations_.push_back({member, std::move(grant)});
+      notify(OpEvent::Kind::kMigrateIn, member, in_op);
+      pending_.append(std::move(in_op));
+    }
+    out.migrations = migrants.size();
+  }
+
+  out.message = std::move(pending_);
+  pending_ = {};
+
+  lkh::RekeyMessage dek_message;
+  const bool compromised = staged_s_leaves_ + staged_l_leaves_ > 0;
+  if (compromised) {
+    dek_.rotate();
+    if (!s_tree_.empty()) {
+      const auto root = s_tree_.group_key();
+      dek_.wrap_under(root.key, s_tree_.root_id(), root.version, dek_message);
+    }
+    if (!l_tree_.empty()) {
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+    }
+  } else if (staged_joins_ > 0) {
+    dek_.rotate();
+    dek_.wrap_under_previous(dek_message);
+    const oft::OftTree& arrivals = s_period_epochs_ > 0 ? s_tree_ : l_tree_;
+    if (!arrivals.empty()) {
+      const auto root = arrivals.group_key();
+      dek_.wrap_under(root.key, arrivals.root_id(), root.version, dek_message);
+    }
+    if (out.migrations > 0 && !l_tree_.empty() && s_period_epochs_ > 0) {
+      // Migrants folded into the L-tree cannot use the S-root wrap.
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+    }
+  } else if (out.migrations > 0 && !l_tree_.empty()) {
+    // Migration-only epoch: the DEK stays, but the L-tree's functional root
+    // changed under the migrants' joins, so re-wrap the *current* DEK for
+    // the L-tree audience (the S audience keeps its copy).
+    const auto root = l_tree_.group_key();
+    dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+  }
+  notify(OpEvent::Kind::kGroupKey, workload::MemberId{}, dek_message);
+  out.message.append(std::move(dek_message));
+  dek_.stamp(out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  return out;
+}
+
+crypto::VersionedKey OftTtServer::group_key() const { return dek_.current(); }
+
+crypto::KeyId OftTtServer::group_key_id() const { return dek_.id(); }
+
+std::vector<crypto::KeyId> OftTtServer::member_path(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  const auto& tree = it->second.in_s ? s_tree_ : l_tree_;
+  auto info = tree.path_info(member);
+  std::vector<crypto::KeyId> path(info.path.begin() + 1, info.path.end());
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

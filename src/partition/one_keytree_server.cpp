@@ -1,0 +1,39 @@
+#include "partition/one_keytree_server.h"
+
+namespace gk::partition {
+
+OneKeyTreeServer::OneKeyTreeServer(unsigned degree, Rng rng) : tree_(degree, rng) {}
+
+Registration OneKeyTreeServer::join(const workload::MemberProfile& profile) {
+  const auto grant = tree_.insert(profile.id);
+  ++staged_joins_;
+  return {grant.individual_key, grant.leaf_id};
+}
+
+void OneKeyTreeServer::leave(workload::MemberId member) {
+  tree_.remove(member);
+  ++staged_leaves_;
+}
+
+EpochOutput OneKeyTreeServer::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.l_departures = staged_leaves_;
+  out.message = tree_.commit(epoch_);
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_leaves_ = 0;
+  return out;
+}
+
+crypto::VersionedKey OneKeyTreeServer::group_key() const { return tree_.root_key(); }
+
+crypto::KeyId OneKeyTreeServer::group_key_id() const { return tree_.root_id(); }
+
+std::vector<crypto::KeyId> OneKeyTreeServer::member_path(
+    workload::MemberId member) const {
+  return tree_.path_ids(member);
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "lkh/key_tree.h"
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// The baseline every prior scheme uses (Section 2.1): one balanced key
+/// tree whose root *is* the group data-encryption key.
+class OneKeyTreeServer final : public RekeyServer {
+ public:
+  OneKeyTreeServer(unsigned degree, Rng rng);
+
+  Registration join(const workload::MemberProfile& profile) override;
+  void leave(workload::MemberId member) override;
+  EpochOutput end_epoch() override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override;
+  [[nodiscard]] crypto::KeyId group_key_id() const override;
+  [[nodiscard]] std::size_t size() const override { return tree_.size(); }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override;
+
+  [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
+
+ private:
+  lkh::KeyTree tree_;
+  std::uint64_t epoch_ = 0;
+  std::size_t staged_joins_ = 0;
+  std::size_t staged_leaves_ = 0;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,88 @@
+#include "partition/pt_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+PtServer::PtServer(unsigned degree, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      s_tree_(degree, rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {}
+
+Registration PtServer::join(const workload::MemberProfile& profile) {
+  const bool in_s = profile.member_class == workload::MemberClass::kShort;
+  auto& tree = in_s ? s_tree_ : l_tree_;
+  (in_s ? s_arrivals_ : l_arrivals_) = true;
+  const auto grant = tree.insert(profile.id);
+  records_.emplace(workload::raw(profile.id), in_s);
+  ++staged_joins_;
+  return {grant.individual_key, grant.leaf_id};
+}
+
+void PtServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  if (it->second) {
+    s_tree_.remove(member);
+    ++staged_s_leaves_;
+  } else {
+    l_tree_.remove(member);
+    ++staged_l_leaves_;
+  }
+  records_.erase(it);
+}
+
+EpochOutput PtServer::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  out.message = s_tree_.commit(epoch_);
+  out.message.append(l_tree_.commit(epoch_));
+
+  const bool compromised = staged_s_leaves_ + staged_l_leaves_ > 0;
+  if (compromised) {
+    dek_.rotate();
+    if (!s_tree_.empty())
+      dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                      s_tree_.root_key().version, out.message);
+    if (!l_tree_.empty())
+      dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                      l_tree_.root_key().version, out.message);
+  } else if (staged_joins_ > 0) {
+    dek_.rotate();
+    dek_.wrap_under_previous(out.message);
+    if (s_arrivals_ && !s_tree_.empty())
+      dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                      s_tree_.root_key().version, out.message);
+    if (l_arrivals_ && !l_tree_.empty())
+      dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                      l_tree_.root_key().version, out.message);
+  }
+  dek_.stamp(out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  s_arrivals_ = false;
+  l_arrivals_ = false;
+  return out;
+}
+
+crypto::VersionedKey PtServer::group_key() const { return dek_.current(); }
+
+crypto::KeyId PtServer::group_key_id() const { return dek_.id(); }
+
+std::vector<crypto::KeyId> PtServer::member_path(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  auto path = it->second ? s_tree_.path_ids(member) : l_tree_.path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,116 @@
+#include "partition/qt_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+QtServer::QtServer(unsigned degree, unsigned s_period_epochs, Rng rng)
+    : s_period_epochs_(s_period_epochs),
+      ids_(lkh::IdAllocator::create()),
+      queue_(rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {}
+
+Registration QtServer::join(const workload::MemberProfile& profile) {
+  ++staged_joins_;
+  records_.emplace(workload::raw(profile.id), Record{epoch_, s_period_epochs_ > 0});
+  if (s_period_epochs_ == 0) {
+    const auto grant = l_tree_.insert(profile.id);
+    return {grant.individual_key, grant.leaf_id};
+  }
+  const auto grant = queue_.insert(profile.id);
+  epoch_arrivals_.push_back(profile.id);
+  return {grant.individual_key, grant.leaf_id};
+}
+
+void QtServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  if (it->second.in_s) {
+    queue_.remove(member);
+    ++staged_s_leaves_;
+  } else {
+    l_tree_.remove(member);
+    ++staged_l_leaves_;
+  }
+  records_.erase(it);
+}
+
+EpochOutput QtServer::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  relocations_.clear();
+  if (s_period_epochs_ > 0) {
+    std::vector<workload::MemberId> migrants;
+    for (const auto& [raw_id, record] : records_) {
+      if (record.in_s && epoch_ >= record.joined_epoch + s_period_epochs_)
+        migrants.push_back(workload::make_member_id(raw_id));
+    }
+    for (const auto member : migrants) {
+      const auto individual = queue_.individual_key(member);
+      queue_.remove(member);
+      const auto grant = l_tree_.insert_with_key(member, individual);
+      records_[workload::raw(member)].in_s = false;
+      relocations_.push_back({member, grant.leaf_id});
+    }
+    out.migrations = migrants.size();
+  }
+
+  out.message = l_tree_.commit(epoch_);
+
+  const bool compromised = staged_s_leaves_ + staged_l_leaves_ > 0;
+  if (compromised) {
+    // The departed members held the DEK directly, so every queue resident
+    // needs an individual re-wrap — the queue's whole cost model.
+    dek_.rotate();
+    auto queue_wraps = queue_.wrap_for_all(dek_.current().key, dek_.id(),
+                                           dek_.current().version);
+    out.message.wraps.insert(out.message.wraps.end(), queue_wraps.begin(),
+                             queue_wraps.end());
+    if (!l_tree_.empty())
+      dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                      l_tree_.root_key().version, out.message);
+  } else if (staged_joins_ > 0) {
+    // Join-only epoch: incumbents chain from the previous DEK; each
+    // arrival that is still in the queue needs one individual wrap.
+    dek_.rotate();
+    dek_.wrap_under_previous(out.message);
+    if (s_period_epochs_ == 0) {
+      if (!l_tree_.empty())
+        dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                        l_tree_.root_key().version, out.message);
+    } else {
+      for (const auto member : epoch_arrivals_)
+        if (queue_.contains(member))
+          out.message.wraps.push_back(queue_.wrap_for(
+              member, dek_.current().key, dek_.id(), dek_.current().version));
+    }
+  }
+  dek_.stamp(out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  epoch_arrivals_.clear();
+  return out;
+}
+
+crypto::VersionedKey QtServer::group_key() const { return dek_.current(); }
+
+crypto::KeyId QtServer::group_key_id() const { return dek_.id(); }
+
+std::vector<crypto::KeyId> QtServer::member_path(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  std::vector<crypto::KeyId> path;
+  if (!it->second.in_s) path = l_tree_.path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/key.h"
+#include "lkh/rekey_message.h"
+#include "workload/member.h"
+
+namespace gk::partition {
+
+/// What a joining member receives over the registration unicast channel.
+/// Unicast traffic is NOT part of the paper's multicast-bandwidth metric,
+/// but servers report it so experiments can confirm the migration paths add
+/// none of it.
+struct Registration {
+  crypto::Key128 individual_key;
+  crypto::KeyId leaf_id{};
+};
+
+/// A member whose leaf moved to a new node id during a partition migration.
+/// Leaf placement is public structure information; the simulator forwards
+/// it to the member's key ring (the key itself never moves).
+struct Relocation {
+  workload::MemberId member{};
+  crypto::KeyId new_leaf_id{};
+};
+
+/// The outcome of committing one rekey period.
+struct EpochOutput {
+  std::uint64_t epoch = 0;
+  /// The multicast rekey payload (partition messages merged, group-key
+  /// wraps appended). message.cost() is the paper's metric.
+  lkh::RekeyMessage message;
+  /// Members moved from the S-partition to the L-partition this epoch.
+  std::size_t migrations = 0;
+  /// True departures processed in each partition this epoch (one-keytree
+  /// servers report everything as l_departures).
+  std::size_t s_departures = 0;
+  std::size_t l_departures = 0;
+  std::size_t joins = 0;
+
+  [[nodiscard]] std::size_t multicast_cost() const noexcept { return message.cost(); }
+};
+
+/// A group key server processing membership changes in periodic batches
+/// (Kronos-style). Usage per epoch: any number of join()/leave() calls,
+/// then end_epoch() which commits the batch and emits the rekey message.
+class RekeyServer {
+ public:
+  virtual ~RekeyServer() = default;
+
+  /// Stage a join. The profile's class/duration fields are *oracle*
+  /// information — only the PT scheme may read them (and only the class).
+  virtual Registration join(const workload::MemberProfile& profile) = 0;
+
+  /// Stage a departure of a current member.
+  virtual void leave(workload::MemberId member) = 0;
+
+  /// Commit the epoch: process migrations, refresh compromised keys,
+  /// rotate the group key, and emit the multicast payload.
+  virtual EpochOutput end_epoch() = 0;
+
+  /// Current session data-encryption key (what members must end up with).
+  [[nodiscard]] virtual crypto::VersionedKey group_key() const = 0;
+  [[nodiscard]] virtual crypto::KeyId group_key_id() const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Node ids whose keys this member should currently hold (leaf excluded,
+  /// group key included). The transport layer derives keys-of-interest
+  /// from this.
+  [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const = 0;
+};
+
+}  // namespace gk::partition

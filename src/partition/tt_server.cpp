@@ -1,0 +1,112 @@
+#include "partition/tt_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+TtServer::TtServer(unsigned degree, unsigned s_period_epochs, Rng rng)
+    : s_period_epochs_(s_period_epochs),
+      ids_(lkh::IdAllocator::create()),
+      s_tree_(degree, rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {}
+
+Registration TtServer::join(const workload::MemberProfile& profile) {
+  // K = 0 degenerates to the one-keytree scheme: everyone goes straight to
+  // the L-tree and no migrations ever happen.
+  const bool to_s = s_period_epochs_ > 0;
+  const auto grant =
+      to_s ? s_tree_.insert(profile.id) : l_tree_.insert(profile.id);
+  records_.emplace(workload::raw(profile.id), Record{epoch_, to_s});
+  ++staged_joins_;
+  return {grant.individual_key, grant.leaf_id};
+}
+
+void TtServer::leave(workload::MemberId member) {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  if (it->second.in_s) {
+    s_tree_.remove(member);
+    ++staged_s_leaves_;
+  } else {
+    l_tree_.remove(member);
+    ++staged_l_leaves_;
+  }
+  records_.erase(it);
+}
+
+EpochOutput TtServer::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  // Batched migration: members that have survived the full S-period move
+  // into the L-tree, keeping their individual keys.
+  relocations_.clear();
+  if (s_period_epochs_ > 0) {
+    std::vector<workload::MemberId> migrants;
+    for (const auto& [raw_id, record] : records_) {
+      if (record.in_s && epoch_ >= record.joined_epoch + s_period_epochs_)
+        migrants.push_back(workload::make_member_id(raw_id));
+    }
+    for (const auto member : migrants) {
+      const auto individual = s_tree_.individual_key(member);
+      s_tree_.remove(member);
+      const auto grant = l_tree_.insert_with_key(member, individual);
+      records_[workload::raw(member)].in_s = false;
+      relocations_.push_back({member, grant.leaf_id});
+    }
+    out.migrations = migrants.size();
+  }
+
+  out.message = s_tree_.commit(epoch_);
+  out.message.append(l_tree_.commit(epoch_));
+
+  const bool compromised = staged_s_leaves_ + staged_l_leaves_ > 0;
+  if (compromised) {
+    // Someone who knew the DEK left: rotate and re-wrap under each
+    // partition root.
+    dek_.rotate();
+    if (!s_tree_.empty())
+      dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                      s_tree_.root_key().version, out.message);
+    if (!l_tree_.empty())
+      dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                      l_tree_.root_key().version, out.message);
+  } else if (staged_joins_ > 0) {
+    // Join-only epoch: one wrap under the previous DEK serves every
+    // incumbent (including this epoch's migrants); arrivals climb their
+    // tree and take the DEK from one wrap under that tree's root.
+    dek_.rotate();
+    dek_.wrap_under_previous(out.message);
+    const lkh::KeyTree& arrivals = s_period_epochs_ > 0 ? s_tree_ : l_tree_;
+    if (!arrivals.empty())
+      dek_.wrap_under(arrivals.root_key().key, arrivals.root_id(),
+                      arrivals.root_key().version, out.message);
+  }
+  // Migration-only or idle epochs leave the DEK alone (Section 3.2 phase 3:
+  // migrants are still authorized members).
+  dek_.stamp(out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  return out;
+}
+
+crypto::VersionedKey TtServer::group_key() const { return dek_.current(); }
+
+crypto::KeyId TtServer::group_key_id() const { return dek_.id(); }
+
+std::vector<crypto::KeyId> TtServer::member_path(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  auto path = it->second.in_s ? s_tree_.path_ids(member) : l_tree_.path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "lkh/key_tree.h"
+#include "partition/group_key.h"
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// TT-scheme (Section 3.2): two balanced key trees — a short-term S-tree
+/// every member joins first, and a long-term L-tree members migrate to
+/// after surviving `s_period_epochs` rekey periods. Both sit under the
+/// session DEK managed by GroupKeyManager.
+///
+/// Migrations are batched into the periodic commit: the member is removed
+/// from the S-tree and re-inserted into the L-tree *with the same
+/// individual key*, so the move costs multicast wraps only (no new
+/// registration unicast) and never rotates the DEK by itself — the migrant
+/// is still an authorized member.
+class TtServer final : public RekeyServer {
+ public:
+  TtServer(unsigned degree, unsigned s_period_epochs, Rng rng);
+
+  Registration join(const workload::MemberProfile& profile) override;
+  void leave(workload::MemberId member) override;
+  EpochOutput end_epoch() override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override;
+  [[nodiscard]] crypto::KeyId group_key_id() const override;
+  [[nodiscard]] std::size_t size() const override { return records_.size(); }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override;
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+
+  /// New leaf ids assigned by migrations in the last end_epoch().
+  [[nodiscard]] const std::vector<Relocation>& last_relocations() const noexcept {
+    return relocations_;
+  }
+
+ private:
+  struct Record {
+    std::uint64_t joined_epoch = 0;
+    bool in_s = true;
+  };
+
+  unsigned s_period_epochs_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  lkh::KeyTree s_tree_;
+  lkh::KeyTree l_tree_;
+  GroupKeyManager dek_;
+  std::unordered_map<std::uint64_t, Record> records_;
+  std::vector<Relocation> relocations_;
+  std::uint64_t epoch_ = 0;
+  std::size_t staged_joins_ = 0;
+  std::size_t staged_s_leaves_ = 0;
+  std::size_t staged_l_leaves_ = 0;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,32 @@
+#include "sim/interest.h"
+
+#include <algorithm>
+
+namespace gk::sim {
+
+InterestIndex::InterestIndex(std::span<const crypto::WrappedKey> payload) {
+  by_wrapping_.reserve(payload.size());
+  for (std::uint32_t i = 0; i < payload.size(); ++i)
+    by_wrapping_.push_back({crypto::raw(payload[i].wrapping_id), i});
+  std::sort(by_wrapping_.begin(), by_wrapping_.end(),
+            [](const Entry& a, const Entry& b) { return a.wrapping_id < b.wrapping_id; });
+}
+
+std::vector<std::uint32_t> InterestIndex::interest_of(
+    std::span<const crypto::KeyId> held_ids) const {
+  std::vector<std::uint32_t> interest;
+  for (const auto id : held_ids) {
+    const auto raw_id = crypto::raw(id);
+    auto it = std::lower_bound(by_wrapping_.begin(), by_wrapping_.end(), raw_id,
+                               [](const Entry& e, std::uint64_t v) {
+                                 return e.wrapping_id < v;
+                               });
+    for (; it != by_wrapping_.end() && it->wrapping_id == raw_id; ++it)
+      interest.push_back(it->index);
+  }
+  std::sort(interest.begin(), interest.end());
+  interest.erase(std::unique(interest.begin(), interest.end()), interest.end());
+  return interest;
+}
+
+}  // namespace gk::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/keywrap.h"
+
+namespace gk::sim {
+
+/// Compute a receiver's keys of interest in a rekey payload: the indices of
+/// wraps encrypted under a key the member holds (its leaf key or any node
+/// on its path, including the group key for "new under old" wraps).
+///
+/// This is the sparseness property of Section 2.2 made concrete — in a
+/// deployed protocol the member derives the same set from the packet
+/// headers (ids are not secret).
+class InterestIndex {
+ public:
+  explicit InterestIndex(std::span<const crypto::WrappedKey> payload);
+
+  /// Indices of wraps whose wrapping key is one of `held_ids`
+  /// (sorted, deduplicated).
+  [[nodiscard]] std::vector<std::uint32_t> interest_of(
+      std::span<const crypto::KeyId> held_ids) const;
+
+ private:
+  struct Entry {
+    std::uint64_t wrapping_id;
+    std::uint32_t index;
+  };
+  std::vector<Entry> by_wrapping_;  // sorted by wrapping_id
+};
+
+}  // namespace gk::sim

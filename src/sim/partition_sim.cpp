@@ -1,0 +1,132 @@
+#include "sim/partition_sim.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ensure.h"
+#include "lkh/key_ring.h"
+#include "partition/factory.h"
+#include "partition/qt_server.h"
+#include "partition/tt_server.h"
+#include "workload/membership.h"
+#include "workload/trace.h"
+
+namespace gk::sim {
+
+namespace {
+
+const std::vector<partition::Relocation>* relocations_of(partition::RekeyServer& server) {
+  if (auto* tt = dynamic_cast<partition::TtServer*>(&server))
+    return &tt->last_relocations();
+  if (auto* qt = dynamic_cast<partition::QtServer*>(&server))
+    return &qt->last_relocations();
+  return nullptr;
+}
+
+}  // namespace
+
+PartitionSimResult run_partition_sim(const PartitionSimConfig& config) {
+  PartitionSimResult result;
+
+  auto durations = std::make_shared<workload::TwoClassExponential>(
+      config.short_mean, config.long_mean, config.short_fraction);
+  auto losses = std::make_shared<workload::UniformLoss>(0.0);
+  workload::MembershipGenerator generator(durations, losses, config.group_size,
+                                          Rng(config.seed));
+  const auto trace = workload::MembershipTrace::generate(
+      generator, config.rekey_period, config.warmup_epochs + config.epochs);
+
+  auto server = partition::make_server(config.scheme, config.degree,
+                                       config.s_period_epochs, Rng(config.seed ^ 0xabcd));
+
+  // Member-side state (verification mode only).
+  std::unordered_map<std::uint64_t, lkh::KeyRing> rings;
+  std::unordered_map<std::uint64_t, crypto::Key128> individual_keys;
+  std::deque<lkh::KeyRing> evicted;  // bounded eavesdropper sample
+
+  auto admit = [&](const workload::MemberProfile& profile) {
+    const auto reg = server->join(profile);
+    if (config.verify_members) {
+      rings.emplace(workload::raw(profile.id),
+                    lkh::KeyRing(profile.id, reg.leaf_id, reg.individual_key));
+      individual_keys.emplace(workload::raw(profile.id), reg.individual_key);
+    }
+  };
+
+  // Session start: the bootstrap population joins as one batch. Its cost is
+  // session setup, not steady-state rekeying; warmup discards it.
+  for (const auto& member : trace.initial_members()) admit(member);
+
+  std::unordered_map<std::uint64_t, bool> present;
+  for (const auto& member : trace.initial_members())
+    present.emplace(workload::raw(member.id), true);
+
+  auto depart = [&](workload::MemberId id) {
+    server->leave(id);
+    present.erase(workload::raw(id));
+    if (config.verify_members) {
+      auto it = rings.find(workload::raw(id));
+      evicted.push_back(std::move(it->second));
+      if (evicted.size() > 64) evicted.pop_front();
+      rings.erase(it);
+      individual_keys.erase(workload::raw(id));
+    }
+  };
+
+  for (const auto& epoch : trace.epochs()) {
+    // Departures of incumbents first so this batch's joins can refill the
+    // vacated slots; members who both join and leave within the epoch are
+    // handled after their join is staged.
+    std::vector<workload::MemberId> churn_leaves;
+    for (const auto id : epoch.leaves) {
+      if (present.count(workload::raw(id)) != 0)
+        depart(id);
+      else
+        churn_leaves.push_back(id);
+    }
+    for (const auto& profile : epoch.joins) {
+      admit(profile);
+      present.emplace(workload::raw(profile.id), true);
+    }
+    for (const auto id : churn_leaves) depart(id);
+
+    const auto out = server->end_epoch();
+
+    if (config.verify_members) {
+      if (const auto* relocations = relocations_of(*server)) {
+        for (const auto& move : *relocations) {
+          const auto it = rings.find(workload::raw(move.member));
+          if (it != rings.end())
+            it->second.grant(move.new_leaf_id,
+                             {individual_keys.at(workload::raw(move.member)), 0});
+        }
+      }
+      for (auto& [id, ring] : rings) ring.process(out.message);
+      for (auto& ring : evicted) ring.process(out.message);
+
+      const auto dek_id = server->group_key_id();
+      const auto dek_version = server->group_key().version;
+      for (const auto& [id, ring] : rings) {
+        ++result.members_checked;
+        if (!ring.holds(dek_id, dek_version)) result.invariants_ok = false;
+      }
+      for (const auto& ring : evicted) {
+        ++result.members_checked;
+        if (ring.holds(dek_id, dek_version)) result.invariants_ok = false;
+      }
+    }
+
+    if (epoch.index >= config.warmup_epochs) {
+      result.cost_per_epoch.add(static_cast<double>(out.multicast_cost()));
+      result.joins_per_epoch.add(static_cast<double>(out.joins));
+      result.leaves_per_epoch.add(
+          static_cast<double>(out.s_departures + out.l_departures));
+      result.migrations_per_epoch.add(static_cast<double>(out.migrations));
+      result.group_size.add(static_cast<double>(server->size()));
+    }
+  }
+  return result;
+}
+
+}  // namespace gk::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "partition/adaptive.h"
+
+namespace gk::sim {
+
+/// Discrete-event simulation of one rekeying scheme under the paper's
+/// two-class workload (Section 3.3's scenario, executed for real instead of
+/// analytically): a steady-state group churns for `epochs` rekey periods
+/// while the server batches joins, leaves, and migrations.
+struct PartitionSimConfig {
+  partition::SchemeKind scheme = partition::SchemeKind::kOneKeyTree;
+  unsigned degree = 4;
+  unsigned s_period_epochs = 10;  ///< K
+  std::uint64_t group_size = 4096;
+  double rekey_period = 60.0;     ///< Tp seconds
+  double short_mean = 180.0;      ///< Ms
+  double long_mean = 10800.0;     ///< Ml
+  double short_fraction = 0.8;    ///< alpha
+  std::uint64_t epochs = 40;      ///< measured epochs (after warmup)
+  std::uint64_t warmup_epochs = 15;
+  std::uint64_t seed = 1;
+  /// Drive member-side key rings and check confidentiality invariants each
+  /// epoch (quadratic-ish; use small groups).
+  bool verify_members = false;
+};
+
+struct PartitionSimResult {
+  /// Multicast encrypted keys per epoch, measured epochs only.
+  RunningStats cost_per_epoch;
+  RunningStats joins_per_epoch;
+  RunningStats leaves_per_epoch;
+  RunningStats migrations_per_epoch;
+  RunningStats group_size;
+  /// Only meaningful when verify_members is set.
+  bool invariants_ok = true;
+  std::uint64_t members_checked = 0;
+};
+
+[[nodiscard]] PartitionSimResult run_partition_sim(const PartitionSimConfig& config);
+
+}  // namespace gk::sim

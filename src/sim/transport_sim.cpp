@@ -1,0 +1,219 @@
+#include "sim/transport_sim.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ensure.h"
+#include "losshomo/multi_tree_server.h"
+#include "sim/interest.h"
+#include "workload/loss_assignment.h"
+#include "transport/fec.h"
+#include "transport/multisend.h"
+#include "transport/session.h"
+#include "transport/wka_bkr.h"
+
+namespace gk::sim {
+
+namespace {
+
+struct MemberInfo {
+  double true_loss = 0.0;
+  crypto::KeyId leaf_id{};
+};
+
+std::unique_ptr<transport::RekeyTransport> make_transport(
+    const TransportSimConfig& config) {
+  switch (config.protocol) {
+    case TransportSimConfig::Protocol::kWkaBkr: {
+      transport::WkaBkrTransport::Config c;
+      c.keys_per_packet = config.keys_per_packet;
+      return std::make_unique<transport::WkaBkrTransport>(c);
+    }
+    case TransportSimConfig::Protocol::kProactiveFec: {
+      transport::ProactiveFecTransport::Config c;
+      c.keys_per_packet = config.keys_per_packet;
+      return std::make_unique<transport::ProactiveFecTransport>(c);
+    }
+    case TransportSimConfig::Protocol::kMultiSend: {
+      transport::MultiSendTransport::Config c;
+      c.keys_per_packet = config.keys_per_packet;
+      return std::make_unique<transport::MultiSendTransport>(c);
+    }
+  }
+  GK_ENSURE_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+}  // namespace
+
+TransportSimResult run_transport_sim(const TransportSimConfig& config) {
+  TransportSimResult result;
+  Rng rng(config.seed);
+
+  // ---- Server with the requested tree organization. ----
+  std::vector<double> bounds;
+  auto placement = losshomo::Placement::kLossHomogenized;
+  switch (config.organization) {
+    case TransportSimConfig::Organization::kOneTree:
+      bounds = {1.0};
+      break;
+    case TransportSimConfig::Organization::kRandomSplit:
+      bounds = {0.5, 1.0};
+      placement = losshomo::Placement::kRandom;
+      break;
+    case TransportSimConfig::Organization::kLossHomogenized:
+      bounds = config.custom_bins.empty()
+                   ? std::vector<double>{(config.low_loss + config.high_loss) / 2.0, 1.0}
+                   : config.custom_bins;
+      break;
+  }
+  losshomo::MultiTreeServer server(config.degree, bounds, placement, rng.fork());
+
+  // Loss population: the paper's two-point default or a caller-supplied
+  // discrete distribution.
+  std::unique_ptr<workload::DiscreteLoss> custom_losses;
+  if (!config.loss_points.empty()) {
+    std::vector<workload::DiscreteLoss::Point> points;
+    for (const auto& [rate, weight] : config.loss_points)
+      points.push_back({rate, weight});
+    custom_losses = std::make_unique<workload::DiscreteLoss>(std::move(points));
+  }
+
+  std::unordered_map<std::uint64_t, MemberInfo> members;
+  std::uint64_t next_id = 0;
+
+  // Fig. 7's misplacement: a fraction beta of high-loss members report low
+  // loss, and the same *number* of low-loss members report high, keeping
+  // the tree sizes invariant (Section 4.3.1(b)).
+  const double low_misreport_prob =
+      config.high_fraction >= 1.0
+          ? 0.0
+          : config.misreport_fraction * config.high_fraction /
+                (1.0 - config.high_fraction);
+
+  auto admit_one = [&] {
+    const auto id = workload::make_member_id(next_id++);
+    double true_loss;
+    double reported;
+    if (custom_losses != nullptr) {
+      true_loss = custom_losses->assign(rng);
+      reported = true_loss;
+    } else {
+      const bool is_high = rng.bernoulli(config.high_fraction);
+      true_loss = is_high ? config.high_loss : config.low_loss;
+      reported = true_loss;
+      if (is_high && rng.bernoulli(config.misreport_fraction))
+        reported = config.low_loss;
+      else if (!is_high && rng.bernoulli(low_misreport_prob))
+        reported = config.high_loss;
+    }
+    const auto reg = server.join(id, reported);
+    members.emplace(workload::raw(id), MemberInfo{true_loss, reg.leaf_id});
+    return id;
+  };
+
+  for (std::uint64_t i = 0; i < config.group_size; ++i) admit_one();
+  (void)server.end_epoch();  // session setup, not measured
+
+  auto protocol = make_transport(config);
+
+  for (std::uint64_t epoch = 0; epoch < config.warmup_epochs + config.epochs; ++epoch) {
+    // Uniform random departures (per-tree counts proportional to size) and
+    // replacement joins.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(members.size());
+    for (const auto& [id, info] : members) ids.push_back(id);
+    for (std::size_t d = 0; d < config.departures_per_epoch && !ids.empty(); ++d) {
+      const auto pick = rng.uniform_u64(ids.size());
+      const auto id = ids[pick];
+      ids[pick] = ids.back();
+      ids.pop_back();
+      server.leave(workload::make_member_id(id));
+      members.erase(id);
+    }
+    for (std::size_t d = 0; d < config.departures_per_epoch; ++d) admit_one();
+
+    const auto out = server.end_epoch();
+
+    // ---- Deliver the payload over the lossy channel, one transport
+    // session per tree (a tree's rekey sub-message only concerns its own
+    // members; running sessions per tree also keeps FEC blocks from
+    // straddling audiences), plus a final session for the DEK wraps that
+    // everyone needs. ----
+    transport::TransportReport epoch_report;
+    epoch_report.all_delivered = true;
+    std::vector<std::size_t> packets_by_tree(server.tree_count(), 0);
+    std::size_t packets_shared = 0;  // the DEK session, heard by everyone
+    auto run_session = [&](std::span<const crypto::WrappedKey> slice, bool tree_scoped,
+                           std::size_t tree) {
+      if (slice.empty()) return;
+      const InterestIndex index(slice);
+      std::vector<transport::SessionReceiver> receivers;
+      for (const auto& [id, info] : members) {
+        const auto member = workload::make_member_id(id);
+        if (tree_scoped && server.tree_of(member) != tree) continue;
+        auto held = server.member_path(member);
+        held.push_back(info.leaf_id);
+        auto interest = index.interest_of(held);
+        if (interest.empty()) continue;  // nothing to deliver to this member
+        auto channel =
+            config.mean_burst_packets > 1.0
+                ? netsim::Receiver::bursty(member, info.true_loss,
+                                           config.mean_burst_packets, rng.fork())
+                : netsim::Receiver(member, info.true_loss, rng.fork());
+        receivers.emplace_back(std::move(channel), std::move(interest));
+      }
+      const auto report = protocol->deliver(slice, receivers);
+      epoch_report.rounds += report.rounds;
+      epoch_report.packets_sent += report.packets_sent;
+      epoch_report.key_transmissions += report.key_transmissions;
+      epoch_report.nacks += report.nacks;
+      if (!report.all_delivered) epoch_report.all_delivered = false;
+      if (tree_scoped)
+        packets_by_tree[tree] += report.packets_sent;
+      else
+        packets_shared += report.packets_sent;
+    };
+
+    std::size_t offset = 0;
+    const std::span<const crypto::WrappedKey> wraps(out.message.wraps);
+    for (std::size_t t = 0; t < out.per_tree_cost.size(); ++t) {
+      run_session(wraps.subspan(offset, out.per_tree_cost[t]), true, t);
+      offset += out.per_tree_cost[t];
+    }
+    run_session(wraps.subspan(offset), false, 0);  // DEK wraps, whole group
+
+    if (!epoch_report.all_delivered) result.all_delivered = false;
+
+    if (epoch >= config.warmup_epochs) {
+      result.keys_per_epoch.add(static_cast<double>(epoch_report.key_transmissions));
+      result.packets_per_epoch.add(static_cast<double>(epoch_report.packets_sent));
+      result.rounds_per_epoch.add(static_cast<double>(epoch_report.rounds));
+      result.payload_keys_per_epoch.add(static_cast<double>(out.multicast_cost()));
+
+      // Receiver-side load: one shared multicast group means every member
+      // is offered every packet of every session; per-tree groups confine
+      // a member to its own tree's sessions plus the shared DEK session.
+      result.offered_single_group.add(
+          static_cast<double>(epoch_report.packets_sent));
+      if (result.offered_by_tree.size() < packets_by_tree.size())
+        result.offered_by_tree.resize(packets_by_tree.size());
+      double weighted_own = 0.0;
+      for (std::size_t t = 0; t < packets_by_tree.size(); ++t) {
+        const double own =
+            static_cast<double>(packets_by_tree[t] + packets_shared);
+        result.offered_by_tree[t].add(own);
+        const double share = server.size() > 0
+                                 ? static_cast<double>(server.tree_size(t)) /
+                                       static_cast<double>(server.size())
+                                 : 0.0;
+        weighted_own += share * own;
+      }
+      result.offered_own_group.add(weighted_own);
+    }
+  }
+  return result;
+}
+
+}  // namespace gk::sim

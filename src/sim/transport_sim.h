@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace gk::sim {
+
+/// End-to-end simulation of Section 4's scenario: a group with two-point
+/// loss heterogeneity is rekeyed in batches; the resulting payload is
+/// delivered by a real transport protocol over a simulated lossy multicast
+/// channel, and the measured bandwidth is compared across key-tree
+/// organizations.
+struct TransportSimConfig {
+  enum class Organization : std::uint8_t {
+    kOneTree,          ///< baseline: a single key tree
+    kRandomSplit,      ///< Fig. 6 control: two trees, random placement
+    kLossHomogenized,  ///< Section 4.2: trees binned by reported loss
+  };
+  enum class Protocol : std::uint8_t { kWkaBkr, kProactiveFec, kMultiSend };
+
+  Organization organization = Organization::kOneTree;
+  Protocol protocol = Protocol::kWkaBkr;
+  unsigned degree = 4;
+  std::uint64_t group_size = 4096;
+  /// Batched departures per epoch (joins match to hold the size steady).
+  std::size_t departures_per_epoch = 16;
+  double low_loss = 0.02;
+  double high_loss = 0.20;
+  double high_fraction = 0.3;  ///< alpha of Section 4.3
+  /// Fig. 7's beta: this fraction of each class reports the other class's
+  /// loss rate at join time (misplacement). Only affects loss-homogenized
+  /// placement.
+  double misreport_fraction = 0.0;
+  /// Optional richer loss population: (rate, weight) points replacing the
+  /// two-point low/high model when non-empty. Misreporting is not applied
+  /// to custom populations.
+  std::vector<std::pair<double, double>> loss_points;
+  /// Optional explicit tree bins (ascending upper bounds) overriding the
+  /// organization's default of one or two trees. Lets experiments study
+  /// three-or-more loss-homogenized trees, beyond the paper's pair.
+  std::vector<double> custom_bins;
+  std::uint64_t epochs = 10;
+  std::uint64_t warmup_epochs = 2;
+  std::uint64_t seed = 1;
+  std::size_t keys_per_packet = 16;
+  /// 0 = independent Bernoulli loss (the paper's model). > 1 = bursty
+  /// Gilbert-Elliott channels matched to each member's mean loss rate,
+  /// with this mean burst length in packets.
+  double mean_burst_packets = 0.0;
+};
+
+struct TransportSimResult {
+  /// Encrypted-key transmissions per epoch (proactive + retransmissions),
+  /// the metric of Fig. 6/7.
+  RunningStats keys_per_epoch;
+  RunningStats packets_per_epoch;
+  RunningStats rounds_per_epoch;
+  RunningStats payload_keys_per_epoch;  ///< pre-transport rekey message size
+
+  /// Receiver-side load (Section 4.4's discussion of multiple multicast
+  /// groups [YSI99]): packets offered to one member per epoch when every
+  /// session shares a single multicast group (everyone hears everything)
+  /// versus when each key tree uses its own group (members only hear their
+  /// tree's sessions plus the group-key session).
+  RunningStats offered_single_group;
+  RunningStats offered_own_group;
+  /// Per-tree breakdown of the own-group load (index = tree).
+  std::vector<RunningStats> offered_by_tree;
+
+  bool all_delivered = true;
+};
+
+[[nodiscard]] TransportSimResult run_transport_sim(const TransportSimConfig& config);
+
+}  // namespace gk::sim

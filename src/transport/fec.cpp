@@ -1,0 +1,258 @@
+#include "transport/fec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+#include "transport/packet.h"
+#include "transport/rs_code.h"
+
+namespace gk::transport {
+
+namespace {
+
+/// One FEC block: a contiguous run of source packets plus its RS code.
+struct Block {
+  unsigned k = 0;                      // sources in this block
+  unsigned parity_budget = 0;          // 255 - k
+  unsigned next_parity = 0;            // next unused parity shard index
+  std::vector<Packet> sources;         // the k source packets
+  std::size_t max_packet_keys = 0;
+  bool decode_verified = false;
+};
+
+/// Per-receiver, per-block reception state.
+struct BlockState {
+  std::vector<bool> shard_received;  // index < k: source; >= k: parity
+  unsigned distinct = 0;
+  bool decoded = false;
+};
+
+}  // namespace
+
+TransportReport ProactiveFecTransport::deliver(
+    std::span<const crypto::WrappedKey> payload,
+    std::vector<SessionReceiver>& receivers) {
+  GK_ENSURE(config_.block_k >= 1 && config_.block_k <= 128);
+  GK_ENSURE(config_.proactivity >= 1.0);
+
+  TransportReport report;
+  const std::size_t key_count = payload.size();
+  if (key_count == 0 || receivers.empty()) {
+    report.all_delivered = true;
+    return report;
+  }
+
+  // ---- Pack sources and form blocks. ----
+  const std::size_t packet_count =
+      (key_count + config_.keys_per_packet - 1) / config_.keys_per_packet;
+  const std::size_t block_count =
+      (packet_count + config_.block_k - 1) / config_.block_k;
+
+  std::vector<Block> blocks(block_count);
+  for (std::size_t b = 0; b < block_count; ++b) {
+    const std::size_t first = b * config_.block_k;
+    const std::size_t last = std::min(packet_count, first + config_.block_k);
+    blocks[b].k = static_cast<unsigned>(last - first);
+    blocks[b].parity_budget = 255 - blocks[b].k;
+    blocks[b].sources.resize(blocks[b].k);
+  }
+  for (std::uint32_t w = 0; w < key_count; ++w) {
+    const std::size_t p = w / config_.keys_per_packet;
+    const std::size_t b = p / config_.block_k;
+    blocks[b].sources[p % config_.block_k].key_indices.push_back(w);
+  }
+  for (auto& block : blocks)
+    for (const auto& packet : block.sources)
+      block.max_packet_keys = std::max(block.max_packet_keys, packet.key_count());
+
+  // ---- Per-receiver block state and needed-source map. ----
+  // needed[r][b] lists the source slots receiver r requires from block b.
+  std::vector<std::vector<std::vector<unsigned>>> needed(
+      receivers.size(), std::vector<std::vector<unsigned>>(block_count));
+  std::vector<std::vector<BlockState>> state(receivers.size());
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    state[r].resize(block_count);
+    for (std::size_t b = 0; b < block_count; ++b)
+      state[r][b].shard_received.assign(blocks[b].k + blocks[b].parity_budget, false);
+    for (const auto w : receivers[r].interest) {
+      const std::size_t p = w / config_.keys_per_packet;
+      needed[r][p / config_.block_k].push_back(
+          static_cast<unsigned>(p % config_.block_k));
+    }
+    for (auto& slots : needed[r]) {
+      std::sort(slots.begin(), slots.end());
+      slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    }
+  }
+
+  // Mark every interest key of block b as received for receiver r.
+  auto credit_block = [&](std::size_t r, std::size_t b) {
+    auto& receiver = receivers[r];
+    for (std::uint32_t s = 0; s < receiver.interest.size(); ++s) {
+      if (receiver.received[s]) continue;
+      const std::size_t p = receiver.interest[s] / config_.keys_per_packet;
+      if (p / config_.block_k == b) {
+        receiver.received[s] = true;
+        --receiver.missing;
+      }
+    }
+  };
+  // Mark the keys carried by one specific source packet.
+  auto credit_packet = [&](std::size_t r, const Packet& packet) {
+    auto& receiver = receivers[r];
+    for (std::uint32_t s = 0; s < receiver.interest.size(); ++s) {
+      if (receiver.received[s]) continue;
+      if (std::binary_search(packet.key_indices.begin(), packet.key_indices.end(),
+                             receiver.interest[s])) {
+        receiver.received[s] = true;
+        --receiver.missing;
+      }
+    }
+  };
+  for (auto& block : blocks)
+    for (auto& packet : block.sources)
+      std::sort(packet.key_indices.begin(), packet.key_indices.end());
+
+  // Optional end-to-end proof: encode real parity bytes and decode.
+  auto verify_decode = [&](Block& block) {
+    if (!config_.verify_decoding || block.decode_verified) return;
+    block.decode_verified = true;
+    const std::size_t shard_bytes =
+        block.max_packet_keys * crypto::WrappedKey::kWireSize;
+    std::vector<std::vector<std::uint8_t>> sources;
+    for (const auto& packet : block.sources) {
+      auto bytes = serialize_packet(packet, payload);
+      bytes.resize(shard_bytes, 0);
+      sources.push_back(std::move(bytes));
+    }
+    ReedSolomon rs(block.k, std::min(block.parity_budget, 32u));
+    // Drop ceil(k/2) sources, decode from the rest + parity.
+    std::vector<std::pair<unsigned, std::vector<std::uint8_t>>> shards;
+    for (unsigned i = block.k / 2; i < block.k; ++i)
+      shards.emplace_back(i, rs.encode_shard(sources, i));
+    for (unsigned i = 0; shards.size() < block.k; ++i)
+      shards.emplace_back(block.k + i, rs.encode_shard(sources, block.k + i));
+    const auto recovered = rs.decode(shards);
+    GK_ENSURE_MSG(recovered.has_value(), "RS decode failed");
+    for (unsigned i = 0; i < block.k; ++i)
+      GK_ENSURE_MSG((*recovered)[i] == sources[i], "RS decode mismatch");
+  };
+
+  // ---- Round loop. ----
+  const auto proactive_parity = [&](const Block& block) {
+    return static_cast<unsigned>(
+        std::ceil((config_.proactivity - 1.0) * block.k) + 0.1);
+  };
+
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    const bool everyone_done =
+        std::all_of(receivers.begin(), receivers.end(),
+                    [](const SessionReceiver& r) { return r.done(); });
+    if (everyone_done) {
+      report.all_delivered = true;
+      return report;
+    }
+
+    // Decide what to send per block this round.
+    struct Plan {
+      bool send_sources = false;
+      unsigned parity = 0;
+    };
+    std::vector<Plan> plan(block_count);
+    bool anything = false;
+    if (round == 0) {
+      for (std::size_t b = 0; b < block_count; ++b) {
+        plan[b].send_sources = true;
+        plan[b].parity = proactive_parity(blocks[b]);
+        anything = true;
+      }
+    } else {
+      // NACK aggregation: worst remaining deficit per block.
+      for (std::size_t r = 0; r < receivers.size(); ++r) {
+        if (receivers[r].done()) continue;
+        for (std::size_t b = 0; b < block_count; ++b) {
+          if (needed[r][b].empty() || state[r][b].decoded) continue;
+          // Deficit to decode the whole block.
+          const unsigned have = state[r][b].distinct;
+          const unsigned deficit = blocks[b].k > have ? blocks[b].k - have : 0;
+          // Still short on direct sources?
+          bool direct_missing = false;
+          for (const auto slot : needed[r][b])
+            if (!state[r][b].shard_received[slot]) direct_missing = true;
+          if (!direct_missing) continue;
+          plan[b].parity = std::max(plan[b].parity, std::max(deficit, 1u));
+          anything = true;
+        }
+      }
+    }
+    if (!anything) {
+      report.all_delivered = true;
+      return report;
+    }
+    ++report.rounds;
+
+    // ---- Transmit. ----
+    for (std::size_t b = 0; b < block_count; ++b) {
+      auto& block = blocks[b];
+      // Source shards.
+      if (plan[b].send_sources) {
+        for (unsigned slot = 0; slot < block.k; ++slot) {
+          ++report.packets_sent;
+          report.key_transmissions += block.sources[slot].key_count();
+          for (std::size_t r = 0; r < receivers.size(); ++r) {
+            if (receivers[r].done() || needed[r][b].empty()) continue;
+            if (!receivers[r].channel.receives()) continue;
+            auto& bs = state[r][b];
+            if (!bs.shard_received[slot]) {
+              bs.shard_received[slot] = true;
+              ++bs.distinct;
+              credit_packet(r, block.sources[slot]);
+              if (!bs.decoded && bs.distinct >= block.k) {
+                bs.decoded = true;
+                verify_decode(block);
+                credit_block(r, b);
+              }
+            }
+          }
+        }
+      }
+      // Parity shards (fresh indices while the field lasts).
+      for (unsigned j = 0; j < plan[b].parity; ++j) {
+        const unsigned shard_index =
+            block.k + (block.next_parity % std::max(block.parity_budget, 1u));
+        ++block.next_parity;
+        ++report.packets_sent;
+        report.key_transmissions += block.max_packet_keys;
+        for (std::size_t r = 0; r < receivers.size(); ++r) {
+          if (receivers[r].done() || needed[r][b].empty()) continue;
+          if (state[r][b].decoded) continue;
+          if (!receivers[r].channel.receives()) continue;
+          auto& bs = state[r][b];
+          if (!bs.shard_received[shard_index]) {
+            bs.shard_received[shard_index] = true;
+            ++bs.distinct;
+            if (bs.distinct >= block.k) {
+              bs.decoded = true;
+              verify_decode(block);
+              credit_block(r, b);
+            }
+          }
+        }
+      }
+    }
+    for (auto& receiver : receivers) {
+      if (!receiver.done())
+        ++report.nacks;
+      else if (receiver.completion_round == 0)
+        receiver.completion_round = report.rounds;
+    }
+  }
+
+  report.all_delivered =
+      std::all_of(receivers.begin(), receivers.end(),
+                  [](const SessionReceiver& r) { return r.done(); });
+  return report;
+}
+
+}  // namespace gk::transport

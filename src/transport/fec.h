@@ -1,0 +1,39 @@
+#pragma once
+
+#include "transport/session.h"
+
+namespace gk::transport {
+
+/// Proactive-FEC rekey transport in the style of Yang et al [YLZL01].
+///
+/// The rekey payload is packed into source packets, grouped into FEC
+/// blocks of `block_k` packets. Round one of each block carries the
+/// sources plus ceil((rho - 1) * k) Reed-Solomon parity packets; any k
+/// distinct shards of a block reconstruct every source in it. After each
+/// round receivers NACK their worst block deficit and the server multicasts
+/// that many *fresh* parity shards (never repeats, while the field allows).
+///
+/// With `verify_decoding` enabled the transport actually runs the GF(256)
+/// decoder on real serialized key bytes the first time a block completes
+/// via erasure decoding, proving the code path end-to-end (tests use this;
+/// benches leave it off and count shards).
+class ProactiveFecTransport final : public RekeyTransport {
+ public:
+  struct Config {
+    std::size_t keys_per_packet = 16;
+    unsigned block_k = 16;
+    double proactivity = 1.25;  ///< rho >= 1
+    std::size_t max_rounds = 128;
+    bool verify_decoding = false;
+  };
+
+  explicit ProactiveFecTransport(Config config) : config_(config) {}
+
+  TransportReport deliver(std::span<const crypto::WrappedKey> payload,
+                          std::vector<SessionReceiver>& receivers) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace gk::transport

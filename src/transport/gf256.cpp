@@ -1,0 +1,25 @@
+#include "transport/gf256.h"
+
+namespace gk::transport::gf256 {
+
+namespace detail {
+const Tables& tables() noexcept {
+  static const Tables instance;
+  return instance;
+}
+}  // namespace detail
+
+std::uint8_t inv(std::uint8_t a) noexcept {
+  const auto& t = detail::tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned log_result = (static_cast<unsigned>(t.log[a]) * e) % 255;
+  return t.exp[log_result];
+}
+
+}  // namespace gk::transport::gf256

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gk::transport::gf256 {
+
+/// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+/// (0x11d), the field conventionally used by Reed-Solomon erasure codes.
+/// Tables are built once at static initialization.
+
+namespace detail {
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+  Tables() noexcept {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i)
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    log[0] = 0;  // log(0) is undefined; callers must special-case zero
+  }
+};
+const Tables& tables() noexcept;
+}  // namespace detail
+
+[[nodiscard]] inline std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+[[nodiscard]] inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+/// Multiplicative inverse; precondition a != 0.
+[[nodiscard]] std::uint8_t inv(std::uint8_t a) noexcept;
+
+/// a / b; precondition b != 0.
+[[nodiscard]] inline std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+  return mul(a, inv(b));
+}
+
+/// a^e (e >= 0).
+[[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned e) noexcept;
+
+}  // namespace gk::transport::gf256

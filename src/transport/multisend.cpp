@@ -1,0 +1,67 @@
+#include "transport/multisend.h"
+
+#include <algorithm>
+
+#include "transport/packet.h"
+
+namespace gk::transport {
+
+TransportReport MultiSendTransport::deliver(std::span<const crypto::WrappedKey> payload,
+                                            std::vector<SessionReceiver>& receivers) {
+  TransportReport report;
+  const std::size_t key_count = payload.size();
+  if (key_count == 0 || receivers.empty()) {
+    report.all_delivered = true;
+    return report;
+  }
+
+  // Sequential packetization of the whole payload.
+  const std::size_t packet_count =
+      (key_count + config_.keys_per_packet - 1) / config_.keys_per_packet;
+  std::vector<Packet> packets(packet_count);
+  for (std::uint32_t w = 0; w < key_count; ++w)
+    packets[w / config_.keys_per_packet].key_indices.push_back(w);
+
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    const bool everyone_done =
+        std::all_of(receivers.begin(), receivers.end(),
+                    [](const SessionReceiver& r) { return r.done(); });
+    if (everyone_done) {
+      report.all_delivered = true;
+      return report;
+    }
+    ++report.rounds;
+
+    for (std::size_t replica = 0; replica < config_.replication; ++replica) {
+      report.packets_sent += packets.size();
+      report.key_transmissions += key_count;
+      for (auto& receiver : receivers) {
+        if (receiver.done()) continue;
+        for (const auto& packet : packets) {
+          if (!receiver.channel.receives()) continue;
+          for (std::uint32_t s = 0; s < receiver.interest.size(); ++s) {
+            if (receiver.received[s]) continue;
+            if (std::binary_search(packet.key_indices.begin(),
+                                   packet.key_indices.end(), receiver.interest[s])) {
+              receiver.received[s] = true;
+              --receiver.missing;
+            }
+          }
+        }
+      }
+    }
+    for (auto& receiver : receivers) {
+      if (!receiver.done())
+        ++report.nacks;
+      else if (receiver.completion_round == 0)
+        receiver.completion_round = report.rounds;
+    }
+  }
+
+  report.all_delivered =
+      std::all_of(receivers.begin(), receivers.end(),
+                  [](const SessionReceiver& r) { return r.done(); });
+  return report;
+}
+
+}  // namespace gk::transport

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "transport/session.h"
+
+namespace gk::transport {
+
+/// The multi-send baseline [MSEC]: the server repeatedly multicasts the
+/// *entire* rekey payload — every key with the same degree of replication —
+/// until every receiver has its keys of interest. No weighting, no
+/// NACK-driven payload pruning; this is the strawman WKA-BKR improves on.
+class MultiSendTransport final : public RekeyTransport {
+ public:
+  struct Config {
+    std::size_t keys_per_packet = 16;
+    std::size_t max_rounds = 128;
+    /// Replicas of the full payload per round (the fixed replication
+    /// degree); rounds repeat until everyone is served.
+    std::size_t replication = 1;
+  };
+
+  explicit MultiSendTransport(Config config) : config_(config) {}
+
+  TransportReport deliver(std::span<const crypto::WrappedKey> payload,
+                          std::vector<SessionReceiver>& receivers) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace gk::transport

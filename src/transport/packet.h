@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/keywrap.h"
+
+namespace gk::transport {
+
+/// A multicast rekey packet: an ordered set of indices into the epoch's
+/// rekey payload (the WrappedKey array). Replicated keys appear in
+/// multiple packets — never twice in one packet, since per-packet loss
+/// makes intra-packet replication worthless.
+struct Packet {
+  std::vector<std::uint32_t> key_indices;
+
+  [[nodiscard]] std::size_t key_count() const noexcept { return key_indices.size(); }
+};
+
+/// Serialize the referenced wraps to wire bytes (used by the FEC path,
+/// which needs real shard payloads to encode).
+[[nodiscard]] std::vector<std::uint8_t> serialize_packet(
+    const Packet& packet, std::span<const crypto::WrappedKey> payload);
+
+/// Parse wire bytes back into wraps. `count` wraps are read; bytes beyond
+/// count * WrappedKey::kWireSize are ignored (FEC shards are padded).
+[[nodiscard]] std::vector<crypto::WrappedKey> deserialize_wraps(
+    std::span<const std::uint8_t> bytes, std::size_t count);
+
+}  // namespace gk::transport

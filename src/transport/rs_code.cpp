@@ -1,0 +1,149 @@
+#include "transport/rs_code.h"
+
+#include "common/ensure.h"
+#include "transport/gf256.h"
+
+namespace gk::transport {
+
+namespace {
+
+/// Invert a k x k matrix over GF(256) by Gauss-Jordan. Returns false if
+/// singular (cannot happen for submatrices of our generator, but the code
+/// defends anyway).
+bool invert(std::vector<std::vector<std::uint8_t>>& m,
+            std::vector<std::vector<std::uint8_t>>& out) {
+  const std::size_t n = m.size();
+  out.assign(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) out[i][i] = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) return false;
+    std::swap(m[pivot], m[col]);
+    std::swap(out[pivot], out[col]);
+
+    const std::uint8_t scale = gf256::inv(m[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      m[col][j] = gf256::mul(m[col][j], scale);
+      out[col][j] = gf256::mul(out[col][j], scale);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) continue;
+      const std::uint8_t factor = m[r][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        m[r][j] = gf256::add(m[r][j], gf256::mul(factor, m[col][j]));
+        out[r][j] = gf256::add(out[r][j], gf256::mul(factor, out[col][j]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(unsigned k, unsigned max_parity)
+    : k_(k), max_parity_(max_parity) {
+  GK_ENSURE(k >= 1);
+  GK_ENSURE(k + max_parity <= 255);
+
+  const unsigned rows = k_ + max_parity_;
+  // Extended Vandermonde: V[r][c] = r^c (with 0^0 = 1).
+  matrix_.assign(rows, std::vector<std::uint8_t>(k_, 0));
+  for (unsigned r = 0; r < rows; ++r)
+    for (unsigned c = 0; c < k_; ++c)
+      matrix_[r][c] = gf256::pow(static_cast<std::uint8_t>(r), c);
+
+  // Column-reduce so the top k x k block becomes the identity; elementary
+  // column operations preserve the any-k-rows-invertible property.
+  for (unsigned col = 0; col < k_; ++col) {
+    // Ensure matrix_[col][col] != 0 by swapping columns if needed.
+    if (matrix_[col][col] == 0) {
+      for (unsigned other = col + 1; other < k_; ++other) {
+        if (matrix_[col][other] != 0) {
+          for (unsigned r = 0; r < rows; ++r)
+            std::swap(matrix_[r][col], matrix_[r][other]);
+          break;
+        }
+      }
+    }
+    GK_ENSURE(matrix_[col][col] != 0);
+    const std::uint8_t scale = gf256::inv(matrix_[col][col]);
+    for (unsigned r = 0; r < rows; ++r)
+      matrix_[r][col] = gf256::mul(matrix_[r][col], scale);
+    for (unsigned other = 0; other < k_; ++other) {
+      if (other == col || matrix_[col][other] == 0) continue;
+      const std::uint8_t factor = matrix_[col][other];
+      for (unsigned r = 0; r < rows; ++r)
+        matrix_[r][other] =
+            gf256::add(matrix_[r][other], gf256::mul(factor, matrix_[r][col]));
+    }
+  }
+}
+
+const std::vector<std::uint8_t>& ReedSolomon::row(unsigned index) const {
+  GK_ENSURE(index < matrix_.size());
+  return matrix_[index];
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode_shard(
+    const std::vector<std::vector<std::uint8_t>>& sources, unsigned index) const {
+  GK_ENSURE(sources.size() == k_);
+  GK_ENSURE(index < k_ + max_parity_);
+  const std::size_t length = sources.front().size();
+  for (const auto& s : sources) GK_ENSURE(s.size() == length);
+
+  if (index < k_) return sources[index];  // systematic
+
+  const auto& coefficients = row(index);
+  std::vector<std::uint8_t> shard(length, 0);
+  for (unsigned c = 0; c < k_; ++c) {
+    const std::uint8_t coefficient = coefficients[c];
+    if (coefficient == 0) continue;
+    const auto& source = sources[c];
+    for (std::size_t b = 0; b < length; ++b)
+      shard[b] = gf256::add(shard[b], gf256::mul(coefficient, source[b]));
+  }
+  return shard;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
+    const std::vector<std::pair<unsigned, std::vector<std::uint8_t>>>& shards) const {
+  // Deduplicate by shard index, keep the first k distinct.
+  std::vector<const std::pair<unsigned, std::vector<std::uint8_t>>*> chosen;
+  std::vector<bool> seen(k_ + max_parity_, false);
+  for (const auto& shard : shards) {
+    if (shard.first >= k_ + max_parity_ || seen[shard.first]) continue;
+    seen[shard.first] = true;
+    chosen.push_back(&shard);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) return std::nullopt;
+
+  const std::size_t length = chosen.front()->second.size();
+  for (const auto* shard : chosen)
+    if (shard->second.size() != length) return std::nullopt;
+
+  // Build the k x k system from the chosen rows and invert it.
+  std::vector<std::vector<std::uint8_t>> system(k_);
+  for (unsigned i = 0; i < k_; ++i) system[i] = row(chosen[i]->first);
+  std::vector<std::vector<std::uint8_t>> inverse;
+  if (!invert(system, inverse)) return std::nullopt;
+
+  // sources = inverse * received
+  std::vector<std::vector<std::uint8_t>> sources(
+      k_, std::vector<std::uint8_t>(length, 0));
+  for (unsigned r = 0; r < k_; ++r) {
+    for (unsigned c = 0; c < k_; ++c) {
+      const std::uint8_t coefficient = inverse[r][c];
+      if (coefficient == 0) continue;
+      const auto& shard = chosen[c]->second;
+      for (std::size_t b = 0; b < length; ++b)
+        sources[r][b] = gf256::add(sources[r][b], gf256::mul(coefficient, shard[b]));
+    }
+  }
+  return sources;
+}
+
+}  // namespace gk::transport

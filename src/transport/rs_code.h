@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gk::transport {
+
+/// Systematic Reed-Solomon erasure code over GF(256): `k` source shards
+/// plus up to `max_parity` parity shards; any k of the emitted shards
+/// reconstruct the sources (MDS property).
+///
+/// The generator matrix is an extended Vandermonde matrix column-reduced so
+/// its top k rows form the identity — the construction from Plank's RS
+/// erasure-coding tutorial, which guarantees every k x k submatrix is
+/// invertible. Parity shards can be generated lazily (shard index >= k), so
+/// a proactive-FEC transport can keep minting fresh parity across NACK
+/// rounds without re-planning the block.
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k and k + max_parity <= 255.
+  ReedSolomon(unsigned k, unsigned max_parity);
+
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned max_parity() const noexcept { return max_parity_; }
+
+  /// Encode shard `index` (0..k-1 returns the source itself; k.. returns
+  /// parity). All sources must have equal length.
+  [[nodiscard]] std::vector<std::uint8_t> encode_shard(
+      const std::vector<std::vector<std::uint8_t>>& sources, unsigned index) const;
+
+  /// Reconstruct all k source shards from any >= k received shards, given
+  /// each shard's index. Returns nullopt if fewer than k distinct shards
+  /// are supplied or the shard lengths disagree.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> decode(
+      const std::vector<std::pair<unsigned, std::vector<std::uint8_t>>>& shards) const;
+
+ private:
+  /// Row `index` of the systematic generator matrix (k coefficients).
+  [[nodiscard]] const std::vector<std::uint8_t>& row(unsigned index) const;
+
+  unsigned k_;
+  unsigned max_parity_;
+  std::vector<std::vector<std::uint8_t>> matrix_;  // (k + max_parity) x k
+};
+
+}  // namespace gk::transport

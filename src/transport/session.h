@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/keywrap.h"
+#include "netsim/receiver.h"
+
+namespace gk::transport {
+
+/// Per-receiver delivery state for one rekey epoch. `interest` holds the
+/// payload indices this member needs (the sparseness property: usually a
+/// tiny subset). The transport fills `received` as packets land.
+struct SessionReceiver {
+  netsim::Receiver channel;
+  std::vector<std::uint32_t> interest;  // sorted, deduplicated
+  std::vector<bool> received;           // parallel to interest
+  std::size_t missing = 0;
+  /// Protocol round (1-based) in which the last missing key arrived; 0
+  /// until complete. The distribution of this value across receivers is
+  /// the rekey *latency* the paper's soft real-time requirement cares
+  /// about (Section 2.2) — proactive redundancy buys it down.
+  std::size_t completion_round = 0;
+
+  SessionReceiver(netsim::Receiver ch, std::vector<std::uint32_t> wanted)
+      : channel(std::move(ch)), interest(std::move(wanted)),
+        received(interest.size(), false), missing(interest.size()) {}
+
+  [[nodiscard]] bool done() const noexcept { return missing == 0; }
+};
+
+/// What one transport session cost. `key_transmissions` is the paper's
+/// bandwidth metric (every encrypted key counted once per time it is
+/// multicast, including proactive replicas, retransmissions, and — for
+/// FEC — parity expressed in key-equivalents).
+struct TransportReport {
+  std::size_t rounds = 0;
+  std::size_t packets_sent = 0;
+  std::size_t key_transmissions = 0;
+  std::size_t nacks = 0;
+  bool all_delivered = false;
+};
+
+/// Common interface so experiments can swap protocols.
+class RekeyTransport {
+ public:
+  virtual ~RekeyTransport() = default;
+
+  /// Deliver `payload` to every receiver until each has its whole interest
+  /// set (or the round cap is hit). Mutates the receivers' state.
+  virtual TransportReport deliver(std::span<const crypto::WrappedKey> payload,
+                                  std::vector<SessionReceiver>& receivers) = 0;
+};
+
+}  // namespace gk::transport

@@ -1,0 +1,142 @@
+#include "transport/wka_bkr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/wka_bkr_model.h"
+#include "common/ensure.h"
+#include "transport/packet.h"
+
+namespace gk::transport {
+
+namespace {
+
+/// (receiver index, slot in that receiver's interest list) pairs per key.
+struct Watcher {
+  std::uint32_t receiver;
+  std::uint32_t slot;
+};
+
+}  // namespace
+
+TransportReport WkaBkrTransport::deliver(std::span<const crypto::WrappedKey> payload,
+                                         std::vector<SessionReceiver>& receivers) {
+  TransportReport report;
+  const std::size_t key_count = payload.size();
+  if (key_count == 0 || receivers.empty()) {
+    report.all_delivered = true;
+    return report;
+  }
+
+  // Reverse index: which receivers still need each key.
+  std::vector<std::vector<Watcher>> watchers(key_count);
+  for (std::uint32_t r = 0; r < receivers.size(); ++r) {
+    const auto& interest = receivers[r].interest;
+    for (std::uint32_t s = 0; s < interest.size(); ++s) {
+      GK_ENSURE(interest[s] < key_count);
+      watchers[interest[s]].push_back({r, s});
+    }
+  }
+
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    // ---- NACK aggregation: which keys does anyone still need? ----
+    std::vector<std::uint32_t> needed;
+    std::vector<std::size_t> weights;
+    for (std::uint32_t w = 0; w < key_count; ++w) {
+      auto& watching = watchers[w];
+      // Compact out satisfied receivers (BKR: retransmissions only target
+      // keys still needed, weighted by who still needs them).
+      watching.erase(std::remove_if(watching.begin(), watching.end(),
+                                    [&receivers](const Watcher& x) {
+                                      return receivers[x.receiver].received[x.slot];
+                                    }),
+                     watching.end());
+      if (watching.empty()) continue;
+      needed.push_back(w);
+
+      std::size_t weight = 1;
+      if (config_.weighted) {
+        // Loss composition of the remaining audience for this key.
+        std::vector<analytic::LossClass> classes;
+        for (const auto& x : watching) {
+          const double rate = receivers[x.receiver].channel.loss_rate();
+          auto it = std::find_if(classes.begin(), classes.end(),
+                                 [rate](const analytic::LossClass& c) {
+                                   return c.rate == rate;
+                                 });
+          if (it == classes.end())
+            classes.push_back({rate, 1.0});
+          else
+            it->fraction += 1.0;
+        }
+        const auto audience = static_cast<double>(watching.size());
+        for (auto& c : classes) c.fraction /= audience;
+        const double expected = analytic::expected_transmissions(audience, classes);
+        weight = static_cast<std::size_t>(std::llround(expected));
+        weight = std::clamp<std::size_t>(weight, 1, config_.max_weight);
+      }
+      weights.push_back(weight);
+    }
+
+    if (needed.empty()) {
+      report.all_delivered = true;
+      return report;
+    }
+    ++report.rounds;
+
+    // ---- Pack replicas into packets (striped, least-filled first). ----
+    std::size_t total_replicas = 0;
+    for (const auto weight : weights) total_replicas += weight;
+    const std::size_t packet_count =
+        (total_replicas + config_.keys_per_packet - 1) / config_.keys_per_packet;
+    std::vector<Packet> packets(packet_count);
+
+    // Heaviest keys first so their replicas land in distinct packets.
+    std::vector<std::size_t> order(needed.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&weights](std::size_t a, std::size_t b) {
+      return weights[a] > weights[b];
+    });
+
+    std::size_t cursor = 0;
+    for (const auto i : order) {
+      const std::size_t replicas = std::min(weights[i], packet_count);
+      for (std::size_t j = 0; j < replicas; ++j) {
+        packets[(cursor + j) % packet_count].key_indices.push_back(needed[i]);
+        ++report.key_transmissions;
+      }
+      cursor = (cursor + replicas) % packet_count;
+    }
+    for (auto& packet : packets)
+      std::sort(packet.key_indices.begin(), packet.key_indices.end());
+
+    // ---- Multicast round. ----
+    report.packets_sent += packets.size();
+    for (auto& receiver : receivers) {
+      if (receiver.done()) continue;
+      for (const auto& packet : packets) {
+        if (!receiver.channel.receives()) continue;
+        // Check this receiver's missing keys against the packet contents.
+        for (std::uint32_t s = 0; s < receiver.interest.size(); ++s) {
+          if (receiver.received[s]) continue;
+          if (std::binary_search(packet.key_indices.begin(), packet.key_indices.end(),
+                                 receiver.interest[s])) {
+            receiver.received[s] = true;
+            --receiver.missing;
+          }
+        }
+      }
+      if (!receiver.done())
+        ++report.nacks;
+      else if (receiver.completion_round == 0)
+        receiver.completion_round = report.rounds;
+    }
+  }
+
+  report.all_delivered =
+      std::all_of(receivers.begin(), receivers.end(),
+                  [](const SessionReceiver& r) { return r.done(); });
+  return report;
+}
+
+}  // namespace gk::transport

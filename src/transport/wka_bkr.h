@@ -1,0 +1,41 @@
+#pragma once
+
+#include "transport/session.h"
+
+namespace gk::transport {
+
+/// WKA-BKR rekey transport [SZJ02], Section 2.2.1 of the paper.
+///
+/// Weighted Key Assignment: before the first multicast round each key's
+/// replication weight is set to (the rounded) E[M], the expected number of
+/// transmissions needed to reach every receiver interested in it —
+/// computed from the interested-receiver count and their loss rates
+/// (Appendix B). Replicas are striped across packets so no packet carries
+/// the same key twice.
+///
+/// Batched Key Retransmission: after each round the server collects NACKs
+/// and builds *fresh* packets containing only keys some receiver still
+/// needs (never blind packet retransmission), re-weighting against the
+/// remaining receiver population.
+class WkaBkrTransport final : public RekeyTransport {
+ public:
+  struct Config {
+    std::size_t keys_per_packet = 16;
+    std::size_t max_rounds = 128;
+    /// Cap on a single key's proactive replication per round.
+    std::size_t max_weight = 8;
+    /// true = paper's WKA; false disables weighting (every key weight 1),
+    /// isolating BKR for ablation studies.
+    bool weighted = true;
+  };
+
+  explicit WkaBkrTransport(Config config) : config_(config) {}
+
+  TransportReport deliver(std::span<const crypto::WrappedKey> payload,
+                          std::vector<SessionReceiver>& receivers) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace gk::transport

@@ -1,0 +1,99 @@
+#include "workload/duration_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace gk::workload {
+
+ExponentialDuration::ExponentialDuration(Seconds mean) : mean_(mean) {
+  GK_ENSURE(mean > 0.0);
+}
+
+DurationModel::Sample ExponentialDuration::sample(Rng& rng) const {
+  constexpr Seconds kHour = 3600.0;
+  return {rng.exponential(mean_),
+          mean_ >= kHour ? MemberClass::kLong : MemberClass::kShort};
+}
+
+TwoClassExponential::TwoClassExponential(Seconds short_mean, Seconds long_mean,
+                                         double short_fraction)
+    : short_mean_(short_mean), long_mean_(long_mean), short_fraction_(short_fraction) {
+  GK_ENSURE(short_mean > 0.0);
+  GK_ENSURE(long_mean >= short_mean);
+  GK_ENSURE(short_fraction >= 0.0 && short_fraction <= 1.0);
+}
+
+DurationModel::Sample TwoClassExponential::sample(Rng& rng) const {
+  if (rng.bernoulli(short_fraction_))
+    return {rng.exponential(short_mean_), MemberClass::kShort};
+  return {rng.exponential(long_mean_), MemberClass::kLong};
+}
+
+DurationModel::Sample TwoClassExponential::sample_residual(Rng& rng) const {
+  // In steady state the share of *present* members from class Cs is
+  // proportional to alpha * Ms (Little's law: Ncs = alpha * lambda * Ms).
+  // Within a class, memorylessness makes the residual life exponential with
+  // the class mean.
+  const double short_weight = short_fraction_ * short_mean_;
+  const double long_weight = (1.0 - short_fraction_) * long_mean_;
+  const double p_short = short_weight / (short_weight + long_weight);
+  if (rng.bernoulli(p_short))
+    return {rng.exponential(short_mean_), MemberClass::kShort};
+  return {rng.exponential(long_mean_), MemberClass::kLong};
+}
+
+Seconds TwoClassExponential::population_mean() const noexcept {
+  return short_fraction_ * short_mean_ + (1.0 - short_fraction_) * long_mean_;
+}
+
+ZipfDuration::ZipfDuration(Seconds unit, std::uint64_t max_rank, double exponent,
+                           Seconds class_threshold)
+    : unit_(unit), max_rank_(max_rank), exponent_(exponent),
+      class_threshold_(class_threshold), cached_mean_(0.0) {
+  GK_ENSURE(unit > 0.0);
+  GK_ENSURE(max_rank >= 1);
+  GK_ENSURE(exponent > 0.0);
+  // E[Z] = H(n, s-1) / H(n, s) with generalized harmonic numbers; the same
+  // pass accumulates the length-biased CDF used by sample_residual.
+  double num = 0.0;
+  double den = 0.0;
+  length_biased_cdf_.reserve(max_rank_);
+  for (std::uint64_t k = 1; k <= max_rank_; ++k) {
+    const double kd = static_cast<double>(k);
+    const double pk = std::pow(kd, -exponent_);
+    num += kd * pk;
+    den += pk;
+    length_biased_cdf_.push_back(num);  // cumulative of k * p(k), unnormalized
+  }
+  cached_mean_ = unit_ * num / den;
+  for (auto& c : length_biased_cdf_) c /= num;
+}
+
+DurationModel::Sample ZipfDuration::sample(Rng& rng) const {
+  const Seconds duration = unit_ * static_cast<double>(rng.zipf(max_rank_, exponent_));
+  return {duration,
+          duration >= class_threshold_ ? MemberClass::kLong : MemberClass::kShort};
+}
+
+DurationModel::Sample ZipfDuration::sample_residual(Rng& rng) const {
+  // Length-biased total duration, then a uniform position within it: the
+  // classic renewal-theory equilibrium distribution. Without this, heavy
+  // tails make bootstrap populations drain far faster than Little's-law
+  // arrivals replace them.
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(length_biased_cdf_.begin(), length_biased_cdf_.end(), u);
+  const auto rank = static_cast<double>(
+      std::distance(length_biased_cdf_.begin(), it) + 1);
+  const Seconds total = unit_ * rank;
+  Seconds residual = total * rng.uniform();
+  if (residual <= 0.0) residual = unit_ * 0.01;
+  return {residual,
+          total >= class_threshold_ ? MemberClass::kLong : MemberClass::kShort};
+}
+
+Seconds ZipfDuration::population_mean() const noexcept { return cached_mean_; }
+
+}  // namespace gk::workload

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/member.h"
+
+namespace gk::workload {
+
+/// Samples membership durations and the class label of each joining member.
+///
+/// The paper's evaluation model (Section 3.3.1) mixes two exponential
+/// distributions; we also provide single-exponential and Zipf models to
+/// match the Almeroth–Ammar MBone observations the paper cites.
+class DurationModel {
+ public:
+  virtual ~DurationModel() = default;
+
+  struct Sample {
+    Seconds duration = 0.0;
+    MemberClass member_class = MemberClass::kShort;
+  };
+
+  [[nodiscard]] virtual Sample sample(Rng& rng) const = 0;
+
+  /// Sample the *remaining* duration of a member already present in a
+  /// steady-state group (the residual-life / equilibrium distribution).
+  /// For exponential mixtures this weights each class by its steady-state
+  /// population share (Little's law) and exploits memorylessness; the
+  /// default falls back to sample(), which is exact only for a single
+  /// exponential.
+  [[nodiscard]] virtual Sample sample_residual(Rng& rng) const { return sample(rng); }
+
+  /// Mean duration over the whole population (used for steady-state sizing).
+  [[nodiscard]] virtual Seconds population_mean() const noexcept = 0;
+};
+
+/// Single exponential: all members are one class (labelled by the mean
+/// relative to a one-hour cutoff purely for reporting).
+class ExponentialDuration final : public DurationModel {
+ public:
+  explicit ExponentialDuration(Seconds mean);
+
+  [[nodiscard]] Sample sample(Rng& rng) const override;
+  [[nodiscard]] Seconds population_mean() const noexcept override { return mean_; }
+
+ private:
+  Seconds mean_;
+};
+
+/// The paper's model: with probability `alpha` the member is class Cs with
+/// exponential mean `short_mean` (Ms); otherwise class Cl with mean
+/// `long_mean` (Ml).
+class TwoClassExponential final : public DurationModel {
+ public:
+  TwoClassExponential(Seconds short_mean, Seconds long_mean, double short_fraction);
+
+  [[nodiscard]] Sample sample(Rng& rng) const override;
+  [[nodiscard]] Sample sample_residual(Rng& rng) const override;
+  [[nodiscard]] Seconds population_mean() const noexcept override;
+
+  [[nodiscard]] Seconds short_mean() const noexcept { return short_mean_; }
+  [[nodiscard]] Seconds long_mean() const noexcept { return long_mean_; }
+  [[nodiscard]] double short_fraction() const noexcept { return short_fraction_; }
+
+ private:
+  Seconds short_mean_;
+  Seconds long_mean_;
+  double short_fraction_;
+};
+
+/// Zipf-shaped durations (heavy tail): duration = unit * Z where
+/// Z ~ Zipf(max_rank, exponent). Reproduces the MBone skew the paper cites
+/// (mean hours, median minutes). Members above `class_threshold` are
+/// labelled long for reporting.
+class ZipfDuration final : public DurationModel {
+ public:
+  ZipfDuration(Seconds unit, std::uint64_t max_rank, double exponent,
+               Seconds class_threshold);
+
+  [[nodiscard]] Sample sample(Rng& rng) const override;
+  /// Equilibrium (inspection-paradox corrected) residual life: the total
+  /// duration is drawn length-biased (P[k] proportional to k * p(k)) and
+  /// the member is uniformly far through it.
+  [[nodiscard]] Sample sample_residual(Rng& rng) const override;
+  [[nodiscard]] Seconds population_mean() const noexcept override;
+
+ private:
+  Seconds unit_;
+  std::uint64_t max_rank_;
+  double exponent_;
+  Seconds class_threshold_;
+  Seconds cached_mean_;
+  std::vector<double> length_biased_cdf_;  // over ranks 1..max_rank
+};
+
+}  // namespace gk::workload

@@ -1,0 +1,54 @@
+#include "workload/loss_assignment.h"
+
+#include "common/ensure.h"
+
+namespace gk::workload {
+
+namespace {
+void check_rate(double rate) { GK_ENSURE(rate >= 0.0 && rate < 1.0); }
+}  // namespace
+
+UniformLoss::UniformLoss(double rate) : rate_(rate) { check_rate(rate); }
+
+TwoPointLoss::TwoPointLoss(double low_rate, double high_rate, double high_fraction)
+    : low_rate_(low_rate), high_rate_(high_rate), high_fraction_(high_fraction) {
+  check_rate(low_rate);
+  check_rate(high_rate);
+  GK_ENSURE(low_rate <= high_rate);
+  GK_ENSURE(high_fraction >= 0.0 && high_fraction <= 1.0);
+}
+
+double TwoPointLoss::assign(Rng& rng) const {
+  return rng.bernoulli(high_fraction_) ? high_rate_ : low_rate_;
+}
+
+double TwoPointLoss::mean() const noexcept {
+  return high_fraction_ * high_rate_ + (1.0 - high_fraction_) * low_rate_;
+}
+
+DiscreteLoss::DiscreteLoss(std::vector<Point> points) : points_(std::move(points)), mean_(0.0) {
+  GK_ENSURE(!points_.empty());
+  double total = 0.0;
+  for (const auto& p : points_) {
+    check_rate(p.rate);
+    GK_ENSURE(p.weight >= 0.0);
+    total += p.weight;
+  }
+  GK_ENSURE(total > 0.0);
+  double cumulative = 0.0;
+  for (auto& p : points_) {
+    mean_ += p.rate * (p.weight / total);
+    cumulative += p.weight / total;
+    p.weight = cumulative;  // store CDF in place
+  }
+  points_.back().weight = 1.0;
+}
+
+double DiscreteLoss::assign(Rng& rng) const {
+  const double u = rng.uniform();
+  for (const auto& p : points_)
+    if (u < p.weight) return p.rate;
+  return points_.back().rate;
+}
+
+}  // namespace gk::workload

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/member.h"
+
+namespace gk::workload {
+
+/// Assigns a per-packet loss probability to each joining member, modelling
+/// the receiver-path heterogeneity reported by the MBone loss measurements
+/// the paper cites [Handley97].
+class LossAssignment {
+ public:
+  virtual ~LossAssignment() = default;
+
+  [[nodiscard]] virtual double assign(Rng& rng) const = 0;
+
+  /// Population mean loss rate.
+  [[nodiscard]] virtual double mean() const noexcept = 0;
+};
+
+/// Every member sees the same loss rate.
+class UniformLoss final : public LossAssignment {
+ public:
+  explicit UniformLoss(double rate);
+
+  [[nodiscard]] double assign(Rng&) const override { return rate_; }
+  [[nodiscard]] double mean() const noexcept override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// The paper's Section 4 model: a fraction `high_fraction` of members are
+/// high-loss (rate `high_rate`, e.g. 20%), the rest low-loss (`low_rate`,
+/// e.g. 2%).
+class TwoPointLoss final : public LossAssignment {
+ public:
+  TwoPointLoss(double low_rate, double high_rate, double high_fraction);
+
+  [[nodiscard]] double assign(Rng& rng) const override;
+  [[nodiscard]] double mean() const noexcept override;
+
+  [[nodiscard]] double low_rate() const noexcept { return low_rate_; }
+  [[nodiscard]] double high_rate() const noexcept { return high_rate_; }
+  [[nodiscard]] double high_fraction() const noexcept { return high_fraction_; }
+
+ private:
+  double low_rate_;
+  double high_rate_;
+  double high_fraction_;
+};
+
+/// Piecewise-empirical distribution: a list of (rate, weight) points.
+/// Lets benches model richer loss populations than the two-point default.
+class DiscreteLoss final : public LossAssignment {
+ public:
+  struct Point {
+    double rate;
+    double weight;
+  };
+  explicit DiscreteLoss(std::vector<Point> points);
+
+  [[nodiscard]] double assign(Rng& rng) const override;
+  [[nodiscard]] double mean() const noexcept override { return mean_; }
+
+ private:
+  std::vector<Point> points_;  // weights normalized to cumulative form
+  double mean_;
+};
+
+}  // namespace gk::workload

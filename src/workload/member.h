@@ -1,0 +1,42 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace gk::workload {
+
+/// Opaque member (receiver) identifier, unique within a session.
+enum class MemberId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t raw(MemberId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+[[nodiscard]] constexpr MemberId make_member_id(std::uint64_t v) noexcept {
+  return static_cast<MemberId>(v);
+}
+
+/// The paper's two temporal classes (Section 3.3.1): short-duration members
+/// (class Cs, mean Ms) and long-duration members (class Cl, mean Ml).
+enum class MemberClass : std::uint8_t { kShort, kLong };
+
+/// Simulation time in seconds. Double-precision seconds cover multi-day
+/// sessions at microsecond resolution, which is far finer than the 60 s
+/// rekey periods the paper studies.
+using Seconds = double;
+
+/// Everything the workload generator decides about one member up front.
+/// The key server never reads `departure_time` or `member_class` (except in
+/// the PT oracle scheme) — schemes must infer behaviour online, exactly as
+/// the paper requires.
+struct MemberProfile {
+  MemberId id{};
+  MemberClass member_class = MemberClass::kShort;
+  Seconds join_time = 0.0;
+  Seconds duration = 0.0;
+  /// Independent per-packet loss probability on this member's path.
+  double loss_rate = 0.0;
+
+  [[nodiscard]] Seconds departure_time() const noexcept { return join_time + duration; }
+};
+
+}  // namespace gk::workload

@@ -1,0 +1,50 @@
+#include "workload/membership.h"
+
+#include "common/ensure.h"
+
+namespace gk::workload {
+
+MembershipGenerator::MembershipGenerator(std::shared_ptr<const DurationModel> durations,
+                                         std::shared_ptr<const LossAssignment> losses,
+                                         std::uint64_t target_size, Rng rng)
+    : durations_(std::move(durations)),
+      losses_(std::move(losses)),
+      target_size_(target_size),
+      arrival_rate_(0.0),
+      rng_(rng) {
+  GK_ENSURE(durations_ != nullptr);
+  GK_ENSURE(losses_ != nullptr);
+  GK_ENSURE(target_size_ > 0);
+  arrival_rate_ = static_cast<double>(target_size_) / durations_->population_mean();
+  next_arrival_ = rng_.exponential(1.0 / arrival_rate_);
+}
+
+std::vector<MemberProfile> MembershipGenerator::bootstrap() {
+  std::vector<MemberProfile> members;
+  members.reserve(target_size_);
+  for (std::uint64_t i = 0; i < target_size_; ++i) {
+    const auto sample = durations_->sample_residual(rng_);
+    MemberProfile profile;
+    profile.id = fresh_id();
+    profile.member_class = sample.member_class;
+    profile.join_time = 0.0;
+    profile.duration = sample.duration;
+    profile.loss_rate = losses_->assign(rng_);
+    members.push_back(profile);
+  }
+  return members;
+}
+
+MemberProfile MembershipGenerator::next_join() {
+  const auto sample = durations_->sample(rng_);
+  MemberProfile profile;
+  profile.id = fresh_id();
+  profile.member_class = sample.member_class;
+  profile.join_time = next_arrival_;
+  profile.duration = sample.duration;
+  profile.loss_rate = losses_->assign(rng_);
+  next_arrival_ += rng_.exponential(1.0 / arrival_rate_);
+  return profile;
+}
+
+}  // namespace gk::workload

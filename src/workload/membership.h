@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/duration_model.h"
+#include "workload/loss_assignment.h"
+#include "workload/member.h"
+
+namespace gk::workload {
+
+/// Generates the member population of one secure-multicast session:
+/// a steady-state bootstrap at t = 0 plus a Poisson join process whose rate
+/// keeps the group size stationary (Little's law: lambda = N / E[duration]).
+class MembershipGenerator {
+ public:
+  /// `target_size` is the steady-state group size N. The arrival rate is
+  /// derived from the duration model so departures balance joins.
+  MembershipGenerator(std::shared_ptr<const DurationModel> durations,
+                      std::shared_ptr<const LossAssignment> losses,
+                      std::uint64_t target_size, Rng rng);
+
+  /// Members present at t = 0, with residual durations drawn from the
+  /// equilibrium distribution.
+  [[nodiscard]] std::vector<MemberProfile> bootstrap();
+
+  /// Next joining member; successive calls advance an internal Poisson
+  /// arrival clock.
+  [[nodiscard]] MemberProfile next_join();
+
+  /// Arrival time of the join that next_join() would return, without
+  /// consuming it.
+  [[nodiscard]] Seconds peek_next_join_time() const noexcept { return next_arrival_; }
+
+  [[nodiscard]] double arrival_rate() const noexcept { return arrival_rate_; }
+  [[nodiscard]] std::uint64_t target_size() const noexcept { return target_size_; }
+
+ private:
+  [[nodiscard]] MemberId fresh_id() noexcept { return make_member_id(next_id_++); }
+
+  std::shared_ptr<const DurationModel> durations_;
+  std::shared_ptr<const LossAssignment> losses_;
+  std::uint64_t target_size_;
+  double arrival_rate_;
+  Rng rng_;
+  std::uint64_t next_id_ = 0;
+  Seconds next_arrival_ = 0.0;
+};
+
+}  // namespace gk::workload

@@ -1,0 +1,100 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/ensure.h"
+
+namespace gk::workload {
+
+MembershipTrace MembershipTrace::generate(MembershipGenerator& generator,
+                                          Seconds rekey_period,
+                                          std::uint64_t epoch_count) {
+  GK_ENSURE(rekey_period > 0.0);
+
+  MembershipTrace trace;
+  trace.rekey_period_ = rekey_period;
+  trace.initial_ = generator.bootstrap();
+
+  // Min-heap of pending departures (time, id).
+  using Departure = std::pair<Seconds, MemberId>;
+  auto later = [](const Departure& a, const Departure& b) { return a.first > b.first; };
+  std::priority_queue<Departure, std::vector<Departure>, decltype(later)> departures(later);
+
+  auto remember = [&trace](const MemberProfile& p) {
+    const auto idx = raw(p.id);
+    if (trace.profiles_.size() <= idx) trace.profiles_.resize(idx + 1);
+    trace.profiles_[idx] = p;
+  };
+
+  for (const auto& member : trace.initial_) {
+    remember(member);
+    departures.emplace(member.departure_time(), member.id);
+  }
+
+  trace.epochs_.reserve(epoch_count);
+  for (std::uint64_t e = 0; e < epoch_count; ++e) {
+    EpochBatch batch;
+    batch.index = e;
+    batch.period_end = static_cast<Seconds>(e + 1) * rekey_period;
+
+    while (generator.peek_next_join_time() <= batch.period_end) {
+      MemberProfile member = generator.next_join();
+      remember(member);
+      departures.emplace(member.departure_time(), member.id);
+      batch.joins.push_back(std::move(member));
+    }
+    while (!departures.empty() && departures.top().first <= batch.period_end) {
+      batch.leaves.push_back(departures.top().second);
+      departures.pop();
+    }
+    trace.epochs_.push_back(std::move(batch));
+  }
+  return trace;
+}
+
+MembershipTrace MembershipTrace::from_parts(std::vector<MemberProfile> initial,
+                                            std::vector<EpochBatch> epochs,
+                                            Seconds rekey_period) {
+  GK_ENSURE(rekey_period > 0.0);
+  MembershipTrace trace;
+  trace.rekey_period_ = rekey_period;
+  trace.initial_ = std::move(initial);
+  trace.epochs_ = std::move(epochs);
+
+  auto remember = [&trace](const MemberProfile& p) {
+    const auto idx = raw(p.id);
+    if (trace.profiles_.size() <= idx) trace.profiles_.resize(idx + 1);
+    trace.profiles_[idx] = p;
+  };
+  for (const auto& member : trace.initial_) remember(member);
+  for (const auto& epoch : trace.epochs_)
+    for (const auto& member : epoch.joins) remember(member);
+  for (const auto& epoch : trace.epochs_)
+    for (const auto id : epoch.leaves)
+      GK_ENSURE_MSG(raw(id) < trace.profiles_.size(),
+                    "leave of unknown member " << raw(id));
+  return trace;
+}
+
+const MemberProfile& MembershipTrace::profile(MemberId id) const {
+  const auto idx = raw(id);
+  GK_ENSURE_MSG(idx < profiles_.size(), "unknown member id " << idx);
+  return profiles_[idx];
+}
+
+double MembershipTrace::mean_joins_per_epoch() const noexcept {
+  if (epochs_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& epoch : epochs_) total += epoch.joins.size();
+  return static_cast<double>(total) / static_cast<double>(epochs_.size());
+}
+
+double MembershipTrace::mean_leaves_per_epoch() const noexcept {
+  if (epochs_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& epoch : epochs_) total += epoch.leaves.size();
+  return static_cast<double>(total) / static_cast<double>(epochs_.size());
+}
+
+}  // namespace gk::workload

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/membership.h"
+
+namespace gk::workload {
+
+/// One batch of membership churn inside a single rekey period Tp:
+/// everything a periodically rekeying key server processes at the end of the
+/// epoch (Kronos-style batching, Section 2.1.1).
+struct EpochBatch {
+  /// Epoch index; the batch covers (index * period, (index + 1) * period].
+  std::uint64_t index = 0;
+  Seconds period_end = 0.0;
+  /// Members that joined during the epoch (full profiles; schemes other
+  /// than the PT oracle must ignore member_class and duration).
+  std::vector<MemberProfile> joins;
+  /// Members that departed during the epoch.
+  std::vector<MemberId> leaves;
+};
+
+/// A fully materialized membership trace: the t = 0 population plus a
+/// sequence of per-epoch join/leave batches. Traces are deterministic given
+/// the generator's seed, so every experiment is replayable against any
+/// scheme — the same churn hits the one-keytree baseline and every
+/// two-partition variant.
+class MembershipTrace {
+ public:
+  /// Generate `epoch_count` epochs of length `rekey_period` from a
+  /// steady-state start.
+  static MembershipTrace generate(MembershipGenerator& generator, Seconds rekey_period,
+                                  std::uint64_t epoch_count);
+
+  /// Rebuild a trace from previously recorded parts (trace_io.h). Validates
+  /// that every leave refers to a known member.
+  static MembershipTrace from_parts(std::vector<MemberProfile> initial,
+                                    std::vector<EpochBatch> epochs,
+                                    Seconds rekey_period);
+
+  [[nodiscard]] const std::vector<MemberProfile>& initial_members() const noexcept {
+    return initial_;
+  }
+  [[nodiscard]] const std::vector<EpochBatch>& epochs() const noexcept { return epochs_; }
+  [[nodiscard]] Seconds rekey_period() const noexcept { return rekey_period_; }
+
+  /// Profile lookup by id (covers initial members and every join).
+  [[nodiscard]] const MemberProfile& profile(MemberId id) const;
+
+  /// Average joins (== leaves in steady state) per epoch, for reporting.
+  [[nodiscard]] double mean_joins_per_epoch() const noexcept;
+  [[nodiscard]] double mean_leaves_per_epoch() const noexcept;
+
+ private:
+  std::vector<MemberProfile> initial_;
+  std::vector<EpochBatch> epochs_;
+  std::vector<MemberProfile> profiles_;  // indexed by raw(id)
+  Seconds rekey_period_ = 0.0;
+};
+
+}  // namespace gk::workload

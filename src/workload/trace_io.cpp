@@ -1,0 +1,124 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace gk::workload {
+
+namespace {
+
+const char* class_name(MemberClass cls) {
+  return cls == MemberClass::kShort ? "short" : "long";
+}
+
+MemberClass parse_class(const std::string& name) {
+  if (name == "short") return MemberClass::kShort;
+  if (name == "long") return MemberClass::kLong;
+  GK_ENSURE_MSG(false, "unknown member class '" << name << "'");
+  return MemberClass::kShort;
+}
+
+void write_profile(std::ostream& os, const char* kind, std::uint64_t epoch,
+                   const MemberProfile& p) {
+  os << kind << ',' << epoch << ',' << raw(p.id) << ',' << class_name(p.member_class)
+     << ',' << p.join_time << ',' << p.duration << ',' << p.loss_rate << '\n';
+}
+
+}  // namespace
+
+void write_trace_csv(const MembershipTrace& trace, std::ostream& os) {
+  os << "# rekey_period=" << trace.rekey_period()
+     << " epochs=" << trace.epochs().size() << '\n';
+  os << "kind,epoch,member,class,join_time,duration,loss_rate\n";
+  os << std::setprecision(17);
+  for (const auto& member : trace.initial_members())
+    write_profile(os, "initial", 0, member);
+  for (const auto& epoch : trace.epochs()) {
+    for (const auto& member : epoch.joins)
+      write_profile(os, "join", epoch.index, member);
+    for (const auto id : epoch.leaves)
+      os << "leave," << epoch.index << ',' << raw(id) << ",short,0,0,0\n";
+  }
+}
+
+MembershipTrace read_trace_csv(std::istream& is) {
+  std::string line;
+  GK_ENSURE_MSG(std::getline(is, line), "empty trace file");
+  GK_ENSURE_MSG(line.rfind("# rekey_period=", 0) == 0, "missing trace header");
+
+  Seconds rekey_period = 0.0;
+  std::uint64_t epoch_count = 0;
+  {
+    std::istringstream header(line.substr(2));
+    std::string token;
+    while (header >> token) {
+      const auto eq = token.find('=');
+      GK_ENSURE(eq != std::string::npos);
+      const auto key = token.substr(0, eq);
+      const auto value = token.substr(eq + 1);
+      if (key == "rekey_period") rekey_period = std::stod(value);
+      if (key == "epochs") epoch_count = std::stoull(value);
+    }
+  }
+  GK_ENSURE_MSG(rekey_period > 0.0, "trace header lacks rekey_period");
+  GK_ENSURE_MSG(std::getline(is, line), "missing column header");
+
+  std::vector<MemberProfile> initial;
+  std::vector<EpochBatch> epochs(epoch_count);
+  for (std::uint64_t e = 0; e < epoch_count; ++e) {
+    epochs[e].index = e;
+    epochs[e].period_end = static_cast<Seconds>(e + 1) * rekey_period;
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind, epoch_s, member_s, class_s, join_s, duration_s, loss_s;
+    GK_ENSURE_MSG(std::getline(row, kind, ',') && std::getline(row, epoch_s, ',') &&
+                      std::getline(row, member_s, ',') &&
+                      std::getline(row, class_s, ',') &&
+                      std::getline(row, join_s, ',') &&
+                      std::getline(row, duration_s, ',') && std::getline(row, loss_s),
+                  "malformed trace row: " << line);
+    const auto epoch = std::stoull(epoch_s);
+    GK_ENSURE_MSG(kind == "initial" || epoch < epoch_count,
+                  "epoch " << epoch << " out of range");
+
+    if (kind == "leave") {
+      epochs[epoch].leaves.push_back(make_member_id(std::stoull(member_s)));
+      continue;
+    }
+    MemberProfile profile;
+    profile.id = make_member_id(std::stoull(member_s));
+    profile.member_class = parse_class(class_s);
+    profile.join_time = std::stod(join_s);
+    profile.duration = std::stod(duration_s);
+    profile.loss_rate = std::stod(loss_s);
+    if (kind == "initial") {
+      initial.push_back(profile);
+    } else if (kind == "join") {
+      epochs[epoch].joins.push_back(profile);
+    } else {
+      GK_ENSURE_MSG(false, "unknown trace row kind '" << kind << "'");
+    }
+  }
+  return MembershipTrace::from_parts(std::move(initial), std::move(epochs),
+                                     rekey_period);
+}
+
+void save_trace(const MembershipTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  GK_ENSURE_MSG(os.good(), "cannot open " << path << " for writing");
+  write_trace_csv(trace, os);
+}
+
+MembershipTrace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  GK_ENSURE_MSG(is.good(), "cannot open " << path);
+  return read_trace_csv(is);
+}
+
+}  // namespace gk::workload

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace gk::workload {
+
+/// CSV serialization of membership traces, so experiments can be replayed
+/// against any scheme (or shared between machines) without regenerating
+/// workloads. Format, one event per line after the header:
+///
+///   kind,epoch,member,class,join_time,duration,loss_rate
+///
+/// kind is `initial`, `join`, or `leave`; `leave` rows carry only the
+/// member id (remaining columns 0). Epoch length is recorded in a leading
+/// comment line `# rekey_period=<seconds> epochs=<count>`.
+void write_trace_csv(const MembershipTrace& trace, std::ostream& os);
+
+/// Parse a trace written by write_trace_csv. Throws ContractViolation on
+/// malformed input.
+[[nodiscard]] MembershipTrace read_trace_csv(std::istream& is);
+
+/// Convenience file-path wrappers.
+void save_trace(const MembershipTrace& trace, const std::string& path);
+[[nodiscard]] MembershipTrace load_trace(const std::string& path);
+
+}  // namespace gk::workload

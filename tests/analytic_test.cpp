@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/batch_cost.h"
+#include "analytic/fec_model.h"
+#include "analytic/multisend_model.h"
+#include "analytic/two_partition_model.h"
+#include "analytic/wka_bkr_model.h"
+
+namespace gk::analytic {
+namespace {
+
+// ----------------------------------------------------- Appendix A model ----
+
+TEST(BatchCost, ZeroCases) {
+  EXPECT_DOUBLE_EQ(batch_rekey_cost(0.0, 10.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(batch_rekey_cost(100.0, 0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(batch_rekey_cost(1.0, 1.0, 4), 0.0);  // lone member: no KEKs
+}
+
+TEST(BatchCost, SingleDepartureApproximatesDLogN) {
+  // Ne(N, 1) should be close to d * logd(N) (each path key updated, one
+  // encryption per child; the bottom level has one fewer but the model
+  // counts d for all levels).
+  const double cost = batch_rekey_cost_full_tree(65536, 1.0, 4);
+  EXPECT_NEAR(cost, 4.0 * 8.0, 0.5);
+}
+
+TEST(BatchCost, FullDepartureCountsAllInteriorKeys) {
+  // All 64 leaves leave a full 4-ary tree of height 3:
+  // interior keys = 1 + 4 + 16 = 21, each wrapped d times.
+  EXPECT_DOUBLE_EQ(batch_rekey_cost_full_tree(64, 64.0, 4), 4.0 * 21.0);
+}
+
+TEST(BatchCost, LevelProbabilityMatchesDirectFormula) {
+  // N=64, d=4, h=3, level 2: S = 4, L = 2.
+  // P = 1 - C(60,2)/C(64,2) = 1 - (60*59)/(64*63).
+  const double expected = 1.0 - (60.0 * 59.0) / (64.0 * 63.0);
+  EXPECT_NEAR(level_update_probability(64, 2.0, 4, 2, 3), expected, 1e-12);
+}
+
+TEST(BatchCost, MonotoneInDepartures) {
+  double last = 0.0;
+  for (double l = 1.0; l <= 512.0; l *= 2.0) {
+    const double cost = batch_rekey_cost(65536.0, l, 4);
+    EXPECT_GT(cost, last);
+    last = cost;
+  }
+}
+
+TEST(BatchCost, BatchingBeatsIndividualRekeys) {
+  // Sublinearity: Ne(N, L) < L * Ne(N, 1) for L > 1.
+  const double batched = batch_rekey_cost(65536.0, 256.0, 4);
+  const double individual = 256.0 * batch_rekey_cost(65536.0, 1.0, 4);
+  EXPECT_LT(batched, individual);
+}
+
+TEST(BatchCost, InterpolationIsContinuousAtFullSizes) {
+  const double at_full = batch_rekey_cost(4096.0, 64.0, 4);
+  const double just_above = batch_rekey_cost(4097.0, 64.0, 4);
+  const double exact = batch_rekey_cost_full_tree(4096, 64.0, 4);
+  EXPECT_NEAR(at_full, exact, 1e-9);
+  EXPECT_NEAR(just_above, exact, exact * 0.01);
+}
+
+TEST(BatchCost, PaperDefaultOperatingPoint) {
+  // Fig. 3 at K=0 (one-keytree baseline) is ~1.62e4 encrypted keys.
+  // With Table 1 parameters J ~ 1684, and Ne(65536, 1684) lands there.
+  const double cost = batch_rekey_cost(65536.0, 1683.9, 4);
+  EXPECT_NEAR(cost, 16200.0, 700.0);
+}
+
+// ----------------------------------------------- two-partition (Sec. 3) ----
+
+TEST(TwoPartition, SteadyStateClosesTheSystem) {
+  TwoPartitionParams p;  // Table 1 defaults
+  const auto s = solve_steady_state(p);
+  EXPECT_NEAR(s.class_short_pop + s.class_long_pop, p.group_size, 1e-6);
+  EXPECT_NEAR(s.s_partition_pop + s.l_partition_pop, p.group_size, 1e-6);
+  EXPECT_NEAR(s.class_short_leaves + s.class_long_leaves, s.joins, 1e-9);
+  EXPECT_NEAR(s.s_departures + s.migrations, s.joins, 1e-9);
+  EXPECT_DOUBLE_EQ(s.l_departures, s.migrations);
+}
+
+TEST(TwoPartition, PaperDefaultJoinRate) {
+  TwoPartitionParams p;
+  const auto s = solve_steady_state(p);
+  // J = N / (alpha/Pr(Tp,Ms) + (1-alpha)/Pr(Tp,Ml)) ~ 1683.9
+  EXPECT_NEAR(s.joins, 1683.9, 1.0);
+}
+
+TEST(TwoPartition, DepartureProbability) {
+  EXPECT_NEAR(departure_probability(60.0, 180.0), 1.0 - std::exp(-1.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(departure_probability(0.0, 100.0), 0.0);
+}
+
+TEST(TwoPartition, KZeroFallsBackToOneKeytree) {
+  TwoPartitionParams p;
+  p.s_period_epochs = 0;
+  EXPECT_NEAR(qt_cost(p), one_keytree_cost(p), 1e-6);
+  EXPECT_NEAR(tt_cost(p), one_keytree_cost(p), 1e-6);
+}
+
+TEST(TwoPartition, Fig3ShapeAtDefaults) {
+  // At Table 1 defaults with K=10: TT beats one-keytree by ~25%, QT sits
+  // between TT and one-keytree, PT is best (~40% gain).
+  TwoPartitionParams p;
+  const double base = one_keytree_cost(p);
+  const double tt = tt_cost(p);
+  const double qt = qt_cost(p);
+  const double pt = pt_cost(p);
+
+  EXPECT_LT(tt, base);
+  EXPECT_LT(qt, base);
+  EXPECT_LT(pt, tt);
+  EXPECT_LT(pt, qt);
+
+  const double tt_gain = 1.0 - tt / base;
+  EXPECT_NEAR(tt_gain, 0.25, 0.07);
+  const double pt_gain = 1.0 - pt / base;
+  EXPECT_NEAR(pt_gain, 0.40, 0.08);
+}
+
+TEST(TwoPartition, Fig4PeakGainNearPaperClaim) {
+  // Paper: up to 31.4% improvement at alpha = 0.9 (K = 10).
+  TwoPartitionParams p;
+  p.short_fraction = 0.9;
+  const double base = one_keytree_cost(p);
+  const double best = std::min(tt_cost(p), qt_cost(p));
+  EXPECT_NEAR(1.0 - best / base, 0.314, 0.08);
+}
+
+TEST(TwoPartition, LowAlphaFavorsOneKeytree) {
+  // Fig. 4: for alpha <= 0.4 the one-keytree scheme wins (migration
+  // overhead dominates).
+  TwoPartitionParams p;
+  p.short_fraction = 0.2;
+  EXPECT_GT(tt_cost(p), one_keytree_cost(p));
+  EXPECT_GT(qt_cost(p), one_keytree_cost(p));
+}
+
+TEST(TwoPartition, PtAlwaysAtLeastAsGoodAsOthers) {
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    TwoPartitionParams p;
+    p.short_fraction = alpha;
+    const double pt = pt_cost(p);
+    EXPECT_LE(pt, tt_cost(p) * 1.001) << "alpha " << alpha;
+    EXPECT_LE(pt, qt_cost(p) * 1.001) << "alpha " << alpha;
+  }
+}
+
+TEST(TwoPartition, GroupSizeBarelyChangesRelativeGain) {
+  // Fig. 5: >22% savings across N = 1K..256K at the defaults.
+  for (double n : {1024.0, 4096.0, 16384.0, 65536.0, 262144.0}) {
+    TwoPartitionParams p;
+    p.group_size = n;
+    const double base = one_keytree_cost(p);
+    EXPECT_GT(1.0 - tt_cost(p) / base, 0.18) << "N " << n;
+    EXPECT_GT(1.0 - qt_cost(p) / base, 0.18) << "N " << n;
+  }
+}
+
+// --------------------------------------------- WKA-BKR (Appendix B) ----
+
+TEST(WkaBkr, ExpectedTransmissionsLossFree) {
+  EXPECT_NEAR(expected_transmissions(100.0, {{0.0, 1.0}}), 1.0, 1e-9);
+}
+
+TEST(WkaBkr, ExpectedTransmissionsSingleReceiver) {
+  // E[M] for one receiver at loss p is 1/(1-p).
+  EXPECT_NEAR(expected_transmissions(1.0, {{0.2, 1.0}}), 1.0 / 0.8, 1e-6);
+  EXPECT_NEAR(expected_transmissions(1.0, {{0.5, 1.0}}), 2.0, 1e-6);
+}
+
+TEST(WkaBkr, MoreReceiversNeedMoreTransmissions) {
+  const std::vector<LossClass> losses{{0.1, 1.0}};
+  double last = 0.0;
+  for (double r : {1.0, 10.0, 100.0, 1000.0}) {
+    const double m = expected_transmissions(r, losses);
+    EXPECT_GT(m, last);
+    last = m;
+  }
+}
+
+TEST(WkaBkr, MixtureBoundedByPureClasses) {
+  const double low = expected_transmissions(100.0, {{0.02, 1.0}});
+  const double high = expected_transmissions(100.0, {{0.20, 1.0}});
+  const double mixed = expected_transmissions(100.0, {{0.02, 0.7}, {0.20, 0.3}});
+  EXPECT_GT(mixed, low);
+  EXPECT_LT(mixed, high);
+}
+
+TEST(WkaBkr, LossFreeCostReducesToBatchCost) {
+  WkaBkrParams p;
+  p.members = 65536.0;
+  p.departures = 256.0;
+  p.degree = 4;
+  p.losses = {{0.0, 1.0}};
+  EXPECT_NEAR(wka_bkr_cost(p), batch_rekey_cost(65536.0, 256.0, 4), 1e-6);
+}
+
+TEST(WkaBkr, Fig6LossHomogenizationGain) {
+  // Paper Fig. 6: at alpha = 0.3 (fraction of high-loss receivers,
+  // ph = 20%, pl = 2%, N = 65536, L = 256) the two loss-homogenized trees
+  // beat the single tree by up to ~12.1%.
+  const double alpha = 0.3;
+  WkaBkrParams one;
+  one.members = 65536.0;
+  one.departures = 256.0;
+  one.degree = 4;
+  one.losses = {{0.02, 1.0 - alpha}, {0.20, alpha}};
+  const double one_cost = wka_bkr_cost(one);
+
+  WkaBkrParams low;
+  low.members = (1.0 - alpha) * 65536.0;
+  low.departures = (1.0 - alpha) * 256.0;
+  low.degree = 4;
+  low.losses = {{0.02, 1.0}};
+  WkaBkrParams high;
+  high.members = alpha * 65536.0;
+  high.departures = alpha * 256.0;
+  high.degree = 4;
+  high.losses = {{0.20, 1.0}};
+  const double split_cost = wka_bkr_forest_cost({low, high});
+
+  EXPECT_LT(split_cost, one_cost);
+  EXPECT_NEAR(1.0 - split_cost / one_cost, 0.121, 0.06);
+}
+
+TEST(WkaBkr, HomogeneousGroupGainsNothing) {
+  // Fig. 6 endpoints: with uniform loss, splitting into two trees does not
+  // help (and random splitting slightly hurts due to the extra root).
+  WkaBkrParams one;
+  one.members = 65536.0;
+  one.departures = 256.0;
+  one.degree = 4;
+  one.losses = {{0.05, 1.0}};
+  const double one_cost = wka_bkr_cost(one);
+
+  WkaBkrParams half = one;
+  half.members = 32768.0;
+  half.departures = 128.0;
+  const double split_cost = wka_bkr_forest_cost({half, half});
+  EXPECT_NEAR(split_cost, one_cost, one_cost * 0.1);
+}
+
+// ----------------------------------------------------------- FEC model ----
+
+TEST(Fec, LossFreeBlockCostsInitialRound) {
+  FecParams p;
+  p.block_size = 16;
+  p.proactivity = 1.0;
+  p.receivers = 1000.0;
+  p.losses = {{0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(fec_block_cost(p), 16.0);
+}
+
+TEST(Fec, ProactivityReducesRetransmissions) {
+  FecParams base;
+  base.block_size = 16;
+  base.receivers = 1000.0;
+  base.losses = {{0.05, 1.0}};
+
+  FecParams lean = base;
+  lean.proactivity = 1.0;
+  FecParams rich = base;
+  rich.proactivity = 1.5;
+
+  const double lean_cost = fec_block_cost(lean);
+  const double rich_cost = fec_block_cost(rich);
+  // Rich proactivity pays more up front but needs (almost) no feedback
+  // rounds; at 5% loss 24 packets nearly always decode.
+  EXPECT_GT(lean_cost, 16.0);
+  EXPECT_LT(rich_cost, lean_cost + 8.0 + 1.0);
+}
+
+TEST(Fec, HighLossReceiversDriveCost) {
+  FecParams low;
+  low.block_size = 16;
+  low.proactivity = 1.25;
+  low.receivers = 1000.0;
+  low.losses = {{0.02, 1.0}};
+
+  FecParams mixed = low;
+  mixed.losses = {{0.02, 0.9}, {0.20, 0.1}};
+
+  EXPECT_GT(fec_block_cost(mixed), fec_block_cost(low));
+}
+
+TEST(Fec, PayloadScalesByBlocks) {
+  FecParams p;
+  p.block_size = 8;
+  p.proactivity = 1.0;
+  p.receivers = 10.0;
+  p.losses = {{0.0, 1.0}};
+  p.source_packets = 33.0;  // 5 blocks
+  EXPECT_DOUBLE_EQ(fec_payload_cost(p), 5.0 * 8.0);
+}
+
+// ----------------------------------------------------- multi-send model ----
+
+TEST(MultiSend, LossFreeSendsOnce) {
+  MultiSendParams p;
+  p.payload_keys = 1000.0;
+  p.receivers = 1000.0;
+  p.losses = {{0.0, 1.0}};
+  EXPECT_EQ(multisend_replication(p), 1u);
+  EXPECT_DOUBLE_EQ(multisend_cost(p), 1000.0);
+}
+
+TEST(MultiSend, ReplicationGrowsWithLossAndGroupSize) {
+  MultiSendParams p;
+  p.payload_keys = 1000.0;
+  p.receivers = 1000.0;
+  p.losses = {{0.05, 1.0}};
+  const auto m_small = multisend_replication(p);
+  p.receivers = 100000.0;
+  const auto m_large = multisend_replication(p);
+  EXPECT_GE(m_large, m_small);
+  EXPECT_GT(m_small, 1u);
+}
+
+TEST(MultiSend, CostsMoreThanWkaBkr) {
+  // WKA-BKR's claim: uniform replication wastes bandwidth versus weighting
+  // by receiver count; verify the models agree on the ordering.
+  MultiSendParams ms;
+  ms.payload_keys = batch_rekey_cost(65536.0, 256.0, 4);
+  ms.keys_per_receiver = 8.0;
+  ms.receivers = 65536.0;
+  ms.losses = {{0.05, 1.0}};
+
+  WkaBkrParams wb;
+  wb.members = 65536.0;
+  wb.departures = 256.0;
+  wb.degree = 4;
+  wb.losses = {{0.05, 1.0}};
+
+  EXPECT_GT(multisend_cost(ms), wka_bkr_cost(wb));
+}
+
+}  // namespace
+}  // namespace gk::analytic

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace gk {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, UniformBoundedCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.uniform_u64(10)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected each
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsMemorylessInDistribution) {
+  // P(T > a + b | T > a) == P(T > b) for the exponential.
+  Rng rng(19);
+  const double mean = 10.0;
+  int beyond_a = 0;
+  int beyond_ab = 0;
+  int beyond_b = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double t = rng.exponential(mean);
+    if (t > 5.0) ++beyond_a;
+    if (t > 9.0) ++beyond_ab;
+    if (t > 4.0) ++beyond_b;
+  }
+  const double conditional = static_cast<double>(beyond_ab) / beyond_a;
+  const double unconditional = static_cast<double>(beyond_b) / trials;
+  EXPECT_NEAR(conditional, unconditional, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / trials, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / trials, 200.0, 2.0);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const auto z = rng.zipf(100, 1.2);
+    EXPECT_GE(z, 1u);
+    EXPECT_LE(z, 100u);
+  }
+}
+
+TEST(Rng, ZipfIsHeavyHeaded) {
+  Rng rng(37);
+  int ones = 0;
+  int tails = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const auto z = rng.zipf(1000, 1.0);
+    if (z == 1) ++ones;
+    if (z > 500) ++tails;
+  }
+  EXPECT_GT(ones, tails);  // rank 1 should dominate the whole top half tail
+  EXPECT_GT(ones, trials / 10);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+// --------------------------------------------------------------- math ----
+
+TEST(Math, LogBinomialSmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(Math, LogBinomialEdges) {
+  EXPECT_DOUBLE_EQ(log_binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 7), 0.0);
+  EXPECT_TRUE(std::isinf(log_binomial(3, 5)));
+  EXPECT_TRUE(std::isinf(log_binomial(3, -1)));
+}
+
+TEST(Math, ProbSubtreeUntouchedMatchesDirectComputation) {
+  // n=9, s=3, l=2: C(6,2)/C(9,2) = 15/36.
+  EXPECT_NEAR(prob_subtree_untouched(9, 3, 2), 15.0 / 36.0, 1e-12);
+}
+
+TEST(Math, ProbSubtreeUntouchedEdges) {
+  EXPECT_DOUBLE_EQ(prob_subtree_untouched(10, 4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(prob_subtree_untouched(10, 4, 7), 0.0);  // l > n - s
+  EXPECT_DOUBLE_EQ(prob_subtree_untouched(10, 0, 5), 1.0);
+}
+
+TEST(Math, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(4, 8), 65536u);
+  EXPECT_EQ(ipow(7, 0), 1u);
+  EXPECT_EQ(ipow(1, 100), 1u);
+}
+
+TEST(Math, TreeHeight) {
+  EXPECT_EQ(tree_height(1, 4), 0u);
+  EXPECT_EQ(tree_height(4, 4), 1u);
+  EXPECT_EQ(tree_height(5, 4), 2u);
+  EXPECT_EQ(tree_height(65536, 4), 8u);
+  EXPECT_EQ(tree_height(65537, 4), 9u);
+  EXPECT_EQ(tree_height(9, 3), 2u);
+}
+
+// -------------------------------------------------------------- ensure ----
+
+TEST(Ensure, ThrowsContractViolation) {
+  EXPECT_THROW(GK_ENSURE(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(GK_ENSURE(1 == 1));
+}
+
+TEST(Ensure, MessageCarriesContext) {
+  try {
+    GK_ENSURE_MSG(false, "member " << 42 << " missing");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("member 42 missing"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(43);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.bin_count(b), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+// --------------------------------------------------------------- table ----
+
+TEST(Table, AlignsAndSerializes) {
+  Table t({"K", "cost"});
+  t.add_row({1.0, 16000.0}, 0);
+  t.add_row({10.0, 12000.0}, 0);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 1), "16000");
+
+  std::ostringstream os;
+  t.print(os, "Figure X");
+  EXPECT_NE(os.str().find("Figure X"), std::string::npos);
+  EXPECT_NE(os.str().find("16000"), std::string::npos);
+
+  EXPECT_EQ(t.to_csv(), "K,cost\n1,16000\n10,12000\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::vector<std::string>{"only-one"}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gk

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/concurrent_server.h"
+#include "partition/factory.h"
+
+namespace gk::partition {
+namespace {
+
+using workload::make_member_id;
+using workload::MemberProfile;
+
+MemberProfile profile_of(std::uint64_t id) {
+  MemberProfile p;
+  p.id = make_member_id(id);
+  return p;
+}
+
+TEST(ConcurrentServer, ParallelJoinsAllLand) {
+  ConcurrentServer server(make_server(SchemeKind::kTt, 4, 5, Rng(1)));
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 250;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        (void)server.join(profile_of(static_cast<std::uint64_t>(t) * 10000 + i));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(server.size(), kThreads * kPerThread);
+  const auto out = server.end_epoch();
+  EXPECT_EQ(out.joins, kThreads * kPerThread);
+}
+
+TEST(ConcurrentServer, MixedChurnWithCommitterThread) {
+  ConcurrentServer server(make_server(SchemeKind::kQt, 4, 3, Rng(2)));
+  // Seed population.
+  for (std::uint64_t i = 0; i < 512; ++i) (void)server.join(profile_of(i));
+  (void)server.end_epoch();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> next_id{100000};
+  std::atomic<std::uint64_t> commits{0};
+
+  // Committer: periodic batch rekeying, as the Tp timer would.
+  std::thread committer([&] {
+    while (!stop.load()) {
+      (void)server.end_epoch();
+      commits.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  // Front-ends: each thread churns its own id range (join then leave), so
+  // no cross-thread double-leave races at the workload level.
+  std::vector<std::thread> frontends;
+  for (int t = 0; t < 6; ++t) {
+    frontends.emplace_back([&] {
+      for (int i = 0; i < 400; ++i) {
+        const auto id = next_id.fetch_add(1);
+        (void)server.join(profile_of(id));
+        if (i % 2 == 0) server.leave(make_member_id(id));
+      }
+    });
+  }
+  for (auto& thread : frontends) thread.join();
+  stop.store(true);
+  committer.join();
+
+  // 6 threads x 400 joins, half leave again, on top of the 512 seeds.
+  EXPECT_EQ(server.size(), 512u + 6u * 400u / 2u);
+  EXPECT_GT(commits.load(), 0u);
+  // The tree is still coherent: one more epoch commits cleanly.
+  const auto out = server.end_epoch();
+  (void)out;
+  EXPECT_EQ(server.size(), 512u + 6u * 400u / 2u);
+}
+
+TEST(ConcurrentServer, ReadersNeverObserveTornState) {
+  ConcurrentServer server(make_server(SchemeKind::kOneKeyTree, 4, 0, Rng(3)));
+  for (std::uint64_t i = 0; i < 128; ++i) (void)server.join(profile_of(i));
+  (void)server.end_epoch();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::thread reader([&] {
+    while (!stop.load()) {
+      // group_key_id is fixed; a torn read of the key would pair a stale
+      // version with a fresh id or vice versa — detect by re-reading.
+      const auto a = server.group_key();
+      const auto b = server.group_key();
+      if (b.version < a.version) torn.store(true);
+    }
+  });
+
+  std::uint64_t previous = 0;
+  bool have_previous = false;
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    const auto id = 10000 + round;
+    (void)server.join(profile_of(id));
+    if (have_previous) server.leave(make_member_id(previous));
+    previous = id;
+    have_previous = true;
+    (void)server.end_epoch();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace gk::partition

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "crypto/sha256.h"
+
+namespace gk::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// -------------------------------------------------------------- SHA-256 ----
+
+TEST(Sha256, EmptyInputVector) {
+  const auto digest = sha256({});
+  EXPECT_EQ(to_hex(digest),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  const auto data = bytes_of("abc");
+  EXPECT_EQ(to_hex(sha256(data)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  const auto data = bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(to_hex(sha256(data)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Rng rng(99);
+  std::vector<std::uint8_t> data(1237);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const auto oneshot = sha256(data);
+
+  Sha256 h;
+  std::size_t offset = 0;
+  for (std::size_t step : {1u, 63u, 64u, 65u, 500u, 544u}) {
+    h.update(std::span<const std::uint8_t>(data.data() + offset, step));
+    offset += step;
+  }
+  h.update(std::span<const std::uint8_t>(data.data() + offset, data.size() - offset));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(oneshot));
+}
+
+// ----------------------------------------------------------------- HMAC ----
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = bytes_of("Jefe");
+  const auto mac = hmac_sha256(key, bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  std::vector<std::uint8_t> key(20, 0xaa);
+  std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, ConstantTimeEqual) {
+  const std::array<std::uint8_t, 4> a{1, 2, 3, 4};
+  const std::array<std::uint8_t, 4> b{1, 2, 3, 4};
+  const std::array<std::uint8_t, 4> c{1, 2, 3, 5};
+  const std::array<std::uint8_t, 3> shorter{1, 2, 3};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(std::span<const std::uint8_t>(a),
+                                   std::span<const std::uint8_t>(shorter)));
+}
+
+// ------------------------------------------------------------- ChaCha20 ----
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  std::array<std::uint8_t, 32> key;
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  const std::array<std::uint8_t, 12> nonce{0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                           0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+
+  ChaCha20 cipher(key, nonce, 1);
+  const auto ciphertext = cipher.crypt_copy(bytes_of(plaintext));
+  EXPECT_EQ(to_hex(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, RoundTrip) {
+  Rng rng(1);
+  std::array<std::uint8_t, 32> key;
+  std::array<std::uint8_t, 12> nonce;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng());
+
+  std::vector<std::uint8_t> message(333);
+  for (auto& b : message) b = static_cast<std::uint8_t>(rng());
+
+  ChaCha20 enc(key, nonce);
+  auto ciphertext = enc.crypt_copy(message);
+  EXPECT_NE(ciphertext, message);
+
+  ChaCha20 dec(key, nonce);
+  EXPECT_EQ(dec.crypt_copy(ciphertext), message);
+}
+
+TEST(ChaCha20, DifferentNoncesProduceDifferentStreams) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce_a{};
+  std::array<std::uint8_t, 12> nonce_b{};
+  nonce_b[0] = 1;
+  std::vector<std::uint8_t> zeros(64, 0);
+  ChaCha20 a(key, nonce_a);
+  ChaCha20 b(key, nonce_b);
+  EXPECT_NE(a.crypt_copy(zeros), b.crypt_copy(zeros));
+}
+
+// ------------------------------------------------------------------ Key ----
+
+TEST(Key128, RandomKeysDiffer) {
+  Rng rng(5);
+  const auto a = Key128::random(rng);
+  const auto b = Key128::random(rng);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(Key128, DefaultIsZero) {
+  Key128 k;
+  EXPECT_TRUE(k.is_zero());
+  EXPECT_EQ(k.hex(), "00000000000000000000000000000000");
+}
+
+TEST(Key128, HashDistinguishesKeys) {
+  Rng rng(6);
+  const auto a = Key128::random(rng);
+  const auto b = Key128::random(rng);
+  EXPECT_NE(std::hash<Key128>{}(a), std::hash<Key128>{}(b));
+}
+
+// -------------------------------------------------------------- KeyWrap ----
+
+TEST(KeyWrap, RoundTrip) {
+  Rng rng(10);
+  const auto kek = Key128::random(rng);
+  const auto payload = Key128::random(rng);
+  const auto wrapped =
+      wrap_key(kek, make_key_id(7), 3, payload, make_key_id(9), 5, rng);
+  EXPECT_EQ(raw(wrapped.target_id), 9u);
+  EXPECT_EQ(wrapped.target_version, 5u);
+  EXPECT_EQ(raw(wrapped.wrapping_id), 7u);
+  EXPECT_EQ(wrapped.wrapping_version, 3u);
+
+  const auto unwrapped = unwrap_key(kek, wrapped);
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(*unwrapped, payload);
+}
+
+TEST(KeyWrap, WrongKekFails) {
+  Rng rng(11);
+  const auto kek = Key128::random(rng);
+  const auto wrong = Key128::random(rng);
+  const auto payload = Key128::random(rng);
+  const auto wrapped =
+      wrap_key(kek, make_key_id(1), 0, payload, make_key_id(2), 1, rng);
+  EXPECT_FALSE(unwrap_key(wrong, wrapped).has_value());
+}
+
+TEST(KeyWrap, TamperedCiphertextFails) {
+  Rng rng(12);
+  const auto kek = Key128::random(rng);
+  const auto payload = Key128::random(rng);
+  auto wrapped = wrap_key(kek, make_key_id(1), 0, payload, make_key_id(2), 1, rng);
+  wrapped.ciphertext[0] ^= 0x01;
+  EXPECT_FALSE(unwrap_key(kek, wrapped).has_value());
+}
+
+TEST(KeyWrap, TamperedMetadataFails) {
+  Rng rng(13);
+  const auto kek = Key128::random(rng);
+  const auto payload = Key128::random(rng);
+  auto wrapped = wrap_key(kek, make_key_id(1), 0, payload, make_key_id(2), 1, rng);
+  wrapped.target_version = 99;  // metadata is authenticated
+  EXPECT_FALSE(unwrap_key(kek, wrapped).has_value());
+}
+
+TEST(KeyWrap, NoncesAreFresh) {
+  Rng rng(14);
+  const auto kek = Key128::random(rng);
+  const auto payload = Key128::random(rng);
+  const auto w1 = wrap_key(kek, make_key_id(1), 0, payload, make_key_id(2), 1, rng);
+  const auto w2 = wrap_key(kek, make_key_id(1), 0, payload, make_key_id(2), 1, rng);
+  EXPECT_NE(w1.nonce, w2.nonce);
+  EXPECT_NE(w1.ciphertext, w2.ciphertext);
+}
+
+// ------------------------------------------------------------------ KDF ----
+
+TEST(Kdf, DeterministicAndLabelSeparated) {
+  Rng rng(15);
+  const auto key = Key128::random(rng);
+  EXPECT_EQ(derive_key(key, "a", 1), derive_key(key, "a", 1));
+  EXPECT_NE(derive_key(key, "a", 1), derive_key(key, "b", 1));
+  EXPECT_NE(derive_key(key, "a", 1), derive_key(key, "a", 2));
+}
+
+TEST(Kdf, OftBlindIsOneWayStyle) {
+  Rng rng(16);
+  const auto key = Key128::random(rng);
+  const auto blinded = oft_blind(key);
+  EXPECT_NE(blinded, key);
+  EXPECT_EQ(oft_blind(key), blinded);  // deterministic
+}
+
+TEST(Kdf, OftMixIsCommutative) {
+  Rng rng(17);
+  const auto a = oft_blind(Key128::random(rng));
+  const auto b = oft_blind(Key128::random(rng));
+  EXPECT_EQ(oft_mix(a, b), oft_mix(b, a));
+  EXPECT_NE(oft_mix(a, b), oft_mix(a, a));
+}
+
+}  // namespace
+}  // namespace gk::crypto

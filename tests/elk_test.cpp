@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "elk/elk_member.h"
+#include "elk/elk_tree.h"
+
+namespace gk::elk {
+namespace {
+
+using workload::make_member_id;
+
+/// ELK deployment discipline: joins take effect at interval boundaries
+/// (members materialized from grants after end_epoch()); departures are
+/// per-operation broadcasts everyone consumes immediately.
+class ElkGroup {
+ public:
+  explicit ElkGroup(std::uint64_t seed = 2001) : tree_(Rng(seed)) {}
+
+  void join(std::uint64_t id) {
+    tree_.join(make_member_id(id));
+    pending_.push_back(id);
+  }
+
+  void leave(std::uint64_t id) {
+    members_.erase(id);
+    ElkRekeyMessage message;
+    tree_.leave(make_member_id(id), message);
+    last_bits_ = message.payload_bits();
+    for (auto& [mid, member] : members_) member.process(message);
+    // The departed member's eavesdropping is modelled in tests directly.
+    last_message_ = message;
+  }
+
+  void end_epoch() {
+    tree_.end_epoch();
+    for (auto& [mid, member] : members_) member.apply_refresh();
+    // Post-refresh: issue grants for arrivals and re-grants for splits.
+    for (const auto id : pending_)
+      if (tree_.contains(make_member_id(id)))
+        members_.emplace(id, ElkMember(make_member_id(id),
+                                       tree_.grant_for(make_member_id(id))));
+    pending_.clear();
+    for (const auto member : tree_.relocated()) {
+      const auto it = members_.find(workload::raw(member));
+      if (it != members_.end()) it->second.re_grant(tree_.grant_for(member));
+    }
+  }
+
+  [[nodiscard]] bool in_sync(std::uint64_t id) const {
+    return members_.at(id).holds(tree_.root_id(), tree_.group_key().version);
+  }
+
+  ElkTree& tree() { return tree_; }
+  [[nodiscard]] std::size_t last_bits() const noexcept { return last_bits_; }
+  [[nodiscard]] const ElkRekeyMessage& last_message() const { return last_message_; }
+  [[nodiscard]] ElkMember& member(std::uint64_t id) { return members_.at(id); }
+
+ private:
+  ElkTree tree_;
+  std::map<std::uint64_t, ElkMember> members_;
+  std::vector<std::uint64_t> pending_;
+  std::size_t last_bits_ = 0;
+  ElkRekeyMessage last_message_;
+};
+
+TEST(Elk, JoinsAreBroadcastFree) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 16; ++i) group.join(i);
+  group.end_epoch();
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_TRUE(group.in_sync(i)) << i;
+  // No leave happened, so no contribution bits were ever multicast.
+  EXPECT_EQ(group.last_bits(), 0u);
+}
+
+TEST(Elk, RefreshAdvancesEveryoneInLockstep) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  group.end_epoch();
+  const auto v1 = group.tree().group_key().version;
+  group.end_epoch();
+  group.end_epoch();
+  EXPECT_EQ(group.tree().group_key().version, v1 + 2);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(group.in_sync(i)) << i;
+}
+
+TEST(Elk, SurvivorsFollowDepartures) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 24; ++i) group.join(i);
+  group.end_epoch();
+  group.leave(7);
+  group.leave(13);
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    if (i == 7 || i == 13) continue;
+    EXPECT_TRUE(group.in_sync(i)) << "member " << i;
+  }
+}
+
+TEST(Elk, DepartedMemberCannotFollow) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 12; ++i) group.join(i);
+  group.end_epoch();
+
+  // Snapshot the departing member's view right before it leaves.
+  ElkMember leaver(make_member_id(5), group.tree().grant_for(make_member_id(5)));
+  group.leave(5);
+  leaver.process(group.last_message());  // eavesdrops the broadcast
+  EXPECT_FALSE(leaver.holds(group.tree().root_id(), group.tree().group_key().version));
+}
+
+TEST(Elk, NewcomerCannotUnwindRefresh) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  group.end_epoch();
+  const auto old_key = group.tree().group_key();
+
+  group.join(100);
+  group.end_epoch();  // newcomer admitted post-refresh
+  EXPECT_TRUE(group.in_sync(100));
+  // The group key it holds is a one-way image of (not equal to) the old.
+  const auto held = group.member(100).lookup(group.tree().root_id());
+  ASSERT_TRUE(held.has_value());
+  EXPECT_NE(held->key, old_key.key);
+  EXPECT_EQ(held->version, old_key.version + 1);
+}
+
+TEST(Elk, DeparturePayloadIsBitsNotKeys) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 256; ++i) group.join(i);
+  group.end_epoch();
+  group.leave(100);
+  // ~log2(256) = 8 updated nodes, two 16-bit contributions each:
+  // a few hundred bits versus 8 * 2 * 128 = 2048+ bits of wrapped keys
+  // in binary LKH (and that ignores LKH's per-wrap nonce/tag overhead).
+  EXPECT_LE(group.last_bits(), 16u * 2u * 12u);
+  EXPECT_GE(group.last_bits(), 16u * 2u * 4u);
+}
+
+TEST(Elk, ChurnStaysConsistent) {
+  ElkGroup group(77);
+  Rng rng(88);
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 0;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    const auto joins = 1 + rng.uniform_u64(4);
+    for (std::uint64_t j = 0; j < joins; ++j) {
+      group.join(next);
+      // present after the epoch boundary
+      present.push_back(next++);
+    }
+    group.end_epoch();
+    const auto leaves = rng.uniform_u64(std::min<std::uint64_t>(present.size(), 3));
+    for (std::uint64_t l = 0; l < leaves; ++l) {
+      const auto idx = rng.uniform_u64(present.size());
+      group.leave(present[idx]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    for (const auto id : present)
+      ASSERT_TRUE(group.in_sync(id)) << "member " << id << " epoch " << epoch;
+  }
+}
+
+TEST(Elk, ScheduleFunctionsAreDeterministicAndSeparated) {
+  Rng rng(9);
+  const auto key = crypto::Key128::random(rng);
+  const auto parent = crypto::Key128::random(rng);
+  EXPECT_EQ(ElkTree::refresh(key), ElkTree::refresh(key));
+  EXPECT_NE(ElkTree::refresh(key), key);
+  EXPECT_EQ(ElkTree::contribution(key, parent, true, 16),
+            ElkTree::contribution(key, parent, true, 16));
+  EXPECT_NE(ElkTree::contribution(key, parent, true, 16),
+            ElkTree::contribution(key, parent, false, 16));
+  EXPECT_LT(ElkTree::contribution(key, parent, true, 8), 256u);
+  EXPECT_NE(ElkTree::combine(parent, 1, 2), ElkTree::combine(parent, 2, 1));
+}
+
+TEST(Elk, TamperedContributionIsRejectedByCheckValue) {
+  ElkGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  group.end_epoch();
+
+  ElkMember observer(make_member_id(0), group.tree().grant_for(make_member_id(0)));
+  ElkRekeyMessage message;
+  group.tree().leave(make_member_id(5), message);
+  ASSERT_FALSE(message.contributions.empty());
+  auto tampered = message;
+  for (auto& c : tampered.contributions) c.ciphertext ^= 0x1;
+  EXPECT_EQ(observer.process(tampered), 0u);
+  EXPECT_GT(observer.process(message), 0u);
+}
+
+}  // namespace
+}  // namespace gk::elk

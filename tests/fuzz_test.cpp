@@ -1,0 +1,160 @@
+// Randomized differential testing: long adversarial op sequences checked
+// against simple reference models, across several seeds (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "lkh/key_queue.h"
+#include "lkh/key_ring.h"
+#include "lkh/key_tree.h"
+#include "lkh/snapshot.h"
+#include "netsim/receiver.h"
+#include "partition/group_key.h"
+
+namespace gk {
+namespace {
+
+using workload::make_member_id;
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(1ULL, 1337ULL, 0xdeadbeefULL, 42424242ULL),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST_P(Seeded, KeyTreeMatchesReferenceSetModel) {
+  Rng rng(GetParam());
+  lkh::KeyTree tree(2 + static_cast<unsigned>(rng.uniform_u64(4)), Rng(GetParam() + 1));
+  std::set<std::uint64_t> reference;
+  std::uint64_t next = 0;
+  std::uint64_t epoch = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.5 || reference.empty()) {
+      tree.insert(make_member_id(next));
+      reference.insert(next++);
+    } else if (dice < 0.9) {
+      // Remove a random present member.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.uniform_u64(reference.size())));
+      tree.remove(make_member_id(*it));
+      reference.erase(it);
+    } else {
+      (void)tree.commit(epoch++);
+    }
+
+    ASSERT_EQ(tree.size(), reference.size()) << "op " << op;
+    if (op % 97 == 0) {
+      for (const auto id : reference)
+        ASSERT_TRUE(tree.contains(make_member_id(id))) << "op " << op;
+      ASSERT_FALSE(tree.contains(make_member_id(next)));  // never inserted
+    }
+  }
+  (void)tree.commit(epoch++);
+  const auto stats = tree.stats();
+  EXPECT_EQ(stats.member_count, reference.size());
+  if (!reference.empty()) {
+    EXPECT_LE(stats.height, tree_height(reference.size(), tree.degree()) + 2);
+  }
+}
+
+TEST_P(Seeded, SnapshotAtRandomPointsIsFaithful) {
+  Rng rng(GetParam() * 3 + 1);
+  lkh::KeyTree tree(3, Rng(GetParam()));
+  std::set<std::uint64_t> present;
+  std::uint64_t next = 0;
+  std::uint64_t epoch = 0;
+
+  for (int round = 0; round < 6; ++round) {
+    const auto churn = 5 + rng.uniform_u64(40);
+    for (std::uint64_t c = 0; c < churn; ++c) {
+      if (present.empty() || rng.bernoulli(0.6)) {
+        tree.insert(make_member_id(next));
+        present.insert(next++);
+      } else {
+        auto it = present.begin();
+        std::advance(it, static_cast<long>(rng.uniform_u64(present.size())));
+        tree.remove(make_member_id(*it));
+        present.erase(it);
+      }
+    }
+    (void)tree.commit(epoch++);
+
+    const auto bytes = lkh::snapshot_tree(tree);
+    auto restored = lkh::restore_tree(bytes, Rng(round));
+    ASSERT_EQ(restored.size(), tree.size());
+    for (const auto id : present) {
+      ASSERT_TRUE(restored.contains(make_member_id(id)));
+      ASSERT_EQ(restored.individual_key(make_member_id(id)),
+                tree.individual_key(make_member_id(id)));
+    }
+    ASSERT_EQ(restored.root_key().key, tree.root_key().key);
+  }
+}
+
+TEST_P(Seeded, KeyQueueMatchesReferenceMap) {
+  Rng rng(GetParam() * 7 + 3);
+  lkh::KeyQueue queue{Rng(GetParam())};
+  std::map<std::uint64_t, crypto::Key128> reference;
+  std::uint64_t next = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    if (reference.empty() || rng.bernoulli(0.55)) {
+      const auto grant = queue.insert(make_member_id(next));
+      reference.emplace(next++, grant.individual_key);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.uniform_u64(reference.size())));
+      queue.remove(make_member_id(it->first));
+      reference.erase(it);
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  for (const auto& [id, key] : reference)
+    ASSERT_EQ(queue.individual_key(make_member_id(id)), key);
+}
+
+TEST_P(Seeded, GroupKeyManagerChainsAreFollowable) {
+  auto ids = lkh::IdAllocator::create();
+  partition::GroupKeyManager dek(Rng(GetParam()), ids);
+  Rng rng(GetParam() + 9);
+
+  // A member that starts holding version v can follow any number of
+  // previous-wrap rotations, and never regresses.
+  const auto kek = crypto::Key128::random(rng);
+  const auto kek_id = ids->next();
+  lkh::RekeyMessage bootstrap;
+  dek.wrap_under(kek, kek_id, 0, bootstrap);
+
+  lkh::KeyRing ring(make_member_id(1), kek_id, kek);
+  ring.process(bootstrap);
+  ASSERT_TRUE(ring.holds(dek.id(), dek.current().version));
+
+  for (int i = 0; i < 50; ++i) {
+    lkh::RekeyMessage step;
+    dek.rotate();
+    dek.wrap_under_previous(step);
+    ring.process(step);
+    ASSERT_TRUE(ring.holds(dek.id(), dek.current().version)) << "rotation " << i;
+  }
+}
+
+TEST_P(Seeded, ReceiverObservedLossConverges) {
+  Rng rng(GetParam() + 77);
+  const double loss = 0.05 + rng.uniform() * 0.3;
+  netsim::Receiver receiver(make_member_id(1), loss, rng.fork());
+  for (int i = 0; i < 200000; ++i) (void)receiver.receives();
+  EXPECT_NEAR(receiver.observed_loss(), loss, 0.01);
+  EXPECT_EQ(receiver.packets_offered(), 200000u);
+}
+
+}  // namespace
+}  // namespace gk

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "lkh/key_ring.h"
+#include "losshomo/multi_tree_server.h"
+
+namespace gk::losshomo {
+namespace {
+
+using workload::make_member_id;
+
+TEST(MultiTree, PlacesByReportedLoss) {
+  MultiTreeServer server(4, {0.05, 1.0}, Placement::kLossHomogenized, Rng(1));
+  (void)server.join(make_member_id(1), 0.02);
+  (void)server.join(make_member_id(2), 0.20);
+  (void)server.join(make_member_id(3), 0.05);  // boundary: low tree
+  (void)server.join(make_member_id(4), 0.051);
+  EXPECT_EQ(server.tree_of(make_member_id(1)), 0u);
+  EXPECT_EQ(server.tree_of(make_member_id(2)), 1u);
+  EXPECT_EQ(server.tree_of(make_member_id(3)), 0u);
+  EXPECT_EQ(server.tree_of(make_member_id(4)), 1u);
+  EXPECT_EQ(server.tree_size(0), 2u);
+  EXPECT_EQ(server.tree_size(1), 2u);
+}
+
+TEST(MultiTree, RandomPlacementSpreadsMembers) {
+  MultiTreeServer server(4, {0.05, 1.0}, Placement::kRandom, Rng(2));
+  for (std::uint64_t i = 0; i < 200; ++i) (void)server.join(make_member_id(i), 0.02);
+  EXPECT_GT(server.tree_size(0), 50u);
+  EXPECT_GT(server.tree_size(1), 50u);
+}
+
+TEST(MultiTree, ExtremeLossFallsInLastBin) {
+  MultiTreeServer server(4, {0.05, 0.3}, Placement::kLossHomogenized, Rng(3));
+  (void)server.join(make_member_id(1), 0.9);  // above every bound
+  EXPECT_EQ(server.tree_of(make_member_id(1)), 1u);
+}
+
+TEST(MultiTree, MembersAcrossTreesShareTheGroupKey) {
+  MultiTreeServer server(3, {0.05, 1.0}, Placement::kLossHomogenized, Rng(4));
+  std::map<std::uint64_t, lkh::KeyRing> rings;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const double loss = (i % 3 == 0) ? 0.2 : 0.02;
+    const auto reg = server.join(make_member_id(i), loss);
+    rings.emplace(i, lkh::KeyRing(make_member_id(i), reg.leaf_id, reg.individual_key));
+  }
+  const auto out = server.end_epoch();
+  for (auto& [id, ring] : rings) {
+    ring.process(out.message);
+    EXPECT_TRUE(ring.holds(server.group_key_id(), server.group_key().version))
+        << "member " << id;
+  }
+}
+
+TEST(MultiTree, DepartureLocksOutLeaverOnly) {
+  MultiTreeServer server(3, {0.05, 1.0}, Placement::kLossHomogenized, Rng(5));
+  std::map<std::uint64_t, lkh::KeyRing> rings;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto reg = server.join(make_member_id(i), i < 8 ? 0.02 : 0.2);
+    rings.emplace(i, lkh::KeyRing(make_member_id(i), reg.leaf_id, reg.individual_key));
+  }
+  const auto setup = server.end_epoch();
+  for (auto& [id, ring] : rings) ring.process(setup.message);
+
+  server.leave(make_member_id(3));
+  const auto out = server.end_epoch();
+  for (auto& [id, ring] : rings) ring.process(out.message);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const bool holds =
+        rings.at(i).holds(server.group_key_id(), server.group_key().version);
+    EXPECT_EQ(holds, i != 3) << "member " << i;
+  }
+}
+
+TEST(MultiTree, DepartureInOneTreeLeavesOtherTreesUntouched) {
+  MultiTreeServer server(4, {0.05, 1.0}, Placement::kLossHomogenized, Rng(6));
+  for (std::uint64_t i = 0; i < 32; ++i)
+    (void)server.join(make_member_id(i), i < 16 ? 0.02 : 0.2);
+  (void)server.end_epoch();
+
+  server.leave(make_member_id(20));  // high-loss tree member
+  const auto out = server.end_epoch();
+  // Tree 0 (low loss) saw no membership change: zero wraps from it.
+  EXPECT_EQ(out.per_tree_cost[0], 0u);
+  EXPECT_GT(out.per_tree_cost[1], 0u);
+}
+
+TEST(MultiTree, PerTreeCostsSumToMessageMinusDekWraps) {
+  MultiTreeServer server(4, {0.05, 1.0}, Placement::kLossHomogenized, Rng(7));
+  for (std::uint64_t i = 0; i < 32; ++i)
+    (void)server.join(make_member_id(i), i % 2 ? 0.02 : 0.2);
+  (void)server.end_epoch();
+  server.leave(make_member_id(1));
+  server.leave(make_member_id(2));
+  const auto out = server.end_epoch();
+  const auto tree_sum = out.per_tree_cost[0] + out.per_tree_cost[1];
+  // Two DEK wraps (one per non-empty tree) on a compromised epoch.
+  EXPECT_EQ(out.message.cost(), tree_sum + 2u);
+}
+
+}  // namespace
+}  // namespace gk::losshomo

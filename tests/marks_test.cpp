@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "marks/seed_tree.h"
+
+namespace gk::marks {
+namespace {
+
+TEST(Marks, SlotKeysAreDistinct) {
+  MarksServer server(6, Rng(1));
+  for (std::uint64_t a = 0; a < server.slot_count(); ++a)
+    for (std::uint64_t b = a + 1; b < server.slot_count(); b += 7)
+      EXPECT_NE(server.slot_key(a), server.slot_key(b)) << a << " vs " << b;
+}
+
+TEST(Marks, FullIntervalIsOneSeed) {
+  MarksServer server(8, Rng(2));
+  const auto grants = server.subscribe(0, server.slot_count() - 1);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].level, 0u);
+}
+
+TEST(Marks, SingleSlotIsOneLeafSeed) {
+  MarksServer server(8, Rng(3));
+  const auto grants = server.subscribe(100, 100);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].level, 8u);
+  EXPECT_EQ(grants[0].index, 100u);
+  EXPECT_EQ(grants[0].seed, server.slot_key(100));
+}
+
+TEST(Marks, CoverIsMinimalSized) {
+  // Worst case for an interval in a tree of height h is 2(h-1) seeds.
+  MarksServer server(10, Rng(4));
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = rng.uniform_u64(server.slot_count());
+    const auto b = a + rng.uniform_u64(server.slot_count() - a);
+    const auto grants = server.subscribe(a, b);
+    EXPECT_LE(grants.size(), 2u * server.levels());
+  }
+}
+
+TEST(Marks, SubscriberDerivesExactlyTheInterval) {
+  MarksServer server(7, Rng(6));
+  const std::uint64_t first = 37;
+  const std::uint64_t last = 101;
+  MarksSubscriber subscriber(server.subscribe(first, last), server.levels());
+
+  for (std::uint64_t slot = 0; slot < server.slot_count(); ++slot) {
+    const auto key = subscriber.key_for(slot);
+    if (slot >= first && slot <= last) {
+      ASSERT_TRUE(key.has_value()) << "slot " << slot;
+      EXPECT_EQ(*key, server.slot_key(slot)) << "slot " << slot;
+    } else {
+      EXPECT_FALSE(key.has_value()) << "slot " << slot;
+    }
+  }
+}
+
+TEST(Marks, AdjacentSubscribersShareNoSeeds) {
+  MarksServer server(6, Rng(7));
+  const auto a = server.subscribe(0, 31);
+  const auto b = server.subscribe(32, 63);
+  for (const auto& ga : a)
+    for (const auto& gb : b) EXPECT_FALSE(ga.level == gb.level && ga.index == gb.index);
+}
+
+TEST(Marks, ZeroMulticastCostForPlannedChurn) {
+  // The MARKS property the paper contrasts with LKH: expiry-based
+  // departures need no rekey message at all — each member simply stops
+  // being able to derive the next slot's key.
+  MarksServer server(5, Rng(8));
+  MarksSubscriber early(server.subscribe(0, 15), server.levels());
+  MarksSubscriber late(server.subscribe(16, 31), server.levels());
+  EXPECT_TRUE(early.key_for(15).has_value());
+  EXPECT_FALSE(early.key_for(16).has_value());  // expiry, no message sent
+  EXPECT_TRUE(late.key_for(16).has_value());
+  EXPECT_FALSE(late.key_for(15).has_value());  // no backward access either
+}
+
+TEST(Marks, OutOfRangeRejected) {
+  MarksServer server(4, Rng(9));
+  EXPECT_THROW((void)server.subscribe(3, 2), ContractViolation);
+  EXPECT_THROW((void)server.subscribe(0, 16), ContractViolation);
+  EXPECT_THROW((void)server.slot_key(16), ContractViolation);
+  MarksSubscriber subscriber(server.subscribe(0, 3), server.levels());
+  EXPECT_FALSE(subscriber.key_for(99).has_value());
+}
+
+TEST(Marks, GrantSizeLogarithmicInSessionLength) {
+  // A member staying ~1/3 of the session needs O(levels) seeds no matter
+  // how fine the slot resolution.
+  for (unsigned levels : {8u, 12u, 16u, 20u}) {
+    MarksServer server(levels, Rng(levels));
+    const auto span = server.slot_count() / 3;
+    const auto grants = server.subscribe(5, 5 + span);
+    EXPECT_LE(grants.size(), 2u * levels) << "levels " << levels;
+    EXPECT_GE(grants.size(), 2u) << "levels " << levels;
+  }
+}
+
+}  // namespace
+}  // namespace gk::marks

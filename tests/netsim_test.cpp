@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "netsim/receiver.h"
+
+namespace gk::netsim {
+namespace {
+
+using workload::make_member_id;
+
+TEST(Receiver, BernoulliLossConvergesToRate) {
+  Receiver receiver(make_member_id(1), 0.12, Rng(1));
+  for (int i = 0; i < 300000; ++i) (void)receiver.receives();
+  EXPECT_NEAR(receiver.observed_loss(), 0.12, 0.005);
+  EXPECT_FALSE(receiver.is_bursty());
+  EXPECT_DOUBLE_EQ(receiver.loss_rate(), 0.12);
+}
+
+TEST(Receiver, LossFreeNeverDrops) {
+  Receiver receiver(make_member_id(2), 0.0, Rng(2));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(receiver.receives());
+}
+
+TEST(Receiver, RejectsInvalidRates) {
+  EXPECT_THROW(Receiver(make_member_id(1), 1.0, Rng(3)), ContractViolation);
+  EXPECT_THROW(Receiver(make_member_id(1), -0.1, Rng(3)), ContractViolation);
+}
+
+TEST(Receiver, BurstyMatchedMeanConverges) {
+  auto receiver = Receiver::bursty(make_member_id(3), 0.2, 8.0, Rng(4));
+  EXPECT_TRUE(receiver.is_bursty());
+  EXPECT_NEAR(receiver.loss_rate(), 0.2, 1e-9);  // stationary by construction
+  for (int i = 0; i < 400000; ++i) (void)receiver.receives();
+  EXPECT_NEAR(receiver.observed_loss(), 0.2, 0.01);
+}
+
+TEST(Receiver, BurstyLossesAreActuallyClustered) {
+  // Clustering shows as loss autocorrelation: P[loss | previous loss] far
+  // above the marginal loss rate. For Bernoulli the two are equal; for the
+  // Gilbert-Elliott channel a loss usually means we are in the Bad state,
+  // where the next packet is lost with probability near bad_loss.
+  auto conditional_loss = [](Receiver receiver) {
+    std::uint64_t losses = 0;
+    std::uint64_t loss_after_loss = 0;
+    bool previous_lost = false;
+    for (int i = 0; i < 400000; ++i) {
+      const bool lost = !receiver.receives();
+      if (previous_lost) {
+        if (lost) ++loss_after_loss;
+      }
+      if (lost) ++losses;
+      previous_lost = lost;
+    }
+    return losses == 0 ? 0.0
+                       : static_cast<double>(loss_after_loss) /
+                             static_cast<double>(losses);
+  };
+  const double bernoulli =
+      conditional_loss(Receiver(make_member_id(1), 0.2, Rng(5)));
+  const double bursty =
+      conditional_loss(Receiver::bursty(make_member_id(2), 0.2, 16.0, Rng(5)));
+  EXPECT_NEAR(bernoulli, 0.2, 0.02);  // memoryless: conditional == marginal
+  EXPECT_GT(bursty, 0.35);            // clustered: conditional >> marginal
+}
+
+TEST(Receiver, BurstyRejectsUnreachableTargets) {
+  EXPECT_THROW((void)Receiver::bursty(make_member_id(1), 0.001, 8.0, Rng(6)),
+               ContractViolation);
+  EXPECT_THROW((void)Receiver::bursty(make_member_id(1), 0.9, 8.0, Rng(6)),
+               ContractViolation);
+}
+
+TEST(Receiver, DeterministicGivenSeed) {
+  auto a = Receiver::bursty(make_member_id(1), 0.1, 8.0, Rng(7));
+  auto b = Receiver::bursty(make_member_id(1), 0.1, 8.0, Rng(7));
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.receives(), b.receives());
+}
+
+TEST(ChannelStats, MergeAccumulates) {
+  ChannelStats a{10, 8, 2};
+  const ChannelStats b{5, 4, 1};
+  a.merge(b);
+  EXPECT_EQ(a.packets_sent, 15u);
+  EXPECT_EQ(a.receptions, 12u);
+  EXPECT_EQ(a.losses, 3u);
+}
+
+}  // namespace
+}  // namespace gk::netsim

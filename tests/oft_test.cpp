@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "oft/oft_member.h"
+#include "oft/oft_tree.h"
+
+namespace gk::oft {
+namespace {
+
+using workload::make_member_id;
+
+/// End-to-end OFT fixture: server tree plus live member folds. Structure
+/// (public topology) is refreshed after every operation, as a real protocol
+/// would do via message headers.
+class OftGroup {
+ public:
+  explicit OftGroup(std::uint64_t seed = 99) : tree_(Rng(seed)) {}
+
+  void join(std::uint64_t id) {
+    lkh::RekeyMessage message;
+    const auto grant = tree_.join(make_member_id(id), message);
+    members_.emplace(id, OftMember(make_member_id(id), grant,
+                                   tree_.path_info(make_member_id(id))));
+    broadcast(message);
+  }
+
+  void leave(std::uint64_t id) {
+    lkh::RekeyMessage message;
+    tree_.leave(make_member_id(id), message);
+    evicted_.insert(std::move(members_.extract(id)));
+    broadcast(message);
+  }
+
+  [[nodiscard]] bool member_in_sync(std::uint64_t id) const {
+    const auto key = members_.at(id).compute_group_key();
+    return key.has_value() && *key == tree_.group_key().key;
+  }
+
+  [[nodiscard]] bool evicted_in_sync(std::uint64_t id) const {
+    const auto key = evicted_.at(id).compute_group_key();
+    return key.has_value() && *key == tree_.group_key().key;
+  }
+
+  OftTree& tree() { return tree_; }
+  [[nodiscard]] std::size_t last_cost() const { return last_cost_; }
+
+ private:
+  void broadcast(const lkh::RekeyMessage& message) {
+    last_cost_ = message.wraps.size();
+    for (auto& [id, member] : members_) {
+      member.process(message.wraps);
+      member.set_structure(tree_.path_info(make_member_id(id)));
+      member.process(message.wraps);  // order-insensitive second chance
+    }
+    for (auto& [id, member] : evicted_) member.process(message.wraps);
+  }
+
+  OftTree tree_;
+  std::map<std::uint64_t, OftMember> members_;
+  std::map<std::uint64_t, OftMember> evicted_;
+  std::size_t last_cost_ = 0;
+};
+
+TEST(OftTree, FirstMemberDerivesGroupKey) {
+  OftGroup group;
+  group.join(1);
+  EXPECT_TRUE(group.member_in_sync(1));
+}
+
+TEST(OftTree, TwoMembersShareGroupKey) {
+  OftGroup group;
+  group.join(1);
+  group.join(2);
+  EXPECT_TRUE(group.member_in_sync(1));
+  EXPECT_TRUE(group.member_in_sync(2));
+}
+
+TEST(OftTree, GrowingGroupStaysInSync) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    group.join(i);
+    for (std::uint64_t j = 0; j <= i; ++j)
+      ASSERT_TRUE(group.member_in_sync(j)) << "member " << j << " after join " << i;
+  }
+  EXPECT_EQ(group.tree().size(), 32u);
+}
+
+TEST(OftTree, JoinChangesGroupKey) {
+  OftGroup group;
+  group.join(1);
+  group.join(2);
+  const auto before = group.tree().group_key().key;
+  group.join(3);
+  EXPECT_NE(group.tree().group_key().key, before);
+}
+
+TEST(OftTree, LeaveChangesGroupKey) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  const auto before = group.tree().group_key().key;
+  group.leave(3);
+  EXPECT_NE(group.tree().group_key().key, before);
+}
+
+TEST(OftTree, SurvivorsRecoverAfterLeave) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 16; ++i) group.join(i);
+  group.leave(5);
+  group.leave(11);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (i == 5 || i == 11) continue;
+    EXPECT_TRUE(group.member_in_sync(i)) << "member " << i;
+  }
+}
+
+TEST(OftTree, EvictedMemberLosesAccess) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  group.leave(2);
+  EXPECT_FALSE(group.evicted_in_sync(2));
+}
+
+TEST(OftTree, NewcomerCannotComputeOldKey) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 8; ++i) group.join(i);
+  const auto old_key = group.tree().group_key().key;
+  group.join(100);
+  EXPECT_TRUE(group.member_in_sync(100));
+  EXPECT_NE(group.tree().group_key().key, old_key);
+}
+
+TEST(OftTree, LeaveCostLogarithmicNotDTimesLog) {
+  // OFT's selling point: a departure costs ~log2(N) wraps (one blinded key
+  // per level plus one re-randomization), not d * logd(N).
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 256; ++i) group.join(i);
+  group.leave(77);
+  // Height is ~8 for 256 members; allow slack for imbalance.
+  EXPECT_LE(group.last_cost(), 12u);
+  EXPECT_GE(group.last_cost(), 5u);
+}
+
+TEST(OftTree, ChurnKeepsEveryoneInSync) {
+  OftGroup group(4321);
+  Rng rng(8765);
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 0;
+  for (int step = 0; step < 120; ++step) {
+    if (present.size() < 4 || rng.bernoulli(0.6)) {
+      group.join(next);
+      present.push_back(next++);
+    } else {
+      const auto idx = rng.uniform_u64(present.size());
+      group.leave(present[idx]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    for (const auto id : present)
+      ASSERT_TRUE(group.member_in_sync(id)) << "member " << id << " step " << step;
+  }
+}
+
+TEST(OftTree, PathInfoShapesAgree) {
+  OftGroup group;
+  for (std::uint64_t i = 0; i < 10; ++i) group.join(i);
+  const auto info = group.tree().path_info(make_member_id(4));
+  EXPECT_EQ(info.path.size(), info.siblings.size() + 1);
+  EXPECT_EQ(info.path.back(), group.tree().root_id());
+}
+
+}  // namespace
+}  // namespace gk::oft

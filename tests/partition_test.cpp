@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "lkh/key_ring.h"
+#include "partition/adaptive.h"
+#include "partition/factory.h"
+#include "partition/one_keytree_server.h"
+#include "partition/qt_server.h"
+#include "partition/tt_server.h"
+
+namespace gk::partition {
+namespace {
+
+using workload::make_member_id;
+using workload::MemberClass;
+using workload::MemberProfile;
+
+MemberProfile profile_of(std::uint64_t id, MemberClass cls = MemberClass::kShort) {
+  MemberProfile p;
+  p.id = make_member_id(id);
+  p.member_class = cls;
+  return p;
+}
+
+/// Drives any RekeyServer together with live member key rings, applying
+/// relocation notices the way the simulator does.
+class Harness {
+ public:
+  explicit Harness(std::unique_ptr<RekeyServer> server) : server_(std::move(server)) {}
+
+  void join(std::uint64_t id, MemberClass cls = MemberClass::kShort) {
+    const auto reg = server_->join(profile_of(id, cls));
+    rings_.emplace(id, lkh::KeyRing(make_member_id(id), reg.leaf_id, reg.individual_key));
+    individual_.emplace(id, reg.individual_key);
+  }
+
+  void leave(std::uint64_t id) {
+    server_->leave(make_member_id(id));
+    evicted_.insert(std::move(rings_.extract(id)));
+  }
+
+  EpochOutput end_epoch(const std::vector<Relocation>* relocations_out = nullptr) {
+    auto out = server_->end_epoch();
+    apply_relocations();
+    for (auto& [id, ring] : rings_) ring.process(out.message);
+    for (auto& [id, ring] : evicted_) ring.process(out.message);
+    (void)relocations_out;
+    return out;
+  }
+
+  [[nodiscard]] bool in_sync(std::uint64_t id) const {
+    return rings_.at(id).holds(server_->group_key_id(), server_->group_key().version);
+  }
+
+  [[nodiscard]] bool evicted_in_sync(std::uint64_t id) const {
+    return evicted_.at(id).holds(server_->group_key_id(), server_->group_key().version);
+  }
+
+  RekeyServer& server() { return *server_; }
+
+ private:
+  void apply_relocations() {
+    const std::vector<Relocation>* relocations = nullptr;
+    if (auto* tt = dynamic_cast<TtServer*>(server_.get()))
+      relocations = &tt->last_relocations();
+    else if (auto* qt = dynamic_cast<QtServer*>(server_.get()))
+      relocations = &qt->last_relocations();
+    if (relocations == nullptr) return;
+    for (const auto& move : *relocations) {
+      const auto id = workload::raw(move.member);
+      const auto it = rings_.find(id);
+      if (it == rings_.end()) continue;
+      it->second.grant(move.new_leaf_id, {individual_.at(id), 0});
+    }
+  }
+
+  std::unique_ptr<RekeyServer> server_;
+  std::map<std::uint64_t, lkh::KeyRing> rings_;
+  std::map<std::uint64_t, lkh::KeyRing> evicted_;
+  std::map<std::uint64_t, crypto::Key128> individual_;
+};
+
+struct SchemeCase {
+  SchemeKind kind;
+  unsigned k;
+};
+
+class AllSchemes : public ::testing::TestWithParam<SchemeCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllSchemes,
+    ::testing::Values(SchemeCase{SchemeKind::kOneKeyTree, 0},
+                      SchemeCase{SchemeKind::kQt, 3}, SchemeCase{SchemeKind::kQt, 0},
+                      SchemeCase{SchemeKind::kTt, 3}, SchemeCase{SchemeKind::kTt, 0},
+                      SchemeCase{SchemeKind::kPt, 0}),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      const char* name = "Unknown";
+      switch (info.param.kind) {
+        case SchemeKind::kOneKeyTree: name = "OneKeytree"; break;
+        case SchemeKind::kQt: name = "Qt"; break;
+        case SchemeKind::kTt: name = "Tt"; break;
+        case SchemeKind::kPt: name = "Pt"; break;
+      }
+      return std::string(name) + "K" + std::to_string(info.param.k);
+    });
+
+TEST_P(AllSchemes, JoinersLearnGroupKey) {
+  const auto param = GetParam();
+  Harness h(make_server(param.kind, 3, param.k, Rng(101)));
+  for (std::uint64_t i = 0; i < 20; ++i)
+    h.join(i, i % 3 == 0 ? MemberClass::kLong : MemberClass::kShort);
+  h.end_epoch();
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_TRUE(h.in_sync(i)) << "member " << i;
+}
+
+TEST_P(AllSchemes, SurvivorsRecoverAfterDepartures) {
+  const auto param = GetParam();
+  Harness h(make_server(param.kind, 3, param.k, Rng(102)));
+  for (std::uint64_t i = 0; i < 16; ++i)
+    h.join(i, i % 2 == 0 ? MemberClass::kLong : MemberClass::kShort);
+  h.end_epoch();
+  h.leave(3);
+  h.leave(8);
+  h.end_epoch();
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (i == 3 || i == 8) continue;
+    EXPECT_TRUE(h.in_sync(i)) << "member " << i;
+  }
+}
+
+TEST_P(AllSchemes, EvictedMembersCannotFollow) {
+  const auto param = GetParam();
+  Harness h(make_server(param.kind, 3, param.k, Rng(103)));
+  for (std::uint64_t i = 0; i < 12; ++i) h.join(i);
+  h.end_epoch();
+  h.leave(5);
+  h.end_epoch();
+  EXPECT_FALSE(h.evicted_in_sync(5));
+  // ...and it stays locked out across later epochs.
+  h.join(50);
+  h.end_epoch();
+  EXPECT_FALSE(h.evicted_in_sync(5));
+}
+
+TEST_P(AllSchemes, SteadyChurnKeepsEveryoneCurrent) {
+  const auto param = GetParam();
+  Harness h(make_server(param.kind, 4, param.k, Rng(104)));
+  Rng rng(105);
+  std::vector<std::uint64_t> present;
+  std::uint64_t next_id = 0;
+
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    const auto joins = 2 + rng.uniform_u64(5);
+    for (std::uint64_t j = 0; j < joins; ++j) {
+      h.join(next_id, rng.bernoulli(0.7) ? MemberClass::kShort : MemberClass::kLong);
+      present.push_back(next_id++);
+    }
+    const auto leaves = rng.uniform_u64(std::min<std::uint64_t>(present.size(), 4));
+    for (std::uint64_t l = 0; l < leaves; ++l) {
+      const auto idx = rng.uniform_u64(present.size());
+      h.leave(present[idx]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    h.end_epoch();
+    for (const auto id : present)
+      ASSERT_TRUE(h.in_sync(id)) << "member " << id << " epoch " << epoch
+                                 << " scheme " << to_string(param.kind);
+  }
+}
+
+TEST_P(AllSchemes, MemberPathEndsAtGroupKey) {
+  const auto param = GetParam();
+  Harness h(make_server(param.kind, 3, param.k, Rng(106)));
+  for (std::uint64_t i = 0; i < 10; ++i) h.join(i);
+  h.end_epoch();
+  const auto path = h.server().member_path(make_member_id(4));
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back(), h.server().group_key_id());
+}
+
+// -------------------------------------------------------- migrations ----
+
+TEST(TtServer, MigrationMovesMembersAfterSPeriod) {
+  TtServer server(3, 2, Rng(107));
+  Harness h(std::make_unique<TtServer>(3, 2, Rng(107)));
+  for (std::uint64_t i = 0; i < 9; ++i) h.join(i);
+  auto* tt = dynamic_cast<TtServer*>(&h.server());
+  ASSERT_NE(tt, nullptr);
+
+  auto out0 = h.end_epoch();  // epoch 0: everyone in S
+  EXPECT_EQ(out0.migrations, 0u);
+  EXPECT_EQ(tt->s_partition_size(), 9u);
+  EXPECT_EQ(tt->l_partition_size(), 0u);
+
+  auto out1 = h.end_epoch();  // epoch 1: still too young
+  EXPECT_EQ(out1.migrations, 0u);
+
+  auto out2 = h.end_epoch();  // epoch 2: joined at 0, 2 >= 0 + 2 -> migrate
+  EXPECT_EQ(out2.migrations, 9u);
+  EXPECT_EQ(tt->s_partition_size(), 0u);
+  EXPECT_EQ(tt->l_partition_size(), 9u);
+  for (std::uint64_t i = 0; i < 9; ++i) EXPECT_TRUE(h.in_sync(i)) << "member " << i;
+}
+
+TEST(TtServer, MigrationDoesNotRotateGroupKey) {
+  Harness h(std::make_unique<TtServer>(3, 1, Rng(108)));
+  for (std::uint64_t i = 0; i < 6; ++i) h.join(i);
+  h.end_epoch();
+  const auto version_before = h.server().group_key().version;
+  const auto out = h.end_epoch();  // migration-only epoch
+  EXPECT_EQ(out.migrations, 6u);
+  EXPECT_EQ(h.server().group_key().version, version_before);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_TRUE(h.in_sync(i));
+}
+
+TEST(QtServer, MigrationKeepsMembersInSync) {
+  Harness h(std::make_unique<QtServer>(3, 1, Rng(109)));
+  for (std::uint64_t i = 0; i < 8; ++i) h.join(i);
+  h.end_epoch();
+  const auto out = h.end_epoch();  // all migrate to L-tree
+  EXPECT_EQ(out.migrations, 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(h.in_sync(i)) << "member " << i;
+
+  // A later departure must still lock only the leaver out.
+  h.leave(2);
+  h.end_epoch();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(h.in_sync(i)) << "member " << i;
+  }
+  EXPECT_FALSE(h.evicted_in_sync(2));
+}
+
+TEST(QtServer, QueueDepartureCostsQueueSizePlusRoot) {
+  QtServer server(4, 10, Rng(110));
+  for (std::uint64_t i = 0; i < 20; ++i) (void)server.join(profile_of(i));
+  (void)server.end_epoch();
+
+  server.leave(make_member_id(7));
+  const auto out = server.end_epoch();
+  // 19 queue residents re-wrapped individually; the L-tree is empty, so no
+  // root wrap and no tree message.
+  EXPECT_EQ(out.multicast_cost(), 19u);
+}
+
+TEST(QtServer, JoinOnlyEpochIsCheap) {
+  QtServer server(4, 10, Rng(111));
+  for (std::uint64_t i = 0; i < 50; ++i) (void)server.join(profile_of(i));
+  (void)server.end_epoch();
+
+  for (std::uint64_t i = 50; i < 53; ++i) (void)server.join(profile_of(i));
+  const auto out = server.end_epoch();
+  // 1 wrap under the previous DEK + one per arrival — independent of the
+  // 50 incumbents.
+  EXPECT_EQ(out.multicast_cost(), 1u + 3u);
+}
+
+// ---------------------------------------------------------- adaptive ----
+
+TEST(Adaptive, FitRecoversPlantedMixture) {
+  AdaptiveController controller(60.0, 4);
+  Rng rng(112);
+  for (int i = 0; i < 20000; ++i) {
+    const bool is_short = rng.bernoulli(0.8);
+    controller.observe_duration(rng.exponential(is_short ? 180.0 : 10800.0));
+  }
+  const auto fit = controller.fit();
+  EXPECT_TRUE(fit.well_separated);
+  EXPECT_NEAR(fit.short_fraction, 0.8, 0.05);
+  EXPECT_NEAR(fit.short_mean, 180.0, 40.0);
+  EXPECT_NEAR(fit.long_mean, 10800.0, 1500.0);
+}
+
+TEST(Adaptive, RecommendsPartitioningForChurnyGroups) {
+  AdaptiveController controller(60.0, 4);
+  Rng rng(113);
+  for (int i = 0; i < 20000; ++i) {
+    const bool is_short = rng.bernoulli(0.8);
+    controller.observe_duration(rng.exponential(is_short ? 180.0 : 10800.0));
+  }
+  const auto rec = controller.recommend(65536.0);
+  EXPECT_NE(rec.scheme, SchemeKind::kOneKeyTree);
+  EXPECT_GT(rec.s_period_epochs, 0u);
+  EXPECT_LT(rec.predicted_cost, rec.baseline_cost);
+  // Fig. 4 peak region: the recommendation should realize most of the
+  // paper's ~25% gain at alpha = 0.8.
+  EXPECT_GT(1.0 - rec.predicted_cost / rec.baseline_cost, 0.15);
+}
+
+TEST(Adaptive, FallsBackWithFewObservations) {
+  AdaptiveController controller(60.0, 4);
+  for (int i = 0; i < 10; ++i) controller.observe_duration(100.0);
+  const auto rec = controller.recommend(65536.0);
+  EXPECT_EQ(rec.scheme, SchemeKind::kOneKeyTree);
+  EXPECT_EQ(rec.s_period_epochs, 0u);
+}
+
+TEST(Adaptive, StableGroupsStayOnOneKeytree) {
+  AdaptiveController controller(60.0, 4);
+  Rng rng(114);
+  // Homogeneous long-lived population: partitioning has nothing to win.
+  for (int i = 0; i < 5000; ++i) controller.observe_duration(rng.exponential(7200.0));
+  const auto rec = controller.recommend(65536.0);
+  EXPECT_EQ(rec.scheme, SchemeKind::kOneKeyTree);
+}
+
+}  // namespace
+}  // namespace gk::partition

@@ -1,0 +1,259 @@
+// Parameterized property suites: invariants that must hold across the whole
+// configuration space, not just the paper's operating points.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "analytic/batch_cost.h"
+#include "analytic/two_partition_model.h"
+#include "analytic/wka_bkr_model.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "lkh/key_ring.h"
+#include "lkh/key_tree.h"
+#include "transport/session.h"
+#include "transport/wka_bkr.h"
+
+namespace gk {
+namespace {
+
+using workload::make_member_id;
+
+// ------------------------------------------------ KeyTree across shapes ----
+
+struct TreeCase {
+  unsigned degree;
+  std::uint64_t members;
+  std::uint64_t batch;  // departures (and joins) per committed batch
+};
+
+class TreeSweep : public ::testing::TestWithParam<TreeCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSweep,
+    ::testing::Values(TreeCase{2, 64, 1}, TreeCase{2, 257, 16}, TreeCase{3, 100, 7},
+                      TreeCase{4, 256, 32}, TreeCase{4, 1000, 100},
+                      TreeCase{5, 333, 11}, TreeCase{8, 512, 64},
+                      TreeCase{16, 300, 30}),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      return "d" + std::to_string(info.param.degree) + "n" +
+             std::to_string(info.param.members) + "b" + std::to_string(info.param.batch);
+    });
+
+TEST_P(TreeSweep, EveryMemberDecryptsAfterEveryBatch) {
+  const auto param = GetParam();
+  lkh::KeyTree tree(param.degree, Rng(param.degree * 1000 + param.members));
+  std::map<std::uint64_t, lkh::KeyRing> rings;
+  std::vector<std::uint64_t> present;
+
+  std::uint64_t next = 0;
+  for (std::uint64_t i = 0; i < param.members; ++i) {
+    const auto grant = tree.insert(make_member_id(next));
+    rings.emplace(next, lkh::KeyRing(make_member_id(next), grant.leaf_id,
+                                     grant.individual_key));
+    present.push_back(next++);
+  }
+  auto setup = tree.commit(0);
+  for (auto& [id, ring] : rings) ring.process(setup);
+
+  Rng rng(param.members * 31 + param.batch);
+  for (std::uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    for (std::uint64_t b = 0; b < param.batch; ++b) {
+      const auto victim = rng.uniform_u64(present.size());
+      tree.remove(make_member_id(present[victim]));
+      rings.erase(present[victim]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(victim));
+
+      const auto grant = tree.insert(make_member_id(next));
+      rings.emplace(next, lkh::KeyRing(make_member_id(next), grant.leaf_id,
+                                       grant.individual_key));
+      present.push_back(next++);
+    }
+    const auto message = tree.commit(epoch);
+    for (auto& [id, ring] : rings) {
+      ring.process(message);
+      ASSERT_TRUE(ring.holds(tree.root_id(), tree.root_key().version))
+          << "member " << id << " epoch " << epoch;
+    }
+  }
+}
+
+TEST_P(TreeSweep, HeightStaysNearOptimal) {
+  const auto param = GetParam();
+  lkh::KeyTree tree(param.degree, Rng(99 + param.members));
+  for (std::uint64_t i = 0; i < param.members; ++i) tree.insert(make_member_id(i));
+  (void)tree.commit(0);
+  const auto stats = tree.stats();
+  const unsigned optimal = tree_height(param.members, param.degree);
+  EXPECT_LE(stats.height, optimal + 1) << "d=" << param.degree;
+}
+
+TEST_P(TreeSweep, BatchCostBelowSequentialCost) {
+  const auto param = GetParam();
+  if (param.batch < 2) GTEST_SKIP();
+  // Batch the departures.
+  lkh::KeyTree batched(param.degree, Rng(7));
+  lkh::KeyTree sequential(param.degree, Rng(7));  // identical build
+  for (std::uint64_t i = 0; i < param.members; ++i) {
+    batched.insert(make_member_id(i));
+    sequential.insert(make_member_id(i));
+  }
+  (void)batched.commit(0);
+  (void)sequential.commit(0);
+
+  std::size_t batched_cost = 0;
+  std::size_t sequential_cost = 0;
+  for (std::uint64_t i = 0; i < param.batch; ++i)
+    batched.remove(make_member_id(i * 3 % param.members));
+  batched_cost = batched.commit(1).cost();
+  std::uint64_t epoch = 1;
+  for (std::uint64_t i = 0; i < param.batch; ++i) {
+    sequential.remove(make_member_id(i * 3 % param.members));
+    sequential_cost += sequential.commit(++epoch).cost();
+  }
+  EXPECT_LE(batched_cost, sequential_cost);
+}
+
+// ---------------------------------------------- analytic model properties ----
+
+struct ModelCase {
+  unsigned degree;
+  double members;
+};
+
+class ModelSweep : public ::testing::TestWithParam<ModelCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelSweep,
+                         ::testing::Values(ModelCase{2, 1024.0}, ModelCase{3, 5000.0},
+                                           ModelCase{4, 65536.0}, ModelCase{4, 100000.0},
+                                           ModelCase{8, 262144.0}),
+                         [](const ::testing::TestParamInfo<ModelCase>& info) {
+                           return "d" + std::to_string(info.param.degree) + "n" +
+                                  std::to_string(static_cast<long>(info.param.members));
+                         });
+
+TEST_P(ModelSweep, CostMonotoneInDepartures) {
+  const auto param = GetParam();
+  double last = 0.0;
+  for (double l = 1.0; l < param.members; l *= 3.0) {
+    const double cost = analytic::batch_rekey_cost(param.members, l, param.degree);
+    EXPECT_GT(cost, last) << "L=" << l;
+    last = cost;
+  }
+}
+
+TEST_P(ModelSweep, CostBoundedByAllInteriorKeys) {
+  const auto param = GetParam();
+  const double everything =
+      analytic::batch_rekey_cost(param.members, param.members, param.degree);
+  for (double l : {1.0, 16.0, 256.0}) {
+    EXPECT_LE(analytic::batch_rekey_cost(param.members, l, param.degree), everything);
+  }
+}
+
+TEST_P(ModelSweep, CostSublinearInBatchSize) {
+  // Doubling the batch should less-than-double the cost (path sharing).
+  const auto param = GetParam();
+  for (double l = 4.0; l * 2.0 < param.members / 4.0; l *= 4.0) {
+    const double one = analytic::batch_rekey_cost(param.members, l, param.degree);
+    const double two = analytic::batch_rekey_cost(param.members, 2.0 * l, param.degree);
+    EXPECT_LT(two, 2.0 * one) << "L=" << l;
+  }
+}
+
+TEST_P(ModelSweep, WkaCostAtLeastPlainCost) {
+  const auto param = GetParam();
+  analytic::WkaBkrParams p;
+  p.members = param.members;
+  p.departures = std::min(256.0, param.members / 8.0);
+  p.degree = param.degree;
+  p.losses = {{0.05, 1.0}};
+  EXPECT_GE(analytic::wka_bkr_cost(p),
+            analytic::batch_rekey_cost(param.members, p.departures, param.degree));
+}
+
+TEST_P(ModelSweep, WkaCostMonotoneInLoss) {
+  const auto param = GetParam();
+  double last = 0.0;
+  for (double loss : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    analytic::WkaBkrParams p;
+    p.members = param.members;
+    p.departures = std::min(256.0, param.members / 8.0);
+    p.degree = param.degree;
+    p.losses = {{loss, 1.0}};
+    const double cost = analytic::wka_bkr_cost(p);
+    EXPECT_GE(cost, last) << "loss=" << loss;
+    last = cost;
+  }
+}
+
+TEST_P(ModelSweep, TwoPartitionConservation) {
+  const auto param = GetParam();
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    analytic::TwoPartitionParams p;
+    p.group_size = param.members;
+    p.degree = param.degree;
+    p.short_fraction = alpha;
+    const auto s = analytic::solve_steady_state(p);
+    EXPECT_NEAR(s.class_short_pop + s.class_long_pop, p.group_size,
+                1e-6 * p.group_size);
+    EXPECT_NEAR(s.s_partition_pop + s.l_partition_pop, p.group_size,
+                1e-6 * p.group_size);
+    EXPECT_GE(s.s_departures, -1e-9);
+    EXPECT_GE(s.migrations, -1e-9);
+  }
+}
+
+// -------------------------------------------------- transport loss grid ----
+
+struct LossCase {
+  double loss;
+  std::size_t receivers;
+};
+
+class TransportSweep : public ::testing::TestWithParam<LossCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, TransportSweep,
+                         ::testing::Values(LossCase{0.0, 64}, LossCase{0.01, 64},
+                                           LossCase{0.05, 256}, LossCase{0.20, 256},
+                                           LossCase{0.40, 64}, LossCase{0.60, 32}),
+                         [](const ::testing::TestParamInfo<LossCase>& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param.loss * 100)) +
+                                  "r" + std::to_string(info.param.receivers);
+                         });
+
+TEST_P(TransportSweep, WkaBkrAlwaysCompletes) {
+  const auto param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.loss * 1000) + param.receivers);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload;
+  for (std::uint64_t i = 0; i < 120; ++i)
+    payload.push_back(crypto::wrap_key(kek, crypto::make_key_id(i + 1), 0,
+                                       crypto::Key128::random(rng),
+                                       crypto::make_key_id(500 + i), 1, rng));
+  std::vector<transport::SessionReceiver> receivers;
+  for (std::size_t r = 0; r < param.receivers; ++r) {
+    std::vector<std::uint32_t> interest;
+    for (int j = 0; j < 6; ++j)
+      interest.push_back(static_cast<std::uint32_t>(rng.uniform_u64(payload.size())));
+    std::sort(interest.begin(), interest.end());
+    interest.erase(std::unique(interest.begin(), interest.end()), interest.end());
+    receivers.emplace_back(
+        netsim::Receiver(make_member_id(r), param.loss, rng.fork()),
+        std::move(interest));
+  }
+  transport::WkaBkrTransport::Config config;
+  config.max_rounds = 512;
+  transport::WkaBkrTransport transport(config);
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered) << "loss " << param.loss;
+  // Sanity: cost at least one transmission per watched key.
+  EXPECT_GE(report.key_transmissions, 1u);
+}
+
+}  // namespace
+}  // namespace gk

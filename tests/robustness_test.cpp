@@ -1,0 +1,262 @@
+// Failure injection and adversarial robustness: corrupted packets, replay,
+// rollback, truncated transport sessions, and end-to-end "RS decode of
+// tampered shards cannot smuggle keys past the MAC".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "lkh/key_ring.h"
+#include "lkh/key_tree.h"
+#include "transport/packet.h"
+#include "transport/rs_code.h"
+#include "transport/session.h"
+#include "transport/wka_bkr.h"
+
+namespace gk {
+namespace {
+
+using workload::make_member_id;
+
+// ------------------------------------------------------- crypto edges ----
+
+TEST(Robustness, Sha256PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding boundaries must all hash
+  // without corruption; verify streaming == one-shot for each.
+  Rng rng(1);
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const auto oneshot = crypto::sha256(data);
+    crypto::Sha256 h;
+    for (std::size_t i = 0; i < len; ++i)
+      h.update(std::span<const std::uint8_t>(&data[i], 1));
+    EXPECT_EQ(crypto::to_hex(h.finish()), crypto::to_hex(oneshot)) << "len " << len;
+  }
+}
+
+// ------------------------------------------------------ KeyRing attacks ----
+
+class RingFixture : public ::testing::Test {
+ protected:
+  RingFixture() : tree_(3, Rng(42)) {
+    for (std::uint64_t i = 0; i < 9; ++i) {
+      const auto grant = tree_.insert(make_member_id(i));
+      rings_.emplace(i, lkh::KeyRing(make_member_id(i), grant.leaf_id,
+                                     grant.individual_key));
+    }
+    setup_ = tree_.commit(0);
+    for (auto& [id, ring] : rings_) ring.process(setup_);
+  }
+
+  lkh::KeyTree tree_;
+  std::map<std::uint64_t, lkh::KeyRing> rings_;
+  lkh::RekeyMessage setup_;
+};
+
+TEST_F(RingFixture, CorruptedWrapIsIgnoredOthersStillApply) {
+  tree_.remove(make_member_id(4));
+  auto message = tree_.commit(1);
+  ASSERT_GE(message.wraps.size(), 2u);
+  message.wraps[0].ciphertext[3] ^= 0xff;  // bit-flip one wrap in flight
+
+  // Everyone who does not depend on the corrupted wrap stays current; the
+  // corrupted wrap never yields a key (MAC), so no ring is poisoned.
+  int current = 0;
+  for (auto& [id, ring] : rings_) {
+    if (id == 4) continue;
+    ring.process(message);
+    if (ring.holds(tree_.root_id(), tree_.root_key().version)) ++current;
+  }
+  EXPECT_GE(current, 1);
+  EXPECT_LT(current, 8);  // someone was downstream of the corrupted wrap
+}
+
+TEST_F(RingFixture, ReplayedOldMessageCannotRollBack) {
+  tree_.remove(make_member_id(4));
+  const auto message1 = tree_.commit(1);
+  tree_.remove(make_member_id(5));
+  const auto message2 = tree_.commit(2);
+
+  auto& ring = rings_.at(0);
+  ring.process(message1);
+  ring.process(message2);
+  ASSERT_TRUE(ring.holds(tree_.root_id(), tree_.root_key().version));
+
+  // Replaying the older epoch must not downgrade the stored version.
+  ring.process(message1);
+  EXPECT_TRUE(ring.holds(tree_.root_id(), tree_.root_key().version));
+}
+
+TEST_F(RingFixture, ForgedWrapWithWrongKeyIsRejected) {
+  Rng attacker(666);
+  const auto fake_kek = crypto::Key128::random(attacker);
+  const auto fake_payload = crypto::Key128::random(attacker);
+  // Attacker crafts a wrap claiming to carry a newer group key, but cannot
+  // know any KEK the ring holds.
+  lkh::RekeyMessage forged;
+  forged.wraps.push_back(crypto::wrap_key(fake_kek, tree_.root_id(),
+                                          tree_.root_key().version, fake_payload,
+                                          tree_.root_id(),
+                                          tree_.root_key().version + 7, attacker));
+  auto& ring = rings_.at(0);
+  EXPECT_EQ(ring.process(forged), 0u);
+  EXPECT_FALSE(ring.holds(tree_.root_id(), tree_.root_key().version + 7));
+}
+
+TEST_F(RingFixture, DuplicatedWrapsAreIdempotent) {
+  tree_.remove(make_member_id(4));
+  auto message = tree_.commit(1);
+  const auto original = message.wraps;
+  message.wraps.insert(message.wraps.end(), original.begin(), original.end());
+  message.wraps.insert(message.wraps.end(), original.begin(), original.end());
+  auto& ring = rings_.at(0);
+  const auto learned = ring.process(message);
+  EXPECT_LE(learned, original.size());
+  EXPECT_TRUE(ring.holds(tree_.root_id(), tree_.root_key().version));
+}
+
+// ----------------------------------------------- transport degradation ----
+
+TEST(Robustness, TransportReportsIncompleteDeliveryAtRoundCap) {
+  Rng rng(7);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    payload.push_back(crypto::wrap_key(kek, crypto::make_key_id(i + 1), 0,
+                                       crypto::Key128::random(rng),
+                                       crypto::make_key_id(100 + i), 1, rng));
+  std::vector<transport::SessionReceiver> receivers;
+  for (std::size_t r = 0; r < 64; ++r) {
+    std::vector<std::uint32_t> interest{static_cast<std::uint32_t>(r)};
+    receivers.emplace_back(netsim::Receiver(make_member_id(r), 0.95, rng.fork()),
+                           std::move(interest));
+  }
+  transport::WkaBkrTransport::Config config;
+  config.max_rounds = 1;  // starve the protocol
+  config.max_weight = 1;
+  transport::WkaBkrTransport transport(config);
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_FALSE(report.all_delivered);
+  EXPECT_GT(report.nacks, 0u);
+}
+
+TEST(Robustness, TamperedRsShardCannotForgeKeys) {
+  // End-to-end security argument for FEC transport: RS is an erasure code,
+  // not an authenticator — a tampered shard decodes to garbage bytes — but
+  // the wraps inside carry MACs, so members reject the result.
+  Rng rng(8);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    payload.push_back(crypto::wrap_key(kek, crypto::make_key_id(1), 0,
+                                       crypto::Key128::random(rng),
+                                       crypto::make_key_id(10 + i), 1, rng));
+  // Two source packets of four wraps each.
+  transport::Packet p0;
+  p0.key_indices = {0, 1, 2, 3};
+  transport::Packet p1;
+  p1.key_indices = {4, 5, 6, 7};
+  auto s0 = transport::serialize_packet(p0, payload);
+  auto s1 = transport::serialize_packet(p1, payload);
+
+  transport::ReedSolomon rs(2, 2);
+  const std::vector<std::vector<std::uint8_t>> sources{s0, s1};
+  auto parity0 = rs.encode_shard(sources, 2);
+  auto parity1 = rs.encode_shard(sources, 3);
+  parity1[10] ^= 0x55;  // in-flight tampering
+
+  const auto decoded = rs.decode({{2, parity0}, {3, parity1}});
+  ASSERT_TRUE(decoded.has_value());  // decoding "succeeds"...
+  EXPECT_NE((*decoded)[0], s0);      // ...but yields corrupted bytes
+
+  // RS error propagation is byte-positional: flipping byte 10 of a parity
+  // shard corrupts byte 10 of every decoded source. The wrap covering that
+  // byte fails its MAC; the member never accepts forged key material.
+  const auto wraps = transport::deserialize_wraps((*decoded)[0], 4);
+  EXPECT_FALSE(crypto::unwrap_key(kek, wraps[0]).has_value());
+  // Uncorrupted wraps in the same shard still round-trip.
+  int unwrapped = 0;
+  for (std::size_t i = 1; i < wraps.size(); ++i)
+    if (crypto::unwrap_key(kek, wraps[i]).has_value()) ++unwrapped;
+  EXPECT_EQ(unwrapped, 3);
+
+  // With untampered shards the same path round-trips perfectly.
+  const auto clean = rs.decode({{2, rs.encode_shard(sources, 2)},
+                                {3, rs.encode_shard(sources, 3)}});
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ((*clean)[0], s0);
+  const auto good_wraps = transport::deserialize_wraps((*clean)[0], 4);
+  for (const auto& wrap : good_wraps)
+    EXPECT_TRUE(crypto::unwrap_key(kek, wrap).has_value());
+}
+
+TEST(Robustness, TruncatedPacketBytesAreRejected) {
+  Rng rng(9);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload{crypto::wrap_key(
+      kek, crypto::make_key_id(1), 0, crypto::Key128::random(rng),
+      crypto::make_key_id(2), 1, rng)};
+  transport::Packet packet;
+  packet.key_indices = {0};
+  auto bytes = transport::serialize_packet(packet, payload);
+  bytes.pop_back();
+  EXPECT_THROW(transport::deserialize_wraps(bytes, 1), ContractViolation);
+}
+
+// ------------------------------------------------- server-side misuse ----
+
+TEST(Robustness, CommitWithNothingStagedIsFreeAndStable) {
+  lkh::KeyTree tree(4, Rng(10));
+  for (std::uint64_t i = 0; i < 20; ++i) tree.insert(make_member_id(i));
+  (void)tree.commit(0);
+  const auto version = tree.root_key().version;
+  const auto idle = tree.commit(1);
+  EXPECT_EQ(idle.cost(), 0u);
+  EXPECT_EQ(tree.root_key().version, version);  // no gratuitous churn
+}
+
+TEST(Robustness, RemoveLastMemberLeavesUsableTree) {
+  lkh::KeyTree tree(3, Rng(11));
+  tree.insert(make_member_id(1));
+  (void)tree.commit(0);
+  tree.remove(make_member_id(1));
+  (void)tree.commit(1);
+  EXPECT_TRUE(tree.empty());
+  // The tree must accept a fresh session.
+  const auto grant = tree.insert(make_member_id(2));
+  (void)tree.commit(2);
+  lkh::KeyRing ring(make_member_id(2), grant.leaf_id, grant.individual_key);
+  tree.remove(make_member_id(2));
+  tree.insert(make_member_id(3));
+  auto msg = tree.commit(3);
+  EXPECT_GE(msg.cost(), 1u);
+}
+
+TEST(Robustness, InterleavedJoinLeaveSameEpoch) {
+  lkh::KeyTree tree(3, Rng(12));
+  for (std::uint64_t i = 0; i < 9; ++i) tree.insert(make_member_id(i));
+  (void)tree.commit(0);
+
+  // A member joins and leaves within the same batch.
+  tree.insert(make_member_id(100));
+  tree.remove(make_member_id(100));
+  tree.insert(make_member_id(101));
+  const auto grant = tree.insert(make_member_id(102));
+  tree.remove(make_member_id(3));
+  const auto message = tree.commit(1);
+
+  lkh::KeyRing ring(make_member_id(102), grant.leaf_id, grant.individual_key);
+  ring.process(message);
+  EXPECT_TRUE(ring.holds(tree.root_id(), tree.root_key().version));
+  EXPECT_FALSE(tree.contains(make_member_id(100)));
+  EXPECT_TRUE(tree.contains(make_member_id(101)));
+}
+
+}  // namespace
+}  // namespace gk

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "lkh/key_ring.h"
+#include "lkh/key_tree.h"
+#include "lkh/snapshot.h"
+
+namespace gk::lkh {
+namespace {
+
+using workload::make_member_id;
+
+KeyTree busy_tree(std::map<std::uint64_t, KeyRing>* rings = nullptr) {
+  KeyTree tree(3, Rng(808));
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const auto grant = tree.insert(make_member_id(i));
+    if (rings != nullptr)
+      rings->emplace(i, KeyRing(make_member_id(i), grant.leaf_id,
+                                grant.individual_key));
+  }
+  auto setup = tree.commit(0);
+  if (rings != nullptr)
+    for (auto& [id, ring] : *rings) ring.process(setup);
+  for (std::uint64_t i = 0; i < 10; ++i) tree.remove(make_member_id(i * 3));
+  auto churn = tree.commit(1);
+  if (rings != nullptr) {
+    for (std::uint64_t i = 0; i < 10; ++i) rings->erase(i * 3);
+    for (auto& [id, ring] : *rings) ring.process(churn);
+  }
+  return tree;
+}
+
+TEST(Snapshot, RoundTripPreservesStructure) {
+  auto tree = busy_tree();
+  const auto bytes = snapshot_tree(tree);
+  auto restored = restore_tree(bytes, Rng(1));
+
+  EXPECT_EQ(restored.size(), tree.size());
+  EXPECT_EQ(restored.degree(), tree.degree());
+  EXPECT_EQ(restored.root_id(), tree.root_id());
+  EXPECT_EQ(restored.root_key().version, tree.root_key().version);
+  EXPECT_EQ(restored.root_key().key, tree.root_key().key);
+  for (const auto member : tree.members()) {
+    EXPECT_TRUE(restored.contains(member));
+    EXPECT_EQ(restored.individual_key(member), tree.individual_key(member));
+    EXPECT_EQ(restored.leaf_id(member), tree.leaf_id(member));
+    EXPECT_EQ(restored.path_ids(member), tree.path_ids(member));
+  }
+  const auto a = tree.stats();
+  const auto b = restored.stats();
+  EXPECT_EQ(a.height, b.height);
+  EXPECT_EQ(a.node_count, b.node_count);
+}
+
+TEST(Snapshot, RestoredServerContinuesTheSession) {
+  // The acid test: members provisioned by the original server keep working
+  // against rekey messages emitted by the restored server.
+  std::map<std::uint64_t, KeyRing> rings;
+  auto tree = busy_tree(&rings);
+  const auto bytes = snapshot_tree(tree);
+  auto restored = restore_tree(bytes, Rng(2));
+
+  restored.remove(make_member_id(4));
+  rings.erase(4);
+  restored.insert(make_member_id(100));
+  const auto message = restored.commit(2);
+  for (auto& [id, ring] : rings) {
+    ring.process(message);
+    EXPECT_TRUE(ring.holds(restored.root_id(), restored.root_key().version))
+        << "member " << id;
+  }
+}
+
+TEST(Snapshot, FreshIdsDoNotCollide) {
+  auto tree = busy_tree();
+  const auto bytes = snapshot_tree(tree);
+  auto restored = restore_tree(bytes, Rng(3));
+
+  std::vector<std::uint64_t> existing;
+  for (const auto member : restored.members())
+    existing.push_back(crypto::raw(restored.leaf_id(member)));
+  const auto grant = restored.insert(make_member_id(777));
+  for (const auto id : existing) EXPECT_NE(crypto::raw(grant.leaf_id), id);
+}
+
+TEST(Snapshot, RefusesDirtyTree) {
+  KeyTree tree(3, Rng(4));
+  tree.insert(make_member_id(1));
+  EXPECT_THROW((void)snapshot_tree(tree), ContractViolation);
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage{'N', 'O', 'P', 'E', 0, 0, 0, 0};
+  EXPECT_THROW((void)restore_tree(garbage, Rng(5)), ContractViolation);
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  auto tree = busy_tree();
+  auto bytes = snapshot_tree(tree);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)restore_tree(bytes, Rng(6)), ContractViolation);
+}
+
+TEST(Snapshot, RejectsTrailingBytes) {
+  auto tree = busy_tree();
+  auto bytes = snapshot_tree(tree);
+  bytes.push_back(0xab);
+  EXPECT_THROW((void)restore_tree(bytes, Rng(7)), ContractViolation);
+}
+
+TEST(Snapshot, EmptyTreeRoundTrips) {
+  KeyTree tree(4, Rng(8));
+  const auto bytes = snapshot_tree(tree);
+  auto restored = restore_tree(bytes, Rng(9));
+  EXPECT_TRUE(restored.empty());
+  restored.insert(make_member_id(1));
+  EXPECT_EQ(restored.commit(0).cost(), 1u);
+}
+
+}  // namespace
+}  // namespace gk::lkh

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "transport/fec.h"
+#include "transport/gf256.h"
+#include "transport/multisend.h"
+#include "transport/packet.h"
+#include "transport/rs_code.h"
+#include "transport/session.h"
+#include "transport/wka_bkr.h"
+
+namespace gk::transport {
+namespace {
+
+// ---------------------------------------------------------------- GF256 ----
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(gf256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(gf256::add(7, 7), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, InverseRoundTrips) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = gf256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), inv), 1) << "a = " << a;
+  }
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 17) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(gf256::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+// ---------------------------------------------------------- ReedSolomon ----
+
+std::vector<std::vector<std::uint8_t>> random_sources(Rng& rng, unsigned k,
+                                                      std::size_t len) {
+  std::vector<std::vector<std::uint8_t>> sources(k, std::vector<std::uint8_t>(len));
+  for (auto& s : sources)
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  return sources;
+}
+
+TEST(ReedSolomon, SystematicShardsAreSources) {
+  Rng rng(2);
+  const auto sources = random_sources(rng, 4, 100);
+  ReedSolomon rs(4, 8);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(rs.encode_shard(sources, i), sources[i]);
+}
+
+TEST(ReedSolomon, DecodeFromParityOnly) {
+  Rng rng(3);
+  const auto sources = random_sources(rng, 5, 64);
+  ReedSolomon rs(5, 10);
+  std::vector<std::pair<unsigned, std::vector<std::uint8_t>>> shards;
+  for (unsigned i = 5; i < 10; ++i) shards.emplace_back(i, rs.encode_shard(sources, i));
+  const auto decoded = rs.decode(shards);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sources);
+}
+
+TEST(ReedSolomon, InsufficientShardsFail) {
+  Rng rng(4);
+  const auto sources = random_sources(rng, 6, 32);
+  ReedSolomon rs(6, 6);
+  std::vector<std::pair<unsigned, std::vector<std::uint8_t>>> shards;
+  for (unsigned i = 0; i < 5; ++i) shards.emplace_back(i, rs.encode_shard(sources, i));
+  EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+TEST(ReedSolomon, DuplicateShardsDontCount) {
+  Rng rng(5);
+  const auto sources = random_sources(rng, 3, 16);
+  ReedSolomon rs(3, 3);
+  std::vector<std::pair<unsigned, std::vector<std::uint8_t>>> shards;
+  shards.emplace_back(0, rs.encode_shard(sources, 0));
+  shards.emplace_back(0, rs.encode_shard(sources, 0));
+  shards.emplace_back(4, rs.encode_shard(sources, 4));
+  EXPECT_FALSE(rs.decode(shards).has_value());
+  shards.emplace_back(5, rs.encode_shard(sources, 5));
+  EXPECT_TRUE(rs.decode(shards).has_value());
+}
+
+struct RsCase {
+  unsigned k;
+  unsigned parity;
+  unsigned drop;  // sources erased
+};
+
+class RsProperty : public ::testing::TestWithParam<RsCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RsProperty,
+    ::testing::Values(RsCase{1, 1, 1}, RsCase{2, 2, 2}, RsCase{4, 4, 3},
+                      RsCase{8, 8, 8}, RsCase{16, 16, 5}, RsCase{16, 4, 4},
+                      RsCase{32, 16, 16}, RsCase{64, 32, 20}, RsCase{100, 50, 50},
+                      RsCase{128, 127, 100}),
+    [](const ::testing::TestParamInfo<RsCase>& info) {
+      return "k" + std::to_string(info.param.k) + "p" +
+             std::to_string(info.param.parity) + "d" + std::to_string(info.param.drop);
+    });
+
+TEST_P(RsProperty, AnyKShardsReconstruct) {
+  const auto param = GetParam();
+  ASSERT_LE(param.drop, param.parity);
+  ASSERT_LE(param.drop, param.k);
+  Rng rng(1000 + param.k * 7 + param.parity);
+  const auto sources = random_sources(rng, param.k, 48);
+  ReedSolomon rs(param.k, param.parity);
+
+  // Erase `drop` random sources, replace with random parity shards.
+  std::vector<unsigned> source_ids(param.k);
+  for (unsigned i = 0; i < param.k; ++i) source_ids[i] = i;
+  rng.shuffle(source_ids);
+
+  std::vector<std::pair<unsigned, std::vector<std::uint8_t>>> shards;
+  for (unsigned i = param.drop; i < param.k; ++i)
+    shards.emplace_back(source_ids[i], rs.encode_shard(sources, source_ids[i]));
+  std::vector<unsigned> parity_ids(param.parity);
+  for (unsigned i = 0; i < param.parity; ++i) parity_ids[i] = param.k + i;
+  rng.shuffle(parity_ids);
+  for (unsigned i = 0; i < param.drop; ++i)
+    shards.emplace_back(parity_ids[i], rs.encode_shard(sources, parity_ids[i]));
+
+  const auto decoded = rs.decode(shards);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sources);
+}
+
+// --------------------------------------------------------------- Packet ----
+
+std::vector<crypto::WrappedKey> synthetic_payload(std::size_t count, Rng& rng) {
+  std::vector<crypto::WrappedKey> payload;
+  payload.reserve(count);
+  const auto kek = crypto::Key128::random(rng);
+  for (std::size_t i = 0; i < count; ++i) {
+    payload.push_back(crypto::wrap_key(kek, crypto::make_key_id(i + 1), 2,
+                                       crypto::Key128::random(rng),
+                                       crypto::make_key_id(1000 + i), 3, rng));
+  }
+  return payload;
+}
+
+TEST(Packet, SerializationRoundTrips) {
+  Rng rng(6);
+  const auto payload = synthetic_payload(5, rng);
+  Packet packet;
+  packet.key_indices = {0, 2, 4};
+  const auto bytes = serialize_packet(packet, payload);
+  EXPECT_EQ(bytes.size(), 3 * crypto::WrappedKey::kWireSize);
+  const auto wraps = deserialize_wraps(bytes, 3);
+  ASSERT_EQ(wraps.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& original = payload[packet.key_indices[i]];
+    EXPECT_EQ(wraps[i].target_id, original.target_id);
+    EXPECT_EQ(wraps[i].wrapping_id, original.wrapping_id);
+    EXPECT_EQ(wraps[i].target_version, original.target_version);
+    EXPECT_EQ(wraps[i].wrapping_version, original.wrapping_version);
+    EXPECT_EQ(wraps[i].nonce, original.nonce);
+    EXPECT_EQ(wraps[i].ciphertext, original.ciphertext);
+    EXPECT_EQ(wraps[i].tag, original.tag);
+  }
+}
+
+// ------------------------------------------------------------ protocols ----
+
+std::vector<SessionReceiver> make_receivers(std::size_t count, double loss,
+                                            std::size_t payload_size,
+                                            std::size_t interest_size, Rng& rng) {
+  std::vector<SessionReceiver> receivers;
+  for (std::size_t r = 0; r < count; ++r) {
+    std::vector<std::uint32_t> interest;
+    while (interest.size() < interest_size) {
+      const auto w = static_cast<std::uint32_t>(rng.uniform_u64(payload_size));
+      if (std::find(interest.begin(), interest.end(), w) == interest.end())
+        interest.push_back(w);
+    }
+    std::sort(interest.begin(), interest.end());
+    receivers.emplace_back(
+        netsim::Receiver(workload::make_member_id(r), loss, rng.fork()),
+        std::move(interest));
+  }
+  return receivers;
+}
+
+TEST(WkaBkr, LossFreeDeliversInOneRoundAtUnitWeight) {
+  Rng rng(7);
+  const auto payload = synthetic_payload(100, rng);
+  auto receivers = make_receivers(50, 0.0, payload.size(), 6, rng);
+  WkaBkrTransport transport({});
+  // Keys nobody wants are never sent (sparseness property), so count the
+  // distinct keys actually watched.
+  std::vector<bool> watched(payload.size(), false);
+  for (const auto& r : receivers)
+    for (const auto w : r.interest) watched[w] = true;
+  const auto watched_count =
+      static_cast<std::size_t>(std::count(watched.begin(), watched.end(), true));
+
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered);
+  EXPECT_EQ(report.rounds, 1u);
+  // Loss-free E[M] = 1 for every watched key: exactly one copy each.
+  EXPECT_EQ(report.key_transmissions, watched_count);
+}
+
+TEST(WkaBkr, LossyGroupFullyServed) {
+  Rng rng(8);
+  const auto payload = synthetic_payload(200, rng);
+  auto receivers = make_receivers(200, 0.2, payload.size(), 8, rng);
+  WkaBkrTransport transport({});
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered);
+  EXPECT_GT(report.key_transmissions, 200u);  // replication happened
+  for (const auto& r : receivers) EXPECT_TRUE(r.done());
+}
+
+TEST(WkaBkr, WeightingBeatsUnweightedOnRounds) {
+  Rng rng(9);
+  const auto payload = synthetic_payload(300, rng);
+
+  auto run = [&](bool weighted, std::uint64_t seed) {
+    Rng local(seed);
+    auto receivers = make_receivers(300, 0.15, payload.size(), 8, local);
+    WkaBkrTransport::Config config;
+    config.weighted = weighted;
+    WkaBkrTransport transport(config);
+    return transport.deliver(payload, receivers);
+  };
+  const auto weighted = run(true, 42);
+  const auto unweighted = run(false, 42);
+  EXPECT_TRUE(weighted.all_delivered);
+  EXPECT_TRUE(unweighted.all_delivered);
+  // Proactive replication trades a few extra copies for fewer feedback
+  // rounds (the soft real-time goal of rekey transport).
+  EXPECT_LE(weighted.rounds, unweighted.rounds);
+}
+
+TEST(WkaBkr, DeterministicForSameSeeds) {
+  Rng payload_rng(10);
+  const auto payload = synthetic_payload(150, payload_rng);
+  auto run = [&] {
+    Rng rng(77);
+    auto receivers = make_receivers(100, 0.1, payload.size(), 5, rng);
+    WkaBkrTransport transport({});
+    return transport.deliver(payload, receivers);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.key_transmissions, b.key_transmissions);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+}
+
+TEST(MultiSend, DeliversButCostsMore) {
+  Rng rng(11);
+  const auto payload = synthetic_payload(300, rng);
+
+  Rng rng_a(55);
+  auto receivers_a = make_receivers(200, 0.15, payload.size(), 8, rng_a);
+  WkaBkrTransport wka({});
+  const auto wka_report = wka.deliver(payload, receivers_a);
+
+  Rng rng_b(55);
+  auto receivers_b = make_receivers(200, 0.15, payload.size(), 8, rng_b);
+  MultiSendTransport ms({});
+  const auto ms_report = ms.deliver(payload, receivers_b);
+
+  EXPECT_TRUE(wka_report.all_delivered);
+  EXPECT_TRUE(ms_report.all_delivered);
+  // The paper's motivation for WKA-BKR: multi-send re-sends everything and
+  // pays for it.
+  EXPECT_GT(ms_report.key_transmissions, wka_report.key_transmissions);
+}
+
+TEST(Fec, DeliversWithRealDecoding) {
+  Rng rng(12);
+  const auto payload = synthetic_payload(256, rng);
+  auto receivers = make_receivers(100, 0.2, payload.size(), 8, rng);
+  ProactiveFecTransport::Config config;
+  config.verify_decoding = true;  // run the real GF(256) decoder in-line
+  ProactiveFecTransport transport(config);
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered);
+  for (const auto& r : receivers) EXPECT_TRUE(r.done());
+}
+
+TEST(Fec, ProactivityCutsFeedbackRounds) {
+  Rng payload_rng(13);
+  const auto payload = synthetic_payload(512, payload_rng);
+  auto run = [&](double rho) {
+    Rng rng(88);
+    auto receivers = make_receivers(300, 0.1, payload.size(), 8, rng);
+    ProactiveFecTransport::Config config;
+    config.proactivity = rho;
+    ProactiveFecTransport transport(config);
+    return transport.deliver(payload, receivers);
+  };
+  const auto lean = run(1.0);
+  const auto rich = run(1.5);
+  EXPECT_TRUE(lean.all_delivered);
+  EXPECT_TRUE(rich.all_delivered);
+  EXPECT_LT(rich.rounds, lean.rounds);
+}
+
+TEST(Fec, LossFreeCostsExactlyInitialRound) {
+  Rng rng(14);
+  const auto payload = synthetic_payload(128, rng);
+  auto receivers = make_receivers(50, 0.0, payload.size(), 4, rng);
+  ProactiveFecTransport::Config config;
+  config.proactivity = 1.0;  // no parity
+  ProactiveFecTransport transport(config);
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered);
+  EXPECT_EQ(report.rounds, 1u);
+  EXPECT_EQ(report.key_transmissions, 128u);
+}
+
+TEST(Transports, EmptyPayloadIsFree) {
+  std::vector<crypto::WrappedKey> payload;
+  std::vector<SessionReceiver> receivers;
+  WkaBkrTransport wka({});
+  MultiSendTransport ms({});
+  ProactiveFecTransport fec({});
+  for (RekeyTransport* t :
+       std::initializer_list<RekeyTransport*>{&wka, &ms, &fec}) {
+    const auto report = t->deliver(payload, receivers);
+    EXPECT_TRUE(report.all_delivered);
+    EXPECT_EQ(report.key_transmissions, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gk::transport

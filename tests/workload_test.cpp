@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include <sstream>
+
+#include "common/ensure.h"
+#include "workload/duration_model.h"
+#include "workload/loss_assignment.h"
+#include "workload/membership.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+namespace gk::workload {
+namespace {
+
+std::shared_ptr<TwoClassExponential> paper_durations() {
+  // Table 1: Ms = 3 minutes, Ml = 3 hours, alpha = 0.8.
+  return std::make_shared<TwoClassExponential>(180.0, 10800.0, 0.8);
+}
+
+// ------------------------------------------------------ duration model ----
+
+TEST(DurationModel, ExponentialMean) {
+  ExponentialDuration model(120.0);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(model.sample(rng).duration);
+  EXPECT_NEAR(stats.mean(), 120.0, 2.0);
+  EXPECT_DOUBLE_EQ(model.population_mean(), 120.0);
+}
+
+TEST(DurationModel, TwoClassMixFractions) {
+  auto model = paper_durations();
+  Rng rng(2);
+  int short_count = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (model->sample(rng).member_class == MemberClass::kShort) ++short_count;
+  EXPECT_NEAR(static_cast<double>(short_count) / trials, 0.8, 0.01);
+}
+
+TEST(DurationModel, TwoClassPopulationMean) {
+  auto model = paper_durations();
+  EXPECT_NEAR(model->population_mean(), 0.8 * 180.0 + 0.2 * 10800.0, 1e-9);
+}
+
+TEST(DurationModel, TwoClassClassMeansSeparate) {
+  auto model = paper_durations();
+  Rng rng(3);
+  RunningStats short_stats;
+  RunningStats long_stats;
+  for (int i = 0; i < 200000; ++i) {
+    const auto s = model->sample(rng);
+    (s.member_class == MemberClass::kShort ? short_stats : long_stats).add(s.duration);
+  }
+  EXPECT_NEAR(short_stats.mean(), 180.0, 5.0);
+  EXPECT_NEAR(long_stats.mean(), 10800.0, 300.0);
+}
+
+TEST(DurationModel, ResidualWeightsByLittlesLaw) {
+  // In steady state the share of *present* short-class members is
+  // alpha*Ms / (alpha*Ms + (1-alpha)*Ml) = 144 / 2304 = 0.0625.
+  auto model = paper_durations();
+  Rng rng(4);
+  int short_count = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i)
+    if (model->sample_residual(rng).member_class == MemberClass::kShort) ++short_count;
+  EXPECT_NEAR(static_cast<double>(short_count) / trials, 0.0625, 0.005);
+}
+
+TEST(DurationModel, ZipfIsSkewedLikeMbone) {
+  // Almeroth-Ammar: mean in hours, median in minutes.
+  ZipfDuration model(60.0, 10000, 1.2, 3600.0);
+  Rng rng(5);
+  Histogram hist(0.0, 600000.0, 10000);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const auto s = model.sample(rng);
+    hist.add(s.duration);
+    stats.add(s.duration);
+  }
+  EXPECT_GT(stats.mean(), 10.0 * hist.quantile(0.5));  // heavy tail
+  EXPECT_NEAR(stats.mean(), model.population_mean(), model.population_mean() * 0.1);
+}
+
+// ------------------------------------------------------ loss assignment ----
+
+TEST(LossAssignment, TwoPointRates) {
+  TwoPointLoss loss(0.02, 0.20, 0.3);
+  Rng rng(6);
+  int high = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const double p = loss.assign(rng);
+    EXPECT_TRUE(p == 0.02 || p == 0.20);
+    if (p == 0.20) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / trials, 0.3, 0.01);
+  EXPECT_NEAR(loss.mean(), 0.3 * 0.20 + 0.7 * 0.02, 1e-12);
+}
+
+TEST(LossAssignment, DiscreteDistribution) {
+  DiscreteLoss loss({{0.01, 1.0}, {0.05, 2.0}, {0.25, 1.0}});
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(loss.assign(rng));
+  EXPECT_NEAR(stats.mean(), loss.mean(), 0.002);
+  EXPECT_NEAR(loss.mean(), (0.01 + 2 * 0.05 + 0.25) / 4.0, 1e-12);
+}
+
+// ---------------------------------------------------------- membership ----
+
+TEST(Membership, ArrivalRateFollowsLittlesLaw) {
+  auto durations = paper_durations();
+  auto losses = std::make_shared<UniformLoss>(0.02);
+  MembershipGenerator gen(durations, losses, 10000, Rng(8));
+  // lambda = N / E[T] = 10000 / 2304.
+  EXPECT_NEAR(gen.arrival_rate(), 10000.0 / 2304.0, 1e-9);
+}
+
+TEST(Membership, BootstrapPopulatesTargetSize) {
+  auto gen = MembershipGenerator(paper_durations(), std::make_shared<UniformLoss>(0.0),
+                                 5000, Rng(9));
+  const auto members = gen.bootstrap();
+  EXPECT_EQ(members.size(), 5000u);
+  for (const auto& m : members) {
+    EXPECT_DOUBLE_EQ(m.join_time, 0.0);
+    EXPECT_GT(m.duration, 0.0);
+  }
+}
+
+TEST(Membership, JoinTimesAreMonotone) {
+  auto gen = MembershipGenerator(paper_durations(), std::make_shared<UniformLoss>(0.0),
+                                 1000, Rng(10));
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto m = gen.next_join();
+    EXPECT_GE(m.join_time, last);
+    last = m.join_time;
+  }
+}
+
+// --------------------------------------------------------------- trace ----
+
+TEST(Trace, SteadyStateChurnBalances) {
+  auto gen = MembershipGenerator(paper_durations(), std::make_shared<UniformLoss>(0.0),
+                                 20000, Rng(11));
+  const auto trace = MembershipTrace::generate(gen, 60.0, 100);
+  ASSERT_EQ(trace.epochs().size(), 100u);
+
+  // Expected joins per 60 s epoch: lambda * Tp = 20000/2304 * 60 = 520.8.
+  EXPECT_NEAR(trace.mean_joins_per_epoch(), 520.8, 40.0);
+  // In steady state leaves track joins.
+  EXPECT_NEAR(trace.mean_leaves_per_epoch(), trace.mean_joins_per_epoch(),
+              0.15 * trace.mean_joins_per_epoch());
+}
+
+TEST(Trace, LeavesOnlyForKnownMembers) {
+  auto gen = MembershipGenerator(paper_durations(), std::make_shared<UniformLoss>(0.0),
+                                 500, Rng(12));
+  const auto trace = MembershipTrace::generate(gen, 60.0, 50);
+  for (const auto& epoch : trace.epochs())
+    for (const auto id : epoch.leaves)
+      EXPECT_NO_THROW((void)trace.profile(id));
+}
+
+TEST(Trace, EpochBoundariesRespected) {
+  auto gen = MembershipGenerator(paper_durations(), std::make_shared<UniformLoss>(0.0),
+                                 2000, Rng(13));
+  const auto trace = MembershipTrace::generate(gen, 30.0, 40);
+  for (const auto& epoch : trace.epochs()) {
+    for (const auto& join : epoch.joins) {
+      EXPECT_LE(join.join_time, epoch.period_end);
+      EXPECT_GT(join.join_time, epoch.period_end - 30.0);
+    }
+    for (const auto id : epoch.leaves) {
+      const auto& profile = trace.profile(id);
+      EXPECT_LE(profile.departure_time(), epoch.period_end);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  auto gen = MembershipGenerator(paper_durations(),
+                                 std::make_shared<TwoPointLoss>(0.02, 0.2, 0.3), 200,
+                                 Rng(21));
+  const auto original = MembershipTrace::generate(gen, 45.0, 12);
+
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  const auto restored = read_trace_csv(buffer);
+
+  EXPECT_DOUBLE_EQ(restored.rekey_period(), original.rekey_period());
+  ASSERT_EQ(restored.initial_members().size(), original.initial_members().size());
+  ASSERT_EQ(restored.epochs().size(), original.epochs().size());
+  for (std::size_t e = 0; e < original.epochs().size(); ++e) {
+    const auto& a = original.epochs()[e];
+    const auto& b = restored.epochs()[e];
+    ASSERT_EQ(a.joins.size(), b.joins.size()) << "epoch " << e;
+    ASSERT_EQ(a.leaves.size(), b.leaves.size()) << "epoch " << e;
+    for (std::size_t j = 0; j < a.joins.size(); ++j) {
+      EXPECT_EQ(a.joins[j].id, b.joins[j].id);
+      EXPECT_EQ(a.joins[j].member_class, b.joins[j].member_class);
+      EXPECT_DOUBLE_EQ(a.joins[j].join_time, b.joins[j].join_time);
+      EXPECT_DOUBLE_EQ(a.joins[j].duration, b.joins[j].duration);
+      EXPECT_DOUBLE_EQ(a.joins[j].loss_rate, b.joins[j].loss_rate);
+    }
+    for (std::size_t l = 0; l < a.leaves.size(); ++l)
+      EXPECT_EQ(a.leaves[l], b.leaves[l]);
+  }
+  // Profiles survive too.
+  const auto id = original.epochs().front().joins.empty()
+                      ? original.initial_members().front().id
+                      : original.epochs().front().joins.front().id;
+  EXPECT_DOUBLE_EQ(restored.profile(id).duration, original.profile(id).duration);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream empty;
+    EXPECT_THROW((void)read_trace_csv(empty), ContractViolation);
+  }
+  {
+    std::stringstream bad_header("hello\nworld\n");
+    EXPECT_THROW((void)read_trace_csv(bad_header), ContractViolation);
+  }
+  {
+    std::stringstream bad_row(
+        "# rekey_period=60 epochs=1\nkind,epoch,member,class,join_time,duration,"
+        "loss_rate\njoin,0,1,short\n");
+    EXPECT_THROW((void)read_trace_csv(bad_row), ContractViolation);
+  }
+  {
+    std::stringstream bad_epoch(
+        "# rekey_period=60 epochs=1\nkind,epoch,member,class,join_time,duration,"
+        "loss_rate\njoin,5,1,short,0,10,0\n");
+    EXPECT_THROW((void)read_trace_csv(bad_epoch), ContractViolation);
+  }
+  {
+    std::stringstream unknown_leave(
+        "# rekey_period=60 epochs=1\nkind,epoch,member,class,join_time,duration,"
+        "loss_rate\nleave,0,99,short,0,0,0\n");
+    EXPECT_THROW((void)read_trace_csv(unknown_leave), ContractViolation);
+  }
+}
+
+TEST(Trace, DeterministicForSameSeed) {
+  auto make = [] {
+    auto gen = MembershipGenerator(paper_durations(),
+                                   std::make_shared<UniformLoss>(0.0), 300, Rng(77));
+    return MembershipTrace::generate(gen, 60.0, 20);
+  };
+  const auto a = make();
+  const auto b = make();
+  ASSERT_EQ(a.epochs().size(), b.epochs().size());
+  for (std::size_t e = 0; e < a.epochs().size(); ++e) {
+    EXPECT_EQ(a.epochs()[e].joins.size(), b.epochs()[e].joins.size());
+    EXPECT_EQ(a.epochs()[e].leaves.size(), b.epochs()[e].leaves.size());
+  }
+}
+
+}  // namespace
+}  // namespace gk::workload
