@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_speriod.dir/bench_fig3_speriod.cpp.o"
+  "CMakeFiles/bench_fig3_speriod.dir/bench_fig3_speriod.cpp.o.d"
+  "bench_fig3_speriod"
+  "bench_fig3_speriod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_speriod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

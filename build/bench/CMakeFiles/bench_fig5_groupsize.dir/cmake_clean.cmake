@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_groupsize.dir/bench_fig5_groupsize.cpp.o"
+  "CMakeFiles/bench_fig5_groupsize.dir/bench_fig5_groupsize.cpp.o.d"
+  "bench_fig5_groupsize"
+  "bench_fig5_groupsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groupsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

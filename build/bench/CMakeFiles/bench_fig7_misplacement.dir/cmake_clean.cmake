@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_misplacement.dir/bench_fig7_misplacement.cpp.o"
+  "CMakeFiles/bench_fig7_misplacement.dir/bench_fig7_misplacement.cpp.o.d"
+  "bench_fig7_misplacement"
+  "bench_fig7_misplacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_misplacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

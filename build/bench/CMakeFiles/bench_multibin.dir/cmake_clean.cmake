@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multibin.dir/bench_multibin.cpp.o"
+  "CMakeFiles/bench_multibin.dir/bench_multibin.cpp.o.d"
+  "bench_multibin"
+  "bench_multibin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_receiver_fairness.dir/bench_receiver_fairness.cpp.o"
+  "CMakeFiles/bench_receiver_fairness.dir/bench_receiver_fairness.cpp.o.d"
+  "bench_receiver_fairness"
+  "bench_receiver_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_receiver_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

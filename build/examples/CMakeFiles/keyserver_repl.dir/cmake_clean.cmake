@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyserver_repl.dir/keyserver_repl.cpp.o"
+  "CMakeFiles/keyserver_repl.dir/keyserver_repl.cpp.o.d"
+  "keyserver_repl"
+  "keyserver_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyserver_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

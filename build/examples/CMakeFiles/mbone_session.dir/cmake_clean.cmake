@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbone_session.dir/mbone_session.cpp.o"
+  "CMakeFiles/mbone_session.dir/mbone_session.cpp.o.d"
+  "mbone_session"
+  "mbone_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbone_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pay_per_view.dir/pay_per_view.cpp.o"
+  "CMakeFiles/pay_per_view.dir/pay_per_view.cpp.o.d"
+  "pay_per_view"
+  "pay_per_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pay_per_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_stream.dir/secure_stream.cpp.o"
+  "CMakeFiles/secure_stream.dir/secure_stream.cpp.o.d"
+  "secure_stream"
+  "secure_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

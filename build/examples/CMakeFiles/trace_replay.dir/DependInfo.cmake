@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_replay.cpp" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o" "gcc" "examples/CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/gk_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/oft/CMakeFiles/gk_oft.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/gk_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gk_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/gk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gk_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/losshomo/CMakeFiles/gk_losshomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/elk/CMakeFiles/gk_elk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

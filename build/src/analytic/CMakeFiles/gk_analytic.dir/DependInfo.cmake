@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/batch_cost.cpp" "src/analytic/CMakeFiles/gk_analytic.dir/batch_cost.cpp.o" "gcc" "src/analytic/CMakeFiles/gk_analytic.dir/batch_cost.cpp.o.d"
+  "/root/repo/src/analytic/fec_model.cpp" "src/analytic/CMakeFiles/gk_analytic.dir/fec_model.cpp.o" "gcc" "src/analytic/CMakeFiles/gk_analytic.dir/fec_model.cpp.o.d"
+  "/root/repo/src/analytic/multisend_model.cpp" "src/analytic/CMakeFiles/gk_analytic.dir/multisend_model.cpp.o" "gcc" "src/analytic/CMakeFiles/gk_analytic.dir/multisend_model.cpp.o.d"
+  "/root/repo/src/analytic/two_partition_model.cpp" "src/analytic/CMakeFiles/gk_analytic.dir/two_partition_model.cpp.o" "gcc" "src/analytic/CMakeFiles/gk_analytic.dir/two_partition_model.cpp.o.d"
+  "/root/repo/src/analytic/wka_bkr_model.cpp" "src/analytic/CMakeFiles/gk_analytic.dir/wka_bkr_model.cpp.o" "gcc" "src/analytic/CMakeFiles/gk_analytic.dir/wka_bkr_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_analytic.dir/batch_cost.cpp.o"
+  "CMakeFiles/gk_analytic.dir/batch_cost.cpp.o.d"
+  "CMakeFiles/gk_analytic.dir/fec_model.cpp.o"
+  "CMakeFiles/gk_analytic.dir/fec_model.cpp.o.d"
+  "CMakeFiles/gk_analytic.dir/multisend_model.cpp.o"
+  "CMakeFiles/gk_analytic.dir/multisend_model.cpp.o.d"
+  "CMakeFiles/gk_analytic.dir/two_partition_model.cpp.o"
+  "CMakeFiles/gk_analytic.dir/two_partition_model.cpp.o.d"
+  "CMakeFiles/gk_analytic.dir/wka_bkr_model.cpp.o"
+  "CMakeFiles/gk_analytic.dir/wka_bkr_model.cpp.o.d"
+  "libgk_analytic.a"
+  "libgk_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

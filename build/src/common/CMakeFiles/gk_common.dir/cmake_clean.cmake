@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_common.dir/math.cpp.o"
+  "CMakeFiles/gk_common.dir/math.cpp.o.d"
+  "CMakeFiles/gk_common.dir/rng.cpp.o"
+  "CMakeFiles/gk_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gk_common.dir/stats.cpp.o"
+  "CMakeFiles/gk_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gk_common.dir/table.cpp.o"
+  "CMakeFiles/gk_common.dir/table.cpp.o.d"
+  "libgk_common.a"
+  "libgk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/gk_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/gk_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/gk_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/gk_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/gk_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/gk_crypto.dir/key.cpp.o"
+  "CMakeFiles/gk_crypto.dir/key.cpp.o.d"
+  "CMakeFiles/gk_crypto.dir/keywrap.cpp.o"
+  "CMakeFiles/gk_crypto.dir/keywrap.cpp.o.d"
+  "CMakeFiles/gk_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/gk_crypto.dir/sha256.cpp.o.d"
+  "libgk_crypto.a"
+  "libgk_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

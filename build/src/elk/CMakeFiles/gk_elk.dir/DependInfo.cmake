@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elk/elk_member.cpp" "src/elk/CMakeFiles/gk_elk.dir/elk_member.cpp.o" "gcc" "src/elk/CMakeFiles/gk_elk.dir/elk_member.cpp.o.d"
+  "/root/repo/src/elk/elk_tree.cpp" "src/elk/CMakeFiles/gk_elk.dir/elk_tree.cpp.o" "gcc" "src/elk/CMakeFiles/gk_elk.dir/elk_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/gk_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

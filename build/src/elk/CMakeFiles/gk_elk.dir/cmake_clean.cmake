@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_elk.dir/elk_member.cpp.o"
+  "CMakeFiles/gk_elk.dir/elk_member.cpp.o.d"
+  "CMakeFiles/gk_elk.dir/elk_tree.cpp.o"
+  "CMakeFiles/gk_elk.dir/elk_tree.cpp.o.d"
+  "libgk_elk.a"
+  "libgk_elk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_elk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lkh/key_queue.cpp" "src/lkh/CMakeFiles/gk_lkh.dir/key_queue.cpp.o" "gcc" "src/lkh/CMakeFiles/gk_lkh.dir/key_queue.cpp.o.d"
+  "/root/repo/src/lkh/key_ring.cpp" "src/lkh/CMakeFiles/gk_lkh.dir/key_ring.cpp.o" "gcc" "src/lkh/CMakeFiles/gk_lkh.dir/key_ring.cpp.o.d"
+  "/root/repo/src/lkh/key_tree.cpp" "src/lkh/CMakeFiles/gk_lkh.dir/key_tree.cpp.o" "gcc" "src/lkh/CMakeFiles/gk_lkh.dir/key_tree.cpp.o.d"
+  "/root/repo/src/lkh/rekey_message.cpp" "src/lkh/CMakeFiles/gk_lkh.dir/rekey_message.cpp.o" "gcc" "src/lkh/CMakeFiles/gk_lkh.dir/rekey_message.cpp.o.d"
+  "/root/repo/src/lkh/snapshot.cpp" "src/lkh/CMakeFiles/gk_lkh.dir/snapshot.cpp.o" "gcc" "src/lkh/CMakeFiles/gk_lkh.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_lkh.dir/key_queue.cpp.o"
+  "CMakeFiles/gk_lkh.dir/key_queue.cpp.o.d"
+  "CMakeFiles/gk_lkh.dir/key_ring.cpp.o"
+  "CMakeFiles/gk_lkh.dir/key_ring.cpp.o.d"
+  "CMakeFiles/gk_lkh.dir/key_tree.cpp.o"
+  "CMakeFiles/gk_lkh.dir/key_tree.cpp.o.d"
+  "CMakeFiles/gk_lkh.dir/rekey_message.cpp.o"
+  "CMakeFiles/gk_lkh.dir/rekey_message.cpp.o.d"
+  "CMakeFiles/gk_lkh.dir/snapshot.cpp.o"
+  "CMakeFiles/gk_lkh.dir/snapshot.cpp.o.d"
+  "libgk_lkh.a"
+  "libgk_lkh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_lkh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

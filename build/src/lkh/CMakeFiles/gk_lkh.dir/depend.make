@@ -1,0 +1,2 @@
+# Empty dependencies file for gk_lkh.
+# This may be replaced when dependencies are built.

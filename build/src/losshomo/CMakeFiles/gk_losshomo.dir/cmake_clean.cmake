@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_losshomo.dir/multi_tree_server.cpp.o"
+  "CMakeFiles/gk_losshomo.dir/multi_tree_server.cpp.o.d"
+  "libgk_losshomo.a"
+  "libgk_losshomo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_losshomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

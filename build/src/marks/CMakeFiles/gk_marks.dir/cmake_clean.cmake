@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_marks.dir/seed_tree.cpp.o"
+  "CMakeFiles/gk_marks.dir/seed_tree.cpp.o.d"
+  "libgk_marks.a"
+  "libgk_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

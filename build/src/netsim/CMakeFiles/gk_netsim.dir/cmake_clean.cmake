@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_netsim.dir/receiver.cpp.o"
+  "CMakeFiles/gk_netsim.dir/receiver.cpp.o.d"
+  "libgk_netsim.a"
+  "libgk_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_oft.dir/oft_member.cpp.o"
+  "CMakeFiles/gk_oft.dir/oft_member.cpp.o.d"
+  "CMakeFiles/gk_oft.dir/oft_tree.cpp.o"
+  "CMakeFiles/gk_oft.dir/oft_tree.cpp.o.d"
+  "libgk_oft.a"
+  "libgk_oft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_oft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/adaptive.cpp" "src/partition/CMakeFiles/gk_partition.dir/adaptive.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/adaptive.cpp.o.d"
+  "/root/repo/src/partition/elk_tt_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/elk_tt_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/elk_tt_server.cpp.o.d"
+  "/root/repo/src/partition/factory.cpp" "src/partition/CMakeFiles/gk_partition.dir/factory.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/factory.cpp.o.d"
+  "/root/repo/src/partition/group_key.cpp" "src/partition/CMakeFiles/gk_partition.dir/group_key.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/group_key.cpp.o.d"
+  "/root/repo/src/partition/oft_tt_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/oft_tt_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/oft_tt_server.cpp.o.d"
+  "/root/repo/src/partition/one_keytree_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/one_keytree_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/one_keytree_server.cpp.o.d"
+  "/root/repo/src/partition/pt_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/pt_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/pt_server.cpp.o.d"
+  "/root/repo/src/partition/qt_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/qt_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/qt_server.cpp.o.d"
+  "/root/repo/src/partition/tt_server.cpp" "src/partition/CMakeFiles/gk_partition.dir/tt_server.cpp.o" "gcc" "src/partition/CMakeFiles/gk_partition.dir/tt_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/gk_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/oft/CMakeFiles/gk_oft.dir/DependInfo.cmake"
+  "/root/repo/build/src/elk/CMakeFiles/gk_elk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/gk_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

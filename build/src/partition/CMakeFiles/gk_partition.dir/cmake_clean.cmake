@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_partition.dir/adaptive.cpp.o"
+  "CMakeFiles/gk_partition.dir/adaptive.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/elk_tt_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/elk_tt_server.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/factory.cpp.o"
+  "CMakeFiles/gk_partition.dir/factory.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/group_key.cpp.o"
+  "CMakeFiles/gk_partition.dir/group_key.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/oft_tt_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/oft_tt_server.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/one_keytree_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/one_keytree_server.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/pt_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/pt_server.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/qt_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/qt_server.cpp.o.d"
+  "CMakeFiles/gk_partition.dir/tt_server.cpp.o"
+  "CMakeFiles/gk_partition.dir/tt_server.cpp.o.d"
+  "libgk_partition.a"
+  "libgk_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_sim.dir/interest.cpp.o"
+  "CMakeFiles/gk_sim.dir/interest.cpp.o.d"
+  "CMakeFiles/gk_sim.dir/partition_sim.cpp.o"
+  "CMakeFiles/gk_sim.dir/partition_sim.cpp.o.d"
+  "CMakeFiles/gk_sim.dir/transport_sim.cpp.o"
+  "CMakeFiles/gk_sim.dir/transport_sim.cpp.o.d"
+  "libgk_sim.a"
+  "libgk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/fec.cpp" "src/transport/CMakeFiles/gk_transport.dir/fec.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/fec.cpp.o.d"
+  "/root/repo/src/transport/gf256.cpp" "src/transport/CMakeFiles/gk_transport.dir/gf256.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/gf256.cpp.o.d"
+  "/root/repo/src/transport/multisend.cpp" "src/transport/CMakeFiles/gk_transport.dir/multisend.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/multisend.cpp.o.d"
+  "/root/repo/src/transport/packet.cpp" "src/transport/CMakeFiles/gk_transport.dir/packet.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/packet.cpp.o.d"
+  "/root/repo/src/transport/rs_code.cpp" "src/transport/CMakeFiles/gk_transport.dir/rs_code.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/rs_code.cpp.o.d"
+  "/root/repo/src/transport/wka_bkr.cpp" "src/transport/CMakeFiles/gk_transport.dir/wka_bkr.cpp.o" "gcc" "src/transport/CMakeFiles/gk_transport.dir/wka_bkr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/gk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/gk_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_transport.dir/fec.cpp.o"
+  "CMakeFiles/gk_transport.dir/fec.cpp.o.d"
+  "CMakeFiles/gk_transport.dir/gf256.cpp.o"
+  "CMakeFiles/gk_transport.dir/gf256.cpp.o.d"
+  "CMakeFiles/gk_transport.dir/multisend.cpp.o"
+  "CMakeFiles/gk_transport.dir/multisend.cpp.o.d"
+  "CMakeFiles/gk_transport.dir/packet.cpp.o"
+  "CMakeFiles/gk_transport.dir/packet.cpp.o.d"
+  "CMakeFiles/gk_transport.dir/rs_code.cpp.o"
+  "CMakeFiles/gk_transport.dir/rs_code.cpp.o.d"
+  "CMakeFiles/gk_transport.dir/wka_bkr.cpp.o"
+  "CMakeFiles/gk_transport.dir/wka_bkr.cpp.o.d"
+  "libgk_transport.a"
+  "libgk_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_workload.dir/duration_model.cpp.o"
+  "CMakeFiles/gk_workload.dir/duration_model.cpp.o.d"
+  "CMakeFiles/gk_workload.dir/loss_assignment.cpp.o"
+  "CMakeFiles/gk_workload.dir/loss_assignment.cpp.o.d"
+  "CMakeFiles/gk_workload.dir/membership.cpp.o"
+  "CMakeFiles/gk_workload.dir/membership.cpp.o.d"
+  "CMakeFiles/gk_workload.dir/trace.cpp.o"
+  "CMakeFiles/gk_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/gk_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/gk_workload.dir/trace_io.cpp.o.d"
+  "libgk_workload.a"
+  "libgk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elk_partition_test.dir/elk_partition_test.cpp.o"
+  "CMakeFiles/elk_partition_test.dir/elk_partition_test.cpp.o.d"
+  "elk_partition_test"
+  "elk_partition_test.pdb"
+  "elk_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elk_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

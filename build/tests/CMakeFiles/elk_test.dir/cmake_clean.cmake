@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elk_test.dir/elk_test.cpp.o"
+  "CMakeFiles/elk_test.dir/elk_test.cpp.o.d"
+  "elk_test"
+  "elk_test.pdb"
+  "elk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

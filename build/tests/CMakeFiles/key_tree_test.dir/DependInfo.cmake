@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/key_tree_test.cpp" "tests/CMakeFiles/key_tree_test.dir/key_tree_test.cpp.o" "gcc" "tests/CMakeFiles/key_tree_test.dir/key_tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/gk_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/oft/CMakeFiles/gk_oft.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/gk_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gk_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/gk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gk_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/losshomo/CMakeFiles/gk_losshomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marks/CMakeFiles/gk_marks.dir/DependInfo.cmake"
+  "/root/repo/build/src/elk/CMakeFiles/gk_elk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

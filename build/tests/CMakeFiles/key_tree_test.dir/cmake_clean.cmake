@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_tree_test.dir/key_tree_test.cpp.o"
+  "CMakeFiles/key_tree_test.dir/key_tree_test.cpp.o.d"
+  "key_tree_test"
+  "key_tree_test.pdb"
+  "key_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

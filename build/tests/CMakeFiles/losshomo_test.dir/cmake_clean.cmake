@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/losshomo_test.dir/losshomo_test.cpp.o"
+  "CMakeFiles/losshomo_test.dir/losshomo_test.cpp.o.d"
+  "losshomo_test"
+  "losshomo_test.pdb"
+  "losshomo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/losshomo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

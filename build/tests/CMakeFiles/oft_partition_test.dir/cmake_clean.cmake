@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oft_partition_test.dir/oft_partition_test.cpp.o"
+  "CMakeFiles/oft_partition_test.dir/oft_partition_test.cpp.o.d"
+  "oft_partition_test"
+  "oft_partition_test.pdb"
+  "oft_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oft_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

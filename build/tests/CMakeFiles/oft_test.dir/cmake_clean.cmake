@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oft_test.dir/oft_test.cpp.o"
+  "CMakeFiles/oft_test.dir/oft_test.cpp.o.d"
+  "oft_test"
+  "oft_test.pdb"
+  "oft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
