@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace gk::common {
+
+/// Append-only little-endian byte sink shared by every persistence format in
+/// the library (key-tree snapshots, the rekey journal, server state blobs).
+/// Formats built on it stay trivially diffable across subsystems.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// IEEE-754 bit pattern; exact round-trip, no locale/format concerns.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed blob (u64 length + raw bytes).
+  void blob(std::span<const std::uint8_t> data) {
+    u64(data.size());
+    bytes(data);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reader over a serialized byte span. Every
+/// overrun throws ContractViolation ("truncated"), so corrupt or cut-short
+/// journals and snapshots fail loudly instead of yielding garbage state.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[offset_++];
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t count) {
+    require(count);
+    auto view = bytes_.subspan(offset_, count);
+    offset_ += count;
+    return view;
+  }
+
+  /// Length-prefixed blob written by ByteWriter::blob.
+  std::span<const std::uint8_t> blob() {
+    const auto length = u64();
+    GK_ENSURE_MSG(length <= remaining(), "serialized blob truncated");
+    return bytes(static_cast<std::size_t>(length));
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - offset_; }
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t count) const {
+    GK_ENSURE_MSG(offset_ + count <= bytes_.size(), "serialized data truncated");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace gk::common

@@ -58,6 +58,14 @@ class Rng {
   /// Derive an independent child stream (for per-member / per-tree streams).
   Rng fork() noexcept;
 
+  /// The engine's complete internal state. Persisting it (and restoring with
+  /// restore_state) makes every future draw of the stream reproducible —
+  /// the property the rekey journal relies on for byte-identical crash
+  /// recovery.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State save_state() const noexcept { return state_; }
+  void restore_state(const State& state) noexcept { state_ = state; }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

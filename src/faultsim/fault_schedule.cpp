@@ -1,0 +1,72 @@
+#include "faultsim/fault_schedule.h"
+
+#include "common/ensure.h"
+
+namespace gk::faultsim {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing so adjacent epochs/members
+// land on uncorrelated points of [0, 1).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Per-decision streams, so e.g. "drop" and "duplicate" never correlate.
+enum Stream : std::uint64_t {
+  kServerCrash = 1,
+  kDrop = 2,
+  kDuplicate = 3,
+  kReorder = 4,
+  kMemberCrash = 5,
+  kRejoinDelay = 6,
+};
+
+}  // namespace
+
+double FaultSchedule::unit(std::uint64_t stream, std::uint64_t epoch,
+                           std::uint64_t entity) const noexcept {
+  std::uint64_t h = mix(config_.seed ^ mix(stream));
+  h = mix(h ^ mix(epoch));
+  h = mix(h ^ mix(entity));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultSchedule::server_crashes(std::uint64_t epoch) const {
+  return unit(kServerCrash, epoch, 0) < config_.server_crash;
+}
+
+bool FaultSchedule::message_dropped(std::uint64_t epoch,
+                                    workload::MemberId member) const {
+  return unit(kDrop, epoch, workload::raw(member)) < config_.message_drop;
+}
+
+bool FaultSchedule::message_duplicated(std::uint64_t epoch,
+                                       workload::MemberId member) const {
+  return unit(kDuplicate, epoch, workload::raw(member)) < config_.message_duplicate;
+}
+
+bool FaultSchedule::message_reordered(std::uint64_t epoch,
+                                      workload::MemberId member) const {
+  return unit(kReorder, epoch, workload::raw(member)) < config_.message_reorder;
+}
+
+bool FaultSchedule::member_crashes(std::uint64_t epoch,
+                                   workload::MemberId member) const {
+  return unit(kMemberCrash, epoch, workload::raw(member)) < config_.member_crash;
+}
+
+std::uint64_t FaultSchedule::rejoin_delay(std::uint64_t epoch,
+                                          workload::MemberId member) const {
+  GK_ENSURE(config_.min_rejoin_delay >= 1 &&
+            config_.max_rejoin_delay >= config_.min_rejoin_delay);
+  const auto span = config_.max_rejoin_delay - config_.min_rejoin_delay + 1;
+  const auto draw = static_cast<std::uint64_t>(
+      unit(kRejoinDelay, epoch, workload::raw(member)) * static_cast<double>(span));
+  return config_.min_rejoin_delay + (draw >= span ? span - 1 : draw);
+}
+
+}  // namespace gk::faultsim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "workload/member.h"
+
+namespace gk::faultsim {
+
+/// Probabilities and seed for one deterministic fault schedule. All
+/// probabilities are per-epoch (server) or per-epoch-per-member (the rest).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  /// P(the key server crashes mid-commit this epoch).
+  double server_crash = 0.0;
+  /// P(a member's copy of the epoch's rekey message is lost entirely).
+  double message_drop = 0.0;
+  /// P(a member receives the rekey message twice).
+  double message_duplicate = 0.0;
+  /// P(a member receives the rekey message with its wraps reordered).
+  double message_reorder = 0.0;
+  /// P(a member crashes this epoch, losing all key state but its
+  /// registration key, and rejoins after a delay).
+  double member_crash = 0.0;
+  /// Crash-to-rejoin delay is uniform in [min, max] epochs.
+  std::uint64_t min_rejoin_delay = 1;
+  std::uint64_t max_rejoin_delay = 3;
+};
+
+/// Seed-driven fault oracle. Every decision is a pure hash of
+/// (seed, stream, epoch, member) — no internal RNG stream — so answers are
+/// independent of query order and of how many other members exist. Two runs
+/// with the same seed see the exact same faults at the same points even if
+/// one of them crashes and recovers between queries, which is what makes
+/// crash-recovery determinism testable at all.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] bool server_crashes(std::uint64_t epoch) const;
+  [[nodiscard]] bool message_dropped(std::uint64_t epoch,
+                                     workload::MemberId member) const;
+  [[nodiscard]] bool message_duplicated(std::uint64_t epoch,
+                                        workload::MemberId member) const;
+  [[nodiscard]] bool message_reordered(std::uint64_t epoch,
+                                       workload::MemberId member) const;
+  [[nodiscard]] bool member_crashes(std::uint64_t epoch,
+                                    workload::MemberId member) const;
+  /// Epochs until a member crashed at `epoch` rejoins (>= min_rejoin_delay).
+  [[nodiscard]] std::uint64_t rejoin_delay(std::uint64_t epoch,
+                                           workload::MemberId member) const;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double unit(std::uint64_t stream, std::uint64_t epoch,
+                            std::uint64_t entity) const noexcept;
+
+  FaultConfig config_;
+};
+
+}  // namespace gk::faultsim

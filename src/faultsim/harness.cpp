@@ -1,0 +1,264 @@
+#include "faultsim/harness.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/ensure.h"
+#include "faultsim/invariants.h"
+#include "lkh/key_ring.h"
+#include "losshomo/homogenized_server.h"
+#include "netsim/receiver.h"
+#include "partition/one_keytree_server.h"
+#include "partition/qt_server.h"
+#include "partition/tt_server.h"
+
+namespace gk::faultsim {
+
+namespace {
+
+/// Harness-side view of one member. The std::map keyed by raw member id
+/// keeps every per-member sweep in deterministic order (an unordered
+/// container here would leak iteration order into RNG consumption).
+struct MemberState {
+  lkh::KeyRing ring;
+  crypto::Key128 individual;
+  crypto::KeyId leaf_id{};
+  netsim::Receiver channel;  // resync unicast path
+  bool synced = true;
+  bool crashed = false;
+  std::uint64_t rejoin_epoch = 0;
+  bool pending_evict = false;
+};
+
+}  // namespace
+
+std::unique_ptr<partition::DurableRekeyServer> make_harness_server(
+    const HarnessConfig& config) {
+  Rng rng(config.seed);
+  switch (config.kind) {
+    case ServerKind::kOneKeyTree:
+      return std::make_unique<partition::OneKeyTreeServer>(config.degree, rng);
+    case ServerKind::kQt:
+      return std::make_unique<partition::QtServer>(config.degree,
+                                                   config.s_period_epochs, rng);
+    case ServerKind::kTt:
+      return std::make_unique<partition::TtServer>(config.degree,
+                                                   config.s_period_epochs, rng);
+    case ServerKind::kLossHomogenized:
+      return std::make_unique<losshomo::HomogenizedServer>(
+          config.degree, config.bins, losshomo::Placement::kLossHomogenized, rng);
+  }
+  GK_ENSURE_MSG(false, "unknown server kind");
+  return nullptr;
+}
+
+HarnessResult run_harness(const HarnessConfig& config) {
+  GK_ENSURE_MSG(config.epochs > 0, "need at least one epoch");
+  const FaultSchedule faults(config.faults);
+  InvariantChecker checker;
+  HarnessResult result;
+
+  // Independent streams: workload decisions, member channel seeds, and
+  // resync wrap nonces must not perturb each other (or the server's own
+  // streams, which live inside the server and its checkpoints).
+  Rng workload_rng(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  Rng channel_rng(config.seed ^ 0x5a5a5a5a5a5a5a5aULL);
+  Rng resync_rng(config.seed ^ 0xc3c3c3c3c3c3c3c3ULL);
+
+  partition::JournaledServer::Config journal_config;
+  journal_config.checkpoint_every = config.checkpoint_every;
+  auto server = std::make_unique<partition::JournaledServer>(
+      make_harness_server(config), journal_config);
+
+  std::map<std::uint64_t, MemberState> members;
+  std::uint64_t next_member = 1;
+
+  auto do_join = [&](std::uint64_t epoch) {
+    workload::MemberProfile profile;
+    profile.id = workload::make_member_id(next_member++);
+    profile.member_class = workload_rng.bernoulli(0.5) ? workload::MemberClass::kShort
+                                                       : workload::MemberClass::kLong;
+    profile.join_time = static_cast<double>(epoch);
+    profile.duration = 1.0 + workload_rng.uniform() * 32.0;
+    profile.loss_rate =
+        std::min(config.member_loss * (0.5 + workload_rng.uniform()), 0.999);
+    const auto registration = server->join(profile);
+    MemberState state{
+        lkh::KeyRing(profile.id, registration.leaf_id, registration.individual_key),
+        registration.individual_key,
+        registration.leaf_id,
+        netsim::Receiver(profile.id, profile.loss_rate, channel_rng.fork())};
+    if (config.check_invariants) checker.note_join(state.ring);
+    members.emplace(workload::raw(profile.id), std::move(state));
+  };
+
+  for (std::uint64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochRecord record;
+    record.epoch = epoch;
+
+    // ---- Evict stragglers whose resync budget ran out last epoch. Their
+    // departure rotates every key they held, so this epoch's commit restores
+    // forward secrecy for whatever they did manage to receive. ----
+    {
+      std::vector<std::uint64_t> evict;
+      for (const auto& [raw_id, state] : members)
+        if (state.pending_evict) evict.push_back(raw_id);
+      for (const auto raw_id : evict) {
+        if (config.check_invariants)
+          checker.note_eviction(members.at(raw_id).ring);
+        server->leave(workload::make_member_id(raw_id));
+        members.erase(raw_id);
+        ++record.stragglers_evicted;
+        ++result.stragglers_evicted;
+      }
+    }
+
+    // ---- Member crash / rejoin faults. A crashed member loses all key
+    // state except its registration key; the server never hears about it
+    // (crash, not leave), so the membership does not change. ----
+    for (auto& [raw_id, state] : members) {
+      const auto id = workload::make_member_id(raw_id);
+      if (!state.crashed && faults.member_crashes(epoch, id)) {
+        state.ring = lkh::KeyRing(id, state.leaf_id, state.individual);
+        state.crashed = true;
+        state.synced = false;
+        state.rejoin_epoch = epoch + faults.rejoin_delay(epoch, id);
+        ++record.member_crashes;
+        ++result.member_crashes;
+      } else if (state.crashed && epoch >= state.rejoin_epoch) {
+        state.crashed = false;  // back up; resynced below, after the commit
+        // The leaf may have migrated while the member was down; rebuild the
+        // ring against the current placement (the registration key and the
+        // new leaf id are what the member re-learns at reconnect).
+        state.ring = lkh::KeyRing(id, state.leaf_id, state.individual);
+        ++record.rejoins;
+        ++result.rejoins;
+      }
+    }
+
+    // ---- Churn. ----
+    if (epoch == 0) {
+      for (std::size_t j = 0; j < config.initial_members; ++j) do_join(epoch);
+    } else {
+      std::vector<std::uint64_t> eligible;
+      for (const auto& [raw_id, state] : members)
+        if (!state.crashed && !state.pending_evict) eligible.push_back(raw_id);
+      const std::size_t leaves =
+          eligible.size() > config.leaves_per_epoch + 2 ? config.leaves_per_epoch : 0;
+      for (std::size_t l = 0; l < leaves; ++l) {
+        const auto pick = workload_rng.uniform_u64(eligible.size());
+        const auto raw_id = eligible[pick];
+        eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (config.check_invariants) checker.note_eviction(members.at(raw_id).ring);
+        server->leave(workload::make_member_id(raw_id));
+        members.erase(raw_id);
+      }
+      for (std::size_t j = 0; j < config.joins_per_epoch; ++j) do_join(epoch);
+    }
+
+    // ---- Commit the epoch, possibly through a crash + journal recovery. ----
+    partition::EpochOutput out;
+    if (faults.server_crashes(epoch)) {
+      server->arm_crash_before_commit();
+      bool crashed = false;
+      try {
+        out = server->end_epoch();
+      } catch (const partition::ServerCrashed&) {
+        crashed = true;
+      }
+      GK_ENSURE_MSG(crashed, "armed crash did not fire");
+      record.server_crashed = true;
+      ++result.server_crashes;
+      const std::vector<std::uint8_t> journal = server->journal_bytes();
+      auto recovery = partition::JournaledServer::recover(
+          journal, make_harness_server(config), journal_config);
+      server = std::move(recovery.server);
+      GK_ENSURE_MSG(recovery.pending.has_value(),
+                    "recovery did not re-run the interrupted epoch");
+      out = std::move(*recovery.pending);
+      ++result.recoveries;
+    } else {
+      out = server->end_epoch();
+    }
+    record.multicast_cost = out.message.cost();
+    result.multicast_key_transmissions += out.message.cost();
+
+    const auto& durable = server->durable();
+
+    // ---- Leaf relocations (partition migration): leaf placement is public
+    // structure information; the member re-registers its unchanged
+    // individual key under the new node id. ----
+    for (auto& [raw_id, state] : members) {
+      const auto leaf = durable.member_leaf_id(workload::make_member_id(raw_id));
+      if (leaf != state.leaf_id) {
+        state.leaf_id = leaf;
+        if (!state.crashed) state.ring.grant(leaf, {state.individual, 0});
+      }
+    }
+
+    // ---- Multicast delivery, with per-member message faults. Reordered
+    // delivery exercises the ring's fixed-point processing; drops leave the
+    // member desynchronized until resync. ----
+    if (config.check_invariants) checker.note_message(out.message);
+    for (auto& [raw_id, state] : members) {
+      if (state.crashed) continue;
+      const auto id = workload::make_member_id(raw_id);
+      if (faults.message_dropped(epoch, id)) {
+        state.synced = false;
+        ++record.messages_dropped;
+        continue;
+      }
+      if (faults.message_reordered(epoch, id)) {
+        auto shuffled = out.message;
+        std::reverse(shuffled.wraps.begin(), shuffled.wraps.end());
+        state.ring.process(shuffled);
+      } else {
+        state.ring.process(out.message);
+      }
+      if (faults.message_duplicated(epoch, id)) state.ring.process(out.message);
+    }
+
+    // ---- Resync: every live member that missed this epoch (drop fault, or
+    // crash-rejoin with a wiped ring) gets a catch-up bundle over its
+    // unicast channel instead of a group-wide rekey. ----
+    for (auto& [raw_id, state] : members) {
+      if (state.crashed || state.synced) continue;
+      const auto id = workload::make_member_id(raw_id);
+      const auto bundle = partition::make_catchup_bundle(durable, id, resync_rng);
+      const auto report = transport::run_resync(bundle, state.channel, config.resync);
+      ++record.resyncs;
+      ++result.resyncs;
+      result.resync_key_transmissions += report.key_transmissions;
+      result.resync_rounds_waited += report.rounds_waited;
+      std::vector<crypto::WrappedKey> received;
+      for (std::size_t w = 0; w < bundle.size(); ++w)
+        if (report.received[w]) received.push_back(bundle[w]);
+      state.ring.process(std::span<const crypto::WrappedKey>(received));
+      if (report.delivered) {
+        state.synced = true;
+      } else {
+        ++result.resyncs_failed;
+        state.pending_evict = true;  // unreachable: evicted next epoch
+      }
+    }
+
+    // ---- Invariants. ----
+    record.group_key = server->group_key();
+    result.group_key_history.push_back(record.group_key);
+    if (config.check_invariants) {
+      std::vector<const lkh::KeyRing*> live;
+      for (const auto& [raw_id, state] : members)
+        if (!state.crashed && state.synced && !state.pending_evict)
+          live.push_back(&state.ring);
+      checker.check_epoch(epoch, server->group_key_id(), record.group_key, live);
+      ++result.invariant_checks;
+    }
+    result.epochs.push_back(std::move(record));
+  }
+
+  result.final_group_size = server->size();
+  return result;
+}
+
+}  // namespace gk::faultsim

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/key.h"
+#include "faultsim/fault_schedule.h"
+#include "partition/journaled_server.h"
+#include "partition/server.h"
+#include "transport/resync.h"
+
+namespace gk::faultsim {
+
+/// Which key-server scheme the harness drives.
+enum class ServerKind : std::uint8_t {
+  kOneKeyTree,
+  kQt,
+  kTt,
+  kLossHomogenized,
+};
+
+/// One fault-injection run: a journaled key server, a churning membership,
+/// a deterministic fault schedule, and the invariant checker.
+struct HarnessConfig {
+  ServerKind kind = ServerKind::kOneKeyTree;
+  unsigned degree = 4;
+  /// S-period for QT/TT (ignored otherwise).
+  unsigned s_period_epochs = 3;
+  /// Loss-rate bin bounds for the loss-homogenized scheme.
+  std::vector<double> bins = {0.05, 1.0};
+
+  std::size_t initial_members = 24;
+  std::size_t joins_per_epoch = 2;
+  std::size_t leaves_per_epoch = 2;
+  std::size_t epochs = 16;
+  /// Mean per-packet loss on each member's resync unicast channel.
+  double member_loss = 0.1;
+
+  std::uint64_t seed = 1;
+  FaultConfig faults;
+  /// Journal compaction cadence (commits between checkpoints).
+  std::size_t checkpoint_every = 4;
+  transport::ResyncConfig resync;
+  bool check_invariants = true;
+};
+
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  crypto::VersionedKey group_key;
+  std::size_t multicast_cost = 0;
+  bool server_crashed = false;
+  std::size_t messages_dropped = 0;
+  std::size_t member_crashes = 0;
+  std::size_t rejoins = 0;
+  std::size_t resyncs = 0;
+  std::size_t stragglers_evicted = 0;
+};
+
+struct HarnessResult {
+  std::vector<EpochRecord> epochs;
+  /// The server's group key after each epoch — the crash-recovery
+  /// determinism property compares these across runs byte for byte.
+  std::vector<crypto::VersionedKey> group_key_history;
+
+  std::size_t server_crashes = 0;
+  std::size_t recoveries = 0;
+  std::size_t member_crashes = 0;
+  std::size_t rejoins = 0;
+  std::size_t resyncs = 0;
+  std::size_t resyncs_failed = 0;
+  std::size_t stragglers_evicted = 0;
+  std::size_t invariant_checks = 0;
+  /// Multicast bandwidth (the paper's metric) and the unicast resync
+  /// traffic, kept separate on purpose.
+  std::size_t multicast_key_transmissions = 0;
+  std::size_t resync_key_transmissions = 0;
+  std::size_t resync_rounds_waited = 0;
+  std::size_t final_group_size = 0;
+};
+
+/// Fresh server of the configured kind, seeded from config.seed. Recovery
+/// uses the same factory for the blank server a journal is replayed into.
+[[nodiscard]] std::unique_ptr<partition::DurableRekeyServer> make_harness_server(
+    const HarnessConfig& config);
+
+/// Drive the full run. Throws gk::ContractViolation if any invariant
+/// breaks or recovery diverges.
+[[nodiscard]] HarnessResult run_harness(const HarnessConfig& config);
+
+}  // namespace gk::faultsim

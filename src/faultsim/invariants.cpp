@@ -1,0 +1,73 @@
+#include "faultsim/invariants.h"
+
+#include "common/ensure.h"
+
+namespace gk::faultsim {
+
+void InvariantChecker::note_message(const lkh::RekeyMessage& message) {
+  messages_.push_back(message);
+}
+
+void InvariantChecker::note_eviction(const lkh::KeyRing& ring) {
+  // Everything multicast up to now was fair game for the member; only
+  // post-eviction messages must keep it out.
+  evicted_.push_back({ring, messages_.size()});
+}
+
+void InvariantChecker::note_join(const lkh::KeyRing& fresh_ring) {
+  probes_.push_back({fresh_ring, messages_.size()});
+}
+
+void InvariantChecker::check_epoch(std::uint64_t epoch, crypto::KeyId group_key_id,
+                                   const crypto::VersionedKey& group_key,
+                                   std::span<const lkh::KeyRing* const> live_rings) {
+  dek_history_.push_back({epoch, group_key_id, group_key});
+
+  // ---- Agreement: every synchronized member holds the exact DEK bytes. ----
+  for (const auto* ring : live_rings) {
+    const auto held = ring->lookup(group_key_id);
+    GK_ENSURE_MSG(held.has_value(),
+                  "invariant violated (agreement): member "
+                      << workload::raw(ring->owner()) << " has no group key at epoch "
+                      << epoch);
+    GK_ENSURE_MSG(held->version == group_key.version && held->key == group_key.key,
+                  "invariant violated (agreement): member "
+                      << workload::raw(ring->owner())
+                      << " holds a different group key at epoch " << epoch);
+  }
+
+  // ---- Forward secrecy: evicted rings + all post-eviction multicasts
+  // never reach the current DEK. ----
+  for (auto& archived : evicted_) {
+    for (; archived.replayed < messages_.size(); ++archived.replayed)
+      archived.ring.process(messages_[archived.replayed]);
+    const auto derived = archived.ring.lookup(group_key_id);
+    GK_ENSURE_MSG(!(derived.has_value() && derived->version == group_key.version &&
+                    derived->key == group_key.key),
+                  "invariant violated (forward secrecy): evicted member "
+                      << workload::raw(archived.ring.owner())
+                      << " derived the group key of epoch " << epoch);
+  }
+
+  // ---- Backward secrecy: registration-time state + all pre-join
+  // multicasts never reach any pre-join group key. ----
+  for (auto& probe : probes_) {
+    for (std::size_t m = 0; m < probe.pre_join_messages; ++m)
+      probe.ring.process(messages_[m]);
+    for (const auto& record : dek_history_) {
+      const auto derived = probe.ring.lookup(record.id);
+      GK_ENSURE_MSG(!(derived.has_value() && derived->version == record.key.version &&
+                      derived->key == record.key.key),
+                    "invariant violated (backward secrecy): member "
+                        << workload::raw(probe.ring.owner())
+                        << " derived the pre-join group key of epoch "
+                        << record.epoch);
+    }
+    ++probes_run_;
+  }
+  probes_.clear();
+
+  ++checks_run_;
+}
+
+}  // namespace gk::faultsim

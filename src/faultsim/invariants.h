@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/key.h"
+#include "lkh/key_ring.h"
+#include "lkh/rekey_message.h"
+
+namespace gk::faultsim {
+
+/// Group-key security invariant checker. Sits beside the fault harness and
+/// asserts, after every epoch, the three properties a group key management
+/// scheme exists to provide — under faults, crashes, and recoveries:
+///
+///  * Agreement: every live, synchronized member derives exactly the
+///    server's current group key (byte comparison, not just version).
+///  * Forward secrecy: an evicted member, replaying every multicast sent
+///    after its eviction against its archived key ring, can never derive
+///    the current group key.
+///  * Backward secrecy: a member's registration-time key state, replaying
+///    every multicast sent *before* it joined, can never derive any group
+///    key that was current before its join.
+///
+/// Violations throw common::ContractViolation (via GK_ENSURE), so any sweep
+/// or property test fails loudly at the first broken epoch.
+class InvariantChecker {
+ public:
+  /// Record one multicast rekey message, in the order the group saw them.
+  /// Re-delivered recovery output must be recorded exactly once.
+  void note_message(const lkh::RekeyMessage& message);
+
+  /// Archive a member's ring at eviction time (before it could process the
+  /// eviction epoch's message). The checker owns the copy and replays all
+  /// later multicasts against it forever after.
+  void note_eviction(const lkh::KeyRing& ring);
+
+  /// Register a newcomer's registration-time ring (individual key only).
+  /// The probe replays all *earlier* multicasts once, at the next
+  /// check_epoch(), to assert backward secrecy, then is discarded.
+  void note_join(const lkh::KeyRing& fresh_ring);
+
+  /// Run all three invariants for the epoch just committed. `live_rings`
+  /// are the rings of members that are up and synchronized (crashed or
+  /// mid-resync members are checked once they resync).
+  void check_epoch(std::uint64_t epoch, crypto::KeyId group_key_id,
+                   const crypto::VersionedKey& group_key,
+                   std::span<const lkh::KeyRing* const> live_rings);
+
+  [[nodiscard]] std::size_t checks_run() const noexcept { return checks_run_; }
+  [[nodiscard]] std::size_t evicted_tracked() const noexcept {
+    return evicted_.size();
+  }
+  [[nodiscard]] std::size_t probes_run() const noexcept { return probes_run_; }
+
+ private:
+  struct GroupKeyRecord {
+    std::uint64_t epoch = 0;
+    crypto::KeyId id{};
+    crypto::VersionedKey key;
+  };
+  struct ArchivedRing {
+    lkh::KeyRing ring;
+    std::size_t replayed = 0;  // messages_[0, replayed) already processed
+  };
+  struct JoinProbe {
+    lkh::KeyRing ring;
+    std::size_t pre_join_messages = 0;  // history length at join time
+  };
+
+  std::vector<lkh::RekeyMessage> messages_;
+  std::vector<GroupKeyRecord> dek_history_;
+  std::vector<ArchivedRing> evicted_;
+  std::vector<JoinProbe> probes_;
+  std::size_t checks_run_ = 0;
+  std::size_t probes_run_ = 0;
+};
+
+}  // namespace gk::faultsim

@@ -20,6 +20,17 @@ class IdAllocator {
     if (counter_ <= used) counter_ = used + 1;
   }
 
+  /// The next id this allocator will hand out. Durable servers persist it
+  /// so that a journal-replayed server allocates the exact same ids as the
+  /// crash-free run.
+  [[nodiscard]] std::uint64_t watermark() const noexcept { return counter_; }
+
+  /// Force the counter to an exact saved watermark. Only valid when *all*
+  /// trees sharing this allocator are being restored in the same operation
+  /// (state-restore replaces every live id, so moving the counter backwards
+  /// past ids consumed by throwaway blank construction is safe).
+  void reset_to(std::uint64_t watermark) noexcept { counter_ = watermark; }
+
   [[nodiscard]] static std::shared_ptr<IdAllocator> create() {
     return std::make_shared<IdAllocator>();
   }

@@ -1,0 +1,142 @@
+#include "lkh/journal.h"
+
+#include "common/ensure.h"
+
+namespace gk::lkh {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'K', 'J', '1'};
+
+void write_magic(common::ByteWriter& out) {
+  for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+}
+
+}  // namespace
+
+RekeyJournal::RekeyJournal() { write_magic(buffer_); }
+
+void RekeyJournal::checkpoint(std::span<const std::uint8_t> server_state) {
+  buffer_ = common::ByteWriter();
+  write_magic(buffer_);
+  buffer_.u8('B');
+  buffer_.blob(server_state);
+}
+
+void RekeyJournal::record_join(const workload::MemberProfile& profile) {
+  buffer_.u8('J');
+  buffer_.u64(workload::raw(profile.id));
+  buffer_.u8(static_cast<std::uint8_t>(profile.member_class));
+  buffer_.f64(profile.join_time);
+  buffer_.f64(profile.duration);
+  buffer_.f64(profile.loss_rate);
+}
+
+void RekeyJournal::record_join_ack(crypto::KeyId leaf_id) {
+  buffer_.u8('A');
+  buffer_.u64(crypto::raw(leaf_id));
+}
+
+void RekeyJournal::record_leave(workload::MemberId member) {
+  buffer_.u8('L');
+  buffer_.u64(workload::raw(member));
+}
+
+void RekeyJournal::record_commit_begin(std::uint64_t epoch) {
+  buffer_.u8('C');
+  buffer_.u64(epoch);
+}
+
+void RekeyJournal::record_commit_end(std::uint64_t epoch) {
+  buffer_.u8('E');
+  buffer_.u64(epoch);
+}
+
+RekeyJournal::Replay RekeyJournal::parse(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  GK_ENSURE_MSG(in.remaining() >= 4, "journal truncated: no magic");
+  for (const char c : kMagic)
+    GK_ENSURE_MSG(in.u8() == static_cast<std::uint8_t>(c), "not a rekey journal");
+
+  Replay replay;
+  bool base_seen = false;
+  // A record whose bytes run out mid-field is a torn final write: replay the
+  // complete prefix, discard the tail. Anything structurally invalid in the
+  // complete prefix (unknown tag, ACK without a join, END without a BEGIN)
+  // is corruption and throws.
+  while (in.remaining() >= 1) {
+    const auto tag = in.u8();
+    switch (tag) {
+      case 'B': {
+        GK_ENSURE_MSG(!base_seen && replay.ops.empty(),
+                      "journal corrupt: base checkpoint not first");
+        if (in.remaining() < 8) return replay;  // torn tail
+        const auto length = in.u64();
+        if (in.remaining() < length) return replay;  // torn tail
+        const auto view = in.bytes(static_cast<std::size_t>(length));
+        replay.base_state.assign(view.begin(), view.end());
+        base_seen = true;
+        break;
+      }
+      case 'J': {
+        if (in.remaining() < 8 + 1 + 24) return replay;  // torn tail
+        Op op;
+        op.kind = Op::Kind::kJoin;
+        op.profile.id = workload::make_member_id(in.u64());
+        const auto member_class = in.u8();
+        GK_ENSURE_MSG(member_class <= 1, "journal corrupt: bad member class");
+        op.profile.member_class = static_cast<workload::MemberClass>(member_class);
+        op.profile.join_time = in.f64();
+        op.profile.duration = in.f64();
+        op.profile.loss_rate = in.f64();
+        replay.ops.push_back(op);
+        break;
+      }
+      case 'A': {
+        if (in.remaining() < 8) return replay;  // torn tail
+        GK_ENSURE_MSG(!replay.ops.empty() &&
+                          replay.ops.back().kind == Op::Kind::kJoin &&
+                          !replay.ops.back().granted_leaf.has_value(),
+                      "journal corrupt: acknowledge without a pending join");
+        replay.ops.back().granted_leaf = crypto::make_key_id(in.u64());
+        break;
+      }
+      case 'L': {
+        if (in.remaining() < 8) return replay;  // torn tail
+        Op op;
+        op.kind = Op::Kind::kLeave;
+        op.member = workload::make_member_id(in.u64());
+        replay.ops.push_back(op);
+        break;
+      }
+      case 'C': {
+        if (in.remaining() < 8) return replay;  // torn tail
+        GK_ENSURE_MSG(!replay.interrupted_commit,
+                      "journal corrupt: commit begun inside an open commit");
+        Op op;
+        op.kind = Op::Kind::kCommit;
+        op.epoch = in.u64();
+        replay.ops.push_back(op);
+        replay.interrupted_commit = true;
+        replay.interrupted_epoch = op.epoch;
+        break;
+      }
+      case 'E': {
+        if (in.remaining() < 8) return replay;  // torn tail
+        const auto epoch = in.u64();
+        GK_ENSURE_MSG(replay.interrupted_commit && !replay.ops.empty() &&
+                          replay.ops.back().kind == Op::Kind::kCommit &&
+                          replay.ops.back().epoch == epoch,
+                      "journal corrupt: commit end without matching begin");
+        replay.ops.back().commit_finished = true;
+        replay.interrupted_commit = false;
+        break;
+      }
+      default:
+        GK_ENSURE_MSG(false, "journal corrupt: unknown record tag " << int{tag});
+    }
+  }
+  return replay;
+}
+
+}  // namespace gk::lkh

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/key.h"
+#include "workload/member.h"
+
+namespace gk::lkh {
+
+/// Write-ahead rekey journal: the durability layer between a key server's
+/// in-memory state and its persistence medium.
+///
+/// The journal holds one *base record* (an opaque server-state checkpoint,
+/// produced by the server's exact-resume serializer) followed by every
+/// membership operation staged since, in order, plus commit markers:
+///
+///   "GKJ1" | records...
+///   record := 'B' blob           base checkpoint (server save_state bytes)
+///           | 'J' profile        join staged (full MemberProfile)
+///           | 'A' u64            join acknowledged (granted leaf id)
+///           | 'L' u64            leave staged (member id)
+///           | 'C' u64            commit begun (epoch)
+///           | 'E' u64            commit finished (epoch)
+///
+/// WAL discipline: an operation is journaled *before* it is applied to the
+/// in-memory server, and COMMIT_BEGIN is journaled before the epoch is
+/// committed. Because every server-side source of randomness is part of the
+/// checkpoint (RNG streams included), replaying the ops against the restored
+/// base regenerates byte-identical key material — a crash at *any* point
+/// (mid-batch, or after logging commit intent but before multicasting the
+/// rekey message) recovers to exactly the state and output of an
+/// uninterrupted run.
+///
+/// The 'A' (acknowledge) record carries the leaf id the original run
+/// granted; replay re-derives it and verifies the match, turning silent
+/// divergence (a corrupted checkpoint, a non-deterministic server) into a
+/// loud ContractViolation.
+class RekeyJournal {
+ public:
+  RekeyJournal();
+
+  /// Replace the journal's contents with a fresh base checkpoint
+  /// (compaction). Called at session start and periodically after commits.
+  void checkpoint(std::span<const std::uint8_t> server_state);
+
+  void record_join(const workload::MemberProfile& profile);
+  void record_join_ack(crypto::KeyId leaf_id);
+  void record_leave(workload::MemberId member);
+  void record_commit_begin(std::uint64_t epoch);
+  void record_commit_end(std::uint64_t epoch);
+
+  /// The durable bytes (what a deployment would fsync after each record).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_.data();
+  }
+
+  // ---- Recovery-side parsing. ----
+
+  struct Op {
+    enum class Kind : std::uint8_t { kJoin, kLeave, kCommit };
+    Kind kind = Kind::kJoin;
+    workload::MemberProfile profile;               // kJoin
+    std::optional<crypto::KeyId> granted_leaf;     // kJoin, if acknowledged
+    workload::MemberId member{};                   // kLeave
+    std::uint64_t epoch = 0;                       // kCommit
+    bool commit_finished = false;                  // kCommit: END seen
+  };
+
+  struct Replay {
+    std::vector<std::uint8_t> base_state;
+    std::vector<Op> ops;
+    /// True when the journal's last commit record is a COMMIT_BEGIN without
+    /// a matching COMMIT_END: the server died between logging intent and
+    /// finishing the epoch. Recovery must re-run that commit and re-emit
+    /// its (identical) rekey message.
+    bool interrupted_commit = false;
+    std::uint64_t interrupted_epoch = 0;
+  };
+
+  /// Parse journal bytes. Throws ContractViolation on malformed input.
+  /// A journal truncated mid-record (torn final write) is *not* an error:
+  /// the complete prefix is replayed and the torn tail discarded, matching
+  /// the recovery semantics of a real WAL.
+  [[nodiscard]] static Replay parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  common::ByteWriter buffer_;
+};
+
+}  // namespace gk::lkh

@@ -1,5 +1,7 @@
 #include "lkh/key_queue.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 
 namespace gk::lkh {
@@ -64,6 +66,45 @@ std::vector<workload::MemberId> KeyQueue::members() const {
   for (const auto& [raw_id, entry] : members_)
     out.push_back(workload::make_member_id(raw_id));
   return out;
+}
+
+void KeyQueue::save_state(common::ByteWriter& out) const {
+  for (const auto word : rng_.save_state()) out.u64(word);
+  // Entries sorted by member id so the serialized bytes are a pure function
+  // of the queue's logical contents, not of hash-map history.
+  std::vector<std::uint64_t> order;
+  order.reserve(members_.size());
+  for (const auto& [raw_id, entry] : members_) order.push_back(raw_id);
+  std::sort(order.begin(), order.end());
+  out.u64(order.size());
+  for (const auto raw_id : order) {
+    const auto& entry = members_.at(raw_id);
+    out.u64(raw_id);
+    out.u64(crypto::raw(entry.id));
+    out.bytes(entry.key.bytes());
+  }
+}
+
+void KeyQueue::restore_state(common::ByteReader& in) {
+  Rng::State state;
+  for (auto& word : state) word = in.u64();
+  rng_.restore_state(state);
+  members_.clear();
+  const auto count = in.u64();
+  std::uint64_t max_id = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    Entry entry;
+    entry.id = crypto::make_key_id(in.u64());
+    max_id = std::max(max_id, crypto::raw(entry.id));
+    std::array<std::uint8_t, crypto::Key128::kSize> raw;
+    const auto view = in.bytes(raw.size());
+    std::copy(view.begin(), view.end(), raw.begin());
+    entry.key = crypto::Key128(raw);
+    GK_ENSURE_MSG(members_.emplace(raw_id, entry).second,
+                  "queue state corrupt: duplicate member");
+  }
+  ids_->advance_past(max_id);
 }
 
 }  // namespace gk::lkh

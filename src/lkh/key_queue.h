@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "crypto/key.h"
 #include "crypto/keywrap.h"
@@ -52,6 +53,11 @@ class KeyQueue {
   [[nodiscard]] const crypto::Key128& individual_key(workload::MemberId member) const;
   [[nodiscard]] crypto::KeyId leaf_id(workload::MemberId member) const;
   [[nodiscard]] std::vector<workload::MemberId> members() const;
+
+  /// Exact persistence (rekey journal checkpoints): entries plus the RNG
+  /// stream, so future key generation and wrap nonces replay identically.
+  void save_state(common::ByteWriter& out) const;
+  void restore_state(common::ByteReader& in);
 
  private:
   struct Entry {

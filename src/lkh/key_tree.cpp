@@ -297,6 +297,14 @@ std::vector<crypto::KeyId> KeyTree::path_ids(workload::MemberId member) const {
   return path;
 }
 
+std::vector<KeyTree::PathKey> KeyTree::path_keys(workload::MemberId member) const {
+  std::vector<PathKey> path;
+  for (const Node* cursor = locate(member)->parent; cursor != nullptr;
+       cursor = cursor->parent)
+    path.push_back({cursor->id, cursor->key});
+  return path;
+}
+
 std::vector<workload::MemberId> KeyTree::members() const {
   std::vector<workload::MemberId> out;
   out.reserve(leaves_.size());

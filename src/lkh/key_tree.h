@@ -96,6 +96,10 @@ class KeyTree {
   [[nodiscard]] std::size_t size() const noexcept { return leaves_.size(); }
   [[nodiscard]] bool empty() const noexcept { return leaves_.empty(); }
   [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+  /// The id allocator this tree draws from (shared across a session's
+  /// trees). Durable servers persist its watermark so replayed id
+  /// allocation matches the crash-free run exactly.
+  [[nodiscard]] const std::shared_ptr<IdAllocator>& ids() const noexcept { return ids_; }
   [[nodiscard]] bool contains(workload::MemberId member) const noexcept;
 
   /// Root (tree-wide) key; in a standalone deployment this is the group
@@ -112,6 +116,16 @@ class KeyTree {
   /// (excluding the leaf's own id). Used by the transport layer to compute
   /// per-receiver keys-of-interest.
   [[nodiscard]] std::vector<crypto::KeyId> path_ids(workload::MemberId member) const;
+
+  /// The member's current path with key material (same order as path_ids).
+  /// Server-side source for resync catch-up bundles: a desynchronized
+  /// member re-learns exactly its leaf-to-root keys instead of forcing a
+  /// group-wide rekey.
+  struct PathKey {
+    crypto::KeyId id{};
+    crypto::VersionedKey key;
+  };
+  [[nodiscard]] std::vector<PathKey> path_keys(workload::MemberId member) const;
 
   /// All members currently in the tree (unspecified order).
   [[nodiscard]] std::vector<workload::MemberId> members() const;

@@ -1,82 +1,37 @@
 #include "lkh/snapshot.h"
 
 #include <algorithm>
-#include <cstring>
 
+#include "common/bytes.h"
 #include "common/ensure.h"
 
-// The snapshot format is a pre-order walk of the tree:
+// Two snapshot formats share one node encoding (a pre-order walk):
 //
-//   magic "GKT1" | u32 degree | nodes...
+//   "GKT1" | u32 degree | nodes...                       (structure only)
+//   "GKT2" | u32 degree | 4 x u64 rng state | nodes...   (exact resume)
 //   node := u8 kind ('L' leaf | 'I' interior)
 //           u64 id | u32 key-version | 16-byte key
 //           leaf:     u64 member id
 //           interior: u32 child count | children...
 //
-// All integers little-endian.
+// All integers little-endian (common/bytes.h).
 
 #include "lkh/key_tree_node.h"
 
 namespace gk::lkh {
-namespace {
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::uint8_t u8() {
-    GK_ENSURE_MSG(offset_ + 1 <= bytes_.size(), "snapshot truncated");
-    return bytes_[offset_++];
-  }
-  std::uint32_t u32() {
-    GK_ENSURE_MSG(offset_ + 4 <= bytes_.size(), "snapshot truncated");
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[offset_++]} << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    GK_ENSURE_MSG(offset_ + 8 <= bytes_.size(), "snapshot truncated");
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[offset_++]} << (8 * i);
-    return v;
-  }
-  crypto::Key128 key() {
-    GK_ENSURE_MSG(offset_ + crypto::Key128::kSize <= bytes_.size(),
-                  "snapshot truncated");
-    std::array<std::uint8_t, crypto::Key128::kSize> raw;
-    std::memcpy(raw.data(), bytes_.data() + offset_, raw.size());
-    offset_ += raw.size();
-    return crypto::Key128(raw);
-  }
-  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t offset_ = 0;
-};
-
-}  // namespace
 
 /// Friend of KeyTree: the recursive (de)serializers over private nodes.
 struct SnapshotAccess {
-  static void write_node(std::vector<std::uint8_t>& out, const KeyTree::Node& node) {
-    out.push_back(node.is_leaf() ? 'L' : 'I');
-    put_u64(out, crypto::raw(node.id));
-    put_u32(out, node.key.version);
-    out.insert(out.end(), node.key.key.bytes().begin(), node.key.key.bytes().end());
+  static void write_node(common::ByteWriter& out, const KeyTree::Node& node) {
+    out.u8(node.is_leaf() ? 'L' : 'I');
+    out.u64(crypto::raw(node.id));
+    out.u32(node.key.version);
+    out.bytes(node.key.key.bytes());
     if (node.is_leaf()) {
-      put_u64(out, workload::raw(*node.member));
+      out.u64(workload::raw(*node.member));
       return;
     }
-    put_u32(out, static_cast<std::uint32_t>(node.children.size()));
+    out.u32(static_cast<std::uint32_t>(node.children.size()));
     for (const auto& child : node.children) write_node(out, *child);
   }
 
@@ -86,7 +41,15 @@ struct SnapshotAccess {
     unsigned degree = 0;
   };
 
-  static std::unique_ptr<KeyTree::Node> read_node(Reader& in, KeyTree::Node* parent,
+  static crypto::Key128 read_key(common::ByteReader& in) {
+    std::array<std::uint8_t, crypto::Key128::kSize> raw;
+    const auto view = in.bytes(raw.size());
+    std::copy(view.begin(), view.end(), raw.begin());
+    return crypto::Key128(raw);
+  }
+
+  static std::unique_ptr<KeyTree::Node> read_node(common::ByteReader& in,
+                                                  KeyTree::Node* parent,
                                                   RestoreContext& ctx, unsigned depth) {
     GK_ENSURE_MSG(depth < 64, "snapshot nesting too deep");
     auto node = std::make_unique<KeyTree::Node>();
@@ -96,7 +59,7 @@ struct SnapshotAccess {
     node->id = crypto::make_key_id(in.u64());
     ctx.max_id = std::max(ctx.max_id, crypto::raw(node->id));
     node->key.version = in.u32();
-    node->key.key = in.key();
+    node->key.key = read_key(in);
 
     if (kind == 'L') {
       node->member = workload::make_member_id(in.u64());
@@ -116,36 +79,65 @@ struct SnapshotAccess {
     }
     return node;
   }
+
+  static void write(common::ByteWriter& out, const KeyTree& tree, bool exact) {
+    GK_ENSURE_MSG(!tree.dirty(), "commit staged changes before snapshotting");
+    out.u8('G');
+    out.u8('K');
+    out.u8('T');
+    out.u8(exact ? '2' : '1');
+    out.u32(tree.degree_);
+    if (exact)
+      for (const auto word : tree.rng_.save_state()) out.u64(word);
+    write_node(out, *tree.root_);
+  }
+
+  static KeyTree read(common::ByteReader& in, bool exact,
+                      std::shared_ptr<IdAllocator> ids, Rng rng) {
+    GK_ENSURE_MSG(in.u8() == 'G' && in.u8() == 'K' && in.u8() == 'T' &&
+                      in.u8() == (exact ? '2' : '1'),
+                  "not a key tree snapshot");
+    const auto degree = in.u32();
+    GK_ENSURE_MSG(degree >= 2 && degree <= 1024, "snapshot corrupt: bad degree");
+    if (exact) {
+      Rng::State state;
+      for (auto& word : state) word = in.u64();
+      rng.restore_state(state);
+    }
+
+    KeyTree tree(degree, rng, std::move(ids));
+    tree.rng_ = rng;  // the constructor consumed a draw for its placeholder root
+    tree.leaves_.clear();
+    RestoreContext ctx{&tree.leaves_, 0, degree};
+    tree.root_ = read_node(in, nullptr, ctx, 0);
+    GK_ENSURE_MSG(in.exhausted(), "snapshot has trailing bytes");
+    GK_ENSURE_MSG(!tree.root_->is_leaf(), "snapshot corrupt: leaf root");
+    tree.ids_->advance_past(ctx.max_id);
+    return tree;
+  }
 };
 
 std::vector<std::uint8_t> snapshot_tree(const KeyTree& tree) {
-  GK_ENSURE_MSG(!tree.dirty(), "commit staged changes before snapshotting");
-  std::vector<std::uint8_t> out;
-  out.reserve(64);
-  out.push_back('G');
-  out.push_back('K');
-  out.push_back('T');
-  out.push_back('1');
-  put_u32(out, tree.degree_);
-  SnapshotAccess::write_node(out, *tree.root_);
-  return out;
+  common::ByteWriter out;
+  SnapshotAccess::write(out, tree, /*exact=*/false);
+  return out.take();
 }
 
 KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng) {
-  Reader in(bytes);
-  GK_ENSURE_MSG(in.u8() == 'G' && in.u8() == 'K' && in.u8() == 'T' && in.u8() == '1',
-                "not a key tree snapshot");
-  const auto degree = in.u32();
-  GK_ENSURE_MSG(degree >= 2 && degree <= 1024, "snapshot corrupt: bad degree");
+  common::ByteReader in(bytes);
+  return SnapshotAccess::read(in, /*exact=*/false, nullptr, rng);
+}
 
-  KeyTree tree(degree, rng);
-  tree.leaves_.clear();
-  SnapshotAccess::RestoreContext ctx{&tree.leaves_, 0, degree};
-  tree.root_ = SnapshotAccess::read_node(in, nullptr, ctx, 0);
-  GK_ENSURE_MSG(in.exhausted(), "snapshot has trailing bytes");
-  GK_ENSURE_MSG(!tree.root_->is_leaf(), "snapshot corrupt: leaf root");
-  tree.ids_->advance_past(ctx.max_id);
-  return tree;
+std::vector<std::uint8_t> snapshot_tree_exact(const KeyTree& tree) {
+  common::ByteWriter out;
+  SnapshotAccess::write(out, tree, /*exact=*/true);
+  return out.take();
+}
+
+KeyTree restore_tree_exact(std::span<const std::uint8_t> bytes,
+                           std::shared_ptr<IdAllocator> ids) {
+  common::ByteReader in(bytes);
+  return SnapshotAccess::read(in, /*exact=*/true, std::move(ids), Rng(0));
 }
 
 }  // namespace gk::lkh

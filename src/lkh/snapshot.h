@@ -24,4 +24,18 @@ namespace gk::lkh {
 /// Throws ContractViolation on malformed input.
 [[nodiscard]] KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng);
 
+/// Exact-resume variant: additionally captures the tree's RNG stream so
+/// *future* key generation is byte-identical to an uninterrupted run. The
+/// write-ahead rekey journal (journal.h) builds its checkpoints on this —
+/// a crashed server that restores an exact snapshot and replays the
+/// journaled membership operations reproduces the interrupted epoch's key
+/// material bit for bit.
+[[nodiscard]] std::vector<std::uint8_t> snapshot_tree_exact(const KeyTree& tree);
+
+/// Rebuild a tree from exact-snapshot bytes. `ids` lets composite servers
+/// re-attach the restored tree to their shared id allocator (pass nullptr
+/// for a standalone tree). Throws ContractViolation on malformed input.
+[[nodiscard]] KeyTree restore_tree_exact(std::span<const std::uint8_t> bytes,
+                                         std::shared_ptr<IdAllocator> ids = nullptr);
+
 }  // namespace gk::lkh

@@ -1,0 +1,15 @@
+#include "losshomo/homogenized_server.h"
+
+namespace gk::losshomo {
+
+partition::EpochOutput HomogenizedServer::end_epoch() {
+  auto inner = inner_.end_epoch();
+  partition::EpochOutput out;
+  out.epoch = inner.epoch;
+  out.message = std::move(inner.message);
+  out.joins = inner.joins;
+  out.l_departures = inner.leaves;
+  return out;
+}
+
+}  // namespace gk::losshomo

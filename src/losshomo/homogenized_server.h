@@ -1,0 +1,63 @@
+#pragma once
+
+#include "losshomo/multi_tree_server.h"
+#include "partition/server.h"
+
+namespace gk::losshomo {
+
+/// Adapts MultiTreeServer to the partition::DurableRekeyServer interface so
+/// the fault-injection harness and the rekey journal can drive the
+/// loss-homogenized scheme through the same code path as the partition
+/// servers. Joins use the profile's loss_rate as the member's *reported*
+/// loss (the value it would have piggybacked on past NACKs).
+class HomogenizedServer final : public partition::DurableRekeyServer {
+ public:
+  HomogenizedServer(unsigned degree, std::vector<double> bin_upper_bounds,
+                    Placement placement, Rng rng)
+      : inner_(degree, std::move(bin_upper_bounds), placement, rng) {}
+
+  partition::Registration join(const workload::MemberProfile& profile) override {
+    return inner_.join(profile.id, profile.loss_rate);
+  }
+  void leave(workload::MemberId member) override { inner_.leave(member); }
+  partition::EpochOutput end_epoch() override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override {
+    return inner_.group_key();
+  }
+  [[nodiscard]] crypto::KeyId group_key_id() const override {
+    return inner_.group_key_id();
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_.size(); }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override {
+    return inner_.member_path(member);
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const override { return inner_.epoch(); }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override {
+    return inner_.save_state();
+  }
+  void restore_state(std::span<const std::uint8_t> bytes) override {
+    inner_.restore_state(bytes);
+  }
+  [[nodiscard]] std::vector<partition::PathKey> member_path_keys(
+      workload::MemberId member) const override {
+    return inner_.member_path_keys(member);
+  }
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member) const override {
+    return inner_.member_individual_key(member);
+  }
+  [[nodiscard]] crypto::KeyId member_leaf_id(
+      workload::MemberId member) const override {
+    return inner_.member_leaf_id(member);
+  }
+
+  [[nodiscard]] const MultiTreeServer& inner() const noexcept { return inner_; }
+
+ private:
+  MultiTreeServer inner_;
+};
+
+}  // namespace gk::losshomo

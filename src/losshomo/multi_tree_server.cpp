@@ -1,6 +1,10 @@
 #include "losshomo/multi_tree_server.h"
 
+#include <algorithm>
+
+#include "common/bytes.h"
 #include "common/ensure.h"
+#include "lkh/snapshot.h"
 
 namespace gk::losshomo {
 
@@ -98,6 +102,84 @@ std::vector<crypto::KeyId> MultiTreeServer::member_path(
   auto path = trees_[tree_of(member)].path_ids(member);
   path.push_back(dek_.id());
   return path;
+}
+
+std::vector<std::uint8_t> MultiTreeServer::save_state() const {
+  GK_ENSURE_MSG(staged_joins_ == 0 && staged_leaves_ == 0,
+                "commit staged changes before saving server state");
+  common::ByteWriter out;
+  out.u64(epoch_);
+  out.u8(static_cast<std::uint8_t>(placement_));
+  out.u64(bounds_.size());
+  for (const auto bound : bounds_) out.f64(bound);
+  for (const auto word : rng_.save_state()) out.u64(word);
+  out.u64(ids_->watermark());
+  for (const auto& tree : trees_) out.blob(lkh::snapshot_tree_exact(tree));
+  dek_.save_state(out);
+  std::vector<std::uint64_t> raw_ids;
+  raw_ids.reserve(records_.size());
+  for (const auto& [raw_id, tree] : records_) raw_ids.push_back(raw_id);
+  std::sort(raw_ids.begin(), raw_ids.end());
+  out.u64(raw_ids.size());
+  for (const auto raw_id : raw_ids) {
+    out.u64(raw_id);
+    out.u64(records_.at(raw_id));
+  }
+  return out.take();
+}
+
+void MultiTreeServer::restore_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  epoch_ = in.u64();
+  GK_ENSURE_MSG(in.u8() == static_cast<std::uint8_t>(placement_),
+                "restored state has a different placement policy");
+  GK_ENSURE_MSG(in.u64() == bounds_.size(), "restored state has a different bin count");
+  for (const auto bound : bounds_)
+    GK_ENSURE_MSG(in.f64() == bound, "restored state has different bin bounds");
+  Rng::State state;
+  for (auto& word : state) word = in.u64();
+  rng_.restore_state(state);
+  const auto watermark = in.u64();
+  std::vector<lkh::KeyTree> restored;
+  restored.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    restored.push_back(lkh::restore_tree_exact(in.blob(), ids_));
+    GK_ENSURE_MSG(restored.back().degree() == tree.degree(),
+                  "restored state has a different tree degree");
+  }
+  trees_ = std::move(restored);
+  dek_.restore_state(in);
+  records_.clear();
+  const auto count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    const auto tree = in.u64();
+    GK_ENSURE_MSG(tree < trees_.size(), "server state corrupt: bad tree index");
+    GK_ENSURE_MSG(records_.emplace(raw_id, tree).second,
+                  "server state corrupt: duplicate member record");
+  }
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  ids_->reset_to(watermark);
+  arrivals_.assign(trees_.size(), false);
+  staged_joins_ = 0;
+  staged_leaves_ = 0;
+}
+
+std::vector<partition::PathKey> MultiTreeServer::member_path_keys(
+    workload::MemberId member) const {
+  std::vector<partition::PathKey> path;
+  for (const auto& entry : trees_[tree_of(member)].path_keys(member))
+    path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 MultiTreeServer::member_individual_key(workload::MemberId member) const {
+  return trees_[tree_of(member)].individual_key(member);
+}
+
+crypto::KeyId MultiTreeServer::member_leaf_id(workload::MemberId member) const {
+  return trees_[tree_of(member)].leaf_id(member);
 }
 
 }  // namespace gk::losshomo

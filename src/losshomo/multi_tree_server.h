@@ -64,6 +64,17 @@ class MultiTreeServer {
   /// Leaf-to-DEK node ids for the member (transport interest sets).
   [[nodiscard]] std::vector<crypto::KeyId> member_path(workload::MemberId member) const;
 
+  /// Exact persistence + resync accessors (same contract as
+  /// partition::DurableRekeyServer; HomogenizedServer adapts this class to
+  /// that interface). save_state() requires no staged changes.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+  void restore_state(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::vector<partition::PathKey> member_path_keys(
+      workload::MemberId member) const;
+  [[nodiscard]] crypto::Key128 member_individual_key(workload::MemberId member) const;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const;
+
  private:
   [[nodiscard]] std::size_t place(double reported_loss);
 

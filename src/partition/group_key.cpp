@@ -1,5 +1,7 @@
 #include "partition/group_key.h"
 
+#include <algorithm>
+
 namespace gk::partition {
 
 GroupKeyManager::GroupKeyManager(Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
@@ -29,6 +31,35 @@ void GroupKeyManager::wrap_under_previous(lkh::RekeyMessage& out) {
 void GroupKeyManager::stamp(lkh::RekeyMessage& out) const {
   out.group_key_id = id_;
   out.group_key_version = key_.version;
+}
+
+void GroupKeyManager::save_state(common::ByteWriter& out) const {
+  for (const auto word : rng_.save_state()) out.u64(word);
+  out.u64(crypto::raw(id_));
+  out.u32(key_.version);
+  out.bytes(key_.key.bytes());
+  out.bytes(previous_.bytes());
+}
+
+namespace {
+
+crypto::Key128 read_key(common::ByteReader& in) {
+  std::array<std::uint8_t, crypto::Key128::kSize> raw;
+  const auto view = in.bytes(raw.size());
+  std::copy(view.begin(), view.end(), raw.begin());
+  return crypto::Key128(raw);
+}
+
+}  // namespace
+
+void GroupKeyManager::restore_state(common::ByteReader& in) {
+  Rng::State state;
+  for (auto& word : state) word = in.u64();
+  rng_.restore_state(state);
+  id_ = crypto::make_key_id(in.u64());
+  key_.version = in.u32();
+  key_.key = read_key(in);
+  previous_ = read_key(in);
 }
 
 }  // namespace gk::partition

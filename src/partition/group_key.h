@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "crypto/key.h"
 #include "crypto/keywrap.h"
@@ -36,6 +37,12 @@ class GroupKeyManager {
 
   [[nodiscard]] const crypto::VersionedKey& current() const noexcept { return key_; }
   [[nodiscard]] crypto::KeyId id() const noexcept { return id_; }
+
+  /// Exact persistence (rekey journal checkpoints): id, current + previous
+  /// key material, and the RNG stream, so replayed rotations regenerate the
+  /// same DEK bytes.
+  void save_state(common::ByteWriter& out) const;
+  void restore_state(common::ByteReader& in);
 
  private:
   Rng rng_;

@@ -1,0 +1,83 @@
+#include "partition/journaled_server.h"
+
+#include "common/ensure.h"
+
+namespace gk::partition {
+
+JournaledServer::JournaledServer(std::unique_ptr<DurableRekeyServer> inner,
+                                 Config config)
+    : inner_(std::move(inner)), config_(config) {
+  GK_ENSURE_MSG(inner_ != nullptr, "JournaledServer needs a server to wrap");
+  journal_.checkpoint(inner_->save_state());
+}
+
+Registration JournaledServer::join(const workload::MemberProfile& profile) {
+  journal_.record_join(profile);
+  const auto registration = inner_->join(profile);
+  journal_.record_join_ack(registration.leaf_id);
+  return registration;
+}
+
+void JournaledServer::leave(workload::MemberId member) {
+  journal_.record_leave(member);
+  inner_->leave(member);
+}
+
+EpochOutput JournaledServer::end_epoch() {
+  // Intent is durable before the commit touches memory: a crash anywhere
+  // after this line recovers by re-running the epoch from the journal.
+  journal_.record_commit_begin(inner_->epoch());
+  if (crash_armed_) {
+    crash_armed_ = false;
+    throw ServerCrashed{};
+  }
+  auto out = inner_->end_epoch();
+  journal_.record_commit_end(out.epoch);
+  ++commits_since_checkpoint_;
+  if (config_.checkpoint_every > 0 &&
+      commits_since_checkpoint_ >= config_.checkpoint_every) {
+    journal_.checkpoint(inner_->save_state());
+    commits_since_checkpoint_ = 0;
+  }
+  return out;
+}
+
+JournaledServer::Recovery JournaledServer::recover(
+    std::span<const std::uint8_t> journal_bytes,
+    std::unique_ptr<DurableRekeyServer> blank, Config config) {
+  GK_ENSURE_MSG(blank != nullptr, "recover needs a blank server to restore into");
+  const auto replay = lkh::RekeyJournal::parse(journal_bytes);
+  blank->restore_state(replay.base_state);
+
+  auto server = std::make_unique<JournaledServer>(std::move(blank), config);
+  Recovery recovery;
+  for (const auto& op : replay.ops) {
+    switch (op.kind) {
+      case lkh::RekeyJournal::Op::Kind::kJoin: {
+        const auto registration = server->join(op.profile);
+        // A logged grant pins the replay: divergence here means the
+        // checkpoint or the server's determinism is broken — fail loudly
+        // rather than hand members keys the server no longer derives.
+        if (op.granted_leaf)
+          GK_ENSURE_MSG(registration.leaf_id == *op.granted_leaf,
+                        "journal replay diverged: join grant mismatch");
+        break;
+      }
+      case lkh::RekeyJournal::Op::Kind::kLeave:
+        server->leave(op.member);
+        break;
+      case lkh::RekeyJournal::Op::Kind::kCommit:
+        // Re-run the epoch; for commits the dead server finished, the output
+        // was already delivered and is discarded. The interrupted commit (if
+        // any) is the journal's final op — its regenerated output is the
+        // message the dead server never sent.
+        recovery.pending = server->end_epoch();
+        if (op.commit_finished) recovery.pending.reset();
+        break;
+    }
+  }
+  recovery.server = std::move(server);
+  return recovery;
+}
+
+}  // namespace gk::partition

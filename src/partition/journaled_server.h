@@ -1,0 +1,100 @@
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <optional>
+
+#include "lkh/journal.h"
+#include "partition/server.h"
+
+namespace gk::partition {
+
+/// Thrown by JournaledServer::end_epoch() when a fault schedule armed a
+/// crash: the server died after journaling COMMIT_BEGIN but before
+/// committing the epoch in memory or multicasting its rekey message — the
+/// worst-positioned failure the WAL must cover.
+struct ServerCrashed : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "key server crashed mid-commit (fault injection)";
+  }
+};
+
+/// A DurableRekeyServer wrapped in write-ahead-journal discipline
+/// (lkh::RekeyJournal): every membership operation is journaled before it is
+/// applied, commits are bracketed by BEGIN/END markers, and the journal is
+/// compacted onto a fresh checkpoint every `checkpoint_every` commits.
+///
+/// recover() rebuilds a crashed server from journal bytes alone: restore the
+/// checkpoint, replay the logged operations (verifying re-derived join
+/// grants against the logged ones), and — if the journal ends in an
+/// unmatched COMMIT_BEGIN — re-run the interrupted epoch and hand back its
+/// regenerated rekey message for delivery. Because all server randomness
+/// lives in the checkpoint, the recovered server is byte-identical to one
+/// that never crashed.
+class JournaledServer final : public RekeyServer {
+ public:
+  struct Config {
+    /// Commits between journal compactions (0 = never compact).
+    std::size_t checkpoint_every = 8;
+  };
+
+  JournaledServer(std::unique_ptr<DurableRekeyServer> inner, Config config);
+  explicit JournaledServer(std::unique_ptr<DurableRekeyServer> inner)
+      : JournaledServer(std::move(inner), Config{}) {}
+
+  Registration join(const workload::MemberProfile& profile) override;
+  void leave(workload::MemberId member) override;
+  EpochOutput end_epoch() override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override {
+    return inner_->group_key();
+  }
+  [[nodiscard]] crypto::KeyId group_key_id() const override {
+    return inner_->group_key_id();
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_->size(); }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override {
+    return inner_->member_path(member);
+  }
+
+  /// Arm a fault: the next end_epoch() journals COMMIT_BEGIN and then
+  /// throws ServerCrashed instead of committing.
+  void arm_crash_before_commit() noexcept { crash_armed_ = true; }
+
+  /// The durable journal bytes — everything recover() needs.
+  [[nodiscard]] const std::vector<std::uint8_t>& journal_bytes() const noexcept {
+    return journal_.bytes();
+  }
+
+  [[nodiscard]] DurableRekeyServer& durable() noexcept { return *inner_; }
+  [[nodiscard]] const DurableRekeyServer& durable() const noexcept { return *inner_; }
+
+  struct Recovery {
+    std::unique_ptr<JournaledServer> server;
+    /// Present when the crash interrupted a commit: the re-run epoch's
+    /// output (byte-identical to what the dead server would have sent),
+    /// which the caller must now deliver.
+    std::optional<EpochOutput> pending;
+  };
+
+  /// Rebuild a server from journal bytes. `blank` must be a freshly
+  /// constructed server of the same structural configuration (degree,
+  /// S-period, bins) as the one that crashed; its state is overwritten.
+  [[nodiscard]] static Recovery recover(std::span<const std::uint8_t> journal_bytes,
+                                        std::unique_ptr<DurableRekeyServer> blank,
+                                        Config config);
+  [[nodiscard]] static Recovery recover(std::span<const std::uint8_t> journal_bytes,
+                                        std::unique_ptr<DurableRekeyServer> blank) {
+    return recover(journal_bytes, std::move(blank), Config{});
+  }
+
+ private:
+  std::unique_ptr<DurableRekeyServer> inner_;
+  Config config_;
+  lkh::RekeyJournal journal_;
+  std::size_t commits_since_checkpoint_ = 0;
+  bool crash_armed_ = false;
+};
+
+}  // namespace gk::partition

@@ -1,5 +1,9 @@
 #include "partition/one_keytree_server.h"
 
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
 namespace gk::partition {
 
 OneKeyTreeServer::OneKeyTreeServer(unsigned degree, Rng rng) : tree_(degree, rng) {}
@@ -34,6 +38,45 @@ crypto::KeyId OneKeyTreeServer::group_key_id() const { return tree_.root_id(); }
 std::vector<crypto::KeyId> OneKeyTreeServer::member_path(
     workload::MemberId member) const {
   return tree_.path_ids(member);
+}
+
+std::vector<std::uint8_t> OneKeyTreeServer::save_state() const {
+  GK_ENSURE_MSG(staged_joins_ == 0 && staged_leaves_ == 0,
+                "commit staged changes before saving server state");
+  common::ByteWriter out;
+  out.u64(epoch_);
+  out.u64(tree_.ids()->watermark());
+  out.blob(lkh::snapshot_tree_exact(tree_));
+  return out.take();
+}
+
+void OneKeyTreeServer::restore_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  epoch_ = in.u64();
+  const auto watermark = in.u64();
+  auto restored = lkh::restore_tree_exact(in.blob());
+  GK_ENSURE_MSG(restored.degree() == tree_.degree(),
+                "restored state has a different tree degree");
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  restored.ids()->reset_to(watermark);
+  tree_ = std::move(restored);
+  staged_joins_ = 0;
+  staged_leaves_ = 0;
+}
+
+std::vector<PathKey> OneKeyTreeServer::member_path_keys(
+    workload::MemberId member) const {
+  std::vector<PathKey> path;
+  for (const auto& entry : tree_.path_keys(member)) path.push_back({entry.id, entry.key});
+  return path;
+}
+
+crypto::Key128 OneKeyTreeServer::member_individual_key(workload::MemberId member) const {
+  return tree_.individual_key(member);
+}
+
+crypto::KeyId OneKeyTreeServer::member_leaf_id(workload::MemberId member) const {
+  return tree_.leaf_id(member);
 }
 
 }  // namespace gk::partition

@@ -9,7 +9,7 @@ namespace gk::partition {
 
 /// The baseline every prior scheme uses (Section 2.1): one balanced key
 /// tree whose root *is* the group data-encryption key.
-class OneKeyTreeServer final : public RekeyServer {
+class OneKeyTreeServer final : public DurableRekeyServer {
  public:
   OneKeyTreeServer(unsigned degree, Rng rng);
 
@@ -22,6 +22,15 @@ class OneKeyTreeServer final : public RekeyServer {
   [[nodiscard]] std::size_t size() const override { return tree_.size(); }
   [[nodiscard]] std::vector<crypto::KeyId> member_path(
       workload::MemberId member) const override;
+
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void restore_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<PathKey> member_path_keys(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
 
   [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
 

@@ -1,0 +1,23 @@
+#include "partition/server.h"
+
+namespace gk::partition {
+
+std::vector<crypto::WrappedKey> make_catchup_bundle(const DurableRekeyServer& server,
+                                                    workload::MemberId member,
+                                                    Rng& rng) {
+  const auto individual = server.member_individual_key(member);
+  const auto leaf = server.member_leaf_id(member);
+  const auto path = server.member_path_keys(member);
+  std::vector<crypto::WrappedKey> bundle;
+  bundle.reserve(path.size());
+  // Every path key is wrapped directly under the individual key (not
+  // chained): the member's ring may be arbitrarily stale — even its old
+  // path node ids may no longer exist — but the registration key always
+  // unlocks the whole bundle.
+  for (const auto& entry : path)
+    bundle.push_back(crypto::wrap_key(individual, leaf, 0, entry.key.key, entry.id,
+                                      entry.key.version, rng));
+  return bundle;
+}
+
+}  // namespace gk::partition

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/rng.h"
 #include "crypto/key.h"
+#include "crypto/keywrap.h"
 #include "lkh/rekey_message.h"
 #include "workload/member.h"
 
@@ -73,5 +76,56 @@ class RekeyServer {
   [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
       workload::MemberId member) const = 0;
 };
+
+/// One key on a member's current path, with material (server-side view).
+struct PathKey {
+  crypto::KeyId id{};
+  crypto::VersionedKey key;
+};
+
+/// A rekey server that additionally supports crash recovery and member
+/// resynchronization — the contract the write-ahead journal
+/// (JournaledServer) and the resync protocol (transport/resync.h) build on.
+///
+/// save_state() must capture *everything* the server's future behaviour
+/// depends on, RNG streams included, so that restore_state() + replaying the
+/// same membership operations regenerates byte-identical key material. It
+/// may only be called between epochs (no staged, uncommitted changes).
+class DurableRekeyServer : public RekeyServer {
+ public:
+  /// The epoch the next end_epoch() will commit (journal bookkeeping).
+  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
+
+  /// Serialize complete server state (trees, DEK, RNG streams, membership
+  /// records, epoch counter). Precondition: no staged changes.
+  [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
+
+  /// Replace this server's state with a previously saved blob. The server
+  /// must have been constructed with the same structural configuration
+  /// (degree, S-period, bins); violations throw ContractViolation.
+  virtual void restore_state(std::span<const std::uint8_t> bytes) = 0;
+
+  /// The member's current leaf-to-group-key path *with key material*, leaf
+  /// end first, group key last (leaf's own key excluded). Source of the
+  /// resync catch-up bundle: a member that missed epochs re-learns exactly
+  /// these keys instead of forcing a group-wide rekey.
+  [[nodiscard]] virtual std::vector<PathKey> member_path_keys(
+      workload::MemberId member) const = 0;
+
+  /// The member's registration (individual) key and current leaf node id.
+  /// Leaf ids move on partition migration; the individual key never does.
+  [[nodiscard]] virtual crypto::Key128 member_individual_key(
+      workload::MemberId member) const = 0;
+  [[nodiscard]] virtual crypto::KeyId member_leaf_id(
+      workload::MemberId member) const = 0;
+};
+
+/// Catch-up bundle for one desynchronized member: its current path keys,
+/// each wrapped under the member's individual key, leaf end first so the
+/// receiver can process in order (any order also resolves via KeyRing's
+/// fixed-point iteration). Delivered over the resync unicast channel
+/// (transport/resync.h), so the bundle never inflates the multicast metric.
+[[nodiscard]] std::vector<crypto::WrappedKey> make_catchup_bundle(
+    const DurableRekeyServer& server, workload::MemberId member, Rng& rng);
 
 }  // namespace gk::partition

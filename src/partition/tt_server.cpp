@@ -1,6 +1,10 @@
 #include "partition/tt_server.h"
 
+#include <algorithm>
+
+#include "common/bytes.h"
 #include "common/ensure.h"
+#include "lkh/snapshot.h"
 
 namespace gk::partition {
 
@@ -51,6 +55,11 @@ EpochOutput TtServer::end_epoch() {
       if (record.in_s && epoch_ >= record.joined_epoch + s_period_epochs_)
         migrants.push_back(workload::make_member_id(raw_id));
     }
+    // Deterministic migration order: records_ is unordered, and a
+    // journal-replayed server must insert migrants into the L-tree in the
+    // exact sequence the crash-free run did.
+    std::sort(migrants.begin(), migrants.end(),
+              [](auto a, auto b) { return workload::raw(a) < workload::raw(b); });
     for (const auto member : migrants) {
       const auto individual = s_tree_.individual_key(member);
       s_tree_.remove(member);
@@ -107,6 +116,84 @@ std::vector<crypto::KeyId> TtServer::member_path(workload::MemberId member) cons
   auto path = it->second.in_s ? s_tree_.path_ids(member) : l_tree_.path_ids(member);
   path.push_back(dek_.id());
   return path;
+}
+
+std::vector<std::uint8_t> TtServer::save_state() const {
+  GK_ENSURE_MSG(staged_joins_ == 0 && staged_s_leaves_ == 0 && staged_l_leaves_ == 0,
+                "commit staged changes before saving server state");
+  common::ByteWriter out;
+  out.u64(epoch_);
+  out.u32(s_period_epochs_);
+  out.u64(ids_->watermark());
+  out.blob(lkh::snapshot_tree_exact(s_tree_));
+  out.blob(lkh::snapshot_tree_exact(l_tree_));
+  dek_.save_state(out);
+  std::vector<std::uint64_t> raw_ids;
+  raw_ids.reserve(records_.size());
+  for (const auto& [raw_id, record] : records_) raw_ids.push_back(raw_id);
+  std::sort(raw_ids.begin(), raw_ids.end());
+  out.u64(raw_ids.size());
+  for (const auto raw_id : raw_ids) {
+    const auto& record = records_.at(raw_id);
+    out.u64(raw_id);
+    out.u64(record.joined_epoch);
+    out.u8(record.in_s ? 1 : 0);
+  }
+  return out.take();
+}
+
+void TtServer::restore_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  epoch_ = in.u64();
+  GK_ENSURE_MSG(in.u32() == s_period_epochs_,
+                "restored state has a different S-period");
+  const auto watermark = in.u64();
+  auto restored_s = lkh::restore_tree_exact(in.blob(), ids_);
+  auto restored_l = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored_s.degree() == s_tree_.degree() &&
+                    restored_l.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  s_tree_ = std::move(restored_s);
+  l_tree_ = std::move(restored_l);
+  dek_.restore_state(in);
+  records_.clear();
+  const auto count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    Record record;
+    record.joined_epoch = in.u64();
+    record.in_s = in.u8() != 0;
+    GK_ENSURE_MSG(records_.emplace(raw_id, record).second,
+                  "server state corrupt: duplicate member record");
+  }
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  ids_->reset_to(watermark);
+  relocations_.clear();
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+}
+
+std::vector<PathKey> TtServer::member_path_keys(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  const lkh::KeyTree& tree = it->second.in_s ? s_tree_ : l_tree_;
+  std::vector<PathKey> path;
+  for (const auto& entry : tree.path_keys(member)) path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 TtServer::member_individual_key(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  return (it->second.in_s ? s_tree_ : l_tree_).individual_key(member);
+}
+
+crypto::KeyId TtServer::member_leaf_id(workload::MemberId member) const {
+  const auto it = records_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != records_.end(), "member " << workload::raw(member) << " unknown");
+  return (it->second.in_s ? s_tree_ : l_tree_).leaf_id(member);
 }
 
 }  // namespace gk::partition

@@ -19,7 +19,7 @@ namespace gk::partition {
 /// individual key*, so the move costs multicast wraps only (no new
 /// registration unicast) and never rotates the DEK by itself — the migrant
 /// is still an authorized member.
-class TtServer final : public RekeyServer {
+class TtServer final : public DurableRekeyServer {
  public:
   TtServer(unsigned degree, unsigned s_period_epochs, Rng rng);
 
@@ -32,6 +32,15 @@ class TtServer final : public RekeyServer {
   [[nodiscard]] std::size_t size() const override { return records_.size(); }
   [[nodiscard]] std::vector<crypto::KeyId> member_path(
       workload::MemberId member) const override;
+
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void restore_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<PathKey> member_path_keys(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
 
   [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
   [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }

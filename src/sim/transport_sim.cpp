@@ -170,6 +170,7 @@ TransportSimResult run_transport_sim(const TransportSimConfig& config) {
       epoch_report.key_transmissions += report.key_transmissions;
       epoch_report.nacks += report.nacks;
       if (!report.all_delivered) epoch_report.all_delivered = false;
+      if (report.rounds_capped) ++result.capped_sessions;
       if (tree_scoped)
         packets_by_tree[tree] += report.packets_sent;
       else

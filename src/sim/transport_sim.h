@@ -70,6 +70,9 @@ struct TransportSimResult {
   std::vector<RunningStats> offered_by_tree;
 
   bool all_delivered = true;
+  /// Transport sessions that hit their round cap with receivers still
+  /// missing keys (gave up; see TransportReport::rounds_capped).
+  std::size_t capped_sessions = 0;
 };
 
 [[nodiscard]] TransportSimResult run_transport_sim(const TransportSimConfig& config);

@@ -252,6 +252,7 @@ TransportReport ProactiveFecTransport::deliver(
   report.all_delivered =
       std::all_of(receivers.begin(), receivers.end(),
                   [](const SessionReceiver& r) { return r.done(); });
+  report.rounds_capped = !report.all_delivered;
   return report;
 }
 

@@ -61,6 +61,7 @@ TransportReport MultiSendTransport::deliver(std::span<const crypto::WrappedKey> 
   report.all_delivered =
       std::all_of(receivers.begin(), receivers.end(),
                   [](const SessionReceiver& r) { return r.done(); });
+  report.rounds_capped = !report.all_delivered;
   return report;
 }
 

@@ -1,0 +1,58 @@
+#include "transport/resync.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace gk::transport {
+
+ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
+                        netsim::Receiver& channel, const ResyncConfig& config) {
+  GK_ENSURE_MSG(config.keys_per_packet > 0, "keys_per_packet must be positive");
+  GK_ENSURE_MSG(config.retry_budget > 0, "retry_budget must be positive");
+
+  ResyncReport report;
+  report.received.assign(bundle.size(), false);
+  if (bundle.empty()) {
+    report.delivered = true;
+    return report;
+  }
+
+  std::size_t missing = bundle.size();
+  for (std::size_t attempt = 1; attempt <= config.retry_budget; ++attempt) {
+    ++report.attempts;
+    // Retransmit only what the member's NACK reported missing, packed into
+    // unicast packets; each packet survives or drops as a unit.
+    std::size_t in_packet = 0;
+    bool packet_arrives = false;
+    for (std::size_t w = 0; w < bundle.size(); ++w) {
+      if (report.received[w]) continue;
+      if (in_packet == 0) {
+        ++report.packets_sent;
+        packet_arrives = channel.receives();
+      }
+      ++report.key_transmissions;
+      if (packet_arrives) {
+        report.received[w] = true;
+        --missing;
+      }
+      in_packet = (in_packet + 1) % config.keys_per_packet;
+    }
+    if (missing == 0) {
+      report.delivered = true;
+      return report;
+    }
+    if (attempt < config.retry_budget) {
+      const std::size_t shift = attempt - 1;
+      const std::size_t backoff =
+          shift >= 63 ? config.max_backoff_rounds
+                      : std::min(config.base_backoff_rounds << shift,
+                                 config.max_backoff_rounds);
+      report.rounds_waited += backoff;
+    }
+  }
+  report.evicted = true;
+  return report;
+}
+
+}  // namespace gk::transport

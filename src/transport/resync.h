@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/keywrap.h"
+#include "netsim/receiver.h"
+
+namespace gk::transport {
+
+/// Member resynchronization protocol: unicast delivery of a catch-up bundle
+/// (the member's current leaf-to-root path keys, built by
+/// partition::make_catchup_bundle) to one desynchronized member.
+///
+/// A member falls behind when a rekey session gives up on it
+/// (TransportReport::rounds_capped) or when it crashes and rejoins with a
+/// wiped ring. Instead of forcing a group-wide rekey, the server re-sends
+/// exactly the keys that member needs, NACK-driven with capped exponential
+/// backoff between attempts; a member whose retry budget runs out is
+/// declared unreachable and evicted at the next epoch (its departure then
+/// rotates every key it knew, so a straggler can never pin the group key).
+struct ResyncConfig {
+  /// Wraps packed per unicast packet (loss is per packet).
+  std::size_t keys_per_packet = 16;
+  /// Delivery attempts before the member is declared unreachable.
+  std::size_t retry_budget = 6;
+  /// Backoff before retry k (1-based) is
+  /// min(base_backoff_rounds << (k - 1), max_backoff_rounds) rounds.
+  std::size_t base_backoff_rounds = 1;
+  std::size_t max_backoff_rounds = 8;
+};
+
+struct ResyncReport {
+  /// The member holds the complete bundle.
+  bool delivered = false;
+  /// Retry budget exhausted with wraps still missing: evict the member.
+  bool evicted = false;
+  /// Delivery attempts made (first transmission included).
+  std::size_t attempts = 0;
+  /// Backoff rounds spent waiting between attempts (latency proxy).
+  std::size_t rounds_waited = 0;
+  std::size_t packets_sent = 0;
+  /// Wrapped keys put on the wire, the paper's bandwidth unit. Unicast, so
+  /// it never inflates the multicast metric — reported separately.
+  std::size_t key_transmissions = 0;
+  /// Which bundle entries arrived (parallel to the bundle; partial on
+  /// eviction).
+  std::vector<bool> received;
+};
+
+/// Drive one member's resync to completion or eviction. Only the
+/// still-missing wraps are retransmitted on each attempt.
+[[nodiscard]] ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
+                                      netsim::Receiver& channel,
+                                      const ResyncConfig& config);
+
+}  // namespace gk::transport

@@ -34,12 +34,25 @@ struct SessionReceiver {
 /// bandwidth metric (every encrypted key counted once per time it is
 /// multicast, including proactive replicas, retransmissions, and — for
 /// FEC — parity expressed in key-equivalents).
+///
+/// Termination contract: a deliver() call ends in exactly one of two ways.
+/// Either every receiver obtained its whole interest set —
+/// `all_delivered == true` — or the protocol hit its round cap with
+/// receivers still missing keys and *gave up* — `all_delivered == false`
+/// and `rounds_capped == true`. `all_delivered == false` therefore never
+/// means "still in progress": the session is over, and the receivers whose
+/// `done()` is false are desynchronized until the resync protocol
+/// (transport/resync.h) or the next epoch's rekey catches them up.
 struct TransportReport {
   std::size_t rounds = 0;
   std::size_t packets_sent = 0;
   std::size_t key_transmissions = 0;
   std::size_t nacks = 0;
   bool all_delivered = false;
+  /// True iff the round cap fired while some receiver was still missing
+  /// keys (always equal to `!all_delivered` at return; kept separate so
+  /// aggregated reports can count capped sessions explicitly).
+  bool rounds_capped = false;
 };
 
 /// Common interface so experiments can swap protocols.

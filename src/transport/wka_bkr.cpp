@@ -136,6 +136,7 @@ TransportReport WkaBkrTransport::deliver(std::span<const crypto::WrappedKey> pay
   report.all_delivered =
       std::all_of(receivers.begin(), receivers.end(),
                   [](const SessionReceiver& r) { return r.done(); });
+  report.rounds_capped = !report.all_delivered;
   return report;
 }
 

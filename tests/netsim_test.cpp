@@ -79,6 +79,39 @@ TEST(Receiver, DeterministicGivenSeed) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.receives(), b.receives());
 }
 
+TEST(BurstParams, StationaryLossClosedFormIsTheMarkovChainStationaryMean) {
+  // pi_bad = g2b / (g2b + b2g); loss = pi_bad * bad + (1 - pi_bad) * good.
+  const BurstParams params{0.01, 0.6, 0.05, 0.20};
+  const double pi_bad = 0.05 / 0.25;
+  EXPECT_DOUBLE_EQ(params.stationary_loss(), pi_bad * 0.6 + (1.0 - pi_bad) * 0.01);
+}
+
+TEST(BurstParams, StationaryLossMatchesEmpiricalGilbertElliottRun) {
+  const BurstParams params{0.01, 0.6, 0.05, 0.20};
+  Receiver receiver(make_member_id(7), params, Rng(21));
+  const int trials = 500000;
+  int losses = 0;
+  for (int i = 0; i < trials; ++i)
+    if (!receiver.receives()) ++losses;
+  EXPECT_NEAR(static_cast<double>(losses) / trials, params.stationary_loss(), 0.01);
+  EXPECT_NEAR(receiver.observed_loss(), params.stationary_loss(), 0.01);
+}
+
+TEST(Receiver, BernoulliDropSequenceDeterministicGivenSeed) {
+  Receiver a(make_member_id(1), 0.3, Rng(42));
+  Receiver b(make_member_id(1), 0.3, Rng(42));
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(a.receives(), b.receives());
+}
+
+TEST(Receiver, DifferentSeedsGiveDifferentDropSequences) {
+  Receiver a(make_member_id(1), 0.3, Rng(42));
+  Receiver b(make_member_id(1), 0.3, Rng(43));
+  int diffs = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (a.receives() != b.receives()) ++diffs;
+  EXPECT_GT(diffs, 0);
+}
+
 TEST(ChannelStats, MergeAccumulates) {
   ChannelStats a{10, 8, 2};
   const ChannelStats b{5, 4, 1};

@@ -143,7 +143,25 @@ TEST(Robustness, TransportReportsIncompleteDeliveryAtRoundCap) {
   transport::WkaBkrTransport transport(config);
   const auto report = transport.deliver(payload, receivers);
   EXPECT_FALSE(report.all_delivered);
+  // The contract: a false all_delivered means the protocol *gave up* at its
+  // round cap, never "still in progress".
+  EXPECT_TRUE(report.rounds_capped);
   EXPECT_GT(report.nacks, 0u);
+}
+
+TEST(Robustness, CompletedDeliveryIsNotReportedAsCapped) {
+  Rng rng(9);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrappedKey> payload{
+      crypto::wrap_key(kek, crypto::make_key_id(1), 0, crypto::Key128::random(rng),
+                       crypto::make_key_id(2), 1, rng)};
+  std::vector<transport::SessionReceiver> receivers;
+  receivers.emplace_back(netsim::Receiver(make_member_id(1), 0.0, rng.fork()),
+                         std::vector<std::uint32_t>{0});
+  transport::WkaBkrTransport transport({});
+  const auto report = transport.deliver(payload, receivers);
+  EXPECT_TRUE(report.all_delivered);
+  EXPECT_FALSE(report.rounds_capped);
 }
 
 TEST(Robustness, TamperedRsShardCannotForgeKeys) {
