@@ -44,38 +44,61 @@ void BM_WrapUnwrap(benchmark::State& state) {
 }
 BENCHMARK(BM_WrapUnwrap);
 
-void BM_KeyTreeJoinCommit(benchmark::State& state) {
+// One join-commit plus one leave-commit per iteration, measured *together*:
+// the former Pause/ResumeTiming around the compensating leave added a known
+// ~100ns+ per-call overhead that swamped small commits and distorted the
+// steady state. The pair is the natural churn unit anyway (group size stays
+// pinned), and the reported time is simply "one epoch of each kind".
+// Arg(1) selects the crypto mode: 1 = engine (cached per-node KEK
+// expansions), 0 = seed-crypto (one expansion per wrap, the seed's cost).
+void BM_KeyTreeJoinLeaveCommit(benchmark::State& state) {
   const auto group_size = static_cast<std::uint64_t>(state.range(0));
+  const bool engine_mode = state.range(1) != 0;
   lkh::KeyTree tree(4, Rng(2));
+  tree.reserve(group_size);
   for (std::uint64_t i = 0; i < group_size; ++i)
     tree.insert(workload::make_member_id(i));
   (void)tree.commit(0);
+  tree.set_wrap_cache(engine_mode);
 
   std::uint64_t next = group_size;
   std::uint64_t epoch = 1;
+  std::uint64_t wraps = 0;
   for (auto _ : state) {
     tree.insert(workload::make_member_id(next++));
-    auto message = tree.commit(epoch++);
-    benchmark::DoNotOptimize(message);
-    state.PauseTiming();
+    auto join_message = tree.commit(epoch++);
+    wraps += join_message.cost();
+    benchmark::DoNotOptimize(join_message);
     tree.remove(workload::make_member_id(next - 1));  // hold size steady
-    (void)tree.commit(epoch++);
-    state.ResumeTiming();
+    auto leave_message = tree.commit(epoch++);
+    wraps += leave_message.cost();
+    benchmark::DoNotOptimize(leave_message);
   }
+  state.counters["wraps/s"] =
+      benchmark::Counter(static_cast<double>(wraps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_KeyTreeJoinCommit)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_KeyTreeJoinLeaveCommit)
+    ->ArgNames({"n", "engine"})
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Args({16384, 1})
+    ->Args({16384, 0});
 
 void BM_KeyTreeBatchCommit(benchmark::State& state) {
   const auto group_size = static_cast<std::uint64_t>(state.range(0));
+  const bool engine_mode = state.range(1) != 0;
   const std::uint64_t batch = 64;
   lkh::KeyTree tree(4, Rng(3));
+  tree.reserve(group_size);
   for (std::uint64_t i = 0; i < group_size; ++i)
     tree.insert(workload::make_member_id(i));
   (void)tree.commit(0);
+  tree.set_wrap_cache(engine_mode);
 
   Rng rng(4);
   std::uint64_t next = group_size;
   std::uint64_t epoch = 1;
+  std::uint64_t wraps = 0;
   std::vector<std::uint64_t> present(group_size);
   for (std::uint64_t i = 0; i < group_size; ++i) present[i] = i;
 
@@ -87,10 +110,42 @@ void BM_KeyTreeBatchCommit(benchmark::State& state) {
       tree.insert(workload::make_member_id(next++));
     }
     auto message = tree.commit(epoch++);
+    wraps += message.cost();
     benchmark::DoNotOptimize(message);
   }
+  state.counters["wraps/s"] =
+      benchmark::Counter(static_cast<double>(wraps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_KeyTreeBatchCommit)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_KeyTreeBatchCommit)
+    ->ArgNames({"n", "engine"})
+    ->Args({4096, 1})
+    ->Args({4096, 0})
+    ->Args({65536, 1})
+    ->Args({65536, 0});
+
+void BM_WrapBatchSharedKek(benchmark::State& state) {
+  // The batched kernel amortizes one KEK expansion across the whole batch;
+  // compare against BM_WrapUnwrap's per-call expansion.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto kek = crypto::Key128::random(rng);
+  std::vector<crypto::WrapRequest> requests(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    requests[i].payload = crypto::Key128::random(rng);
+    requests[i].target_id = crypto::make_key_id(100 + i);
+    requests[i].target_version = 1;
+    requests[i].nonce = crypto::derive_wrap_nonce(1, crypto::make_key_id(100 + i), 0);
+  }
+  std::vector<crypto::WrappedKey> out(batch);
+  for (auto _ : state) {
+    crypto::wrap_keys_batch(kek, crypto::make_key_id(1), 0, requests,
+                            std::span<crypto::WrappedKey>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_WrapBatchSharedKek)->Arg(16)->Arg(256);
 
 void BM_KeyRingProcess(benchmark::State& state) {
   lkh::KeyTree tree(4, Rng(5));
@@ -118,16 +173,18 @@ void BM_OftLeave(benchmark::State& state) {
     scratch.wraps.clear();
     (void)tree.join(workload::make_member_id(i), scratch);
   }
+  // Leave + compensating join measured together (same steady-state reasoning
+  // as BM_KeyTreeJoinLeaveCommit: Pause/ResumeTiming overhead is larger than
+  // a small OFT operation).
   std::uint64_t next = group_size;
   std::uint64_t victim = 0;
   for (auto _ : state) {
     lkh::RekeyMessage message;
     tree.leave(workload::make_member_id(victim++), message);
     benchmark::DoNotOptimize(message);
-    state.PauseTiming();
     lkh::RekeyMessage rejoin;
     (void)tree.join(workload::make_member_id(next++), rejoin);
-    state.ResumeTiming();
+    benchmark::DoNotOptimize(rejoin);
   }
 }
 BENCHMARK(BM_OftLeave)->Arg(1024)->Arg(8192);

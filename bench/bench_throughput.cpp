@@ -1,0 +1,275 @@
+// Rekey-engine throughput: epochs/sec, wraps/sec, and commit-latency
+// percentiles for all four schemes at production group sizes, across
+// thread counts, against a "seed-crypto" baseline that disables the
+// per-node KEK-expansion cache (reproducing the seed's
+// one-expansion-per-wrap cost on the sequential path).
+//
+// Unlike the figure benches (paper bandwidth metrics), this measures the
+// *server CPU* hot path the arena rebuild targets. Results are printed as
+// a table and written as machine-readable JSON (BENCH_throughput.json) so
+// successive PRs accumulate a perf trajectory.
+//
+// Usage:
+//   bench_throughput [--smoke] [--json PATH] [--epochs E]
+//
+//   --smoke   CI mode: one small group size, two thread counts, few epochs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "partition/adaptive.h"
+#include "partition/factory.h"
+#include "partition/one_keytree_server.h"
+#include "partition/server.h"
+#include "workload/member.h"
+
+namespace {
+
+using namespace gk;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  bool smoke = false;
+  std::string json_path = "BENCH_throughput.json";
+  std::size_t epochs = 0;  // 0 = per-mode default
+};
+
+struct Row {
+  std::string scheme;
+  std::size_t members = 0;
+  std::string mode;  // "seed-crypto" or "engine"
+  unsigned threads = 1;
+  std::size_t epochs = 0;
+  std::size_t batch = 0;
+  std::uint64_t total_wraps = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  unsigned tree_height = 0;
+  double mean_leaf_depth = 0.0;
+
+  [[nodiscard]] double epochs_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(epochs) / seconds : 0.0;
+  }
+  [[nodiscard]] double wraps_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(total_wraps) / seconds : 0.0;
+  }
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Steady-state churn driver: every epoch replaces `batch` random members
+/// with fresh arrivals (a join+leave pair keeps the group size pinned),
+/// then times end_epoch(). Membership classes are mixed so the PT oracle
+/// and the QT/TT migration machinery all stay exercised.
+class ChurnDriver {
+ public:
+  ChurnDriver(partition::RekeyServer& server, std::size_t members, Rng rng)
+      : server_(server), rng_(rng) {
+    server_.reserve(members);
+    present_.reserve(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      (void)server_.join(make_profile());
+      present_.push_back(next_id_ - 1);
+    }
+    (void)server_.end_epoch();
+  }
+
+  /// Run `epochs` epochs of `batch` join+leave pairs each. Appends one
+  /// commit latency (ms) per epoch and returns (total wraps, seconds).
+  std::pair<std::uint64_t, double> run(std::size_t epochs, std::size_t batch,
+                                       std::vector<double>& latencies_ms) {
+    std::uint64_t wraps = 0;
+    double seconds = 0.0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto victim = rng_.uniform_u64(present_.size());
+        server_.leave(workload::make_member_id(present_[victim]));
+        (void)server_.join(make_profile());
+        present_[victim] = next_id_ - 1;
+      }
+      const auto start = Clock::now();
+      const auto output = server_.end_epoch();
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      wraps += output.message.cost();
+      seconds += elapsed.count();
+      latencies_ms.push_back(elapsed.count() * 1e3);
+    }
+    return {wraps, seconds};
+  }
+
+  /// One untimed epoch, for cache warm-up after a mode switch.
+  void warm_epoch(std::size_t batch) {
+    std::vector<double> sink;
+    (void)run(1, batch, sink);
+  }
+
+ private:
+  workload::MemberProfile make_profile() {
+    workload::MemberProfile profile;
+    profile.id = workload::make_member_id(next_id_++);
+    profile.member_class = rng_.bernoulli(0.7) ? workload::MemberClass::kShort
+                                               : workload::MemberClass::kLong;
+    profile.duration = profile.member_class == workload::MemberClass::kShort ? 60.0 : 3600.0;
+    return profile;
+  }
+
+  partition::RekeyServer& server_;
+  Rng rng_;
+  std::vector<std::uint64_t> present_;
+  std::uint64_t next_id_ = 0;
+};
+
+void fill_tree_shape(const partition::RekeyServer& server, Row& row) {
+  if (const auto* one = dynamic_cast<const partition::OneKeyTreeServer*>(&server)) {
+    const auto stats = one->tree().stats();
+    row.tree_height = stats.height;
+    row.mean_leaf_depth = stats.mean_leaf_depth;
+  }
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"throughput\",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"metric_units\": {\"epochs_per_sec\": \"1/s\", \"wraps_per_sec\": \"1/s\", "
+         "\"p50_ms\": \"ms\", \"p99_ms\": \"ms\"},\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"scheme\": \"" << r.scheme << "\", \"members\": " << r.members
+        << ", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+        << ", \"epochs\": " << r.epochs << ", \"batch\": " << r.batch
+        << ", \"total_wraps\": " << r.total_wraps << ", \"seconds\": " << r.seconds
+        << ", \"epochs_per_sec\": " << r.epochs_per_sec()
+        << ", \"wraps_per_sec\": " << r.wraps_per_sec() << ", \"p50_ms\": " << r.p50_ms
+        << ", \"p99_ms\": " << r.p99_ms << ", \"tree_height\": " << r.tree_height
+        << ", \"mean_leaf_depth\": " << r.mean_leaf_depth << "}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << " (" << rows.size() << " rows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      config.epochs = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_throughput [--smoke] [--json PATH] [--epochs E]\n";
+      return 2;
+    }
+  }
+
+  bench::banner("bench_throughput",
+                "rekey-engine commit throughput: arena trees, cached KEK expansions, "
+                "deterministic parallel wrap emission");
+  std::cout << "metric override: server-side commit CPU (epochs/sec, wraps/sec, latency)\n";
+
+  const std::vector<std::size_t> sizes =
+      config.smoke ? std::vector<std::size_t>{4096}
+                   : std::vector<std::size_t>{65536, 262144, 1048576};
+  const std::vector<unsigned> thread_counts =
+      config.smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  const std::size_t epochs = config.epochs ? config.epochs : (config.smoke ? 4 : 16);
+
+  const std::vector<partition::SchemeKind> schemes = {
+      partition::SchemeKind::kOneKeyTree, partition::SchemeKind::kQt,
+      partition::SchemeKind::kTt, partition::SchemeKind::kPt};
+
+  // Pools are shared across configurations: spawn each size once.
+  std::vector<std::unique_ptr<common::ThreadPool>> pools;
+  for (const unsigned t : thread_counts)
+    pools.push_back(t > 1 ? std::make_unique<common::ThreadPool>(t) : nullptr);
+
+  std::vector<Row> rows;
+  Table table({"scheme", "members", "mode", "threads", "epochs/s", "wraps/s", "p50 ms",
+               "p99 ms"});
+
+  for (const std::size_t members : sizes) {
+    // Batch scales with the group so dirty subtrees stay proportional.
+    const std::size_t batch = std::max<std::size_t>(16, members / 1024);
+    for (const auto kind : schemes) {
+      // One bootstrap per (scheme, size); modes run back-to-back on the
+      // live server — steady-state churn keeps the group size pinned, so
+      // later modes see the same population statistics.
+      auto server = partition::make_server(kind, /*degree=*/4, /*s_period_epochs=*/8,
+                                           Rng(0x5eed ^ members));
+      ChurnDriver driver(*server, members, Rng(0xc0ffee ^ members));
+
+      const auto measure = [&](const std::string& mode, unsigned threads,
+                               common::ThreadPool* pool, bool wrap_cache) {
+        server->set_wrap_cache(wrap_cache);
+        server->set_executor(pool);
+        driver.warm_epoch(batch);
+        Row row;
+        row.scheme = partition::to_string(kind);
+        row.members = members;
+        row.mode = mode;
+        row.threads = threads;
+        row.epochs = epochs;
+        row.batch = batch;
+        std::vector<double> latencies;
+        std::tie(row.total_wraps, row.seconds) = driver.run(epochs, batch, latencies);
+        row.p50_ms = percentile(latencies, 0.50);
+        row.p99_ms = percentile(latencies, 0.99);
+        fill_tree_shape(*server, row);
+        rows.push_back(row);
+        table.add_row({row.scheme, std::to_string(members), mode, std::to_string(threads),
+                       fmt(row.epochs_per_sec(), 1), fmt(row.wraps_per_sec(), 0),
+                       fmt(row.p50_ms, 2), fmt(row.p99_ms, 2)});
+      };
+
+      measure("seed-crypto", 1, nullptr, /*wrap_cache=*/false);
+      for (std::size_t t = 0; t < thread_counts.size(); ++t)
+        measure("engine", thread_counts[t], pools[t].get(), /*wrap_cache=*/true);
+    }
+  }
+
+  bench::print_with_csv(table, "rekey-engine throughput");
+
+  // Headline speedups at the largest size, one-keytree scheme.
+  const auto find = [&](const std::string& mode, unsigned threads) -> const Row* {
+    for (const Row& r : rows)
+      if (r.scheme == "one-keytree" && r.members == sizes.back() && r.mode == mode &&
+          r.threads == threads)
+        return &r;
+    return nullptr;
+  };
+  const Row* seed = find("seed-crypto", 1);
+  if (seed != nullptr && seed->wraps_per_sec() > 0.0) {
+    for (const unsigned t : thread_counts)
+      if (const Row* engine = find("engine", t))
+        std::cout << "one-keytree N=" << sizes.back() << ": engine x" << t
+                  << " threads = " << fmt(engine->wraps_per_sec() / seed->wraps_per_sec(), 2)
+                  << "x seed-crypto wraps/sec\n";
+  }
+
+  write_json(config.json_path, rows, config.smoke);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gk::common {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain_current_job() {
+  // Claim chunks until the cursor runs out. Called with mutex_ held; the
+  // lock is dropped around the user function.
+  while (cursor_ < job_end_) {
+    const std::size_t begin = cursor_;
+    const std::size_t end = std::min(job_end_, begin + job_grain_);
+    cursor_ = end;
+    ++in_flight_;
+    const auto* fn = job_;
+    mutex_.unlock();
+    (*fn)(begin, end);
+    mutex_.lock();
+    --in_flight_;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                       cursor_ < job_end_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    drain_current_job();
+    if (in_flight_ == 0 && cursor_ >= job_end_) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  job_ = &fn;
+  job_end_ = n;
+  job_grain_ = grain;
+  cursor_ = 0;
+  ++generation_;
+  work_ready_.notify_all();
+  drain_current_job();  // the caller is a lane too
+  work_done_.wait(lock, [&] { return cursor_ >= job_end_ && in_flight_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace gk::common

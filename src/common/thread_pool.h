@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gk::common {
+
+/// A reusable fixed-size worker pool for data-parallel loops.
+///
+/// The rekey engine fans independent per-node work (wrap emission for
+/// disjoint dirty subtrees) across this pool. Workers persist for the pool's
+/// lifetime, so a per-epoch commit pays no thread spawn cost. The pool is
+/// deliberately minimal: one blocking `parallel_for` at a time, caller
+/// participates in the work, dynamic chunk self-scheduling via an atomic
+/// cursor. Output determinism is the *caller's* contract — tasks must write
+/// only to disjoint, index-addressed slots so results are byte-identical to
+/// a sequential run regardless of execution order.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 means std::thread::hardware_concurrency().
+  /// A pool of size 1 runs everything on the calling thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread's lane).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Apply `fn(begin, end)` over contiguous chunks covering [0, n), at most
+  /// `grain` indices per call, in parallel. Blocks until every index is
+  /// processed. Must not be called reentrantly from inside `fn`.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  std::size_t cursor_ = 0;        // next unclaimed index
+  std::size_t in_flight_ = 0;     // chunks claimed but not finished
+  std::uint64_t generation_ = 0;  // bumps per parallel_for, wakes workers
+  bool stop_ = false;
+};
+
+}  // namespace gk::common

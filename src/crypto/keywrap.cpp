@@ -1,7 +1,6 @@
 #include "crypto/keywrap.h"
 
 #include <cstring>
-#include <vector>
 
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
@@ -10,82 +9,144 @@
 namespace gk::crypto {
 namespace {
 
-/// Expand the 128-bit KEK into independent 256-bit cipher and MAC keys.
-struct ExpandedKek {
-  std::array<std::uint8_t, ChaCha20::kKeySize> cipher_key;
-  std::array<std::uint8_t, 32> mac_key;
-};
-
-ExpandedKek expand(const Key128& kek) noexcept {
-  static constexpr std::uint8_t kCipherLabel[] = {'g', 'k', 'c', '1'};
-  static constexpr std::uint8_t kMacLabel[] = {'g', 'k', 'm', '1'};
-  ExpandedKek out;
-  const auto cipher_digest = hmac_sha256(kek.bytes(), std::span(kCipherLabel));
-  const auto mac_digest = hmac_sha256(kek.bytes(), std::span(kMacLabel));
-  std::memcpy(out.cipher_key.data(), cipher_digest.data(), out.cipher_key.size());
-  std::memcpy(out.mac_key.data(), mac_digest.data(), out.mac_key.size());
-  return out;
-}
-
 /// Associated data covered by the MAC: ids, versions, nonce, ciphertext.
-std::vector<std::uint8_t> mac_input(const WrappedKey& w) {
-  std::vector<std::uint8_t> buf;
-  buf.reserve(WrappedKey::kWireSize - w.tag.size());
-  auto push_u64 = [&buf](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+/// Fixed-size stack buffer — the wrap hot path must not allocate.
+using MacInput = std::array<std::uint8_t, 24 + 12 + Key128::kSize>;
+
+MacInput mac_input(const WrappedKey& w) noexcept {
+  MacInput buf;
+  std::size_t at = 0;
+  auto push_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf[at++] = static_cast<std::uint8_t>(v >> (8 * i));
   };
   push_u64(raw(w.target_id));
   push_u64((std::uint64_t{w.target_version} << 32) | w.wrapping_version);
   push_u64(raw(w.wrapping_id));
-  buf.insert(buf.end(), w.nonce.begin(), w.nonce.end());
-  buf.insert(buf.end(), w.ciphertext.begin(), w.ciphertext.end());
+  std::memcpy(buf.data() + at, w.nonce.data(), w.nonce.size());
+  at += w.nonce.size();
+  std::memcpy(buf.data() + at, w.ciphertext.data(), w.ciphertext.size());
   return buf;
 }
 
 }  // namespace
 
-WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id, std::uint32_t wrapping_version,
-                    const Key128& payload, KeyId target_id, std::uint32_t target_version,
-                    Rng& rng) noexcept {
+WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
+                            std::uint32_t index) noexcept {
+  // SHA-256 over a domain-separated counter block, truncated to 96 bits.
+  std::array<std::uint8_t, 4 + 8 + 8 + 4> block;
+  block[0] = 'g';
+  block[1] = 'k';
+  block[2] = 'n';
+  block[3] = '1';
+  std::size_t at = 4;
+  auto push_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) block[at++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  push_u64(epoch);
+  push_u64(raw(dest));
+  for (int i = 0; i < 4; ++i) block[at++] = static_cast<std::uint8_t>(index >> (8 * i));
+
+  const auto digest = sha256(block);
+  WrapNonce nonce;
+  std::memcpy(nonce.data(), digest.data(), nonce.size());
+  return nonce;
+}
+
+PreparedKek::PreparedKek(const Key128& kek) noexcept {
+  // Expand the 128-bit KEK into independent 256-bit cipher and MAC keys.
+  static constexpr std::uint8_t kCipherLabel[] = {'g', 'k', 'c', '1'};
+  static constexpr std::uint8_t kMacLabel[] = {'g', 'k', 'm', '1'};
+  const auto cipher_digest = hmac_sha256(kek.bytes(), std::span(kCipherLabel));
+  const auto mac_digest = hmac_sha256(kek.bytes(), std::span(kMacLabel));
+  std::memcpy(cipher_key_.data(), cipher_digest.data(), cipher_key_.size());
+  std::memcpy(mac_key_.data(), mac_digest.data(), mac_key_.size());
+}
+
+WrappedKey PreparedKek::wrap(KeyId wrapping_id, std::uint32_t wrapping_version,
+                             const Key128& payload, KeyId target_id,
+                             std::uint32_t target_version,
+                             const WrapNonce& nonce) const noexcept {
   WrappedKey out;
   out.target_id = target_id;
   out.target_version = target_version;
   out.wrapping_id = wrapping_id;
   out.wrapping_version = wrapping_version;
+  out.nonce = nonce;
 
-  for (std::size_t i = 0; i < out.nonce.size(); i += 4) {
-    const std::uint64_t word = rng();
-    for (std::size_t j = 0; j < 4; ++j)
-      out.nonce[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
-  }
-
-  const auto expanded = expand(kek);
   std::memcpy(out.ciphertext.data(), payload.bytes().data(), out.ciphertext.size());
-  ChaCha20 cipher(std::span<const std::uint8_t, ChaCha20::kKeySize>(expanded.cipher_key),
+  ChaCha20 cipher(std::span<const std::uint8_t, ChaCha20::kKeySize>(cipher_key_),
                   std::span<const std::uint8_t, ChaCha20::kNonceSize>(out.nonce));
   cipher.crypt(std::span<std::uint8_t>(out.ciphertext));
 
   const auto input = mac_input(out);
-  const auto digest = hmac_sha256(std::span<const std::uint8_t>(expanded.mac_key),
+  const auto digest = hmac_sha256(std::span<const std::uint8_t>(mac_key_),
                                   std::span<const std::uint8_t>(input));
   std::memcpy(out.tag.data(), digest.data(), out.tag.size());
   return out;
 }
 
-std::optional<Key128> unwrap_key(const Key128& kek, const WrappedKey& wrapped) noexcept {
-  const auto expanded = expand(kek);
+std::optional<Key128> PreparedKek::unwrap(const WrappedKey& wrapped) const noexcept {
   const auto input = mac_input(wrapped);
-  const auto digest = hmac_sha256(std::span<const std::uint8_t>(expanded.mac_key),
+  const auto digest = hmac_sha256(std::span<const std::uint8_t>(mac_key_),
                                   std::span<const std::uint8_t>(input));
   if (!constant_time_equal(std::span<const std::uint8_t>(wrapped.tag),
                            std::span<const std::uint8_t>(digest.data(), wrapped.tag.size())))
     return std::nullopt;
 
   std::array<std::uint8_t, Key128::kSize> plain = wrapped.ciphertext;
-  ChaCha20 cipher(std::span<const std::uint8_t, ChaCha20::kKeySize>(expanded.cipher_key),
+  ChaCha20 cipher(std::span<const std::uint8_t, ChaCha20::kKeySize>(cipher_key_),
                   std::span<const std::uint8_t, ChaCha20::kNonceSize>(wrapped.nonce));
   cipher.crypt(std::span<std::uint8_t>(plain));
   return Key128(plain);
+}
+
+void wrap_keys_batch(const Key128& kek, KeyId wrapping_id,
+                     std::uint32_t wrapping_version,
+                     std::span<const WrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept {
+  const PreparedKek prepared(kek);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& r = requests[i];
+    out[i] = prepared.wrap(wrapping_id, wrapping_version, r.payload, r.target_id,
+                           r.target_version, r.nonce);
+  }
+}
+
+std::vector<WrappedKey> wrap_keys_batch(const Key128& kek, KeyId wrapping_id,
+                                        std::uint32_t wrapping_version,
+                                        std::span<const WrapRequest> requests) {
+  std::vector<WrappedKey> out(requests.size());
+  wrap_keys_batch(kek, wrapping_id, wrapping_version, requests,
+                  std::span<WrappedKey>(out));
+  return out;
+}
+
+WrapNonce random_wrap_nonce(Rng& rng) noexcept {
+  WrapNonce nonce;
+  for (std::size_t i = 0; i < nonce.size(); i += 4) {
+    const std::uint64_t word = rng();
+    for (std::size_t j = 0; j < 4; ++j)
+      nonce[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return nonce;
+}
+
+WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id, std::uint32_t wrapping_version,
+                    const Key128& payload, KeyId target_id, std::uint32_t target_version,
+                    Rng& rng) noexcept {
+  return PreparedKek(kek).wrap(wrapping_id, wrapping_version, payload, target_id,
+                               target_version, random_wrap_nonce(rng));
+}
+
+WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id, std::uint32_t wrapping_version,
+                    const Key128& payload, KeyId target_id, std::uint32_t target_version,
+                    const WrapNonce& nonce) noexcept {
+  return PreparedKek(kek).wrap(wrapping_id, wrapping_version, payload, target_id,
+                               target_version, nonce);
+}
+
+std::optional<Key128> unwrap_key(const Key128& kek, const WrappedKey& wrapped) noexcept {
+  return PreparedKek(kek).unwrap(wrapped);
 }
 
 }  // namespace gk::crypto

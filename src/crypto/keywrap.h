@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "crypto/key.h"
 
@@ -33,12 +35,88 @@ struct WrappedKey {
   static constexpr std::size_t kWireSize = 24 + 12 + Key128::kSize + 16;
 };
 
+/// 96-bit ChaCha20 nonce for one wrap.
+using WrapNonce = std::array<std::uint8_t, 12>;
+
+/// Derive the nonce for wrap number `index` of destination node `dest` in
+/// rekey epoch `epoch` — a counter-based KDF (SHA-256 over the labelled
+/// counter tuple, truncated) that replaces drawing nonces from the server's
+/// shared RNG stream.
+///
+/// Safety: a (KEK, nonce) pair never repeats. Within one epoch every dirty
+/// node's wraps carry distinct (dest, index) tuples (node ids are unique
+/// across all trees of a session — they share one IdAllocator); across
+/// epochs the epoch counter differs; a journal replay of the same epoch
+/// regenerates the *same* plaintext under the same keys, so identical
+/// nonces reproduce identical bytes rather than leaking anything new.
+/// Because the derivation needs no shared mutable state, wrap emission
+/// becomes order-independent and can be fanned across threads while staying
+/// byte-identical to a sequential run.
+[[nodiscard]] WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
+                                          std::uint32_t index) noexcept;
+
+/// Draw a random 96-bit nonce from `rng`. For unicast paths (registration,
+/// resync) where wraps are not part of the deterministic multicast stream.
+[[nodiscard]] WrapNonce random_wrap_nonce(Rng& rng) noexcept;
+
+/// A KEK with its ChaCha20/HMAC subkey expansion precomputed. Expanding a
+/// KEK costs two HMAC-SHA-256 invocations — the dominant share of a single
+/// wrap — so hot paths that wrap under the same KEK more than once (batch
+/// kernels, resync bundles, the key tree's per-node KEK cache) prepare once
+/// and reuse.
+class PreparedKek {
+ public:
+  PreparedKek() noexcept = default;
+  explicit PreparedKek(const Key128& kek) noexcept;
+
+  /// Wrap `payload` under this KEK with an explicit nonce.
+  [[nodiscard]] WrappedKey wrap(KeyId wrapping_id, std::uint32_t wrapping_version,
+                                const Key128& payload, KeyId target_id,
+                                std::uint32_t target_version,
+                                const WrapNonce& nonce) const noexcept;
+
+  /// Unwrap; returns nullopt if the tag does not verify.
+  [[nodiscard]] std::optional<Key128> unwrap(const WrappedKey& wrapped) const noexcept;
+
+ private:
+  std::array<std::uint8_t, 32> cipher_key_{};
+  std::array<std::uint8_t, 32> mac_key_{};
+};
+
+/// One payload of a batched wrap.
+struct WrapRequest {
+  Key128 payload;
+  KeyId target_id{};
+  std::uint32_t target_version = 0;
+  WrapNonce nonce{};
+};
+
+/// Batched keywrap kernel: wrap every request under one shared KEK,
+/// amortizing the KEK's subkey expansion across the whole batch. `out` must
+/// have at least `requests.size()` slots; results land at matching indices.
+void wrap_keys_batch(const Key128& kek, KeyId wrapping_id,
+                     std::uint32_t wrapping_version,
+                     std::span<const WrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept;
+
+/// Convenience form returning a fresh vector.
+[[nodiscard]] std::vector<WrappedKey> wrap_keys_batch(
+    const Key128& kek, KeyId wrapping_id, std::uint32_t wrapping_version,
+    std::span<const WrapRequest> requests);
+
 /// Wrap `payload` under `kek`. The nonce is drawn from `rng`; all metadata
-/// is authenticated.
+/// is authenticated. One-shot path: expands the KEK on every call — prefer
+/// PreparedKek / wrap_keys_batch when a KEK is reused.
 [[nodiscard]] WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id,
                                   std::uint32_t wrapping_version, const Key128& payload,
                                   KeyId target_id, std::uint32_t target_version,
                                   Rng& rng) noexcept;
+
+/// One-shot wrap with an explicit (derived) nonce.
+[[nodiscard]] WrappedKey wrap_key(const Key128& kek, KeyId wrapping_id,
+                                  std::uint32_t wrapping_version, const Key128& payload,
+                                  KeyId target_id, std::uint32_t target_version,
+                                  const WrapNonce& nonce) noexcept;
 
 /// Unwrap with `kek`; returns nullopt if the tag does not verify (wrong key
 /// or corrupted message).

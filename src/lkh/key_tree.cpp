@@ -1,9 +1,10 @@
 #include "lkh/key_tree.h"
 
 #include <algorithm>
-#include <deque>
+#include <utility>
 
 #include "common/ensure.h"
+#include "common/thread_pool.h"
 #include "crypto/keywrap.h"
 #include "lkh/key_tree_node.h"
 
@@ -11,82 +12,133 @@ namespace gk::lkh {
 
 namespace {
 
+constexpr std::uint32_t kNil = 0xffffffffu;
+
 void raise_mark(Mark& mark, Mark to) noexcept {
   if (static_cast<std::uint8_t>(to) > static_cast<std::uint8_t>(mark)) mark = to;
 }
 
+/// Dirty-node batches below this many wraps are emitted on the calling
+/// thread even when a pool is attached: the fan-out overhead would exceed
+/// the crypto work.
+constexpr std::size_t kParallelWrapThreshold = 64;
+
 }  // namespace
+
+KeyTree::Node& KeyTree::node(std::uint32_t index) noexcept { return nodes_[index]; }
+const KeyTree::Node& KeyTree::node(std::uint32_t index) const noexcept {
+  return nodes_[index];
+}
+
+std::uint32_t KeyTree::alloc_node() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    nodes_[index].in_free_list = false;
+    return index;
+  }
+  GK_ENSURE_MSG(nodes_.size() < Node::kNil, "key tree arena exhausted");
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void KeyTree::release_node(std::uint32_t index) noexcept {
+  Node& n = nodes_[index];
+  n.children.clear();  // keeps capacity: recycled interiors reallocate nothing
+  n.member.reset();
+  n.parent = kNil;
+  n.slot = 0;
+  n.leaf_count = 0;
+  n.vacancy_entries = 0;
+  n.mark = Mark::kClean;
+  n.new_leaf = false;
+  n.kek_version = Node::kNoKek;
+  n.in_free_list = true;
+  free_.push_back(index);
+}
 
 KeyTree::KeyTree(unsigned degree, Rng rng, std::shared_ptr<IdAllocator> ids)
     : degree_(degree), rng_(rng), ids_(ids ? std::move(ids) : IdAllocator::create()) {
   GK_ENSURE(degree_ >= 2);
-  root_ = std::make_unique<Node>();
-  root_->id = ids_->next();
-  root_->key = {crypto::Key128::random(rng_), 0};
+  root_ = alloc_node();
+  Node& root = node(root_);
+  root.id = ids_->next();
+  root.key = {crypto::Key128::random(rng_), 0};
 }
 
 KeyTree::~KeyTree() = default;
 KeyTree::KeyTree(KeyTree&&) noexcept = default;
 KeyTree& KeyTree::operator=(KeyTree&&) noexcept = default;
 
-bool KeyTree::contains(workload::MemberId member) const noexcept {
-  return leaves_.count(workload::raw(member)) != 0;
+void KeyTree::reserve(std::size_t expected_members) {
+  // Leaves plus roughly N/(d-1) interior nodes, with slack for splits that
+  // briefly overshoot.
+  const std::size_t interior = expected_members / std::max(1u, degree_ - 1) + 8;
+  nodes_.reserve(nodes_.size() + expected_members + interior);
+  leaves_.reserve(expected_members);
 }
 
-KeyTree::Node* KeyTree::locate(workload::MemberId member) const {
+bool KeyTree::contains(workload::MemberId member) const noexcept {
+  return leaves_.contains(workload::raw(member));
+}
+
+std::uint32_t KeyTree::locate(workload::MemberId member) const {
   const auto it = leaves_.find(workload::raw(member));
   GK_ENSURE_MSG(it != leaves_.end(), "member " << workload::raw(member) << " not in tree");
   return it->second;
 }
 
-KeyTree::Node* KeyTree::choose_insert_parent() {
+std::uint32_t KeyTree::choose_insert_parent() {
   // Refill slots vacated by this batch's departures first: their paths are
-  // already dirty, so the join is (nearly) free in multicast cost.
+  // already dirty, so the join is (nearly) free in multicast cost. Stale
+  // entries (forgotten or spliced-away nodes) are skipped via the lazy
+  // per-node counter.
   while (!vacancies_.empty()) {
-    Node* candidate = vacancies_.back();
+    const std::uint32_t candidate = vacancies_.back();
     vacancies_.pop_back();
-    if (candidate->children.size() < degree_) return candidate;
+    Node& c = node(candidate);
+    if (c.vacancy_entries == 0) continue;
+    --c.vacancy_entries;
+    if (c.children.size() < degree_) return candidate;
   }
 
-  Node* node = root_.get();
+  std::uint32_t index = root_;
   while (true) {
-    if (node->children.size() < degree_) return node;
+    if (node(index).children.size() < degree_) return index;
     // Full fan-out: descend into the lightest subtree to keep the tree
     // balanced without global rebuilds.
-    Node* lightest = nullptr;
-    for (const auto& child : node->children)
-      if (lightest == nullptr || child->leaf_count < lightest->leaf_count)
-        lightest = child.get();
-    if (!lightest->is_leaf()) {
-      node = lightest;
+    std::uint32_t lightest = kNil;
+    for (const std::uint32_t child : node(index).children)
+      if (lightest == kNil || node(child).leaf_count < node(lightest).leaf_count)
+        lightest = child;
+    if (!node(lightest).is_leaf()) {
+      index = lightest;
       continue;
     }
     // The lightest child is a leaf in a full node: grow downward by
-    // splitting the leaf under a fresh interior node.
-    auto interior = std::make_unique<Node>();
-    Node* interior_raw = interior.get();
-    interior->id = ids_->next();
-    interior->key = {crypto::Key128::random(rng_), 0};
-    interior->mark = Mark::kNew;
-    interior->parent = node;
-    interior->leaf_count = 1;
-
-    auto owned_leaf = std::move(*std::find_if(
-        node->children.begin(), node->children.end(),
-        [lightest](const std::unique_ptr<Node>& c) { return c.get() == lightest; }));
-    auto slot = std::find_if(node->children.begin(), node->children.end(),
-                             [](const std::unique_ptr<Node>& c) { return c == nullptr; });
-    owned_leaf->parent = interior_raw;
-    interior->children.push_back(std::move(owned_leaf));
-    *slot = std::move(interior);
-    return interior_raw;
+    // splitting the leaf under a fresh interior node (which takes over the
+    // leaf's slot).
+    const std::uint32_t slot = node(lightest).slot;
+    const std::uint32_t interior_idx = alloc_node();  // may invalidate refs
+    Node& interior = node(interior_idx);
+    interior.id = ids_->next();
+    interior.key = {crypto::Key128::random(rng_), 0};
+    interior.mark = Mark::kNew;
+    interior.parent = index;
+    interior.slot = slot;
+    interior.leaf_count = 1;
+    interior.children.push_back(lightest);
+    Node& leaf = node(lightest);
+    leaf.parent = interior_idx;
+    leaf.slot = 0;
+    node(index).children[slot] = interior_idx;
+    return interior_idx;
   }
 }
 
-void KeyTree::mark_path(Node* node, int level) {
-  const auto mark = static_cast<Mark>(level);
-  for (Node* cursor = node; cursor != nullptr; cursor = cursor->parent)
-    raise_mark(cursor->mark, mark);
+void KeyTree::mark_path(std::uint32_t index, Mark mark) noexcept {
+  for (std::uint32_t cursor = index; cursor != kNil; cursor = node(cursor).parent)
+    raise_mark(node(cursor).mark, mark);
 }
 
 KeyTree::JoinGrant KeyTree::insert(workload::MemberId member) {
@@ -97,218 +149,306 @@ KeyTree::JoinGrant KeyTree::insert_with_key(workload::MemberId member,
                                             const crypto::Key128& key) {
   GK_ENSURE_MSG(!contains(member), "member " << workload::raw(member) << " already joined");
 
-  Node* parent = choose_insert_parent();
-
-  auto leaf = std::make_unique<Node>();
-  leaf->id = ids_->next();
-  leaf->key = {key, 0};
-  leaf->member = member;
-  leaf->new_leaf = true;
-  leaf->leaf_count = 1;
-  leaf->parent = parent;
-  Node* leaf_raw = leaf.get();
-  parent->children.push_back(std::move(leaf));
-  leaves_.emplace(workload::raw(member), leaf_raw);
+  const std::uint32_t parent_idx = choose_insert_parent();
+  const std::uint32_t leaf_idx = alloc_node();
+  Node& leaf = node(leaf_idx);
+  leaf.id = ids_->next();
+  leaf.key = {key, 0};
+  leaf.member = member;
+  leaf.new_leaf = true;
+  leaf.leaf_count = 1;
+  leaf.parent = parent_idx;
+  Node& parent = node(parent_idx);
+  leaf.slot = static_cast<std::uint32_t>(parent.children.size());
+  parent.children.push_back(leaf_idx);
+  leaves_.emplace(workload::raw(member), leaf_idx);
 
   // A parent that had no members cannot use the wrap-under-old-key
   // optimization (nobody holds its old key) — mark it as newly keyed.
-  raise_mark(parent->mark,
-             parent->leaf_count == 0 ? Mark::kNew : Mark::kJoin);
-  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent) {
-    ++cursor->leaf_count;
-    if (cursor != parent) raise_mark(cursor->mark, Mark::kJoin);
+  raise_mark(parent.mark, parent.leaf_count == 0 ? Mark::kNew : Mark::kJoin);
+  for (std::uint32_t cursor = parent_idx; cursor != kNil; cursor = node(cursor).parent) {
+    ++node(cursor).leaf_count;
+    if (cursor != parent_idx) raise_mark(node(cursor).mark, Mark::kJoin);
   }
 
-  return {leaf_raw->key.key, leaf_raw->id};
+  return {leaf.key.key, leaf.id};
 }
 
-void KeyTree::forget_vacancy(Node* node) noexcept {
-  vacancies_.erase(std::remove(vacancies_.begin(), vacancies_.end(), node),
-                   vacancies_.end());
+void KeyTree::forget_vacancy(std::uint32_t index) noexcept {
+  node(index).vacancy_entries = 0;  // stale vector entries skipped on pop
 }
 
-void KeyTree::splice_if_degenerate(Node* node) {
+void KeyTree::splice_if_degenerate(std::uint32_t index) {
   // Collapse chains left behind by departures so the tree stays compact:
   // an interior node with a single child is replaced by that child; an
   // empty interior node is deleted. The root is special — it anchors the
   // tree-wide key id — so instead of being replaced it absorbs a lone
   // interior child's children.
-  while (node != nullptr && node != root_.get() && !node->is_leaf()) {
-    Node* parent = node->parent;
-    auto self = std::find_if(parent->children.begin(), parent->children.end(),
-                             [node](const std::unique_ptr<Node>& c) { return c.get() == node; });
-    GK_ENSURE(self != parent->children.end());
-    if (node->children.empty()) {
-      forget_vacancy(node);
-      parent->children.erase(self);
-    } else if (node->children.size() == 1) {
-      forget_vacancy(node);
-      auto orphan = std::move(node->children.front());
-      orphan->parent = parent;
-      *self = std::move(orphan);
+  while (index != kNil && index != root_ && !node(index).is_leaf()) {
+    const std::uint32_t parent_idx = node(index).parent;
+    Node& n = node(index);
+    Node& parent = node(parent_idx);
+    GK_ENSURE(n.slot < parent.children.size() && parent.children[n.slot] == index);
+    if (n.children.empty()) {
+      forget_vacancy(index);
+      const std::uint32_t last = parent.children.back();
+      parent.children[n.slot] = last;
+      node(last).slot = n.slot;
+      parent.children.pop_back();
+      release_node(index);
+    } else if (n.children.size() == 1) {
+      forget_vacancy(index);
+      const std::uint32_t orphan = n.children.front();
+      node(orphan).parent = parent_idx;
+      node(orphan).slot = n.slot;
+      parent.children[n.slot] = orphan;
+      release_node(index);
     } else {
       return;
     }
-    node = parent;
+    index = parent_idx;
   }
-  if (node == root_.get() && root_->children.size() == 1 &&
-      !root_->children.front()->is_leaf()) {
-    forget_vacancy(root_->children.front().get());
-    auto lone = std::move(root_->children.front());
-    root_->children.clear();
-    for (auto& grandchild : lone->children) {
-      grandchild->parent = root_.get();
-      root_->children.push_back(std::move(grandchild));
+  if (index == root_ && node(root_).children.size() == 1 &&
+      !node(node(root_).children.front()).is_leaf()) {
+    const std::uint32_t lone = node(root_).children.front();
+    forget_vacancy(lone);
+    Node& root = node(root_);
+    root.children.clear();
+    for (const std::uint32_t grandchild : node(lone).children) {
+      node(grandchild).parent = root_;
+      node(grandchild).slot = static_cast<std::uint32_t>(root.children.size());
+      root.children.push_back(grandchild);
     }
+    release_node(lone);
   }
 }
 
 void KeyTree::remove(workload::MemberId member) {
-  Node* leaf = locate(member);
-  Node* parent = leaf->parent;
-  GK_ENSURE(parent != nullptr);
+  const std::uint32_t leaf_idx = locate(member);
+  const std::uint32_t parent_idx = node(leaf_idx).parent;
+  GK_ENSURE(parent_idx != kNil);
 
   leaves_.erase(workload::raw(member));
-  for (Node* cursor = parent; cursor != nullptr; cursor = cursor->parent) {
-    GK_ENSURE(cursor->leaf_count > 0);
-    --cursor->leaf_count;
+  for (std::uint32_t cursor = parent_idx; cursor != kNil; cursor = node(cursor).parent) {
+    GK_ENSURE(node(cursor).leaf_count > 0);
+    --node(cursor).leaf_count;
   }
-  auto slot = std::find_if(parent->children.begin(), parent->children.end(),
-                           [leaf](const std::unique_ptr<Node>& c) { return c.get() == leaf; });
-  GK_ENSURE(slot != parent->children.end());
-  parent->children.erase(slot);
+  // Detach the leaf: swap-pop — child order carries no meaning (wrap
+  // emission and lightest-child descent are order-agnostic).
+  Node& parent = node(parent_idx);
+  const std::uint32_t slot = node(leaf_idx).slot;
+  const std::uint32_t last = parent.children.back();
+  parent.children[slot] = last;
+  node(last).slot = slot;
+  parent.children.pop_back();
+  release_node(leaf_idx);
 
-  mark_path(parent, static_cast<int>(Mark::kLeave));
+  mark_path(parent_idx, Mark::kLeave);
   // Nodes that keep >= 2 children survive splicing and offer a free slot to
   // this batch's joins; the root always survives.
-  if (parent->children.size() >= 2 || parent == root_.get())
-    vacancies_.push_back(parent);
-  splice_if_degenerate(parent);
+  if (parent.children.size() >= 2 || parent_idx == root_) {
+    vacancies_.push_back(parent_idx);
+    ++parent.vacancy_entries;
+  }
+  splice_if_degenerate(parent_idx);
 }
 
-bool KeyTree::dirty() const noexcept { return root_->is_dirty(); }
+bool KeyTree::dirty() const noexcept { return node(root_).is_dirty(); }
 
-void KeyTree::refresh_dirty(Node* node) {
-  if (!node->is_dirty()) return;
-  for (auto& child : node->children)
-    if (!child->is_leaf()) refresh_dirty(child.get());
-  node->old_key = node->key.key;
-  node->key.key = crypto::Key128::random(rng_);
-  ++node->key.version;
+void KeyTree::collect_dirty_preorder() {
+  // Every dirty node's ancestors are dirty (marks are raised path-to-root),
+  // so the dirty region is one connected subtree containing the root and a
+  // descent that only follows dirty children covers it.
+  dirty_scratch_.clear();
+  if (!node(root_).is_dirty()) return;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::uint32_t index = stack.back();
+    stack.pop_back();
+    dirty_scratch_.push_back(index);
+    const auto& children = node(index).children;
+    // Reverse push so children pop in slot order: wraps stay top-down and
+    // the message layout is deterministic.
+    for (auto it = children.rbegin(); it != children.rend(); ++it)
+      if (!node(*it).is_leaf() && node(*it).is_dirty()) stack.push_back(*it);
+  }
 }
 
-void KeyTree::emit_wraps(Node* node, RekeyMessage& out) {
-  if (!node->is_dirty()) return;
+void KeyTree::refresh_dirty() {
+  // Key refreshes are independent per node; one deterministic pass over the
+  // pre-order list draws from the tree's single RNG stream. (Nonces no
+  // longer consume RNG draws — see derive_wrap_nonce — so this is the only
+  // stochastic part of a commit.)
+  for (const std::uint32_t index : dirty_scratch_) {
+    Node& n = node(index);
+    n.old_key = n.key.key;
+    n.key.key = crypto::Key128::random(rng_);
+    ++n.key.version;
+  }
+}
 
-  Rng& rng = rng_;  // nonce source
+std::size_t KeyTree::wrap_count(const Node& n) const noexcept {
+  if (n.mark == Mark::kJoin) {
+    std::size_t wraps = 1;  // new key under the old key, for every incumbent
+    for (const std::uint32_t child : n.children) {
+      const Node& c = node(child);
+      if (c.new_leaf || (!c.is_leaf() && c.is_dirty())) ++wraps;
+    }
+    return wraps;
+  }
+  return n.children.size();  // kLeave / kNew: wrap under every child
+}
 
-  if (node->mark == Mark::kJoin) {
+void KeyTree::emit_node_wraps(std::uint64_t epoch, std::uint32_t index,
+                              std::span<crypto::WrappedKey> out) noexcept {
+  Node& n = node(index);
+  std::uint32_t w = 0;
+
+  // Wrap this node's refreshed key under one child's key. The child's
+  // KEK expansion is cached on the child and only ever touched here — by
+  // the unique parent — so parallel emission stays data-race-free.
+  const auto wrap_under_child = [&](Node& child) {
+    const auto nonce = crypto::derive_wrap_nonce(epoch, n.id, w);
+    if (wrap_cache_enabled_) {
+      if (child.kek_version != child.key.version) {
+        child.kek = crypto::PreparedKek(child.key.key);
+        child.kek_version = child.key.version;
+      }
+      out[w] = child.kek.wrap(child.id, child.key.version, n.key.key, n.id,
+                              n.key.version, nonce);
+    } else {
+      out[w] = crypto::PreparedKek(child.key.key)
+                   .wrap(child.id, child.key.version, n.key.key, n.id, n.key.version,
+                         nonce);
+    }
+    ++w;
+  };
+
+  if (n.mark == Mark::kJoin) {
     // One wrap under the node's previous key covers every incumbent...
-    out.wraps.push_back(crypto::wrap_key(node->old_key, node->id, node->key.version - 1,
-                                         node->key.key, node->id, node->key.version, rng));
+    out[w] = crypto::PreparedKek(n.old_key)
+                 .wrap(n.id, n.key.version - 1, n.key.key, n.id, n.key.version,
+                       crypto::derive_wrap_nonce(epoch, n.id, w));
+    ++w;
     // ...plus chain wraps so arriving members can climb from their leaf.
-    for (const auto& child : node->children) {
-      const bool arriving = child->new_leaf || (!child->is_leaf() && child->is_dirty());
-      if (arriving)
-        out.wraps.push_back(crypto::wrap_key(child->key.key, child->id, child->key.version,
-                                             node->key.key, node->id, node->key.version,
-                                             rng));
+    for (const std::uint32_t child : n.children) {
+      Node& c = node(child);
+      const bool arriving = c.new_leaf || (!c.is_leaf() && c.is_dirty());
+      if (arriving) wrap_under_child(c);
     }
   } else {
     // kLeave / kNew: the old key is compromised or nonexistent — wrap under
     // every surviving child key.
-    for (const auto& child : node->children)
-      out.wraps.push_back(crypto::wrap_key(child->key.key, child->id, child->key.version,
-                                           node->key.key, node->id, node->key.version, rng));
+    for (const std::uint32_t child : n.children) wrap_under_child(node(child));
   }
+}
 
-  for (const auto& child : node->children)
-    if (!child->is_leaf()) emit_wraps(child.get(), out);
+void KeyTree::emit_wraps(std::uint64_t epoch, RekeyMessage& out) {
+  // Fixed per-node output slots: offsets are prefix sums of the wrap
+  // counts, so every emission task writes a disjoint range and the message
+  // is byte-identical no matter how the work is scheduled.
+  const std::size_t dirty_count = dirty_scratch_.size();
+  wrap_offsets_.resize(dirty_count + 1);
+  wrap_offsets_[0] = 0;
+  for (std::size_t i = 0; i < dirty_count; ++i)
+    wrap_offsets_[i + 1] = wrap_offsets_[i] + wrap_count(node(dirty_scratch_[i]));
+  const std::size_t total = wrap_offsets_[dirty_count];
+  out.wraps.resize(total);
+
+  const auto emit_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      emit_node_wraps(epoch, dirty_scratch_[i],
+                      std::span<crypto::WrappedKey>(out.wraps)
+                          .subspan(wrap_offsets_[i], wrap_offsets_[i + 1] - wrap_offsets_[i]));
+  };
+
+  if (pool_ != nullptr && pool_->size() > 1 && total >= kParallelWrapThreshold) {
+    const std::size_t grain =
+        std::max<std::size_t>(1, dirty_count / (std::size_t{pool_->size()} * 8));
+    pool_->parallel_for(dirty_count, grain, emit_range);
+  } else {
+    emit_range(0, dirty_count);
+  }
 }
 
 RekeyMessage KeyTree::commit(std::uint64_t epoch) {
   RekeyMessage message;
   message.epoch = epoch;
 
-  refresh_dirty(root_.get());
-  emit_wraps(root_.get(), message);
+  if (node(root_).is_dirty()) {
+    collect_dirty_preorder();
+    refresh_dirty();
+    emit_wraps(epoch, message);
 
-  // Reset marks and new-leaf flags across the dirty region.
-  struct Resetter {
-    static void run(Node* node) {
-      node->mark = Mark::kClean;
-      for (auto& child : node->children) {
-        child->new_leaf = false;
-        if (child->is_dirty()) run(child.get());
-      }
+    // Reset marks and new-leaf flags across the dirty region.
+    for (const std::uint32_t index : dirty_scratch_) {
+      Node& n = node(index);
+      n.mark = Mark::kClean;
+      for (const std::uint32_t child : n.children) node(child).new_leaf = false;
     }
-  };
-  if (root_->is_dirty()) Resetter::run(root_.get());
+    dirty_scratch_.clear();
+  }
+  for (const std::uint32_t index : vacancies_) node(index).vacancy_entries = 0;
   vacancies_.clear();  // vacancy reuse is a same-batch optimization only
 
-  message.group_key_id = root_->id;
-  message.group_key_version = root_->key.version;
+  message.group_key_id = node(root_).id;
+  message.group_key_version = node(root_).key.version;
   return message;
 }
 
 KeyTree::OrganizationEstimate KeyTree::estimate_message_organizations() const {
   OrganizationEstimate estimate;
-  struct Walker {
-    static void run(const Node* node, OrganizationEstimate& out) {
-      if (!node->is_dirty()) return;
-      ++out.key_oriented_messages;
-      if (node->mark == Mark::kJoin) {
-        // Mirrors emit_wraps: one wrap under the old key plus chain wraps.
-        ++out.group_oriented_encryptions;
-        for (const auto& child : node->children)
-          if (child->new_leaf || (!child->is_leaf() && child->is_dirty()))
-            ++out.group_oriented_encryptions;
-      } else {
-        out.group_oriented_encryptions += node->children.size();
-      }
-      // Every member below an updated key needs that key in its
-      // user-oriented message.
-      out.user_oriented_encryptions += node->leaf_count;
-      for (const auto& child : node->children)
-        if (!child->is_leaf()) run(child.get(), out);
-    }
-  };
-  Walker::run(root_.get(), estimate);
+  if (!node(root_).is_dirty()) return estimate;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = node(stack.back());
+    stack.pop_back();
+    ++estimate.key_oriented_messages;
+    // Mirrors emit_node_wraps' per-node wrap counting.
+    estimate.group_oriented_encryptions += wrap_count(n);
+    // Every member below an updated key needs that key in its
+    // user-oriented message.
+    estimate.user_oriented_encryptions += n.leaf_count;
+    for (const std::uint32_t child : n.children)
+      if (!node(child).is_leaf() && node(child).is_dirty()) stack.push_back(child);
+  }
   return estimate;
 }
 
-crypto::KeyId KeyTree::root_id() const noexcept { return root_->id; }
+crypto::KeyId KeyTree::root_id() const noexcept { return node(root_).id; }
 
-const crypto::VersionedKey& KeyTree::root_key() const noexcept { return root_->key; }
+const crypto::VersionedKey& KeyTree::root_key() const noexcept {
+  return node(root_).key;
+}
 
 const crypto::Key128& KeyTree::individual_key(workload::MemberId member) const {
-  return locate(member)->key.key;
+  return node(locate(member)).key.key;
 }
 
 crypto::KeyId KeyTree::leaf_id(workload::MemberId member) const {
-  return locate(member)->id;
+  return node(locate(member)).id;
 }
 
 std::vector<crypto::KeyId> KeyTree::path_ids(workload::MemberId member) const {
   std::vector<crypto::KeyId> path;
-  for (const Node* cursor = locate(member)->parent; cursor != nullptr;
-       cursor = cursor->parent)
-    path.push_back(cursor->id);
+  for (std::uint32_t cursor = node(locate(member)).parent; cursor != kNil;
+       cursor = node(cursor).parent)
+    path.push_back(node(cursor).id);
   return path;
 }
 
 std::vector<KeyTree::PathKey> KeyTree::path_keys(workload::MemberId member) const {
   std::vector<PathKey> path;
-  for (const Node* cursor = locate(member)->parent; cursor != nullptr;
-       cursor = cursor->parent)
-    path.push_back({cursor->id, cursor->key});
+  for (std::uint32_t cursor = node(locate(member)).parent; cursor != kNil;
+       cursor = node(cursor).parent)
+    path.push_back({node(cursor).id, node(cursor).key});
   return path;
 }
 
 std::vector<workload::MemberId> KeyTree::members() const {
   std::vector<workload::MemberId> out;
   out.reserve(leaves_.size());
-  for (const auto& [id, node] : leaves_) out.push_back(workload::make_member_id(id));
+  for (const auto& [id, index] : leaves_) out.push_back(workload::make_member_id(id));
   return out;
 }
 
@@ -317,18 +457,22 @@ TreeStats KeyTree::stats() const {
   stats.member_count = leaves_.size();
   double depth_sum = 0.0;
 
-  std::deque<std::pair<const Node*, unsigned>> queue;
-  queue.emplace_back(root_.get(), 0);
-  while (!queue.empty()) {
-    const auto [node, depth] = queue.front();
-    queue.pop_front();
-    if (node->is_leaf()) {
+  std::vector<std::pair<std::uint32_t, unsigned>> stack;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = node(index);
+    if (n.is_leaf()) {
       stats.height = std::max(stats.height, depth);
       depth_sum += depth;
+      if (stats.leaf_depth_histogram.size() <= depth)
+        stats.leaf_depth_histogram.resize(depth + 1, 0);
+      ++stats.leaf_depth_histogram[depth];
       continue;
     }
     ++stats.node_count;
-    for (const auto& child : node->children) queue.emplace_back(child.get(), depth + 1);
+    for (const std::uint32_t child : n.children) stack.emplace_back(child, depth + 1);
   }
   stats.mean_leaf_depth =
       leaves_.empty() ? 0.0 : depth_sum / static_cast<double>(leaves_.size());

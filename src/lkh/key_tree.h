@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -12,7 +13,13 @@
 #include "lkh/rekey_message.h"
 #include "workload/member.h"
 
+namespace gk::common {
+class ThreadPool;
+}
+
 namespace gk::lkh {
+
+enum class Mark : std::uint8_t;
 
 /// Per-level occupancy snapshot, for balance diagnostics and tests.
 struct TreeStats {
@@ -20,6 +27,10 @@ struct TreeStats {
   unsigned height = 0;          // edges from root to deepest leaf
   std::size_t node_count = 0;   // internal nodes incl. root (leaves excluded)
   double mean_leaf_depth = 0.0;
+  /// leaf_depth_histogram[d] = number of leaves at depth d (size height+1;
+  /// empty for an empty tree). Throughput benches report this to show the
+  /// arena keeps trees balanced at scale.
+  std::vector<std::size_t> leaf_depth_histogram;
 };
 
 /// A logical key hierarchy (LKH) maintained by the key server
@@ -33,6 +44,13 @@ struct TreeStats {
 /// (Section 2.1.1 of the paper). Staging joins and leaves separately lets
 /// composite schemes (two-partition, loss-homogenized) batch migrations
 /// into the same commit.
+///
+/// Storage: nodes live in a flat arena (vector pool, 32-bit indices, free
+/// list) — no per-node heap allocation, no pointer-chasing traversals.
+/// Wrap nonces are derived from (epoch, node id, wrap index) rather than
+/// the tree's RNG stream, so emission is order-independent; commit() fans
+/// wrap emission across an optional thread pool (set_executor) and the
+/// output is byte-identical to the single-threaded run.
 ///
 /// Cost model: `commit().cost()` counts exactly the encrypted keys a real
 /// server would multicast, which is the unit used throughout the paper's
@@ -74,6 +92,20 @@ class KeyTree {
 
   /// True if any membership change is staged but not committed.
   [[nodiscard]] bool dirty() const noexcept;
+
+  /// Pre-size the arena and the member index for an expected group size
+  /// (bulk build paths: initial provisioning, trace replay, benches).
+  void reserve(std::size_t expected_members);
+
+  /// Fan commit()'s wrap emission across `pool` (nullptr restores the
+  /// sequential path). The emitted message is byte-identical either way —
+  /// every wrap's bytes are a pure function of (epoch, node id, wrap
+  /// index) and key material fixed before emission starts.
+  void set_executor(common::ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Disable / re-enable the per-node cached KEK expansion (benchmarks use
+  /// this to reproduce the seed's one-expansion-per-wrap cost).
+  void set_wrap_cache(bool enabled) noexcept { wrap_cache_enabled_ = enabled; }
 
   /// Wong et al [WGL98] define three ways to cut one rekey operation into
   /// messages; commit() natively emits the group-oriented form (one
@@ -140,24 +172,43 @@ class KeyTree {
   friend KeyTree restore_tree(std::span<const std::uint8_t> bytes, Rng rng);
   friend struct SnapshotAccess;
 
-  Node* locate(workload::MemberId member) const;
-  Node* choose_insert_parent();
-  void mark_path(Node* node, int level);
-  void refresh_dirty(Node* node);
-  void emit_wraps(Node* node, RekeyMessage& out);
-  void splice_if_degenerate(Node* node);
-  void forget_vacancy(Node* node) noexcept;
+  [[nodiscard]] Node& node(std::uint32_t index) noexcept;
+  [[nodiscard]] const Node& node(std::uint32_t index) const noexcept;
+  [[nodiscard]] std::uint32_t alloc_node();
+  void release_node(std::uint32_t index) noexcept;
+
+  [[nodiscard]] std::uint32_t locate(workload::MemberId member) const;
+  [[nodiscard]] std::uint32_t choose_insert_parent();
+  void mark_path(std::uint32_t index, Mark mark) noexcept;
+  void refresh_dirty();
+  void emit_wraps(std::uint64_t epoch, RekeyMessage& out);
+  void emit_node_wraps(std::uint64_t epoch, std::uint32_t index,
+                       std::span<crypto::WrappedKey> out) noexcept;
+  [[nodiscard]] std::size_t wrap_count(const Node& n) const noexcept;
+  void splice_if_degenerate(std::uint32_t index);
+  void forget_vacancy(std::uint32_t index) noexcept;
+  void collect_dirty_preorder();
 
   unsigned degree_;
   Rng rng_;
   std::shared_ptr<IdAllocator> ids_;
-  std::unique_ptr<Node> root_;
-  std::unordered_map<std::uint64_t, Node*> leaves_;  // raw(MemberId) -> leaf
+
+  std::vector<Node> nodes_;          // the arena
+  std::vector<std::uint32_t> free_;  // recycled arena slots
+  std::uint32_t root_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> leaves_;  // raw(MemberId) -> leaf
   /// Interior nodes that lost a leaf in the current batch. Joins staged in
   /// the same epoch re-fill these slots first (Yang et al's batch marking
   /// convention): the path is already marked for refresh by the departure,
-  /// so the join adds no extra dirty path.
-  std::vector<Node*> vacancies_;
+  /// so the join adds no extra dirty path. Entries are invalidated lazily
+  /// via Node::vacancy_entries.
+  std::vector<std::uint32_t> vacancies_;
+  /// Scratch: dirty nodes in pre-order, rebuilt by each commit.
+  std::vector<std::uint32_t> dirty_scratch_;
+  std::vector<std::size_t> wrap_offsets_;
+
+  common::ThreadPool* pool_ = nullptr;
+  bool wrap_cache_enabled_ = true;
 };
 
 }  // namespace gk::lkh

@@ -3,11 +3,12 @@
 // Internal header: the KeyTree node representation, shared between
 // key_tree.cpp and snapshot.cpp. Not part of the public API.
 
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "crypto/key.h"
+#include "crypto/keywrap.h"
 #include "lkh/key_tree.h"
 #include "workload/member.h"
 
@@ -23,16 +24,40 @@ namespace gk::lkh {
 ///            every surviving child.
 enum class Mark : std::uint8_t { kClean = 0, kJoin = 1, kNew = 2, kLeave = 3 };
 
+/// Arena node. Nodes live in KeyTree::nodes_ (a flat vector pool) and refer
+/// to each other by 32-bit indices, never by pointer — traversals walk the
+/// pool cache-linearly, membership churn recycles slots through a free
+/// list, and moving a KeyTree moves the pool without any pointer fix-ups.
 struct KeyTree::Node {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// `kek_version` sentinel meaning "no cached expansion".
+  static constexpr std::uint32_t kNoKek = 0xffffffffu;
+
   crypto::KeyId id{};
   crypto::VersionedKey key;
   crypto::Key128 old_key;  // pre-refresh key, valid during commit when mark == kJoin
+  std::optional<workload::MemberId> member;
+
+  std::uint32_t parent = kNil;
+  std::uint32_t slot = 0;  // this node's index in parent's children array
+  std::vector<std::uint32_t> children;
+  std::uint32_t leaf_count = 0;
+
+  /// Outstanding entries for this node in KeyTree::vacancies_ (lazy
+  /// invalidation: forgetting a vacancy zeroes the counter in O(1) and the
+  /// stale vector entries are skipped when popped).
+  std::uint32_t vacancy_entries = 0;
+
   Mark mark = Mark::kClean;
   bool new_leaf = false;  // leaf inserted in the current (uncommitted) batch
-  Node* parent = nullptr;
-  std::vector<std::unique_ptr<Node>> children;
-  std::optional<workload::MemberId> member;
-  std::size_t leaf_count = 0;
+  bool in_free_list = false;
+
+  /// Cached subkey expansion of `key.key` for use as a KEK, valid while
+  /// `kek_version == key.version`. A node's expansion is only ever touched
+  /// by its (unique) parent's emission task, so the cache is data-race-free
+  /// under parallel commit.
+  crypto::PreparedKek kek;
+  std::uint32_t kek_version = kNoKek;
 
   [[nodiscard]] bool is_leaf() const noexcept { return member.has_value(); }
   [[nodiscard]] bool is_dirty() const noexcept { return mark != Mark::kClean; }

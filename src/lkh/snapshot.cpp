@@ -20,9 +20,14 @@
 
 namespace gk::lkh {
 
-/// Friend of KeyTree: the recursive (de)serializers over private nodes.
+/// Friend of KeyTree: the recursive (de)serializers over private arena
+/// nodes. The wire format is index-free (a pre-order walk), so arena slot
+/// numbers never leak into snapshots — a restored tree may pack the same
+/// logical tree into different slots.
 struct SnapshotAccess {
-  static void write_node(common::ByteWriter& out, const KeyTree::Node& node) {
+  static void write_node(common::ByteWriter& out, const KeyTree& tree,
+                         std::uint32_t index) {
+    const KeyTree::Node& node = tree.node(index);
     out.u8(node.is_leaf() ? 'L' : 'I');
     out.u64(crypto::raw(node.id));
     out.u32(node.key.version);
@@ -32,11 +37,10 @@ struct SnapshotAccess {
       return;
     }
     out.u32(static_cast<std::uint32_t>(node.children.size()));
-    for (const auto& child : node.children) write_node(out, *child);
+    for (const std::uint32_t child : node.children) write_node(out, tree, child);
   }
 
   struct RestoreContext {
-    std::unordered_map<std::uint64_t, KeyTree::Node*>* leaves;
     std::uint64_t max_id = 0;
     unsigned degree = 0;
   };
@@ -48,36 +52,44 @@ struct SnapshotAccess {
     return crypto::Key128(raw);
   }
 
-  static std::unique_ptr<KeyTree::Node> read_node(common::ByteReader& in,
-                                                  KeyTree::Node* parent,
-                                                  RestoreContext& ctx, unsigned depth) {
+  static std::uint32_t read_node(common::ByteReader& in, KeyTree& tree,
+                                 std::uint32_t parent, std::uint32_t slot,
+                                 RestoreContext& ctx, unsigned depth) {
     GK_ENSURE_MSG(depth < 64, "snapshot nesting too deep");
-    auto node = std::make_unique<KeyTree::Node>();
     const auto kind = in.u8();
     GK_ENSURE_MSG(kind == 'L' || kind == 'I', "snapshot corrupt: bad node kind");
-    node->parent = parent;
-    node->id = crypto::make_key_id(in.u64());
-    ctx.max_id = std::max(ctx.max_id, crypto::raw(node->id));
-    node->key.version = in.u32();
-    node->key.key = read_key(in);
+    const std::uint32_t index = tree.alloc_node();
+    {
+      KeyTree::Node& node = tree.node(index);
+      node.parent = parent;
+      node.slot = slot;
+      node.id = crypto::make_key_id(in.u64());
+      ctx.max_id = std::max(ctx.max_id, crypto::raw(node.id));
+      node.key.version = in.u32();
+      node.key.key = read_key(in);
+    }
 
     if (kind == 'L') {
-      node->member = workload::make_member_id(in.u64());
-      node->leaf_count = 1;
-      GK_ENSURE_MSG(
-          ctx.leaves->emplace(workload::raw(*node->member), node.get()).second,
-          "snapshot corrupt: duplicate member");
-      return node;
+      KeyTree::Node& node = tree.node(index);
+      node.member = workload::make_member_id(in.u64());
+      node.leaf_count = 1;
+      GK_ENSURE_MSG(tree.leaves_.emplace(workload::raw(*node.member), index).second,
+                    "snapshot corrupt: duplicate member");
+      return index;
     }
     const auto child_count = in.u32();
     GK_ENSURE_MSG(child_count <= ctx.degree, "snapshot corrupt: fan-out exceeds degree");
-    node->leaf_count = 0;
+    tree.node(index).children.reserve(child_count);
+    std::uint32_t leaf_count = 0;
     for (std::uint32_t c = 0; c < child_count; ++c) {
-      auto child = read_node(in, node.get(), ctx, depth + 1);
-      node->leaf_count += child->leaf_count;
-      node->children.push_back(std::move(child));
+      // alloc_node in the recursive call may grow the arena — re-resolve the
+      // parent node after every child instead of holding a reference.
+      const std::uint32_t child = read_node(in, tree, index, c, ctx, depth + 1);
+      leaf_count += tree.node(child).leaf_count;
+      tree.node(index).children.push_back(child);
     }
-    return node;
+    tree.node(index).leaf_count = leaf_count;
+    return index;
   }
 
   static void write(common::ByteWriter& out, const KeyTree& tree, bool exact) {
@@ -89,7 +101,7 @@ struct SnapshotAccess {
     out.u32(tree.degree_);
     if (exact)
       for (const auto word : tree.rng_.save_state()) out.u64(word);
-    write_node(out, *tree.root_);
+    write_node(out, tree, tree.root_);
   }
 
   static KeyTree read(common::ByteReader& in, bool exact,
@@ -107,11 +119,13 @@ struct SnapshotAccess {
 
     KeyTree tree(degree, rng, std::move(ids));
     tree.rng_ = rng;  // the constructor consumed a draw for its placeholder root
+    tree.nodes_.clear();  // drop the placeholder root; rebuild the arena
+    tree.free_.clear();
     tree.leaves_.clear();
-    RestoreContext ctx{&tree.leaves_, 0, degree};
-    tree.root_ = read_node(in, nullptr, ctx, 0);
+    RestoreContext ctx{0, degree};
+    tree.root_ = read_node(in, tree, KeyTree::Node::kNil, 0, ctx, 0);
     GK_ENSURE_MSG(in.exhausted(), "snapshot has trailing bytes");
-    GK_ENSURE_MSG(!tree.root_->is_leaf(), "snapshot corrupt: leaf root");
+    GK_ENSURE_MSG(!tree.node(tree.root_).is_leaf(), "snapshot corrupt: leaf root");
     tree.ids_->advance_past(ctx.max_id);
     return tree;
   }

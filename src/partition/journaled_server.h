@@ -57,6 +57,10 @@ class JournaledServer final : public RekeyServer {
       workload::MemberId member) const override {
     return inner_->member_path(member);
   }
+  void set_executor(common::ThreadPool* pool) override { inner_->set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    inner_->reserve(expected_members);
+  }
 
   /// Arm a fault: the next end_epoch() journals COMMIT_BEGIN and then
   /// throws ServerCrashed instead of committing.

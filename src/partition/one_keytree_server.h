@@ -32,6 +32,12 @@ class OneKeyTreeServer final : public DurableRekeyServer {
       workload::MemberId member) const override;
   [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
 
+  void set_executor(common::ThreadPool* pool) override { tree_.set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override { tree_.set_wrap_cache(enabled); }
+
   [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
 
  private:

@@ -32,6 +32,20 @@ class PtServer final : public RekeyServer {
   [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
   [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
 
+  void set_executor(common::ThreadPool* pool) override {
+    s_tree_.set_executor(pool);
+    l_tree_.set_executor(pool);
+  }
+  void reserve(std::size_t expected_members) override {
+    s_tree_.reserve(expected_members / 2);
+    l_tree_.reserve(expected_members);
+    records_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override {
+    s_tree_.set_wrap_cache(enabled);
+    l_tree_.set_wrap_cache(enabled);
+  }
+
  private:
   std::shared_ptr<lkh::IdAllocator> ids_;
   lkh::KeyTree s_tree_;

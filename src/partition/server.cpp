@@ -13,10 +13,12 @@ std::vector<crypto::WrappedKey> make_catchup_bundle(const DurableRekeyServer& se
   // Every path key is wrapped directly under the individual key (not
   // chained): the member's ring may be arbitrarily stale — even its old
   // path node ids may no longer exist — but the registration key always
-  // unlocks the whole bundle.
+  // unlocks the whole bundle. One KEK serves the whole bundle, so its
+  // subkey expansion is prepared once.
+  const crypto::PreparedKek prepared(individual);
   for (const auto& entry : path)
-    bundle.push_back(crypto::wrap_key(individual, leaf, 0, entry.key.key, entry.id,
-                                      entry.key.version, rng));
+    bundle.push_back(prepared.wrap(leaf, 0, entry.key.key, entry.id,
+                                   entry.key.version, crypto::random_wrap_nonce(rng)));
   return bundle;
 }
 

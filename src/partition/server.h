@@ -10,6 +10,10 @@
 #include "lkh/rekey_message.h"
 #include "workload/member.h"
 
+namespace gk::common {
+class ThreadPool;
+}
+
 namespace gk::partition {
 
 /// What a joining member receives over the registration unicast channel.
@@ -75,6 +79,21 @@ class RekeyServer {
   /// from this.
   [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
       workload::MemberId member) const = 0;
+
+  /// Attach a thread pool that end_epoch()'s wrap emission may fan across
+  /// (nullptr restores sequential emission). Parallel output is
+  /// byte-identical to the sequential run — see KeyTree::set_executor.
+  /// Default: ignored, for schemes with no parallel path.
+  virtual void set_executor(common::ThreadPool* /*pool*/) {}
+
+  /// Pre-size internal structures for an expected steady-state group size
+  /// (bulk provisioning, trace replay, benches). Default: no-op.
+  virtual void reserve(std::size_t /*expected_members*/) {}
+
+  /// Disable / re-enable per-node cached KEK expansions in the scheme's key
+  /// trees (benchmarks use `false` to reproduce the seed's
+  /// one-expansion-per-wrap crypto cost). Default: no-op.
+  virtual void set_wrap_cache(bool /*enabled*/) {}
 };
 
 /// One key on a member's current path, with material (server-side view).

@@ -50,6 +50,19 @@ class TtServer final : public DurableRekeyServer {
     return relocations_;
   }
 
+  void set_executor(common::ThreadPool* pool) override {
+    s_tree_.set_executor(pool);
+    l_tree_.set_executor(pool);
+  }
+  void reserve(std::size_t expected_members) override {
+    l_tree_.reserve(expected_members);
+    records_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override {
+    s_tree_.set_wrap_cache(enabled);
+    l_tree_.set_wrap_cache(enabled);
+  }
+
  private:
   struct Record {
     std::uint64_t joined_epoch = 0;

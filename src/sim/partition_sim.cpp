@@ -56,6 +56,7 @@ PartitionSimResult run_partition_sim(const PartitionSimConfig& config) {
 
   // Session start: the bootstrap population joins as one batch. Its cost is
   // session setup, not steady-state rekeying; warmup discards it.
+  server->reserve(trace.initial_members().size());
   for (const auto& member : trace.initial_members()) admit(member);
 
   std::unordered_map<std::uint64_t, bool> present;
