@@ -129,7 +129,8 @@ class ChurnDriver {
     profile.id = workload::make_member_id(next_id_++);
     profile.member_class = rng_.bernoulli(0.7) ? workload::MemberClass::kShort
                                                : workload::MemberClass::kLong;
-    profile.duration = profile.member_class == workload::MemberClass::kShort ? 60.0 : 3600.0;
+    profile.duration =
+        profile.member_class == workload::MemberClass::kShort ? 60.0 : 3600.0;
     return profile;
   }
 
@@ -266,7 +267,8 @@ int main(int argc, char** argv) {
     for (const unsigned t : thread_counts)
       if (const Row* engine = find("engine", t))
         std::cout << "one-keytree N=" << sizes.back() << ": engine x" << t
-                  << " threads = " << fmt(engine->wraps_per_sec() / seed->wraps_per_sec(), 2)
+                  << " threads = "
+                  << fmt(engine->wraps_per_sec() / seed->wraps_per_sec(), 2)
                   << "x seed-crypto wraps/sec\n";
   }
 

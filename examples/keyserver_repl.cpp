@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
                                            : workload::MemberClass::kLong;
         const auto reg = server->join(profile_of(id, cls));
         std::cout << "staged join " << id << " leaf-id=" << crypto::raw(reg.leaf_id)
-                  << " key=" << reg.individual_key.hex().substr(0, 8) << "...\n";
+                  << " key=" << reg.individual_key.hex() << "\n";
       } else if (command == "leave") {
         std::uint64_t id = 0;
         in >> id;

@@ -30,13 +30,13 @@ void apply_round(std::vector<double>& deficit_pmf, int sent, double q) {
   std::vector<double> next(deficit_pmf.size(), 0.0);
   next[0] = deficit_pmf[0];
   for (int d = 1; d <= k; ++d) {
-    const double mass = deficit_pmf[d];
+    const double mass = deficit_pmf[static_cast<std::size_t>(d)];
     if (mass <= 0.0) continue;
     for (int received = 0; received <= sent; ++received) {
       const double p = binom_pmf(sent, q, received);
       if (p <= 0.0) continue;
       const int remaining = std::max(0, d - received);
-      next[remaining] += mass * p;
+      next[static_cast<std::size_t>(remaining)] += mass * p;
       if (received >= d) {
         // All larger receive-counts also clear the deficit; fold the tail
         // in one step to keep the loop O(sent).

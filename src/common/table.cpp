@@ -42,18 +42,21 @@ void Table::print(std::ostream& os, const std::string& title) const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
   for (const auto& row : rows_)
-    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
 
   std::size_t total = 0;
   for (std::size_t w : widths) total += w + 3;
 
   os << '\n' << title << '\n' << std::string(std::max(total, title.size()), '-') << '\n';
   for (std::size_t c = 0; c < headers_.size(); ++c)
-    os << std::setw(static_cast<int>(widths[c])) << headers_[c] << (c + 1 < headers_.size() ? " | " : "\n");
+    os << std::setw(static_cast<int>(widths[c])) << headers_[c]
+       << (c + 1 < headers_.size() ? " | " : "\n");
   os << std::string(std::max(total, title.size()), '-') << '\n';
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c)
-      os << std::setw(static_cast<int>(widths[c])) << row[c] << (c + 1 < row.size() ? " | " : "\n");
+      os << std::setw(static_cast<int>(widths[c])) << row[c]
+         << (c + 1 < row.size() ? " | " : "\n");
   }
   os << '\n';
 }

@@ -39,9 +39,9 @@ ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
   state_[1] = 0x3320646e;
   state_[2] = 0x79622d32;
   state_[3] = 0x6b206574;
-  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  for (std::size_t i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
   state_[12] = initial_counter;
-  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+  for (std::size_t i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
 }
 
 void ChaCha20::refill() noexcept {
@@ -56,7 +56,7 @@ void ChaCha20::refill() noexcept {
     quarter_round(working[2], working[7], working[8], working[13]);
     quarter_round(working[3], working[4], working[9], working[14]);
   }
-  for (int i = 0; i < 16; ++i)
+  for (std::size_t i = 0; i < 16; ++i)
     store_le32(keystream_.data() + 4 * i, working[i] + state_[i]);
   ++state_[12];
   keystream_used_ = 0;

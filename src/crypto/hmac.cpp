@@ -35,12 +35,4 @@ Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
   return outer.finish();
 }
 
-bool constant_time_equal(std::span<const std::uint8_t> a,
-                         std::span<const std::uint8_t> b) noexcept {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-  return acc == 0;
-}
-
 }  // namespace gk::crypto

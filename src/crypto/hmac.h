@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "crypto/secure.h"
 #include "crypto/sha256.h"
 
 namespace gk::crypto {
@@ -11,9 +12,11 @@ namespace gk::crypto {
 [[nodiscard]] Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
                                          std::span<const std::uint8_t> message) noexcept;
 
-/// Constant-time comparison of two equal-length byte spans; returns false on
-/// length mismatch. Used for tag verification.
-[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
-                                       std::span<const std::uint8_t> b) noexcept;
+/// Historical name for the constant-time comparison used in tag
+/// verification; the implementation lives in secure.h as ct_equal().
+[[nodiscard]] inline bool constant_time_equal(std::span<const std::uint8_t> a,
+                                              std::span<const std::uint8_t> b) noexcept {
+  return ct_equal(a, b);
+}
 
 }  // namespace gk::crypto

@@ -7,11 +7,13 @@
 
 namespace gk::crypto {
 
-Key128 derive_key(const Key128& key, std::string_view label, std::uint64_t context) noexcept {
+Key128 derive_key(const Key128& key, std::string_view label,
+                  std::uint64_t context) noexcept {
   std::vector<std::uint8_t> input;
   input.reserve(label.size() + 8);
   input.insert(input.end(), label.begin(), label.end());
-  for (int i = 0; i < 8; ++i) input.push_back(static_cast<std::uint8_t>(context >> (8 * i)));
+  for (int i = 0; i < 8; ++i)
+    input.push_back(static_cast<std::uint8_t>(context >> (8 * i)));
 
   const auto digest = hmac_sha256(key.bytes(), std::span<const std::uint8_t>(input));
   std::array<std::uint8_t, Key128::kSize> bytes;

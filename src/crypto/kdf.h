@@ -21,6 +21,7 @@ namespace gk::crypto {
 
 /// OFT "mixing" function f: parent key from the XOR of the children's
 /// blinded keys (binary OFT per Balenson–McGrew–Sherman).
-[[nodiscard]] Key128 oft_mix(const Key128& left_blinded, const Key128& right_blinded) noexcept;
+[[nodiscard]] Key128 oft_mix(const Key128& left_blinded,
+                             const Key128& right_blinded) noexcept;
 
 }  // namespace gk::crypto

@@ -1,5 +1,7 @@
 #include "crypto/key.h"
 
+#include <ostream>
+
 #include "crypto/sha256.h"
 
 namespace gk::crypto {
@@ -15,11 +17,20 @@ Key128 Key128::random(Rng& rng) noexcept {
 }
 
 bool Key128::is_zero() const noexcept {
-  for (std::uint8_t b : bytes_)
-    if (b != 0) return false;
-  return true;
+  std::uint8_t acc = 0;
+  for (std::uint8_t b : bytes_) acc = static_cast<std::uint8_t>(acc | b);
+  return acc == 0;
 }
 
-std::string Key128::hex() const { return to_hex(bytes()); }
+std::string Key128::hex() const {
+  return to_hex(bytes().first<4>()) + "…";
+}
+
+std::string Key128::hex_full() const {
+  // gklint: allow(secret-log) this IS the sanctioned full-hex escape hatch
+  return to_hex(bytes());
+}
+
+void PrintTo(const Key128& k, std::ostream* os) { *os << "Key128(" << k.hex() << ")"; }
 
 }  // namespace gk::crypto

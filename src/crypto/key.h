@@ -1,13 +1,14 @@
 #pragma once
 
 #include <array>
-#include <compare>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <span>
 #include <string>
 
 #include "common/rng.h"
+#include "crypto/secure.h"
 
 namespace gk::crypto {
 
@@ -17,13 +18,28 @@ namespace gk::crypto {
 /// Keys are plain value types; the KeyServer generates them, wraps them
 /// under other keys for distribution, and members unwrap them. Deterministic
 /// generation from a seeded Rng keeps full simulations reproducible.
-class Key128 {
+///
+/// Secret-safety contract (machine-enforced by `tools/gklint`):
+///  - key bytes are wiped on destruction so material does not linger in
+///    freed arena slots, vector spares, or stack frames;
+///  - equality is constant-time (`ct_equal`); there is deliberately no
+///    ordering — secret bytes must never drive a sort order or branch;
+///  - `hex()` is redacted (first 4 bytes + "…"); full key bytes only leave
+///    via the explicitly named `hex_full()`.
+class Key128 {  // gklint: secret-type(Key128)
  public:
   static constexpr std::size_t kSize = 16;
 
-  constexpr Key128() noexcept = default;
-  explicit constexpr Key128(const std::array<std::uint8_t, kSize>& bytes) noexcept
+  Key128() noexcept = default;
+  explicit Key128(const std::array<std::uint8_t, kSize>& bytes) noexcept
       : bytes_(bytes) {}
+
+  Key128(const Key128&) noexcept = default;
+  Key128& operator=(const Key128&) noexcept = default;
+
+  /// Zeroize on destruction. See secure_wipe() for why this cannot be a
+  /// plain memset.
+  ~Key128() noexcept { secure_wipe(bytes_.data(), bytes_.size()); }
 
   /// Fresh uniformly random key.
   [[nodiscard]] static Key128 random(Rng& rng) noexcept;
@@ -36,9 +52,25 @@ class Key128 {
   }
 
   [[nodiscard]] bool is_zero() const noexcept;
+
+  /// Redacted rendering: hex of the first 4 bytes followed by "…". Safe for
+  /// logs, diagnostics, and test failure messages.
   [[nodiscard]] std::string hex() const;
 
-  friend constexpr auto operator<=>(const Key128&, const Key128&) noexcept = default;
+  /// Full 32-hex-char rendering of the key material. Named loudly so every
+  /// escape hatch is greppable; gklint's `secret-log` rule confines calls to
+  /// crypto internals, tests, and tooling.
+  [[nodiscard]] std::string hex_full() const;
+
+  /// Constant-time equality — the only comparison Key128 offers. Ordered
+  /// comparisons on secret bytes are banned (gklint `ct-compare`).
+  [[nodiscard]] friend bool operator==(const Key128& a, const Key128& b) noexcept {
+    return ct_equal(a.bytes(), b.bytes());
+  }
+
+  /// Redacted printer picked up by GoogleTest via ADL, so EXPECT_EQ failures
+  /// never dump full key bytes into test logs.
+  friend void PrintTo(const Key128& k, std::ostream* os);
 
  private:
   std::array<std::uint8_t, kSize> bytes_{};
@@ -63,10 +95,22 @@ enum class KeyId : std::uint64_t {};
 struct VersionedKey {
   Key128 key;
   std::uint32_t version = 0;
+
+  /// Version check is public; the key comparison goes through Key128's
+  /// constant-time operator==.
+  [[nodiscard]] friend bool operator==(const VersionedKey& a,
+                                       const VersionedKey& b) noexcept {
+    return a.version == b.version && a.key == b.key;
+  }
 };
 
 }  // namespace gk::crypto
 
+/// Hashing key bytes is required for the unordered_map-based member/key
+/// indexes. The hash is not secret-independent in theory (bucket placement
+/// depends on key bytes), but nothing observable branches on it and the
+/// alternative — an ordered container — would need the banned ordered
+/// comparison. See DESIGN.md §8.
 template <>
 struct std::hash<gk::crypto::Key128> {
   std::size_t operator()(const gk::crypto::Key128& k) const noexcept {

@@ -89,8 +89,8 @@ std::optional<Key128> PreparedKek::unwrap(const WrappedKey& wrapped) const noexc
   const auto input = mac_input(wrapped);
   const auto digest = hmac_sha256(std::span<const std::uint8_t>(mac_key_),
                                   std::span<const std::uint8_t>(input));
-  if (!constant_time_equal(std::span<const std::uint8_t>(wrapped.tag),
-                           std::span<const std::uint8_t>(digest.data(), wrapped.tag.size())))
+  if (!ct_equal(std::span<const std::uint8_t>(wrapped.tag),
+                std::span<const std::uint8_t>(digest.data(), wrapped.tag.size())))
     return std::nullopt;
 
   std::array<std::uint8_t, Key128::kSize> plain = wrapped.ciphertext;

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gk::crypto {
+
+/// Constant-time byte-span equality. The only sanctioned way to compare
+/// secret material (keys, MAC tags, blinded seeds): the loop touches every
+/// byte regardless of where the first mismatch sits, so the comparison's
+/// running time leaks nothing about the secrets. Returns false on length
+/// mismatch (lengths are public).
+///
+/// gklint's `ct-compare` rule bans `memcmp`/defaulted comparison operators
+/// on secret types precisely so that every comparison funnels through here.
+[[nodiscard]] inline bool ct_equal(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+/// Best-effort guaranteed zeroization. A plain `memset` before free is
+/// legal for the compiler to elide under dead-store elimination — the
+/// classic way wiped keys silently survive in memory. Writing through a
+/// `volatile` pointer plus a compiler barrier keeps the stores observable.
+inline void secure_wipe(void* data, std::size_t size) noexcept {
+  auto* bytes = static_cast<volatile unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) bytes[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(data) : "memory");
+#endif
+}
+
+/// Span convenience overload.
+inline void secure_wipe(std::span<std::uint8_t> data) noexcept {
+  secure_wipe(data.data(), data.size());
+}
+
+}  // namespace gk::crypto

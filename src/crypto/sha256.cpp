@@ -43,15 +43,15 @@ Sha256::Sha256() noexcept {
 
 void Sha256::process_block(const std::uint8_t* block) noexcept {
   std::array<std::uint32_t, 64> w;
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
+  for (std::size_t i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (std::size_t i = 16; i < 64; ++i) {
     const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
     const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
   auto [a, b, c, d, e, f, g, h] = state_;
-  for (int i = 0; i < 64; ++i) {
+  for (std::size_t i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
     const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
@@ -114,13 +114,13 @@ Sha256::Digest Sha256::finish() noexcept {
   while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
 
   std::array<std::uint8_t, 8> length_be;
-  for (int i = 0; i < 8; ++i)
+  for (std::size_t i = 0; i < 8; ++i)
     length_be[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
   // update() also advances total_bytes_, but we already captured bit_length.
   update(std::span<const std::uint8_t>(length_be.data(), 8));
 
   Digest digest;
-  for (int i = 0; i < 8; ++i) store_be32(digest.data() + 4 * i, state_[i]);
+  for (std::size_t i = 0; i < 8; ++i) store_be32(digest.data() + 4 * i, state_[i]);
   return digest;
 }
 

@@ -13,7 +13,7 @@ namespace {
 std::uint64_t low64(const crypto::Key128& key) noexcept {
   std::uint64_t v = 0;
   const auto bytes = key.bytes();
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+  for (std::size_t i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
   return v;
 }
 

@@ -32,8 +32,8 @@ namespace gk::elk {
 class ElkTree {
  public:
   /// n1/n2 contribution widths in bits (the paper's ELK uses e.g. 16+16).
-  ElkTree(Rng rng, unsigned left_bits = 16, unsigned right_bits = 16,
-          std::shared_ptr<lkh::IdAllocator> ids = nullptr);
+  explicit ElkTree(Rng rng, unsigned left_bits = 16, unsigned right_bits = 16,
+                   std::shared_ptr<lkh::IdAllocator> ids = nullptr);
   ~ElkTree();
 
   ElkTree(ElkTree&&) noexcept;

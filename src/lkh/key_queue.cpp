@@ -29,7 +29,8 @@ bool KeyQueue::contains(workload::MemberId member) const noexcept {
 
 const KeyQueue::Entry& KeyQueue::entry(workload::MemberId member) const {
   const auto it = members_.find(workload::raw(member));
-  GK_ENSURE_MSG(it != members_.end(), "member " << workload::raw(member) << " not in queue");
+  GK_ENSURE_MSG(it != members_.end(),
+                "member " << workload::raw(member) << " not in queue");
   return it->second;
 }
 

@@ -359,7 +359,8 @@ void KeyTree::emit_wraps(std::uint64_t epoch, RekeyMessage& out) {
     for (std::size_t i = begin; i < end; ++i)
       emit_node_wraps(epoch, dirty_scratch_[i],
                       std::span<crypto::WrappedKey>(out.wraps)
-                          .subspan(wrap_offsets_[i], wrap_offsets_[i + 1] - wrap_offsets_[i]));
+                          .subspan(wrap_offsets_[i],
+                                   wrap_offsets_[i + 1] - wrap_offsets_[i]));
   };
 
   if (pool_ != nullptr && pool_->size() > 1 && total >= kParallelWrapThreshold) {

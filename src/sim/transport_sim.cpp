@@ -7,11 +7,11 @@
 #include "common/ensure.h"
 #include "losshomo/multi_tree_server.h"
 #include "sim/interest.h"
-#include "workload/loss_assignment.h"
 #include "transport/fec.h"
 #include "transport/multisend.h"
 #include "transport/session.h"
 #include "transport/wka_bkr.h"
+#include "workload/loss_assignment.h"
 
 namespace gk::sim {
 

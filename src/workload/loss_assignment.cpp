@@ -26,7 +26,8 @@ double TwoPointLoss::mean() const noexcept {
   return high_fraction_ * high_rate_ + (1.0 - high_fraction_) * low_rate_;
 }
 
-DiscreteLoss::DiscreteLoss(std::vector<Point> points) : points_(std::move(points)), mean_(0.0) {
+DiscreteLoss::DiscreteLoss(std::vector<Point> points)
+    : points_(std::move(points)), mean_(0.0) {
   GK_ENSURE(!points_.empty());
   double total = 0.0;
   for (const auto& p : points_) {

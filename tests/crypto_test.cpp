@@ -11,6 +11,7 @@
 #include "crypto/kdf.h"
 #include "crypto/key.h"
 #include "crypto/keywrap.h"
+#include "crypto/secure.h"
 #include "crypto/sha256.h"
 
 namespace gk::crypto {
@@ -168,7 +169,50 @@ TEST(Key128, RandomKeysDiffer) {
 TEST(Key128, DefaultIsZero) {
   Key128 k;
   EXPECT_TRUE(k.is_zero());
-  EXPECT_EQ(k.hex(), "00000000000000000000000000000000");
+  EXPECT_EQ(k.hex_full(), "00000000000000000000000000000000");
+}
+
+TEST(Key128, HexIsRedactedByDefault) {
+  std::array<std::uint8_t, Key128::kSize> bytes{};
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(0xa0 + i);
+  const Key128 k(bytes);
+  EXPECT_EQ(k.hex(), "a0a1a2a3…");                          // first 4 bytes only
+  EXPECT_EQ(k.hex_full(), "a0a1a2a3a4a5a6a7a8a9aaabacadaeaf");  // explicit escape hatch
+}
+
+TEST(Key128, EqualityIsConstantTimeCtEqual) {
+  Rng rng(7);
+  const auto a = Key128::random(rng);
+  const auto b = Key128::random(rng);
+  Key128 a2 = a;
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(ct_equal(a.bytes(), a2.bytes()));
+  EXPECT_FALSE(ct_equal(a.bytes(), b.bytes()));
+}
+
+TEST(Key128, DestructorWipesKeyMaterial) {
+  Rng rng(8);
+  alignas(Key128) std::array<unsigned char, sizeof(Key128)> storage;
+  auto* k = new (storage.data()) Key128(Key128::random(rng));
+  ASSERT_FALSE(k->is_zero());
+  k->~Key128();
+  // Inspect the raw storage the key lived in: every byte must be zero.
+  for (std::size_t i = 0; i < storage.size(); ++i)
+    EXPECT_EQ(storage[i], 0u) << "byte " << i << " survived destruction";
+}
+
+TEST(Key128, VersionedKeyEqualityChecksKeyAndVersion) {
+  Rng rng(9);
+  const VersionedKey a{Key128::random(rng), 3};
+  VersionedKey same = a;
+  VersionedKey bumped = a;
+  bumped.version = 4;
+  const VersionedKey other{Key128::random(rng), 3};
+  EXPECT_EQ(a, same);
+  EXPECT_NE(a, bumped);
+  EXPECT_NE(a, other);
 }
 
 TEST(Key128, HashDistinguishesKeys) {

@@ -109,7 +109,8 @@ TEST(FaultSchedule, ApproximatesConfiguredRate) {
   const int trials = 20000;
   for (int i = 0; i < trials; ++i)
     if (schedule.message_dropped(static_cast<std::uint64_t>(i) / 100,
-                                 workload::make_member_id(1 + i % 100)))
+                                 workload::make_member_id(
+                                     static_cast<std::uint64_t>(1 + i % 100))))
       ++hits;
   EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
 }

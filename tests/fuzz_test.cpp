@@ -25,8 +25,8 @@ class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
                          ::testing::Values(1ULL, 1337ULL, 0xdeadbeefULL, 42424242ULL),
-                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<std::uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 TEST_P(Seeded, KeyTreeMatchesReferenceSetModel) {
@@ -73,7 +73,7 @@ TEST_P(Seeded, SnapshotAtRandomPointsIsFaithful) {
   std::uint64_t next = 0;
   std::uint64_t epoch = 0;
 
-  for (int round = 0; round < 6; ++round) {
+  for (std::uint64_t round = 0; round < 6; ++round) {
     const auto churn = 5 + rng.uniform_u64(40);
     for (std::uint64_t c = 0; c < churn; ++c) {
       if (present.empty() || rng.bernoulli(0.6)) {

@@ -1,0 +1,241 @@
+// Fixture-driven tests for gklint, the repo's key-hygiene checker. Every
+// rule has one fixture seeding a violation and one clean counterpart; the
+// tests pin the exact rule-id and line of each finding so rule behavior
+// cannot drift silently, and prove the allow-comment suppression mechanism
+// works (and demands a justification).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gklint/lint.h"
+
+namespace gk::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(GKLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+using RuleLine = std::pair<std::size_t, std::string>;
+
+std::vector<RuleLine> lint(const std::string& display_path, const std::string& text) {
+  Registry registry;
+  collect_markers(text, registry);
+  std::vector<RuleLine> out;
+  for (const auto& f : lint_source(display_path, text, registry))
+    out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+/// Apply --fix passes until the text stops changing, like the CLI does.
+std::string fix_to_stable(const std::string& display_path, std::string text) {
+  Registry registry;
+  collect_markers(text, registry);
+  for (int pass = 0; pass < 16; ++pass) {
+    std::string fixed;
+    (void)lint_source(display_path, text, registry, &fixed);
+    if (fixed.empty()) break;
+    text = fixed;
+  }
+  return text;
+}
+
+// ------------------------------------------------------------- ct-compare --
+
+TEST(gklint, CtCompareCatchesSeededViolations) {
+  const auto got = lint("src/fake/secret.h", fixture("ct_compare_violation.h"));
+  const std::vector<RuleLine> want = {{8, "ct-compare"},
+                                      {9, "ct-compare"},
+                                      {13, "ct-compare"},
+                                      {17, "ct-compare"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, CtCompareCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/clean.h", fixture("ct_compare_clean.h")).empty());
+}
+
+TEST(gklint, CtCompareAllowsHandWrittenEqualityOnlyInKeyHeader) {
+  const std::string decl =
+      "#pragma once\n"
+      "// gklint: secret-type(Key128)\n"
+      "class Key128 {\n"
+      "  friend bool operator==(const Key128& a, const Key128& b) noexcept;\n"
+      "};\n";
+  EXPECT_TRUE(lint("src/crypto/key.h", decl).empty());
+  const auto elsewhere = lint("src/lkh/key_tree.h", decl);
+  ASSERT_EQ(elsewhere.size(), 1u);
+  EXPECT_EQ(elsewhere[0], (RuleLine{4, "ct-compare"}));
+}
+
+// ------------------------------------------------------------- secret-log --
+
+TEST(gklint, SecretLogCatchesStreamedKeyBytes) {
+  const auto got = lint("src/transport/debug_dump.cpp",
+                        fixture("secret_log_violation.cpp"));
+  const std::vector<RuleLine> want = {{7, "secret-log"},
+                                      {8, "secret-log"},
+                                      {8, "secret-log"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, SecretLogCleanFixturePasses) {
+  EXPECT_TRUE(
+      lint("src/transport/debug_dump.cpp", fixture("secret_log_clean.cpp")).empty());
+}
+
+TEST(gklint, SecretLogPermitsHexFullInsideTests) {
+  const std::string text = "void f(const K& k) { use(k.hex_full()); }\n";
+  EXPECT_TRUE(lint("tests/crypto_test.cpp", text).empty());
+  ASSERT_EQ(lint("src/lkh/journal.cpp", text).size(), 1u);
+}
+
+// ---------------------------------------------------------------- raw-rng --
+
+TEST(gklint, RawRngCatchesEveryBannedSource) {
+  const auto got = lint("src/workload/dice.cpp", fixture("raw_rng_violation.cpp"));
+  const std::vector<RuleLine> want = {{5, "raw-rng"},
+                                      {6, "raw-rng"},
+                                      {7, "raw-rng"},
+                                      {8, "raw-rng"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, RawRngCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/workload/dice.cpp", fixture("raw_rng_clean.cpp")).empty());
+}
+
+TEST(gklint, RawRngAllowlistsTheRngImplementation) {
+  EXPECT_TRUE(lint("src/common/rng.cpp", fixture("raw_rng_violation.cpp")).empty());
+}
+
+// -------------------------------------------------------------- banned-fn --
+
+TEST(gklint, BannedFnCatchesUnsafeCalls) {
+  const auto got = lint("src/transport/wipe.cpp", fixture("banned_fn_violation.cpp"));
+  const std::vector<RuleLine> want = {{4, "banned-fn"},
+                                      {5, "banned-fn"},
+                                      {6, "banned-fn"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, BannedFnCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/transport/wipe.cpp", fixture("banned_fn_clean.cpp")).empty());
+}
+
+// ------------------------------------------------------------ pragma-once --
+
+TEST(gklint, PragmaOnceRequiredInHeaders) {
+  const auto got = lint("src/fake/legacy.h", fixture("pragma_once_violation.h"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (RuleLine{1, "pragma-once"}));
+}
+
+TEST(gklint, PragmaOnceCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/legacy.h", fixture("pragma_once_clean.h")).empty());
+}
+
+TEST(gklint, PragmaOnceFixInsertsThePragma) {
+  const auto fixed = fix_to_stable("src/fake/legacy.h", fixture("pragma_once_violation.h"));
+  EXPECT_EQ(fixed.substr(0, 13), "#pragma once\n");
+  EXPECT_TRUE(lint("src/fake/legacy.h", fixed).empty());
+}
+
+// ---------------------------------------------------------- include-order --
+
+TEST(gklint, IncludeOrderCatchesUnsortedAndMixedBlocks) {
+  const auto got = lint("src/fake/other.cpp", fixture("include_order_violation.cpp"));
+  const std::vector<RuleLine> want = {{2, "include-order"},
+                                      {5, "include-order"},
+                                      {8, "include-order"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, IncludeOrderCleanFixtureWithOwnHeaderPinPasses) {
+  EXPECT_TRUE(
+      lint("src/sim/transport_sim.cpp", fixture("include_order_clean.cpp")).empty());
+}
+
+TEST(gklint, IncludeOrderFixSortsAndSplitsBlocks) {
+  const auto fixed =
+      fix_to_stable("src/fake/other.cpp", fixture("include_order_violation.cpp"));
+  const std::string want =
+      "#include \"alpha/a.h\"\n"
+      "#include \"zeta/b.h\"\n"
+      "\n"
+      "#include <array>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include <cstdio>\n"
+      "\n"
+      "#include \"beta/c.h\"\n"
+      "\n"
+      "int main() { return 0; }\n";
+  EXPECT_EQ(fixed, want);
+  EXPECT_TRUE(lint("src/fake/other.cpp", fixed).empty());
+}
+
+// -------------------------------------------------------------- nodiscard --
+
+TEST(gklint, NodiscardRequiredOnOptionalReturns) {
+  const auto got = lint("src/fake/parser.h", fixture("nodiscard_violation.h"));
+  const std::vector<RuleLine> want = {{6, "nodiscard"}, {9, "nodiscard"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, NodiscardCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/parser.h", fixture("nodiscard_clean.h")).empty());
+}
+
+// ---------------------------------------------------------- explicit-ctor --
+
+TEST(gklint, ExplicitCtorCatchesSingleArgConstructors) {
+  const auto got = lint("src/fake/handle.h", fixture("explicit_ctor_violation.h"));
+  const std::vector<RuleLine> want = {{5, "explicit-ctor"}, {7, "explicit-ctor"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, ExplicitCtorCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/handle.h", fixture("explicit_ctor_clean.h")).empty());
+}
+
+// ------------------------------------------------------------ suppression --
+
+TEST(gklint, SuppressionWithJustificationSilencesFindings) {
+  const auto got = lint("src/fake/supp.cpp", fixture("suppression.cpp"));
+  const std::vector<RuleLine> want = {{13, "bad-suppression"},
+                                      {13, "raw-rng"},
+                                      {17, "bad-suppression"},
+                                      {17, "raw-rng"}};
+  EXPECT_EQ(got, want);
+}
+
+// ----------------------------------------------------------------- output --
+
+TEST(gklint, FindingsRenderAsClickableFileLineRule) {
+  Registry registry;
+  const auto findings =
+      lint_source("src/fake/legacy.h", fixture("pragma_once_violation.h"), registry);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].render().substr(0, 28), "src/fake/legacy.h:1: pragma-");
+}
+
+TEST(gklint, SecretTypeMarkerRegistersNewTypes) {
+  Registry registry;
+  collect_markers("// gklint: secret-type(WrapSeed)\n", registry);
+  EXPECT_EQ(registry.secret_types.count("WrapSeed"), 1u);
+  EXPECT_EQ(registry.secret_types.count("Key128"), 1u);  // built in
+}
+
+}  // namespace
+}  // namespace gk::lint

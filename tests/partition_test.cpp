@@ -97,15 +97,15 @@ INSTANTIATE_TEST_SUITE_P(
                       SchemeCase{SchemeKind::kQt, 3}, SchemeCase{SchemeKind::kQt, 0},
                       SchemeCase{SchemeKind::kTt, 3}, SchemeCase{SchemeKind::kTt, 0},
                       SchemeCase{SchemeKind::kPt, 0}),
-    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+    [](const ::testing::TestParamInfo<SchemeCase>& param_info) {
       const char* name = "Unknown";
-      switch (info.param.kind) {
+      switch (param_info.param.kind) {
         case SchemeKind::kOneKeyTree: name = "OneKeytree"; break;
         case SchemeKind::kQt: name = "Qt"; break;
         case SchemeKind::kTt: name = "Tt"; break;
         case SchemeKind::kPt: name = "Pt"; break;
       }
-      return std::string(name) + "K" + std::to_string(info.param.k);
+      return std::string(name) + "K" + std::to_string(param_info.param.k);
     });
 
 TEST_P(AllSchemes, JoinersLearnGroupKey) {

@@ -38,9 +38,10 @@ INSTANTIATE_TEST_SUITE_P(
                       TreeCase{4, 256, 32}, TreeCase{4, 1000, 100},
                       TreeCase{5, 333, 11}, TreeCase{8, 512, 64},
                       TreeCase{16, 300, 30}),
-    [](const ::testing::TestParamInfo<TreeCase>& info) {
-      return "d" + std::to_string(info.param.degree) + "n" +
-             std::to_string(info.param.members) + "b" + std::to_string(info.param.batch);
+    [](const ::testing::TestParamInfo<TreeCase>& param_info) {
+      return "d" + std::to_string(param_info.param.degree) + "n" +
+             std::to_string(param_info.param.members) + "b" +
+             std::to_string(param_info.param.batch);
     });
 
 TEST_P(TreeSweep, EveryMemberDecryptsAfterEveryBatch) {
@@ -130,9 +131,11 @@ INSTANTIATE_TEST_SUITE_P(Grid, ModelSweep,
                          ::testing::Values(ModelCase{2, 1024.0}, ModelCase{3, 5000.0},
                                            ModelCase{4, 65536.0}, ModelCase{4, 100000.0},
                                            ModelCase{8, 262144.0}),
-                         [](const ::testing::TestParamInfo<ModelCase>& info) {
-                           return "d" + std::to_string(info.param.degree) + "n" +
-                                  std::to_string(static_cast<long>(info.param.members));
+                         [](const ::testing::TestParamInfo<ModelCase>& param_info) {
+                           return "d" + std::to_string(param_info.param.degree) +
+                                  "n" +
+                                  std::to_string(
+                                      static_cast<long>(param_info.param.members));
                          });
 
 TEST_P(ModelSweep, CostMonotoneInDepartures) {
@@ -220,10 +223,10 @@ INSTANTIATE_TEST_SUITE_P(Grid, TransportSweep,
                          ::testing::Values(LossCase{0.0, 64}, LossCase{0.01, 64},
                                            LossCase{0.05, 256}, LossCase{0.20, 256},
                                            LossCase{0.40, 64}, LossCase{0.60, 32}),
-                         [](const ::testing::TestParamInfo<LossCase>& info) {
+                         [](const ::testing::TestParamInfo<LossCase>& param_info) {
                            return "p" + std::to_string(static_cast<int>(
-                                            info.param.loss * 100)) +
-                                  "r" + std::to_string(info.param.receivers);
+                                            param_info.param.loss * 100)) +
+                                  "r" + std::to_string(param_info.param.receivers);
                          });
 
 TEST_P(TransportSweep, WkaBkrAlwaysCompletes) {

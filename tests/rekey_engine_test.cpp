@@ -124,8 +124,9 @@ TEST(WrapBatch, MatchesPerItemWraps) {
     requests[i].nonce = crypto::derive_wrap_nonce(3, requests[i].target_id, 0);
   }
 
-  const auto batched = crypto::wrap_keys_batch(kek, crypto::make_key_id(1), 7,
-                                               std::span<const crypto::WrapRequest>(requests));
+  const auto batched =
+      crypto::wrap_keys_batch(kek, crypto::make_key_id(1), 7,
+                              std::span<const crypto::WrapRequest>(requests));
   ASSERT_EQ(batched.size(), requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto single =

@@ -125,9 +125,10 @@ INSTANTIATE_TEST_SUITE_P(
                       RsCase{8, 8, 8}, RsCase{16, 16, 5}, RsCase{16, 4, 4},
                       RsCase{32, 16, 16}, RsCase{64, 32, 20}, RsCase{100, 50, 50},
                       RsCase{128, 127, 100}),
-    [](const ::testing::TestParamInfo<RsCase>& info) {
-      return "k" + std::to_string(info.param.k) + "p" +
-             std::to_string(info.param.parity) + "d" + std::to_string(info.param.drop);
+    [](const ::testing::TestParamInfo<RsCase>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "p" +
+             std::to_string(param_info.param.parity) + "d" +
+             std::to_string(param_info.param.drop);
     });
 
 TEST_P(RsProperty, AnyKShardsReconstruct) {

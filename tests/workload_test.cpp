@@ -1,12 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-
-#include "common/rng.h"
-#include "common/stats.h"
 #include <sstream>
 
 #include "common/ensure.h"
+#include "common/rng.h"
+#include "common/stats.h"
 #include "workload/duration_model.h"
 #include "workload/loss_assignment.h"
 #include "workload/membership.h"

@@ -1,0 +1,11 @@
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "crypto/secure.h"
+
+void copy_and_wipe(std::string* dst, const std::string& src, unsigned char* key_buf) {
+  *dst = src;
+  std::snprintf(nullptr, 0, "%s", src.c_str());
+  gk::crypto::secure_wipe(key_buf, 16);
+}

@@ -1,0 +1,7 @@
+#include <cstring>
+
+void copy_and_wipe(char* dst, const char* src, unsigned char* key_buf) {
+  std::strcpy(dst, src);
+  std::sprintf(dst, "%s", src);
+  std::memset(key_buf, 0, 16);
+}

@@ -1,0 +1,22 @@
+#pragma once
+// gklint: secret-type(SecretBlob)
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+struct SecretBlob {
+  unsigned char data[16];
+};
+
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+inline bool same_blob(const SecretBlob& a, const SecretBlob& b) {
+  return ct_equal(std::span<const std::uint8_t>(a.data, 16),
+                  std::span<const std::uint8_t>(b.data, 16));
+}
+
+/// memcmp over clearly public data stays legal.
+inline bool same_header(const char* a, const char* b) {
+  return std::memcmp(a, b, 4) == 0;
+}

@@ -1,0 +1,18 @@
+#pragma once
+// gklint: secret-type(SecretBlob)
+
+#include <cstring>
+
+struct SecretBlob {
+  unsigned char data[16];
+  friend bool operator==(const SecretBlob&, const SecretBlob&) noexcept = default;
+  friend auto operator<=>(const SecretBlob&, const SecretBlob&) noexcept = default;
+};
+
+inline bool same_blob(const SecretBlob& a, const SecretBlob& b) {
+  return std::memcmp(&a, &b, sizeof(SecretBlob)) == 0;
+}
+
+inline bool same_session_key(const unsigned char* session_key, const unsigned char* other) {
+  return std::memcmp(session_key, other, 16) == 0;
+}

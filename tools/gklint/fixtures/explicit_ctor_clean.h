@@ -1,0 +1,13 @@
+#pragma once
+
+class FileHandle {
+ public:
+  FileHandle();
+  explicit FileHandle(int fd);
+  FileHandle(int fd, bool owned);
+  FileHandle(const FileHandle& other);
+  FileHandle(FileHandle&& other) noexcept;
+
+  // Uses of the class name that are not constructor declarations.
+  static FileHandle invalid() { return FileHandle(); }
+};

@@ -1,0 +1,8 @@
+#pragma once
+
+class FileHandle {
+ public:
+  FileHandle(int fd);
+  FileHandle(int fd, bool owned);
+  FileHandle(double timeout, bool blocking = true, int retries = 3);
+};

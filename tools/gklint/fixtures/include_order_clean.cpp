@@ -1,0 +1,9 @@
+#include "sim/transport_sim.h"
+
+#include <array>
+#include <vector>
+
+#include "alpha/a.h"
+#include "zeta/b.h"
+
+int main() { return 0; }

@@ -1,0 +1,10 @@
+#include "zeta/b.h"
+#include "alpha/a.h"
+
+#include <vector>
+#include <array>
+
+#include <cstdio>
+#include "beta/c.h"
+
+int main() { return 0; }

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <optional>
+
+struct Parser {
+  [[nodiscard]] std::optional<int> next_token();
+
+  // A member variable and a parameter are not return types.
+  std::optional<int> lookahead;
+  void feed(std::optional<int> token);
+};
+
+[[nodiscard]] std::optional<double> try_parse(const char* text);

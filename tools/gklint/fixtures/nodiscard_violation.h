@@ -1,0 +1,9 @@
+#pragma once
+
+#include <optional>
+
+struct Parser {
+  std::optional<int> next_token();
+};
+
+std::optional<double> try_parse(const char* text);

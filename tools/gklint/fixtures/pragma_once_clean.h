@@ -1,0 +1,4 @@
+// A leading comment before the pragma is fine.
+#pragma once
+
+int answer();

@@ -1,0 +1,6 @@
+#ifndef LEGACY_GUARD_H_
+#define LEGACY_GUARD_H_
+
+int answer();
+
+#endif  // LEGACY_GUARD_H_

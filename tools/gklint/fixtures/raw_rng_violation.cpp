@@ -1,0 +1,9 @@
+#include <cstdlib>
+#include <random>
+
+int roll_dice() {
+  std::srand(42);
+  std::random_device entropy;
+  std::mt19937 gen(entropy());
+  return std::rand() % 6;
+}

@@ -1,0 +1,9 @@
+#include <cstdio>
+#include <iostream>
+
+#include "crypto/key.h"
+
+void debug_dump(const gk::crypto::Key128& k) {
+  std::cout << "key byte: " << static_cast<int>(k.bytes()[0]) << "\n";
+  std::printf("key=%s\n", k.hex_full().c_str());
+}

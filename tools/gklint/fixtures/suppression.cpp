@@ -1,0 +1,18 @@
+#include <cstdlib>
+
+int trailing_suppression() {
+  return rand();  // gklint: allow(raw-rng) demo fixture; determinism is irrelevant here
+}
+
+int standalone_suppression() {
+  // gklint: allow(raw-rng) covers the next line when the comment owns its line
+  return rand();
+}
+
+int missing_justification() {
+  return rand();  // gklint: allow(raw-rng)
+}
+
+int unknown_rule() {
+  return rand();  // gklint: allow(not-a-rule) message does not matter
+}

@@ -1,0 +1,118 @@
+// gklint — the repo's key-hygiene checker.
+//
+// Walks the given files/directories (default: src tests bench examples
+// tools), runs the secret-safety and hygiene rules from lint.h over every
+// .h/.cpp/.cc file, and prints findings as `file:line: rule-id: message`.
+// Exit status 1 when any finding remains, so it slots directly into ctest
+// and CI. `--fix` rewrites the two mechanical rules in place (pragma-once,
+// include-order), iterating until the file is stable.
+//
+// Usage: gklint [--fix] [--root DIR] [paths...]
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gklint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+[[nodiscard]] bool skipped_dir(const fs::path& p) {
+  const auto name = p.filename().string();
+  return name == "fixtures" || name == ".git" || name.rfind("build", 0) == 0;
+}
+
+[[nodiscard]] std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void collect(const fs::path& p, std::vector<fs::path>* out) {
+  if (fs::is_directory(p)) {
+    if (skipped_dir(p)) return;
+    std::vector<fs::path> entries;
+    for (const auto& e : fs::directory_iterator(p)) entries.push_back(e.path());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& e : entries) collect(e, out);
+  } else if (fs::is_regular_file(p) && lintable(p)) {
+    out->push_back(p);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fix = false;
+  fs::path root = fs::current_path();
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gklint [--fix] [--root DIR] [paths...]\n";
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) args = {"src", "tests", "bench", "examples", "tools"};
+
+  std::vector<fs::path> files;
+  for (const auto& arg : args) {
+    const fs::path p = fs::path(arg).is_absolute() ? fs::path(arg) : root / arg;
+    if (!fs::exists(p)) {
+      std::cerr << "gklint: no such path: " << p.string() << "\n";
+      return 2;
+    }
+    collect(p, &files);
+  }
+
+  // Pass 1: registry markers (secret types) from every scanned file.
+  gk::lint::Registry registry;
+  for (const auto& file : files) gk::lint::collect_markers(read_file(file), registry);
+
+  // Pass 2: lint (and fix, iterating to a fixed point since one fix pass
+  // rewrites at most one block per file).
+  std::vector<gk::lint::Finding> findings;
+  for (const auto& file : files) {
+    const auto display = fs::relative(file, root).generic_string();
+    std::string text = read_file(file);
+    if (fix) {
+      for (int pass = 0; pass < 16; ++pass) {
+        std::string fixed;
+        (void)gk::lint::lint_source(display, text, registry, &fixed);
+        if (fixed.empty()) break;
+        text = fixed;
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out << text;
+      }
+    }
+    auto file_findings = gk::lint::lint_source(display, text, registry);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  for (const auto& finding : findings) std::cout << finding.render() << "\n";
+  if (!findings.empty()) {
+    std::cerr << "gklint: " << findings.size() << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "gklint: clean (" << files.size() << " files)\n";
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "gklint/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace gk::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<=>", "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "[[", "]]", "++", "--"};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t line = 1;
+  bool line_has_code = false;  // any non-whitespace, non-comment char so far
+
+  const auto peek = [&](std::size_t i, std::size_t ahead) -> char {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  };
+
+  std::size_t i = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(i, 1) == '/') {
+      const std::size_t start = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      out.comments.push_back(
+          {std::string(src.substr(start, i - start)), line, line, !line_has_code});
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && peek(i, 1) == '*') {
+      const std::size_t start = i;
+      const std::size_t first_line = line;
+      const bool owns = !line_has_code;
+      i += 2;
+      while (i < src.size() && !(src[i] == '*' && peek(i, 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+      out.comments.push_back(
+          {std::string(src.substr(start, i - start)), first_line, line, owns});
+      continue;
+    }
+
+    line_has_code = true;
+
+    // Raw string literal: R"delim( ... )delim" (optionally u8/u/U/L prefixed —
+    // the prefix will already have been consumed as part of an identifier scan
+    // below, so handle the bare R" form which covers this codebase).
+    if (c == 'R' && peek(i, 1) == '"') {
+      const std::size_t start = i;
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < src.size() && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      end = end == std::string_view::npos ? src.size() : end + close.size();
+      for (std::size_t k = start; k < end; ++k)
+        if (src[k] == '\n') ++line;
+      out.tokens.push_back({TokKind::kString, std::string(src.substr(start, end - start)),
+                            line});
+      i = end;
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      const std::size_t start = i;
+      const std::size_t tok_line = line;
+      ++i;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < src.size()) ++i;
+      out.tokens.push_back(
+          {TokKind::kString, std::string(src.substr(start, i - start)), tok_line});
+      continue;
+    }
+
+    // Character literal. Distinguish from digit separators: a ' directly
+    // between alphanumerics inside a number is consumed by the number scan.
+    if (c == '\'') {
+      const std::size_t start = i;
+      ++i;
+      while (i < src.size() && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        ++i;
+      }
+      if (i < src.size()) ++i;
+      out.tokens.push_back(
+          {TokKind::kChar, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < src.size() && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+
+    if (digit(c) || (c == '.' && digit(peek(i, 1)))) {
+      const std::size_t start = i;
+      ++i;
+      while (i < src.size()) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && ident_char(peek(i, 1))) {
+          i += 2;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                    src[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (const auto p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        out.tokens.push_back({TokKind::kPunct, std::string(p), line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace gk::lint

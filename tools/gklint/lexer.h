@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gk::lint {
+
+/// Token kinds produced by the lexer. Just enough C++ lexing for the
+/// key-hygiene rules: identifiers and punctuation carry the signal; string
+/// and character literals are opaque single tokens so their contents can
+/// never fake a match ("rand()" inside a log string is not a finding).
+enum class TokKind : std::uint8_t { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based line of the token's first character
+};
+
+/// A comment with its extent. `owns_line` means nothing but whitespace
+/// precedes it on its first line — such comments scope gklint directives to
+/// the *next* code line; trailing comments scope to their own line.
+struct Comment {
+  std::string text;
+  std::size_t first_line;
+  std::size_t last_line;
+  bool owns_line;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `source`. Comments and literals are recognized (including raw
+/// strings and digit separators) so rule matching only ever sees real code
+/// tokens; preprocessor directives are lexed as ordinary tokens.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace gk::lint

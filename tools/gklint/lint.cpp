@@ -1,0 +1,741 @@
+#include "gklint/lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "gklint/lexer.h"
+
+namespace gk::lint {
+namespace {
+
+// ---------------------------------------------------------------- helpers ---
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] bool is_header_path(std::string_view path) { return ends_with(path, ".h"); }
+
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) lines.emplace_back(text.substr(start));
+  return lines;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// File stem: "src/crypto/key.cpp" -> "key".
+[[nodiscard]] std::string_view stem_of(std::string_view path) {
+  const auto slash = path.find_last_of('/');
+  auto base = slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string_view::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------- gklint: directives ----
+
+/// One parsed suppression directive: the allow-list of rule ids it names,
+/// plus the mandatory justification text that follows the closing paren.
+struct AllowDirective {
+  std::set<std::string> rules;
+  std::vector<std::string> unknown_rules;
+  std::string justification;
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+  bool owns_line = false;
+
+  [[nodiscard]] bool covers(std::size_t line) const noexcept {
+    const std::size_t hi = owns_line ? last_line + 1 : last_line;
+    return line >= first_line && line <= hi;
+  }
+};
+
+struct Directives {
+  std::vector<AllowDirective> allows;
+  std::vector<Finding> bad;  // malformed suppressions are findings themselves
+};
+
+[[nodiscard]] Directives parse_directives(const std::string& path,
+                                          const std::vector<Comment>& comments) {
+  Directives out;
+  for (const auto& comment : comments) {
+    const std::string& text = comment.text;
+    const auto tag = text.find("gklint:");
+    if (tag == std::string::npos) continue;
+    const auto allow = text.find("allow(", tag);
+    if (allow == std::string::npos) continue;  // secret-type markers handled separately
+    const auto close = text.find(')', allow);
+    AllowDirective d;
+    d.first_line = comment.first_line;
+    d.last_line = comment.last_line;
+    d.owns_line = comment.owns_line;
+    if (close == std::string::npos) {
+      out.bad.push_back({path, comment.first_line, "bad-suppression",
+                         "unterminated gklint: allow( directive"});
+      continue;
+    }
+    // Comma-separated rule list inside the parens.
+    std::string list = text.substr(allow + 6, close - allow - 6);
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const auto rule = std::string(trim(item));
+      if (rule.empty()) continue;
+      if (known_rules().count(rule) == 0) {
+        d.unknown_rules.push_back(rule);
+      } else {
+        d.rules.insert(rule);
+      }
+    }
+    // Mandatory justification: non-empty text after the closing paren
+    // (stripping comment terminators).
+    std::string rest = text.substr(close + 1);
+    if (ends_with(rest, "*/")) rest = rest.substr(0, rest.size() - 2);
+    d.justification = std::string(trim(rest));
+
+    for (const auto& unknown : d.unknown_rules)
+      out.bad.push_back({path, comment.first_line, "bad-suppression",
+                         "allow() names unknown rule '" + unknown + "'"});
+    if (d.rules.empty() && d.unknown_rules.empty()) {
+      out.bad.push_back({path, comment.first_line, "bad-suppression",
+                         "allow() lists no rules"});
+    } else if (d.justification.empty()) {
+      out.bad.push_back(
+          {path, comment.first_line, "bad-suppression",
+           "suppression needs a justification after allow(...): why is this safe?"});
+    } else {
+      out.allows.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- rule ctx ----
+
+struct FileCtx {
+  const std::string& path;
+  bool is_header;
+  const std::vector<std::string>& lines;
+  const std::vector<Token>& toks;
+  const Registry& reg;
+  std::vector<Finding>* findings;
+
+  void report(std::size_t line, const char* rule, std::string message) const {
+    findings->push_back({path, line, rule, std::move(message)});
+  }
+
+  [[nodiscard]] bool is_secret_type(const std::string& name) const {
+    return reg.secret_types.count(name) != 0;
+  }
+};
+
+/// Index of the token matching the `(` at `open`, or toks.size() on overrun.
+[[nodiscard]] std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+[[nodiscard]] bool tok_is(const Token& t, std::string_view text) {
+  return t.text == text;
+}
+
+// ------------------------------------------------------------ rule: raw-rng --
+
+void rule_raw_rng(const FileCtx& ctx) {
+  if (starts_with(ctx.path, "src/common/rng.")) return;
+  static const std::set<std::string> kCallBanned = {"rand", "srand", "rand_r", "drand48",
+                                                    "lrand48"};
+  static const std::set<std::string> kTypeBanned = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand", "default_random_engine",
+      "knuth_b", "ranlux24", "ranlux48"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const auto& t = ctx.toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool call = kCallBanned.count(t.text) != 0 && i + 1 < ctx.toks.size() &&
+                      tok_is(ctx.toks[i + 1], "(");
+    const bool type = kTypeBanned.count(t.text) != 0;
+    if (call || type)
+      ctx.report(t.line, "raw-rng",
+                 "'" + t.text +
+                     "' bypasses the seeded deterministic stream; draw all randomness "
+                     "through gk::Rng (src/common/rng)");
+  }
+}
+
+// ---------------------------------------------------------- rule: banned-fn --
+
+void rule_banned_fn(const FileCtx& ctx) {
+  static const std::map<std::string, std::string> kBanned = {
+      {"strcpy", "unbounded copy; use std::string or bounded std:: algorithms"},
+      {"strcat", "unbounded append; use std::string"},
+      {"strncpy", "padding/truncation pitfalls; use std::string"},
+      {"strncat", "size argument is error-prone; use std::string"},
+      {"sprintf", "unbounded format; use std::snprintf or std::format"},
+      {"vsprintf", "unbounded format; use vsnprintf"},
+      {"gets", "cannot be used safely"},
+      {"strtok", "not reentrant; use std::string_view scanning"},
+      {"alloca", "stack-unsafe allocation; use a fixed array or vector"},
+      {"bzero", "non-standard and elidable; use crypto::secure_wipe() for "
+                "secrets or value-init for public buffers"},
+      {"memset", "elidable by dead-store elimination, so it is not a wipe; use "
+                 "crypto::secure_wipe() for secret material or std::fill/value-init "
+                 "for public buffers"},
+  };
+  for (std::size_t i = 0; i + 1 < ctx.toks.size(); ++i) {
+    const auto& t = ctx.toks[i];
+    if (t.kind != TokKind::kIdent || !tok_is(ctx.toks[i + 1], "(")) continue;
+    const auto hit = kBanned.find(t.text);
+    if (hit == kBanned.end()) continue;
+    // `std::memset` and plain `memset` both match on the ident token.
+    ctx.report(t.line, "banned-fn", "'" + t.text + "' is banned: " + hit->second);
+  }
+}
+
+// --------------------------------------------------------- rule: ct-compare --
+
+void rule_ct_compare(const FileCtx& ctx) {
+  static const std::set<std::string> kOrdering = {"<", ">", "<=", ">=", "<=>"};
+  static const std::set<std::string> kEquality = {"==", "!="};
+  // The one place a hand-written constant-time operator== is allowed to live.
+  const bool equality_allowlisted = ctx.path == "src/crypto/key.h";
+
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // --- declared comparison operators on secret types -------------------
+    if (toks[i].kind == TokKind::kIdent && tok_is(toks[i], "operator")) {
+      const std::string& op = toks[i + 1].text;
+      const bool ordering = kOrdering.count(op) != 0;
+      const bool equality = kEquality.count(op) != 0;
+      if (!ordering && !equality) continue;
+      // Parameter list: first ( ... ) after the operator token.
+      std::size_t open = i + 2;
+      while (open < toks.size() && !tok_is(toks[open], "(")) ++open;
+      if (open == toks.size()) continue;
+      const std::size_t close = match_paren(toks, open);
+      bool secret_param = false;
+      for (std::size_t j = open + 1; j < close; ++j)
+        if (toks[j].kind == TokKind::kIdent && ctx.is_secret_type(toks[j].text))
+          secret_param = true;
+      if (!secret_param) continue;
+      // Defaulted?
+      bool defaulted = false;
+      for (std::size_t j = close; j < std::min(toks.size(), close + 16); ++j) {
+        if (tok_is(toks[j], ";") || tok_is(toks[j], "{")) break;
+        if (tok_is(toks[j], "default")) defaulted = true;
+      }
+      if (ordering) {
+        ctx.report(toks[i].line, "ct-compare",
+                   "ordered comparison (operator" + op +
+                       ") on a secret type: secret bytes must never drive an "
+                       "ordering; only constant-time equality exists");
+      } else if (defaulted) {
+        ctx.report(toks[i].line, "ct-compare",
+                   "defaulted operator" + op +
+                       " on a secret type compares bytes in variable time; "
+                       "implement it via crypto::ct_equal()");
+      } else if (!equality_allowlisted) {
+        ctx.report(toks[i].line, "ct-compare",
+                   "hand-written operator" + op +
+                       " on a secret type outside src/crypto/key.h; route "
+                       "equality through crypto::ct_equal()");
+      }
+    }
+
+    // --- memcmp over secret material --------------------------------------
+    if (toks[i].kind == TokKind::kIdent && tok_is(toks[i], "memcmp") &&
+        tok_is(toks[i + 1], "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      bool secret_arg = false;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const auto& a = toks[j];
+        if (a.kind != TokKind::kIdent) continue;
+        const bool accessor = (a.text == "bytes" || a.text == "mutable_bytes") &&
+                              j > 0 &&
+                              (tok_is(toks[j - 1], ".") || tok_is(toks[j - 1], "->"));
+        const bool keyish = a.text == "key" || ends_with(a.text, "_key") ||
+                            a.text.find("secret") != std::string::npos;
+        if (ctx.is_secret_type(a.text) || accessor || keyish) secret_arg = true;
+      }
+      if (secret_arg)
+        ctx.report(toks[i].line, "ct-compare",
+                   "memcmp on secret bytes is variable-time; use crypto::ct_equal()");
+    }
+  }
+}
+
+// --------------------------------------------------------- rule: secret-log --
+
+void rule_secret_log(const FileCtx& ctx) {
+  // hex_full() is greppable by design and confined to crypto internals,
+  // tests, and tooling.
+  const bool hex_full_ok = starts_with(ctx.path, "src/crypto/") ||
+                           starts_with(ctx.path, "tests/") ||
+                           starts_with(ctx.path, "tools/");
+  static const std::set<std::string> kPrintFns = {"printf", "fprintf", "puts", "fputs",
+                                                  "format", "print", "println"};
+  const auto& toks = ctx.toks;
+
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i <= toks.size(); ++i) {
+    const bool boundary =
+        i == toks.size() ||
+        (toks[i].kind == TokKind::kPunct &&
+         (tok_is(toks[i], ";") || tok_is(toks[i], "{") || tok_is(toks[i], "}")));
+    if (!boundary) continue;
+
+    bool sink = false;
+    std::size_t secret_at = 0;
+    std::string secret_what;
+    for (std::size_t j = stmt_begin; j < i; ++j) {
+      const auto& t = toks[j];
+      if (t.kind == TokKind::kPunct && tok_is(t, "<<")) sink = true;
+      if (t.kind == TokKind::kIdent && kPrintFns.count(t.text) != 0 &&
+          j + 1 < toks.size() && tok_is(toks[j + 1], "("))
+        sink = true;
+      const bool member = j > 0 && (tok_is(toks[j - 1], ".") || tok_is(toks[j - 1], "->"));
+      if (t.kind == TokKind::kIdent && member &&
+          (t.text == "bytes" || t.text == "mutable_bytes" || t.text == "hex_full")) {
+        secret_at = t.line;
+        secret_what = t.text;
+      }
+      if (t.kind == TokKind::kIdent && t.text == "hex_full" && !hex_full_ok)
+        ctx.report(t.line, "secret-log",
+                   "hex_full() escapes redaction outside crypto/tests/tools; log the "
+                   "redacted hex() instead");
+    }
+    if (sink && secret_at != 0)
+      ctx.report(secret_at, "secret-log",
+                 "statement streams/prints raw key material (." + secret_what +
+                     "); log redacted hex() or drop the bytes from the message");
+    stmt_begin = i + 1;
+  }
+}
+
+// -------------------------------------------------------- rule: pragma-once --
+
+/// Returns the 0-based index of the first code line, skipping blanks and
+/// comments, or nullopt for a file with no code.
+[[nodiscard]] std::optional<std::size_t> first_code_line(
+    const std::vector<std::string>& lines) {
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto s = trim(lines[i]);
+    if (in_block_comment) {
+      const auto end = s.find("*/");
+      if (end == std::string_view::npos) continue;
+      s = trim(s.substr(end + 2));
+      in_block_comment = false;
+    }
+    while (starts_with(s, "/*")) {
+      const auto end = s.find("*/", 2);
+      if (end == std::string_view::npos) {
+        in_block_comment = true;
+        s = {};
+        break;
+      }
+      s = trim(s.substr(end + 2));
+    }
+    if (s.empty() || starts_with(s, "//")) continue;
+    return i;
+  }
+  return std::nullopt;
+}
+
+void rule_pragma_once(const FileCtx& ctx, std::vector<std::string>* fixed_lines,
+                      bool* fixed) {
+  if (!ctx.is_header) return;
+  const auto first = first_code_line(ctx.lines);
+  if (first.has_value() && trim(ctx.lines[*first]) == "#pragma once") return;
+  ctx.report(1, "pragma-once", "header must start with #pragma once");
+  if (fixed_lines != nullptr) {
+    fixed_lines->insert(fixed_lines->begin(), {"#pragma once", ""});
+    *fixed = true;
+  }
+}
+
+// ------------------------------------------------------ rule: include-order --
+
+struct IncludeLine {
+  std::size_t index;  // 0-based line index
+  std::string path;   // between the delimiters
+  bool angle;
+  std::string raw;
+};
+
+[[nodiscard]] std::vector<IncludeLine> parse_includes(
+    const std::vector<std::string>& lines) {
+  std::vector<IncludeLine> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto s = trim(lines[i]);
+    if (!starts_with(s, "#")) continue;
+    s = trim(s.substr(1));
+    if (!starts_with(s, "include")) continue;
+    s = trim(s.substr(7));
+    if (s.empty()) continue;
+    const char open = s.front();
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') continue;
+    const auto end = s.find(close, 1);
+    if (end == std::string_view::npos) continue;
+    out.push_back({i, std::string(s.substr(1, end - 1)), open == '<',
+                   std::string(lines[i])});
+  }
+  return out;
+}
+
+void rule_include_order(const FileCtx& ctx, std::vector<std::string>* fixed_lines,
+                        bool* fixed) {
+  const auto includes = parse_includes(ctx.lines);
+  if (includes.empty()) return;
+
+  // A .cpp's first include may be its own header, pinned ahead of any order.
+  const bool first_is_own_header =
+      !ctx.is_header && !includes.front().angle &&
+      stem_of(includes.front().path) == stem_of(ctx.path);
+
+  // Group into blocks of consecutive lines.
+  std::vector<std::vector<IncludeLine>> blocks;
+  for (const auto& inc : includes) {
+    if (blocks.empty() || inc.index != blocks.back().back().index + 1)
+      blocks.emplace_back();
+    blocks.back().push_back(inc);
+  }
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    auto& block = blocks[b];
+    const std::size_t skip =
+        (b == 0 && first_is_own_header && block.front().index == includes.front().index)
+            ? 1
+            : 0;
+    if (block.size() - skip < 2) continue;
+
+    bool mixed = false;
+    bool unsorted = false;
+    std::size_t offender_line = 0;
+    for (std::size_t k = skip + 1; k < block.size(); ++k) {
+      if (block[k].angle != block[k - 1].angle && !mixed) {
+        mixed = true;
+        offender_line = block[k].index + 1;
+      }
+      if (block[k].angle == block[k - 1].angle && block[k].path < block[k - 1].path &&
+          !unsorted && !mixed) {
+        unsorted = true;
+        offender_line = block[k].index + 1;
+      }
+    }
+    if (mixed)
+      ctx.report(offender_line, "include-order",
+                 "<> and \"\" includes mixed in one block; separate the groups with "
+                 "a blank line (system headers first)");
+    else if (unsorted)
+      ctx.report(offender_line, "include-order",
+                 "includes not alphabetically sorted within their block");
+
+    if ((mixed || unsorted) && fixed_lines != nullptr && !*fixed) {
+      // If an earlier rule already rewrote lines this pass, line indices no
+      // longer match; the next --fix pass picks this block up.
+      // Rewrite the block sorted, angle group first; a blank line between the
+      // groups when both are present.
+      std::vector<IncludeLine> sorted(
+          block.begin() + static_cast<std::ptrdiff_t>(skip), block.end());
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const IncludeLine& a, const IncludeLine& z) {
+                         if (a.angle != z.angle) return a.angle;
+                         return a.path < z.path;
+                       });
+      std::vector<std::string> replacement;
+      for (std::size_t k = 0; k < skip; ++k)
+        replacement.push_back(block[k].raw);
+      for (std::size_t k = 0; k < sorted.size(); ++k) {
+        if (k > 0 && sorted[k].angle != sorted[k - 1].angle) replacement.push_back("");
+        replacement.push_back(sorted[k].raw);
+      }
+      const std::size_t from = block.front().index;
+      const std::size_t count = block.size();
+      fixed_lines->erase(fixed_lines->begin() + static_cast<std::ptrdiff_t>(from),
+                         fixed_lines->begin() + static_cast<std::ptrdiff_t>(from + count));
+      fixed_lines->insert(fixed_lines->begin() + static_cast<std::ptrdiff_t>(from),
+                          replacement.begin(), replacement.end());
+      *fixed = true;
+      // Only one block can be rewritten per pass without invalidating the
+      // other blocks' line indices; later blocks heal on the next --fix run.
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------- rule: nodiscard --
+
+void rule_nodiscard(const FileCtx& ctx) {
+  if (!ctx.is_header) return;
+  static const std::set<std::string> kSpecifiers = {"static",    "virtual", "inline",
+                                                    "constexpr", "friend",  "explicit",
+                                                    "consteval"};
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !tok_is(toks[i], "optional")) continue;
+    if (!(tok_is(toks[i - 1], "::") && tok_is(toks[i - 2], "std"))) continue;
+    if (i + 1 >= toks.size() || !tok_is(toks[i + 1], "<")) continue;
+
+    // Must be a return type at the start of a declaration: walk back over
+    // decl-specifiers and attributes.
+    std::ptrdiff_t p = static_cast<std::ptrdiff_t>(i) - 3;
+    bool has_nodiscard = false;
+    while (p >= 0) {
+      const auto& t = toks[static_cast<std::size_t>(p)];
+      if (t.kind == TokKind::kIdent && kSpecifiers.count(t.text) != 0) {
+        --p;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && tok_is(t, "]]")) {
+        std::ptrdiff_t q = p - 1;
+        while (q >= 0 && !tok_is(toks[static_cast<std::size_t>(q)], "[[")) {
+          if (toks[static_cast<std::size_t>(q)].text == "nodiscard") has_nodiscard = true;
+          --q;
+        }
+        p = q - 1;
+        continue;
+      }
+      break;
+    }
+    if (has_nodiscard) continue;
+    if (p >= 0) {
+      const auto& t = toks[static_cast<std::size_t>(p)];
+      static const std::set<std::string> kDeclStart = {";", "{", "}", ":", ">",
+                                                       "public", "private", "protected"};
+      if (kDeclStart.count(t.text) == 0) continue;  // param, local, alias, etc.
+    }
+
+    // Confirm it's a function declaration: optional<...> name (
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (tok_is(toks[j], "<") || tok_is(toks[j], "<=>")) ++depth;
+      if (tok_is(toks[j], ">") && --depth == 0) break;
+      if (tok_is(toks[j], ">>")) {
+        depth -= 2;
+        if (depth <= 0) break;
+      }
+    }
+    if (j + 2 >= toks.size()) continue;
+    if (toks[j + 1].kind != TokKind::kIdent || !tok_is(toks[j + 2], "(")) continue;
+
+    ctx.report(toks[i].line, "nodiscard",
+               "function '" + toks[j + 1].text +
+                   "' returns std::optional (an error/status shape); mark it "
+                   "[[nodiscard]] so callers cannot drop the failure case");
+  }
+}
+
+// ------------------------------------------------------- rule: explicit-ctor --
+
+void rule_explicit_ctor(const FileCtx& ctx) {
+  if (!ctx.is_header) return;
+  const auto& toks = ctx.toks;
+
+  struct Scope {
+    std::string class_name;  // empty for non-class braces
+    int depth = 0;
+  };
+  std::vector<Scope> stack;
+  int depth = 0;
+  std::optional<std::string> pending_class;  // seen `class Name`, awaiting its {
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (tok_is(t, "{")) {
+        ++depth;
+        stack.push_back({pending_class.value_or(std::string{}), depth});
+        pending_class.reset();
+      } else if (tok_is(t, "}")) {
+        if (!stack.empty() && stack.back().depth == depth) stack.pop_back();
+        --depth;
+      } else if (tok_is(t, ";")) {
+        pending_class.reset();  // forward declaration
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    if ((tok_is(t, "class") || tok_is(t, "struct")) &&
+        !(i > 0 && tok_is(toks[i - 1], "enum"))) {
+      // Next identifier (skipping attributes) is the class name.
+      std::size_t j = i + 1;
+      while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+             (tok_is(toks[j], "[[") || tok_is(toks[j], "]]") ||
+              toks[j].text == "alignas"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent)
+        pending_class = toks[j].text;
+      continue;
+    }
+
+    // Constructor declaration at class scope?
+    const bool in_class = !stack.empty() && !stack.back().class_name.empty() &&
+                          stack.back().depth == depth;
+    if (!in_class || t.text != stack.back().class_name) continue;
+    if (i + 1 >= toks.size() || !tok_is(toks[i + 1], "(")) continue;
+    if (i > 0) {
+      static const std::set<std::string> kNotCtor = {"explicit", "~", "::", ".",  "->",
+                                                     "new",      "=", "(", ",",  "return",
+                                                     "<",        ">", "&", "*"};
+      if (kNotCtor.count(toks[i - 1].text) != 0) continue;
+    }
+
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close == toks.size()) continue;
+    // Parameter scan: top-level commas and `=` defaults; skip copy/move.
+    int pd = 0;
+    std::size_t params = 0;
+    bool any_token = false;
+    bool mentions_self = false;
+    std::vector<bool> has_default;
+    bool current_default = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const auto& a = toks[j];
+      any_token = true;
+      if (a.kind == TokKind::kPunct) {
+        if (tok_is(a, "(") || tok_is(a, "<") || tok_is(a, "[") || tok_is(a, "{")) ++pd;
+        if (tok_is(a, ")") || tok_is(a, ">") || tok_is(a, "]") || tok_is(a, "}")) --pd;
+        if (pd == 0 && tok_is(a, ",")) {
+          has_default.push_back(current_default);
+          current_default = false;
+          ++params;
+          continue;
+        }
+        if (pd == 0 && tok_is(a, "=")) current_default = true;
+      }
+      if (a.kind == TokKind::kIdent && a.text == stack.back().class_name)
+        mentions_self = true;
+    }
+    if (!any_token) continue;  // default constructor
+    has_default.push_back(current_default);
+    ++params;
+    if (mentions_self) continue;  // copy/move constructor
+    if (tok_is(toks[i + 2], "void") && params == 1 && close == i + 3) continue;
+
+    bool single_callable = params == 1;
+    if (params > 1) {
+      single_callable = true;
+      for (std::size_t k = 1; k < has_default.size(); ++k)
+        if (!has_default[k]) single_callable = false;
+    }
+    if (!single_callable) continue;
+
+    ctx.report(t.line, "explicit-ctor",
+               "single-argument constructor of '" + stack.back().class_name +
+                   "' should be explicit to avoid implicit conversions");
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public API ---
+
+std::string Finding::render() const {
+  return path + ":" + std::to_string(line) + ": " + rule + ": " + message;
+}
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules = {
+      "ct-compare", "secret-log",    "raw-rng",   "banned-fn",      "pragma-once",
+      "include-order", "nodiscard", "explicit-ctor", "bad-suppression"};
+  return kRules;
+}
+
+void collect_markers(std::string_view text, Registry& registry) {
+  const auto lexed = lex(text);
+  for (const auto& comment : lexed.comments) {
+    const auto tag = comment.text.find("gklint:");
+    if (tag == std::string::npos) continue;
+    auto at = comment.text.find("secret-type(", tag);
+    while (at != std::string::npos) {
+      const auto close = comment.text.find(')', at);
+      if (close == std::string::npos) break;
+      const auto name = std::string(trim(comment.text.substr(at + 12, close - at - 12)));
+      if (!name.empty()) registry.secret_types.insert(name);
+      at = comment.text.find("secret-type(", close);
+    }
+  }
+}
+
+std::vector<Finding> lint_source(const std::string& display_path, std::string_view text,
+                                 const Registry& registry, std::string* fixed_text) {
+  const auto lines = split_lines(text);
+  const auto lexed = lex(text);
+  const auto directives = parse_directives(display_path, lexed.comments);
+
+  std::vector<Finding> raw;
+  FileCtx ctx{display_path, is_header_path(display_path), lines, lexed.tokens, registry,
+              &raw};
+
+  std::vector<std::string> fixed_lines = lines;
+  bool fixed = false;
+  std::vector<std::string>* fix_sink = fixed_text != nullptr ? &fixed_lines : nullptr;
+
+  rule_raw_rng(ctx);
+  rule_banned_fn(ctx);
+  rule_ct_compare(ctx);
+  rule_secret_log(ctx);
+  rule_pragma_once(ctx, fix_sink, &fixed);
+  rule_include_order(ctx, fix_sink, &fixed);
+  rule_nodiscard(ctx);
+  rule_explicit_ctor(ctx);
+
+  // Apply suppressions; malformed ones are findings and cannot be suppressed.
+  std::vector<Finding> out = directives.bad;
+  for (auto& finding : raw) {
+    const bool suppressed =
+        std::any_of(directives.allows.begin(), directives.allows.end(),
+                    [&](const AllowDirective& d) {
+                      return d.rules.count(finding.rule) != 0 && d.covers(finding.line);
+                    });
+    if (!suppressed) out.push_back(std::move(finding));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& z) {
+    if (a.line != z.line) return a.line < z.line;
+    return a.rule < z.rule;
+  });
+
+  if (fixed_text != nullptr) {
+    if (fixed) {
+      std::string rebuilt;
+      for (const auto& l : fixed_lines) {
+        rebuilt += l;
+        rebuilt += '\n';
+      }
+      *fixed_text = std::move(rebuilt);
+    } else {
+      fixed_text->clear();
+    }
+  }
+  return out;
+}
+
+}  // namespace gk::lint

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gk::lint {
+
+/// One diagnostic, rendered as `path:line: rule-id: message` so CI output is
+/// clickable in editors and code review.
+struct Finding {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Cross-file state collected in a first pass over every scanned file before
+/// any rule runs: the set of registered secret types. A type opts in with a
+/// `// gklint: secret-type(Name)` marker next to its definition; Key128 is
+/// built in.
+struct Registry {
+  std::set<std::string> secret_types{"Key128"};
+};
+
+/// All rule identifiers gklint knows. `allow(...)` directives naming
+/// anything else are themselves findings (rule `bad-suppression`).
+[[nodiscard]] const std::set<std::string>& known_rules();
+
+/// Scan `text` for registry markers (pass 1).
+void collect_markers(std::string_view text, Registry& registry);
+
+/// Lint one file (pass 2). `display_path` is the repo-relative path used
+/// both for reporting and for the per-rule allowlists (e.g. raw-rng is legal
+/// inside src/common/rng.*). When `fixed_text` is non-null, the mechanical
+/// rules (pragma-once, include-order) write a corrected copy of the file
+/// into it; it is set to the empty string when nothing needed fixing.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& display_path,
+                                               std::string_view text,
+                                               const Registry& registry,
+                                               std::string* fixed_text = nullptr);
+
+}  // namespace gk::lint
