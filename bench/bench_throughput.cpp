@@ -6,8 +6,10 @@
 //
 // Unlike the figure benches (paper bandwidth metrics), this measures the
 // *server CPU* hot path the arena rebuild targets. Results are printed as
-// a table and written as machine-readable JSON (BENCH_throughput.json) so
-// successive PRs accumulate a perf trajectory.
+// a table and *appended* as one run record to machine-readable JSON
+// (BENCH_throughput.json) so successive commits accumulate a perf
+// trajectory; every row carries the scheme name, git SHA, and thread
+// count.
 //
 // Usage:
 //   bench_throughput [--smoke] [--json PATH] [--epochs E]
@@ -20,17 +22,20 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <cstdio>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
-#include "partition/adaptive.h"
+#include "engine/core_server.h"
 #include "partition/factory.h"
-#include "partition/one_keytree_server.h"
+#include "partition/one_tree_policy.h"
 #include "partition/server.h"
 #include "workload/member.h"
 
@@ -47,6 +52,7 @@ struct Config {
 
 struct Row {
   std::string scheme;
+  std::string git_sha;
   std::size_t members = 0;
   std::string mode;  // "seed-crypto" or "engine"
   unsigned threads = 1;
@@ -141,33 +147,69 @@ class ChurnDriver {
 };
 
 void fill_tree_shape(const partition::RekeyServer& server, Row& row) {
-  if (const auto* one = dynamic_cast<const partition::OneKeyTreeServer*>(&server)) {
-    const auto stats = one->tree().stats();
-    row.tree_height = stats.height;
-    row.mean_leaf_depth = stats.mean_leaf_depth;
+  const auto* core = dynamic_cast<const engine::CoreServer*>(&server);
+  if (core == nullptr || core->core().policy().info().name != "one-tree") return;
+  const auto& policy =
+      static_cast<const partition::OneTreePolicy&>(core->core().policy());
+  const auto stats = policy.tree().stats();
+  row.tree_height = stats.height;
+  row.mean_leaf_depth = stats.mean_leaf_depth;
+}
+
+/// Current commit, short form; "unknown" outside a git checkout.
+std::string git_sha() {
+  std::string sha;
+  if (FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
   }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows, bool smoke) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"throughput\",\n  \"smoke\": " << (smoke ? "true" : "false")
-      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n  \"metric_units\": {\"epochs_per_sec\": \"1/s\", \"wraps_per_sec\": \"1/s\", "
-         "\"p50_ms\": \"ms\", \"p99_ms\": \"ms\"},\n  \"rows\": [\n";
+  // One self-contained run record, appended to the "runs" array so the
+  // file accumulates a perf trajectory across commits.
+  std::ostringstream run;
+  run << "    {\n      \"git_sha\": \"" << (rows.empty() ? git_sha() : rows.front().git_sha)
+      << "\",\n      \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n      \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n      \"metric_units\": {\"epochs_per_sec\": \"1/s\", \"wraps_per_sec\": "
+         "\"1/s\", \"p50_ms\": \"ms\", \"p99_ms\": \"ms\"},\n      \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "    {\"scheme\": \"" << r.scheme << "\", \"members\": " << r.members
-        << ", \"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
-        << ", \"epochs\": " << r.epochs << ", \"batch\": " << r.batch
-        << ", \"total_wraps\": " << r.total_wraps << ", \"seconds\": " << r.seconds
+    run << "        {\"scheme\": \"" << r.scheme << "\", \"git_sha\": \"" << r.git_sha
+        << "\", \"members\": " << r.members << ", \"mode\": \"" << r.mode
+        << "\", \"threads\": " << r.threads << ", \"epochs\": " << r.epochs
+        << ", \"batch\": " << r.batch << ", \"total_wraps\": " << r.total_wraps
+        << ", \"seconds\": " << r.seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec()
         << ", \"wraps_per_sec\": " << r.wraps_per_sec() << ", \"p50_ms\": " << r.p50_ms
         << ", \"p99_ms\": " << r.p99_ms << ", \"tree_height\": " << r.tree_height
         << ", \"mean_leaf_depth\": " << r.mean_leaf_depth << "}"
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << " (" << rows.size() << " rows)\n";
+  run << "      ]\n    }";
+
+  // Splice into an existing runs-array document; start one otherwise (a
+  // legacy single-run file without "runs" is restarted in the new shape).
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = buf.str();
+  }
+  const std::string closer = "\n  ]\n}\n";
+  const auto tail = existing.rfind(closer);
+  std::ofstream out(path, std::ios::trunc);
+  if (existing.find("\"runs\": [") != std::string::npos && tail != std::string::npos) {
+    out << existing.substr(0, tail) << ",\n" << run.str() << closer;
+  } else {
+    out << "{\n  \"bench\": \"throughput\",\n  \"runs\": [\n" << run.str() << closer;
+  }
+  std::cout << "appended run to " << path << " (" << rows.size() << " rows)\n";
 }
 
 }  // namespace
@@ -199,9 +241,8 @@ int main(int argc, char** argv) {
       config.smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
   const std::size_t epochs = config.epochs ? config.epochs : (config.smoke ? 4 : 16);
 
-  const std::vector<partition::SchemeKind> schemes = {
-      partition::SchemeKind::kOneKeyTree, partition::SchemeKind::kQt,
-      partition::SchemeKind::kTt, partition::SchemeKind::kPt};
+  const std::vector<std::string> schemes = {"one-tree", "qt", "tt", "pt"};
+  const std::string sha = git_sha();
 
   // Pools are shared across configurations: spawn each size once.
   std::vector<std::unique_ptr<common::ThreadPool>> pools;
@@ -215,12 +256,14 @@ int main(int argc, char** argv) {
   for (const std::size_t members : sizes) {
     // Batch scales with the group so dirty subtrees stay proportional.
     const std::size_t batch = std::max<std::size_t>(16, members / 1024);
-    for (const auto kind : schemes) {
+    for (const auto& scheme : schemes) {
       // One bootstrap per (scheme, size); modes run back-to-back on the
       // live server — steady-state churn keeps the group size pinned, so
       // later modes see the same population statistics.
-      auto server = partition::make_server(kind, /*degree=*/4, /*s_period_epochs=*/8,
-                                           Rng(0x5eed ^ members));
+      partition::SchemeConfig scheme_config;
+      scheme_config.degree = 4;
+      scheme_config.s_period_epochs = 8;
+      auto server = partition::make_server(scheme, scheme_config, Rng(0x5eed ^ members));
       ChurnDriver driver(*server, members, Rng(0xc0ffee ^ members));
 
       const auto measure = [&](const std::string& mode, unsigned threads,
@@ -229,7 +272,8 @@ int main(int argc, char** argv) {
         server->set_executor(pool);
         driver.warm_epoch(batch);
         Row row;
-        row.scheme = partition::to_string(kind);
+        row.scheme = scheme;
+        row.git_sha = sha;
         row.members = members;
         row.mode = mode;
         row.threads = threads;
@@ -257,7 +301,7 @@ int main(int argc, char** argv) {
   // Headline speedups at the largest size, one-keytree scheme.
   const auto find = [&](const std::string& mode, unsigned threads) -> const Row* {
     for (const Row& r : rows)
-      if (r.scheme == "one-keytree" && r.members == sizes.back() && r.mode == mode &&
+      if (r.scheme == "one-tree" && r.members == sizes.back() && r.mode == mode &&
           r.threads == threads)
         return &r;
     return nullptr;
@@ -266,7 +310,7 @@ int main(int argc, char** argv) {
   if (seed != nullptr && seed->wraps_per_sec() > 0.0) {
     for (const unsigned t : thread_counts)
       if (const Row* engine = find("engine", t))
-        std::cout << "one-keytree N=" << sizes.back() << ": engine x" << t
+        std::cout << "one-tree N=" << sizes.back() << ": engine x" << t
                   << " threads = "
                   << fmt(engine->wraps_per_sec() / seed->wraps_per_sec(), 2)
                   << "x seed-crypto wraps/sec\n";

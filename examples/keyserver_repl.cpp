@@ -1,7 +1,8 @@
-// Interactive key-server console: drive any rekeying scheme by hand.
+// Interactive key-server console: drive any registered rekeying policy by
+// hand.
 //
-// A small operator REPL over the partition servers, useful for exploring
-// how rekey messages are shaped. Reads commands from stdin:
+// A small operator REPL over engine::CoreServer, useful for exploring how
+// rekey messages are shaped. Reads commands from stdin:
 //
 //   join <id>            stage a join (short class)
 //   joinlong <id>        stage a join (long class; only PT cares)
@@ -11,7 +12,9 @@
 //   paths <id>           the member's key path (node ids)
 //   quit
 //
-// Usage: keyserver_repl [one|qt|tt|pt] [degree] [K]
+// Usage: keyserver_repl [scheme] [degree] [K]
+// where scheme is any name from partition::registered_policies()
+// ("one-tree", "qt", "tt", "pt", "oft-tt", "elk-tt", "loss-bin", "batch").
 // Also accepts a command script on stdin, e.g.:
 //   printf 'join 1\njoin 2\ncommit\nleave 1\ncommit\nquit\n' | ./keyserver_repl tt 3 2
 
@@ -21,19 +24,10 @@
 
 #include "common/rng.h"
 #include "partition/factory.h"
-#include "partition/qt_server.h"
-#include "partition/tt_server.h"
 
 namespace {
 
 using namespace gk;
-
-partition::SchemeKind parse_scheme(const std::string& name) {
-  if (name == "qt") return partition::SchemeKind::kQt;
-  if (name == "tt") return partition::SchemeKind::kTt;
-  if (name == "pt") return partition::SchemeKind::kPt;
-  return partition::SchemeKind::kOneKeyTree;
-}
 
 workload::MemberProfile profile_of(std::uint64_t id, workload::MemberClass cls) {
   workload::MemberProfile p;
@@ -42,28 +36,44 @@ workload::MemberProfile profile_of(std::uint64_t id, workload::MemberClass cls) 
   return p;
 }
 
-void print_stats(const partition::RekeyServer& server) {
+void print_stats(const engine::CoreServer& server) {
   std::cout << "members=" << server.size() << " group-key-id="
             << crypto::raw(server.group_key_id())
             << " version=" << server.group_key().version;
-  if (const auto* tt = dynamic_cast<const partition::TtServer*>(&server))
-    std::cout << " S=" << tt->s_partition_size() << " L=" << tt->l_partition_size();
-  if (const auto* qt = dynamic_cast<const partition::QtServer*>(&server))
-    std::cout << " S(queue)=" << qt->s_partition_size()
-              << " L=" << qt->l_partition_size();
+  const auto census = server.core().partition_census();
+  if (server.core().policy().info().split_partitions && !census.empty()) {
+    std::cout << " S=" << census[0];
+    std::size_t l = 0;
+    for (std::size_t p = 1; p < census.size(); ++p) l += census[p];
+    std::cout << " L=" << l;
+  } else if (census.size() > 1) {
+    std::cout << " partitions=";
+    for (std::size_t p = 0; p < census.size(); ++p)
+      std::cout << (p == 0 ? "" : "/") << census[p];
+  }
   std::cout << '\n';
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scheme = parse_scheme(argc > 1 ? argv[1] : "one");
-  const unsigned degree = argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 4;
-  const unsigned k = argc > 3 ? static_cast<unsigned>(std::stoul(argv[3])) : 10;
+  const std::string scheme = argc > 1 ? argv[1] : "one-tree";
+  partition::SchemeConfig config;
+  config.degree = argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 4;
+  config.s_period_epochs = argc > 3 ? static_cast<unsigned>(std::stoul(argv[3])) : 10;
 
-  auto server = partition::make_server(scheme, degree, k, Rng(20030519));
-  std::cout << "scheme=" << partition::to_string(scheme) << " degree=" << degree
-            << " K=" << k << "\ncommands: join/joinlong/leave <id>, commit, stats, "
+  std::unique_ptr<engine::CoreServer> server;
+  try {
+    server = partition::make_server(scheme, config, Rng(20030519));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\nregistered schemes:";
+    for (const auto& name : partition::registered_policies()) std::cerr << ' ' << name;
+    std::cerr << '\n';
+    return 1;
+  }
+  std::cout << "scheme=" << scheme << " degree=" << config.degree
+            << " K=" << config.s_period_epochs
+            << "\ncommands: join/joinlong/leave <id>, commit, stats, "
             << "paths <id>, quit\n";
 
   std::uint64_t epoch = 0;

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/rekey_core.h"
+#include "engine/server.h"
+
+namespace gk::engine {
+
+/// Generic DurableRekeyServer over one RekeyCore: every scheme whose public
+/// surface is the RekeyServer contract is this class (or a thin subclass
+/// adding scheme-specific accessors) around a PlacementPolicy.
+class CoreServer : public DurableRekeyServer {
+ public:
+  explicit CoreServer(std::unique_ptr<PlacementPolicy> policy)
+      : core_(std::move(policy)) {}
+
+  Registration join(const workload::MemberProfile& profile) override {
+    return core_.join(profile);
+  }
+  void leave(workload::MemberId member) override { core_.leave(member); }
+  EpochOutput end_epoch() override { return core_.end_epoch(); }
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override {
+    return core_.group_key();
+  }
+  [[nodiscard]] crypto::KeyId group_key_id() const override {
+    return core_.group_key_id();
+  }
+  [[nodiscard]] std::size_t size() const override { return core_.size(); }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override {
+    return core_.member_path(member);
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const override { return core_.epoch(); }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override {
+    return core_.save_state();
+  }
+  void restore_state(std::span<const std::uint8_t> bytes) override {
+    core_.restore_state(bytes);
+  }
+  [[nodiscard]] std::vector<PathKey> member_path_keys(
+      workload::MemberId member) const override {
+    return core_.member_path_keys(member);
+  }
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member) const override {
+    return core_.member_individual_key(member);
+  }
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override {
+    return core_.member_leaf_id(member);
+  }
+
+  void set_executor(common::ThreadPool* pool) override { core_.set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    core_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override { core_.set_wrap_cache(enabled); }
+
+  [[nodiscard]] RekeyCore& core() noexcept { return core_; }
+  [[nodiscard]] const RekeyCore& core() const noexcept { return core_; }
+
+ protected:
+  RekeyCore core_;
+};
+
+}  // namespace gk::engine

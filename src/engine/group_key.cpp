@@ -1,8 +1,8 @@
-#include "partition/group_key.h"
+#include "engine/group_key.h"
 
 #include <algorithm>
 
-namespace gk::partition {
+namespace gk::engine {
 
 GroupKeyManager::GroupKeyManager(Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
     : rng_(rng) {
@@ -62,4 +62,4 @@ void GroupKeyManager::restore_state(common::ByteReader& in) {
   previous_ = read_key(in);
 }
 
-}  // namespace gk::partition
+}  // namespace gk::engine

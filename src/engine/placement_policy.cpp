@@ -1,0 +1,90 @@
+#include "engine/placement_policy.h"
+
+#include "common/ensure.h"
+
+namespace gk::engine {
+
+std::optional<crypto::KeyId> PlacementPolicy::migrate(workload::MemberId /*member*/) {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' does not migrate members");
+  return std::nullopt;
+}
+
+void PlacementPolicy::apply_dek(const EpochCounts& counts, lkh::RekeyMessage& out) {
+  auto* manager = dek();
+  if (manager == nullptr) return;
+  const bool compromised = counts.s_departures + counts.l_departures > 0;
+  if (compromised) {
+    // Someone who knew the DEK left: rotate and re-wrap for every audience.
+    manager->rotate();
+    wrap_compromised(out);
+  } else if (counts.joins > 0) {
+    // Join-only epoch: one wrap under the previous DEK serves every
+    // incumbent; arrivals get their own audience wraps.
+    manager->rotate();
+    manager->wrap_under_previous(out);
+    wrap_arrivals(out);
+  }
+  // Migration-only or idle epochs leave the DEK alone (Section 3.2 phase 3:
+  // migrants are still authorized members).
+  manager->stamp(out);
+}
+
+crypto::VersionedKey PlacementPolicy::group_key() const {
+  const auto* manager = dek();
+  GK_ENSURE_MSG(manager != nullptr,
+                "policy '" << info().name << "' must override group_key()");
+  return manager->current();
+}
+
+crypto::KeyId PlacementPolicy::group_key_id() const {
+  const auto* manager = dek();
+  GK_ENSURE_MSG(manager != nullptr,
+                "policy '" << info().name << "' must override group_key_id()");
+  return manager->id();
+}
+
+std::vector<std::uint8_t> PlacementPolicy::save_policy_state() const {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' is not durable");
+  return {};
+}
+
+void PlacementPolicy::restore_policy_state(std::span<const std::uint8_t> /*bytes*/) {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' is not durable");
+}
+
+PlacementPolicy::LegacyState PlacementPolicy::restore_legacy(
+    std::span<const std::uint8_t> /*bytes*/) {
+  GK_ENSURE_MSG(false,
+                "policy '" << info().name << "' has no version-0 snapshot format");
+  return {};
+}
+
+std::vector<PathKey> PlacementPolicy::member_path_keys(workload::MemberId /*member*/,
+                                                       std::uint32_t /*partition*/) const {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' is not durable");
+  return {};
+}
+
+crypto::Key128 PlacementPolicy::member_individual_key(workload::MemberId /*member*/,
+                                                      std::uint32_t /*partition*/) const {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' is not durable");
+  return {};
+}
+
+crypto::KeyId PlacementPolicy::member_leaf_id(workload::MemberId /*member*/,
+                                              std::uint32_t /*partition*/) const {
+  GK_ENSURE_MSG(false, "policy '" << info().name << "' is not durable");
+  return {};
+}
+
+void PlacementPolicy::wrap_compromised(lkh::RekeyMessage& /*out*/) {
+  GK_ENSURE_MSG(false,
+                "policy '" << info().name << "' has a DEK but no compromise wrap");
+}
+
+void PlacementPolicy::wrap_arrivals(lkh::RekeyMessage& /*out*/) {
+  GK_ENSURE_MSG(false,
+                "policy '" << info().name << "' has a DEK but no arrivals wrap");
+}
+
+}  // namespace gk::engine

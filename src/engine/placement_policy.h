@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/group_key.h"
+#include "engine/server.h"
+#include "lkh/ids.h"
+#include "lkh/rekey_message.h"
+#include "wire/snapshot.h"
+
+namespace gk::engine {
+
+/// Static facts about a placement policy, fixed at construction.
+struct PolicyInfo {
+  /// Factory key and snapshot scheme tag ("qt", "tt", "loss-bin", ...).
+  std::string name;
+  /// True when partition 0 is the short-term (S) partition: departures
+  /// from it count as s_departures and the migration clock applies to it.
+  /// False for single-partition and loss-binned schemes, whose departures
+  /// all count as l_departures.
+  bool split_partitions = false;
+  /// The paper's K = Ts/Tp: epochs a member stays in partition 0 before
+  /// the core migrates it to partition 1. Zero disables the clock.
+  unsigned migrate_after = 0;
+  /// True when the policy implements save/restore of its substrate state.
+  bool durable = false;
+};
+
+/// Per-epoch staging totals, handed to the DEK step.
+struct EpochCounts {
+  std::size_t joins = 0;
+  std::size_t s_departures = 0;
+  std::size_t l_departures = 0;
+  std::size_t migrations = 0;
+};
+
+/// The *policy* half of a rekey scheme: which partition a member lands in,
+/// what the partitions are made of (trees, queues, OFT/ELK substrates), and
+/// how the session DEK is re-wrapped for each audience.
+///
+/// Everything else — join/leave staging, the Ts = K*Tp migration clock,
+/// epoch sequencing, the member ledger, relocation bookkeeping, and the
+/// canonical wire::Snapshot save/restore frame — is mechanism, owned by
+/// RekeyCore. A new scheme is one PlacementPolicy subclass plus a
+/// partition::factory registration; see DESIGN.md §9.
+///
+/// Determinism contract: the policy constructs its substrates and (when it
+/// has one) the GroupKeyManager in a documented RNG fork order, and its
+/// hooks consume randomness in the same order the pre-split servers did —
+/// this is what keeps refactors byte-identical under the cross-scheme
+/// equivalence and crash-recovery property tests.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual const PolicyInfo& info() const noexcept = 0;
+
+  // ---- Membership. ----
+
+  struct Admission {
+    Registration registration;
+    std::uint32_t partition = 0;
+  };
+  /// Place and insert a joining member; returns its registration grant and
+  /// the partition the core should record it under.
+  virtual Admission admit(const workload::MemberProfile& profile) = 0;
+
+  /// Remove a departing member from `partition`.
+  virtual void evict(workload::MemberId member, std::uint32_t partition) = 0;
+
+  /// Move one member from partition 0 to partition 1 (the core's migration
+  /// clock fired). Returns the member's new leaf id when the move keeps its
+  /// individual key (LKH-style relocation); nullopt when the scheme
+  /// re-grants out of band (OFT fresh leaves, ELK re-grants).
+  [[nodiscard]] virtual std::optional<crypto::KeyId> migrate(workload::MemberId member);
+
+  // ---- Epoch emission. ----
+
+  /// Emit the epoch's structural rekey payload (tree commits, accumulated
+  /// per-operation messages). Runs after migrations, before the DEK step.
+  [[nodiscard]] virtual lkh::RekeyMessage emit(std::uint64_t epoch) = 0;
+
+  /// The DEK step. The default implements the canonical skeleton shared by
+  /// the paper's schemes — compromise: rotate + wrap_compromised();
+  /// join-only: rotate + wrap-under-previous + wrap_arrivals(); then stamp —
+  /// and is a no-op for policies without a DEK. Override only when the
+  /// scheme's DEK discipline genuinely differs (OFT's migration-only
+  /// re-wrap, ELK's both-roots join path).
+  virtual void apply_dek(const EpochCounts& counts, lkh::RekeyMessage& out);
+
+  /// Runs at the very start of each end_epoch(), before migrations. For
+  /// clearing last-epoch result buffers that stay readable between commits
+  /// (OFT migration grants, ELK re-grant lists).
+  virtual void epoch_begin() {}
+
+  /// Reset per-epoch scratch (arrival lists/flags). Runs at the very end of
+  /// each end_epoch().
+  virtual void epoch_reset() {}
+
+  // ---- DEK access. ----
+
+  /// The policy-owned session DEK manager; nullptr when the scheme's tree
+  /// root itself is the group key (one-keytree, batch).
+  [[nodiscard]] virtual GroupKeyManager* dek() noexcept { return nullptr; }
+  [[nodiscard]] const GroupKeyManager* dek() const noexcept {
+    return const_cast<PlacementPolicy*>(this)->dek();
+  }
+
+  // ---- Queries. ----
+
+  /// Default: the DEK. Override for schemes whose root key is the group key.
+  [[nodiscard]] virtual crypto::VersionedKey group_key() const;
+  [[nodiscard]] virtual crypto::KeyId group_key_id() const;
+
+  /// Node ids on the member's path (leaf excluded, group key included).
+  [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const = 0;
+
+  // ---- Durability (policies with info().durable). ----
+
+  /// The session-wide id allocator (shared by substrates and DEK); the core
+  /// persists and restores its watermark.
+  [[nodiscard]] virtual std::shared_ptr<lkh::IdAllocator> ids() const = 0;
+
+  /// Serialize substrate state (trees, queues, RNG streams, config echo)
+  /// into the snapshot's opaque policy section. Default: throws (policy is
+  /// not durable).
+  [[nodiscard]] virtual std::vector<std::uint8_t> save_policy_state() const;
+  virtual void restore_policy_state(std::span<const std::uint8_t> bytes);
+
+  /// Decode a pre-refactor (version-0) whole-server snapshot: the old
+  /// per-scheme layout that interleaved epoch, watermark, substrates, DEK,
+  /// and member records. Restores substrates + DEK in place; returns the
+  /// fields the core owns. Default: throws (no legacy format).
+  struct LegacyState {
+    std::uint64_t epoch = 0;
+    std::uint64_t id_watermark = 0;
+    std::vector<wire::Snapshot::LedgerEntry> ledger;
+  };
+  [[nodiscard]] virtual LegacyState restore_legacy(std::span<const std::uint8_t> bytes);
+
+  // ---- Resync accessors (durable schemes). ----
+
+  [[nodiscard]] virtual std::vector<PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const;
+  [[nodiscard]] virtual crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const;
+  [[nodiscard]] virtual crypto::KeyId member_leaf_id(workload::MemberId member,
+                                                     std::uint32_t partition) const;
+
+  // ---- Plumbing. ----
+
+  virtual void set_executor(common::ThreadPool* /*pool*/) {}
+  virtual void reserve(std::size_t /*expected_members*/) {}
+  virtual void set_wrap_cache(bool /*enabled*/) {}
+
+ protected:
+  /// Wrap the freshly rotated DEK for every audience after a compromise
+  /// (typically: under each nonempty partition root).
+  virtual void wrap_compromised(lkh::RekeyMessage& out);
+
+  /// Wrap the freshly rotated DEK for this epoch's arrivals (incumbents are
+  /// already covered by the wrap under the previous DEK).
+  virtual void wrap_arrivals(lkh::RekeyMessage& out);
+};
+
+}  // namespace gk::engine

@@ -1,0 +1,205 @@
+#include "engine/rekey_core.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "wire/error.h"
+
+namespace gk::engine {
+
+RekeyCore::RekeyCore(std::unique_ptr<PlacementPolicy> policy)
+    : policy_(std::move(policy)) {
+  GK_ENSURE_MSG(policy_ != nullptr, "RekeyCore needs a placement policy");
+}
+
+Registration RekeyCore::join(const workload::MemberProfile& profile) {
+  GK_ENSURE_MSG(ledger_.count(workload::raw(profile.id)) == 0,
+                "member " << workload::raw(profile.id) << " already joined");
+  auto admission = policy_->admit(profile);
+  ledger_.emplace(workload::raw(profile.id),
+                  LedgerEntry{epoch_, admission.partition});
+  ++staged_joins_;
+  return admission.registration;
+}
+
+void RekeyCore::leave(workload::MemberId member) {
+  const auto it = ledger_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != ledger_.end(), "member " << workload::raw(member) << " unknown");
+  policy_->evict(member, it->second.partition);
+  if (policy_->info().split_partitions && it->second.partition == 0)
+    ++staged_s_leaves_;
+  else
+    ++staged_l_leaves_;
+  ledger_.erase(it);
+}
+
+void RekeyCore::run_migrations(EpochOutput& out) {
+  const auto period = policy_->info().migrate_after;
+  if (period == 0) return;
+  std::vector<workload::MemberId> migrants;
+  for (const auto& [raw_id, entry] : ledger_) {
+    if (entry.partition == 0 && epoch_ >= entry.joined_epoch + period)
+      migrants.push_back(workload::make_member_id(raw_id));
+  }
+  // Deterministic migration order: the ledger is unordered, and a
+  // journal-replayed server must move migrants in the exact sequence the
+  // crash-free run did.
+  std::sort(migrants.begin(), migrants.end(),
+            [](auto a, auto b) { return workload::raw(a) < workload::raw(b); });
+  for (const auto member : migrants) {
+    // Flip the ledger first: policies that notify per-operation observers
+    // (OFT) do so from inside migrate(), and those callbacks resolve the
+    // migrant's partition through this ledger.
+    ledger_[workload::raw(member)].partition = 1;
+    const auto new_leaf = policy_->migrate(member);
+    if (new_leaf) relocations_.push_back({member, *new_leaf});
+  }
+  out.migrations = migrants.size();
+}
+
+EpochOutput RekeyCore::end_epoch() {
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.joins = staged_joins_;
+  out.s_departures = staged_s_leaves_;
+  out.l_departures = staged_l_leaves_;
+
+  policy_->epoch_begin();
+  relocations_.clear();
+  run_migrations(out);
+
+  out.message = policy_->emit(epoch_);
+
+  EpochCounts counts;
+  counts.joins = out.joins;
+  counts.s_departures = out.s_departures;
+  counts.l_departures = out.l_departures;
+  counts.migrations = out.migrations;
+  policy_->apply_dek(counts, out.message);
+
+  ++epoch_;
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  policy_->epoch_reset();
+  return out;
+}
+
+crypto::VersionedKey RekeyCore::group_key() const { return policy_->group_key(); }
+
+crypto::KeyId RekeyCore::group_key_id() const { return policy_->group_key_id(); }
+
+const RekeyCore::LedgerEntry& RekeyCore::entry_of(workload::MemberId member) const {
+  const auto it = ledger_.find(workload::raw(member));
+  GK_ENSURE_MSG(it != ledger_.end(), "member " << workload::raw(member) << " unknown");
+  return it->second;
+}
+
+std::vector<crypto::KeyId> RekeyCore::member_path(workload::MemberId member) const {
+  return policy_->member_path(member, entry_of(member).partition);
+}
+
+std::uint32_t RekeyCore::partition_of(workload::MemberId member) const {
+  return entry_of(member).partition;
+}
+
+std::vector<std::size_t> RekeyCore::partition_census() const {
+  std::vector<std::size_t> census;
+  for (const auto& [raw_id, entry] : ledger_) {
+    if (entry.partition >= census.size()) census.resize(entry.partition + 1, 0);
+    ++census[entry.partition];
+  }
+  return census;
+}
+
+std::vector<std::uint8_t> RekeyCore::save_state() const {
+  GK_ENSURE_MSG(staged_joins_ == 0 && staged_s_leaves_ == 0 && staged_l_leaves_ == 0,
+                "commit staged changes before saving server state");
+  wire::Snapshot snapshot;
+  snapshot.scheme = policy_->info().name;
+  snapshot.epoch = epoch_;
+  snapshot.id_watermark = policy_->ids()->watermark();
+  if (const auto* manager = policy_->dek()) {
+    common::ByteWriter dek_bytes;
+    manager->save_state(dek_bytes);
+    snapshot.dek_state = dek_bytes.take();
+  }
+  std::vector<std::uint64_t> raw_ids;
+  raw_ids.reserve(ledger_.size());
+  for (const auto& [raw_id, entry] : ledger_) raw_ids.push_back(raw_id);
+  std::sort(raw_ids.begin(), raw_ids.end());
+  snapshot.ledger.reserve(raw_ids.size());
+  for (const auto raw_id : raw_ids) {
+    const auto& entry = ledger_.at(raw_id);
+    snapshot.ledger.push_back({raw_id, entry.joined_epoch, entry.partition});
+  }
+  snapshot.policy_state = policy_->save_policy_state();
+  return snapshot.encode();
+}
+
+void RekeyCore::restore_state(std::span<const std::uint8_t> bytes) {
+  std::uint64_t watermark = 0;
+  if (wire::Snapshot::is_versioned(bytes)) {
+    auto snapshot = wire::Snapshot::decode(bytes);
+    if (snapshot.scheme != policy_->info().name)
+      throw wire::WireError(wire::WireFault::kSchemeMismatch,
+                            "snapshot is for scheme '" + snapshot.scheme +
+                                "', this server runs '" + policy_->info().name + "'");
+    epoch_ = snapshot.epoch;
+    watermark = snapshot.id_watermark;
+    policy_->restore_policy_state(snapshot.policy_state);
+    if (auto* manager = policy_->dek()) {
+      if (!snapshot.dek_state.has_value())
+        throw wire::WireError(wire::WireFault::kMalformed,
+                              "snapshot is missing the DEK section");
+      common::ByteReader dek_bytes(*snapshot.dek_state);
+      manager->restore_state(dek_bytes);
+      if (!dek_bytes.exhausted())
+        throw wire::WireError(wire::WireFault::kMalformed,
+                              "snapshot DEK section has trailing bytes");
+    }
+    ledger_.clear();
+    ledger_.reserve(snapshot.ledger.size());
+    for (const auto& entry : snapshot.ledger)
+      ledger_.emplace(entry.member, LedgerEntry{entry.joined_epoch, entry.partition});
+  } else {
+    // Pre-refactor (version-0) snapshot: the policy decodes the old
+    // scheme-specific layout and hands back the fields the core owns.
+    auto legacy = policy_->restore_legacy(bytes);
+    epoch_ = legacy.epoch;
+    watermark = legacy.id_watermark;
+    ledger_.clear();
+    ledger_.reserve(legacy.ledger.size());
+    for (const auto& entry : legacy.ledger) {
+      GK_ENSURE_MSG(
+          ledger_.emplace(entry.member, LedgerEntry{entry.joined_epoch, entry.partition})
+              .second,
+          "server state corrupt: duplicate member record");
+    }
+  }
+  policy_->ids()->reset_to(watermark);
+  relocations_.clear();
+  staged_joins_ = 0;
+  staged_s_leaves_ = 0;
+  staged_l_leaves_ = 0;
+  policy_->epoch_reset();
+}
+
+std::vector<PathKey> RekeyCore::member_path_keys(workload::MemberId member) const {
+  return policy_->member_path_keys(member, entry_of(member).partition);
+}
+
+crypto::Key128 RekeyCore::member_individual_key(workload::MemberId member) const {
+  return policy_->member_individual_key(member, entry_of(member).partition);
+}
+
+crypto::KeyId RekeyCore::member_leaf_id(workload::MemberId member) const {
+  return policy_->member_leaf_id(member, entry_of(member).partition);
+}
+
+void RekeyCore::reserve(std::size_t expected_members) {
+  policy_->reserve(expected_members);
+  ledger_.reserve(expected_members);
+}
+
+}  // namespace gk::engine

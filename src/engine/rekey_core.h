@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "engine/server.h"
+
+namespace gk::engine {
+
+/// The *mechanism* half of every rekey scheme: batches membership changes
+/// into epochs, runs the Ts = K*Tp migration clock, sequences emission and
+/// the DEK step, tracks each member's partition in one ledger, and owns the
+/// canonical wire::Snapshot save/restore frame. The scheme-specific half —
+/// where members land, what substrates exist, how the DEK reaches each
+/// audience — lives in the PlacementPolicy handed to the constructor.
+///
+/// Scheme servers (OneKeyTreeServer, QtServer, ...) are thin facades over
+/// one of these; nothing scheme-shaped lives outside the policy.
+class RekeyCore {
+ public:
+  explicit RekeyCore(std::unique_ptr<PlacementPolicy> policy);
+
+  /// Stage a join: the policy places and inserts, the ledger records the
+  /// partition and join epoch. Throws on duplicate join.
+  Registration join(const workload::MemberProfile& profile);
+
+  /// Stage a departure of a current member.
+  void leave(workload::MemberId member);
+
+  /// Commit the epoch: migration clock, policy emission, DEK step,
+  /// counters. Output is byte-identical to the pre-split scheme servers.
+  EpochOutput end_epoch();
+
+  [[nodiscard]] crypto::VersionedKey group_key() const;
+  [[nodiscard]] crypto::KeyId group_key_id() const;
+  [[nodiscard]] std::size_t size() const noexcept { return ledger_.size(); }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(workload::MemberId member) const;
+
+  /// The partition the ledger currently records for `member`.
+  [[nodiscard]] std::uint32_t partition_of(workload::MemberId member) const;
+
+  /// Member count per partition, indexed by partition id (S is 0 for
+  /// split-partition schemes; loss-bin schemes use one slot per tree).
+  [[nodiscard]] std::vector<std::size_t> partition_census() const;
+
+  /// New leaf ids assigned by migrations in the last end_epoch() (schemes
+  /// that re-grant out of band contribute no entries).
+  [[nodiscard]] const std::vector<Relocation>& last_relocations() const noexcept {
+    return relocations_;
+  }
+
+  // ---- Durability (policies with info().durable). ----
+
+  /// Serialize complete server state as a versioned wire::Snapshot.
+  /// Precondition: no staged changes.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+
+  /// Restore from save_state() bytes, or from a pre-refactor (version-0)
+  /// per-scheme layout (routed to the policy's legacy decoder). Corrupt
+  /// versioned framing throws wire::WireError; structural mismatches
+  /// (wrong scheme for this policy) throw wire::WireError too
+  /// (kSchemeMismatch); config mismatches inside the policy section throw
+  /// ContractViolation as before.
+  void restore_state(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::vector<PathKey> member_path_keys(workload::MemberId member) const;
+  [[nodiscard]] crypto::Key128 member_individual_key(workload::MemberId member) const;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const;
+
+  // ---- Plumbing. ----
+
+  void set_executor(common::ThreadPool* pool) { policy_->set_executor(pool); }
+  void reserve(std::size_t expected_members);
+  void set_wrap_cache(bool enabled) { policy_->set_wrap_cache(enabled); }
+
+  [[nodiscard]] PlacementPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const PlacementPolicy& policy() const noexcept { return *policy_; }
+
+ private:
+  struct LedgerEntry {
+    std::uint64_t joined_epoch = 0;
+    std::uint32_t partition = 0;
+  };
+
+  [[nodiscard]] const LedgerEntry& entry_of(workload::MemberId member) const;
+  void run_migrations(EpochOutput& out);
+
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::unordered_map<std::uint64_t, LedgerEntry> ledger_;
+  std::vector<Relocation> relocations_;
+  std::uint64_t epoch_ = 0;
+  std::size_t staged_joins_ = 0;
+  std::size_t staged_s_leaves_ = 0;
+  std::size_t staged_l_leaves_ = 0;
+};
+
+}  // namespace gk::engine

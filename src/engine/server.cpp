@@ -1,6 +1,6 @@
-#include "partition/server.h"
+#include "engine/server.h"
 
-namespace gk::partition {
+namespace gk::engine {
 
 std::vector<crypto::WrappedKey> make_catchup_bundle(const DurableRekeyServer& server,
                                                     workload::MemberId member,
@@ -22,4 +22,4 @@ std::vector<crypto::WrappedKey> make_catchup_bundle(const DurableRekeyServer& se
   return bundle;
 }
 
-}  // namespace gk::partition
+}  // namespace gk::engine

@@ -7,11 +7,8 @@
 #include "common/ensure.h"
 #include "faultsim/invariants.h"
 #include "lkh/key_ring.h"
-#include "losshomo/homogenized_server.h"
 #include "netsim/receiver.h"
-#include "partition/one_keytree_server.h"
-#include "partition/qt_server.h"
-#include "partition/tt_server.h"
+#include "partition/factory.h"
 
 namespace gk::faultsim {
 
@@ -35,22 +32,19 @@ struct MemberState {
 
 std::unique_ptr<partition::DurableRekeyServer> make_harness_server(
     const HarnessConfig& config) {
-  Rng rng(config.seed);
+  const char* scheme = nullptr;
   switch (config.kind) {
-    case ServerKind::kOneKeyTree:
-      return std::make_unique<partition::OneKeyTreeServer>(config.degree, rng);
-    case ServerKind::kQt:
-      return std::make_unique<partition::QtServer>(config.degree,
-                                                   config.s_period_epochs, rng);
-    case ServerKind::kTt:
-      return std::make_unique<partition::TtServer>(config.degree,
-                                                   config.s_period_epochs, rng);
-    case ServerKind::kLossHomogenized:
-      return std::make_unique<losshomo::HomogenizedServer>(
-          config.degree, config.bins, losshomo::Placement::kLossHomogenized, rng);
+    case ServerKind::kOneKeyTree: scheme = "one-tree"; break;
+    case ServerKind::kQt: scheme = "qt"; break;
+    case ServerKind::kTt: scheme = "tt"; break;
+    case ServerKind::kLossHomogenized: scheme = "loss-bin"; break;
   }
-  GK_ENSURE_MSG(false, "unknown server kind");
-  return nullptr;
+  GK_ENSURE_MSG(scheme != nullptr, "unknown server kind");
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = config.degree;
+  scheme_config.s_period_epochs = config.s_period_epochs;
+  scheme_config.bin_upper_bounds = config.bins;
+  return partition::make_server(scheme, scheme_config, Rng(config.seed));
 }
 
 HarnessResult run_harness(const HarnessConfig& config) {

@@ -2,9 +2,9 @@
 
 namespace gk::losshomo {
 
-partition::EpochOutput HomogenizedServer::end_epoch() {
+engine::EpochOutput HomogenizedServer::end_epoch() {
   auto inner = inner_.end_epoch();
-  partition::EpochOutput out;
+  engine::EpochOutput out;
   out.epoch = inner.epoch;
   out.message = std::move(inner.message);
   out.joins = inner.joins;

@@ -1,26 +1,26 @@
 #pragma once
 
+#include "engine/server.h"
 #include "losshomo/multi_tree_server.h"
-#include "partition/server.h"
 
 namespace gk::losshomo {
 
-/// Adapts MultiTreeServer to the partition::DurableRekeyServer interface so
+/// Adapts MultiTreeServer to the engine::DurableRekeyServer interface so
 /// the fault-injection harness and the rekey journal can drive the
 /// loss-homogenized scheme through the same code path as the partition
 /// servers. Joins use the profile's loss_rate as the member's *reported*
 /// loss (the value it would have piggybacked on past NACKs).
-class HomogenizedServer final : public partition::DurableRekeyServer {
+class HomogenizedServer final : public engine::DurableRekeyServer {
  public:
   HomogenizedServer(unsigned degree, std::vector<double> bin_upper_bounds,
                     Placement placement, Rng rng)
       : inner_(degree, std::move(bin_upper_bounds), placement, rng) {}
 
-  partition::Registration join(const workload::MemberProfile& profile) override {
+  engine::Registration join(const workload::MemberProfile& profile) override {
     return inner_.join(profile.id, profile.loss_rate);
   }
   void leave(workload::MemberId member) override { inner_.leave(member); }
-  partition::EpochOutput end_epoch() override;
+  engine::EpochOutput end_epoch() override;
 
   [[nodiscard]] crypto::VersionedKey group_key() const override {
     return inner_.group_key();
@@ -41,7 +41,7 @@ class HomogenizedServer final : public partition::DurableRekeyServer {
   void restore_state(std::span<const std::uint8_t> bytes) override {
     inner_.restore_state(bytes);
   }
-  [[nodiscard]] std::vector<partition::PathKey> member_path_keys(
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
       workload::MemberId member) const override {
     return inner_.member_path_keys(member);
   }

@@ -1,0 +1,167 @@
+#include "losshomo/loss_bin_policy.h"
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
+namespace gk::losshomo {
+
+LossBinPolicy::LossBinPolicy(unsigned degree, std::vector<double> bin_upper_bounds,
+                             Placement placement, Rng rng)
+    : bounds_(std::move(bin_upper_bounds)),
+      placement_(placement),
+      rng_(rng.fork()),
+      ids_(lkh::IdAllocator::create()),
+      dek_(rng.fork(), ids_),
+      arrivals_(bounds_.size(), false) {
+  GK_ENSURE(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) GK_ENSURE(bounds_[i] > bounds_[i - 1]);
+  trees_.reserve(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    trees_.emplace_back(degree, rng.fork(), ids_);
+  info_.name = "loss-bin";
+  info_.durable = true;
+}
+
+std::size_t LossBinPolicy::place(double reported_loss) {
+  if (placement_ == Placement::kRandom) return rng_.uniform_u64(trees_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    if (reported_loss <= bounds_[i]) return i;
+  return bounds_.size() - 1;  // above every bound: the lossiest tree
+}
+
+LossBinPolicy::Admission LossBinPolicy::admit(const workload::MemberProfile& profile) {
+  const std::size_t tree = place(profile.loss_rate);
+  const auto grant = trees_[tree].insert(profile.id);
+  arrivals_[tree] = true;
+  return {{grant.individual_key, grant.leaf_id}, static_cast<std::uint32_t>(tree)};
+}
+
+void LossBinPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  trees_[partition].remove(member);
+}
+
+lkh::RekeyMessage LossBinPolicy::emit(std::uint64_t epoch) {
+  lkh::RekeyMessage out;
+  per_tree_cost_.clear();
+  per_tree_cost_.reserve(trees_.size());
+  for (auto& tree : trees_) {
+    auto message = tree.commit(epoch);
+    per_tree_cost_.push_back(message.cost());
+    out.append(std::move(message));
+  }
+  return out;
+}
+
+void LossBinPolicy::wrap_compromised(lkh::RekeyMessage& out) {
+  for (auto& tree : trees_)
+    if (!tree.empty())
+      dek_.wrap_under(tree.root_key().key, tree.root_id(), tree.root_key().version, out);
+}
+
+void LossBinPolicy::wrap_arrivals(lkh::RekeyMessage& out) {
+  for (std::size_t t = 0; t < trees_.size(); ++t)
+    if (arrivals_[t] && !trees_[t].empty())
+      dek_.wrap_under(trees_[t].root_key().key, trees_[t].root_id(),
+                      trees_[t].root_key().version, out);
+}
+
+std::vector<crypto::KeyId> LossBinPolicy::member_path(workload::MemberId member,
+                                                      std::uint32_t partition) const {
+  auto path = trees_[partition].path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+std::size_t LossBinPolicy::tree_size(std::size_t tree) const {
+  GK_ENSURE(tree < trees_.size());
+  return trees_[tree].size();
+}
+
+std::vector<std::uint8_t> LossBinPolicy::save_policy_state() const {
+  common::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(placement_));
+  out.u64(bounds_.size());
+  for (const auto bound : bounds_) out.f64(bound);
+  for (const auto word : rng_.save_state()) out.u64(word);
+  for (const auto& tree : trees_) out.blob(lkh::snapshot_tree_exact(tree));
+  return out.take();
+}
+
+void LossBinPolicy::restore_policy_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  GK_ENSURE_MSG(in.u8() == static_cast<std::uint8_t>(placement_),
+                "restored state has a different placement policy");
+  GK_ENSURE_MSG(in.u64() == bounds_.size(), "restored state has a different bin count");
+  for (const auto bound : bounds_)
+    GK_ENSURE_MSG(in.f64() == bound, "restored state has different bin bounds");
+  Rng::State state;
+  for (auto& word : state) word = in.u64();
+  rng_.restore_state(state);
+  std::vector<lkh::KeyTree> restored;
+  restored.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    restored.push_back(lkh::restore_tree_exact(in.blob(), ids_));
+    GK_ENSURE_MSG(restored.back().degree() == tree.degree(),
+                  "restored state has a different tree degree");
+  }
+  trees_ = std::move(restored);
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  arrivals_.assign(trees_.size(), false);
+}
+
+engine::PlacementPolicy::LegacyState LossBinPolicy::restore_legacy(
+    std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  LegacyState legacy;
+  legacy.epoch = in.u64();
+  GK_ENSURE_MSG(in.u8() == static_cast<std::uint8_t>(placement_),
+                "restored state has a different placement policy");
+  GK_ENSURE_MSG(in.u64() == bounds_.size(), "restored state has a different bin count");
+  for (const auto bound : bounds_)
+    GK_ENSURE_MSG(in.f64() == bound, "restored state has different bin bounds");
+  Rng::State state;
+  for (auto& word : state) word = in.u64();
+  rng_.restore_state(state);
+  legacy.id_watermark = in.u64();
+  std::vector<lkh::KeyTree> restored;
+  restored.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    restored.push_back(lkh::restore_tree_exact(in.blob(), ids_));
+    GK_ENSURE_MSG(restored.back().degree() == tree.degree(),
+                  "restored state has a different tree degree");
+  }
+  trees_ = std::move(restored);
+  dek_.restore_state(in);
+  const auto count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    const auto tree = in.u64();
+    GK_ENSURE_MSG(tree < trees_.size(), "server state corrupt: bad tree index");
+    legacy.ledger.push_back({raw_id, 0, static_cast<std::uint32_t>(tree)});
+  }
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  arrivals_.assign(trees_.size(), false);
+  return legacy;
+}
+
+std::vector<engine::PathKey> LossBinPolicy::member_path_keys(
+    workload::MemberId member, std::uint32_t partition) const {
+  std::vector<engine::PathKey> path;
+  for (const auto& entry : trees_[partition].path_keys(member))
+    path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 LossBinPolicy::member_individual_key(workload::MemberId member,
+                                                    std::uint32_t partition) const {
+  return trees_[partition].individual_key(member);
+}
+
+crypto::KeyId LossBinPolicy::member_leaf_id(workload::MemberId member,
+                                            std::uint32_t partition) const {
+  return trees_[partition].leaf_id(member);
+}
+
+}  // namespace gk::losshomo

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_tree.h"
+
+namespace gk::losshomo {
+
+/// How a joining member is assigned to one of the key trees.
+enum class Placement : std::uint8_t {
+  /// Section 4.2: members with similar loss rates share a tree, so the
+  /// proactive replication the high-loss members need never inflates the
+  /// keys only low-loss members want. A member is mapped to the first bin
+  /// whose upper bound covers its *reported* loss rate and never moves
+  /// again (the paper's answer to question two: moving costs more than
+  /// misclassification).
+  kLossHomogenized,
+  /// Control from Fig. 6: same number of trees, members placed uniformly
+  /// at random — isolates "multiple trees" from "loss-homogenized trees".
+  kRandom,
+};
+
+/// Placement policy for the loss-homogenized multi-tree scheme (Section 4):
+/// several key trees under one session DEK, binned by reported member loss
+/// rate. The engine's ledger partition number is the member's tree index.
+///
+/// RNG fork order: placement RNG, DEK, then one fork per tree in bin order.
+class LossBinPolicy final : public engine::PlacementPolicy {
+ public:
+  /// `bin_upper_bounds` gives each tree's inclusive loss-rate ceiling in
+  /// ascending order; the last bin additionally absorbs anything above it.
+  /// E.g. {0.05, 1.0} builds a low-loss tree (p <= 5%) and a high-loss
+  /// tree.
+  LossBinPolicy(unsigned degree, std::vector<double> bin_upper_bounds,
+                Placement placement, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+  void epoch_reset() override { arrivals_.assign(trees_.size(), false); }
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_policy_state() const override;
+  void restore_policy_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] LegacyState restore_legacy(
+      std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member,
+                                             std::uint32_t partition) const override;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t tree_size(std::size_t tree) const;
+
+  /// Wraps contributed by each tree in the last emit() (DEK wraps excluded).
+  [[nodiscard]] const std::vector<std::size_t>& per_tree_cost() const noexcept {
+    return per_tree_cost_;
+  }
+
+ protected:
+  void wrap_compromised(lkh::RekeyMessage& out) override;
+  void wrap_arrivals(lkh::RekeyMessage& out) override;
+
+ private:
+  [[nodiscard]] std::size_t place(double reported_loss);
+
+  engine::PolicyInfo info_;
+  std::vector<double> bounds_;
+  Placement placement_;
+  Rng rng_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  std::vector<lkh::KeyTree> trees_;
+  engine::GroupKeyManager dek_;
+  std::vector<bool> arrivals_;  // per tree, this epoch
+  std::vector<std::size_t> per_tree_cost_;
+};
+
+}  // namespace gk::losshomo

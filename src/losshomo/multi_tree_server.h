@@ -1,46 +1,37 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "lkh/key_tree.h"
-#include "partition/group_key.h"
-#include "partition/server.h"
+#include "engine/rekey_core.h"
+#include "losshomo/loss_bin_policy.h"
 
 namespace gk::losshomo {
 
-/// How a joining member is assigned to one of the key trees.
-enum class Placement : std::uint8_t {
-  /// Section 4.2: members with similar loss rates share a tree, so the
-  /// proactive replication the high-loss members need never inflates the
-  /// keys only low-loss members want. A member is mapped to the first bin
-  /// whose upper bound covers its *reported* loss rate and never moves
-  /// again (the paper's answer to question two: moving costs more than
-  /// misclassification).
-  kLossHomogenized,
-  /// Control from Fig. 6: same number of trees, members placed uniformly
-  /// at random — isolates "multiple trees" from "loss-homogenized trees".
-  kRandom,
-};
-
 /// Key server maintaining multiple key trees under one session DEK, binned
-/// by member loss rate (the paper's second optimization, Section 4).
+/// by member loss rate (the paper's second optimization, Section 4). A
+/// bespoke facade over engine::RekeyCore running a LossBinPolicy — kept
+/// because its callers speak loss rates and per-tree costs, not the
+/// RekeyServer profile interface (HomogenizedServer adapts to that).
 class MultiTreeServer {
  public:
-  /// `bin_upper_bounds` gives each tree's inclusive loss-rate ceiling in
-  /// ascending order; the last bin additionally absorbs anything above it.
-  /// E.g. {0.05, 1.0} builds a low-loss tree (p <= 5%) and a high-loss
-  /// tree.
+  /// See LossBinPolicy for the bin-bound semantics.
   MultiTreeServer(unsigned degree, std::vector<double> bin_upper_bounds,
-                  Placement placement, Rng rng);
+                  Placement placement, Rng rng)
+      : core_(std::make_unique<LossBinPolicy>(degree, std::move(bin_upper_bounds),
+                                              placement, rng)) {}
 
   /// Stage a join. `reported_loss` is what the member piggybacked on past
   /// NACKs (or estimated during an S-partition stay); misreporting models
   /// Fig. 7's misplacement.
-  partition::Registration join(workload::MemberId member, double reported_loss);
+  engine::Registration join(workload::MemberId member, double reported_loss) {
+    workload::MemberProfile profile;
+    profile.id = member;
+    profile.loss_rate = reported_loss;
+    return core_.join(profile);
+  }
 
-  void leave(workload::MemberId member);
+  void leave(workload::MemberId member) { core_.leave(member); }
 
   struct Output {
     std::uint64_t epoch = 0;
@@ -52,43 +43,63 @@ class MultiTreeServer {
 
     [[nodiscard]] std::size_t multicast_cost() const noexcept { return message.cost(); }
   };
-  Output end_epoch();
+  Output end_epoch() {
+    auto committed = core_.end_epoch();
+    Output out;
+    out.epoch = committed.epoch;
+    out.message = std::move(committed.message);
+    out.per_tree_cost = policy().per_tree_cost();
+    out.joins = committed.joins;
+    out.leaves = committed.l_departures;
+    return out;
+  }
 
-  [[nodiscard]] crypto::VersionedKey group_key() const { return dek_.current(); }
-  [[nodiscard]] crypto::KeyId group_key_id() const noexcept { return dek_.id(); }
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
-  [[nodiscard]] std::size_t tree_size(std::size_t tree) const;
-  [[nodiscard]] std::size_t tree_of(workload::MemberId member) const;
+  [[nodiscard]] crypto::VersionedKey group_key() const { return core_.group_key(); }
+  [[nodiscard]] crypto::KeyId group_key_id() const { return core_.group_key_id(); }
+  [[nodiscard]] std::size_t size() const noexcept { return core_.size(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return policy().tree_count();
+  }
+  [[nodiscard]] std::size_t tree_size(std::size_t tree) const {
+    return policy().tree_size(tree);
+  }
+  [[nodiscard]] std::size_t tree_of(workload::MemberId member) const {
+    return core_.partition_of(member);
+  }
 
   /// Leaf-to-DEK node ids for the member (transport interest sets).
-  [[nodiscard]] std::vector<crypto::KeyId> member_path(workload::MemberId member) const;
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const {
+    return core_.member_path(member);
+  }
 
   /// Exact persistence + resync accessors (same contract as
-  /// partition::DurableRekeyServer; HomogenizedServer adapts this class to
+  /// engine::DurableRekeyServer; HomogenizedServer adapts this class to
   /// that interface). save_state() requires no staged changes.
-  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
-  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
-  void restore_state(std::span<const std::uint8_t> bytes);
-  [[nodiscard]] std::vector<partition::PathKey> member_path_keys(
-      workload::MemberId member) const;
-  [[nodiscard]] crypto::Key128 member_individual_key(workload::MemberId member) const;
-  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const;
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return core_.epoch(); }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const {
+    return core_.save_state();
+  }
+  void restore_state(std::span<const std::uint8_t> bytes) {
+    core_.restore_state(bytes);
+  }
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member) const {
+    return core_.member_path_keys(member);
+  }
+  [[nodiscard]] crypto::Key128 member_individual_key(workload::MemberId member) const {
+    return core_.member_individual_key(member);
+  }
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const {
+    return core_.member_leaf_id(member);
+  }
 
  private:
-  [[nodiscard]] std::size_t place(double reported_loss);
+  [[nodiscard]] const LossBinPolicy& policy() const noexcept {
+    return static_cast<const LossBinPolicy&>(core_.policy());
+  }
 
-  std::vector<double> bounds_;
-  Placement placement_;
-  Rng rng_;
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  std::vector<lkh::KeyTree> trees_;
-  partition::GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, std::size_t> records_;  // raw id -> tree
-  std::vector<bool> arrivals_;  // per tree, this epoch
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_leaves_ = 0;
+  engine::RekeyCore core_;
 };
 
 }  // namespace gk::losshomo

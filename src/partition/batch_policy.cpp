@@ -1,0 +1,36 @@
+#include "partition/batch_policy.h"
+
+namespace gk::partition {
+
+BatchPolicy::BatchPolicy(unsigned degree, Rng rng) : tree_(degree, rng) {
+  info_.name = "batch";
+}
+
+BatchPolicy::Admission BatchPolicy::admit(const workload::MemberProfile& profile) {
+  const auto grant = tree_.insert(profile.id);
+  return {{grant.individual_key, grant.leaf_id}, 0};
+}
+
+void BatchPolicy::evict(workload::MemberId member, std::uint32_t /*partition*/) {
+  pending_leaves_.push_back(member);
+}
+
+lkh::RekeyMessage BatchPolicy::emit(std::uint64_t epoch) {
+  while (!pending_leaves_.empty()) {
+    const auto member = pending_leaves_.back();
+    pending_leaves_.pop_back();
+    tree_.remove(member);
+  }
+  return tree_.commit(epoch);
+}
+
+crypto::VersionedKey BatchPolicy::group_key() const { return tree_.root_key(); }
+
+crypto::KeyId BatchPolicy::group_key_id() const { return tree_.root_id(); }
+
+std::vector<crypto::KeyId> BatchPolicy::member_path(workload::MemberId member,
+                                                    std::uint32_t /*partition*/) const {
+  return tree_.path_ids(member);
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_tree.h"
+
+namespace gk::partition {
+
+/// Smoke-test policy for the extension path (DESIGN.md §9): a single key
+/// tree, like OneTreePolicy, but with fully batched membership — joins are
+/// greedily granted at the tree's shallowest vacancy as they arrive, while
+/// departures are only *staged* here and applied in one batch at emission
+/// time, drained via swap-pop (back-to-front) from the pending list.
+///
+/// Exists to prove a new scheme is one small PlacementPolicy subclass plus
+/// a factory registration; the cross-check test pins its per-epoch costs to
+/// OneTreePolicy's under identical workloads.
+///
+/// RNG fork order: the tree consumes the seed Rng directly (no forks).
+class BatchPolicy final : public engine::PlacementPolicy {
+ public:
+  BatchPolicy(unsigned degree, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override;
+  [[nodiscard]] crypto::KeyId group_key_id() const override;
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override {
+    return tree_.ids();
+  }
+
+  void set_executor(common::ThreadPool* pool) override { tree_.set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override { tree_.set_wrap_cache(enabled); }
+
+  [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
+
+ private:
+  engine::PolicyInfo info_;
+  lkh::KeyTree tree_;
+  std::vector<workload::MemberId> pending_leaves_;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,82 @@
+#include "partition/elk_tt_policy.h"
+
+namespace gk::partition {
+
+ElkTtPolicy::ElkTtPolicy(unsigned s_period_epochs, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      s_tree_{rng.fork(), 16, 16, ids_},
+      l_tree_{rng.fork(), 16, 16, ids_},
+      dek_(rng.fork(), ids_) {
+  info_.name = "elk-tt";
+  info_.split_partitions = s_period_epochs > 0;
+  info_.migrate_after = s_period_epochs;
+}
+
+ElkTtPolicy::Admission ElkTtPolicy::admit(const workload::MemberProfile& profile) {
+  const bool to_s = info_.migrate_after > 0;
+  (to_s ? s_tree_ : l_tree_).join(profile.id);
+  live_.insert(workload::raw(profile.id));
+  // ELK admission is broadcast-free and the grant is issued post-commit via
+  // grant_for(), per the interval-boundary discipline: the registration
+  // carries no key material.
+  return {{}, to_s ? 0u : 1u};
+}
+
+void ElkTtPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  (partition == 0 ? s_tree_ : l_tree_).leave(member, pending_);
+  live_.erase(workload::raw(member));
+}
+
+std::optional<crypto::KeyId> ElkTtPolicy::migrate(workload::MemberId member) {
+  // ELK leaf keys are plain random values, but the member's L-path is new,
+  // so it needs a unicast re-grant either way.
+  s_tree_.leave(member, pending_);
+  l_tree_.join(member);
+  regrants_.push_back(member);
+  return std::nullopt;  // re-granted out of band
+}
+
+lkh::RekeyMessage ElkTtPolicy::emit(std::uint64_t epoch) {
+  contributions_ = std::move(pending_);
+  pending_ = {};
+
+  // Interval boundary: both trees refresh one-way (free).
+  s_tree_.end_epoch();
+  l_tree_.end_epoch();
+  for (const auto member : s_tree_.relocated())
+    if (live_.count(workload::raw(member)) != 0) regrants_.push_back(member);
+  for (const auto member : l_tree_.relocated())
+    if (live_.count(workload::raw(member)) != 0) regrants_.push_back(member);
+
+  contributions_.epoch = epoch;
+  return {};  // whole-key wraps are appended by apply_dek()
+}
+
+void ElkTtPolicy::apply_dek(const engine::EpochCounts& counts, lkh::RekeyMessage& out) {
+  const bool compromised = counts.s_departures + counts.l_departures > 0;
+  if (compromised || counts.joins > 0) {
+    dek_.rotate();
+    if (!compromised) dek_.wrap_under_previous(out);
+    if (s_tree_.size() > 0) {
+      const auto root = s_tree_.group_key();
+      dek_.wrap_under(root.key, s_tree_.root_id(), root.version, out);
+    }
+    if (l_tree_.size() > 0) {
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, out);
+    }
+  }
+  dek_.stamp(out);
+}
+
+std::vector<crypto::KeyId> ElkTtPolicy::member_path(workload::MemberId member,
+                                                    std::uint32_t partition) const {
+  // ELK's unicast grant is the path, leaf first; the interest set is its
+  // node ids (leaf included — ELK leaves are shared split points) + DEK.
+  std::vector<crypto::KeyId> path;
+  for (const auto& entry : tree(partition).grant_for(member)) path.push_back(entry.id);
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

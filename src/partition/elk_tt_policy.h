@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "elk/elk_tree.h"
+#include "engine/placement_policy.h"
+
+namespace gk::partition {
+
+/// Placement policy for the TT scheme over ELK trees: an S-partition
+/// (partition 0) and L-partition (partition 1) ElkTree under one session
+/// DEK. Joins are broadcast-free on either tree, so the S-partition only
+/// ever pays for the *departures* of short-lived members — and those
+/// disturb a tree of size Ns, not N.
+///
+/// The epoch's sub-key-size contribution records accumulate here and are
+/// taken by the ElkTtServer facade after each commit (emit() returns only
+/// the whole-key DEK wraps through the engine's RekeyMessage channel).
+///
+/// RNG fork order: S-tree, L-tree, DEK.
+class ElkTtPolicy final : public engine::PlacementPolicy {
+ public:
+  ElkTtPolicy(unsigned s_period_epochs, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] std::optional<crypto::KeyId> migrate(workload::MemberId member) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+  void apply_dek(const engine::EpochCounts& counts, lkh::RekeyMessage& out) override;
+  void epoch_begin() override { regrants_.clear(); }
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+
+  /// The contribution records emitted by the last commit (moved out once).
+  [[nodiscard]] elk::ElkRekeyMessage take_contributions() {
+    auto taken = std::move(contributions_);
+    contributions_ = {};
+    return taken;
+  }
+  /// Members needing a re-grant after the last commit (splits/migrations).
+  [[nodiscard]] const std::vector<workload::MemberId>& regrants() const noexcept {
+    return regrants_;
+  }
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+  [[nodiscard]] const elk::ElkTree& tree(std::uint32_t partition) const noexcept {
+    return partition == 0 ? s_tree_ : l_tree_;
+  }
+
+ private:
+  engine::PolicyInfo info_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  elk::ElkTree s_tree_;
+  elk::ElkTree l_tree_;
+  engine::GroupKeyManager dek_;
+  /// Live members, kept policy-side to filter departed ids out of the
+  /// trees' relocation lists (the engine's ledger is not visible here).
+  std::unordered_set<std::uint64_t> live_;
+  elk::ElkRekeyMessage pending_;
+  elk::ElkRekeyMessage contributions_;
+  std::vector<workload::MemberId> regrants_;
+};
+
+}  // namespace gk::partition

@@ -1,36 +1,38 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "elk/elk_tree.h"
-#include "partition/group_key.h"
+#include "engine/rekey_core.h"
+#include "partition/elk_tt_policy.h"
 #include "partition/server.h"
 
 namespace gk::partition {
 
 /// The TT two-partition scheme over ELK trees — completing the paper's
 /// "also applicable" claim across all three hierarchical substrates it
-/// names (LkH: TtServer, OFT: OftTtServer, ELK: this).
+/// names (LKH: TtServer, OFT: OftTtServer, ELK: this).
 ///
-/// ELK composes particularly well with the partition idea: joins are
-/// broadcast-free on either tree, so the S-partition only ever pays for
-/// the *departures* of short-lived members — and those disturb a tree of
-/// size Ns, not N. Unlike OFT, ELK's contribution records are id/version
-/// keyed with no client-side fold order, so a whole epoch's operations
-/// batch into one message safely.
+/// A bespoke facade over engine::RekeyCore running an ElkTtPolicy — kept
+/// because ELK's output splits into sub-key-size contribution records plus
+/// whole-key DEK wraps, and admission is broadcast-free with post-commit
+/// grants, neither of which fits the RekeyServer registration contract.
 class ElkTtServer {
  public:
-  ElkTtServer(unsigned s_period_epochs, Rng rng);
+  ElkTtServer(unsigned s_period_epochs, Rng rng)
+      : core_(std::make_unique<ElkTtPolicy>(s_period_epochs, rng)) {}
 
   /// Stage a join (broadcast-free). The grant is issued post-commit via
   /// grant_for(), per ELK's interval-boundary admission.
-  void join(workload::MemberId member);
+  void join(workload::MemberId member) {
+    workload::MemberProfile profile;
+    profile.id = member;
+    core_.join(profile);
+  }
 
   /// Stage a departure (the contribution records accumulate into the
   /// epoch's message).
-  void leave(workload::MemberId member);
+  void leave(workload::MemberId member) { core_.leave(member); }
 
   struct Output {
     std::uint64_t epoch = 0;
@@ -48,41 +50,52 @@ class ElkTtServer {
              dek_wraps.cost() * 8 * crypto::WrappedKey::kWireSize;
     }
   };
-  Output end_epoch();
-
-  [[nodiscard]] std::vector<elk::ElkTree::PathKey> grant_for(
-      workload::MemberId member) const;
-  /// Members needing a re-grant after the last commit (splits/migrations).
-  [[nodiscard]] const std::vector<workload::MemberId>& regrants() const noexcept {
-    return regrants_;
+  Output end_epoch() {
+    auto committed = core_.end_epoch();
+    Output out;
+    out.epoch = committed.epoch;
+    out.contributions = policy().take_contributions();
+    out.dek_wraps = std::move(committed.message);
+    out.migrations = committed.migrations;
+    out.s_departures = committed.s_departures;
+    out.l_departures = committed.l_departures;
+    return out;
   }
 
-  [[nodiscard]] crypto::VersionedKey group_key() const { return dek_.current(); }
-  [[nodiscard]] crypto::KeyId group_key_id() const noexcept { return dek_.id(); }
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-  [[nodiscard]] bool member_in_s(workload::MemberId member) const;
-  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
-  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
-  [[nodiscard]] const elk::ElkTree& tree_of(workload::MemberId member) const;
+  [[nodiscard]] std::vector<elk::ElkTree::PathKey> grant_for(
+      workload::MemberId member) const {
+    return tree_of(member).grant_for(member);
+  }
+  /// Members needing a re-grant after the last commit (splits/migrations).
+  [[nodiscard]] const std::vector<workload::MemberId>& regrants() const noexcept {
+    return policy().regrants();
+  }
+
+  [[nodiscard]] crypto::VersionedKey group_key() const { return core_.group_key(); }
+  [[nodiscard]] crypto::KeyId group_key_id() const { return core_.group_key_id(); }
+  [[nodiscard]] std::size_t size() const noexcept { return core_.size(); }
+  [[nodiscard]] bool member_in_s(workload::MemberId member) const {
+    return core_.partition_of(member) == 0;
+  }
+  [[nodiscard]] std::size_t s_partition_size() const noexcept {
+    return policy().s_partition_size();
+  }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept {
+    return policy().l_partition_size();
+  }
+  [[nodiscard]] const elk::ElkTree& tree_of(workload::MemberId member) const {
+    return policy().tree(core_.partition_of(member));
+  }
 
  private:
-  struct Record {
-    std::uint64_t joined_epoch = 0;
-    bool in_s = true;
-  };
+  [[nodiscard]] ElkTtPolicy& policy() noexcept {
+    return static_cast<ElkTtPolicy&>(core_.policy());
+  }
+  [[nodiscard]] const ElkTtPolicy& policy() const noexcept {
+    return static_cast<const ElkTtPolicy&>(core_.policy());
+  }
 
-  unsigned s_period_epochs_;
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  elk::ElkTree s_tree_;
-  elk::ElkTree l_tree_;
-  GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, Record> records_;
-  elk::ElkRekeyMessage pending_;
-  std::vector<workload::MemberId> regrants_;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_s_leaves_ = 0;
-  std::size_t staged_l_leaves_ = 0;
+  engine::RekeyCore core_;
 };
 
 }  // namespace gk::partition

@@ -1,24 +1,103 @@
 #include "partition/factory.h"
 
+#include <algorithm>
+#include <map>
+
 #include "common/ensure.h"
-#include "partition/one_keytree_server.h"
-#include "partition/pt_server.h"
-#include "partition/qt_server.h"
-#include "partition/tt_server.h"
+#include "partition/batch_policy.h"
+#include "partition/elk_tt_policy.h"
+#include "partition/oft_tt_policy.h"
+#include "partition/one_tree_policy.h"
+#include "partition/pt_policy.h"
+#include "partition/qt_policy.h"
+#include "partition/tt_policy.h"
 
 namespace gk::partition {
 
+namespace {
+
+std::map<std::string, PolicyFactory, std::less<>>& registry() {
+  static std::map<std::string, PolicyFactory, std::less<>> policies = {
+      {"one-tree",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<OneTreePolicy>(config.degree, rng);
+       }},
+      {"qt",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<QtPolicy>(config.degree, config.s_period_epochs, rng);
+       }},
+      {"tt",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<TtPolicy>(config.degree, config.s_period_epochs, rng);
+       }},
+      {"pt",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<PtPolicy>(config.degree, rng);
+       }},
+      {"oft-tt",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<OftTtPolicy>(config.s_period_epochs, rng);
+       }},
+      {"elk-tt",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<ElkTtPolicy>(config.s_period_epochs, rng);
+       }},
+      {"loss-bin",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<losshomo::LossBinPolicy>(
+             config.degree, config.bin_upper_bounds, config.placement, rng);
+       }},
+      {"batch",
+       [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
+         return std::make_unique<BatchPolicy>(config.degree, rng);
+       }},
+  };
+  return policies;
+}
+
+}  // namespace
+
+void register_policy(std::string name, PolicyFactory factory) {
+  GK_ENSURE_MSG(!name.empty(), "policy name must be nonempty");
+  GK_ENSURE_MSG(factory != nullptr, "policy factory must be callable");
+  registry()[std::move(name)] = std::move(factory);
+}
+
+std::vector<std::string> registered_policies() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::unique_ptr<engine::PlacementPolicy> make_policy(std::string_view name,
+                                                     const SchemeConfig& config, Rng rng) {
+  const auto it = registry().find(name);
+  GK_ENSURE_MSG(it != registry().end(), "unknown scheme '" << name << "'");
+  auto policy = it->second(config, rng);
+  GK_ENSURE_MSG(policy != nullptr, "scheme '" << name << "' factory returned nothing");
+  return policy;
+}
+
+std::unique_ptr<engine::CoreServer> make_server(std::string_view name,
+                                                const SchemeConfig& config, Rng rng) {
+  return std::make_unique<engine::CoreServer>(make_policy(name, config, rng));
+}
+
 std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
                                          unsigned s_period_epochs, Rng rng) {
+  SchemeConfig config;
+  config.degree = degree;
+  config.s_period_epochs = s_period_epochs;
   switch (kind) {
     case SchemeKind::kOneKeyTree:
-      return std::make_unique<OneKeyTreeServer>(degree, rng);
+      return make_server("one-tree", config, rng);
     case SchemeKind::kQt:
-      return std::make_unique<QtServer>(degree, s_period_epochs, rng);
+      return make_server("qt", config, rng);
     case SchemeKind::kTt:
-      return std::make_unique<TtServer>(degree, s_period_epochs, rng);
+      return make_server("tt", config, rng);
     case SchemeKind::kPt:
-      return std::make_unique<PtServer>(degree, rng);
+      return make_server("pt", config, rng);
   }
   GK_ENSURE_MSG(false, "unknown scheme kind");
   return nullptr;

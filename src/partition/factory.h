@@ -1,15 +1,56 @@
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.h"
+#include "engine/core_server.h"
+#include "engine/placement_policy.h"
+#include "losshomo/loss_bin_policy.h"
 #include "partition/adaptive.h"
 #include "partition/server.h"
 
 namespace gk::partition {
 
-/// Construct a rekey server for the given scheme. `s_period_epochs` (K) is
-/// ignored by the one-keytree and PT schemes.
+/// Structural parameters a policy factory may consume; fields irrelevant to
+/// a given scheme are ignored (e.g. bins for "qt", S-period for "pt").
+struct SchemeConfig {
+  unsigned degree = 4;
+  /// The paper's K = Ts/Tp (QT/TT/OFT-TT/ELK-TT; 0 disables the S-stage).
+  unsigned s_period_epochs = 0;
+  /// Loss-bin ceilings for "loss-bin" (ascending; last bin absorbs the rest).
+  std::vector<double> bin_upper_bounds = {0.05, 1.0};
+  losshomo::Placement placement = losshomo::Placement::kLossHomogenized;
+};
+
+using PolicyFactory =
+    std::function<std::unique_ptr<engine::PlacementPolicy>(const SchemeConfig&, Rng)>;
+
+/// Register a scheme under `name` (see DESIGN.md §9 on adding a policy).
+/// The built-in schemes — "one-tree", "qt", "tt", "pt", "oft-tt", "elk-tt",
+/// "loss-bin", "batch" — are pre-registered. Re-registering a name replaces
+/// the previous factory.
+void register_policy(std::string name, PolicyFactory factory);
+
+/// All registered scheme names, sorted.
+[[nodiscard]] std::vector<std::string> registered_policies();
+
+/// Construct the named scheme's placement policy. Throws ContractViolation
+/// for unknown names.
+[[nodiscard]] std::unique_ptr<engine::PlacementPolicy> make_policy(
+    std::string_view name, const SchemeConfig& config, Rng rng);
+
+/// Construct a generic engine::CoreServer over the named policy. The
+/// durable API is usable iff the policy's info().durable is set.
+[[nodiscard]] std::unique_ptr<engine::CoreServer> make_server(std::string_view name,
+                                                              const SchemeConfig& config,
+                                                              Rng rng);
+
+/// Legacy enum-keyed constructor for the four core LKH schemes.
+/// `s_period_epochs` (K) is ignored by the one-keytree and PT schemes.
 [[nodiscard]] std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
                                                        unsigned s_period_epochs, Rng rng);
 

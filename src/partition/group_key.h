@@ -1,54 +1,11 @@
 #pragma once
 
-#include <memory>
-
-#include "common/bytes.h"
-#include "common/rng.h"
-#include "crypto/key.h"
-#include "crypto/keywrap.h"
-#include "lkh/ids.h"
-#include "lkh/rekey_message.h"
+#include "engine/group_key.h"
 
 namespace gk::partition {
 
-/// The session data-encryption key (DEK) sitting above the partitions.
-///
-/// Composite schemes view their partitions as sub-trees under this root
-/// (Section 3.2): the DEK is rotated once per epoch with membership change
-/// and re-wrapped under each partition's current root key (or, for queue
-/// partitions, under each resident's individual key).
-class GroupKeyManager {
- public:
-  GroupKeyManager(Rng rng, std::shared_ptr<lkh::IdAllocator> ids);
-
-  /// Replace the DEK with a fresh key and bump the version.
-  void rotate();
-
-  /// Append "new DEK wrapped under `kek`" to the message.
-  void wrap_under(const crypto::Key128& kek, crypto::KeyId kek_id,
-                  std::uint32_t kek_version, lkh::RekeyMessage& out);
-
-  /// Append "new DEK wrapped under the previous DEK" — the join-only
-  /// optimization: one wrap serves every incumbent.
-  void wrap_under_previous(lkh::RekeyMessage& out);
-
-  /// Stamp the message with the current DEK id/version.
-  void stamp(lkh::RekeyMessage& out) const;
-
-  [[nodiscard]] const crypto::VersionedKey& current() const noexcept { return key_; }
-  [[nodiscard]] crypto::KeyId id() const noexcept { return id_; }
-
-  /// Exact persistence (rekey journal checkpoints): id, current + previous
-  /// key material, and the RNG stream, so replayed rotations regenerate the
-  /// same DEK bytes.
-  void save_state(common::ByteWriter& out) const;
-  void restore_state(common::ByteReader& in);
-
- private:
-  Rng rng_;
-  crypto::KeyId id_{};
-  crypto::VersionedKey key_;
-  crypto::Key128 previous_;
-};
+/// Moved to engine/ with the policy/mechanism split; alias kept for the
+/// historical partition:: spelling.
+using GroupKeyManager = engine::GroupKeyManager;
 
 }  // namespace gk::partition

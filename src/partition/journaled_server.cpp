@@ -46,14 +46,14 @@ JournaledServer::Recovery JournaledServer::recover(
     std::span<const std::uint8_t> journal_bytes,
     std::unique_ptr<DurableRekeyServer> blank, Config config) {
   GK_ENSURE_MSG(blank != nullptr, "recover needs a blank server to restore into");
-  const auto replay = lkh::RekeyJournal::parse(journal_bytes);
+  const auto replay = wire::RekeyJournal::parse(journal_bytes);
   blank->restore_state(replay.base_state);
 
   auto server = std::make_unique<JournaledServer>(std::move(blank), config);
   Recovery recovery;
   for (const auto& op : replay.ops) {
     switch (op.kind) {
-      case lkh::RekeyJournal::Op::Kind::kJoin: {
+      case wire::RekeyJournal::Op::Kind::kJoin: {
         const auto registration = server->join(op.profile);
         // A logged grant pins the replay: divergence here means the
         // checkpoint or the server's determinism is broken — fail loudly
@@ -63,10 +63,10 @@ JournaledServer::Recovery JournaledServer::recover(
                         "journal replay diverged: join grant mismatch");
         break;
       }
-      case lkh::RekeyJournal::Op::Kind::kLeave:
+      case wire::RekeyJournal::Op::Kind::kLeave:
         server->leave(op.member);
         break;
-      case lkh::RekeyJournal::Op::Kind::kCommit:
+      case wire::RekeyJournal::Op::Kind::kCommit:
         // Re-run the epoch; for commits the dead server finished, the output
         // was already delivered and is discarded. The interrupted commit (if
         // any) is the journal's final op — its regenerated output is the

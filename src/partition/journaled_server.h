@@ -4,8 +4,8 @@
 #include <memory>
 #include <optional>
 
-#include "lkh/journal.h"
 #include "partition/server.h"
+#include "wire/journal.h"
 
 namespace gk::partition {
 
@@ -20,7 +20,7 @@ struct ServerCrashed : std::exception {
 };
 
 /// A DurableRekeyServer wrapped in write-ahead-journal discipline
-/// (lkh::RekeyJournal): every membership operation is journaled before it is
+/// (wire::RekeyJournal): every membership operation is journaled before it is
 /// applied, commits are bracketed by BEGIN/END markers, and the journal is
 /// compacted onto a fresh checkpoint every `checkpoint_every` commits.
 ///
@@ -96,7 +96,7 @@ class JournaledServer final : public RekeyServer {
  private:
   std::unique_ptr<DurableRekeyServer> inner_;
   Config config_;
-  lkh::RekeyJournal journal_;
+  wire::RekeyJournal journal_;
   std::size_t commits_since_checkpoint_ = 0;
   bool crash_armed_ = false;
 };

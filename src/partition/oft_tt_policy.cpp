@@ -1,0 +1,105 @@
+#include "partition/oft_tt_policy.h"
+
+namespace gk::partition {
+
+OftTtPolicy::OftTtPolicy(unsigned s_period_epochs, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      rng_(rng.fork()),
+      s_tree_(rng.fork(), ids_),
+      l_tree_(rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {
+  info_.name = "oft-tt";
+  info_.split_partitions = s_period_epochs > 0;
+  info_.migrate_after = s_period_epochs;
+}
+
+OftTtPolicy::Admission OftTtPolicy::admit(const workload::MemberProfile& profile) {
+  const bool to_s = info_.migrate_after > 0;
+  auto& tree = to_s ? s_tree_ : l_tree_;
+  lkh::RekeyMessage op;
+  const auto grant = tree.join(profile.id, op);
+  notify(OftOpEvent::Kind::kJoin, profile.id, op);
+  pending_.append(std::move(op));
+  return {{grant.leaf_key, grant.leaf_id}, to_s ? 0u : 1u};
+}
+
+void OftTtPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  lkh::RekeyMessage op;
+  if (partition == 0)
+    s_tree_.leave(member, op);
+  else
+    l_tree_.leave(member, op);
+  notify(OftOpEvent::Kind::kLeave, member, op);
+  pending_.append(std::move(op));
+}
+
+std::optional<crypto::KeyId> OftTtPolicy::migrate(workload::MemberId member) {
+  // OFT leaf keys are entangled with the functional path keys, so the
+  // migrant gets a fresh leaf in the L-tree via a unicast grant.
+  lkh::RekeyMessage out_op;
+  s_tree_.leave(member, out_op);
+  notify(OftOpEvent::Kind::kMigrateOut, member, out_op);
+  pending_.append(std::move(out_op));
+
+  lkh::RekeyMessage in_op;
+  auto grant = l_tree_.join(member, in_op);
+  migrations_.push_back({member, std::move(grant)});
+  notify(OftOpEvent::Kind::kMigrateIn, member, in_op);
+  pending_.append(std::move(in_op));
+  return std::nullopt;  // re-granted out of band, not an LKH-style relocation
+}
+
+lkh::RekeyMessage OftTtPolicy::emit(std::uint64_t /*epoch*/) {
+  auto message = std::move(pending_);
+  pending_ = {};
+  return message;
+}
+
+void OftTtPolicy::apply_dek(const engine::EpochCounts& counts, lkh::RekeyMessage& out) {
+  lkh::RekeyMessage dek_message;
+  const bool compromised = counts.s_departures + counts.l_departures > 0;
+  if (compromised) {
+    dek_.rotate();
+    if (!s_tree_.empty()) {
+      const auto root = s_tree_.group_key();
+      dek_.wrap_under(root.key, s_tree_.root_id(), root.version, dek_message);
+    }
+    if (!l_tree_.empty()) {
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+    }
+  } else if (counts.joins > 0) {
+    dek_.rotate();
+    dek_.wrap_under_previous(dek_message);
+    const oft::OftTree& arrivals = info_.migrate_after > 0 ? s_tree_ : l_tree_;
+    if (!arrivals.empty()) {
+      const auto root = arrivals.group_key();
+      dek_.wrap_under(root.key, arrivals.root_id(), root.version, dek_message);
+    }
+    if (counts.migrations > 0 && !l_tree_.empty() && info_.migrate_after > 0) {
+      // Migrants folded into the L-tree cannot use the S-root wrap.
+      const auto root = l_tree_.group_key();
+      dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+    }
+  } else if (counts.migrations > 0 && !l_tree_.empty()) {
+    // Migration-only epoch: the DEK stays, but the L-tree's functional root
+    // changed under the migrants' joins, so re-wrap the *current* DEK for
+    // the L-tree audience (the S audience keeps its copy).
+    const auto root = l_tree_.group_key();
+    dek_.wrap_under(root.key, l_tree_.root_id(), root.version, dek_message);
+  }
+  notify(OftOpEvent::Kind::kGroupKey, workload::MemberId{}, dek_message);
+  out.append(std::move(dek_message));
+  dek_.stamp(out);
+}
+
+std::vector<crypto::KeyId> OftTtPolicy::member_path(workload::MemberId member,
+                                                    std::uint32_t partition) const {
+  const auto& tree = partition == 0 ? s_tree_ : l_tree_;
+  auto info = tree.path_info(member);
+  std::vector<crypto::KeyId> path(info.path.begin() + 1, info.path.end());
+  path.push_back(dek_.id());
+  return path;
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "oft/oft_tree.h"
+
+namespace gk::partition {
+
+/// One tree operation's multicast, reported as it happens. OFT is
+/// inherently a *per-operation* protocol — every membership change
+/// restructures the tree and its computed keys, and a member must track
+/// topology between operations.
+struct OftOpEvent {
+  enum class Kind : std::uint8_t {
+    kJoin,        ///< subject joined the S-tree (or L-tree when K == 0)
+    kLeave,       ///< subject departed
+    kMigrateOut,  ///< subject removed from the S-tree (migration, step 1)
+    kMigrateIn,   ///< subject re-keyed into the L-tree (migration, step 2)
+    kGroupKey,    ///< epoch's DEK wraps (no subject)
+  };
+  Kind kind;
+  workload::MemberId subject{};
+  const lkh::RekeyMessage& message;
+};
+using OftOpObserver = std::function<void(const OftOpEvent&)>;
+
+/// Placement policy for the TT scheme over one-way function trees: an
+/// S-partition OFT (partition 0) for arrivals, an L-partition OFT
+/// (partition 1) for members that survive the S-period, and a session DEK
+/// wrapped under each partition's (functional) root key. Per-operation
+/// messages are reported through the observer and accumulated into the
+/// epoch's emission.
+///
+/// RNG fork order: scratch RNG, S-tree, L-tree, DEK.
+class OftTtPolicy final : public engine::PlacementPolicy {
+ public:
+  /// Migration grants issued by the last end_epoch(): the member's fresh
+  /// leaf key and blinded sibling path in the L-tree, delivered over the
+  /// registration unicast channel (OFT leaf keys cannot be reused — the
+  /// functional keys depend on them).
+  struct MigrationGrant {
+    workload::MemberId member{};
+    oft::OftTree::JoinGrant grant;
+  };
+
+  OftTtPolicy(unsigned s_period_epochs, Rng rng);
+
+  void set_op_observer(OftOpObserver observer) { observer_ = std::move(observer); }
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] std::optional<crypto::KeyId> migrate(workload::MemberId member) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+  void apply_dek(const engine::EpochCounts& counts, lkh::RekeyMessage& out) override;
+  void epoch_begin() override { migrations_.clear(); }
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+  [[nodiscard]] const oft::OftTree& s_tree() const noexcept { return s_tree_; }
+  [[nodiscard]] const oft::OftTree& l_tree() const noexcept { return l_tree_; }
+  [[nodiscard]] const std::vector<MigrationGrant>& last_migrations() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  void notify(OftOpEvent::Kind kind, workload::MemberId subject,
+              const lkh::RekeyMessage& message) const {
+    if (observer_) observer_({kind, subject, message});
+  }
+
+  engine::PolicyInfo info_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  Rng rng_;
+  OftOpObserver observer_;
+  oft::OftTree s_tree_;
+  oft::OftTree l_tree_;
+  engine::GroupKeyManager dek_;
+  lkh::RekeyMessage pending_;  // operations accumulated within the epoch
+  std::vector<MigrationGrant> migrations_;
+};
+
+}  // namespace gk::partition

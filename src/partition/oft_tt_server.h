@@ -1,11 +1,9 @@
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <unordered_map>
 
-#include "oft/oft_tree.h"
-#include "partition/group_key.h"
+#include "engine/rekey_core.h"
+#include "partition/oft_tt_policy.h"
 #include "partition/server.h"
 
 namespace gk::partition {
@@ -15,96 +13,75 @@ namespace gk::partition {
 /// rekeying such as one-way function trees ... the basic ideas behind our
 /// approaches are also applicable") made executable.
 ///
-/// Structure mirrors TtServer: an S-partition OFT for arrivals, an
-/// L-partition OFT for members that survive the S-period, and a session
-/// DEK wrapped under each partition's (functional) root key.
-///
-/// Unlike LKH, OFT is inherently a *per-operation* protocol — every
-/// membership change restructures the tree and its computed keys, and a
-/// member must track topology between operations. The server therefore
-/// notifies an OpObserver after each operation with that operation's rekey
-/// message (this is how a real deployment multicasts; see the test harness
-/// for the member-side discipline). EpochOutput still concatenates the
+/// An engine::RekeyCore running an OftTtPolicy; see the policy for the
+/// per-operation observer protocol. EpochOutput still concatenates the
 /// epoch's messages so the paper's per-epoch cost metric is preserved; the
 /// partition benefit (short-lived members only ever disturb the small
-/// S-tree) carries over unchanged.
-class OftTtServer final : public RekeyServer {
+/// S-tree) carries over unchanged. Not durable (OFT snapshots are an open
+/// item), so this stays a plain RekeyServer facade.
+class OftTtServer final : public engine::RekeyServer {
  public:
-  /// One tree operation's multicast, reported as it happens.
-  struct OpEvent {
-    enum class Kind : std::uint8_t {
-      kJoin,        ///< subject joined the S-tree (or L-tree when K == 0)
-      kLeave,       ///< subject departed
-      kMigrateOut,  ///< subject removed from the S-tree (migration, step 1)
-      kMigrateIn,   ///< subject re-keyed into the L-tree (migration, step 2)
-      kGroupKey,    ///< epoch's DEK wraps (no subject)
-    };
-    Kind kind;
-    workload::MemberId subject{};
-    const lkh::RekeyMessage& message;
-  };
-  using OpObserver = std::function<void(const OpEvent&)>;
+  using OpEvent = OftOpEvent;
+  using OpObserver = OftOpObserver;
+  using MigrationGrant = OftTtPolicy::MigrationGrant;
 
-  OftTtServer(unsigned s_period_epochs, Rng rng);
+  OftTtServer(unsigned s_period_epochs, Rng rng)
+      : core_(std::make_unique<OftTtPolicy>(s_period_epochs, rng)) {}
 
   /// Install the per-operation multicast hook (may be empty).
-  void set_op_observer(OpObserver observer) { observer_ = std::move(observer); }
+  void set_op_observer(OpObserver observer) {
+    policy().set_op_observer(std::move(observer));
+  }
 
-  Registration join(const workload::MemberProfile& profile) override;
-  void leave(workload::MemberId member) override;
-  EpochOutput end_epoch() override;
+  engine::Registration join(const workload::MemberProfile& profile) override {
+    return core_.join(profile);
+  }
+  void leave(workload::MemberId member) override { core_.leave(member); }
+  engine::EpochOutput end_epoch() override { return core_.end_epoch(); }
 
-  [[nodiscard]] crypto::VersionedKey group_key() const override;
-  [[nodiscard]] crypto::KeyId group_key_id() const override;
-  [[nodiscard]] std::size_t size() const override { return records_.size(); }
+  [[nodiscard]] crypto::VersionedKey group_key() const override {
+    return core_.group_key();
+  }
+  [[nodiscard]] crypto::KeyId group_key_id() const override {
+    return core_.group_key_id();
+  }
+  [[nodiscard]] std::size_t size() const override { return core_.size(); }
   [[nodiscard]] std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const override;
+      workload::MemberId member) const override {
+    return core_.member_path(member);
+  }
 
-  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
-  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+  [[nodiscard]] std::size_t s_partition_size() const noexcept {
+    return policy().s_partition_size();
+  }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept {
+    return policy().l_partition_size();
+  }
 
   /// Access for member-side folding (grants and public path topology).
-  [[nodiscard]] const oft::OftTree& s_tree() const noexcept { return s_tree_; }
-  [[nodiscard]] const oft::OftTree& l_tree() const noexcept { return l_tree_; }
-  [[nodiscard]] bool member_in_s(workload::MemberId member) const;
+  [[nodiscard]] const oft::OftTree& s_tree() const noexcept {
+    return policy().s_tree();
+  }
+  [[nodiscard]] const oft::OftTree& l_tree() const noexcept {
+    return policy().l_tree();
+  }
+  [[nodiscard]] bool member_in_s(workload::MemberId member) const {
+    return core_.partition_of(member) == 0;
+  }
 
-  /// Migration grants issued by the last end_epoch(): the member's fresh
-  /// leaf key and blinded sibling path in the L-tree, delivered over the
-  /// registration unicast channel (OFT leaf keys cannot be reused — the
-  /// functional keys depend on them).
-  struct MigrationGrant {
-    workload::MemberId member{};
-    oft::OftTree::JoinGrant grant;
-  };
   [[nodiscard]] const std::vector<MigrationGrant>& last_migrations() const noexcept {
-    return migrations_;
+    return policy().last_migrations();
   }
 
  private:
-  struct Record {
-    std::uint64_t joined_epoch = 0;
-    bool in_s = true;
-  };
-
-  void notify(OpEvent::Kind kind, workload::MemberId subject,
-              const lkh::RekeyMessage& message) const {
-    if (observer_) observer_({kind, subject, message});
+  [[nodiscard]] OftTtPolicy& policy() noexcept {
+    return static_cast<OftTtPolicy&>(core_.policy());
+  }
+  [[nodiscard]] const OftTtPolicy& policy() const noexcept {
+    return static_cast<const OftTtPolicy&>(core_.policy());
   }
 
-  unsigned s_period_epochs_;
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  Rng rng_;
-  OpObserver observer_;
-  oft::OftTree s_tree_;
-  oft::OftTree l_tree_;
-  GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, Record> records_;
-  lkh::RekeyMessage pending_;  // operations accumulated within the epoch
-  std::vector<MigrationGrant> migrations_;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_s_leaves_ = 0;
-  std::size_t staged_l_leaves_ = 0;
+  engine::RekeyCore core_;
 };
 
 }  // namespace gk::partition

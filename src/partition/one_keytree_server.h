@@ -2,49 +2,24 @@
 
 #include <memory>
 
+#include "engine/core_server.h"
 #include "lkh/key_tree.h"
+#include "partition/one_tree_policy.h"
 #include "partition/server.h"
 
 namespace gk::partition {
 
 /// The baseline every prior scheme uses (Section 2.1): one balanced key
-/// tree whose root *is* the group data-encryption key.
-class OneKeyTreeServer final : public DurableRekeyServer {
+/// tree whose root *is* the group data-encryption key. A thin facade over
+/// engine::RekeyCore running an OneTreePolicy.
+class OneKeyTreeServer final : public engine::CoreServer {
  public:
-  OneKeyTreeServer(unsigned degree, Rng rng);
+  OneKeyTreeServer(unsigned degree, Rng rng)
+      : CoreServer(std::make_unique<OneTreePolicy>(degree, rng)) {}
 
-  Registration join(const workload::MemberProfile& profile) override;
-  void leave(workload::MemberId member) override;
-  EpochOutput end_epoch() override;
-
-  [[nodiscard]] crypto::VersionedKey group_key() const override;
-  [[nodiscard]] crypto::KeyId group_key_id() const override;
-  [[nodiscard]] std::size_t size() const override { return tree_.size(); }
-  [[nodiscard]] std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const override;
-
-  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
-  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
-  void restore_state(std::span<const std::uint8_t> bytes) override;
-  [[nodiscard]] std::vector<PathKey> member_path_keys(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::Key128 member_individual_key(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
-
-  void set_executor(common::ThreadPool* pool) override { tree_.set_executor(pool); }
-  void reserve(std::size_t expected_members) override {
-    tree_.reserve(expected_members);
+  [[nodiscard]] const lkh::KeyTree& tree() const noexcept {
+    return static_cast<const OneTreePolicy&>(core_.policy()).tree();
   }
-  void set_wrap_cache(bool enabled) override { tree_.set_wrap_cache(enabled); }
-
-  [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
-
- private:
-  lkh::KeyTree tree_;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_leaves_ = 0;
 };
 
 }  // namespace gk::partition

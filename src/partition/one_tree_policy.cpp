@@ -1,0 +1,77 @@
+#include "partition/one_tree_policy.h"
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
+namespace gk::partition {
+
+OneTreePolicy::OneTreePolicy(unsigned degree, Rng rng) : tree_(degree, rng) {
+  info_.name = "one-tree";
+  info_.durable = true;
+}
+
+OneTreePolicy::Admission OneTreePolicy::admit(const workload::MemberProfile& profile) {
+  const auto grant = tree_.insert(profile.id);
+  return {{grant.individual_key, grant.leaf_id}, 0};
+}
+
+void OneTreePolicy::evict(workload::MemberId member, std::uint32_t /*partition*/) {
+  tree_.remove(member);
+}
+
+lkh::RekeyMessage OneTreePolicy::emit(std::uint64_t epoch) { return tree_.commit(epoch); }
+
+crypto::VersionedKey OneTreePolicy::group_key() const { return tree_.root_key(); }
+
+crypto::KeyId OneTreePolicy::group_key_id() const { return tree_.root_id(); }
+
+std::vector<crypto::KeyId> OneTreePolicy::member_path(
+    workload::MemberId member, std::uint32_t /*partition*/) const {
+  return tree_.path_ids(member);
+}
+
+std::vector<std::uint8_t> OneTreePolicy::save_policy_state() const {
+  return lkh::snapshot_tree_exact(tree_);
+}
+
+void OneTreePolicy::restore_policy_state(std::span<const std::uint8_t> bytes) {
+  auto restored = lkh::restore_tree_exact(bytes);
+  GK_ENSURE_MSG(restored.degree() == tree_.degree(),
+                "restored state has a different tree degree");
+  tree_ = std::move(restored);
+}
+
+engine::PlacementPolicy::LegacyState OneTreePolicy::restore_legacy(
+    std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  LegacyState legacy;
+  legacy.epoch = in.u64();
+  legacy.id_watermark = in.u64();
+  restore_policy_state(in.blob());
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  // The old format carried no member records — the tree's bindings are the
+  // membership. Join epochs are irrelevant here (no migration clock).
+  for (const auto member : tree_.members())
+    legacy.ledger.push_back({workload::raw(member), 0, 0});
+  return legacy;
+}
+
+std::vector<engine::PathKey> OneTreePolicy::member_path_keys(
+    workload::MemberId member, std::uint32_t /*partition*/) const {
+  std::vector<engine::PathKey> path;
+  for (const auto& entry : tree_.path_keys(member)) path.push_back({entry.id, entry.key});
+  return path;
+}
+
+crypto::Key128 OneTreePolicy::member_individual_key(workload::MemberId member,
+                                                    std::uint32_t /*partition*/) const {
+  return tree_.individual_key(member);
+}
+
+crypto::KeyId OneTreePolicy::member_leaf_id(workload::MemberId member,
+                                            std::uint32_t /*partition*/) const {
+  return tree_.leaf_id(member);
+}
+
+}  // namespace gk::partition

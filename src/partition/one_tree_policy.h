@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_tree.h"
+
+namespace gk::partition {
+
+/// Placement policy for the baseline scheme (Section 2.1): one balanced key
+/// tree whose root *is* the group data-encryption key. No DEK manager, no
+/// partitions, no migration clock.
+///
+/// RNG fork order: the tree consumes the seed Rng directly (no forks).
+class OneTreePolicy final : public engine::PlacementPolicy {
+ public:
+  OneTreePolicy(unsigned degree, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override;
+  [[nodiscard]] crypto::KeyId group_key_id() const override;
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override {
+    return tree_.ids();
+  }
+  [[nodiscard]] std::vector<std::uint8_t> save_policy_state() const override;
+  void restore_policy_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] LegacyState restore_legacy(
+      std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member,
+                                             std::uint32_t partition) const override;
+
+  void set_executor(common::ThreadPool* pool) override { tree_.set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override { tree_.set_wrap_cache(enabled); }
+
+  [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
+
+ private:
+  engine::PolicyInfo info_;
+  lkh::KeyTree tree_;
+};
+
+}  // namespace gk::partition

@@ -1,0 +1,103 @@
+#include "partition/pt_policy.h"
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
+namespace gk::partition {
+
+PtPolicy::PtPolicy(unsigned degree, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      s_tree_(degree, rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {
+  info_.name = "pt";
+  info_.split_partitions = true;
+  info_.durable = true;
+}
+
+PtPolicy::Admission PtPolicy::admit(const workload::MemberProfile& profile) {
+  const bool in_s = profile.member_class == workload::MemberClass::kShort;
+  auto& tree = in_s ? s_tree_ : l_tree_;
+  (in_s ? s_arrivals_ : l_arrivals_) = true;
+  const auto grant = tree.insert(profile.id);
+  return {{grant.individual_key, grant.leaf_id}, in_s ? 0u : 1u};
+}
+
+void PtPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  if (partition == 0)
+    s_tree_.remove(member);
+  else
+    l_tree_.remove(member);
+}
+
+lkh::RekeyMessage PtPolicy::emit(std::uint64_t epoch) {
+  auto message = s_tree_.commit(epoch);
+  message.append(l_tree_.commit(epoch));
+  return message;
+}
+
+void PtPolicy::wrap_compromised(lkh::RekeyMessage& out) {
+  if (!s_tree_.empty())
+    dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                    s_tree_.root_key().version, out);
+  if (!l_tree_.empty())
+    dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                    l_tree_.root_key().version, out);
+}
+
+void PtPolicy::wrap_arrivals(lkh::RekeyMessage& out) {
+  if (s_arrivals_ && !s_tree_.empty())
+    dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                    s_tree_.root_key().version, out);
+  if (l_arrivals_ && !l_tree_.empty())
+    dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                    l_tree_.root_key().version, out);
+}
+
+std::vector<crypto::KeyId> PtPolicy::member_path(workload::MemberId member,
+                                                 std::uint32_t partition) const {
+  auto path = tree_of(partition).path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+std::vector<std::uint8_t> PtPolicy::save_policy_state() const {
+  common::ByteWriter out;
+  out.blob(lkh::snapshot_tree_exact(s_tree_));
+  out.blob(lkh::snapshot_tree_exact(l_tree_));
+  return out.take();
+}
+
+void PtPolicy::restore_policy_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  auto restored_s = lkh::restore_tree_exact(in.blob(), ids_);
+  auto restored_l = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored_s.degree() == s_tree_.degree() &&
+                    restored_l.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  s_tree_ = std::move(restored_s);
+  l_tree_ = std::move(restored_l);
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+}
+
+std::vector<engine::PathKey> PtPolicy::member_path_keys(workload::MemberId member,
+                                                        std::uint32_t partition) const {
+  std::vector<engine::PathKey> path;
+  for (const auto& entry : tree_of(partition).path_keys(member))
+    path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 PtPolicy::member_individual_key(workload::MemberId member,
+                                               std::uint32_t partition) const {
+  return tree_of(partition).individual_key(member);
+}
+
+crypto::KeyId PtPolicy::member_leaf_id(workload::MemberId member,
+                                       std::uint32_t partition) const {
+  return tree_of(partition).leaf_id(member);
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_tree.h"
+
+namespace gk::partition {
+
+/// Placement policy for the PT scheme (Section 3.2): the oracle variant.
+/// The server is assumed to know each member's class at join time (as in
+/// Selcuk et al's probabilistic organization) and places it directly in the
+/// matching partition — short-lived members in the S-tree (partition 0),
+/// long-lived in the L-tree (partition 1). No migrations ever happen, so
+/// this bounds the gain the deterministic QT/TT schemes can reach.
+///
+/// RNG fork order: S-tree, L-tree, DEK.
+class PtPolicy final : public engine::PlacementPolicy {
+ public:
+  PtPolicy(unsigned degree, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+  void epoch_reset() override { s_arrivals_ = l_arrivals_ = false; }
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_policy_state() const override;
+  void restore_policy_state(std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member,
+                                             std::uint32_t partition) const override;
+
+  void set_executor(common::ThreadPool* pool) override {
+    s_tree_.set_executor(pool);
+    l_tree_.set_executor(pool);
+  }
+  void reserve(std::size_t expected_members) override {
+    s_tree_.reserve(expected_members / 2);
+    l_tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override {
+    s_tree_.set_wrap_cache(enabled);
+    l_tree_.set_wrap_cache(enabled);
+  }
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+
+ protected:
+  void wrap_compromised(lkh::RekeyMessage& out) override;
+  void wrap_arrivals(lkh::RekeyMessage& out) override;
+
+ private:
+  [[nodiscard]] const lkh::KeyTree& tree_of(std::uint32_t partition) const noexcept {
+    return partition == 0 ? s_tree_ : l_tree_;
+  }
+
+  engine::PolicyInfo info_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  lkh::KeyTree s_tree_;
+  lkh::KeyTree l_tree_;
+  engine::GroupKeyManager dek_;
+  bool s_arrivals_ = false;
+  bool l_arrivals_ = false;
+};
+
+}  // namespace gk::partition

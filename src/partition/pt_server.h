@@ -1,63 +1,27 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
-#include "lkh/key_tree.h"
-#include "partition/group_key.h"
+#include "engine/core_server.h"
+#include "partition/pt_policy.h"
 #include "partition/server.h"
 
 namespace gk::partition {
 
-/// PT-scheme (Section 3.2): the oracle variant. The server is assumed to
-/// know each member's class at join time (as in Selcuk et al's
-/// probabilistic organization) and places it directly in the matching
-/// partition — short-lived members in the S-tree, long-lived in the
-/// L-tree. No migrations ever happen, so this bounds the gain the
-/// deterministic QT/TT schemes can reach.
-class PtServer final : public RekeyServer {
+/// PT-scheme server (Section 3.2): engine::RekeyCore running a PtPolicy.
+/// See PtPolicy for the oracle placement rule. Durability came free with
+/// the policy/mechanism split (the old server was not snapshot-capable).
+class PtServer final : public engine::CoreServer {
  public:
-  PtServer(unsigned degree, Rng rng);
+  PtServer(unsigned degree, Rng rng)
+      : CoreServer(std::make_unique<PtPolicy>(degree, rng)) {}
 
-  Registration join(const workload::MemberProfile& profile) override;
-  void leave(workload::MemberId member) override;
-  EpochOutput end_epoch() override;
-
-  [[nodiscard]] crypto::VersionedKey group_key() const override;
-  [[nodiscard]] crypto::KeyId group_key_id() const override;
-  [[nodiscard]] std::size_t size() const override { return records_.size(); }
-  [[nodiscard]] std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const override;
-
-  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
-  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
-
-  void set_executor(common::ThreadPool* pool) override {
-    s_tree_.set_executor(pool);
-    l_tree_.set_executor(pool);
+  [[nodiscard]] std::size_t s_partition_size() const noexcept {
+    return static_cast<const PtPolicy&>(core_.policy()).s_partition_size();
   }
-  void reserve(std::size_t expected_members) override {
-    s_tree_.reserve(expected_members / 2);
-    l_tree_.reserve(expected_members);
-    records_.reserve(expected_members);
+  [[nodiscard]] std::size_t l_partition_size() const noexcept {
+    return static_cast<const PtPolicy&>(core_.policy()).l_partition_size();
   }
-  void set_wrap_cache(bool enabled) override {
-    s_tree_.set_wrap_cache(enabled);
-    l_tree_.set_wrap_cache(enabled);
-  }
-
- private:
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  lkh::KeyTree s_tree_;
-  lkh::KeyTree l_tree_;
-  GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, bool> records_;  // raw id -> in_s
-  bool s_arrivals_ = false;
-  bool l_arrivals_ = false;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_s_leaves_ = 0;
-  std::size_t staged_l_leaves_ = 0;
 };
 
 }  // namespace gk::partition

@@ -1,0 +1,144 @@
+#include "partition/qt_policy.h"
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
+namespace gk::partition {
+
+QtPolicy::QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      queue_(rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {
+  info_.name = "qt";
+  info_.split_partitions = s_period_epochs > 0;
+  info_.migrate_after = s_period_epochs;
+  info_.durable = true;
+}
+
+QtPolicy::Admission QtPolicy::admit(const workload::MemberProfile& profile) {
+  if (info_.migrate_after == 0) {
+    const auto grant = l_tree_.insert(profile.id);
+    return {{grant.individual_key, grant.leaf_id}, 1};
+  }
+  const auto grant = queue_.insert(profile.id);
+  epoch_arrivals_.push_back(profile.id);
+  return {{grant.individual_key, grant.leaf_id}, 0};
+}
+
+void QtPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  if (partition == 0)
+    queue_.remove(member);
+  else
+    l_tree_.remove(member);
+}
+
+std::optional<crypto::KeyId> QtPolicy::migrate(workload::MemberId member) {
+  const auto individual = queue_.individual_key(member);
+  queue_.remove(member);
+  const auto grant = l_tree_.insert_with_key(member, individual);
+  return grant.leaf_id;
+}
+
+lkh::RekeyMessage QtPolicy::emit(std::uint64_t epoch) { return l_tree_.commit(epoch); }
+
+void QtPolicy::wrap_compromised(lkh::RekeyMessage& out) {
+  // The departed members held the DEK directly, so every queue resident
+  // needs an individual re-wrap — the queue's whole cost model.
+  auto queue_wraps =
+      queue_.wrap_for_all(dek_.current().key, dek_.id(), dek_.current().version);
+  out.wraps.insert(out.wraps.end(), queue_wraps.begin(), queue_wraps.end());
+  if (!l_tree_.empty())
+    dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                    l_tree_.root_key().version, out);
+}
+
+void QtPolicy::wrap_arrivals(lkh::RekeyMessage& out) {
+  if (info_.migrate_after == 0) {
+    if (!l_tree_.empty())
+      dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                      l_tree_.root_key().version, out);
+    return;
+  }
+  // Each arrival still resident in the queue needs one individual wrap.
+  for (const auto member : epoch_arrivals_)
+    if (queue_.contains(member))
+      out.wraps.push_back(
+          queue_.wrap_for(member, dek_.current().key, dek_.id(), dek_.current().version));
+}
+
+std::vector<crypto::KeyId> QtPolicy::member_path(workload::MemberId member,
+                                                 std::uint32_t partition) const {
+  std::vector<crypto::KeyId> path;
+  if (partition != 0) path = l_tree_.path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+std::vector<std::uint8_t> QtPolicy::save_policy_state() const {
+  common::ByteWriter out;
+  out.u32(info_.migrate_after);
+  queue_.save_state(out);
+  out.blob(lkh::snapshot_tree_exact(l_tree_));
+  return out.take();
+}
+
+void QtPolicy::restore_policy_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  GK_ENSURE_MSG(in.u32() == info_.migrate_after,
+                "restored state has a different S-period");
+  queue_.restore_state(in);
+  auto restored = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  l_tree_ = std::move(restored);
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+}
+
+engine::PlacementPolicy::LegacyState QtPolicy::restore_legacy(
+    std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  LegacyState legacy;
+  legacy.epoch = in.u64();
+  GK_ENSURE_MSG(in.u32() == info_.migrate_after,
+                "restored state has a different S-period");
+  legacy.id_watermark = in.u64();
+  queue_.restore_state(in);
+  auto restored = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  l_tree_ = std::move(restored);
+  dek_.restore_state(in);
+  const auto count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    const auto joined_epoch = in.u64();
+    const std::uint32_t partition = in.u8() != 0 ? 0 : 1;
+    legacy.ledger.push_back({raw_id, joined_epoch, partition});
+  }
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  return legacy;
+}
+
+std::vector<engine::PathKey> QtPolicy::member_path_keys(workload::MemberId member,
+                                                        std::uint32_t partition) const {
+  std::vector<engine::PathKey> path;
+  if (partition != 0)
+    for (const auto& entry : l_tree_.path_keys(member))
+      path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 QtPolicy::member_individual_key(workload::MemberId member,
+                                               std::uint32_t partition) const {
+  return partition == 0 ? queue_.individual_key(member) : l_tree_.individual_key(member);
+}
+
+crypto::KeyId QtPolicy::member_leaf_id(workload::MemberId member,
+                                       std::uint32_t partition) const {
+  return partition == 0 ? queue_.leaf_id(member) : l_tree_.leaf_id(member);
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_queue.h"
+#include "lkh/key_tree.h"
+
+namespace gk::partition {
+
+/// Placement policy for the QT scheme (Section 3.2): the S-partition
+/// (partition 0) is a flat queue — residents hold only their individual key
+/// and the DEK — and the L-partition (partition 1) is a balanced key tree.
+///
+/// Joining costs a single wrap (the DEK under the newcomer's individual
+/// key). The price appears whenever a departure compromises the DEK: the
+/// replacement must be wrapped once per queue resident (Ns wraps) plus once
+/// under the L-tree root. Advantageous while the queue stays small.
+///
+/// RNG fork order: queue, L-tree, DEK.
+class QtPolicy final : public engine::PlacementPolicy {
+ public:
+  QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] std::optional<crypto::KeyId> migrate(workload::MemberId member) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+  void epoch_reset() override { epoch_arrivals_.clear(); }
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_policy_state() const override;
+  void restore_policy_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] LegacyState restore_legacy(
+      std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member,
+                                             std::uint32_t partition) const override;
+
+  void set_executor(common::ThreadPool* pool) override { l_tree_.set_executor(pool); }
+  void reserve(std::size_t expected_members) override {
+    l_tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override { l_tree_.set_wrap_cache(enabled); }
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+
+ protected:
+  void wrap_compromised(lkh::RekeyMessage& out) override;
+  void wrap_arrivals(lkh::RekeyMessage& out) override;
+
+ private:
+  engine::PolicyInfo info_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  lkh::KeyQueue queue_;
+  lkh::KeyTree l_tree_;
+  engine::GroupKeyManager dek_;
+  std::vector<workload::MemberId> epoch_arrivals_;
+};
+
+}  // namespace gk::partition

@@ -1,78 +1,35 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <vector>
 
-#include "lkh/key_queue.h"
-#include "lkh/key_tree.h"
-#include "partition/group_key.h"
+#include "engine/core_server.h"
+#include "partition/qt_policy.h"
 #include "partition/server.h"
 
 namespace gk::partition {
 
-/// QT-scheme (Section 3.2): the S-partition is a flat queue — residents
-/// hold only their individual key and the DEK — and the L-partition is a
-/// balanced key tree.
-///
-/// Joining costs a single wrap (the DEK under the newcomer's individual
-/// key). The price appears whenever a departure compromises the DEK: the
-/// replacement must be wrapped once per queue resident (Ns wraps) plus once
-/// under the L-tree root. Advantageous while the queue stays small.
-class QtServer final : public DurableRekeyServer {
+/// QT-scheme server (Section 3.2): engine::RekeyCore running a QtPolicy.
+/// See QtPolicy for the scheme's cost model.
+class QtServer final : public engine::CoreServer {
  public:
-  QtServer(unsigned degree, unsigned s_period_epochs, Rng rng);
+  QtServer(unsigned degree, unsigned s_period_epochs, Rng rng)
+      : CoreServer(std::make_unique<QtPolicy>(degree, s_period_epochs, rng)) {}
 
-  Registration join(const workload::MemberProfile& profile) override;
-  void leave(workload::MemberId member) override;
-  EpochOutput end_epoch() override;
-
-  [[nodiscard]] crypto::VersionedKey group_key() const override;
-  [[nodiscard]] crypto::KeyId group_key_id() const override;
-  [[nodiscard]] std::size_t size() const override { return records_.size(); }
-  [[nodiscard]] std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const override;
-
-  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
-  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
-  void restore_state(std::span<const std::uint8_t> bytes) override;
-  [[nodiscard]] std::vector<PathKey> member_path_keys(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::Key128 member_individual_key(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
-
-  [[nodiscard]] std::size_t s_partition_size() const noexcept { return queue_.size(); }
-  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
-  [[nodiscard]] const std::vector<Relocation>& last_relocations() const noexcept {
-    return relocations_;
+  [[nodiscard]] std::size_t s_partition_size() const noexcept {
+    return policy().s_partition_size();
   }
-
-  void set_executor(common::ThreadPool* pool) override { l_tree_.set_executor(pool); }
-  void reserve(std::size_t expected_members) override {
-    l_tree_.reserve(expected_members);
-    records_.reserve(expected_members);
+  [[nodiscard]] std::size_t l_partition_size() const noexcept {
+    return policy().l_partition_size();
   }
-  void set_wrap_cache(bool enabled) override { l_tree_.set_wrap_cache(enabled); }
+  [[nodiscard]] const std::vector<engine::Relocation>& last_relocations()
+      const noexcept {
+    return core_.last_relocations();
+  }
 
  private:
-  struct Record {
-    std::uint64_t joined_epoch = 0;
-    bool in_s = true;
-  };
-
-  unsigned s_period_epochs_;
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  lkh::KeyQueue queue_;
-  lkh::KeyTree l_tree_;
-  GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, Record> records_;
-  std::vector<workload::MemberId> epoch_arrivals_;
-  std::vector<Relocation> relocations_;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_s_leaves_ = 0;
-  std::size_t staged_l_leaves_ = 0;
+  [[nodiscard]] const QtPolicy& policy() const noexcept {
+    return static_cast<const QtPolicy&>(core_.policy());
+  }
 };
 
 }  // namespace gk::partition

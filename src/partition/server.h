@@ -1,150 +1,19 @@
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "common/rng.h"
-#include "crypto/key.h"
-#include "crypto/keywrap.h"
-#include "lkh/rekey_message.h"
-#include "workload/member.h"
-
-namespace gk::common {
-class ThreadPool;
-}
+#include "engine/server.h"
 
 namespace gk::partition {
 
-/// What a joining member receives over the registration unicast channel.
-/// Unicast traffic is NOT part of the paper's multicast-bandwidth metric,
-/// but servers report it so experiments can confirm the migration paths add
-/// none of it.
-struct Registration {
-  crypto::Key128 individual_key;
-  crypto::KeyId leaf_id{};
-};
+/// The server contracts moved to engine/ when the policy/mechanism split
+/// extracted engine::RekeyCore; these aliases keep the historical
+/// partition:: spellings working for transports, simulators, and tests.
+using Registration = engine::Registration;
+using Relocation = engine::Relocation;
+using EpochOutput = engine::EpochOutput;
+using RekeyServer = engine::RekeyServer;
+using PathKey = engine::PathKey;
+using DurableRekeyServer = engine::DurableRekeyServer;
 
-/// A member whose leaf moved to a new node id during a partition migration.
-/// Leaf placement is public structure information; the simulator forwards
-/// it to the member's key ring (the key itself never moves).
-struct Relocation {
-  workload::MemberId member{};
-  crypto::KeyId new_leaf_id{};
-};
-
-/// The outcome of committing one rekey period.
-struct EpochOutput {
-  std::uint64_t epoch = 0;
-  /// The multicast rekey payload (partition messages merged, group-key
-  /// wraps appended). message.cost() is the paper's metric.
-  lkh::RekeyMessage message;
-  /// Members moved from the S-partition to the L-partition this epoch.
-  std::size_t migrations = 0;
-  /// True departures processed in each partition this epoch (one-keytree
-  /// servers report everything as l_departures).
-  std::size_t s_departures = 0;
-  std::size_t l_departures = 0;
-  std::size_t joins = 0;
-
-  [[nodiscard]] std::size_t multicast_cost() const noexcept { return message.cost(); }
-};
-
-/// A group key server processing membership changes in periodic batches
-/// (Kronos-style). Usage per epoch: any number of join()/leave() calls,
-/// then end_epoch() which commits the batch and emits the rekey message.
-class RekeyServer {
- public:
-  virtual ~RekeyServer() = default;
-
-  /// Stage a join. The profile's class/duration fields are *oracle*
-  /// information — only the PT scheme may read them (and only the class).
-  virtual Registration join(const workload::MemberProfile& profile) = 0;
-
-  /// Stage a departure of a current member.
-  virtual void leave(workload::MemberId member) = 0;
-
-  /// Commit the epoch: process migrations, refresh compromised keys,
-  /// rotate the group key, and emit the multicast payload.
-  virtual EpochOutput end_epoch() = 0;
-
-  /// Current session data-encryption key (what members must end up with).
-  [[nodiscard]] virtual crypto::VersionedKey group_key() const = 0;
-  [[nodiscard]] virtual crypto::KeyId group_key_id() const = 0;
-
-  [[nodiscard]] virtual std::size_t size() const = 0;
-
-  /// Node ids whose keys this member should currently hold (leaf excluded,
-  /// group key included). The transport layer derives keys-of-interest
-  /// from this.
-  [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const = 0;
-
-  /// Attach a thread pool that end_epoch()'s wrap emission may fan across
-  /// (nullptr restores sequential emission). Parallel output is
-  /// byte-identical to the sequential run — see KeyTree::set_executor.
-  /// Default: ignored, for schemes with no parallel path.
-  virtual void set_executor(common::ThreadPool* /*pool*/) {}
-
-  /// Pre-size internal structures for an expected steady-state group size
-  /// (bulk provisioning, trace replay, benches). Default: no-op.
-  virtual void reserve(std::size_t /*expected_members*/) {}
-
-  /// Disable / re-enable per-node cached KEK expansions in the scheme's key
-  /// trees (benchmarks use `false` to reproduce the seed's
-  /// one-expansion-per-wrap crypto cost). Default: no-op.
-  virtual void set_wrap_cache(bool /*enabled*/) {}
-};
-
-/// One key on a member's current path, with material (server-side view).
-struct PathKey {
-  crypto::KeyId id{};
-  crypto::VersionedKey key;
-};
-
-/// A rekey server that additionally supports crash recovery and member
-/// resynchronization — the contract the write-ahead journal
-/// (JournaledServer) and the resync protocol (transport/resync.h) build on.
-///
-/// save_state() must capture *everything* the server's future behaviour
-/// depends on, RNG streams included, so that restore_state() + replaying the
-/// same membership operations regenerates byte-identical key material. It
-/// may only be called between epochs (no staged, uncommitted changes).
-class DurableRekeyServer : public RekeyServer {
- public:
-  /// The epoch the next end_epoch() will commit (journal bookkeeping).
-  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
-
-  /// Serialize complete server state (trees, DEK, RNG streams, membership
-  /// records, epoch counter). Precondition: no staged changes.
-  [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
-
-  /// Replace this server's state with a previously saved blob. The server
-  /// must have been constructed with the same structural configuration
-  /// (degree, S-period, bins); violations throw ContractViolation.
-  virtual void restore_state(std::span<const std::uint8_t> bytes) = 0;
-
-  /// The member's current leaf-to-group-key path *with key material*, leaf
-  /// end first, group key last (leaf's own key excluded). Source of the
-  /// resync catch-up bundle: a member that missed epochs re-learns exactly
-  /// these keys instead of forcing a group-wide rekey.
-  [[nodiscard]] virtual std::vector<PathKey> member_path_keys(
-      workload::MemberId member) const = 0;
-
-  /// The member's registration (individual) key and current leaf node id.
-  /// Leaf ids move on partition migration; the individual key never does.
-  [[nodiscard]] virtual crypto::Key128 member_individual_key(
-      workload::MemberId member) const = 0;
-  [[nodiscard]] virtual crypto::KeyId member_leaf_id(
-      workload::MemberId member) const = 0;
-};
-
-/// Catch-up bundle for one desynchronized member: its current path keys,
-/// each wrapped under the member's individual key, leaf end first so the
-/// receiver can process in order (any order also resolves via KeyRing's
-/// fixed-point iteration). Delivered over the resync unicast channel
-/// (transport/resync.h), so the bundle never inflates the multicast metric.
-[[nodiscard]] std::vector<crypto::WrappedKey> make_catchup_bundle(
-    const DurableRekeyServer& server, workload::MemberId member, Rng& rng);
+using engine::make_catchup_bundle;
 
 }  // namespace gk::partition

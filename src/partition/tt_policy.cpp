@@ -1,0 +1,142 @@
+#include "partition/tt_policy.h"
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "lkh/snapshot.h"
+
+namespace gk::partition {
+
+TtPolicy::TtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng)
+    : ids_(lkh::IdAllocator::create()),
+      s_tree_(degree, rng.fork(), ids_),
+      l_tree_(degree, rng.fork(), ids_),
+      dek_(rng.fork(), ids_) {
+  info_.name = "tt";
+  info_.split_partitions = s_period_epochs > 0;
+  info_.migrate_after = s_period_epochs;
+  info_.durable = true;
+}
+
+TtPolicy::Admission TtPolicy::admit(const workload::MemberProfile& profile) {
+  // K = 0 degenerates to the one-keytree scheme: everyone goes straight to
+  // the L-tree and no migrations ever happen.
+  const bool to_s = info_.migrate_after > 0;
+  const auto grant = to_s ? s_tree_.insert(profile.id) : l_tree_.insert(profile.id);
+  return {{grant.individual_key, grant.leaf_id}, to_s ? 0u : 1u};
+}
+
+void TtPolicy::evict(workload::MemberId member, std::uint32_t partition) {
+  if (partition == 0)
+    s_tree_.remove(member);
+  else
+    l_tree_.remove(member);
+}
+
+std::optional<crypto::KeyId> TtPolicy::migrate(workload::MemberId member) {
+  const auto individual = s_tree_.individual_key(member);
+  s_tree_.remove(member);
+  const auto grant = l_tree_.insert_with_key(member, individual);
+  return grant.leaf_id;
+}
+
+lkh::RekeyMessage TtPolicy::emit(std::uint64_t epoch) {
+  auto message = s_tree_.commit(epoch);
+  message.append(l_tree_.commit(epoch));
+  return message;
+}
+
+void TtPolicy::wrap_compromised(lkh::RekeyMessage& out) {
+  if (!s_tree_.empty())
+    dek_.wrap_under(s_tree_.root_key().key, s_tree_.root_id(),
+                    s_tree_.root_key().version, out);
+  if (!l_tree_.empty())
+    dek_.wrap_under(l_tree_.root_key().key, l_tree_.root_id(),
+                    l_tree_.root_key().version, out);
+}
+
+void TtPolicy::wrap_arrivals(lkh::RekeyMessage& out) {
+  // Arrivals climb their tree and take the DEK from one wrap under that
+  // tree's root (incumbents, migrants included, chain from the previous
+  // DEK).
+  const lkh::KeyTree& arrivals = info_.migrate_after > 0 ? s_tree_ : l_tree_;
+  if (!arrivals.empty())
+    dek_.wrap_under(arrivals.root_key().key, arrivals.root_id(),
+                    arrivals.root_key().version, out);
+}
+
+std::vector<crypto::KeyId> TtPolicy::member_path(workload::MemberId member,
+                                                 std::uint32_t partition) const {
+  auto path = tree_of(partition).path_ids(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+std::vector<std::uint8_t> TtPolicy::save_policy_state() const {
+  common::ByteWriter out;
+  out.u32(info_.migrate_after);
+  out.blob(lkh::snapshot_tree_exact(s_tree_));
+  out.blob(lkh::snapshot_tree_exact(l_tree_));
+  return out.take();
+}
+
+void TtPolicy::restore_policy_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  GK_ENSURE_MSG(in.u32() == info_.migrate_after,
+                "restored state has a different S-period");
+  auto restored_s = lkh::restore_tree_exact(in.blob(), ids_);
+  auto restored_l = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored_s.degree() == s_tree_.degree() &&
+                    restored_l.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  s_tree_ = std::move(restored_s);
+  l_tree_ = std::move(restored_l);
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+}
+
+engine::PlacementPolicy::LegacyState TtPolicy::restore_legacy(
+    std::span<const std::uint8_t> bytes) {
+  common::ByteReader in(bytes);
+  LegacyState legacy;
+  legacy.epoch = in.u64();
+  GK_ENSURE_MSG(in.u32() == info_.migrate_after,
+                "restored state has a different S-period");
+  legacy.id_watermark = in.u64();
+  auto restored_s = lkh::restore_tree_exact(in.blob(), ids_);
+  auto restored_l = lkh::restore_tree_exact(in.blob(), ids_);
+  GK_ENSURE_MSG(restored_s.degree() == s_tree_.degree() &&
+                    restored_l.degree() == l_tree_.degree(),
+                "restored state has a different tree degree");
+  s_tree_ = std::move(restored_s);
+  l_tree_ = std::move(restored_l);
+  dek_.restore_state(in);
+  const auto count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto raw_id = in.u64();
+    const auto joined_epoch = in.u64();
+    const std::uint32_t partition = in.u8() != 0 ? 0 : 1;
+    legacy.ledger.push_back({raw_id, joined_epoch, partition});
+  }
+  GK_ENSURE_MSG(in.exhausted(), "server state has trailing bytes");
+  return legacy;
+}
+
+std::vector<engine::PathKey> TtPolicy::member_path_keys(workload::MemberId member,
+                                                        std::uint32_t partition) const {
+  std::vector<engine::PathKey> path;
+  for (const auto& entry : tree_of(partition).path_keys(member))
+    path.push_back({entry.id, entry.key});
+  path.push_back({dek_.id(), dek_.current()});
+  return path;
+}
+
+crypto::Key128 TtPolicy::member_individual_key(workload::MemberId member,
+                                               std::uint32_t partition) const {
+  return tree_of(partition).individual_key(member);
+}
+
+crypto::KeyId TtPolicy::member_leaf_id(workload::MemberId member,
+                                       std::uint32_t partition) const {
+  return tree_of(partition).leaf_id(member);
+}
+
+}  // namespace gk::partition

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/placement_policy.h"
+#include "lkh/key_tree.h"
+
+namespace gk::partition {
+
+/// Placement policy for the TT scheme (Section 3.2): two balanced key trees
+/// — a short-term S-tree (partition 0) every member joins first, and a
+/// long-term L-tree (partition 1) members migrate to after surviving the
+/// S-period. Both sit under the session DEK.
+///
+/// Migration keeps the member's individual key: the move costs multicast
+/// wraps only (no new registration unicast) and never rotates the DEK by
+/// itself — the migrant is still an authorized member.
+///
+/// RNG fork order: S-tree, L-tree, DEK.
+class TtPolicy final : public engine::PlacementPolicy {
+ public:
+  TtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng);
+
+  [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
+    return info_;
+  }
+
+  Admission admit(const workload::MemberProfile& profile) override;
+  void evict(workload::MemberId member, std::uint32_t partition) override;
+  [[nodiscard]] std::optional<crypto::KeyId> migrate(workload::MemberId member) override;
+  [[nodiscard]] lkh::RekeyMessage emit(std::uint64_t epoch) override;
+
+  [[nodiscard]] engine::GroupKeyManager* dek() noexcept override { return &dek_; }
+
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member, std::uint32_t partition) const override;
+
+  [[nodiscard]] std::shared_ptr<lkh::IdAllocator> ids() const override { return ids_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_policy_state() const override;
+  void restore_policy_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] LegacyState restore_legacy(
+      std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::vector<engine::PathKey> member_path_keys(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member, std::uint32_t partition) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member,
+                                             std::uint32_t partition) const override;
+
+  void set_executor(common::ThreadPool* pool) override {
+    s_tree_.set_executor(pool);
+    l_tree_.set_executor(pool);
+  }
+  void reserve(std::size_t expected_members) override {
+    l_tree_.reserve(expected_members);
+  }
+  void set_wrap_cache(bool enabled) override {
+    s_tree_.set_wrap_cache(enabled);
+    l_tree_.set_wrap_cache(enabled);
+  }
+
+  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
+  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
+
+ protected:
+  void wrap_compromised(lkh::RekeyMessage& out) override;
+  void wrap_arrivals(lkh::RekeyMessage& out) override;
+
+ private:
+  [[nodiscard]] const lkh::KeyTree& tree_of(std::uint32_t partition) const noexcept {
+    return partition == 0 ? s_tree_ : l_tree_;
+  }
+
+  engine::PolicyInfo info_;
+  std::shared_ptr<lkh::IdAllocator> ids_;
+  lkh::KeyTree s_tree_;
+  lkh::KeyTree l_tree_;
+  engine::GroupKeyManager dek_;
+};
+
+}  // namespace gk::partition

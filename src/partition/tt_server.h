@@ -1,85 +1,35 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
-#include "lkh/key_tree.h"
-#include "partition/group_key.h"
+#include "engine/core_server.h"
 #include "partition/server.h"
+#include "partition/tt_policy.h"
 
 namespace gk::partition {
 
-/// TT-scheme (Section 3.2): two balanced key trees — a short-term S-tree
-/// every member joins first, and a long-term L-tree members migrate to
-/// after surviving `s_period_epochs` rekey periods. Both sit under the
-/// session DEK managed by GroupKeyManager.
-///
-/// Migrations are batched into the periodic commit: the member is removed
-/// from the S-tree and re-inserted into the L-tree *with the same
-/// individual key*, so the move costs multicast wraps only (no new
-/// registration unicast) and never rotates the DEK by itself — the migrant
-/// is still an authorized member.
-class TtServer final : public DurableRekeyServer {
+/// TT-scheme server (Section 3.2): engine::RekeyCore running a TtPolicy.
+/// See TtPolicy for the scheme's migration discipline.
+class TtServer final : public engine::CoreServer {
  public:
-  TtServer(unsigned degree, unsigned s_period_epochs, Rng rng);
+  TtServer(unsigned degree, unsigned s_period_epochs, Rng rng)
+      : CoreServer(std::make_unique<TtPolicy>(degree, s_period_epochs, rng)) {}
 
-  Registration join(const workload::MemberProfile& profile) override;
-  void leave(workload::MemberId member) override;
-  EpochOutput end_epoch() override;
-
-  [[nodiscard]] crypto::VersionedKey group_key() const override;
-  [[nodiscard]] crypto::KeyId group_key_id() const override;
-  [[nodiscard]] std::size_t size() const override { return records_.size(); }
-  [[nodiscard]] std::vector<crypto::KeyId> member_path(
-      workload::MemberId member) const override;
-
-  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
-  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
-  void restore_state(std::span<const std::uint8_t> bytes) override;
-  [[nodiscard]] std::vector<PathKey> member_path_keys(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::Key128 member_individual_key(
-      workload::MemberId member) const override;
-  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
-
-  [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
-  [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
-
-  /// New leaf ids assigned by migrations in the last end_epoch().
-  [[nodiscard]] const std::vector<Relocation>& last_relocations() const noexcept {
-    return relocations_;
+  [[nodiscard]] std::size_t s_partition_size() const noexcept {
+    return policy().s_partition_size();
   }
-
-  void set_executor(common::ThreadPool* pool) override {
-    s_tree_.set_executor(pool);
-    l_tree_.set_executor(pool);
+  [[nodiscard]] std::size_t l_partition_size() const noexcept {
+    return policy().l_partition_size();
   }
-  void reserve(std::size_t expected_members) override {
-    l_tree_.reserve(expected_members);
-    records_.reserve(expected_members);
-  }
-  void set_wrap_cache(bool enabled) override {
-    s_tree_.set_wrap_cache(enabled);
-    l_tree_.set_wrap_cache(enabled);
+  [[nodiscard]] const std::vector<engine::Relocation>& last_relocations()
+      const noexcept {
+    return core_.last_relocations();
   }
 
  private:
-  struct Record {
-    std::uint64_t joined_epoch = 0;
-    bool in_s = true;
-  };
-
-  unsigned s_period_epochs_;
-  std::shared_ptr<lkh::IdAllocator> ids_;
-  lkh::KeyTree s_tree_;
-  lkh::KeyTree l_tree_;
-  GroupKeyManager dek_;
-  std::unordered_map<std::uint64_t, Record> records_;
-  std::vector<Relocation> relocations_;
-  std::uint64_t epoch_ = 0;
-  std::size_t staged_joins_ = 0;
-  std::size_t staged_s_leaves_ = 0;
-  std::size_t staged_l_leaves_ = 0;
+  [[nodiscard]] const TtPolicy& policy() const noexcept {
+    return static_cast<const TtPolicy&>(core_.policy());
+  }
 };
 
 }  // namespace gk::partition

@@ -5,10 +5,9 @@
 #include <unordered_map>
 
 #include "common/ensure.h"
+#include "engine/core_server.h"
 #include "lkh/key_ring.h"
 #include "partition/factory.h"
-#include "partition/qt_server.h"
-#include "partition/tt_server.h"
 #include "workload/membership.h"
 #include "workload/trace.h"
 
@@ -17,10 +16,8 @@ namespace gk::sim {
 namespace {
 
 const std::vector<partition::Relocation>* relocations_of(partition::RekeyServer& server) {
-  if (auto* tt = dynamic_cast<partition::TtServer*>(&server))
-    return &tt->last_relocations();
-  if (auto* qt = dynamic_cast<partition::QtServer*>(&server))
-    return &qt->last_relocations();
+  if (auto* core = dynamic_cast<engine::CoreServer*>(&server))
+    return &core->core().last_relocations();
   return nullptr;
 }
 

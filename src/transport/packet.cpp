@@ -1,65 +1,29 @@
 #include "transport/packet.h"
 
-#include <cstring>
-
+#include "common/bytes.h"
 #include "common/ensure.h"
+#include "wire/codec.h"
+#include "wire/wrap_codec.h"
 
 namespace gk::transport {
 
-namespace {
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-void serialize_wrap(std::vector<std::uint8_t>& out, const crypto::WrappedKey& wrap) {
-  put_u64(out, crypto::raw(wrap.target_id));
-  put_u64(out, (std::uint64_t{wrap.target_version} << 32) | wrap.wrapping_version);
-  put_u64(out, crypto::raw(wrap.wrapping_id));
-  out.insert(out.end(), wrap.nonce.begin(), wrap.nonce.end());
-  out.insert(out.end(), wrap.ciphertext.begin(), wrap.ciphertext.end());
-  out.insert(out.end(), wrap.tag.begin(), wrap.tag.end());
-}
-
-crypto::WrappedKey deserialize_wrap(const std::uint8_t* p) {
-  crypto::WrappedKey wrap;
-  wrap.target_id = crypto::make_key_id(get_u64(p));
-  const std::uint64_t versions = get_u64(p + 8);
-  wrap.target_version = static_cast<std::uint32_t>(versions >> 32);
-  wrap.wrapping_version = static_cast<std::uint32_t>(versions);
-  wrap.wrapping_id = crypto::make_key_id(get_u64(p + 16));
-  std::memcpy(wrap.nonce.data(), p + 24, wrap.nonce.size());
-  std::memcpy(wrap.ciphertext.data(), p + 36, wrap.ciphertext.size());
-  std::memcpy(wrap.tag.data(), p + 52, wrap.tag.size());
-  return wrap;
-}
-
-}  // namespace
-
 std::vector<std::uint8_t> serialize_packet(const Packet& packet,
                                            std::span<const crypto::WrappedKey> payload) {
-  std::vector<std::uint8_t> out;
-  out.reserve(packet.key_indices.size() * crypto::WrappedKey::kWireSize);
+  common::ByteWriter out;
   for (const auto index : packet.key_indices) {
     GK_ENSURE(index < payload.size());
-    serialize_wrap(out, payload[index]);
+    wire::encode_wrap(out, payload[index]);
   }
-  return out;
+  return out.take();
 }
 
 std::vector<crypto::WrappedKey> deserialize_wraps(std::span<const std::uint8_t> bytes,
                                                   std::size_t count) {
   GK_ENSURE(bytes.size() >= count * crypto::WrappedKey::kWireSize);
+  wire::Reader in(bytes);
   std::vector<crypto::WrappedKey> wraps;
   wraps.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
-    wraps.push_back(deserialize_wrap(bytes.data() + i * crypto::WrappedKey::kWireSize));
+  for (std::size_t i = 0; i < count; ++i) wraps.push_back(wire::decode_wrap(in));
   return wraps;
 }
 

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "wire/error.h"
+
+namespace gk::wire {
+
+/// Bounds-checked little-endian reader for *untrusted* wire payloads.
+///
+/// The twin of common::ByteReader with one deliberate difference: overruns
+/// throw wire::WireError (kTruncated) instead of ContractViolation, because
+/// running out of bytes while decoding a snapshot or rekey record is an
+/// expected property of hostile/corrupt input, not a broken invariant.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[offset_++];
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[offset_++]} << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t count) {
+    require(count);
+    auto view = bytes_.subspan(offset_, count);
+    offset_ += count;
+    return view;
+  }
+
+  /// Length-prefixed blob written by common::ByteWriter::blob.
+  std::span<const std::uint8_t> blob() {
+    const auto length = u64();
+    if (length > remaining())
+      throw WireError(WireFault::kTruncated, "wire blob length exceeds payload");
+    return bytes(static_cast<std::size_t>(length));
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
+
+  /// Decoders call this after the last field: trailing garbage is a framing
+  /// violation, not free real estate.
+  void expect_exhausted(const char* what) const {
+    if (!exhausted()) {
+      std::ostringstream os;
+      os << what << ": " << remaining() << " trailing byte(s)";
+      throw WireError(WireFault::kMalformed, os.str());
+    }
+  }
+
+ private:
+  void require(std::size_t count) const {
+    if (offset_ + count > bytes_.size())
+      throw WireError(WireFault::kTruncated, "wire payload truncated");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace gk::wire

@@ -1,0 +1,16 @@
+#include "wire/error.h"
+
+namespace gk::wire {
+
+const char* to_string(WireFault fault) noexcept {
+  switch (fault) {
+    case WireFault::kTruncated: return "truncated";
+    case WireFault::kBadMagic: return "bad-magic";
+    case WireFault::kBadVersion: return "bad-version";
+    case WireFault::kMalformed: return "malformed";
+    case WireFault::kSchemeMismatch: return "scheme-mismatch";
+  }
+  return "unknown";
+}
+
+}  // namespace gk::wire

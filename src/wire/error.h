@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gk::wire {
+
+/// Why a wire payload was rejected.
+enum class WireFault : std::uint8_t {
+  kTruncated,     ///< bytes ran out before the declared structure ended
+  kBadMagic,      ///< payload does not start with the format's magic tag
+  kBadVersion,    ///< version byte is newer than this build understands
+  kMalformed,     ///< framing is self-inconsistent (lengths, tags, counts)
+  kSchemeMismatch ///< snapshot was produced by a different placement policy
+};
+
+[[nodiscard]] const char* to_string(WireFault fault) noexcept;
+
+/// Typed rejection of an untrusted wire payload (snapshot, rekey record,
+/// journal). Unlike ContractViolation — which flags *programming* errors —
+/// WireError is the expected outcome of feeding corrupted, truncated, or
+/// future-versioned bytes to a decoder, so callers can catch it and degrade
+/// gracefully (discard the snapshot, request a resync) instead of treating
+/// the condition as a broken invariant.
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireFault fault, const std::string& what)
+      : std::runtime_error(what), fault_(fault) {}
+
+  [[nodiscard]] WireFault fault() const noexcept { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+}  // namespace gk::wire

@@ -1,8 +1,8 @@
-#include "lkh/journal.h"
+#include "wire/journal.h"
 
 #include "common/ensure.h"
 
-namespace gk::lkh {
+namespace gk::wire {
 
 namespace {
 
@@ -139,4 +139,4 @@ RekeyJournal::Replay RekeyJournal::parse(std::span<const std::uint8_t> bytes) {
   return replay;
 }
 
-}  // namespace gk::lkh
+}  // namespace gk::wire

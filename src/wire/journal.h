@@ -8,7 +8,7 @@
 #include "crypto/key.h"
 #include "workload/member.h"
 
-namespace gk::lkh {
+namespace gk::wire {
 
 /// Write-ahead rekey journal: the durability layer between a key server's
 /// in-memory state and its persistence medium.
@@ -38,6 +38,12 @@ namespace gk::lkh {
 /// granted; replay re-derives it and verifies the match, turning silent
 /// divergence (a corrupted checkpoint, a non-deterministic server) into a
 /// loud ContractViolation.
+///
+/// Unlike the untrusted-payload decoders (wire::Snapshot, wire::RekeyRecord),
+/// the journal is a *local* trusted medium: structural corruption in the
+/// complete prefix means the host's own storage lied, so parse() keeps the
+/// fail-loud ContractViolation semantics. Only a torn final write — the one
+/// corruption a crash legitimately produces — is tolerated.
 class RekeyJournal {
  public:
   RekeyJournal();
@@ -90,4 +96,4 @@ class RekeyJournal {
   common::ByteWriter buffer_;
 };
 
-}  // namespace gk::lkh
+}  // namespace gk::wire

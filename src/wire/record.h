@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lkh/rekey_message.h"
+
+namespace gk::wire {
+
+/// Versioned wire frame for one epoch's rekey payload:
+///
+///   'G' 'K' 'R' '1' | u8 version | u64 epoch
+///   u64 group_key_id | u32 group_key_version
+///   u32 wrap_count | wrap_count * 68B wraps (see wire/wrap_codec.h)
+///
+/// This is the one serialization of lkh::RekeyMessage; transports, sims,
+/// and snapshots that need a rekey payload on the wire all use it.
+/// `decode` rejects bad magic, unknown versions, and truncated or
+/// overlong payloads with a typed WireError — never an ENSURE abort.
+struct RekeyRecord {
+  static constexpr std::uint8_t kVersion = 1;
+
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const lkh::RekeyMessage& message);
+  [[nodiscard]] static lkh::RekeyMessage decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace gk::wire

@@ -1,0 +1,87 @@
+#include "wire/snapshot.h"
+
+#include "common/bytes.h"
+#include "wire/codec.h"
+
+namespace gk::wire {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'K', 'S', '1'};
+
+}  // namespace
+
+std::vector<std::uint8_t> Snapshot::encode() const {
+  common::ByteWriter out;
+  for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u8(kVersion);
+  out.u8(static_cast<std::uint8_t>(scheme.size()));
+  for (const char c : scheme) out.u8(static_cast<std::uint8_t>(c));
+  out.u64(epoch);
+  out.u64(id_watermark);
+  out.u8(dek_state.has_value() ? 1 : 0);
+  if (dek_state.has_value()) out.blob(*dek_state);
+  out.u64(ledger.size());
+  for (const auto& entry : ledger) {
+    out.u64(entry.member);
+    out.u64(entry.joined_epoch);
+    out.u32(entry.partition);
+  }
+  out.blob(policy_state);
+  return out.take();
+}
+
+Snapshot Snapshot::decode(std::span<const std::uint8_t> bytes) {
+  Reader in(bytes);
+  if (in.remaining() < 4) throw WireError(WireFault::kTruncated, "snapshot: no magic");
+  for (const char c : kMagic)
+    if (in.u8() != static_cast<std::uint8_t>(c))
+      throw WireError(WireFault::kBadMagic, "not a versioned snapshot");
+  const auto version = in.u8();
+  if (version != kVersion)
+    throw WireError(WireFault::kBadVersion,
+                    "snapshot version " + std::to_string(version) + " unsupported");
+
+  Snapshot snapshot;
+  const auto name_length = in.u8();
+  for (std::uint8_t i = 0; i < name_length; ++i)
+    snapshot.scheme.push_back(static_cast<char>(in.u8()));
+  snapshot.epoch = in.u64();
+  snapshot.id_watermark = in.u64();
+  const auto dek_present = in.u8();
+  if (dek_present > 1)
+    throw WireError(WireFault::kMalformed, "snapshot: bad dek-present flag");
+  if (dek_present == 1) {
+    const auto view = in.blob();
+    snapshot.dek_state.emplace(view.begin(), view.end());
+  }
+  const auto ledger_count = in.u64();
+  // Each entry is 20 bytes; bound the reserve by what the payload can hold.
+  if (ledger_count * 20 > in.remaining())
+    throw WireError(WireFault::kTruncated, "snapshot: ledger truncated");
+  snapshot.ledger.reserve(static_cast<std::size_t>(ledger_count));
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < ledger_count; ++i) {
+    LedgerEntry entry;
+    entry.member = in.u64();
+    entry.joined_epoch = in.u64();
+    entry.partition = in.u32();
+    if (i > 0 && entry.member <= previous)
+      throw WireError(WireFault::kMalformed, "snapshot: ledger not sorted");
+    previous = entry.member;
+    snapshot.ledger.push_back(entry);
+  }
+  const auto policy = in.blob();
+  snapshot.policy_state.assign(policy.begin(), policy.end());
+  in.expect_exhausted("snapshot");
+  return snapshot;
+}
+
+bool Snapshot::is_versioned(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  for (std::size_t i = 0; i < 4; ++i)
+    if (bytes[i] != static_cast<std::uint8_t>(kMagic[i])) return false;
+  return true;
+}
+
+}  // namespace gk::wire

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gk::wire {
+
+/// Versioned server-state snapshot: the one frame every scheme's
+/// `save_state`/`restore_state` goes through.
+///
+///   'G' 'K' 'S' '1' | u8 version (= 1)
+///   u8 scheme_len | scheme name bytes
+///   u64 epoch | u64 id_watermark
+///   u8 dek_present | [blob dek_state]        (absent for schemes whose
+///                                             tree root IS the group key)
+///   u64 ledger_count | count * (u64 member, u64 joined_epoch, u32 partition)
+///   blob policy_state                        (opaque to this layer: trees,
+///                                             queues, RNG streams, config)
+///
+/// The engine owns the common fields; the placement policy owns only the
+/// `policy_state` blob. `decode` rejects bad magic, unknown versions, and
+/// truncated/corrupted payloads with a typed WireError — never an ENSURE
+/// abort — so a caller can discard a bad snapshot and fall back to resync.
+///
+/// Pre-refactor (version-0) snapshots carry no magic; `is_versioned`
+/// distinguishes them so restore paths can route legacy bytes to the
+/// per-scheme compatibility decoder.
+struct Snapshot {
+  static constexpr std::uint8_t kVersion = 1;
+
+  struct LedgerEntry {
+    std::uint64_t member = 0;
+    std::uint64_t joined_epoch = 0;
+    std::uint32_t partition = 0;
+  };
+
+  std::string scheme;
+  std::uint64_t epoch = 0;
+  std::uint64_t id_watermark = 0;
+  std::optional<std::vector<std::uint8_t>> dek_state;
+  std::vector<LedgerEntry> ledger;  ///< sorted ascending by member id
+  std::vector<std::uint8_t> policy_state;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Snapshot decode(std::span<const std::uint8_t> bytes);
+
+  /// True when `bytes` starts with the versioned-snapshot magic; false
+  /// means a pre-refactor (version-0) per-scheme layout.
+  [[nodiscard]] static bool is_versioned(std::span<const std::uint8_t> bytes) noexcept;
+};
+
+}  // namespace gk::wire

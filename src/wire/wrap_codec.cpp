@@ -1,0 +1,32 @@
+#include "wire/wrap_codec.h"
+
+#include <cstring>
+
+namespace gk::wire {
+
+void encode_wrap(common::ByteWriter& out, const crypto::WrappedKey& wrap) {
+  out.u64(crypto::raw(wrap.target_id));
+  out.u64((std::uint64_t{wrap.target_version} << 32) | wrap.wrapping_version);
+  out.u64(crypto::raw(wrap.wrapping_id));
+  out.bytes(wrap.nonce);
+  out.bytes(wrap.ciphertext);
+  out.bytes(wrap.tag);
+}
+
+crypto::WrappedKey decode_wrap(Reader& in) {
+  crypto::WrappedKey wrap;
+  wrap.target_id = crypto::make_key_id(in.u64());
+  const std::uint64_t versions = in.u64();
+  wrap.target_version = static_cast<std::uint32_t>(versions >> 32);
+  wrap.wrapping_version = static_cast<std::uint32_t>(versions);
+  wrap.wrapping_id = crypto::make_key_id(in.u64());
+  const auto nonce = in.bytes(wrap.nonce.size());
+  const auto ciphertext = in.bytes(wrap.ciphertext.size());
+  const auto tag = in.bytes(wrap.tag.size());
+  std::memcpy(wrap.nonce.data(), nonce.data(), nonce.size());
+  std::memcpy(wrap.ciphertext.data(), ciphertext.data(), ciphertext.size());
+  std::memcpy(wrap.tag.data(), tag.data(), tag.size());
+  return wrap;
+}
+
+}  // namespace gk::wire

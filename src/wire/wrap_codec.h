@@ -1,0 +1,24 @@
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/keywrap.h"
+#include "wire/codec.h"
+
+namespace gk::wire {
+
+/// Canonical wire layout of one wrapped key — 68 bytes, little-endian:
+///
+///   u64 target_id
+///   u64 (target_version << 32) | wrapping_version
+///   u64 wrapping_id
+///   12B nonce | 16B ciphertext | 16B tag
+///
+/// Every byte format that carries wraps (rekey records, FEC shards,
+/// snapshots) goes through these two functions, so the layout is defined
+/// exactly once.
+void encode_wrap(common::ByteWriter& out, const crypto::WrappedKey& wrap);
+
+/// Decode one wrap; throws WireError (kTruncated) when bytes run out.
+[[nodiscard]] crypto::WrappedKey decode_wrap(Reader& in);
+
+}  // namespace gk::wire

@@ -1,0 +1,137 @@
+// Cross-checks for the BatchPolicy smoke scheme (DESIGN.md §9's "how to
+// add a policy" walkthrough): identical workloads must cost the same as
+// OneTreePolicy whenever batching cannot help (join-only and leave-only
+// epochs), and mixed churn must stay structurally consistent even though
+// deferred deletions forfeit same-epoch slot reuse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/factory.h"
+
+namespace gk::partition {
+namespace {
+
+using workload::make_member_id;
+
+workload::MemberProfile profile_of(std::uint64_t id) {
+  workload::MemberProfile p;
+  p.id = make_member_id(id);
+  return p;
+}
+
+std::unique_ptr<engine::CoreServer> server_of(const char* scheme, unsigned degree,
+                                              std::uint64_t seed) {
+  SchemeConfig config;
+  config.degree = degree;
+  return make_server(scheme, config, Rng(seed));
+}
+
+TEST(BatchPolicy, IsRegisteredAndNotDurable) {
+  const auto names = registered_policies();
+  ASSERT_NE(std::find(names.begin(), names.end(), "batch"), names.end());
+  auto server = server_of("batch", 3, 1);
+  EXPECT_EQ(server->core().policy().info().name, "batch");
+  EXPECT_FALSE(server->core().policy().info().durable);
+  EXPECT_FALSE(server->core().policy().info().split_partitions);
+}
+
+TEST(BatchPolicy, JoinOnlyEpochsMatchOneTreeExactly) {
+  // Same degree, same seed: greedy shallowest-vacancy insertion is the
+  // same rule in both policies, so join-only epochs are byte-for-byte
+  // equivalent — group keys included.
+  for (const unsigned degree : {2u, 3u, 4u}) {
+    auto batch = server_of("batch", degree, 0xb47c4);
+    auto one = server_of("one-tree", degree, 0xb47c4);
+    std::uint64_t next = 0;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      for (int j = 0; j < 7; ++j, ++next) {
+        (void)batch->join(profile_of(next));
+        (void)one->join(profile_of(next));
+      }
+      const auto out_batch = batch->end_epoch();
+      const auto out_one = one->end_epoch();
+      EXPECT_EQ(out_batch.message.cost(), out_one.message.cost())
+          << "degree " << degree << " epoch " << epoch;
+      EXPECT_EQ(batch->size(), one->size());
+      EXPECT_EQ(batch->group_key().key, one->group_key().key)
+          << "degree " << degree << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(BatchPolicy, LeaveOnlyEpochsMatchOneTreeCosts) {
+  // Deletion order inside one epoch differs (swap-pop drains the pending
+  // list back-to-front), but the dirty path set — and therefore the
+  // commit cost — is order-independent.
+  auto batch = server_of("batch", 3, 0xdead);
+  auto one = server_of("one-tree", 3, 0xdead);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    (void)batch->join(profile_of(i));
+    (void)one->join(profile_of(i));
+  }
+  (void)batch->end_epoch();
+  (void)one->end_epoch();
+
+  Rng victims(77);
+  std::vector<std::uint64_t> present(48);
+  for (std::uint64_t i = 0; i < 48; ++i) present[i] = i;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (int l = 0; l < 3; ++l) {
+      const auto idx = victims.uniform_u64(present.size());
+      batch->leave(make_member_id(present[idx]));
+      one->leave(make_member_id(present[idx]));
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    const auto out_batch = batch->end_epoch();
+    const auto out_one = one->end_epoch();
+    EXPECT_EQ(out_batch.message.cost(), out_one.message.cost()) << "epoch " << epoch;
+    EXPECT_EQ(batch->size(), one->size());
+  }
+}
+
+TEST(BatchPolicy, MixedChurnStaysConsistent) {
+  // Mixed epochs may cost more than OneTree (a join staged after a leave
+  // cannot reuse the slot until next epoch), but sizes must track exactly
+  // and every member's path must end at the group key.
+  auto batch = server_of("batch", 3, 0x9999);
+  auto one = server_of("one-tree", 3, 0x9999);
+  Rng churn(31);
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 0;
+  std::uint64_t batch_total = 0;
+  std::uint64_t one_total = 0;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const auto joins = 2 + churn.uniform_u64(4);
+    for (std::uint64_t j = 0; j < joins; ++j, ++next) {
+      (void)batch->join(profile_of(next));
+      (void)one->join(profile_of(next));
+      present.push_back(next);
+    }
+    const auto leaves = churn.uniform_u64(std::min<std::uint64_t>(present.size(), 3));
+    for (std::uint64_t l = 0; l < leaves; ++l) {
+      const auto idx = churn.uniform_u64(present.size());
+      batch->leave(make_member_id(present[idx]));
+      one->leave(make_member_id(present[idx]));
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    batch_total += batch->end_epoch().message.cost();
+    one_total += one->end_epoch().message.cost();
+    ASSERT_EQ(batch->size(), one->size());
+    ASSERT_EQ(batch->size(), present.size());
+  }
+  for (const auto id : present) {
+    const auto path = batch->member_path(make_member_id(id));
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), batch->group_key_id());
+  }
+  // Batching within the same total workload stays in the same cost regime.
+  EXPECT_LE(batch_total, one_total * 3 + 16);
+  EXPECT_GT(batch_total, 0u);
+}
+
+}  // namespace
+}  // namespace gk::partition

@@ -8,12 +8,12 @@
 #include "common/rng.h"
 #include "faultsim/fault_schedule.h"
 #include "faultsim/harness.h"
-#include "lkh/journal.h"
 #include "netsim/receiver.h"
 #include "partition/journaled_server.h"
 #include "partition/one_keytree_server.h"
 #include "partition/server.h"
 #include "transport/resync.h"
+#include "wire/journal.h"
 
 namespace gk::faultsim {
 namespace {
@@ -118,7 +118,7 @@ TEST(FaultSchedule, ApproximatesConfiguredRate) {
 // ----------------------------------------------------------------- journal
 
 TEST(Journal, RoundTripPreservesOpsInOrder) {
-  lkh::RekeyJournal journal;
+  wire::RekeyJournal journal;
   const std::vector<std::uint8_t> base{1, 2, 3, 4};
   journal.checkpoint(base);
   journal.record_join(profile_of(10));
@@ -127,26 +127,26 @@ TEST(Journal, RoundTripPreservesOpsInOrder) {
   journal.record_commit_begin(5);
   journal.record_commit_end(5);
 
-  const auto replay = lkh::RekeyJournal::parse(journal.bytes());
+  const auto replay = wire::RekeyJournal::parse(journal.bytes());
   EXPECT_EQ(replay.base_state, base);
   ASSERT_EQ(replay.ops.size(), 3u);
-  EXPECT_EQ(replay.ops[0].kind, lkh::RekeyJournal::Op::Kind::kJoin);
+  EXPECT_EQ(replay.ops[0].kind, wire::RekeyJournal::Op::Kind::kJoin);
   EXPECT_EQ(workload::raw(replay.ops[0].profile.id), 10u);
   ASSERT_TRUE(replay.ops[0].granted_leaf.has_value());
   EXPECT_EQ(crypto::raw(*replay.ops[0].granted_leaf), 77u);
-  EXPECT_EQ(replay.ops[1].kind, lkh::RekeyJournal::Op::Kind::kLeave);
+  EXPECT_EQ(replay.ops[1].kind, wire::RekeyJournal::Op::Kind::kLeave);
   EXPECT_EQ(workload::raw(replay.ops[1].member), 4u);
-  EXPECT_EQ(replay.ops[2].kind, lkh::RekeyJournal::Op::Kind::kCommit);
+  EXPECT_EQ(replay.ops[2].kind, wire::RekeyJournal::Op::Kind::kCommit);
   EXPECT_TRUE(replay.ops[2].commit_finished);
   EXPECT_FALSE(replay.interrupted_commit);
 }
 
 TEST(Journal, UnmatchedCommitBeginMarksInterruption) {
-  lkh::RekeyJournal journal;
+  wire::RekeyJournal journal;
   journal.checkpoint(std::vector<std::uint8_t>{9});
   journal.record_commit_begin(3);
 
-  const auto replay = lkh::RekeyJournal::parse(journal.bytes());
+  const auto replay = wire::RekeyJournal::parse(journal.bytes());
   EXPECT_TRUE(replay.interrupted_commit);
   EXPECT_EQ(replay.interrupted_epoch, 3u);
   ASSERT_EQ(replay.ops.size(), 1u);
@@ -154,7 +154,7 @@ TEST(Journal, UnmatchedCommitBeginMarksInterruption) {
 }
 
 TEST(Journal, TornFinalRecordIsDiscardedNotFatal) {
-  lkh::RekeyJournal journal;
+  wire::RekeyJournal journal;
   journal.checkpoint(std::vector<std::uint8_t>{9});
   journal.record_leave(workload::make_member_id(1));
   journal.record_join(profile_of(2));
@@ -162,25 +162,25 @@ TEST(Journal, TornFinalRecordIsDiscardedNotFatal) {
 
   // Chop bytes off the tail: every prefix must parse to some prefix of the
   // ops (a torn final record is dropped, completed records survive).
-  const auto baseline = lkh::RekeyJournal::parse(full).ops.size();
+  const auto baseline = wire::RekeyJournal::parse(full).ops.size();
   ASSERT_EQ(baseline, 2u);
   for (std::size_t cut = 1; cut < 30 && cut < full.size(); ++cut) {
     const std::span<const std::uint8_t> torn(full.data(), full.size() - cut);
-    const auto replay = lkh::RekeyJournal::parse(torn);
+    const auto replay = wire::RekeyJournal::parse(torn);
     EXPECT_LE(replay.ops.size(), baseline);
   }
 }
 
 TEST(Journal, StructuralCorruptionThrows) {
-  lkh::RekeyJournal journal;
+  wire::RekeyJournal journal;
   journal.checkpoint(std::vector<std::uint8_t>{9});
   journal.record_leave(workload::make_member_id(1));
   auto bytes = journal.bytes();
   bytes[bytes.size() - 9] = 'Z';  // clobber the record tag
-  EXPECT_THROW((void)lkh::RekeyJournal::parse(bytes), ContractViolation);
+  EXPECT_THROW((void)wire::RekeyJournal::parse(bytes), ContractViolation);
 
   std::vector<std::uint8_t> not_a_journal{'n', 'o', 'p', 'e'};
-  EXPECT_THROW((void)lkh::RekeyJournal::parse(not_a_journal), ContractViolation);
+  EXPECT_THROW((void)wire::RekeyJournal::parse(not_a_journal), ContractViolation);
 }
 
 // ---------------------------------------------------------- durable servers

@@ -64,12 +64,9 @@ class Harness {
 
  private:
   void apply_relocations() {
-    const std::vector<Relocation>* relocations = nullptr;
-    if (auto* tt = dynamic_cast<TtServer*>(server_.get()))
-      relocations = &tt->last_relocations();
-    else if (auto* qt = dynamic_cast<QtServer*>(server_.get()))
-      relocations = &qt->last_relocations();
-    if (relocations == nullptr) return;
+    auto* core = dynamic_cast<engine::CoreServer*>(server_.get());
+    if (core == nullptr) return;
+    const std::vector<Relocation>* relocations = &core->core().last_relocations();
     for (const auto& move : *relocations) {
       const auto id = workload::raw(move.member);
       const auto it = rings_.find(id);

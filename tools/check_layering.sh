@@ -1,0 +1,34 @@
+#!/bin/sh
+# Layering gate for the policy/mechanism split (DESIGN.md §9):
+#
+#   policies (partition/, losshomo/) -> engine -> wire -> lkh/crypto/common
+#
+# The mechanism layer must stay scheme-agnostic and the wire layer must
+# stay mechanism-agnostic, so two edges are forbidden by construction:
+#   * src/engine must not include any scheme layer (partition/, losshomo/,
+#     oft/, elk/) or app layer (sim/, netsim/, faultsim/, transport/);
+#   * src/wire must not include src/engine (nor anything above it).
+# CI runs this from the lint job; it is also a ctest (`layering_check`).
+set -u
+root="${1:-.}"
+fail=0
+
+check() {
+  dir="$1"; forbidden="$2"; rule="$3"
+  hits=$(grep -rnE "#include \"($forbidden)/" "$root/$dir" 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "layering violation: $rule"
+    echo "$hits"
+    fail=1
+  fi
+}
+
+check src/engine 'partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka' \
+  "src/engine must not include scheme or app layers"
+check src/wire 'engine|partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka' \
+  "src/wire must not include the engine or anything above it"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "layering: clean"
