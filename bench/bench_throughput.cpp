@@ -4,15 +4,23 @@
 // per-node KEK-expansion cache (reproducing the seed's
 // one-expansion-per-wrap cost on the sequential path).
 //
+// Three modes per configuration:
+//   seed-crypto  no KEK cache, scalar kernels, 1 thread (the seed's cost)
+//   engine       KEK cache + parallel emission, kernels pinned to scalar
+//   simd         same, kernels at the native dispatch level (GK_CPU caps it)
+// Pinning "engine" to scalar isolates the vector-kernel gain: simd/engine
+// at equal thread count is the kernel speedup alone.
+//
 // Unlike the figure benches (paper bandwidth metrics), this measures the
 // *server CPU* hot path the arena rebuild targets. Results are printed as
 // a table and *appended* as one run record to machine-readable JSON
 // (BENCH_throughput.json) so successive commits accumulate a perf
-// trajectory; every row carries the scheme name, git SHA, and thread
-// count.
+// trajectory; every row carries the scheme name, git SHA, thread count,
+// and crypto dispatch level.
 //
 // Usage:
-//   bench_throughput [--smoke] [--json PATH] [--epochs E]
+//   bench_throughput [--smoke] [--json PATH] [--epochs E] [--warmup W]
+//                    [--sizes N,N,...] [--threads T,T,...]
 //
 //   --smoke   CI mode: one small group size, two thread counts, few epochs.
 
@@ -33,9 +41,9 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "crypto/simd/cpu.h"
 #include "engine/core_server.h"
 #include "partition/factory.h"
-#include "partition/one_tree_policy.h"
 #include "partition/server.h"
 #include "workload/member.h"
 
@@ -48,13 +56,17 @@ struct Config {
   bool smoke = false;
   std::string json_path = "BENCH_throughput.json";
   std::size_t epochs = 0;  // 0 = per-mode default
+  std::size_t warmup = 2;  // untimed epochs before each measured mode
+  std::vector<std::size_t> sizes;    // empty = per-mode default
+  std::vector<unsigned> threads;     // empty = per-mode default
 };
 
 struct Row {
   std::string scheme;
   std::string git_sha;
   std::size_t members = 0;
-  std::string mode;  // "seed-crypto" or "engine"
+  std::string mode;  // "seed-crypto", "engine", or "simd"
+  std::string cpu;   // crypto dispatch level the mode ran at
   unsigned threads = 1;
   std::size_t epochs = 0;
   std::size_t batch = 0;
@@ -123,10 +135,12 @@ class ChurnDriver {
     return {wraps, seconds};
   }
 
-  /// One untimed epoch, for cache warm-up after a mode switch.
-  void warm_epoch(std::size_t batch) {
+  /// Untimed epochs, for cache/branch-predictor warm-up after a mode
+  /// switch. More than one matters at smoke sizes, where a single epoch is
+  /// too short to settle the thread pool and the freshly-switched kernels.
+  void warm_epochs(std::size_t count, std::size_t batch) {
     std::vector<double> sink;
-    (void)run(1, batch, sink);
+    if (count > 0) (void)run(count, batch, sink);
   }
 
  private:
@@ -148,10 +162,10 @@ class ChurnDriver {
 
 void fill_tree_shape(const partition::RekeyServer& server, Row& row) {
   const auto* core = dynamic_cast<const engine::CoreServer*>(&server);
-  if (core == nullptr || core->core().policy().info().name != "one-tree") return;
-  const auto& policy =
-      static_cast<const partition::OneTreePolicy&>(core->core().policy());
-  const auto stats = policy.tree().stats();
+  if (core == nullptr) return;
+  // Merged across every partition / loss bin, so qt/tt/pt rows report the
+  // real substrate shape instead of a hardcoded zero.
+  const auto stats = core->core().policy().tree_stats();
   row.tree_height = stats.height;
   row.mean_leaf_depth = stats.mean_leaf_depth;
 }
@@ -168,20 +182,24 @@ std::string git_sha() {
   return sha.empty() ? "unknown" : sha;
 }
 
-void write_json(const std::string& path, const std::vector<Row>& rows, bool smoke) {
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                const Config& config, std::size_t epochs) {
   // One self-contained run record, appended to the "runs" array so the
   // file accumulates a perf trajectory across commits.
   std::ostringstream run;
   run << "    {\n      \"git_sha\": \"" << (rows.empty() ? git_sha() : rows.front().git_sha)
-      << "\",\n      \"smoke\": " << (smoke ? "true" : "false")
+      << "\",\n      \"smoke\": " << (config.smoke ? "true" : "false")
       << ",\n      \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n      \"cpu\": \"" << bench::cpu_tag() << "\",\n      \"epochs\": " << epochs
+      << ",\n      \"warmup_epochs\": " << config.warmup
       << ",\n      \"metric_units\": {\"epochs_per_sec\": \"1/s\", \"wraps_per_sec\": "
          "\"1/s\", \"p50_ms\": \"ms\", \"p99_ms\": \"ms\"},\n      \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     run << "        {\"scheme\": \"" << r.scheme << "\", \"git_sha\": \"" << r.git_sha
         << "\", \"members\": " << r.members << ", \"mode\": \"" << r.mode
-        << "\", \"threads\": " << r.threads << ", \"epochs\": " << r.epochs
+        << "\", \"cpu\": \"" << r.cpu << "\", \"threads\": " << r.threads
+        << ", \"epochs\": " << r.epochs
         << ", \"batch\": " << r.batch << ", \"total_wraps\": " << r.total_wraps
         << ", \"seconds\": " << r.seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec()
@@ -223,8 +241,19 @@ int main(int argc, char** argv) {
       config.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
       config.epochs = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      config.warmup = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sizes") == 0 && i + 1 < argc) {
+      std::stringstream list(argv[++i]);
+      for (std::string item; std::getline(list, item, ',');)
+        config.sizes.push_back(static_cast<std::size_t>(std::stoull(item)));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      std::stringstream list(argv[++i]);
+      for (std::string item; std::getline(list, item, ',');)
+        config.threads.push_back(static_cast<unsigned>(std::stoul(item)));
     } else {
-      std::cerr << "usage: bench_throughput [--smoke] [--json PATH] [--epochs E]\n";
+      std::cerr << "usage: bench_throughput [--smoke] [--json PATH] [--epochs E] "
+                   "[--warmup W] [--sizes N,N,...] [--threads T,T,...]\n";
       return 2;
     }
   }
@@ -235,11 +264,18 @@ int main(int argc, char** argv) {
   std::cout << "metric override: server-side commit CPU (epochs/sec, wraps/sec, latency)\n";
 
   const std::vector<std::size_t> sizes =
-      config.smoke ? std::vector<std::size_t>{4096}
-                   : std::vector<std::size_t>{65536, 262144, 1048576};
+      !config.sizes.empty() ? config.sizes
+      : config.smoke        ? std::vector<std::size_t>{4096}
+                            : std::vector<std::size_t>{65536, 262144, 1048576};
   const std::vector<unsigned> thread_counts =
-      config.smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
-  const std::size_t epochs = config.epochs ? config.epochs : (config.smoke ? 4 : 16);
+      !config.threads.empty() ? config.threads
+      : config.smoke          ? std::vector<unsigned>{1, 2}
+                              : std::vector<unsigned>{1, 2, 4, 8};
+  const std::size_t epochs = config.epochs ? config.epochs : (config.smoke ? 12 : 16);
+
+  // The env-respecting dispatch level: GK_CPU=scalar turns the simd rows
+  // into a second scalar measurement, which CI diffs against the native run.
+  const crypto::CpuLevel native_level = crypto::cpu_level();
 
   const std::vector<std::string> schemes = {"one-tree", "qt", "tt", "pt"};
   const std::string sha = git_sha();
@@ -250,8 +286,8 @@ int main(int argc, char** argv) {
     pools.push_back(t > 1 ? std::make_unique<common::ThreadPool>(t) : nullptr);
 
   std::vector<Row> rows;
-  Table table({"scheme", "members", "mode", "threads", "epochs/s", "wraps/s", "p50 ms",
-               "p99 ms"});
+  Table table({"scheme", "members", "mode", "cpu", "threads", "epochs/s", "wraps/s",
+               "p50 ms", "p99 ms"});
 
   for (const std::size_t members : sizes) {
     // Batch scales with the group so dirty subtrees stay proportional.
@@ -267,15 +303,18 @@ int main(int argc, char** argv) {
       ChurnDriver driver(*server, members, Rng(0xc0ffee ^ members));
 
       const auto measure = [&](const std::string& mode, unsigned threads,
-                               common::ThreadPool* pool, bool wrap_cache) {
+                               common::ThreadPool* pool, bool wrap_cache,
+                               crypto::CpuLevel level) {
         server->set_wrap_cache(wrap_cache);
         server->set_executor(pool);
-        driver.warm_epoch(batch);
+        (void)crypto::force_cpu_level(level);
+        driver.warm_epochs(config.warmup, batch);
         Row row;
         row.scheme = scheme;
         row.git_sha = sha;
         row.members = members;
         row.mode = mode;
+        row.cpu = bench::cpu_tag();
         row.threads = threads;
         row.epochs = epochs;
         row.batch = batch;
@@ -285,16 +324,22 @@ int main(int argc, char** argv) {
         row.p99_ms = percentile(latencies, 0.99);
         fill_tree_shape(*server, row);
         rows.push_back(row);
-        table.add_row({row.scheme, std::to_string(members), mode, std::to_string(threads),
-                       fmt(row.epochs_per_sec(), 1), fmt(row.wraps_per_sec(), 0),
-                       fmt(row.p50_ms, 2), fmt(row.p99_ms, 2)});
+        table.add_row({row.scheme, std::to_string(members), mode, row.cpu,
+                       std::to_string(threads), fmt(row.epochs_per_sec(), 1),
+                       fmt(row.wraps_per_sec(), 0), fmt(row.p50_ms, 2),
+                       fmt(row.p99_ms, 2)});
       };
 
-      measure("seed-crypto", 1, nullptr, /*wrap_cache=*/false);
+      measure("seed-crypto", 1, nullptr, /*wrap_cache=*/false, crypto::CpuLevel::kScalar);
       for (std::size_t t = 0; t < thread_counts.size(); ++t)
-        measure("engine", thread_counts[t], pools[t].get(), /*wrap_cache=*/true);
+        measure("engine", thread_counts[t], pools[t].get(), /*wrap_cache=*/true,
+                crypto::CpuLevel::kScalar);
+      for (std::size_t t = 0; t < thread_counts.size(); ++t)
+        measure("simd", thread_counts[t], pools[t].get(), /*wrap_cache=*/true,
+                native_level);
     }
   }
+  (void)crypto::force_cpu_level(native_level);
 
   bench::print_with_csv(table, "rekey-engine throughput");
 
@@ -315,7 +360,17 @@ int main(int argc, char** argv) {
                   << fmt(engine->wraps_per_sec() / seed->wraps_per_sec(), 2)
                   << "x seed-crypto wraps/sec\n";
   }
+  // The kernel gain in isolation: simd vs scalar-pinned engine, same threads.
+  for (const unsigned t : thread_counts) {
+    const Row* engine = find("engine", t);
+    const Row* simd = find("simd", t);
+    if (engine != nullptr && simd != nullptr && engine->wraps_per_sec() > 0.0)
+      std::cout << "one-tree N=" << sizes.back() << ": simd (" << simd->cpu << ") x"
+                << t << " threads = "
+                << fmt(simd->wraps_per_sec() / engine->wraps_per_sec(), 2)
+                << "x scalar engine wraps/sec\n";
+  }
 
-  write_json(config.json_path, rows, config.smoke);
+  write_json(config.json_path, rows, config, epochs);
   return 0;
 }

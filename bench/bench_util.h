@@ -4,8 +4,18 @@
 #include <string>
 
 #include "common/table.h"
+#include "crypto/simd/cpu.h"
 
 namespace gk::bench {
+
+/// The crypto dispatch level currently in effect ("scalar", "sse2", "avx2"
+/// — see crypto::cpu_level()). Every row appended to a BENCH_*.json carries
+/// this tag so perf trajectories across commits stay comparable: a wraps/s
+/// regression that coincides with a cpu change is a hardware or GK_CPU
+/// difference, not a code regression.
+[[nodiscard]] inline std::string cpu_tag() {
+  return crypto::cpu_level_name(crypto::cpu_level());
+}
 
 /// Shared figure-bench preamble: every bench binary announces which paper
 /// artifact it regenerates and with which conventions.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/simd/chacha20_xn.h"
+
 namespace gk::crypto {
 namespace {
 
@@ -63,9 +65,22 @@ void ChaCha20::refill() noexcept {
 }
 
 void ChaCha20::crypt(std::span<std::uint8_t> data) noexcept {
-  for (std::uint8_t& byte : data) {
+  std::size_t offset = 0;
+  // Drain keystream left over from a previous partial block first.
+  while (offset < data.size() && keystream_used_ < keystream_.size())
+    data[offset++] ^= keystream_[keystream_used_++];
+
+  // Whole blocks go through the multi-lane kernel (same keystream, same
+  // counter sequence — byte-identical to the one-block-at-a-time path).
+  const std::size_t whole = (data.size() - offset) / keystream_.size();
+  if (whole > 0) {
+    simd::chacha20_xor_stream(state_.data(), data.data() + offset, whole);
+    offset += whole * keystream_.size();
+  }
+
+  while (offset < data.size()) {
     if (keystream_used_ == keystream_.size()) refill();
-    byte ^= keystream_[keystream_used_++];
+    data[offset++] ^= keystream_[keystream_used_++];
   }
 }
 

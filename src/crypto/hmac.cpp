@@ -1,38 +1,124 @@
 #include "crypto/hmac.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
+#include "crypto/simd/sha256_mb.h"
+
 namespace gk::crypto {
+namespace {
 
-Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
-                           std::span<const std::uint8_t> message) noexcept {
-  constexpr std::size_t kBlockSize = 64;
-  std::array<std::uint8_t, kBlockSize> block_key{};
-
-  if (key.size() > kBlockSize) {
+// Key padded/pre-hashed to exactly one SHA-256 block (RFC 2104 step 1).
+std::array<std::uint8_t, Sha256::kBlockSize> block_key_of(
+    std::span<const std::uint8_t> key) noexcept {
+  std::array<std::uint8_t, Sha256::kBlockSize> block_key{};
+  if (key.size() > block_key.size()) {
     const auto digest = sha256(key);
     std::memcpy(block_key.data(), digest.data(), digest.size());
   } else {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
+  return block_key;
+}
 
-  std::array<std::uint8_t, kBlockSize> ipad;
-  std::array<std::uint8_t, kBlockSize> opad;
-  for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
-  }
+}  // namespace
 
-  Sha256 inner;
-  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) noexcept {
+  const HmacMidstate midstate = hmac_midstate(key);
+  return hmac_sha256(midstate, message);
+}
+
+HmacMidstate hmac_midstate(std::span<const std::uint8_t> key) noexcept {
+  auto block_key = block_key_of(key);
+
+  std::array<std::uint8_t, Sha256::kBlockSize> pad;
+  for (std::size_t i = 0; i < pad.size(); ++i)
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+
+  HmacMidstate midstate;
+  midstate.inner = Sha256::kInitialState;
+  Sha256::compress(midstate.inner, pad.data());
+
+  for (std::size_t i = 0; i < pad.size(); ++i)
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  midstate.outer = Sha256::kInitialState;
+  Sha256::compress(midstate.outer, pad.data());
+
+  secure_wipe(pad.data(), pad.size());
+  secure_wipe(block_key.data(), block_key.size());
+  return midstate;
+}
+
+Sha256::Digest hmac_sha256(const HmacMidstate& midstate,
+                           std::span<const std::uint8_t> message) noexcept {
+  Sha256 inner(midstate.inner, Sha256::kBlockSize);
   inner.update(message);
   const auto inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  Sha256 outer(midstate.outer, Sha256::kBlockSize);
   outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
   return outer.finish();
+}
+
+void hmac_midstate_many(const std::uint8_t* const* keys, const std::size_t* lens,
+                        std::size_t count, HmacMidstate* out) noexcept {
+  constexpr std::size_t kLanes = simd::kShaMaxLanes;
+  std::uint8_t pads[kLanes][Sha256::kBlockSize];
+  std::uint32_t* states[kLanes];
+  const std::uint8_t* blocks[kLanes];
+
+  for (std::size_t offset = 0; offset < count; offset += kLanes) {
+    const std::size_t lanes = std::min(count - offset, kLanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const auto block_key = block_key_of(
+          std::span<const std::uint8_t>(keys[offset + lane], lens[offset + lane]));
+      for (std::size_t i = 0; i < Sha256::kBlockSize; ++i)
+        pads[lane][i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+      out[offset + lane].inner = Sha256::kInitialState;
+      out[offset + lane].outer = Sha256::kInitialState;
+      states[lane] = out[offset + lane].inner.data();
+      blocks[lane] = pads[lane];
+    }
+    simd::sha256_compress_many(states, blocks, lanes);
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      // ipad ^ opad == 0x36 ^ 0x5c == 0x6a: flip the pad in place instead of
+      // keeping the block key around.
+      for (std::size_t i = 0; i < Sha256::kBlockSize; ++i)
+        pads[lane][i] = static_cast<std::uint8_t>(pads[lane][i] ^ (0x36 ^ 0x5c));
+      states[lane] = out[offset + lane].outer.data();
+    }
+    simd::sha256_compress_many(states, blocks, lanes);
+  }
+  secure_wipe(pads, sizeof(pads));
+}
+
+void hmac_sha256_many(const HmacMidstate* const* midstates,
+                      const std::uint8_t* const* msgs, const std::size_t* lens,
+                      std::size_t count, Sha256::Digest* out) noexcept {
+  constexpr std::size_t kLanes = simd::kShaMaxLanes;
+  Sha256::State lane_states[kLanes];
+  Sha256::Digest inner_digests[kLanes];
+  const std::uint8_t* digest_ptrs[kLanes];
+  std::size_t digest_lens[kLanes];
+
+  for (std::size_t offset = 0; offset < count; offset += kLanes) {
+    const std::size_t lanes = std::min(count - offset, kLanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      lane_states[lane] = midstates[offset + lane]->inner;
+    simd::sha256_many_resumed(lane_states, Sha256::kBlockSize, msgs + offset,
+                              lens + offset, lanes, inner_digests);
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      lane_states[lane] = midstates[offset + lane]->outer;
+      digest_ptrs[lane] = inner_digests[lane].data();
+      digest_lens[lane] = inner_digests[lane].size();
+    }
+    simd::sha256_many_resumed(lane_states, Sha256::kBlockSize, digest_ptrs, digest_lens,
+                              lanes, out + offset);
+  }
 }
 
 }  // namespace gk::crypto

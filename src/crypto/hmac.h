@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "crypto/secure.h"
@@ -11,6 +14,46 @@ namespace gk::crypto {
 /// wrapping and as the PRF inside the KDF.
 [[nodiscard]] Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
                                          std::span<const std::uint8_t> message) noexcept;
+
+/// Cached SHA-256 chaining states after absorbing the key^ipad / key^opad
+/// blocks. Computing these once per key turns every subsequent HMAC into two
+/// compressions (for messages that fit one padded block) instead of four-plus,
+/// and is what the multi-buffer wrap kernels batch across lanes.
+struct HmacMidstate {  // gklint: secret-type(HmacMidstate)
+  Sha256::State inner{};
+  Sha256::State outer{};
+
+  HmacMidstate() noexcept = default;
+  HmacMidstate(const HmacMidstate&) noexcept = default;
+  HmacMidstate& operator=(const HmacMidstate&) noexcept = default;
+
+  /// Midstates are key-equivalent material; wipe like Key128 does.
+  ~HmacMidstate() noexcept {
+    secure_wipe(inner.data(), inner.size() * sizeof(std::uint32_t));
+    secure_wipe(outer.data(), outer.size() * sizeof(std::uint32_t));
+  }
+};
+
+/// Precompute the per-key midstate (two compressions).
+[[nodiscard]] HmacMidstate hmac_midstate(std::span<const std::uint8_t> key) noexcept;
+
+/// HMAC-SHA-256 resumed from a cached midstate; byte-identical to
+/// hmac_sha256(key, message) for the key the midstate was built from.
+[[nodiscard]] Sha256::Digest hmac_sha256(const HmacMidstate& midstate,
+                                         std::span<const std::uint8_t> message) noexcept;
+
+/// Batch midstate preparation: out[i] = hmac_midstate(keys[i][0..lens[i])).
+/// Runs the ipad/opad compressions through the multi-buffer SHA-256 kernel
+/// (keys longer than one block take the scalar pre-hash detour).
+void hmac_midstate_many(const std::uint8_t* const* keys, const std::size_t* lens,
+                        std::size_t count, HmacMidstate* out) noexcept;
+
+/// Batch HMAC: out[i] = HMAC(midstate i, msgs[i][0..lens[i])). Lane counts and
+/// message lengths are unconstrained; the multi-buffer kernel chunks and
+/// retires lanes as needed. Byte-identical to the scalar overloads.
+void hmac_sha256_many(const HmacMidstate* const* midstates,
+                      const std::uint8_t* const* msgs, const std::size_t* lens,
+                      std::size_t count, Sha256::Digest* out) noexcept;
 
 /// Historical name for the constant-time comparison used in tag
 /// verification; the implementation lives in secure.h as ct_equal().

@@ -1,10 +1,13 @@
 #include "crypto/keywrap.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "crypto/simd/chacha20_xn.h"
+#include "crypto/simd/sha256_mb.h"
 
 namespace gk::crypto {
 namespace {
@@ -28,12 +31,11 @@ MacInput mac_input(const WrappedKey& w) noexcept {
   return buf;
 }
 
-}  // namespace
+/// Domain-separated counter block hashed into a wrap nonce.
+using NonceBlock = std::array<std::uint8_t, 4 + 8 + 8 + 4>;
 
-WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
-                            std::uint32_t index) noexcept {
-  // SHA-256 over a domain-separated counter block, truncated to 96 bits.
-  std::array<std::uint8_t, 4 + 8 + 8 + 4> block;
+NonceBlock nonce_block(std::uint64_t epoch, KeyId dest, std::uint32_t index) noexcept {
+  NonceBlock block;
   block[0] = 'g';
   block[1] = 'k';
   block[2] = 'n';
@@ -45,11 +47,61 @@ WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
   push_u64(epoch);
   push_u64(raw(dest));
   for (int i = 0; i < 4; ++i) block[at++] = static_cast<std::uint8_t>(index >> (8 * i));
+  return block;
+}
 
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+/// Initial ChaCha20 state (RFC 8439 layout, counter 0) for one wrap — the
+/// same state the scalar ChaCha20 constructor builds.
+void fill_chacha_state(std::uint32_t* state, const std::uint8_t* cipher_key,
+                       const WrapNonce& nonce) noexcept {
+  state[0] = 0x61707865;  // "expand 32-byte k"
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (std::size_t i = 0; i < 8; ++i) state[4 + i] = load_le32(cipher_key + 4 * i);
+  state[12] = 0;
+  for (std::size_t i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+/// Chunk width of the batched wrap kernels: a multiple of the widest SIMD
+/// lane count, small enough that every scratch buffer stays on the stack.
+constexpr std::size_t kWrapChunk = 64;
+
+}  // namespace
+
+WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
+                            std::uint32_t index) noexcept {
+  // SHA-256 over a domain-separated counter block, truncated to 96 bits.
+  const NonceBlock block = nonce_block(epoch, dest, index);
   const auto digest = sha256(block);
   WrapNonce nonce;
   std::memcpy(nonce.data(), digest.data(), nonce.size());
   return nonce;
+}
+
+void derive_wrap_nonces(std::span<const WrapNonceSpec> specs, WrapNonce* out) noexcept {
+  NonceBlock blocks[kWrapChunk];
+  const std::uint8_t* msgs[kWrapChunk];
+  std::size_t lens[kWrapChunk];
+  Sha256::Digest digests[kWrapChunk];
+
+  for (std::size_t offset = 0; offset < specs.size(); offset += kWrapChunk) {
+    const std::size_t n = std::min(specs.size() - offset, kWrapChunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      const WrapNonceSpec& s = specs[offset + i];
+      blocks[i] = nonce_block(s.epoch, s.dest, s.index);
+      msgs[i] = blocks[i].data();
+      lens[i] = blocks[i].size();
+    }
+    simd::sha256_many(msgs, lens, n, digests);
+    for (std::size_t i = 0; i < n; ++i)
+      std::memcpy(out[offset + i].data(), digests[i].data(), out[offset + i].size());
+  }
 }
 
 PreparedKek::PreparedKek(const Key128& kek) noexcept {
@@ -57,9 +109,51 @@ PreparedKek::PreparedKek(const Key128& kek) noexcept {
   static constexpr std::uint8_t kCipherLabel[] = {'g', 'k', 'c', '1'};
   static constexpr std::uint8_t kMacLabel[] = {'g', 'k', 'm', '1'};
   const auto cipher_digest = hmac_sha256(kek.bytes(), std::span(kCipherLabel));
-  const auto mac_digest = hmac_sha256(kek.bytes(), std::span(kMacLabel));
+  auto mac_digest = hmac_sha256(kek.bytes(), std::span(kMacLabel));
   std::memcpy(cipher_key_.data(), cipher_digest.data(), cipher_key_.size());
-  std::memcpy(mac_key_.data(), mac_digest.data(), mac_key_.size());
+  mac_midstate_ = hmac_midstate(std::span<const std::uint8_t>(mac_digest));
+  secure_wipe(mac_digest.data(), mac_digest.size());
+}
+
+void PreparedKek::prepare_many(const Key128* const* keks, std::size_t count,
+                               PreparedKek* out) noexcept {
+  static constexpr std::uint8_t kCipherLabel[] = {'g', 'k', 'c', '1'};
+  static constexpr std::uint8_t kMacLabel[] = {'g', 'k', 'm', '1'};
+
+  HmacMidstate midstates[kWrapChunk];
+  const HmacMidstate* midstate_ptrs[kWrapChunk];
+  const std::uint8_t* key_ptrs[kWrapChunk];
+  std::size_t key_lens[kWrapChunk];
+  const std::uint8_t* label_ptrs[kWrapChunk];
+  std::size_t label_lens[kWrapChunk];
+  Sha256::Digest cipher_digests[kWrapChunk];
+  Sha256::Digest mac_digests[kWrapChunk];
+
+  for (std::size_t offset = 0; offset < count; offset += kWrapChunk) {
+    const std::size_t n = std::min(count - offset, kWrapChunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      key_ptrs[i] = keks[offset + i]->bytes().data();
+      key_lens[i] = Key128::kSize;
+      midstate_ptrs[i] = &midstates[i];
+      label_ptrs[i] = kCipherLabel;
+      label_lens[i] = sizeof(kCipherLabel);
+    }
+    hmac_midstate_many(key_ptrs, key_lens, n, midstates);
+    hmac_sha256_many(midstate_ptrs, label_ptrs, label_lens, n, cipher_digests);
+    for (std::size_t i = 0; i < n; ++i) label_ptrs[i] = kMacLabel;
+    hmac_sha256_many(midstate_ptrs, label_ptrs, label_lens, n, mac_digests);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(out[offset + i].cipher_key_.data(), cipher_digests[i].data(),
+                  out[offset + i].cipher_key_.size());
+      key_ptrs[i] = mac_digests[i].data();
+      key_lens[i] = mac_digests[i].size();
+    }
+    hmac_midstate_many(key_ptrs, key_lens, n, midstates);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i].mac_midstate_ = midstates[i];
+  }
+  secure_wipe(cipher_digests, sizeof(cipher_digests));
+  secure_wipe(mac_digests, sizeof(mac_digests));
 }
 
 WrappedKey PreparedKek::wrap(KeyId wrapping_id, std::uint32_t wrapping_version,
@@ -79,16 +173,14 @@ WrappedKey PreparedKek::wrap(KeyId wrapping_id, std::uint32_t wrapping_version,
   cipher.crypt(std::span<std::uint8_t>(out.ciphertext));
 
   const auto input = mac_input(out);
-  const auto digest = hmac_sha256(std::span<const std::uint8_t>(mac_key_),
-                                  std::span<const std::uint8_t>(input));
+  const auto digest = hmac_sha256(mac_midstate_, std::span<const std::uint8_t>(input));
   std::memcpy(out.tag.data(), digest.data(), out.tag.size());
   return out;
 }
 
 std::optional<Key128> PreparedKek::unwrap(const WrappedKey& wrapped) const noexcept {
   const auto input = mac_input(wrapped);
-  const auto digest = hmac_sha256(std::span<const std::uint8_t>(mac_key_),
-                                  std::span<const std::uint8_t>(input));
+  const auto digest = hmac_sha256(mac_midstate_, std::span<const std::uint8_t>(input));
   if (!ct_equal(std::span<const std::uint8_t>(wrapped.tag),
                 std::span<const std::uint8_t>(digest.data(), wrapped.tag.size())))
     return std::nullopt;
@@ -100,15 +192,90 @@ std::optional<Key128> PreparedKek::unwrap(const WrappedKey& wrapped) const noexc
   return Key128(plain);
 }
 
+void wrap_keys_batch(std::span<const PreparedWrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept {
+  std::uint32_t states[kWrapChunk][16];
+  std::uint8_t keystream[kWrapChunk][simd::kChaChaBlockBytes];
+  const std::uint32_t* state_ptrs[kWrapChunk];
+  std::uint8_t* keystream_ptrs[kWrapChunk];
+  MacInput mac_inputs[kWrapChunk];
+  const HmacMidstate* midstates[kWrapChunk];
+  const std::uint8_t* msgs[kWrapChunk];
+  std::size_t lens[kWrapChunk];
+  Sha256::Digest tags[kWrapChunk];
+
+  for (std::size_t offset = 0; offset < requests.size(); offset += kWrapChunk) {
+    const std::size_t n = std::min(requests.size() - offset, kWrapChunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PreparedWrapRequest& r = requests[offset + i];
+      WrappedKey& w = out[offset + i];
+      w.target_id = r.target_id;
+      w.target_version = r.target_version;
+      w.wrapping_id = r.wrapping_id;
+      w.wrapping_version = r.wrapping_version;
+      w.nonce = r.nonce;
+      std::memcpy(w.ciphertext.data(), r.payload->bytes().data(), w.ciphertext.size());
+      fill_chacha_state(states[i], r.kek->cipher_key_.data(), r.nonce);
+      state_ptrs[i] = states[i];
+      keystream_ptrs[i] = keystream[i];
+    }
+    simd::chacha20_blocks(state_ptrs, keystream_ptrs, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      WrappedKey& w = out[offset + i];
+      for (std::size_t b = 0; b < w.ciphertext.size(); ++b)
+        w.ciphertext[b] = static_cast<std::uint8_t>(w.ciphertext[b] ^ keystream[i][b]);
+      mac_inputs[i] = mac_input(w);
+      midstates[i] = &requests[offset + i].kek->mac_midstate_;
+      msgs[i] = mac_inputs[i].data();
+      lens[i] = mac_inputs[i].size();
+    }
+    hmac_sha256_many(midstates, msgs, lens, n, tags);
+    for (std::size_t i = 0; i < n; ++i)
+      std::memcpy(out[offset + i].tag.data(), tags[i].data(), out[offset + i].tag.size());
+  }
+  secure_wipe(states, sizeof(states));
+  secure_wipe(keystream, sizeof(keystream));
+}
+
+void wrap_keys_batch(std::span<const KeyedWrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept {
+  PreparedKek prepared[kWrapChunk];
+  const Key128* keks[kWrapChunk];
+  PreparedWrapRequest batch[kWrapChunk];
+
+  for (std::size_t offset = 0; offset < requests.size(); offset += kWrapChunk) {
+    const std::size_t n = std::min(requests.size() - offset, kWrapChunk);
+    for (std::size_t i = 0; i < n; ++i) keks[i] = requests[offset + i].kek;
+    PreparedKek::prepare_many(keks, n, prepared);
+    for (std::size_t i = 0; i < n; ++i) {
+      const KeyedWrapRequest& r = requests[offset + i];
+      batch[i] = PreparedWrapRequest{&prepared[i],  r.wrapping_id,
+                                     r.wrapping_version, r.payload,
+                                     r.target_id,   r.target_version,
+                                     r.nonce};
+    }
+    wrap_keys_batch(std::span<const PreparedWrapRequest>(batch, n),
+                    out.subspan(offset, n));
+  }
+}
+
 void wrap_keys_batch(const Key128& kek, KeyId wrapping_id,
                      std::uint32_t wrapping_version,
                      std::span<const WrapRequest> requests,
                      std::span<WrappedKey> out) noexcept {
   const PreparedKek prepared(kek);
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto& r = requests[i];
-    out[i] = prepared.wrap(wrapping_id, wrapping_version, r.payload, r.target_id,
-                           r.target_version, r.nonce);
+  PreparedWrapRequest batch[kWrapChunk];
+
+  for (std::size_t offset = 0; offset < requests.size(); offset += kWrapChunk) {
+    const std::size_t n = std::min(requests.size() - offset, kWrapChunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      const WrapRequest& r = requests[offset + i];
+      batch[i] = PreparedWrapRequest{&prepared,   wrapping_id, wrapping_version,
+                                     &r.payload,  r.target_id, r.target_version,
+                                     r.nonce};
+    }
+    wrap_keys_batch(std::span<const PreparedWrapRequest>(batch, n),
+                    out.subspan(offset, n));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "crypto/hmac.h"
 #include "crypto/key.h"
 
 namespace gk::crypto {
@@ -55,19 +56,46 @@ using WrapNonce = std::array<std::uint8_t, 12>;
 [[nodiscard]] WrapNonce derive_wrap_nonce(std::uint64_t epoch, KeyId dest,
                                           std::uint32_t index) noexcept;
 
+/// Input tuple of one derive_wrap_nonce() call, for batch derivation.
+struct WrapNonceSpec {
+  std::uint64_t epoch = 0;
+  KeyId dest{};
+  std::uint32_t index = 0;
+};
+
+/// Batch form of derive_wrap_nonce(): out[i] = derive_wrap_nonce(specs[i]).
+/// The SHA-256 digests run through the multi-buffer kernel, byte-identical
+/// to the one-at-a-time path.
+void derive_wrap_nonces(std::span<const WrapNonceSpec> specs, WrapNonce* out) noexcept;
+
 /// Draw a random 96-bit nonce from `rng`. For unicast paths (registration,
 /// resync) where wraps are not part of the deterministic multicast stream.
 [[nodiscard]] WrapNonce random_wrap_nonce(Rng& rng) noexcept;
+
+struct PreparedWrapRequest;
 
 /// A KEK with its ChaCha20/HMAC subkey expansion precomputed. Expanding a
 /// KEK costs two HMAC-SHA-256 invocations — the dominant share of a single
 /// wrap — so hot paths that wrap under the same KEK more than once (batch
 /// kernels, resync bundles, the key tree's per-node KEK cache) prepare once
-/// and reuse.
+/// and reuse. The HMAC side is cached as an ipad/opad midstate, cutting the
+/// per-wrap tag to two compressions.
 class PreparedKek {
  public:
   PreparedKek() noexcept = default;
   explicit PreparedKek(const Key128& kek) noexcept;
+
+  PreparedKek(const PreparedKek&) noexcept = default;
+  PreparedKek& operator=(const PreparedKek&) noexcept = default;
+
+  /// Cipher subkey material is wiped like Key128; the midstate wipes itself.
+  ~PreparedKek() noexcept { secure_wipe(cipher_key_.data(), cipher_key_.size()); }
+
+  /// Batch preparation: out[i] = PreparedKek(*keks[i]), with every subkey
+  /// expansion and midstate compression run through the multi-buffer SHA-256
+  /// kernel across lanes. Byte-identical to the one-at-a-time constructor.
+  static void prepare_many(const Key128* const* keks, std::size_t count,
+                           PreparedKek* out) noexcept;
 
   /// Wrap `payload` under this KEK with an explicit nonce.
   [[nodiscard]] WrappedKey wrap(KeyId wrapping_id, std::uint32_t wrapping_version,
@@ -79,8 +107,11 @@ class PreparedKek {
   [[nodiscard]] std::optional<Key128> unwrap(const WrappedKey& wrapped) const noexcept;
 
  private:
+  friend void wrap_keys_batch(std::span<const PreparedWrapRequest> requests,
+                              std::span<WrappedKey> out) noexcept;
+
   std::array<std::uint8_t, 32> cipher_key_{};
-  std::array<std::uint8_t, 32> mac_key_{};
+  HmacMidstate mac_midstate_{};
 };
 
 /// One payload of a batched wrap.
@@ -90,6 +121,47 @@ struct WrapRequest {
   std::uint32_t target_version = 0;
   WrapNonce nonce{};
 };
+
+/// One fully-specified wrap of a heterogeneous batch: its own (prepared)
+/// KEK, header fields, payload, and nonce. This is the shape the rekey
+/// engine emits — in a key tree every wrap goes under a *different* KEK
+/// (each child of a dirty node, or a departing node's old key), so the SIMD
+/// kernels vectorize across independent lanes rather than sharing one key
+/// schedule.
+struct PreparedWrapRequest {
+  const PreparedKek* kek = nullptr;
+  KeyId wrapping_id{};
+  std::uint32_t wrapping_version = 0;
+  const Key128* payload = nullptr;
+  KeyId target_id{};
+  std::uint32_t target_version = 0;
+  WrapNonce nonce{};
+};
+
+/// Like PreparedWrapRequest but carrying a raw KEK; the batch kernel
+/// prepares lane-width groups of key schedules on the fly (still through the
+/// multi-buffer kernels). For paths like the flat key queue where each KEK
+/// is used exactly once per epoch and caching buys nothing.
+struct KeyedWrapRequest {
+  const Key128* kek = nullptr;
+  KeyId wrapping_id{};
+  std::uint32_t wrapping_version = 0;
+  const Key128* payload = nullptr;
+  KeyId target_id{};
+  std::uint32_t target_version = 0;
+  WrapNonce nonce{};
+};
+
+/// Heterogeneous batched wrap: out[i] = requests[i].kek->wrap(...). The
+/// ChaCha20 blocks and HMAC tags of up to 8 requests run per SIMD lane set;
+/// output is byte-identical to calling PreparedKek::wrap per request.
+void wrap_keys_batch(std::span<const PreparedWrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept;
+
+/// Heterogeneous batched wrap from raw KEKs (batch-prepares lane-width
+/// groups of key schedules first).
+void wrap_keys_batch(std::span<const KeyedWrapRequest> requests,
+                     std::span<WrappedKey> out) noexcept;
 
 /// Batched keywrap kernel: wrap every request under one shared KEK,
 /// amortizing the KEK's subkey expansion across the whole batch. `out` must

@@ -1,0 +1,197 @@
+#include "crypto/simd/chacha20_xn.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/simd/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GK_SIMD_X86 1
+#endif
+
+namespace gk::crypto::simd {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+void block_scalar(const std::uint32_t* state, std::uint8_t* out) noexcept {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof x);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) store_le32(out + 4 * i, x[i] + state[i]);
+}
+
+#if defined(GK_SIMD_X86)
+
+// GCC requires every function touching an ISA's intrinsics to carry the
+// matching target attribute unless the whole TU is compiled with that ISA;
+// always_inline keeps the helpers free inside the per-ISA kernels.
+#define GK_TARGET_SSE2 __attribute__((target("sse2"), always_inline)) inline
+#define GK_TARGET_AVX2 __attribute__((target("avx2"), always_inline)) inline
+
+GK_TARGET_SSE2 __m128i rotl_x4(__m128i v, int n) noexcept {
+  return _mm_or_si128(_mm_slli_epi32(v, n), _mm_srli_epi32(v, 32 - n));
+}
+
+GK_TARGET_SSE2 void quarter_round_x4(__m128i& a, __m128i& b, __m128i& c,
+                                     __m128i& d) noexcept {
+  a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a); d = rotl_x4(d, 16);
+  c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c); b = rotl_x4(b, 12);
+  a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a); d = rotl_x4(d, 8);
+  c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c); b = rotl_x4(b, 7);
+}
+
+__attribute__((target("sse2"))) void blocks_x4_sse2(const std::uint32_t* const* states,
+                                                    std::uint8_t* const* outs) noexcept {
+  // Transpose lane-major states to word-major vectors: words[j] holds state
+  // word j of all four lanes.
+  alignas(16) std::uint32_t words[16][4];
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    for (std::size_t j = 0; j < 16; ++j) words[j][lane] = states[lane][j];
+
+  __m128i v[16];
+  __m128i init[16];
+  for (std::size_t j = 0; j < 16; ++j)
+    init[j] = v[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(words[j]));
+
+  for (int round = 0; round < 10; ++round) {
+    quarter_round_x4(v[0], v[4], v[8], v[12]);
+    quarter_round_x4(v[1], v[5], v[9], v[13]);
+    quarter_round_x4(v[2], v[6], v[10], v[14]);
+    quarter_round_x4(v[3], v[7], v[11], v[15]);
+    quarter_round_x4(v[0], v[5], v[10], v[15]);
+    quarter_round_x4(v[1], v[6], v[11], v[12]);
+    quarter_round_x4(v[2], v[7], v[8], v[13]);
+    quarter_round_x4(v[3], v[4], v[9], v[14]);
+  }
+
+  for (std::size_t j = 0; j < 16; ++j) {
+    v[j] = _mm_add_epi32(v[j], init[j]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(words[j]), v[j]);
+  }
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    for (std::size_t j = 0; j < 16; ++j) store_le32(outs[lane] + 4 * j, words[j][lane]);
+}
+
+GK_TARGET_AVX2 __m256i rotl_x8(__m256i v, int n) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi32(v, n), _mm256_srli_epi32(v, 32 - n));
+}
+
+GK_TARGET_AVX2 void quarter_round_x8(__m256i& a, __m256i& b, __m256i& c,
+                                     __m256i& d) noexcept {
+  a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a); d = rotl_x8(d, 16);
+  c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c); b = rotl_x8(b, 12);
+  a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a); d = rotl_x8(d, 8);
+  c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c); b = rotl_x8(b, 7);
+}
+
+__attribute__((target("avx2"))) void blocks_x8_avx2(const std::uint32_t* const* states,
+                                                    std::uint8_t* const* outs) noexcept {
+  alignas(32) std::uint32_t words[16][8];
+  for (std::size_t lane = 0; lane < 8; ++lane)
+    for (std::size_t j = 0; j < 16; ++j) words[j][lane] = states[lane][j];
+
+  __m256i v[16];
+  __m256i init[16];
+  for (std::size_t j = 0; j < 16; ++j)
+    init[j] = v[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(words[j]));
+
+  for (int round = 0; round < 10; ++round) {
+    quarter_round_x8(v[0], v[4], v[8], v[12]);
+    quarter_round_x8(v[1], v[5], v[9], v[13]);
+    quarter_round_x8(v[2], v[6], v[10], v[14]);
+    quarter_round_x8(v[3], v[7], v[11], v[15]);
+    quarter_round_x8(v[0], v[5], v[10], v[15]);
+    quarter_round_x8(v[1], v[6], v[11], v[12]);
+    quarter_round_x8(v[2], v[7], v[8], v[13]);
+    quarter_round_x8(v[3], v[4], v[9], v[14]);
+  }
+
+  for (std::size_t j = 0; j < 16; ++j) {
+    v[j] = _mm256_add_epi32(v[j], init[j]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(words[j]), v[j]);
+  }
+  for (std::size_t lane = 0; lane < 8; ++lane)
+    for (std::size_t j = 0; j < 16; ++j) store_le32(outs[lane] + 4 * j, words[j][lane]);
+}
+
+#endif  // GK_SIMD_X86
+
+}  // namespace
+
+void chacha20_blocks(const std::uint32_t* const* states, std::uint8_t* const* outs,
+                     std::size_t lanes) noexcept {
+  std::size_t i = 0;
+#if defined(GK_SIMD_X86)
+  const CpuLevel level = cpu_level();
+  if (level >= CpuLevel::kAvx2)
+    for (; i + 8 <= lanes; i += 8) blocks_x8_avx2(states + i, outs + i);
+  if (level >= CpuLevel::kSse2)
+    for (; i + 4 <= lanes; i += 4) blocks_x4_sse2(states + i, outs + i);
+#endif
+  for (; i < lanes; ++i) block_scalar(states[i], outs[i]);
+}
+
+void chacha20_xor_stream(std::uint32_t* state, std::uint8_t* data,
+                         std::size_t blocks) noexcept {
+  std::uint32_t lane_states[kChaChaMaxLanes][16];
+  std::uint8_t keystream[kChaChaMaxLanes][kChaChaBlockBytes];
+  const std::uint32_t* state_ptrs[kChaChaMaxLanes];
+  std::uint8_t* out_ptrs[kChaChaMaxLanes];
+  for (std::size_t k = 0; k < kChaChaMaxLanes; ++k) {
+    state_ptrs[k] = lane_states[k];
+    out_ptrs[k] = keystream[k];
+  }
+
+  while (blocks > 0) {
+    const std::size_t lanes = std::min(blocks, kChaChaMaxLanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      std::memcpy(lane_states[k], state, 16 * sizeof(std::uint32_t));
+      // Wraps mod 2^32 exactly like the scalar ++state_[12].
+      lane_states[k][12] = state[12] + static_cast<std::uint32_t>(k);
+    }
+    chacha20_blocks(state_ptrs, out_ptrs, lanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      for (std::size_t b = 0; b < kChaChaBlockBytes; b += 8) {
+        std::uint64_t d;
+        std::uint64_t ks;
+        std::memcpy(&d, data + b, 8);
+        std::memcpy(&ks, keystream[k] + b, 8);
+        d ^= ks;
+        std::memcpy(data + b, &d, 8);
+      }
+      data += kChaChaBlockBytes;
+    }
+    state[12] += static_cast<std::uint32_t>(lanes);
+    blocks -= lanes;
+  }
+}
+
+}  // namespace gk::crypto::simd

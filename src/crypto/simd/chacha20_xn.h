@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gk::crypto::simd {
+
+inline constexpr std::size_t kChaChaBlockBytes = 64;
+inline constexpr std::size_t kChaChaMaxLanes = 8;
+
+// Multi-lane ChaCha20 block kernel. Each lane is one independent RFC 8439
+// block-function evaluation: states[i] is lane i's full 16-word initial state
+// (constants, key, counter, nonce) and lane i's 64-byte keystream block is
+// written to outs[i]. Lanes need not share key, nonce, or counter — the wrap
+// hot path feeds one (KEK, nonce) pair per lane, while ChaCha20::crypt feeds
+// one stream at consecutive counters. Dispatch (AVX2 ×8 / SSE2 ×4 / scalar)
+// follows cpu_level(); every level produces byte-identical output.
+void chacha20_blocks(const std::uint32_t* const* states, std::uint8_t* const* outs,
+                     std::size_t lanes) noexcept;
+
+// Single-stream convenience: XOR `blocks` consecutive whole keystream blocks
+// of the stream described by `state` into `data` in place, advancing the
+// block counter state[12] by `blocks` (mod 2^32, exactly like the scalar
+// one-block-at-a-time path).
+void chacha20_xor_stream(std::uint32_t* state, std::uint8_t* data,
+                         std::size_t blocks) noexcept;
+
+}  // namespace gk::crypto::simd

@@ -1,0 +1,71 @@
+#include "crypto/simd/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gk::crypto {
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  features.sse2 = __builtin_cpu_supports("sse2") != 0;
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  if (features.avx2) {
+    features.best = CpuLevel::kAvx2;
+  } else if (features.sse2) {
+    features.best = CpuLevel::kSse2;
+  }
+  return features;
+}
+
+CpuLevel initial_level() noexcept {
+  CpuLevel level = cpu_features().best;
+  if (const char* env = std::getenv("GK_CPU")) {
+    if (const auto parsed = parse_cpu_level(env); parsed && *parsed < level) {
+      level = *parsed;  // the override can only lower the level, never raise it
+    }
+  }
+  return level;
+}
+
+std::atomic<CpuLevel>& active_level() noexcept {
+  static std::atomic<CpuLevel> level{initial_level()};
+  return level;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+CpuLevel cpu_level() noexcept { return active_level().load(std::memory_order_relaxed); }
+
+CpuLevel force_cpu_level(CpuLevel level) noexcept {
+  if (level > cpu_features().best) level = cpu_features().best;
+  return active_level().exchange(level, std::memory_order_relaxed);
+}
+
+const char* cpu_level_name(CpuLevel level) noexcept {
+  switch (level) {
+    case CpuLevel::kSse2:
+      return "sse2";
+    case CpuLevel::kAvx2:
+      return "avx2";
+    case CpuLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+std::optional<CpuLevel> parse_cpu_level(std::string_view name) noexcept {
+  if (name == "scalar") return CpuLevel::kScalar;
+  if (name == "sse2") return CpuLevel::kSse2;
+  if (name == "avx2") return CpuLevel::kAvx2;
+  return std::nullopt;
+}
+
+}  // namespace gk::crypto

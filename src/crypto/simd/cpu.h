@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace gk::crypto {
+
+// Vector instruction level the wrap kernels dispatch on. Levels are strictly
+// ordered: every level can run everything below it, and all levels produce
+// byte-identical output (pinned by the scalar-vs-SIMD differential tests).
+enum class CpuLevel : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// What the hardware offers, probed once on first use.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  CpuLevel best = CpuLevel::kScalar;  // widest level this machine can run
+};
+
+// One-time runtime CPU probe; the result is cached for the process lifetime.
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+// The dispatch level the kernels actually use: the probed best level, lowered
+// (never raised above hardware support) by a `GK_CPU=scalar|sse2|avx2`
+// environment override or a prior force_cpu_level() call.
+[[nodiscard]] CpuLevel cpu_level() noexcept;
+
+// Force the dispatch level (clamped to hardware support) and return the
+// previous one. Tests and benches use this to sweep every level inside one
+// process; the GK_CPU environment variable covers whole-process runs.
+CpuLevel force_cpu_level(CpuLevel level) noexcept;
+
+// "scalar" | "sse2" | "avx2".
+[[nodiscard]] const char* cpu_level_name(CpuLevel level) noexcept;
+
+// Parse a GK_CPU-style level name; nullopt for anything unrecognised.
+[[nodiscard]] std::optional<CpuLevel> parse_cpu_level(std::string_view name) noexcept;
+
+}  // namespace gk::crypto

@@ -1,0 +1,265 @@
+#include "crypto/simd/sha256_mb.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+#include "crypto/simd/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GK_SIMD_X86 1
+#endif
+
+namespace gk::crypto::simd {
+namespace {
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void compress_scalar(std::uint32_t* state, const std::uint8_t* block) noexcept {
+  Sha256::State s;
+  std::memcpy(s.data(), state, sizeof(s));
+  Sha256::compress(s, block);
+  std::memcpy(state, s.data(), sizeof(s));
+}
+
+#if defined(GK_SIMD_X86)
+
+#define GK_TARGET_SSE2 __attribute__((target("sse2"), always_inline)) inline
+#define GK_TARGET_AVX2 __attribute__((target("avx2"), always_inline)) inline
+
+GK_TARGET_SSE2 __m128i rotr_x4(__m128i v, int n) noexcept {
+  return _mm_or_si128(_mm_srli_epi32(v, n), _mm_slli_epi32(v, 32 - n));
+}
+
+GK_TARGET_SSE2 __m128i xor3_x4(__m128i a, __m128i b, __m128i c) noexcept {
+  return _mm_xor_si128(_mm_xor_si128(a, b), c);
+}
+
+__attribute__((target("sse2"))) void compress_x4_sse2(
+    std::uint32_t* const* states, const std::uint8_t* const* blocks) noexcept {
+  alignas(16) std::uint32_t tmp[4];
+  __m128i w[16];
+  for (std::size_t j = 0; j < 16; ++j) {
+    for (std::size_t lane = 0; lane < 4; ++lane) tmp[lane] = load_be32(blocks[lane] + 4 * j);
+    w[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+  }
+  __m128i s[8];
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t lane = 0; lane < 4; ++lane) tmp[lane] = states[lane][k];
+    s[k] = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+  }
+
+  __m128i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m128i e = s[4], f = s[5], g = s[6], h = s[7];
+  for (std::size_t i = 0; i < 64; ++i) {
+    __m128i wi;
+    if (i < 16) {
+      wi = w[i];
+    } else {
+      const __m128i w15 = w[(i - 15) & 15];
+      const __m128i w2 = w[(i - 2) & 15];
+      const __m128i s0 = xor3_x4(rotr_x4(w15, 7), rotr_x4(w15, 18), _mm_srli_epi32(w15, 3));
+      const __m128i s1 = xor3_x4(rotr_x4(w2, 17), rotr_x4(w2, 19), _mm_srli_epi32(w2, 10));
+      wi = w[i & 15] = _mm_add_epi32(_mm_add_epi32(w[i & 15], s0),
+                                    _mm_add_epi32(w[(i - 7) & 15], s1));
+    }
+    const __m128i s1e = xor3_x4(rotr_x4(e, 6), rotr_x4(e, 11), rotr_x4(e, 25));
+    const __m128i ch = _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+    const __m128i k = _mm_set1_epi32(static_cast<int>(kSha256RoundConstants[i]));
+    const __m128i temp1 = _mm_add_epi32(
+        _mm_add_epi32(_mm_add_epi32(h, s1e), _mm_add_epi32(ch, k)), wi);
+    const __m128i s0a = xor3_x4(rotr_x4(a, 2), rotr_x4(a, 13), rotr_x4(a, 22));
+    const __m128i maj =
+        xor3_x4(_mm_and_si128(a, b), _mm_and_si128(a, c), _mm_and_si128(b, c));
+    const __m128i temp2 = _mm_add_epi32(s0a, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm_add_epi32(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm_add_epi32(temp1, temp2);
+  }
+
+  const __m128i sum[8] = {_mm_add_epi32(s[0], a), _mm_add_epi32(s[1], b),
+                          _mm_add_epi32(s[2], c), _mm_add_epi32(s[3], d),
+                          _mm_add_epi32(s[4], e), _mm_add_epi32(s[5], f),
+                          _mm_add_epi32(s[6], g), _mm_add_epi32(s[7], h)};
+  for (std::size_t k = 0; k < 8; ++k) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), sum[k]);
+    for (std::size_t lane = 0; lane < 4; ++lane) states[lane][k] = tmp[lane];
+  }
+}
+
+GK_TARGET_AVX2 __m256i rotr_x8(__m256i v, int n) noexcept {
+  return _mm256_or_si256(_mm256_srli_epi32(v, n), _mm256_slli_epi32(v, 32 - n));
+}
+
+GK_TARGET_AVX2 __m256i xor3_x8(__m256i a, __m256i b, __m256i c) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(a, b), c);
+}
+
+__attribute__((target("avx2"))) void compress_x8_avx2(
+    std::uint32_t* const* states, const std::uint8_t* const* blocks) noexcept {
+  alignas(32) std::uint32_t tmp[8];
+  __m256i w[16];
+  for (std::size_t j = 0; j < 16; ++j) {
+    for (std::size_t lane = 0; lane < 8; ++lane) tmp[lane] = load_be32(blocks[lane] + 4 * j);
+    w[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+  __m256i s[8];
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t lane = 0; lane < 8; ++lane) tmp[lane] = states[lane][k];
+    s[k] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+  for (std::size_t i = 0; i < 64; ++i) {
+    __m256i wi;
+    if (i < 16) {
+      wi = w[i];
+    } else {
+      const __m256i w15 = w[(i - 15) & 15];
+      const __m256i w2 = w[(i - 2) & 15];
+      const __m256i s0 =
+          xor3_x8(rotr_x8(w15, 7), rotr_x8(w15, 18), _mm256_srli_epi32(w15, 3));
+      const __m256i s1 =
+          xor3_x8(rotr_x8(w2, 17), rotr_x8(w2, 19), _mm256_srli_epi32(w2, 10));
+      wi = w[i & 15] = _mm256_add_epi32(_mm256_add_epi32(w[i & 15], s0),
+                                       _mm256_add_epi32(w[(i - 7) & 15], s1));
+    }
+    const __m256i s1e = xor3_x8(rotr_x8(e, 6), rotr_x8(e, 11), rotr_x8(e, 25));
+    const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+    const __m256i k = _mm256_set1_epi32(static_cast<int>(kSha256RoundConstants[i]));
+    const __m256i temp1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, s1e), _mm256_add_epi32(ch, k)), wi);
+    const __m256i s0a = xor3_x8(rotr_x8(a, 2), rotr_x8(a, 13), rotr_x8(a, 22));
+    const __m256i maj =
+        xor3_x8(_mm256_and_si256(a, b), _mm256_and_si256(a, c), _mm256_and_si256(b, c));
+    const __m256i temp2 = _mm256_add_epi32(s0a, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(temp1, temp2);
+  }
+
+  const __m256i sum[8] = {_mm256_add_epi32(s[0], a), _mm256_add_epi32(s[1], b),
+                          _mm256_add_epi32(s[2], c), _mm256_add_epi32(s[3], d),
+                          _mm256_add_epi32(s[4], e), _mm256_add_epi32(s[5], f),
+                          _mm256_add_epi32(s[6], g), _mm256_add_epi32(s[7], h)};
+  for (std::size_t k = 0; k < 8; ++k) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), sum[k]);
+    for (std::size_t lane = 0; lane < 8; ++lane) states[lane][k] = tmp[lane];
+  }
+}
+
+#endif  // GK_SIMD_X86
+
+// Digest up to kShaMaxLanes suffixes (possibly of unequal length), each
+// resumed from its own midstate. Builds the FIPS 180-4 padding tail per lane,
+// then walks block indices compressing every still-live lane together; lanes
+// whose message ran out simply drop from the lane set, so stragglers finish
+// on the narrower kernels.
+void digest_chunk(const Sha256::State* states, std::size_t prefix_bytes,
+                  const std::uint8_t* const* msgs, const std::size_t* lens,
+                  std::size_t lanes, Sha256::Digest* out) noexcept {
+  std::uint32_t lane_state[kShaMaxLanes][8];
+  std::uint8_t tails[kShaMaxLanes][2 * Sha256::kBlockSize];
+  std::size_t full_blocks[kShaMaxLanes];
+  std::size_t total_blocks[kShaMaxLanes];
+  std::size_t max_blocks = 0;
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    std::memcpy(lane_state[lane], states[lane].data(), sizeof(lane_state[lane]));
+    const std::size_t len = lens[lane];
+    full_blocks[lane] = len / Sha256::kBlockSize;
+    const std::size_t rem = len % Sha256::kBlockSize;
+    const std::size_t tail_len =
+        (rem + 9 <= Sha256::kBlockSize) ? Sha256::kBlockSize : 2 * Sha256::kBlockSize;
+    std::fill(std::begin(tails[lane]), std::end(tails[lane]), std::uint8_t{0});
+    if (rem > 0)
+      std::memcpy(tails[lane], msgs[lane] + full_blocks[lane] * Sha256::kBlockSize, rem);
+    tails[lane][rem] = 0x80;
+    const std::uint64_t bit_len =
+        (static_cast<std::uint64_t>(prefix_bytes) + len) * 8;
+    for (std::size_t i = 0; i < 8; ++i)
+      tails[lane][tail_len - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    total_blocks[lane] = full_blocks[lane] + tail_len / Sha256::kBlockSize;
+    max_blocks = std::max(max_blocks, total_blocks[lane]);
+  }
+
+  for (std::size_t block = 0; block < max_blocks; ++block) {
+    std::uint32_t* live_states[kShaMaxLanes];
+    const std::uint8_t* live_blocks[kShaMaxLanes];
+    std::size_t live = 0;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (block >= total_blocks[lane]) continue;
+      live_states[live] = lane_state[lane];
+      live_blocks[live] =
+          block < full_blocks[lane]
+              ? msgs[lane] + block * Sha256::kBlockSize
+              : tails[lane] + (block - full_blocks[lane]) * Sha256::kBlockSize;
+      ++live;
+    }
+    sha256_compress_many(live_states, live_blocks, live);
+  }
+
+  for (std::size_t lane = 0; lane < lanes; ++lane)
+    for (std::size_t k = 0; k < 8; ++k)
+      store_be32(out[lane].data() + 4 * k, lane_state[lane][k]);
+}
+
+}  // namespace
+
+void sha256_compress_many(std::uint32_t* const* states,
+                          const std::uint8_t* const* blocks,
+                          std::size_t lanes) noexcept {
+  std::size_t i = 0;
+#if defined(GK_SIMD_X86)
+  const CpuLevel level = cpu_level();
+  if (level >= CpuLevel::kAvx2)
+    for (; i + 8 <= lanes; i += 8) compress_x8_avx2(states + i, blocks + i);
+  if (level >= CpuLevel::kSse2)
+    for (; i + 4 <= lanes; i += 4) compress_x4_sse2(states + i, blocks + i);
+#endif
+  for (; i < lanes; ++i) compress_scalar(states[i], blocks[i]);
+}
+
+void sha256_many(const std::uint8_t* const* msgs, const std::size_t* lens,
+                 std::size_t count, Sha256::Digest* out) noexcept {
+  Sha256::State states[kShaMaxLanes];
+  for (std::size_t offset = 0; offset < count; offset += kShaMaxLanes) {
+    const std::size_t lanes = std::min(count - offset, kShaMaxLanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) states[lane] = Sha256::kInitialState;
+    digest_chunk(states, 0, msgs + offset, lens + offset, lanes, out + offset);
+  }
+}
+
+void sha256_many_resumed(const Sha256::State* states, std::size_t prefix_bytes,
+                         const std::uint8_t* const* msgs, const std::size_t* lens,
+                         std::size_t count, Sha256::Digest* out) noexcept {
+  for (std::size_t offset = 0; offset < count; offset += kShaMaxLanes) {
+    const std::size_t lanes = std::min(count - offset, kShaMaxLanes);
+    digest_chunk(states + offset, prefix_bytes, msgs + offset, lens + offset, lanes,
+                 out + offset);
+  }
+}
+
+}  // namespace gk::crypto::simd

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+
+namespace gk::crypto::simd {
+
+inline constexpr std::size_t kShaMaxLanes = 8;
+
+// One FIPS 180-4 compression per lane: states[i] is lane i's 8-word chaining
+// state, blocks[i] its 64-byte message block. Lanes are fully independent
+// message streams. Dispatch (AVX2 ×8 / SSE2 ×4 / scalar) follows cpu_level();
+// every level produces bit-identical chaining states.
+void sha256_compress_many(std::uint32_t* const* states, const std::uint8_t* const* blocks,
+                          std::size_t lanes) noexcept;
+
+// Multi-buffer one-shot SHA-256: out[i] = SHA-256(msgs[i][0..lens[i])).
+// Message lengths may differ per lane — short lanes retire early and the
+// stragglers finish on the narrower kernels. Any `count` is accepted; the
+// kernel chunks internally.
+void sha256_many(const std::uint8_t* const* msgs, const std::size_t* lens,
+                 std::size_t count, Sha256::Digest* out) noexcept;
+
+// Multi-buffer SHA-256 resumed from per-lane midstates that have already
+// absorbed `prefix_bytes` bytes (a multiple of 64 — e.g. the HMAC ipad/opad
+// block). Digests the per-lane suffix msgs[i]/lens[i] into out[i].
+void sha256_many_resumed(const Sha256::State* states, std::size_t prefix_bytes,
+                         const std::uint8_t* const* msgs, const std::size_t* lens,
+                         std::size_t count, Sha256::Digest* out) noexcept;
+
+}  // namespace gk::crypto::simd

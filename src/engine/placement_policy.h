@@ -10,6 +10,7 @@
 #include "engine/group_key.h"
 #include "engine/server.h"
 #include "lkh/ids.h"
+#include "lkh/key_tree.h"
 #include "lkh/rekey_message.h"
 #include "wire/snapshot.h"
 
@@ -120,6 +121,12 @@ class PlacementPolicy {
   /// Node ids on the member's path (leaf excluded, group key included).
   [[nodiscard]] virtual std::vector<crypto::KeyId> member_path(
       workload::MemberId member, std::uint32_t partition) const = 0;
+
+  /// Shape of the policy's key-tree substrates, merged across every
+  /// partition / loss bin (TreeStats::merge). Flat-queue residents (QT's
+  /// S-partition) are not tree leaves and are excluded. Default: empty
+  /// stats, for policies with no tree substrate.
+  [[nodiscard]] virtual lkh::TreeStats tree_stats() const { return {}; }
 
   // ---- Durability (policies with info().durable). ----
 

@@ -1,6 +1,7 @@
 #include "lkh/key_queue.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/ensure.h"
 
@@ -37,11 +38,18 @@ const KeyQueue::Entry& KeyQueue::entry(workload::MemberId member) const {
 std::vector<crypto::WrappedKey> KeyQueue::wrap_for_all(const crypto::Key128& payload,
                                                        crypto::KeyId target_id,
                                                        std::uint32_t target_version) {
-  std::vector<crypto::WrappedKey> wraps;
-  wraps.reserve(members_.size());
+  // Nonces are drawn from the queue's RNG stream in map-iteration order, so
+  // the spec pass below must consume rng_ exactly as the old wrap-per-entry
+  // loop did; the SIMD batch then reproduces those wraps byte-for-byte.
+  std::vector<crypto::KeyedWrapRequest> requests;
+  requests.reserve(members_.size());
   for (const auto& [raw_id, entry] : members_)
-    wraps.push_back(crypto::wrap_key(entry.key, entry.id, 0, payload, target_id,
-                                     target_version, rng_));
+    requests.push_back(crypto::KeyedWrapRequest{&entry.key, entry.id, 0, &payload,
+                                                target_id, target_version,
+                                                crypto::random_wrap_nonce(rng_)});
+  std::vector<crypto::WrappedKey> wraps(requests.size());
+  crypto::wrap_keys_batch(std::span<const crypto::KeyedWrapRequest>(requests),
+                          std::span<crypto::WrappedKey>(wraps));
   return wraps;
 }
 

@@ -299,48 +299,129 @@ std::size_t KeyTree::wrap_count(const Node& n) const noexcept {
   return n.children.size();  // kLeave / kNew: wrap under every child
 }
 
-void KeyTree::emit_node_wraps(std::uint64_t epoch, std::uint32_t index,
-                              std::span<crypto::WrappedKey> out) noexcept {
-  Node& n = node(index);
-  std::uint32_t w = 0;
-
-  // Wrap this node's refreshed key under one child's key. The child's
-  // KEK expansion is cached on the child and only ever touched here — by
-  // the unique parent — so parallel emission stays data-race-free.
-  const auto wrap_under_child = [&](Node& child) {
-    const auto nonce = crypto::derive_wrap_nonce(epoch, n.id, w);
-    if (wrap_cache_enabled_) {
-      if (child.kek_version != child.key.version) {
-        child.kek = crypto::PreparedKek(child.key.key);
-        child.kek_version = child.key.version;
-      }
-      out[w] = child.kek.wrap(child.id, child.key.version, n.key.key, n.id,
-                              n.key.version, nonce);
-    } else {
-      out[w] = crypto::PreparedKek(child.key.key)
-                   .wrap(child.id, child.key.version, n.key.key, n.id, n.key.version,
-                         nonce);
-    }
-    ++w;
+void KeyTree::emit_range_wraps(std::uint64_t epoch, std::size_t begin, std::size_t end,
+                               std::span<crypto::WrappedKey> out) noexcept {
+  // One wrap to be emitted: node `node_index`'s refreshed key, wrapped under
+  // child `child_index`'s key — or under the node's own *old* key when
+  // child_index == kNil (the kJoin incumbent wrap). `w` is the node-local
+  // wrap ordinal the nonce KDF consumes.
+  struct WrapSpec {
+    std::uint32_t node_index;
+    std::uint32_t child_index;
+    std::uint32_t w;
   };
 
-  if (n.mark == Mark::kJoin) {
-    // One wrap under the node's previous key covers every incumbent...
-    out[w] = crypto::PreparedKek(n.old_key)
-                 .wrap(n.id, n.key.version - 1, n.key.key, n.id, n.key.version,
-                       crypto::derive_wrap_nonce(epoch, n.id, w));
-    ++w;
-    // ...plus chain wraps so arriving members can climb from their leaf.
-    for (const std::uint32_t child : n.children) {
-      Node& c = node(child);
-      const bool arriving = c.new_leaf || (!c.is_leaf() && c.is_dirty());
-      if (arriving) wrap_under_child(c);
+  // Specs accumulate until roughly this many wraps, then one flush derives
+  // every nonce, prepares every missing KEK schedule, and wraps the whole
+  // chunk through the lane-batched SIMD kernels. Chunking bounds scratch
+  // memory; each emission task keeps its own scratch, so parallel commits
+  // stay data-race-free.
+  constexpr std::size_t kEmitChunk = 512;
+
+  std::vector<WrapSpec> specs;
+  specs.reserve(kEmitChunk + degree_ + 1);
+  std::vector<crypto::WrapNonceSpec> nonce_specs;
+  std::vector<crypto::WrapNonce> nonces;
+  std::vector<const crypto::PreparedKek*> kek_ptrs;
+  std::vector<crypto::PreparedKek> scratch_keks;
+  std::vector<const crypto::Key128*> prep_keys;
+  std::vector<crypto::PreparedKek*> prep_dests;
+  std::vector<crypto::PreparedKek> prep_tmp;
+  std::vector<crypto::PreparedWrapRequest> requests;
+  std::size_t out_at = 0;  // next output slot, relative to `out`
+
+  const auto flush = [&]() noexcept {
+    const std::size_t count = specs.size();
+    if (count == 0) return;
+
+    nonce_specs.resize(count);
+    nonces.resize(count);
+    for (std::size_t j = 0; j < count; ++j)
+      nonce_specs[j] =
+          crypto::WrapNonceSpec{epoch, node(specs[j].node_index).id, specs[j].w};
+    crypto::derive_wrap_nonces(nonce_specs, nonces.data());
+
+    // Resolve each spec's KEK schedule: the child's cached expansion when the
+    // cache is on (refreshing stale entries), otherwise a scratch slot. A
+    // child has exactly one parent and old-key wraps are one-per-node, so no
+    // KEK appears twice in a chunk and the cache writes below are unique.
+    kek_ptrs.resize(count);
+    scratch_keks.resize(count);
+    prep_keys.clear();
+    prep_dests.clear();
+    std::size_t scratch_at = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const WrapSpec& s = specs[j];
+      if (s.child_index != kNil && wrap_cache_enabled_) {
+        Node& c = node(s.child_index);
+        if (c.kek_version != c.key.version) {
+          prep_keys.push_back(&c.key.key);
+          prep_dests.push_back(&c.kek);
+          c.kek_version = c.key.version;
+        }
+        kek_ptrs[j] = &c.kek;
+      } else {
+        const crypto::Key128* key = s.child_index == kNil
+                                        ? &node(s.node_index).old_key
+                                        : &node(s.child_index).key.key;
+        crypto::PreparedKek* slot = &scratch_keks[scratch_at++];
+        prep_keys.push_back(key);
+        prep_dests.push_back(slot);
+        kek_ptrs[j] = slot;
+      }
     }
-  } else {
-    // kLeave / kNew: the old key is compromised or nonexistent — wrap under
-    // every surviving child key.
-    for (const std::uint32_t child : n.children) wrap_under_child(node(child));
+    if (!prep_keys.empty()) {
+      prep_tmp.resize(prep_keys.size());
+      crypto::PreparedKek::prepare_many(prep_keys.data(), prep_keys.size(),
+                                        prep_tmp.data());
+      for (std::size_t k = 0; k < prep_keys.size(); ++k) *prep_dests[k] = prep_tmp[k];
+    }
+
+    requests.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const WrapSpec& s = specs[j];
+      const Node& n = node(s.node_index);
+      crypto::KeyId wrapping_id = n.id;
+      std::uint32_t wrapping_version = n.key.version - 1;
+      if (s.child_index != kNil) {
+        const Node& c = node(s.child_index);
+        wrapping_id = c.id;
+        wrapping_version = c.key.version;
+      }
+      requests[j] =
+          crypto::PreparedWrapRequest{kek_ptrs[j], wrapping_id,    wrapping_version,
+                                      &n.key.key,  n.id,           n.key.version,
+                                      nonces[j]};
+    }
+    // Specs are generated in output order, so a chunk's slots are contiguous.
+    crypto::wrap_keys_batch(std::span<const crypto::PreparedWrapRequest>(requests),
+                            out.subspan(out_at, count));
+    out_at += count;
+    specs.clear();
+  };
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t index = dirty_scratch_[i];
+    const Node& n = node(index);
+    std::uint32_t w = 0;
+    if (n.mark == Mark::kJoin) {
+      // One wrap under the node's previous key covers every incumbent...
+      specs.push_back(WrapSpec{index, kNil, w++});
+      // ...plus chain wraps so arriving members can climb from their leaf.
+      for (const std::uint32_t child : n.children) {
+        const Node& c = node(child);
+        const bool arriving = c.new_leaf || (!c.is_leaf() && c.is_dirty());
+        if (arriving) specs.push_back(WrapSpec{index, child, w++});
+      }
+    } else {
+      // kLeave / kNew: the old key is compromised or nonexistent — wrap under
+      // every surviving child key.
+      for (const std::uint32_t child : n.children)
+        specs.push_back(WrapSpec{index, child, w++});
+    }
+    if (specs.size() >= kEmitChunk) flush();
   }
+  flush();
 }
 
 void KeyTree::emit_wraps(std::uint64_t epoch, RekeyMessage& out) {
@@ -356,11 +437,10 @@ void KeyTree::emit_wraps(std::uint64_t epoch, RekeyMessage& out) {
   out.wraps.resize(total);
 
   const auto emit_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i)
-      emit_node_wraps(epoch, dirty_scratch_[i],
-                      std::span<crypto::WrappedKey>(out.wraps)
-                          .subspan(wrap_offsets_[i],
-                                   wrap_offsets_[i + 1] - wrap_offsets_[i]));
+    emit_range_wraps(epoch, begin, end,
+                     std::span<crypto::WrappedKey>(out.wraps)
+                         .subspan(wrap_offsets_[begin],
+                                  wrap_offsets_[end] - wrap_offsets_[begin]));
   };
 
   if (pool_ != nullptr && pool_->size() > 1 && total >= kParallelWrapThreshold) {
@@ -451,6 +531,22 @@ std::vector<workload::MemberId> KeyTree::members() const {
   out.reserve(leaves_.size());
   for (const auto& [id, index] : leaves_) out.push_back(workload::make_member_id(id));
   return out;
+}
+
+void TreeStats::merge(const TreeStats& other) {
+  const double combined = static_cast<double>(member_count + other.member_count);
+  if (combined > 0.0)
+    mean_leaf_depth =
+        (mean_leaf_depth * static_cast<double>(member_count) +
+         other.mean_leaf_depth * static_cast<double>(other.member_count)) /
+        combined;
+  member_count += other.member_count;
+  node_count += other.node_count;
+  height = std::max(height, other.height);
+  if (leaf_depth_histogram.size() < other.leaf_depth_histogram.size())
+    leaf_depth_histogram.resize(other.leaf_depth_histogram.size(), 0);
+  for (std::size_t d = 0; d < other.leaf_depth_histogram.size(); ++d)
+    leaf_depth_histogram[d] += other.leaf_depth_histogram[d];
 }
 
 TreeStats KeyTree::stats() const {

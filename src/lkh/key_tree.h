@@ -31,6 +31,11 @@ struct TreeStats {
   /// empty for an empty tree). Throughput benches report this to show the
   /// arena keeps trees balanced at scale.
   std::vector<std::size_t> leaf_depth_histogram;
+
+  /// Fold another tree's stats into this one (multi-tree schemes: QT/TT/PT
+  /// partitions, loss bins). Counts sum, height takes the max, mean leaf
+  /// depth is re-weighted by member count, histograms add element-wise.
+  void merge(const TreeStats& other);
 };
 
 /// A logical key hierarchy (LKH) maintained by the key server
@@ -182,8 +187,8 @@ class KeyTree {
   void mark_path(std::uint32_t index, Mark mark) noexcept;
   void refresh_dirty();
   void emit_wraps(std::uint64_t epoch, RekeyMessage& out);
-  void emit_node_wraps(std::uint64_t epoch, std::uint32_t index,
-                       std::span<crypto::WrappedKey> out) noexcept;
+  void emit_range_wraps(std::uint64_t epoch, std::size_t begin, std::size_t end,
+                        std::span<crypto::WrappedKey> out) noexcept;
   [[nodiscard]] std::size_t wrap_count(const Node& n) const noexcept;
   void splice_if_degenerate(std::uint32_t index);
   void forget_vacancy(std::uint32_t index) noexcept;

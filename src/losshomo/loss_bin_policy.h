@@ -67,6 +67,12 @@ class LossBinPolicy final : public engine::PlacementPolicy {
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
   [[nodiscard]] std::size_t tree_size(std::size_t tree) const;
 
+  [[nodiscard]] lkh::TreeStats tree_stats() const override {
+    lkh::TreeStats stats;
+    for (const auto& tree : trees_) stats.merge(tree.stats());
+    return stats;
+  }
+
   /// Wraps contributed by each tree in the last emit() (DEK wraps excluded).
   [[nodiscard]] const std::vector<std::size_t>& per_tree_cost() const noexcept {
     return per_tree_cost_;

@@ -53,6 +53,8 @@ class OneTreePolicy final : public engine::PlacementPolicy {
   }
   void set_wrap_cache(bool enabled) override { tree_.set_wrap_cache(enabled); }
 
+  [[nodiscard]] lkh::TreeStats tree_stats() const override { return tree_.stats(); }
+
   [[nodiscard]] const lkh::KeyTree& tree() const noexcept { return tree_; }
 
  private:

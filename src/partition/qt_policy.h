@@ -59,6 +59,9 @@ class QtPolicy final : public engine::PlacementPolicy {
   }
   void set_wrap_cache(bool enabled) override { l_tree_.set_wrap_cache(enabled); }
 
+  /// Queue residents hold no tree position, so only the L-tree contributes.
+  [[nodiscard]] lkh::TreeStats tree_stats() const override { return l_tree_.stats(); }
+
   [[nodiscard]] std::size_t s_partition_size() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
 

@@ -63,6 +63,12 @@ class TtPolicy final : public engine::PlacementPolicy {
     l_tree_.set_wrap_cache(enabled);
   }
 
+  [[nodiscard]] lkh::TreeStats tree_stats() const override {
+    lkh::TreeStats stats = s_tree_.stats();
+    stats.merge(l_tree_.stats());
+    return stats;
+  }
+
   [[nodiscard]] std::size_t s_partition_size() const noexcept { return s_tree_.size(); }
   [[nodiscard]] std::size_t l_partition_size() const noexcept { return l_tree_.size(); }
 

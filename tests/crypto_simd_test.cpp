@@ -1,0 +1,409 @@
+// Differential property tests pinning the SIMD wrap kernels to the scalar
+// reference: at every dispatch level the vectorized ChaCha20 / multi-buffer
+// SHA-256 / batched wrap paths must produce byte-identical output (DESIGN.md
+// §10 — journal replay and snapshots depend on it).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/keywrap.h"
+#include "crypto/sha256.h"
+#include "crypto/simd/chacha20_xn.h"
+#include "crypto/simd/cpu.h"
+#include "crypto/simd/sha256_mb.h"
+
+namespace gk::crypto {
+namespace {
+
+// Every dispatch level this machine can run, widest last.
+std::vector<CpuLevel> available_levels() {
+  std::vector<CpuLevel> levels{CpuLevel::kScalar};
+  if (cpu_features().sse2) levels.push_back(CpuLevel::kSse2);
+  if (cpu_features().avx2) levels.push_back(CpuLevel::kAvx2);
+  return levels;
+}
+
+// Run `fn` once per available dispatch level, restoring the level afterwards.
+template <typename Fn>
+void for_each_level(Fn&& fn) {
+  const CpuLevel previous = cpu_level();
+  for (const CpuLevel level : available_levels()) {
+    force_cpu_level(level);
+    fn(level);
+  }
+  force_cpu_level(previous);
+}
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(rng() & 0xff);
+  return out;
+}
+
+std::array<std::uint8_t, 32> random_chacha_key(Rng& rng) {
+  std::array<std::uint8_t, 32> key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+  return key;
+}
+
+WrapNonce random_nonce(Rng& rng) {
+  WrapNonce nonce;
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng() & 0xff);
+  return nonce;
+}
+
+TEST(CpuDispatch, ParsesLevelNamesAndRejectsJunk) {
+  EXPECT_EQ(parse_cpu_level("scalar"), CpuLevel::kScalar);
+  EXPECT_EQ(parse_cpu_level("sse2"), CpuLevel::kSse2);
+  EXPECT_EQ(parse_cpu_level("avx2"), CpuLevel::kAvx2);
+  EXPECT_EQ(parse_cpu_level("avx512"), std::nullopt);
+  EXPECT_EQ(parse_cpu_level(""), std::nullopt);
+  for (const CpuLevel level : available_levels())
+    EXPECT_EQ(parse_cpu_level(cpu_level_name(level)), level);
+}
+
+TEST(CpuDispatch, ForceClampsToHardwareAndRestores) {
+  const CpuLevel previous = cpu_level();
+  const CpuLevel got = force_cpu_level(CpuLevel::kAvx2);
+  EXPECT_EQ(got, previous);
+  EXPECT_LE(cpu_level(), cpu_features().best);
+  force_cpu_level(CpuLevel::kScalar);
+  EXPECT_EQ(cpu_level(), CpuLevel::kScalar);
+  force_cpu_level(previous);
+}
+
+// In-place crypt at every level must match the scalar reference for random
+// lengths and random call-split offsets (partial-block keystream carry).
+TEST(ChaChaDifferential, InPlaceCryptMatchesScalarAcrossSplits) {
+  Rng rng(0xC4A71);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto key = random_chacha_key(rng);
+    const auto nonce = random_nonce(rng);
+    const std::size_t len = rng() % 700;
+    const auto plaintext = random_bytes(rng, len);
+    const std::size_t split = len > 0 ? rng() % (len + 1) : 0;
+
+    force_cpu_level(CpuLevel::kScalar);
+    auto expected = plaintext;
+    {
+      ChaCha20 cipher(key, nonce);
+      cipher.crypt(std::span<std::uint8_t>(expected.data(), split));
+      cipher.crypt(std::span<std::uint8_t>(expected.data() + split, len - split));
+    }
+
+    for_each_level([&](CpuLevel level) {
+      auto got = plaintext;
+      ChaCha20 cipher(key, nonce);
+      cipher.crypt(std::span<std::uint8_t>(got.data(), split));
+      cipher.crypt(std::span<std::uint8_t>(got.data() + split, len - split));
+      EXPECT_EQ(got, expected) << "level=" << cpu_level_name(level) << " len=" << len
+                               << " split=" << split;
+    });
+  }
+}
+
+TEST(ChaChaDifferential, CryptCopyMatchesScalar) {
+  Rng rng(0xC4A72);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto key = random_chacha_key(rng);
+    const auto nonce = random_nonce(rng);
+    const auto plaintext = random_bytes(rng, rng() % 1025);
+
+    force_cpu_level(CpuLevel::kScalar);
+    std::vector<std::uint8_t> expected;
+    {
+      ChaCha20 cipher(key, nonce);
+      expected = cipher.crypt_copy(plaintext);
+    }
+
+    for_each_level([&](CpuLevel level) {
+      ChaCha20 cipher(key, nonce);
+      EXPECT_EQ(cipher.crypt_copy(plaintext), expected)
+          << "level=" << cpu_level_name(level);
+    });
+  }
+}
+
+// The 32-bit block counter must wrap identically whether blocks are
+// generated one at a time or eight per lane set.
+TEST(ChaChaDifferential, CounterRolloverAcrossBlockBoundary) {
+  Rng rng(0xC4A73);
+  const auto key = random_chacha_key(rng);
+  const auto nonce = random_nonce(rng);
+  // 0xffffffff rolls over to 0 after the first 64-byte block; 1000 bytes
+  // also exercises every lane remainder (15 whole blocks + tail).
+  const auto plaintext = random_bytes(rng, 1000);
+
+  force_cpu_level(CpuLevel::kScalar);
+  std::vector<std::uint8_t> expected;
+  {
+    ChaCha20 cipher(key, nonce, /*initial_counter=*/0xffffffffu);
+    expected = cipher.crypt_copy(plaintext);
+  }
+
+  for_each_level([&](CpuLevel level) {
+    ChaCha20 cipher(key, nonce, /*initial_counter=*/0xffffffffu);
+    EXPECT_EQ(cipher.crypt_copy(plaintext), expected)
+        << "level=" << cpu_level_name(level);
+  });
+}
+
+// Direct kernel check: every lane of chacha20_blocks emits the very block
+// the scalar streaming class would, for per-lane keys/nonces/counters.
+TEST(ChaChaDifferential, BlockKernelMatchesStreamPerLane) {
+  Rng rng(0xC4A74);
+  for (std::size_t lanes = 1; lanes <= 13; ++lanes) {
+    std::vector<std::array<std::uint8_t, 32>> keys(lanes);
+    std::vector<WrapNonce> nonces(lanes);
+    std::vector<std::uint32_t> counters(lanes);
+    std::vector<std::array<std::uint32_t, 16>> states(lanes);
+    std::vector<std::array<std::uint8_t, 64>> blocks(lanes);
+    std::vector<const std::uint32_t*> state_ptrs(lanes);
+    std::vector<std::uint8_t*> out_ptrs(lanes);
+
+    for (std::size_t i = 0; i < lanes; ++i) {
+      keys[i] = random_chacha_key(rng);
+      nonces[i] = random_nonce(rng);
+      counters[i] = static_cast<std::uint32_t>(rng());
+      auto load_le = [](const std::uint8_t* p) {
+        return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+               (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+      };
+      states[i] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+      for (std::size_t j = 0; j < 8; ++j) states[i][4 + j] = load_le(&keys[i][4 * j]);
+      states[i][12] = counters[i];
+      for (std::size_t j = 0; j < 3; ++j) states[i][13 + j] = load_le(&nonces[i][4 * j]);
+      state_ptrs[i] = states[i].data();
+      out_ptrs[i] = blocks[i].data();
+    }
+
+    for_each_level([&](CpuLevel level) {
+      simd::chacha20_blocks(state_ptrs.data(), out_ptrs.data(), lanes);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        ChaCha20 reference(keys[i], nonces[i], counters[i]);
+        const std::vector<std::uint8_t> zeros(64, 0);
+        const auto keystream = reference.crypt_copy(zeros);
+        EXPECT_TRUE(std::equal(keystream.begin(), keystream.end(), blocks[i].begin()))
+            << "level=" << cpu_level_name(level) << " lane=" << i << "/" << lanes;
+      }
+    });
+  }
+}
+
+// Multi-buffer SHA-256 over lanes of unequal lengths — including empty
+// messages, one-block tails, and the 55/56-byte two-block-tail threshold.
+TEST(Sha256Differential, ManyMatchesScalarForUnequalLengths) {
+  Rng rng(0x5AA256);
+  const std::vector<std::size_t> tricky = {0, 1, 55, 56, 63, 64, 65, 119, 120, 127, 128};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t count = 1 + rng() % 20;
+    std::vector<std::vector<std::uint8_t>> messages(count);
+    std::vector<const std::uint8_t*> ptrs(count);
+    std::vector<std::size_t> lens(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t len =
+          (rng() % 2 == 0) ? tricky[rng() % tricky.size()] : rng() % 300;
+      messages[i] = random_bytes(rng, len);
+      ptrs[i] = messages[i].data();
+      lens[i] = len;
+    }
+
+    std::vector<Sha256::Digest> expected(count);
+    for (std::size_t i = 0; i < count; ++i)
+      expected[i] = sha256(std::span<const std::uint8_t>(ptrs[i], lens[i]));
+
+    for_each_level([&](CpuLevel level) {
+      std::vector<Sha256::Digest> got(count);
+      simd::sha256_many(ptrs.data(), lens.data(), count, got.data());
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(got[i], expected[i])
+            << "level=" << cpu_level_name(level) << " lane=" << i << " len=" << lens[i];
+    });
+  }
+}
+
+TEST(HmacDifferential, MidstateMatchesDirectHmac) {
+  Rng rng(0x11AC1);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Keys longer than one block exercise the pre-hash detour.
+    const auto key = random_bytes(rng, rng() % 100);
+    const auto message = random_bytes(rng, rng() % 200);
+    const auto expected = hmac_sha256(key, message);
+    const HmacMidstate midstate = hmac_midstate(key);
+    EXPECT_EQ(hmac_sha256(midstate, message), expected);
+  }
+}
+
+TEST(HmacDifferential, ManyMatchesScalarAtEveryLevel) {
+  Rng rng(0x11AC2);
+  const std::size_t count = 21;  // not a lane multiple: exercises stragglers
+  std::vector<std::vector<std::uint8_t>> keys(count);
+  std::vector<std::vector<std::uint8_t>> messages(count);
+  std::vector<HmacMidstate> midstates(count);
+  std::vector<const HmacMidstate*> midstate_ptrs(count);
+  std::vector<const std::uint8_t*> msg_ptrs(count);
+  std::vector<std::size_t> lens(count);
+  std::vector<Sha256::Digest> expected(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    keys[i] = random_bytes(rng, rng() % 100);
+    messages[i] = random_bytes(rng, rng() % 200);
+    expected[i] = hmac_sha256(keys[i], messages[i]);
+    msg_ptrs[i] = messages[i].data();
+    lens[i] = messages[i].size();
+  }
+
+  for_each_level([&](CpuLevel level) {
+    std::vector<const std::uint8_t*> key_ptrs(count);
+    std::vector<std::size_t> key_lens(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      key_ptrs[i] = keys[i].data();
+      key_lens[i] = keys[i].size();
+    }
+    hmac_midstate_many(key_ptrs.data(), key_lens.data(), count, midstates.data());
+    for (std::size_t i = 0; i < count; ++i) midstate_ptrs[i] = &midstates[i];
+    std::vector<Sha256::Digest> got(count);
+    hmac_sha256_many(midstate_ptrs.data(), msg_ptrs.data(), lens.data(), count,
+                     got.data());
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(got[i], expected[i])
+          << "level=" << cpu_level_name(level) << " lane=" << i;
+  });
+}
+
+TEST(WrapDifferential, DeriveWrapNoncesMatchesScalar) {
+  Rng rng(0x40CE);
+  const std::size_t count = 77;
+  std::vector<WrapNonceSpec> specs(count);
+  std::vector<WrapNonce> expected(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs[i] = WrapNonceSpec{rng(), make_key_id(rng()),
+                             static_cast<std::uint32_t>(rng())};
+    expected[i] = derive_wrap_nonce(specs[i].epoch, specs[i].dest, specs[i].index);
+  }
+  for_each_level([&](CpuLevel level) {
+    std::vector<WrapNonce> got(count);
+    derive_wrap_nonces(specs, got.data());
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(got[i], expected[i])
+          << "level=" << cpu_level_name(level) << " i=" << i;
+  });
+}
+
+void expect_wrapped_equal(const WrappedKey& got, const WrappedKey& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.target_id, want.target_id) << context;
+  EXPECT_EQ(got.target_version, want.target_version) << context;
+  EXPECT_EQ(got.wrapping_id, want.wrapping_id) << context;
+  EXPECT_EQ(got.wrapping_version, want.wrapping_version) << context;
+  EXPECT_EQ(got.nonce, want.nonce) << context;
+  EXPECT_EQ(got.ciphertext, want.ciphertext) << context;
+  EXPECT_EQ(got.tag, want.tag) << context;
+}
+
+// The engine's shape: every request under a different KEK. Batch output must
+// match per-request scalar wraps at every level, and still unwrap.
+TEST(WrapDifferential, HeterogeneousBatchMatchesScalarWraps) {
+  Rng rng(0x88A9);
+  const std::size_t count = 67;  // chunk remainder + lane remainder
+  std::vector<Key128> keks(count);
+  std::vector<Key128> payloads(count);
+  std::vector<KeyedWrapRequest> requests(count);
+  std::vector<WrappedKey> expected(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    keks[i] = Key128::random(rng);
+    payloads[i] = Key128::random(rng);
+    requests[i] =
+        KeyedWrapRequest{&keks[i],           make_key_id(1000 + i),
+                         static_cast<std::uint32_t>(i), &payloads[i],
+                         make_key_id(2000 + i), static_cast<std::uint32_t>(i + 7),
+                         random_nonce(rng)};
+  }
+  force_cpu_level(CpuLevel::kScalar);
+  for (std::size_t i = 0; i < count; ++i) {
+    const KeyedWrapRequest& r = requests[i];
+    expected[i] = PreparedKek(*r.kek).wrap(r.wrapping_id, r.wrapping_version,
+                                           *r.payload, r.target_id, r.target_version,
+                                           r.nonce);
+  }
+
+  for_each_level([&](CpuLevel level) {
+    std::vector<WrappedKey> got(count);
+    wrap_keys_batch(std::span<const KeyedWrapRequest>(requests),
+                    std::span<WrappedKey>(got));
+    for (std::size_t i = 0; i < count; ++i) {
+      expect_wrapped_equal(got[i], expected[i],
+                           std::string("level=") + cpu_level_name(level) +
+                               " i=" + std::to_string(i));
+      const auto unwrapped = unwrap_key(keks[i], got[i]);
+      ASSERT_TRUE(unwrapped.has_value());
+      EXPECT_EQ(*unwrapped, payloads[i]);
+    }
+  });
+}
+
+TEST(WrapDifferential, PrepareManyMatchesScalarConstructor) {
+  Rng rng(0x88AA);
+  const std::size_t count = 19;
+  std::vector<Key128> keks(count);
+  std::vector<const Key128*> kek_ptrs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keks[i] = Key128::random(rng);
+    kek_ptrs[i] = &keks[i];
+  }
+  const Key128 payload = Key128::random(rng);
+  const WrapNonce nonce = random_nonce(rng);
+
+  for_each_level([&](CpuLevel level) {
+    std::vector<PreparedKek> prepared(count);
+    PreparedKek::prepare_many(kek_ptrs.data(), count, prepared.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto got = prepared[i].wrap(make_key_id(1), 2, payload, make_key_id(3), 4,
+                                        nonce);
+      const auto want = PreparedKek(keks[i]).wrap(make_key_id(1), 2, payload,
+                                                  make_key_id(3), 4, nonce);
+      expect_wrapped_equal(got, want, std::string("level=") + cpu_level_name(level) +
+                                          " i=" + std::to_string(i));
+    }
+  });
+}
+
+TEST(WrapDifferential, SharedKekBatchMatchesScalarLoop) {
+  Rng rng(0x88AB);
+  const Key128 kek = Key128::random(rng);
+  const std::size_t count = 130;  // two chunks + remainder
+  std::vector<WrapRequest> requests(count);
+  std::vector<WrappedKey> expected(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests[i] = WrapRequest{Key128::random(rng), make_key_id(i),
+                              static_cast<std::uint32_t>(i), random_nonce(rng)};
+  }
+  force_cpu_level(CpuLevel::kScalar);
+  {
+    const PreparedKek prepared(kek);
+    for (std::size_t i = 0; i < count; ++i)
+      expected[i] = prepared.wrap(make_key_id(9), 9, requests[i].payload,
+                                  requests[i].target_id, requests[i].target_version,
+                                  requests[i].nonce);
+  }
+
+  for_each_level([&](CpuLevel level) {
+    std::vector<WrappedKey> got(count);
+    wrap_keys_batch(kek, make_key_id(9), 9, std::span<const WrapRequest>(requests),
+                    std::span<WrappedKey>(got));
+    for (std::size_t i = 0; i < count; ++i)
+      expect_wrapped_equal(got[i], expected[i],
+                           std::string("level=") + cpu_level_name(level) +
+                               " i=" + std::to_string(i));
+  });
+}
+
+}  // namespace
+}  // namespace gk::crypto

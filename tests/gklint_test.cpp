@@ -166,6 +166,15 @@ TEST(gklint, IncludeOrderCleanFixtureWithOwnHeaderPinPasses) {
       lint("src/sim/transport_sim.cpp", fixture("include_order_clean.cpp")).empty());
 }
 
+TEST(gklint, IncludeOrderPinsIntrinsicsHeadersInPlace) {
+  // <immintrin.h> splits the surrounding block instead of sorting into it,
+  // and guarded intrinsics pairs are never reordered — moving one outside
+  // its #if guard would break non-x86 builds.
+  const auto text = fixture("include_order_intrinsics.cpp");
+  EXPECT_TRUE(lint("src/crypto/simd/kernel.cpp", text).empty());
+  EXPECT_EQ(fix_to_stable("src/crypto/simd/kernel.cpp", text), text);
+}
+
 TEST(gklint, IncludeOrderFixSortsAndSplitsBlocks) {
   const auto fixed =
       fix_to_stable("src/fake/other.cpp", fixture("include_order_violation.cpp"));

@@ -106,6 +106,36 @@ TEST(KeyTree, HeightStaysLogarithmic) {
   EXPECT_LE(stats.height, 6u);
 }
 
+TEST(KeyTree, StatsMergeAggregatesAcrossTrees) {
+  // Multi-tree policies (qt/tt/pt partitions, loss bins) fold per-tree
+  // stats with merge(); counts sum, height maxes, mean depth re-weights.
+  TreeStats a;
+  a.member_count = 100;
+  a.height = 3;
+  a.node_count = 40;
+  a.mean_leaf_depth = 3.0;
+  a.leaf_depth_histogram = {0, 0, 20, 80};
+  TreeStats b;
+  b.member_count = 300;
+  b.height = 5;
+  b.node_count = 110;
+  b.mean_leaf_depth = 5.0;
+  b.leaf_depth_histogram = {0, 0, 0, 0, 60, 240};
+  a.merge(b);
+  EXPECT_EQ(a.member_count, 400u);
+  EXPECT_EQ(a.height, 5u);
+  EXPECT_EQ(a.node_count, 150u);
+  EXPECT_DOUBLE_EQ(a.mean_leaf_depth, (3.0 * 100 + 5.0 * 300) / 400.0);
+  const std::vector<std::size_t> want = {0, 0, 20, 80, 60, 240};
+  EXPECT_EQ(a.leaf_depth_histogram, want);
+
+  // Merging into an empty accumulator copies the other side verbatim.
+  TreeStats empty;
+  empty.merge(b);
+  EXPECT_EQ(empty.member_count, b.member_count);
+  EXPECT_DOUBLE_EQ(empty.mean_leaf_depth, b.mean_leaf_depth);
+}
+
 TEST(KeyTree, HeightShrinksAfterMassDeparture) {
   KeyTree tree(4, Rng(6));
   for (std::uint64_t i = 0; i < 256; ++i) tree.insert(make_member_id(i));

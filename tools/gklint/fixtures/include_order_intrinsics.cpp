@@ -1,0 +1,12 @@
+#include <vector>
+#include <immintrin.h>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <emmintrin.h>
+#include <cpuid.h>
+#endif
+
+#include "alpha/a.h"
+
+int main() { return 0; }

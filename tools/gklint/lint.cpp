@@ -387,6 +387,19 @@ struct IncludeLine {
   std::string raw;
 };
 
+/// ISA-specific intrinsics headers sit inside `#if defined(__x86_64__)`-style
+/// guards and are position-sensitive (moving one outside its guard breaks
+/// non-x86 builds), so they are pinned where the author put them: excluded
+/// from ordering checks, never moved by --fix, and splitting the surrounding
+/// block the way a blank line would.
+[[nodiscard]] bool is_intrinsics_header(std::string_view path, bool angle) {
+  static const std::set<std::string, std::less<>> kIntrinsics = {
+      "ammintrin.h", "arm_acle.h",  "arm_neon.h",  "cpuid.h",     "emmintrin.h",
+      "immintrin.h", "nmmintrin.h", "pmmintrin.h", "smmintrin.h", "tmmintrin.h",
+      "wmmintrin.h", "x86intrin.h", "xmmintrin.h"};
+  return angle && kIntrinsics.count(path) != 0;
+}
+
 [[nodiscard]] std::vector<IncludeLine> parse_includes(
     const std::vector<std::string>& lines) {
   std::vector<IncludeLine> out;
@@ -402,6 +415,7 @@ struct IncludeLine {
     if (open != '<' && open != '"') continue;
     const auto end = s.find(close, 1);
     if (end == std::string_view::npos) continue;
+    if (is_intrinsics_header(s.substr(1, end - 1), open == '<')) continue;
     out.push_back({i, std::string(s.substr(1, end - 1)), open == '<',
                    std::string(lines[i])});
   }
