@@ -170,24 +170,13 @@ void fill_tree_shape(const partition::RekeyServer& server, Row& row) {
   row.mean_leaf_depth = stats.mean_leaf_depth;
 }
 
-/// Current commit, short form; "unknown" outside a git checkout.
-std::string git_sha() {
-  std::string sha;
-  if (FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
-    char buf[64];
-    if (fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
-    pclose(pipe);
-  }
-  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
-  return sha.empty() ? "unknown" : sha;
-}
-
 void write_json(const std::string& path, const std::vector<Row>& rows,
                 const Config& config, std::size_t epochs) {
   // One self-contained run record, appended to the "runs" array so the
   // file accumulates a perf trajectory across commits.
   std::ostringstream run;
-  run << "    {\n      \"git_sha\": \"" << (rows.empty() ? git_sha() : rows.front().git_sha)
+  run << "    {\n      \"git_sha\": \""
+      << (rows.empty() ? bench::git_sha() : rows.front().git_sha)
       << "\",\n      \"smoke\": " << (config.smoke ? "true" : "false")
       << ",\n      \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n      \"cpu\": \"" << bench::cpu_tag() << "\",\n      \"epochs\": " << epochs
@@ -209,25 +198,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   run << "      ]\n    }";
-
-  // Splice into an existing runs-array document; start one otherwise (a
-  // legacy single-run file without "runs" is restarted in the new shape).
-  std::string existing;
-  {
-    std::ifstream in(path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    existing = buf.str();
-  }
-  const std::string closer = "\n  ]\n}\n";
-  const auto tail = existing.rfind(closer);
-  std::ofstream out(path, std::ios::trunc);
-  if (existing.find("\"runs\": [") != std::string::npos && tail != std::string::npos) {
-    out << existing.substr(0, tail) << ",\n" << run.str() << closer;
-  } else {
-    out << "{\n  \"bench\": \"throughput\",\n  \"runs\": [\n" << run.str() << closer;
-  }
-  std::cout << "appended run to " << path << " (" << rows.size() << " rows)\n";
+  bench::append_json_run(path, "throughput", run.str());
 }
 
 }  // namespace
@@ -278,7 +249,7 @@ int main(int argc, char** argv) {
   const crypto::CpuLevel native_level = crypto::cpu_level();
 
   const std::vector<std::string> schemes = {"one-tree", "qt", "tt", "pt"};
-  const std::string sha = git_sha();
+  const std::string sha = bench::git_sha();
 
   // Pools are shared across configurations: spawn each size once.
   std::vector<std::unique_ptr<common::ThreadPool>> pools;

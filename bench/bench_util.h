@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/table.h"
@@ -36,6 +39,45 @@ inline void banner(const std::string& experiment, const std::string& description
 inline void print_with_csv(const Table& table, const std::string& title) {
   table.print(std::cout, title);
   std::cout << "CSV:\n" << table.to_csv() << '\n';
+}
+
+/// Current commit, short form; "unknown" outside a git checkout.
+[[nodiscard]] inline std::string git_sha() {
+  std::string sha;
+  if (FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Append one self-contained run record to the "runs" array of a
+/// BENCH_*.json document so the file accumulates a perf trajectory across
+/// commits. The record is spliced before the array closer of an existing
+/// document; a missing or legacy single-run file is restarted in the
+/// accumulating shape. `run_record` must be a complete JSON object,
+/// indented for nesting at depth two.
+inline void append_json_run(const std::string& path, const std::string& bench_name,
+                            const std::string& run_record) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = buf.str();
+  }
+  const std::string closer = "\n  ]\n}\n";
+  const auto tail = existing.rfind(closer);
+  std::ofstream out(path, std::ios::trunc);
+  if (existing.find("\"runs\": [") != std::string::npos && tail != std::string::npos) {
+    out << existing.substr(0, tail) << ",\n" << run_record << closer;
+  } else {
+    out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"runs\": [\n" << run_record
+        << closer;
+  }
+  std::cout << "appended run to " << path << '\n';
 }
 
 }  // namespace gk::bench

@@ -36,6 +36,10 @@ struct Relocation {
 /// The outcome of committing one rekey period.
 struct EpochOutput {
   std::uint64_t epoch = 0;
+  /// Leader term that authored this commit (epoch fencing). 0 for an
+  /// unreplicated server; a replicated deployment stamps the elected term
+  /// here (JournaledServer::set_term) and members reject stale terms.
+  std::uint64_t term = 0;
   /// The multicast rekey payload (partition messages merged, group-key
   /// wraps appended). message.cost() is the paper's metric.
   lkh::RekeyMessage message;

@@ -1,0 +1,229 @@
+#include "faultsim/failover.h"
+
+#include <map>
+#include <utility>
+
+#include "common/ensure.h"
+#include "faultsim/invariants.h"
+#include "lkh/key_ring.h"
+#include "partition/factory.h"
+#include "replica/cluster.h"
+#include "wire/record.h"
+
+namespace gk::faultsim {
+
+namespace {
+
+/// Drill-side view of one member. Members in this drill always receive the
+/// multicast (per-member delivery faults are the single-server harness's
+/// territory); what they enforce here is term fencing.
+struct DrillMember {
+  lkh::KeyRing ring;
+  crypto::Key128 individual;
+  crypto::KeyId leaf_id{};
+  /// Highest authoring term this member has accepted; records framed by a
+  /// staler term are refused without touching the ring.
+  std::uint64_t fenced_term = 0;
+};
+
+}  // namespace
+
+FailoverDrillResult run_failover_drill(const FailoverConfig& config) {
+  GK_ENSURE_MSG(config.epochs > 0, "need at least one epoch");
+  GK_ENSURE_MSG(config.standbys >= 1, "failover drill needs at least one standby");
+  const FaultSchedule faults(config.faults);
+  InvariantChecker checker;
+  FailoverDrillResult result;
+
+  Rng workload_rng(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = config.degree;
+  scheme_config.s_period_epochs = config.s_period_epochs;
+  scheme_config.bin_upper_bounds = config.bins;
+
+  replica::ReplicaCluster::Config cluster_config;
+  cluster_config.standbys = config.standbys;
+  cluster_config.journal.checkpoint_every = config.checkpoint_every;
+  cluster_config.journal.digest_every = config.digest_every;
+  cluster_config.channel_seed = config.seed ^ 0x5a5a5a5a5a5a5a5aULL;
+
+  // Every replica starts from the same seed: blanks are structurally
+  // identical and the first shipped checkpoint overwrites all state anyway.
+  replica::ReplicaCluster cluster(
+      [&] {
+        return partition::make_server(config.scheme, scheme_config, Rng(config.seed));
+      },
+      cluster_config);
+
+  std::map<std::uint64_t, DrillMember> members;
+  std::uint64_t next_member = 1;
+
+  auto do_join = [&](std::uint64_t epoch) {
+    workload::MemberProfile profile;
+    profile.id = workload::make_member_id(next_member++);
+    profile.member_class = workload_rng.bernoulli(0.5) ? workload::MemberClass::kShort
+                                                       : workload::MemberClass::kLong;
+    profile.join_time = static_cast<double>(epoch);
+    profile.duration = 1.0 + workload_rng.uniform() * 32.0;
+    profile.loss_rate = 0.0;
+    const auto registration = cluster.join(profile);
+    DrillMember member{
+        lkh::KeyRing(profile.id, registration.leaf_id, registration.individual_key),
+        registration.individual_key, registration.leaf_id,
+        // Registration is unicast from the current leader and carries its
+        // term, so newcomers are born fenced.
+        cluster.term()};
+    if (config.check_invariants) checker.note_join(member.ring);
+    members.emplace(workload::raw(profile.id), std::move(member));
+  };
+
+  for (std::uint64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochRecord record;
+    record.epoch = epoch;
+
+    // ---- Partition drill: the leader is cut off between epochs. The
+    // survivors elect a replacement; the ex-leader stays alive so its stale
+    // stream can be offered (and must be refused) after the new leader's
+    // commit raises every fence. ----
+    const bool partitioned =
+        faults.leader_partitioned(epoch) && cluster.standby_count() >= 2;
+    if (partitioned) {
+      cluster.partition_leader();
+      const auto failover = cluster.failover();
+      GK_ENSURE_MSG(!failover.pending.has_value(),
+                    "a between-epochs partition interrupted no commit");
+      ++result.leader_partitions;
+      ++result.failovers;
+      record.failover = true;
+    }
+
+    // ---- Churn, journaled and shipped by the current leader. ----
+    if (epoch == 0) {
+      for (std::size_t j = 0; j < config.initial_members; ++j) do_join(epoch);
+    } else {
+      std::vector<std::uint64_t> eligible;
+      for (const auto& [raw_id, member] : members) eligible.push_back(raw_id);
+      const std::size_t leaves =
+          eligible.size() > config.leaves_per_epoch + 2 ? config.leaves_per_epoch : 0;
+      for (std::size_t l = 0; l < leaves; ++l) {
+        const auto pick = workload_rng.uniform_u64(eligible.size());
+        const auto raw_id = eligible[pick];
+        eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (config.check_invariants) checker.note_eviction(members.at(raw_id).ring);
+        cluster.leave(workload::make_member_id(raw_id));
+        members.erase(raw_id);
+      }
+      for (std::size_t j = 0; j < config.joins_per_epoch; ++j) do_join(epoch);
+    }
+
+    // ---- Ship-channel faults for this epoch's commit traffic. ----
+    for (std::size_t s = 0; s < cluster.standby_count(); ++s) {
+      if (faults.ship_delayed(epoch, s)) {
+        cluster.arm_channel_fault(s, transport::ShipChannel::Fault::kDelay);
+        ++result.ship_faults_injected;
+      } else if (faults.ship_torn(epoch, s)) {
+        cluster.arm_channel_fault(s, transport::ShipChannel::Fault::kTear);
+        ++result.ship_faults_injected;
+      }
+    }
+
+    // ---- Commit, possibly through a mid-commit leader kill + failover. ----
+    engine::EpochOutput out;
+    if (faults.leader_killed(epoch) && cluster.standby_count() >= 2) {
+      cluster.kill_leader_mid_commit();
+      bool crashed = false;
+      try {
+        out = cluster.end_epoch();
+      } catch (const partition::ServerCrashed&) {
+        crashed = true;
+      }
+      GK_ENSURE_MSG(crashed, "armed leader kill did not fire");
+      const auto failover = cluster.failover();
+      GK_ENSURE_MSG(failover.pending.has_value(),
+                    "promoted standby lost the interrupted epoch");
+      out = *failover.pending;
+      ++result.leader_kills;
+      ++result.failovers;
+      ++result.pending_epochs_delivered;
+      record.server_crashed = true;
+      record.failover = true;
+    } else {
+      out = cluster.end_epoch();
+    }
+    record.term = out.term;
+    record.leader = cluster.leader_node();
+    record.multicast_cost = out.message.cost();
+
+    const auto& durable = cluster.leader().durable();
+
+    // ---- Leaf relocations (partition migration), as in the harness. ----
+    for (auto& [raw_id, member] : members) {
+      const auto leaf = durable.member_leaf_id(workload::make_member_id(raw_id));
+      if (leaf != member.leaf_id) {
+        member.leaf_id = leaf;
+        member.ring.grant(leaf, {member.individual, 0});
+      }
+    }
+
+    // ---- Multicast delivery through the framed record, term enforced by
+    // every member before its ring sees a single wrap. ----
+    if (config.check_invariants) {
+      checker.note_message(out.message);
+      checker.note_commit(out.epoch, out.term);
+    }
+    const auto framed =
+        wire::RekeyRecord::decode_framed(wire::RekeyRecord::encode(out.message, out.term));
+    for (auto& [raw_id, member] : members) {
+      GK_ENSURE_MSG(framed.term >= member.fenced_term,
+                    "live leader's record must never be fenced out");
+      member.fenced_term = framed.term;
+      member.ring.process(framed.message);
+    }
+
+    // ---- Stale probe: the partitioned ex-leader commits on its side of
+    // the split and offers the result everywhere. Every standby and every
+    // member must refuse it. ----
+    if (partitioned) {
+      const auto probe = cluster.stale_commit();
+      for (const auto verdict : probe.verdicts) {
+        GK_ENSURE_MSG(verdict == replica::StandbyReplica::Offer::kRejectedStale,
+                      "standby accepted a fenced-out leader's stream");
+        ++result.stale_frames_refused;
+      }
+      const auto stale = wire::RekeyRecord::decode_framed(
+          wire::RekeyRecord::encode(probe.output.message, probe.output.term));
+      for (auto& [raw_id, member] : members) {
+        GK_ENSURE_MSG(stale.term < member.fenced_term,
+                      "member failed to fence a stale-term rekey record");
+        ++result.stale_records_refused;
+      }
+    }
+
+    // ---- Invariants + convergence. ----
+    record.group_key = cluster.leader().group_key();
+    if (config.check_invariants) {
+      std::vector<const lkh::KeyRing*> live;
+      live.reserve(members.size());
+      for (const auto& [raw_id, member] : members) live.push_back(&member.ring);
+      checker.check_epoch(epoch, cluster.leader().group_key_id(), record.group_key,
+                          live);
+      ++result.invariant_checks;
+    }
+    GK_ENSURE_MSG(cluster.standbys_identical(),
+                  "standby state diverged from the leader after epoch " << epoch);
+    result.epochs.push_back(std::move(record));
+  }
+
+  for (std::size_t s = 0; s < cluster.standby_count(); ++s) {
+    result.checkpoint_catchups += cluster.standby(s).stats().checkpoint_catchups;
+    result.digest_checks += cluster.standby(s).stats().digest_checks;
+  }
+  result.final_term = cluster.term();
+  result.final_leader = cluster.leader_node();
+  result.final_group_size = cluster.leader().size();
+  result.converged = cluster.standbys_identical();
+  return result;
+}
+
+}  // namespace gk::faultsim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faultsim/fault_schedule.h"
+#include "faultsim/harness.h"
+
+namespace gk::faultsim {
+
+/// One failover drill: a replicated cluster (leader + N standbys under
+/// journal shipping) driven through churn while the fault schedule kills
+/// the leader mid-commit, partitions it away, and damages the ship
+/// channels. The drill asserts, every epoch:
+///
+///  * the three group-key invariants (agreement, forward/backward secrecy)
+///    across leader changes,
+///  * epoch uniqueness — no epoch is ever delivered twice, even when a
+///    promoted standby re-delivers the commit a dead leader never sent,
+///  * term fencing — standbys answer a partitioned ex-leader's stream with
+///    kRejectedStale and members refuse its rekey record,
+///  * convergence — every standby's state is byte-identical to the
+///    leader's after the shipped commit.
+struct FailoverConfig {
+  /// Scheme name for partition::make_server ("one-tree", "qt", "tt", ...).
+  std::string scheme = "tt";
+  unsigned degree = 4;
+  unsigned s_period_epochs = 3;
+  std::vector<double> bins = {0.05, 1.0};
+
+  std::size_t standbys = 3;
+  std::size_t initial_members = 24;
+  std::size_t joins_per_epoch = 2;
+  std::size_t leaves_per_epoch = 2;
+  std::size_t epochs = 16;
+
+  std::uint64_t seed = 1;
+  FaultConfig faults;
+  std::size_t checkpoint_every = 4;
+  std::size_t digest_every = 1;
+  bool check_invariants = true;
+};
+
+struct FailoverDrillResult {
+  std::vector<EpochRecord> epochs;
+
+  std::size_t leader_kills = 0;
+  std::size_t leader_partitions = 0;
+  std::size_t failovers = 0;
+  /// Commits a dead leader journaled but never delivered, recovered from
+  /// the promoted standby's eager replay.
+  std::size_t pending_epochs_delivered = 0;
+  /// Standby kRejectedStale verdicts on a partitioned ex-leader's stream.
+  std::size_t stale_frames_refused = 0;
+  /// Member-side rejections of a stale-term rekey record.
+  std::size_t stale_records_refused = 0;
+  std::size_t ship_faults_injected = 0;
+  /// Aggregated standby stats at the end of the run.
+  std::size_t checkpoint_catchups = 0;
+  std::size_t digest_checks = 0;
+  std::size_t invariant_checks = 0;
+
+  std::uint64_t final_term = 0;
+  std::uint64_t final_leader = 0;
+  std::size_t final_group_size = 0;
+  /// Every surviving standby byte-identical to the leader at the end.
+  bool converged = false;
+};
+
+/// Drive the full drill. Throws gk::ContractViolation at the first broken
+/// invariant, divergent standby, or unfenced stale commit.
+[[nodiscard]] FailoverDrillResult run_failover_drill(const FailoverConfig& config);
+
+}  // namespace gk::faultsim

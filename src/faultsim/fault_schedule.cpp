@@ -23,6 +23,10 @@ enum Stream : std::uint64_t {
   kReorder = 4,
   kMemberCrash = 5,
   kRejoinDelay = 6,
+  kLeaderKill = 7,
+  kLeaderPartition = 8,
+  kShipDelay = 9,
+  kShipTear = 10,
 };
 
 }  // namespace
@@ -67,6 +71,22 @@ std::uint64_t FaultSchedule::rejoin_delay(std::uint64_t epoch,
   const auto draw = static_cast<std::uint64_t>(
       unit(kRejoinDelay, epoch, workload::raw(member)) * static_cast<double>(span));
   return config_.min_rejoin_delay + (draw >= span ? span - 1 : draw);
+}
+
+bool FaultSchedule::leader_killed(std::uint64_t epoch) const {
+  return unit(kLeaderKill, epoch, 0) < config_.leader_kill;
+}
+
+bool FaultSchedule::leader_partitioned(std::uint64_t epoch) const {
+  return unit(kLeaderPartition, epoch, 0) < config_.leader_partition;
+}
+
+bool FaultSchedule::ship_delayed(std::uint64_t epoch, std::uint64_t standby) const {
+  return unit(kShipDelay, epoch, standby) < config_.ship_delay;
+}
+
+bool FaultSchedule::ship_torn(std::uint64_t epoch, std::uint64_t standby) const {
+  return unit(kShipTear, epoch, standby) < config_.ship_torn;
 }
 
 }  // namespace gk::faultsim

@@ -24,6 +24,18 @@ struct FaultConfig {
   /// Crash-to-rejoin delay is uniform in [min, max] epochs.
   std::uint64_t min_rejoin_delay = 1;
   std::uint64_t max_rejoin_delay = 3;
+
+  // -- replication faults (failover drills; ignored by the single-server
+  //    harness) --
+  /// P(the leader is killed mid-commit this epoch, forcing a failover).
+  double leader_kill = 0.0;
+  /// P(the leader is partitioned away at the top of this epoch; the old
+  /// leader stays alive to attempt a fenced-out stale commit).
+  double leader_partition = 0.0;
+  /// P(the frame shipped to a given standby this epoch is delayed a round).
+  double ship_delay = 0.0;
+  /// P(the frame shipped to a given standby this epoch is torn).
+  double ship_torn = 0.0;
 };
 
 /// Seed-driven fault oracle. Every decision is a pure hash of
@@ -48,6 +60,11 @@ class FaultSchedule {
   /// Epochs until a member crashed at `epoch` rejoins (>= min_rejoin_delay).
   [[nodiscard]] std::uint64_t rejoin_delay(std::uint64_t epoch,
                                            workload::MemberId member) const;
+
+  [[nodiscard]] bool leader_killed(std::uint64_t epoch) const;
+  [[nodiscard]] bool leader_partitioned(std::uint64_t epoch) const;
+  [[nodiscard]] bool ship_delayed(std::uint64_t epoch, std::uint64_t standby) const;
+  [[nodiscard]] bool ship_torn(std::uint64_t epoch, std::uint64_t standby) const;
 
   [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
 

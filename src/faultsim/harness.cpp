@@ -175,8 +175,10 @@ HarnessResult run_harness(const HarnessConfig& config) {
     } else {
       out = server->end_epoch();
     }
+    record.term = out.term;
     record.multicast_cost = out.message.cost();
     result.multicast_key_transmissions += out.message.cost();
+    if (config.check_invariants) checker.note_commit(out.epoch, out.term);
 
     const auto& durable = server->durable();
 

@@ -47,6 +47,14 @@ struct HarnessConfig {
 
 struct EpochRecord {
   std::uint64_t epoch = 0;
+  /// Commit attribution: which node and term authored this epoch's commit.
+  /// The single-server harness is node 0 for its whole run (term 0: never
+  /// elected); failover drills re-point these at each promoted leader, so
+  /// per-epoch invariants no longer assume one server identity.
+  std::uint64_t term = 0;
+  std::uint64_t leader = 0;
+  /// The commit was delivered by a leader elected this epoch.
+  bool failover = false;
   crypto::VersionedKey group_key;
   std::size_t multicast_cost = 0;
   bool server_crashed = false;

@@ -8,6 +8,20 @@ void InvariantChecker::note_message(const lkh::RekeyMessage& message) {
   messages_.push_back(message);
 }
 
+void InvariantChecker::note_commit(std::uint64_t epoch, std::uint64_t term) {
+  if (commits_seen_ == 0) next_commit_epoch_ = epoch;
+  GK_ENSURE_MSG(epoch == next_commit_epoch_,
+                "invariant violated (epoch uniqueness): epoch "
+                    << epoch << " delivered out of order (expected "
+                    << next_commit_epoch_ << ")");
+  GK_ENSURE_MSG(term >= last_commit_term_,
+                "invariant violated (fencing): authoring term regressed from "
+                    << last_commit_term_ << " to " << term << " at epoch " << epoch);
+  ++next_commit_epoch_;
+  last_commit_term_ = term;
+  ++commits_seen_;
+}
+
 void InvariantChecker::note_eviction(const lkh::KeyRing& ring) {
   // Everything multicast up to now was fair game for the member; only
   // post-eviction messages must keep it out.

@@ -31,6 +31,12 @@ class InvariantChecker {
   /// Re-delivered recovery output must be recorded exactly once.
   void note_message(const lkh::RekeyMessage& message);
 
+  /// Record one delivered commit with the leader term that authored it.
+  /// Asserts the replication safety properties: epochs are delivered exactly
+  /// once and in order (no epoch committed twice — failovers and recovery
+  /// re-runs included), and authoring terms never regress.
+  void note_commit(std::uint64_t epoch, std::uint64_t term);
+
   /// Archive a member's ring at eviction time (before it could process the
   /// eviction epoch's message). The checker owns the copy and replays all
   /// later multicasts against it forever after.
@@ -53,6 +59,7 @@ class InvariantChecker {
     return evicted_.size();
   }
   [[nodiscard]] std::size_t probes_run() const noexcept { return probes_run_; }
+  [[nodiscard]] std::size_t commits_seen() const noexcept { return commits_seen_; }
 
  private:
   struct GroupKeyRecord {
@@ -75,6 +82,9 @@ class InvariantChecker {
   std::vector<JoinProbe> probes_;
   std::size_t checks_run_ = 0;
   std::size_t probes_run_ = 0;
+  std::size_t commits_seen_ = 0;
+  std::uint64_t next_commit_epoch_ = 0;  ///< pinned by the first note_commit
+  std::uint64_t last_commit_term_ = 0;
 };
 
 }  // namespace gk::faultsim

@@ -1,6 +1,7 @@
 #include "partition/journaled_server.h"
 
 #include "common/ensure.h"
+#include "crypto/sha256.h"
 
 namespace gk::partition {
 
@@ -23,6 +24,14 @@ void JournaledServer::leave(workload::MemberId member) {
   inner_->leave(member);
 }
 
+void JournaledServer::set_term(std::uint64_t term) {
+  GK_ENSURE_MSG(term >= term_,
+                "fencing term may not regress (" << term_ << " -> " << term << ")");
+  if (term == term_) return;
+  term_ = term;
+  journal_.record_term(term_);
+}
+
 EpochOutput JournaledServer::end_epoch() {
   // Intent is durable before the commit touches memory: a crash anywhere
   // after this line recovers by re-running the epoch from the journal.
@@ -32,12 +41,17 @@ EpochOutput JournaledServer::end_epoch() {
     throw ServerCrashed{};
   }
   auto out = inner_->end_epoch();
+  out.term = term_;
   journal_.record_commit_end(out.epoch);
-  ++commits_since_checkpoint_;
-  if (config_.checkpoint_every > 0 &&
-      commits_since_checkpoint_ >= config_.checkpoint_every) {
+  if (config_.digest_every > 0 &&
+      journal_.commits_since_checkpoint() % config_.digest_every == 0) {
+    journal_.record_state_digest(crypto::sha256(inner_->save_state()));
+  }
+  if (journal_.wants_checkpoint(config_.checkpoint_every)) {
     journal_.checkpoint(inner_->save_state());
-    commits_since_checkpoint_ = 0;
+    // The fresh stream must re-declare its provenance: a standby catching up
+    // from this checkpoint fences on the term it carries.
+    if (term_ > 0) journal_.record_term(term_);
   }
   return out;
 }
@@ -66,6 +80,9 @@ JournaledServer::Recovery JournaledServer::recover(
       case wire::RekeyJournal::Op::Kind::kLeave:
         server->leave(op.member);
         break;
+      case wire::RekeyJournal::Op::Kind::kTerm:
+        server->set_term(op.term);
+        break;
       case wire::RekeyJournal::Op::Kind::kCommit:
         // Re-run the epoch; for commits the dead server finished, the output
         // was already delivered and is discarded. The interrupted commit (if
@@ -73,6 +90,13 @@ JournaledServer::Recovery JournaledServer::recover(
         // message the dead server never sent.
         recovery.pending = server->end_epoch();
         if (op.commit_finished) recovery.pending.reset();
+        break;
+      case wire::RekeyJournal::Op::Kind::kDigest:
+        // The logged digest pins the whole replayed state, not just join
+        // grants: any divergence between this server and the journal's
+        // author is caught at the first post-commit digest.
+        GK_ENSURE_MSG(crypto::sha256(server->durable().save_state()) == op.digest,
+                      "journal replay diverged: state digest mismatch");
         break;
     }
   }

@@ -34,8 +34,14 @@ struct ServerCrashed : std::exception {
 class JournaledServer final : public RekeyServer {
  public:
   struct Config {
-    /// Commits between journal compactions (0 = never compact).
+    /// Commits between journal compactions (0 = never compact). The journal
+    /// itself tracks the commit count (wire::RekeyJournal::wants_checkpoint),
+    /// so shipping streams and long soaks stay bounded.
     std::size_t checkpoint_every = 8;
+    /// Commits between 'D' state-digest records (0 = never). Each digest is
+    /// the SHA-256 of the post-commit save_state(); local replay and shipped
+    /// standbys re-hash and must match, catching divergence within one epoch.
+    std::size_t digest_every = 1;
   };
 
   JournaledServer(std::unique_ptr<DurableRekeyServer> inner, Config config);
@@ -66,10 +72,20 @@ class JournaledServer final : public RekeyServer {
   /// throws ServerCrashed instead of committing.
   void arm_crash_before_commit() noexcept { crash_armed_ = true; }
 
+  /// Adopt a leader term won in an election (epoch fencing). The term is
+  /// journaled as a 'T' record, re-stamped after every compaction so a
+  /// shipped checkpoint carries its provenance, and stamped into every
+  /// EpochOutput this server commits. Terms only move forward.
+  void set_term(std::uint64_t term);
+  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
+
   /// The durable journal bytes — everything recover() needs.
   [[nodiscard]] const std::vector<std::uint8_t>& journal_bytes() const noexcept {
     return journal_.bytes();
   }
+  /// The journal itself (size/record-count/generation bookkeeping for
+  /// shippers and soak monitors).
+  [[nodiscard]] const wire::RekeyJournal& journal() const noexcept { return journal_; }
 
   [[nodiscard]] DurableRekeyServer& durable() noexcept { return *inner_; }
   [[nodiscard]] const DurableRekeyServer& durable() const noexcept { return *inner_; }
@@ -97,7 +113,7 @@ class JournaledServer final : public RekeyServer {
   std::unique_ptr<DurableRekeyServer> inner_;
   Config config_;
   wire::RekeyJournal journal_;
-  std::size_t commits_since_checkpoint_ = 0;
+  std::uint64_t term_ = 0;
   bool crash_armed_ = false;
 };
 

@@ -1,0 +1,189 @@
+#include "replica/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/ensure.h"
+#include "replica/election.h"
+#include "replica/ship.h"
+
+namespace gk::replica {
+
+ReplicaCluster::ReplicaCluster(const Factory& factory, Config config)
+    : config_(config) {
+  GK_ENSURE_MSG(factory != nullptr, "cluster needs a replica factory");
+  leader_ = std::make_unique<partition::JournaledServer>(factory(), config_.journal);
+  term_ = 1;  // the founding leader's term; failovers move it forward
+  leader_->set_term(term_);
+  nodes_.reserve(config_.standbys);
+  for (std::size_t i = 0; i < config_.standbys; ++i) {
+    const auto id = static_cast<std::uint64_t>(i) + 1;  // leader is node 0
+    nodes_.push_back(Node{
+        id,
+        std::make_unique<StandbyReplica>(id, factory()),
+        transport::ShipChannel(Rng(config_.channel_seed ^ (id * 0x9e3779b9ULL))),
+    });
+  }
+  ship();  // seed every standby with the founding checkpoint
+}
+
+engine::Registration ReplicaCluster::join(const workload::MemberProfile& profile) {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
+  auto registration = leader_->join(profile);
+  ship();
+  return registration;
+}
+
+void ReplicaCluster::leave(workload::MemberId member) {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
+  leader_->leave(member);
+  ship();
+}
+
+engine::EpochOutput ReplicaCluster::end_epoch() {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
+  try {
+    auto out = leader_->end_epoch();
+    ship();
+    // Drain frames a kDelay fault withheld earlier in the epoch, then
+    // re-offer anything a kDrop fault swallowed (the cursor never advanced,
+    // so the next cut covers the hole). Faults are one-shot, so this
+    // converges within the epoch.
+    for (auto& node : nodes_) pump(node);
+    ship();
+    return out;
+  } catch (const partition::ServerCrashed&) {
+    // The WAL tail (COMMIT_BEGIN included) hit the replication pipe before
+    // the process died: ship it, then the leader is gone.
+    ship();
+    for (auto& node : nodes_) pump(node);
+    ship();
+    leader_.reset();
+    throw;
+  }
+}
+
+void ReplicaCluster::arm_channel_fault(std::size_t standby,
+                                       transport::ShipChannel::Fault fault) {
+  GK_ENSURE_MSG(standby < nodes_.size(), "no such standby");
+  nodes_[standby].channel.arm_fault(fault);
+}
+
+void ReplicaCluster::kill_leader_mid_commit() {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to kill");
+  leader_->arm_crash_before_commit();
+}
+
+void ReplicaCluster::partition_leader() {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to partition");
+  GK_ENSURE_MSG(stale_leader_ == nullptr, "a partitioned ex-leader already exists");
+  stale_leader_ = std::move(leader_);
+}
+
+ReplicaCluster::StaleProbe ReplicaCluster::stale_commit() {
+  GK_ENSURE_MSG(stale_leader_ != nullptr, "no partitioned ex-leader to probe");
+  StaleProbe probe;
+  probe.output = stale_leader_->end_epoch();
+  // The split heals just enough for the stale stream to reach the standbys;
+  // fencing — not luck of the partition — must be what refuses it.
+  const JournalShipper shipper(*stale_leader_);
+  const auto frame = encode_frame(shipper.checkpoint_frame());
+  probe.verdicts.reserve(nodes_.size());
+  for (auto& node : nodes_) probe.verdicts.push_back(node.standby->offer(frame));
+  // Refused everywhere, the ex-leader steps down for good; the slot is free
+  // for the next partition drill.
+  stale_leader_.reset();
+  return probe;
+}
+
+ReplicaCluster::FailoverResult ReplicaCluster::failover() {
+  GK_ENSURE_MSG(leader_ == nullptr,
+                "failover with a live leader — kill or partition it first");
+  std::vector<Candidate> candidates;
+  candidates.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (!node.standby->synced()) continue;  // never seeded: not electable
+    candidates.push_back(
+        Candidate{node.id, node.standby->applied_epoch(), node.standby->cursor().offset});
+  }
+  const auto elected = elect_leader(candidates, term_);
+
+  const auto winner = static_cast<std::size_t>(
+      std::find_if(nodes_.begin(), nodes_.end(),
+                   [&](const Node& node) { return node.id == elected.leader; }) -
+      nodes_.begin());
+  auto promotion = nodes_[winner].standby->promote(elected.term, config_.journal);
+  leader_ = std::move(promotion.leader);
+  leader_node_ = elected.leader;
+  term_ = elected.term;
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(winner));
+
+  // Survivors fence out the old term, then re-anchor on the new stream.
+  for (auto& node : nodes_) node.standby->fence(term_);
+  ship();
+  return {term_, leader_node_, std::move(promotion.pending)};
+}
+
+const partition::JournaledServer& ReplicaCluster::leader() const {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader");
+  return *leader_;
+}
+
+partition::JournaledServer& ReplicaCluster::leader() {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader");
+  return *leader_;
+}
+
+const StandbyReplica& ReplicaCluster::standby(std::size_t index) const {
+  GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
+  return *nodes_[index].standby;
+}
+
+const transport::ShipChannel::Stats& ReplicaCluster::channel_stats(
+    std::size_t index) const {
+  GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
+  return nodes_[index].channel.stats();
+}
+
+void ReplicaCluster::fence_standby(std::size_t index, std::uint64_t term) {
+  GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
+  nodes_[index].standby->fence(term);
+}
+
+bool ReplicaCluster::standbys_identical() const {
+  GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to compare against");
+  const auto golden = leader_->durable().save_state();
+  for (const auto& node : nodes_) {
+    if (!node.standby->synced()) return false;
+    if (node.standby->state_bytes() != golden) return false;
+  }
+  return true;
+}
+
+void ReplicaCluster::ship() {
+  if (leader_ == nullptr) return;
+  const JournalShipper shipper(*leader_);
+  for (auto& node : nodes_) {
+    if (auto frame = shipper.next_frame(node.standby->cursor()))
+      node.channel.send(encode_frame(*frame));
+    pump(node);
+  }
+}
+
+void ReplicaCluster::pump(Node& node) {
+  const JournalShipper shipper(*leader_);
+  for (int round = 0; round < 4; ++round) {
+    bool need_checkpoint = false;
+    for (const auto& bytes : node.channel.deliver()) {
+      if (node.standby->offer(bytes) == StandbyReplica::Offer::kNeedCheckpoint)
+        need_checkpoint = true;
+    }
+    if (!need_checkpoint) return;
+    // Channel faults are one-shot, so the retransmitted checkpoint arrives
+    // clean on the next round.
+    node.channel.send(encode_frame(shipper.checkpoint_frame()));
+  }
+  GK_ENSURE_MSG(false, "standby failed to catch up after repeated checkpoints");
+}
+
+}  // namespace gk::replica

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/server.h"
+#include "partition/journaled_server.h"
+#include "replica/standby.h"
+#include "transport/ship_channel.h"
+
+namespace gk::replica {
+
+/// A replicated key-server deployment: one journaled leader plus N standby
+/// replicas, each fed over its own simulated ship channel.
+///
+/// Every membership operation is journaled by the leader and the journal
+/// tail is shipped to all standbys before the call returns — the WAL write
+/// and the replication send are one durability event, which is what lets a
+/// kill-leader drill assume the standbys saw COMMIT_BEGIN before the leader
+/// died. Shipping is cursor-driven: each standby acknowledges how much of
+/// the (term, generation) stream it holds, and the leader cuts the frame
+/// that advances that cursor to the journal head, so dropped frames are
+/// healed by the next ship and torn or flipped frames by an immediate
+/// checkpoint retransmit.
+///
+/// Failover is explicit: kill or partition the leader, then call failover()
+/// to run the deterministic election, promote the most up-to-date standby,
+/// fence the survivors to the new term, and re-anchor them on the new
+/// leader's stream. A partitioned ex-leader stays runnable so split-brain
+/// drills can prove its stale commits are refused on every path.
+class ReplicaCluster {
+ public:
+  /// Builds one blank server per replica; all replicas (and the leader)
+  /// must be structurally identical, and each standby's state is entirely
+  /// overwritten by the first shipped checkpoint.
+  using Factory = std::function<std::unique_ptr<engine::DurableRekeyServer>()>;
+
+  struct Config {
+    std::size_t standbys = 3;
+    partition::JournaledServer::Config journal{};
+    /// Seed for the per-channel fault RNGs (tear lengths, flip positions).
+    std::uint64_t channel_seed = 0x5eedULL;
+  };
+
+  ReplicaCluster(const Factory& factory, Config config);
+
+  // -- leader operations (journaled, then shipped to every standby) --
+  engine::Registration join(const workload::MemberProfile& profile);
+  void leave(workload::MemberId member);
+  /// Commit the epoch on the leader and ship it. If a crash was armed this
+  /// throws partition::ServerCrashed *after* shipping the COMMIT_BEGIN
+  /// tail — the leader is then dead and failover() must run.
+  engine::EpochOutput end_epoch();
+
+  // -- fault injection --
+  /// Arm a one-shot transport fault on the next frame shipped to `standby`.
+  void arm_channel_fault(std::size_t standby, transport::ShipChannel::Fault fault);
+  /// Arm the leader to die mid-commit (after journaling COMMIT_BEGIN).
+  void kill_leader_mid_commit();
+  /// Isolate the leader: it stays alive but its frames stop reaching the
+  /// standbys. The cluster is leaderless until failover() runs.
+  void partition_leader();
+
+  /// The partitioned ex-leader commits an epoch on its side of the split
+  /// and offers the resulting stream to every standby. After failover() the
+  /// verdict must be kRejectedStale on all of them, and the returned output
+  /// carries the stale term for member-side fencing tests. The probe
+  /// consumes the ex-leader (it steps down after being refused everywhere).
+  struct StaleProbe {
+    engine::EpochOutput output;
+    std::vector<StandbyReplica::Offer> verdicts;
+  };
+  StaleProbe stale_commit();
+
+  /// Elect and install a new leader from the surviving standbys.
+  struct FailoverResult {
+    std::uint64_t term = 0;
+    std::uint64_t leader_node = 0;
+    /// The epoch the dead leader journaled but never delivered, regenerated
+    /// by the promoted standby and restamped to the new term. The caller
+    /// must multicast it.
+    std::optional<engine::EpochOutput> pending;
+  };
+  FailoverResult failover();
+
+  // -- inspection --
+  [[nodiscard]] bool has_leader() const noexcept { return leader_ != nullptr; }
+  [[nodiscard]] const partition::JournaledServer& leader() const;
+  [[nodiscard]] partition::JournaledServer& leader();
+  [[nodiscard]] std::uint64_t leader_node() const noexcept { return leader_node_; }
+  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
+  [[nodiscard]] std::size_t standby_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const StandbyReplica& standby(std::size_t index) const;
+  [[nodiscard]] const transport::ShipChannel::Stats& channel_stats(
+      std::size_t index) const;
+  /// Raise a standby's fence directly (member-notified term, for tests).
+  void fence_standby(std::size_t index, std::uint64_t term);
+  /// True when every standby's full server state is byte-identical to the
+  /// leader's (the replication invariant; only meaningful between epochs).
+  [[nodiscard]] bool standbys_identical() const;
+
+ private:
+  struct Node {
+    std::uint64_t id = 0;
+    std::unique_ptr<StandbyReplica> standby;
+    transport::ShipChannel channel;
+  };
+
+  /// Advance every standby to the journal head (send + deliver + apply).
+  void ship();
+  /// Deliver queued frames to one standby, retransmitting a checkpoint
+  /// whenever it reports a gap or corruption.
+  void pump(Node& node);
+
+  Config config_;
+  std::unique_ptr<partition::JournaledServer> leader_;
+  std::unique_ptr<partition::JournaledServer> stale_leader_;  ///< partitioned ex-leader
+  std::uint64_t leader_node_ = 0;
+  std::uint64_t term_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gk::replica

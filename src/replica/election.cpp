@@ -1,0 +1,25 @@
+#include "replica/election.h"
+
+#include "common/ensure.h"
+
+namespace gk::replica {
+
+ElectionResult elect_leader(std::span<const Candidate> candidates,
+                            std::uint64_t current_term) {
+  GK_ENSURE_MSG(!candidates.empty(), "election with no eligible candidates");
+  const Candidate* best = &candidates.front();
+  for (const auto& candidate : candidates.subspan(1)) {
+    if (candidate.applied_epoch != best->applied_epoch) {
+      if (candidate.applied_epoch > best->applied_epoch) best = &candidate;
+      continue;
+    }
+    if (candidate.journal_offset != best->journal_offset) {
+      if (candidate.journal_offset > best->journal_offset) best = &candidate;
+      continue;
+    }
+    if (candidate.node < best->node) best = &candidate;
+  }
+  return {best->node, current_term + 1};
+}
+
+}  // namespace gk::replica

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gk::replica {
+
+/// One node's claim in a leader election: how much replicated history it
+/// holds. `applied_epoch` is the number of commits the node has applied;
+/// `journal_offset` breaks ties between nodes at the same epoch (a node
+/// that additionally holds staged-but-uncommitted operations is strictly
+/// more up to date, exactly like Raft's log-completeness rule).
+struct Candidate {
+  std::uint64_t node = 0;
+  std::uint64_t applied_epoch = 0;
+  std::uint64_t journal_offset = 0;
+};
+
+/// The outcome every participant computes identically: the winning node and
+/// the new fencing term (strictly greater than every term any candidate has
+/// seen, so a partitioned ex-leader's records are stale by construction).
+struct ElectionResult {
+  std::uint64_t leader = 0;
+  std::uint64_t term = 0;
+};
+
+/// Deterministic election among the given candidates: the most up-to-date
+/// node wins — max (applied_epoch, journal_offset), lowest node id breaking
+/// exact ties — and the term advances to current_term + 1. Deterministic by
+/// design (mirrors the km_election pattern in DCT's dist_sgkey): every
+/// replica evaluating the same candidate set reaches the same leader
+/// without exchanging votes, which is what makes failover drills
+/// reproducible. Throws ContractViolation when no candidates are offered.
+[[nodiscard]] ElectionResult elect_leader(std::span<const Candidate> candidates,
+                                          std::uint64_t current_term);
+
+}  // namespace gk::replica

@@ -1,0 +1,100 @@
+#include "replica/ship.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "wire/codec.h"
+#include "wire/error.h"
+
+namespace gk::replica {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'K', 'F', '1'};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const ShipFrame& frame) {
+  common::ByteWriter out;
+  for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u8(ShipFrame::kVersion);
+  out.u8(static_cast<std::uint8_t>(frame.kind));
+  out.u64(frame.term);
+  out.u64(frame.generation);
+  out.u64(frame.offset);
+  out.blob(frame.payload);
+  const auto digest = crypto::sha256(out.data());
+  out.bytes(digest);
+  return out.take();
+}
+
+ShipFrame decode_frame(std::span<const std::uint8_t> bytes) {
+  wire::Reader in(bytes);
+  if (in.remaining() < 4)
+    throw wire::WireError(wire::WireFault::kTruncated, "ship frame: no magic");
+  for (const char c : kMagic)
+    if (in.u8() != static_cast<std::uint8_t>(c))
+      throw wire::WireError(wire::WireFault::kBadMagic, "not a ship frame");
+  const auto version = in.u8();
+  if (version != ShipFrame::kVersion)
+    throw wire::WireError(wire::WireFault::kBadVersion,
+                          "ship frame version " + std::to_string(version) +
+                              " unsupported");
+  const auto kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(ShipFrame::Kind::kCheckpoint))
+    throw wire::WireError(wire::WireFault::kMalformed, "ship frame: unknown kind");
+
+  ShipFrame frame;
+  frame.kind = static_cast<ShipFrame::Kind>(kind);
+  frame.term = in.u64();
+  frame.generation = in.u64();
+  frame.offset = in.u64();
+  const auto payload = in.blob();
+  frame.payload.assign(payload.begin(), payload.end());
+
+  if (in.remaining() < crypto::Sha256::kDigestSize)
+    throw wire::WireError(wire::WireFault::kTruncated, "ship frame: digest missing");
+  const auto hashed = bytes.first(bytes.size() - in.remaining());
+  const auto digest = crypto::sha256(hashed);
+  const auto carried = in.bytes(crypto::Sha256::kDigestSize);
+  if (!std::equal(digest.begin(), digest.end(), carried.begin()))
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "ship frame: integrity digest mismatch");
+  in.expect_exhausted("ship frame");
+  return frame;
+}
+
+std::optional<ShipFrame> JournalShipper::next_frame(const Cursor& cursor) const {
+  const auto& journal = leader_->journal();
+  if (cursor.generation != journal.generation()) return checkpoint_frame();
+  const auto& bytes = journal.bytes();
+  if (cursor.offset > bytes.size()) return checkpoint_frame();  // cursor from lost future
+  if (cursor.offset == bytes.size()) return std::nullopt;       // caught up
+
+  ShipFrame frame;
+  frame.kind = ShipFrame::Kind::kDelta;
+  frame.term = leader_->term();
+  frame.generation = journal.generation();
+  frame.offset = cursor.offset;
+  frame.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(cursor.offset),
+                       bytes.end());
+  return frame;
+}
+
+ShipFrame JournalShipper::checkpoint_frame() const {
+  const auto& journal = leader_->journal();
+  ShipFrame frame;
+  frame.kind = ShipFrame::Kind::kCheckpoint;
+  frame.term = leader_->term();
+  frame.generation = journal.generation();
+  frame.offset = 0;
+  frame.payload = journal.bytes();
+  return frame;
+}
+
+JournalShipper::Cursor JournalShipper::head() const noexcept {
+  return {leader_->journal().generation(), leader_->journal().size_bytes()};
+}
+
+}  // namespace gk::replica

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "partition/journaled_server.h"
+
+namespace gk::replica {
+
+/// One journal-shipping frame: a slice of the leader's write-ahead journal
+/// with enough framing for a standby to detect every transport failure.
+///
+///   'G' 'K' 'F' '1' | u8 version | u8 kind | u64 term | u64 generation
+///   | u64 offset | blob payload | 32B SHA-256 of everything prior
+///
+/// A kDelta frame carries journal bytes [offset, offset + payload) of the
+/// stream identified by (term, generation); a kCheckpoint frame carries the
+/// whole current stream from byte 0 (base checkpoint record included) and
+/// re-anchors a lagging or corrupted standby. The trailing digest turns
+/// torn and bit-flipped frames into loud decode failures — a standby never
+/// applies a record whose bytes it cannot authenticate against the frame
+/// hash.
+struct ShipFrame {  // gklint: secret-type(ShipFrame)
+  static constexpr std::uint8_t kVersion = 1;
+  enum class Kind : std::uint8_t { kDelta = 0, kCheckpoint = 1 };
+
+  Kind kind = Kind::kDelta;
+  /// Leader term that authored the frame (epoch fencing).
+  std::uint64_t term = 0;
+  /// Journal compaction generation the offsets are relative to.
+  std::uint64_t generation = 0;
+  /// Byte offset of `payload` within the (term, generation) stream.
+  std::uint64_t offset = 0;
+  /// Journal bytes (checkpoint state and staged keys — secret material).
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encode a frame, appending the integrity digest.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const ShipFrame& frame);
+
+/// Decode and verify a frame. Throws wire::WireError on bad magic, bad
+/// version, truncation, or digest mismatch — the standby's cue to request
+/// checkpoint catch-up rather than apply a corrupt record.
+[[nodiscard]] ShipFrame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// The leader side of journal shipping: reads a JournaledServer's journal
+/// and cuts the frame that advances one standby's replication cursor to the
+/// journal head. Stateless per standby — the cluster tracks one Cursor per
+/// standby and acked offsets simply advance it.
+class JournalShipper {
+ public:
+  /// A standby's acknowledged position in the leader's journal stream.
+  struct Cursor {
+    std::uint64_t generation = 0;  ///< 0 = never synced: needs a checkpoint
+    std::uint64_t offset = 0;
+  };
+
+  explicit JournalShipper(const partition::JournaledServer& leader)
+      : leader_(&leader) {}
+
+  /// The frame that advances `cursor` toward the head: a delta when the
+  /// cursor lies inside the current generation, a full checkpoint when the
+  /// standby missed a compaction (or never synced), and nullopt when the
+  /// standby is already caught up.
+  [[nodiscard]] std::optional<ShipFrame> next_frame(const Cursor& cursor) const;
+
+  /// Full-stream catch-up frame, unconditionally.
+  [[nodiscard]] ShipFrame checkpoint_frame() const;
+
+  /// Where the journal head currently is.
+  [[nodiscard]] Cursor head() const noexcept;
+
+ private:
+  const partition::JournaledServer* leader_;
+};
+
+}  // namespace gk::replica

@@ -1,0 +1,280 @@
+#include "replica/standby.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "wire/error.h"
+
+namespace gk::replica {
+
+namespace {
+
+constexpr std::size_t kMagicSize = 4;  // "GKJ1"
+
+bool starts_with_journal_magic(std::span<const std::uint8_t> bytes) {
+  static constexpr char kMagic[4] = {'G', 'K', 'J', '1'};
+  if (bytes.size() < kMagicSize) return false;
+  for (std::size_t i = 0; i < kMagicSize; ++i)
+    if (bytes[i] != static_cast<std::uint8_t>(kMagic[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+StandbyReplica::StandbyReplica(std::uint64_t node_id,
+                               std::unique_ptr<engine::DurableRekeyServer> blank)
+    : node_(node_id), server_(std::move(blank)) {
+  GK_ENSURE_MSG(server_ != nullptr, "standby needs a blank server to replay into");
+}
+
+void StandbyReplica::fence(std::uint64_t term) noexcept {
+  fenced_term_ = std::max(fenced_term_, term);
+}
+
+std::uint64_t StandbyReplica::applied_epoch() const {
+  GK_ENSURE_MSG(server_ != nullptr, "standby was promoted away");
+  return server_->epoch();
+}
+
+JournalShipper::Cursor StandbyReplica::cursor() const noexcept {
+  if (!synced_) return {};
+  return {generation_, mirror_.size()};
+}
+
+crypto::Sha256::Digest StandbyReplica::state_digest() const {
+  return crypto::sha256(state_bytes());
+}
+
+std::vector<std::uint8_t> StandbyReplica::state_bytes() const {
+  GK_ENSURE_MSG(server_ != nullptr, "standby was promoted away");
+  GK_ENSURE_MSG(synced_, "standby not yet seeded by a checkpoint");
+  GK_ENSURE_MSG(staged_ops_ == 0 && !pending_join_,
+                "standby state read mid-batch (staged operations pending)");
+  return server_->save_state();
+}
+
+const engine::DurableRekeyServer& StandbyReplica::server() const {
+  GK_ENSURE_MSG(server_ != nullptr, "standby was promoted away");
+  return *server_;
+}
+
+StandbyReplica::Offer StandbyReplica::offer(std::span<const std::uint8_t> frame_bytes) {
+  GK_ENSURE_MSG(server_ != nullptr, "standby was promoted away");
+  ShipFrame frame;
+  try {
+    frame = decode_frame(frame_bytes);
+  } catch (const wire::WireError&) {
+    // Torn, flipped, or mis-framed on the wire: nothing of it is applied;
+    // ask for a re-anchor instead of guessing.
+    ++stats_.corrupt_frames;
+    return Offer::kNeedCheckpoint;
+  }
+  if (frame.term < fenced_term_) {
+    ++stats_.stale_frames;
+    return Offer::kRejectedStale;
+  }
+  return frame.kind == ShipFrame::Kind::kCheckpoint ? apply_checkpoint(frame)
+                                                    : apply_delta(frame);
+}
+
+StandbyReplica::Offer StandbyReplica::apply_checkpoint(const ShipFrame& frame) {
+  GK_ENSURE_MSG(starts_with_journal_magic(frame.payload),
+                "checkpoint frame does not carry a journal stream");
+  // Parse the base record eagerly so a reseed replaces state atomically.
+  common::ByteReader in(std::span<const std::uint8_t>(frame.payload).subspan(kMagicSize));
+  GK_ENSURE_MSG(in.remaining() >= 1 && in.u8() == 'B',
+                "checkpoint frame stream does not begin with a base record");
+  const auto base = in.blob();
+
+  // When we were already in lockstep and clean, the shipped base must equal
+  // our own serialized state byte for byte — verify instead of restoring
+  // (this is the cheap-standby property the whole design leans on). A
+  // lagging, corrupted, or mid-batch replica is reseeded outright.
+  bool verified_in_place = false;
+  if (synced_ && staged_ops_ == 0 && !pending_join_ && !pending_commit_) {
+    const auto mine = server_->save_state();
+    verified_in_place =
+        mine.size() == base.size() && std::equal(mine.begin(), mine.end(), base.begin());
+  }
+  if (!verified_in_place) server_->restore_state(base);
+
+  mirror_.assign(frame.payload.begin(), frame.payload.end());
+  parse_cursor_ = frame.payload.size() - in.remaining();
+  synced_ = true;
+  stream_term_ = frame.term;
+  generation_ = frame.generation;
+  fence(frame.term);
+  staged_ops_ = 0;
+  pending_join_ = false;
+  pending_commit_.reset();
+  ++stats_.checkpoint_catchups;
+  ++stats_.frames_applied;
+  apply_records();
+  return Offer::kApplied;
+}
+
+StandbyReplica::Offer StandbyReplica::apply_delta(const ShipFrame& frame) {
+  if (!synced_ || frame.term != stream_term_ || frame.generation != generation_) {
+    // Unseeded, a new leader's stream, or a missed compaction: re-anchor.
+    ++stats_.gap_frames;
+    return Offer::kNeedCheckpoint;
+  }
+  if (frame.offset > mirror_.size()) {
+    ++stats_.gap_frames;  // a frame before this one was lost
+    return Offer::kNeedCheckpoint;
+  }
+  const auto end = frame.offset + frame.payload.size();
+  const auto overlap = mirror_.size() - static_cast<std::size_t>(frame.offset);
+  // A delayed or retransmitted frame overlaps bytes we already hold; the
+  // overlap must match exactly (same stream) or the stream identity lied.
+  if (!std::equal(frame.payload.begin(),
+                  frame.payload.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min<std::size_t>(overlap,
+                                                                    frame.payload.size())),
+                  mirror_.begin() + static_cast<std::ptrdiff_t>(frame.offset))) {
+    ++stats_.gap_frames;
+    return Offer::kNeedCheckpoint;
+  }
+  if (end <= mirror_.size()) {
+    ++stats_.duplicate_frames;  // fully known bytes: benign no-op
+    return Offer::kApplied;
+  }
+  mirror_.insert(mirror_.end(),
+                 frame.payload.begin() + static_cast<std::ptrdiff_t>(overlap),
+                 frame.payload.end());
+  ++stats_.frames_applied;
+  apply_records();
+  return Offer::kApplied;
+}
+
+void StandbyReplica::apply_records() {
+  // Every complete record beyond the cursor is applied through the same
+  // deterministic replay path crash recovery uses. The shipper only cuts
+  // frames at record boundaries, so an incomplete tail can only mean the
+  // next frame has not arrived yet — stop and wait, never guess.
+  while (parse_cursor_ < mirror_.size()) {
+    const auto tag = mirror_[parse_cursor_];
+    const std::span<const std::uint8_t> body(mirror_.data() + parse_cursor_ + 1,
+                                             mirror_.size() - parse_cursor_ - 1);
+    common::ByteReader in(body);
+    switch (tag) {
+      case 'J': {
+        if (body.size() < 8 + 1 + 24) return;  // wait for the rest
+        workload::MemberProfile profile;
+        profile.id = workload::make_member_id(in.u64());
+        const auto member_class = in.u8();
+        GK_ENSURE_MSG(member_class <= 1, "shipped stream corrupt: bad member class");
+        profile.member_class = static_cast<workload::MemberClass>(member_class);
+        profile.join_time = in.f64();
+        profile.duration = in.f64();
+        profile.loss_rate = in.f64();
+        GK_ENSURE_MSG(!pending_join_,
+                      "shipped stream corrupt: join staged inside an open join");
+        const auto registration = server_->join(profile);
+        pending_join_ = true;
+        pending_grant_ = registration.leaf_id;
+        ++staged_ops_;
+        break;
+      }
+      case 'A': {
+        if (body.size() < 8) return;
+        const auto granted = crypto::make_key_id(in.u64());
+        GK_ENSURE_MSG(pending_join_,
+                      "shipped stream corrupt: acknowledge without a pending join");
+        // The replication analogue of recovery's grant check: the leaf we
+        // derived must be the leaf the leader granted, or replay diverged.
+        GK_ENSURE_MSG(granted == pending_grant_,
+                      "shipped replay diverged: join grant mismatch");
+        pending_join_ = false;
+        break;
+      }
+      case 'L': {
+        if (body.size() < 8) return;
+        server_->leave(workload::make_member_id(in.u64()));
+        ++staged_ops_;
+        break;
+      }
+      case 'C': {
+        if (body.size() < 8) return;
+        const auto epoch = in.u64();
+        GK_ENSURE_MSG(!pending_commit_,
+                      "shipped stream corrupt: commit begun inside an open commit");
+        GK_ENSURE_MSG(epoch == server_->epoch(),
+                      "shipped replay diverged: commit epoch "
+                          << epoch << " but replica is at " << server_->epoch());
+        // Commit eagerly: COMMIT_BEGIN is the leader's durable intent, and
+        // replaying it now means a promoted standby already holds the epoch
+        // the dead leader never finished (recovery's re-run, pre-paid).
+        pending_commit_ = server_->end_epoch();
+        pending_commit_->term = applied_term_ != 0 ? applied_term_ : stream_term_;
+        staged_ops_ = 0;
+        break;
+      }
+      case 'E': {
+        if (body.size() < 8) return;
+        const auto epoch = in.u64();
+        GK_ENSURE_MSG(pending_commit_.has_value() && pending_commit_->epoch == epoch,
+                      "shipped stream corrupt: commit end without matching begin");
+        pending_commit_.reset();
+        break;
+      }
+      case 'T': {
+        if (body.size() < 8) return;
+        const auto term = in.u64();
+        GK_ENSURE_MSG(term >= applied_term_,
+                      "shipped stream corrupt: term regressed");
+        applied_term_ = term;
+        break;
+      }
+      case 'D': {
+        if (body.size() < 32) return;
+        const auto carried = in.bytes(32);
+        GK_ENSURE_MSG(staged_ops_ == 0 && !pending_commit_,
+                      "shipped stream corrupt: state digest mid-batch");
+        const auto mine = crypto::sha256(server_->save_state());
+        // The rolling byte-identity check: divergence surfaces at the first
+        // post-commit digest, not at failover.
+        GK_ENSURE_MSG(std::equal(mine.begin(), mine.end(), carried.begin()),
+                      "shipped replay diverged: state digest mismatch at epoch "
+                          << (server_->epoch() - 1));
+        ++stats_.digest_checks;
+        break;
+      }
+      case 'B':
+        GK_ENSURE_MSG(false,
+                      "shipped stream corrupt: base checkpoint inside a delta stream");
+        break;
+      default:
+        GK_ENSURE_MSG(false,
+                      "shipped stream corrupt: unknown record tag " << int{tag});
+    }
+    parse_cursor_ += 1 + (body.size() - in.remaining());
+    ++stats_.records_applied;
+  }
+}
+
+StandbyReplica::Promotion StandbyReplica::promote(
+    std::uint64_t term, partition::JournaledServer::Config config) {
+  GK_ENSURE_MSG(server_ != nullptr, "standby was promoted away");
+  GK_ENSURE_MSG(synced_, "cannot promote an unseeded standby");
+  GK_ENSURE_MSG(staged_ops_ == 0 && !pending_join_,
+                "promotion with staged uncommitted operations");
+  GK_ENSURE_MSG(term > fenced_term_ || (term == fenced_term_ && term > stream_term_),
+                "promotion term must fence out the old leader");
+  Promotion promotion;
+  auto pending = std::move(pending_commit_);
+  pending_commit_.reset();
+  promotion.leader =
+      std::make_unique<partition::JournaledServer>(std::move(server_), config);
+  promotion.leader->set_term(term);
+  if (pending.has_value()) {
+    // The old leader journaled intent and died: this is the epoch it never
+    // delivered, regenerated byte-identically, now owned by the new term.
+    pending->term = term;
+    promotion.pending = std::move(pending);
+  }
+  return promotion;
+}
+
+}  // namespace gk::replica

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "engine/server.h"
+#include "partition/journaled_server.h"
+#include "replica/ship.h"
+
+namespace gk::replica {
+
+/// A standby key-server replica fed by journal shipping.
+///
+/// The standby mirrors the leader's journal byte stream and applies each
+/// complete record through the same replay path crash recovery uses, so its
+/// server state is *byte-identical* to the leader's after every shipped
+/// commit — which is what makes failover cheap: promotion is a pointer
+/// move, not a state transfer.
+///
+/// Failure handling is two-tier, and deliberately so:
+///  * Transport-level damage (torn frame, flipped bit, dropped or reordered
+///    frame, missed compaction) is detected by the frame digest and offset
+///    bookkeeping and answered with kNeedCheckpoint — a clean catch-up
+///    request. Nothing damaged is ever applied.
+///  * Semantic divergence in an authenticated record (join grant mismatch,
+///    commit epoch mismatch, state-digest mismatch) means the leader and
+///    standby no longer agree on the deterministic replay — that is a
+///    broken contract, and it throws ContractViolation loudly.
+///
+/// Epoch fencing: fence(term) pins the minimum acceptable term; frames
+/// authored by a staler term return kRejectedStale and are never applied,
+/// so a partitioned ex-leader cannot advance a standby.
+class StandbyReplica {  // gklint: secret-type(StandbyReplica)
+ public:
+  StandbyReplica(std::uint64_t node_id,
+                 std::unique_ptr<engine::DurableRekeyServer> blank);
+
+  enum class Offer : std::uint8_t {
+    kApplied,         ///< frame authenticated and applied (or benign duplicate)
+    kNeedCheckpoint,  ///< gap, corruption, or unseeded: send a checkpoint frame
+    kRejectedStale,   ///< frame from a fenced (stale) leader term — refused
+  };
+
+  /// Feed one encoded frame as received from the ship channel.
+  Offer offer(std::span<const std::uint8_t> frame_bytes);
+
+  /// Raise the minimum acceptable leader term (never lowers it).
+  void fence(std::uint64_t term) noexcept;
+  [[nodiscard]] std::uint64_t fenced_term() const noexcept { return fenced_term_; }
+
+  /// True once a checkpoint has seeded the replica.
+  [[nodiscard]] bool synced() const noexcept { return synced_; }
+  /// The epoch the replica's next commit would produce (election ranking).
+  [[nodiscard]] std::uint64_t applied_epoch() const;
+  /// Replication cursor: how much of the leader's stream is applied.
+  [[nodiscard]] JournalShipper::Cursor cursor() const noexcept;
+  [[nodiscard]] std::uint64_t node() const noexcept { return node_; }
+
+  /// SHA-256 of the replica server's full state (the rolling byte-identity
+  /// check: must equal the leader's after every shipped commit).
+  [[nodiscard]] crypto::Sha256::Digest state_digest() const;
+  /// Full state bytes, for byte-for-byte comparison in property tests.
+  [[nodiscard]] std::vector<std::uint8_t> state_bytes() const;
+
+  [[nodiscard]] const engine::DurableRekeyServer& server() const;
+
+  /// Promotion to leader after winning an election at `term`: the replica
+  /// server is moved into a fresh JournaledServer fenced to the new term.
+  /// If the shipped stream ended inside a commit (COMMIT_BEGIN without
+  /// COMMIT_END — the old leader died mid-epoch), the standby has already
+  /// replayed that commit deterministically, and `pending` carries the
+  /// epoch output the dead leader never delivered, restamped to the new
+  /// term. The standby is consumed.
+  struct Promotion {
+    std::unique_ptr<partition::JournaledServer> leader;
+    std::optional<engine::EpochOutput> pending;
+  };
+  [[nodiscard]] Promotion promote(std::uint64_t term,
+                                  partition::JournaledServer::Config config);
+
+  struct Stats {
+    std::size_t frames_applied = 0;
+    std::size_t records_applied = 0;
+    std::size_t duplicate_frames = 0;
+    std::size_t corrupt_frames = 0;
+    std::size_t gap_frames = 0;
+    std::size_t stale_frames = 0;
+    std::size_t checkpoint_catchups = 0;  ///< checkpoint frames that re-seeded us
+    std::size_t digest_checks = 0;        ///< 'D' records verified
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Offer apply_checkpoint(const ShipFrame& frame);
+  Offer apply_delta(const ShipFrame& frame);
+  /// Parse and apply every complete record beyond the parse cursor.
+  void apply_records();
+
+  std::uint64_t node_;
+  std::unique_ptr<engine::DurableRekeyServer> server_;
+  bool synced_ = false;
+  std::uint64_t fenced_term_ = 0;
+  std::uint64_t stream_term_ = 0;   ///< term of the stream we are following
+  std::uint64_t generation_ = 0;    ///< journal generation of that stream
+  std::uint64_t applied_term_ = 0;  ///< last 'T' record applied
+  std::vector<std::uint8_t> mirror_;  ///< received journal bytes
+  std::size_t parse_cursor_ = 0;      ///< mirror_ offset of the next record
+  std::size_t staged_ops_ = 0;        ///< ops applied since the last commit
+  bool pending_join_ = false;         ///< 'J' applied, awaiting its 'A'
+  crypto::KeyId pending_grant_{};
+  std::optional<engine::EpochOutput> pending_commit_;  ///< 'C' applied, no 'E' yet
+  Stats stats_;
+};
+
+}  // namespace gk::replica

@@ -1,0 +1,58 @@
+#include "transport/ship_channel.h"
+
+#include <utility>
+
+namespace gk::transport {
+
+void ShipChannel::send(std::vector<std::uint8_t> frame) {
+  const auto fault = std::exchange(armed_, Fault::kNone);
+  ++stats_.sent;
+  switch (fault) {
+    case Fault::kNone:
+      ready_.push_back(std::move(frame));
+      break;
+    case Fault::kDrop:
+      ++stats_.dropped;
+      break;
+    case Fault::kDelay:
+      ++stats_.delayed;
+      delayed_.push_back(std::move(frame));
+      break;
+    case Fault::kTear: {
+      ++stats_.torn;
+      if (frame.size() > 1) {
+        const auto keep = 1 + rng_.uniform_u64(frame.size() - 1);
+        frame.resize(static_cast<std::size_t>(keep));
+      }
+      ready_.push_back(std::move(frame));
+      break;
+    }
+    case Fault::kBitFlip: {
+      ++stats_.flipped;
+      if (!frame.empty()) {
+        const auto bit = rng_.uniform_u64(frame.size() * 8);
+        frame[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      ready_.push_back(std::move(frame));
+      break;
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ShipChannel::deliver() {
+  std::vector<std::vector<std::uint8_t>> arriving;
+  arriving.reserve(ready_.size());
+  while (!ready_.empty()) {
+    arriving.push_back(std::move(ready_.front()));
+    ready_.pop_front();
+  }
+  // Delayed frames arrive a full round late, behind anything fresher.
+  while (!delayed_.empty()) {
+    ready_.push_back(std::move(delayed_.front()));
+    delayed_.pop_front();
+  }
+  return arriving;
+}
+
+}  // namespace gk::transport

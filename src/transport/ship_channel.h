@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gk::transport {
+
+/// Simulated byte-frame channel between a leader's journal shipper and one
+/// standby replica. Frames are opaque byte blobs; the channel can drop,
+/// delay, tear (truncate), or bit-flip them, which is exactly the fault
+/// surface a replication stream must survive: the shipped-frame checksum
+/// catches tears and flips, offset bookkeeping catches drops and
+/// reordering, and the standby answers both with a checkpoint catch-up.
+///
+/// Faults are one-shot and explicitly armed (arm_fault applies to the next
+/// send only), so a fault schedule can deterministically corrupt "the frame
+/// shipped to standby 2 in epoch 7" without perturbing anything else.
+class ShipChannel {
+ public:
+  enum class Fault : std::uint8_t { kNone, kDrop, kDelay, kTear, kBitFlip };
+
+  explicit ShipChannel(Rng rng) : rng_(rng) {}
+
+  /// Arm a fault for the next send() only.
+  void arm_fault(Fault fault) noexcept { armed_ = fault; }
+
+  /// Queue one frame, applying any armed fault. A torn frame loses a
+  /// random-length tail (at least one byte, never all of them); a flipped
+  /// frame has one random bit inverted; a delayed frame is withheld for one
+  /// deliver() round and then arrives *after* fresher frames (reordering).
+  void send(std::vector<std::uint8_t> frame);
+
+  /// Frames arriving now, in channel order. Delayed frames age one round
+  /// per call and join the tail of a later delivery.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> deliver();
+
+  struct Stats {
+    std::size_t sent = 0;
+    std::size_t dropped = 0;
+    std::size_t delayed = 0;
+    std::size_t torn = 0;
+    std::size_t flipped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Rng rng_;
+  Fault armed_ = Fault::kNone;
+  std::deque<std::vector<std::uint8_t>> ready_;
+  std::deque<std::vector<std::uint8_t>> delayed_;
+  Stats stats_;
+};
+
+}  // namespace gk::transport

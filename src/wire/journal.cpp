@@ -1,5 +1,7 @@
 #include "wire/journal.h"
 
+#include <algorithm>
+
 #include "common/ensure.h"
 
 namespace gk::wire {
@@ -21,6 +23,9 @@ void RekeyJournal::checkpoint(std::span<const std::uint8_t> server_state) {
   write_magic(buffer_);
   buffer_.u8('B');
   buffer_.blob(server_state);
+  records_ = 0;
+  commits_since_checkpoint_ = 0;
+  ++generation_;
 }
 
 void RekeyJournal::record_join(const workload::MemberProfile& profile) {
@@ -30,26 +35,44 @@ void RekeyJournal::record_join(const workload::MemberProfile& profile) {
   buffer_.f64(profile.join_time);
   buffer_.f64(profile.duration);
   buffer_.f64(profile.loss_rate);
+  ++records_;
 }
 
 void RekeyJournal::record_join_ack(crypto::KeyId leaf_id) {
   buffer_.u8('A');
   buffer_.u64(crypto::raw(leaf_id));
+  ++records_;
 }
 
 void RekeyJournal::record_leave(workload::MemberId member) {
   buffer_.u8('L');
   buffer_.u64(workload::raw(member));
+  ++records_;
 }
 
 void RekeyJournal::record_commit_begin(std::uint64_t epoch) {
   buffer_.u8('C');
   buffer_.u64(epoch);
+  ++records_;
 }
 
 void RekeyJournal::record_commit_end(std::uint64_t epoch) {
   buffer_.u8('E');
   buffer_.u64(epoch);
+  ++records_;
+  ++commits_since_checkpoint_;
+}
+
+void RekeyJournal::record_term(std::uint64_t term) {
+  buffer_.u8('T');
+  buffer_.u64(term);
+  ++records_;
+}
+
+void RekeyJournal::record_state_digest(const std::array<std::uint8_t, 32>& digest) {
+  buffer_.u8('D');
+  buffer_.bytes(digest);
+  ++records_;
 }
 
 RekeyJournal::Replay RekeyJournal::parse(std::span<const std::uint8_t> bytes) {
@@ -116,6 +139,7 @@ RekeyJournal::Replay RekeyJournal::parse(std::span<const std::uint8_t> bytes) {
         Op op;
         op.kind = Op::Kind::kCommit;
         op.epoch = in.u64();
+        op.term = replay.last_term;
         replay.ops.push_back(op);
         replay.interrupted_commit = true;
         replay.interrupted_epoch = op.epoch;
@@ -130,6 +154,32 @@ RekeyJournal::Replay RekeyJournal::parse(std::span<const std::uint8_t> bytes) {
                       "journal corrupt: commit end without matching begin");
         replay.ops.back().commit_finished = true;
         replay.interrupted_commit = false;
+        break;
+      }
+      case 'T': {
+        if (in.remaining() < 8) return replay;  // torn tail
+        const auto term = in.u64();
+        // A term may only move forward: a regression inside one stream means
+        // a stale leader's records were spliced in (or local corruption).
+        GK_ENSURE_MSG(term >= replay.last_term,
+                      "journal corrupt: term regressed from "
+                          << replay.last_term << " to " << term);
+        Op op;
+        op.kind = Op::Kind::kTerm;
+        op.term = term;
+        replay.ops.push_back(op);
+        replay.last_term = term;
+        break;
+      }
+      case 'D': {
+        if (in.remaining() < 32) return replay;  // torn tail
+        GK_ENSURE_MSG(!replay.interrupted_commit,
+                      "journal corrupt: state digest inside an open commit");
+        Op op;
+        op.kind = Op::Kind::kDigest;
+        const auto view = in.bytes(32);
+        std::copy(view.begin(), view.end(), op.digest.begin());
+        replay.ops.push_back(op);
         break;
       }
       default:

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -24,6 +25,8 @@ namespace gk::wire {
 ///           | 'L' u64            leave staged (member id)
 ///           | 'C' u64            commit begun (epoch)
 ///           | 'E' u64            commit finished (epoch)
+///           | 'T' u64            leader term in effect for later records
+///           | 'D' 32B            SHA-256 of server state after a commit
 ///
 /// WAL discipline: an operation is journaled *before* it is applied to the
 /// in-memory server, and COMMIT_BEGIN is journaled before the epoch is
@@ -37,7 +40,15 @@ namespace gk::wire {
 /// The 'A' (acknowledge) record carries the leaf id the original run
 /// granted; replay re-derives it and verifies the match, turning silent
 /// divergence (a corrupted checkpoint, a non-deterministic server) into a
-/// loud ContractViolation.
+/// loud ContractViolation. The 'D' (state digest) record extends the same
+/// idea from join grants to the *whole* server state: a replica replaying
+/// the stream hashes its own state at each digest and must match, so
+/// divergence is caught within one epoch instead of at failover.
+///
+/// The 'T' (term) record is the epoch-fencing hook for replication: it
+/// declares which leader term authored every record after it. A journal
+/// stream shipped to standbys therefore carries its provenance inline, and
+/// a standby fenced to a newer term rejects records from a stale leader.
 ///
 /// Unlike the untrusted-payload decoders (wire::Snapshot, wire::RekeyRecord),
 /// the journal is a *local* trusted medium: structural corruption in the
@@ -57,22 +68,51 @@ class RekeyJournal {
   void record_leave(workload::MemberId member);
   void record_commit_begin(std::uint64_t epoch);
   void record_commit_end(std::uint64_t epoch);
+  /// Stamp the leader term governing all subsequent records (epoch fencing).
+  void record_term(std::uint64_t term);
+  /// Log the SHA-256 of the server's post-commit state. Replay (local
+  /// recovery or a shipped standby) re-hashes and must match.
+  void record_state_digest(const std::array<std::uint8_t, 32>& digest);
 
   /// The durable bytes (what a deployment would fsync after each record).
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
     return buffer_.data();
   }
 
+  // ---- Growth bookkeeping (shipping streams and long soaks read these to
+  // decide when to compact; see JournaledServer's auto-checkpoint). ----
+
+  /// Durable size in bytes, magic included.
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return buffer_.size(); }
+  /// Records appended since construction or the last checkpoint()
+  /// (the base checkpoint record itself is not counted).
+  [[nodiscard]] std::size_t record_count() const noexcept { return records_; }
+  /// Finished commits ('E' records) since the last checkpoint().
+  [[nodiscard]] std::size_t commits_since_checkpoint() const noexcept {
+    return commits_since_checkpoint_;
+  }
+  /// True once `every` (> 0) commits have finished since the last
+  /// checkpoint — the auto-compaction threshold.
+  [[nodiscard]] bool wants_checkpoint(std::size_t every) const noexcept {
+    return every > 0 && commits_since_checkpoint_ >= every;
+  }
+  /// Compaction generation: incremented by every checkpoint(). Journal
+  /// shippers key their byte offsets to a generation, because checkpoint()
+  /// restarts the byte stream.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
   // ---- Recovery-side parsing. ----
 
   struct Op {
-    enum class Kind : std::uint8_t { kJoin, kLeave, kCommit };
+    enum class Kind : std::uint8_t { kJoin, kLeave, kCommit, kTerm, kDigest };
     Kind kind = Kind::kJoin;
     workload::MemberProfile profile;               // kJoin
     std::optional<crypto::KeyId> granted_leaf;     // kJoin, if acknowledged
     workload::MemberId member{};                   // kLeave
     std::uint64_t epoch = 0;                       // kCommit
     bool commit_finished = false;                  // kCommit: END seen
+    std::uint64_t term = 0;                        // kTerm, kCommit (in effect)
+    std::array<std::uint8_t, 32> digest{};         // kDigest
   };
 
   struct Replay {
@@ -84,6 +124,9 @@ class RekeyJournal {
     /// its (identical) rekey message.
     bool interrupted_commit = false;
     std::uint64_t interrupted_epoch = 0;
+    /// The last 'T' record's term (0 when the stream carries none): what a
+    /// recovered or promoted server resumes fencing from.
+    std::uint64_t last_term = 0;
   };
 
   /// Parse journal bytes. Throws ContractViolation on malformed input.
@@ -94,6 +137,9 @@ class RekeyJournal {
 
  private:
   common::ByteWriter buffer_;
+  std::size_t records_ = 0;
+  std::size_t commits_since_checkpoint_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace gk::wire

@@ -12,11 +12,13 @@ constexpr char kMagic[4] = {'G', 'K', 'R', '1'};
 
 }  // namespace
 
-std::vector<std::uint8_t> RekeyRecord::encode(const lkh::RekeyMessage& message) {
+std::vector<std::uint8_t> RekeyRecord::encode(const lkh::RekeyMessage& message,
+                                              std::uint64_t term) {
   common::ByteWriter out;
   for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
   out.u8(kVersion);
   out.u64(message.epoch);
+  out.u64(term);
   out.u64(crypto::raw(message.group_key_id));
   out.u32(message.group_key_version);
   out.u32(static_cast<std::uint32_t>(message.wraps.size()));
@@ -25,27 +27,32 @@ std::vector<std::uint8_t> RekeyRecord::encode(const lkh::RekeyMessage& message) 
 }
 
 lkh::RekeyMessage RekeyRecord::decode(std::span<const std::uint8_t> bytes) {
+  return decode_framed(bytes).message;
+}
+
+RekeyRecord::Framed RekeyRecord::decode_framed(std::span<const std::uint8_t> bytes) {
   Reader in(bytes);
   if (in.remaining() < 4) throw WireError(WireFault::kTruncated, "rekey record: no magic");
   for (const char c : kMagic)
     if (in.u8() != static_cast<std::uint8_t>(c))
       throw WireError(WireFault::kBadMagic, "not a rekey record");
   const auto version = in.u8();
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     throw WireError(WireFault::kBadVersion,
                     "rekey record version " + std::to_string(version) + " unsupported");
 
-  lkh::RekeyMessage message;
-  message.epoch = in.u64();
-  message.group_key_id = crypto::make_key_id(in.u64());
-  message.group_key_version = in.u32();
+  Framed framed;
+  framed.message.epoch = in.u64();
+  if (version >= 2) framed.term = in.u64();
+  framed.message.group_key_id = crypto::make_key_id(in.u64());
+  framed.message.group_key_version = in.u32();
   const auto count = in.u32();
   if (std::uint64_t{count} * crypto::WrappedKey::kWireSize > in.remaining())
     throw WireError(WireFault::kTruncated, "rekey record: wrap list truncated");
-  message.wraps.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) message.wraps.push_back(decode_wrap(in));
+  framed.message.wraps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) framed.message.wraps.push_back(decode_wrap(in));
   in.expect_exhausted("rekey record");
-  return message;
+  return framed;
 }
 
 }  // namespace gk::wire

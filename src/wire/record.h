@@ -11,6 +11,7 @@ namespace gk::wire {
 /// Versioned wire frame for one epoch's rekey payload:
 ///
 ///   'G' 'K' 'R' '1' | u8 version | u64 epoch
+///   [version >= 2] u64 term      leader fencing token (0 = unreplicated)
 ///   u64 group_key_id | u32 group_key_version
 ///   u32 wrap_count | wrap_count * 68B wraps (see wire/wrap_codec.h)
 ///
@@ -18,11 +19,25 @@ namespace gk::wire {
 /// and snapshots that need a rekey payload on the wire all use it.
 /// `decode` rejects bad magic, unknown versions, and truncated or
 /// overlong payloads with a typed WireError — never an ENSURE abort.
+///
+/// Version 2 adds the leader *term*: in a replicated deployment every
+/// commit is stamped with the term of the leader that authored it, and
+/// members fence out payloads from a term older than the newest they have
+/// accepted (a partitioned ex-leader cannot roll the group key). Version-1
+/// payloads still decode, with term 0.
 struct RekeyRecord {
-  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kVersion = 2;
 
-  [[nodiscard]] static std::vector<std::uint8_t> encode(const lkh::RekeyMessage& message);
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const lkh::RekeyMessage& message,
+                                                        std::uint64_t term = 0);
   [[nodiscard]] static lkh::RekeyMessage decode(std::span<const std::uint8_t> bytes);
+
+  /// Term-aware decode for fencing members and replicas.
+  struct Framed {
+    lkh::RekeyMessage message;
+    std::uint64_t term = 0;
+  };
+  [[nodiscard]] static Framed decode_framed(std::span<const std::uint8_t> bytes);
 };
 
 }  // namespace gk::wire

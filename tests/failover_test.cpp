@@ -1,0 +1,202 @@
+// Failover drills: leader death and partition under churn, with the
+// replication safety properties asserted end to end — election, epoch
+// fencing, exactly-once delivery, and standby convergence.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "faultsim/failover.h"
+#include "faultsim/fault_schedule.h"
+#include "partition/factory.h"
+#include "partition/journaled_server.h"
+#include "replica/cluster.h"
+#include "wire/record.h"
+
+namespace gk {
+namespace {
+
+workload::MemberProfile profile_for(std::uint64_t id, double epoch) {
+  workload::MemberProfile profile;
+  profile.id = workload::make_member_id(id);
+  profile.member_class = workload::MemberClass::kLong;
+  profile.join_time = epoch;
+  profile.duration = 16.0;
+  profile.loss_rate = 0.0;
+  return profile;
+}
+
+/// The acceptance drill, driven by hand for maximal observability: three
+/// standbys, the leader killed mid-epoch, and every claimed property
+/// checked at the step where it must hold.
+TEST(Failover, KillLeaderMidEpochWithThreeStandbys) {
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = 3;
+  scheme_config.s_period_epochs = 2;
+  replica::ReplicaCluster::Config config;
+  config.standbys = 3;
+  config.journal.checkpoint_every = 4;
+  replica::ReplicaCluster cluster(
+      [&] { return partition::make_server("tt", scheme_config, Rng(23)); }, config);
+  EXPECT_EQ(cluster.term(), 1u);
+
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    (void)cluster.join(profile_for(next++, epoch));
+    (void)cluster.join(profile_for(next++, epoch));
+    if (epoch > 1) cluster.leave(workload::make_member_id(next - 4));
+    (void)cluster.end_epoch();
+    ASSERT_TRUE(cluster.standbys_identical());
+  }
+  const auto doomed_epoch = cluster.leader().durable().epoch();
+
+  // Mid-epoch: membership changed, then the leader dies after journaling
+  // (and shipping) COMMIT_BEGIN but before delivering the rekey message.
+  (void)cluster.join(profile_for(next++, 5.0));
+  cluster.kill_leader_mid_commit();
+  EXPECT_THROW((void)cluster.end_epoch(), partition::ServerCrashed);
+  EXPECT_FALSE(cluster.has_leader());
+
+  // Failover: a new leader is elected with a fencing term, and it already
+  // holds the epoch the dead leader never delivered.
+  const auto failover = cluster.failover();
+  EXPECT_TRUE(cluster.has_leader());
+  EXPECT_EQ(failover.term, 2u);
+  EXPECT_EQ(cluster.term(), 2u);
+  EXPECT_EQ(cluster.standby_count(), 2u);  // one standby was promoted
+  ASSERT_TRUE(failover.pending.has_value());
+  EXPECT_EQ(failover.pending->epoch, doomed_epoch);
+  EXPECT_EQ(failover.pending->term, 2u);
+  EXPECT_GT(failover.pending->message.cost(), 0u);
+
+  // The promoted leader committed the interrupted epoch exactly once: its
+  // next commit is the following epoch, and the survivors converged on it.
+  EXPECT_EQ(cluster.leader().durable().epoch(), doomed_epoch + 1);
+  ASSERT_TRUE(cluster.standbys_identical());
+
+  // The cluster keeps serving: churn and commit under the new term.
+  (void)cluster.join(profile_for(next++, 6.0));
+  const auto out = cluster.end_epoch();
+  EXPECT_EQ(out.term, 2u);
+  EXPECT_EQ(out.epoch, doomed_epoch + 1);
+  ASSERT_TRUE(cluster.standbys_identical());
+}
+
+TEST(Failover, PartitionedExLeaderIsFencedOutEverywhere) {
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = 3;
+  replica::ReplicaCluster::Config config;
+  config.standbys = 3;
+  replica::ReplicaCluster cluster(
+      [&] { return partition::make_server("one-tree", scheme_config, Rng(31)); },
+      config);
+
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    (void)cluster.join(profile_for(next++, epoch));
+    (void)cluster.end_epoch();
+  }
+
+  cluster.partition_leader();
+  const auto failover = cluster.failover();
+  EXPECT_FALSE(failover.pending.has_value());  // nothing was interrupted
+  EXPECT_EQ(cluster.term(), 2u);
+
+  // The new leader commits first, raising every fence to term 2...
+  (void)cluster.join(profile_for(next++, 3.0));
+  const auto fresh = cluster.end_epoch();
+  EXPECT_EQ(fresh.term, 2u);
+
+  // ...so the ex-leader's split-brain commit is refused by every standby,
+  // and its framed rekey record carries the stale term members refuse.
+  const auto probe = cluster.stale_commit();
+  EXPECT_EQ(probe.output.term, 1u);
+  ASSERT_EQ(probe.verdicts.size(), cluster.standby_count());
+  for (const auto verdict : probe.verdicts)
+    EXPECT_EQ(verdict, replica::StandbyReplica::Offer::kRejectedStale);
+  const auto framed = wire::RekeyRecord::decode_framed(
+      wire::RekeyRecord::encode(probe.output.message, probe.output.term));
+  EXPECT_LT(framed.term, cluster.term());
+
+  ASSERT_TRUE(cluster.standbys_identical());
+}
+
+TEST(FailoverDrill, ScheduledKillsConvergeAndDeliverExactlyOnce) {
+  faultsim::FailoverConfig config;
+  config.scheme = "tt";
+  config.standbys = 3;
+  config.epochs = 14;
+  config.seed = 7;
+  config.faults.seed = 7;
+  config.faults.leader_kill = 0.25;
+  const auto result = faultsim::run_failover_drill(config);
+
+  ASSERT_GE(result.leader_kills, 1u) << "seed produced no kills; change it";
+  EXPECT_EQ(result.failovers, result.leader_kills);
+  EXPECT_EQ(result.pending_epochs_delivered, result.leader_kills);
+  EXPECT_EQ(result.invariant_checks, config.epochs);
+  EXPECT_EQ(result.final_term, 1 + result.failovers);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.epochs.size(), config.epochs);
+  // Attribution: exactly the failover epochs are stamped with a new leader.
+  std::size_t failover_epochs = 0;
+  std::uint64_t last_term = 0;
+  for (const auto& record : result.epochs) {
+    if (record.failover) ++failover_epochs;
+    EXPECT_GE(record.term, last_term);
+    last_term = record.term;
+  }
+  EXPECT_EQ(failover_epochs, result.failovers);
+}
+
+TEST(FailoverDrill, PartitionsAreFencedAndShipFaultsHeal) {
+  faultsim::FailoverConfig config;
+  config.scheme = "qt";
+  config.standbys = 4;
+  config.epochs = 14;
+  config.seed = 11;
+  config.faults.seed = 11;
+  config.faults.leader_partition = 0.2;
+  config.faults.ship_delay = 0.15;
+  config.faults.ship_torn = 0.15;
+  const auto result = faultsim::run_failover_drill(config);
+
+  ASSERT_GE(result.leader_partitions, 1u) << "seed produced no partitions; change it";
+  ASSERT_GE(result.ship_faults_injected, 1u) << "seed produced no ship faults";
+  EXPECT_GE(result.stale_frames_refused, result.leader_partitions);
+  EXPECT_GE(result.stale_records_refused, result.leader_partitions);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.digest_checks, 0u);
+}
+
+class DrillScheme : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DrillScheme,
+                         ::testing::Values("one-tree", "qt", "tt", "loss-bin"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST_P(DrillScheme, MixedFaultSoakHoldsEveryInvariant) {
+  faultsim::FailoverConfig config;
+  config.scheme = GetParam();
+  config.standbys = 3;
+  config.epochs = 12;
+  config.initial_members = 16;
+  config.seed = 0xfa11;
+  config.faults.seed = 0xfa11;
+  config.faults.leader_kill = 0.15;
+  config.faults.leader_partition = 0.1;
+  config.faults.ship_delay = 0.1;
+  config.faults.ship_torn = 0.1;
+  const auto result = faultsim::run_failover_drill(config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.invariant_checks, config.epochs);
+  EXPECT_GT(result.final_group_size, 0u);
+}
+
+}  // namespace
+}  // namespace gk

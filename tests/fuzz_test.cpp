@@ -14,7 +14,11 @@
 #include "lkh/key_tree.h"
 #include "lkh/snapshot.h"
 #include "netsim/receiver.h"
+#include "partition/factory.h"
 #include "partition/group_key.h"
+#include "partition/journaled_server.h"
+#include "replica/ship.h"
+#include "replica/standby.h"
 
 namespace gk {
 namespace {
@@ -145,6 +149,88 @@ TEST_P(Seeded, GroupKeyManagerChainsAreFollowable) {
     ring.process(step);
     ASSERT_TRUE(ring.holds(dek.id(), dek.current().version)) << "rotation " << i;
   }
+}
+
+// A standby fed a randomly torn, bit-flipped, or completely garbled ship
+// stream must either apply frames verbatim or cleanly request checkpoint
+// catch-up — never silently apply damaged bytes. After every commit, once a
+// clean checkpoint heals the stream, the standby must be byte-identical to
+// the leader; divergence would also trip the ContractViolation paths
+// (grant/epoch/digest mismatch), which this fuzz must never reach.
+TEST_P(Seeded, ShippedStreamDamageNeverCorruptsStandby) {
+  Rng rng(GetParam() ^ 0x5817f00dULL);
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = 3;
+  auto factory = [&] {
+    return partition::make_server("one-tree", scheme_config, Rng(GetParam()));
+  };
+  partition::JournaledServer::Config journal_config;
+  journal_config.checkpoint_every = 3;
+  partition::JournaledServer leader(factory(), journal_config);
+  leader.set_term(1);
+  replica::StandbyReplica standby(1, factory());
+  const replica::JournalShipper shipper(leader);
+
+  const auto offer_damaged = [&](std::vector<std::uint8_t> bytes) {
+    const double dice = rng.uniform();
+    if (dice < 0.4 && bytes.size() > 1) {
+      bytes.resize(1 + rng.uniform_u64(bytes.size() - 1));  // torn
+    } else if (dice < 0.8) {
+      const auto bit = rng.uniform_u64(bytes.size() * 8);  // flipped
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+      bytes.assign(4 + rng.uniform_u64(60), static_cast<std::uint8_t>(rng())); // garbage
+    }
+    // Damage must never look applicable; the digest (or framing) refuses it.
+    ASSERT_EQ(standby.offer(bytes), replica::StandbyReplica::Offer::kNeedCheckpoint);
+  };
+  const auto ship_clean = [&] {
+    while (const auto frame = shipper.next_frame(standby.cursor())) {
+      const auto offer = standby.offer(replica::encode_frame(*frame));
+      if (offer == replica::StandbyReplica::Offer::kNeedCheckpoint)
+        ASSERT_EQ(standby.offer(replica::encode_frame(shipper.checkpoint_frame())),
+                  replica::StandbyReplica::Offer::kApplied);
+      else
+        ASSERT_EQ(offer, replica::StandbyReplica::Offer::kApplied);
+    }
+  };
+
+  std::vector<std::uint64_t> present;
+  std::uint64_t next_id = 1;
+  for (std::uint64_t epoch = 0; epoch < 40; ++epoch) {
+    const auto joins = 1 + rng.uniform_u64(3);
+    for (std::uint64_t j = 0; j < joins; ++j) {
+      workload::MemberProfile profile;
+      profile.id = make_member_id(next_id);
+      profile.member_class = workload::MemberClass::kShort;
+      profile.join_time = static_cast<double>(epoch);
+      profile.duration = 4.0;
+      profile.loss_rate = 0.0;
+      (void)leader.join(profile);
+      present.push_back(next_id++);
+      if (const auto frame = shipper.next_frame(standby.cursor());
+          frame && rng.bernoulli(0.5))
+        offer_damaged(replica::encode_frame(*frame));
+      ship_clean();
+    }
+    while (present.size() > 6 && rng.bernoulli(0.3)) {
+      const auto pick = rng.uniform_u64(present.size());
+      leader.leave(make_member_id(present[pick]));
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    (void)leader.end_epoch();
+    if (const auto frame = shipper.next_frame(standby.cursor());
+        frame && rng.bernoulli(0.5))
+      offer_damaged(replica::encode_frame(*frame));
+    ship_clean();
+    ASSERT_EQ(standby.state_bytes(), leader.durable().save_state())
+        << "diverged after epoch " << epoch;
+  }
+  EXPECT_GT(standby.stats().corrupt_frames + standby.stats().gap_frames, 0u);
+  // Compaction epochs write their digest to the stream the checkpoint then
+  // discards, so the standby sees roughly (1 - 1/checkpoint_every) of them;
+  // the checkpoint frame itself verifies byte-identity on those epochs.
+  EXPECT_GT(standby.stats().digest_checks, 20u);
 }
 
 TEST_P(Seeded, ReceiverObservedLossConverges) {

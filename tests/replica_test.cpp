@@ -1,0 +1,441 @@
+// Replication layer: journal shipping, standby replay, deterministic
+// election, and the byte-identical standby property across schemes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "partition/factory.h"
+#include "partition/journaled_server.h"
+#include "replica/cluster.h"
+#include "replica/election.h"
+#include "replica/ship.h"
+#include "replica/standby.h"
+#include "wire/error.h"
+#include "wire/journal.h"
+#include "wire/record.h"
+
+namespace gk {
+namespace {
+
+workload::MemberProfile profile_for(std::uint64_t id, double epoch = 0.0) {
+  workload::MemberProfile profile;
+  profile.id = workload::make_member_id(id);
+  profile.member_class =
+      id % 2 == 0 ? workload::MemberClass::kShort : workload::MemberClass::kLong;
+  profile.join_time = epoch;
+  profile.duration = 8.0;
+  profile.loss_rate = 0.01;
+  return profile;
+}
+
+std::unique_ptr<engine::DurableRekeyServer> blank_server(
+    const std::string& scheme = "one-tree", std::uint64_t seed = 1) {
+  partition::SchemeConfig config;
+  config.degree = 3;
+  config.s_period_epochs = 2;
+  return partition::make_server(scheme, config, Rng(seed));
+}
+
+// ---------------------------------------------------------------- journal --
+
+TEST(JournalAccessors, CountsSizeAndCompactionCadence) {
+  wire::RekeyJournal journal;
+  EXPECT_EQ(journal.record_count(), 0u);
+  EXPECT_EQ(journal.commits_since_checkpoint(), 0u);
+  EXPECT_EQ(journal.generation(), 0u);
+  const auto empty_size = journal.size_bytes();
+
+  journal.record_join(profile_for(1));
+  journal.record_join_ack(crypto::make_key_id(11));
+  journal.record_leave(workload::make_member_id(9));
+  EXPECT_EQ(journal.record_count(), 3u);
+  EXPECT_GT(journal.size_bytes(), empty_size);
+
+  journal.record_commit_begin(0);
+  journal.record_commit_end(0);
+  EXPECT_EQ(journal.commits_since_checkpoint(), 1u);
+  EXPECT_FALSE(journal.wants_checkpoint(2));
+  EXPECT_FALSE(journal.wants_checkpoint(0));  // 0 = never compact
+  journal.record_commit_begin(1);
+  journal.record_commit_end(1);
+  EXPECT_TRUE(journal.wants_checkpoint(2));
+
+  const std::vector<std::uint8_t> state{1, 2, 3};
+  journal.checkpoint(state);
+  EXPECT_EQ(journal.generation(), 1u);
+  EXPECT_EQ(journal.record_count(), 0u);
+  EXPECT_EQ(journal.commits_since_checkpoint(), 0u);
+  EXPECT_FALSE(journal.wants_checkpoint(2));
+}
+
+TEST(JournalAccessors, AutoCompactionBoundsJournalAndRestampsTerm) {
+  partition::JournaledServer::Config config;
+  config.checkpoint_every = 2;
+  partition::JournaledServer server(blank_server(), config);
+  server.set_term(5);
+
+  std::uint64_t next = 1;
+  std::size_t max_size = 0;
+  for (int epoch = 0; epoch < 9; ++epoch) {
+    (void)server.join(profile_for(next++, epoch));
+    (void)server.end_epoch();
+    max_size = std::max(max_size, server.journal().size_bytes());
+  }
+  // 9 commits at a 2-commit cadence: four compactions happened and the
+  // journal never kept more than ~2 epochs of tail.
+  EXPECT_EQ(server.journal().generation(), 5u);
+  EXPECT_LT(server.journal().commits_since_checkpoint(), 2u);
+
+  // The compacted stream re-declares its term so shipped checkpoints carry
+  // provenance, and replaying it yields the same term.
+  const auto replay = wire::RekeyJournal::parse(server.journal_bytes());
+  EXPECT_EQ(replay.last_term, 5u);
+
+  partition::JournaledServer::Config no_compaction;
+  no_compaction.checkpoint_every = 0;
+  partition::JournaledServer unbounded(blank_server(), no_compaction);
+  std::uint64_t next2 = 1;
+  for (int epoch = 0; epoch < 9; ++epoch) {
+    (void)unbounded.join(profile_for(next2++, epoch));
+    (void)unbounded.end_epoch();
+  }
+  EXPECT_EQ(unbounded.journal().generation(), 1u);
+  EXPECT_GT(unbounded.journal().size_bytes(), max_size);
+}
+
+// -------------------------------------------------------------- ship codec --
+
+TEST(ShipFrameCodec, RoundTripsAllFields) {
+  replica::ShipFrame frame;
+  frame.kind = replica::ShipFrame::Kind::kDelta;
+  frame.term = 7;
+  frame.generation = 3;
+  frame.offset = 1234;
+  frame.payload = {0xde, 0xad, 0xbe, 0xef};
+
+  const auto bytes = replica::encode_frame(frame);
+  const auto decoded = replica::decode_frame(bytes);
+  EXPECT_EQ(decoded.kind, frame.kind);
+  EXPECT_EQ(decoded.term, frame.term);
+  EXPECT_EQ(decoded.generation, frame.generation);
+  EXPECT_EQ(decoded.offset, frame.offset);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(ShipFrameCodec, EveryBitFlipAndTruncationFailsLoudly) {
+  replica::ShipFrame frame;
+  frame.kind = replica::ShipFrame::Kind::kCheckpoint;
+  frame.term = 2;
+  frame.generation = 1;
+  frame.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto bytes = replica::encode_frame(frame);
+
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto damaged = bytes;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW((void)replica::decode_frame(damaged), wire::WireError) << "bit " << bit;
+  }
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const std::vector<std::uint8_t> torn(bytes.begin(),
+                                         bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)replica::decode_frame(torn), wire::WireError) << "keep " << keep;
+  }
+}
+
+// --------------------------------------------------------------- election --
+
+TEST(Election, MostAdvancedReplicaWinsAndTermIncrements) {
+  const std::vector<replica::Candidate> candidates{
+      {1, 10, 500}, {2, 12, 100}, {3, 12, 400}, {4, 11, 900}};
+  const auto result = replica::elect_leader(candidates, 6);
+  EXPECT_EQ(result.leader, 3u);  // highest epoch, then longest journal
+  EXPECT_EQ(result.term, 7u);
+}
+
+TEST(Election, LowestNodeBreaksExactTies) {
+  const std::vector<replica::Candidate> candidates{{5, 4, 40}, {2, 4, 40}, {9, 4, 40}};
+  EXPECT_EQ(replica::elect_leader(candidates, 0).leader, 2u);
+}
+
+TEST(Election, NoCandidatesThrows) {
+  EXPECT_THROW((void)replica::elect_leader({}, 1), ContractViolation);
+}
+
+// ---------------------------------------------------------------- shipper --
+
+TEST(JournalShipper, CutsDeltasAndFallsBackToCheckpoint) {
+  partition::JournaledServer leader(blank_server(), {});
+  const replica::JournalShipper shipper(leader);
+
+  // Caught up: nothing to cut.
+  EXPECT_FALSE(shipper.next_frame(shipper.head()).has_value());
+
+  const auto before = shipper.head();
+  (void)leader.join(profile_for(1));
+  const auto delta = shipper.next_frame(before);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->kind, replica::ShipFrame::Kind::kDelta);
+  EXPECT_EQ(delta->offset, before.offset);
+  EXPECT_EQ(delta->payload.size(), leader.journal().size_bytes() - before.offset);
+
+  // A cursor from another generation can only be healed by a checkpoint.
+  const auto stale = shipper.next_frame({before.generation + 7, 0});
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->kind, replica::ShipFrame::Kind::kCheckpoint);
+  EXPECT_EQ(stale->offset, 0u);
+}
+
+// ---------------------------------------------------------------- standby --
+
+struct Pair {
+  partition::JournaledServer leader;
+  replica::StandbyReplica standby;
+
+  explicit Pair(partition::JournaledServer::Config config = {})
+      : leader(blank_server(), config), standby(1, blank_server()) {
+    leader.set_term(1);
+    sync();
+  }
+
+  /// Ship whatever the standby is missing, on a clean channel.
+  void sync() {
+    const replica::JournalShipper shipper(leader);
+    while (const auto frame = shipper.next_frame(standby.cursor())) {
+      const auto offer = standby.offer(replica::encode_frame(*frame));
+      ASSERT_NE(offer, replica::StandbyReplica::Offer::kRejectedStale);
+      if (offer == replica::StandbyReplica::Offer::kNeedCheckpoint) {
+        ASSERT_EQ(standby.offer(replica::encode_frame(shipper.checkpoint_frame())),
+                  replica::StandbyReplica::Offer::kApplied);
+      }
+    }
+  }
+};
+
+TEST(StandbyReplica, FollowsLeaderByteIdenticallyAcrossCommits) {
+  Pair pair;
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    (void)pair.leader.join(profile_for(next++, epoch));
+    pair.sync();
+    if (epoch > 2 && epoch % 3 == 0) {
+      pair.leader.leave(workload::make_member_id(next - 3));
+      pair.sync();
+    }
+    (void)pair.leader.end_epoch();
+    pair.sync();
+    ASSERT_EQ(pair.standby.state_bytes(), pair.leader.durable().save_state())
+        << "diverged after epoch " << epoch;
+  }
+  EXPECT_GE(pair.standby.stats().digest_checks, 10u);
+  EXPECT_EQ(pair.standby.applied_epoch(), pair.leader.durable().epoch());
+}
+
+TEST(StandbyReplica, EagerCommitMatchesJournalRecoveryByteForByte) {
+  Pair pair;
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    (void)pair.leader.join(profile_for(next++, epoch));
+    pair.sync();
+    (void)pair.leader.end_epoch();
+    pair.sync();
+  }
+  (void)pair.leader.join(profile_for(next++, 3.0));
+  pair.sync();
+  pair.leader.arm_crash_before_commit();
+  EXPECT_THROW((void)pair.leader.end_epoch(), partition::ServerCrashed);
+  pair.sync();  // the COMMIT_BEGIN tail reached the pipe before the death
+
+  // Crash recovery replays the same journal into a blank server; the
+  // promoted standby must hold the exact same state and pending epoch.
+  auto recovery =
+      partition::JournaledServer::recover(pair.leader.journal_bytes(), blank_server(), {});
+  ASSERT_TRUE(recovery.pending.has_value());
+
+  auto promotion = pair.standby.promote(2, {});
+  ASSERT_TRUE(promotion.pending.has_value());
+  EXPECT_EQ(promotion.pending->epoch, recovery.pending->epoch);
+  EXPECT_EQ(promotion.pending->term, 2u);  // restamped to the elected term
+  EXPECT_EQ(wire::RekeyRecord::encode(promotion.pending->message),
+            wire::RekeyRecord::encode(recovery.pending->message));
+  EXPECT_EQ(promotion.leader->durable().save_state(),
+            recovery.server->durable().save_state());
+  EXPECT_EQ(promotion.leader->term(), 2u);
+}
+
+TEST(StandbyReplica, StaleTermFramesAreRefused) {
+  Pair pair;
+  const replica::JournalShipper shipper(pair.leader);
+  pair.standby.fence(9);
+  const auto offer = pair.standby.offer(replica::encode_frame(shipper.checkpoint_frame()));
+  EXPECT_EQ(offer, replica::StandbyReplica::Offer::kRejectedStale);
+  EXPECT_EQ(pair.standby.stats().stale_frames, 1u);
+}
+
+TEST(StandbyReplica, GapsAndCorruptionRequestCheckpointNeverApply) {
+  Pair pair;
+  const replica::JournalShipper shipper(pair.leader);
+  const auto before_gap = pair.standby.cursor();
+  (void)pair.leader.join(profile_for(1));
+  const auto skipped = shipper.next_frame(before_gap);  // never delivered
+  ASSERT_TRUE(skipped.has_value());
+  (void)pair.leader.join(profile_for(2));
+
+  // A frame starting beyond the mirrored bytes is a detected gap.
+  auto beyond = *shipper.next_frame(pair.standby.cursor());
+  beyond.offset += skipped->payload.size();
+  beyond.payload.erase(beyond.payload.begin(),
+                       beyond.payload.begin() +
+                           static_cast<std::ptrdiff_t>(skipped->payload.size()));
+  const auto baseline = pair.standby.state_bytes();
+  EXPECT_EQ(pair.standby.offer(replica::encode_frame(beyond)),
+            replica::StandbyReplica::Offer::kNeedCheckpoint);
+  EXPECT_EQ(pair.standby.state_bytes(), baseline);  // nothing applied
+  EXPECT_EQ(pair.standby.stats().gap_frames, 1u);
+
+  // Damaged frames never decode, let alone apply.
+  auto damaged = replica::encode_frame(*shipper.next_frame(pair.standby.cursor()));
+  damaged[damaged.size() / 2] ^= 0x40;
+  EXPECT_EQ(pair.standby.offer(damaged),
+            replica::StandbyReplica::Offer::kNeedCheckpoint);
+  EXPECT_EQ(pair.standby.stats().corrupt_frames, 1u);
+  EXPECT_EQ(pair.standby.state_bytes(), baseline);
+
+  // The requested checkpoint heals everything; after the commit lands the
+  // standby is byte-identical again.
+  EXPECT_EQ(pair.standby.offer(replica::encode_frame(shipper.checkpoint_frame())),
+            replica::StandbyReplica::Offer::kApplied);
+  EXPECT_GE(pair.standby.stats().checkpoint_catchups, 2u);  // seed + heal
+  (void)pair.leader.end_epoch();
+  pair.sync();
+  EXPECT_EQ(pair.standby.state_bytes(), pair.leader.durable().save_state());
+}
+
+TEST(StandbyReplica, DuplicateAndOverlappingDeltasAreBenign) {
+  Pair pair;
+  const replica::JournalShipper shipper(pair.leader);
+  const auto before = pair.standby.cursor();
+  (void)pair.leader.join(profile_for(1));
+  const auto frame = *shipper.next_frame(before);
+  const auto bytes = replica::encode_frame(frame);
+  ASSERT_EQ(pair.standby.offer(bytes), replica::StandbyReplica::Offer::kApplied);
+  const auto records_before = pair.standby.stats().records_applied;
+  // Exact retransmit: benign duplicate, nothing reapplied.
+  ASSERT_EQ(pair.standby.offer(bytes), replica::StandbyReplica::Offer::kApplied);
+  EXPECT_EQ(pair.standby.stats().duplicate_frames, 1u);
+  EXPECT_EQ(pair.standby.stats().records_applied, records_before);
+  // Overlapping frame (old offset, longer payload): only the tail applies.
+  (void)pair.leader.join(profile_for(2));
+  const auto overlapping = *shipper.next_frame(before);
+  ASSERT_EQ(pair.standby.offer(replica::encode_frame(overlapping)),
+            replica::StandbyReplica::Offer::kApplied);
+  EXPECT_EQ(pair.standby.cursor().offset, shipper.head().offset);
+  // And the commit on top of all that still lands byte-identically.
+  (void)pair.leader.end_epoch();
+  pair.sync();
+  EXPECT_EQ(pair.standby.state_bytes(), pair.leader.durable().save_state());
+}
+
+// ------------------------------------------------------------ rekey record --
+
+TEST(RekeyRecordV2, CarriesTermAndDecodesV1WithoutOne) {
+  lkh::RekeyMessage message;
+  message.epoch = 41;
+  message.group_key_id = crypto::make_key_id(77);
+  message.group_key_version = 3;
+
+  const auto v2 = wire::RekeyRecord::encode(message, 6);
+  const auto framed = wire::RekeyRecord::decode_framed(v2);
+  EXPECT_EQ(framed.term, 6u);
+  EXPECT_EQ(framed.message.epoch, 41u);
+
+  // A v1 record is the v2 layout minus the term field: legacy streams keep
+  // decoding, with term 0 (never fenced out).
+  auto v1 = v2;
+  v1[4] = 1;                                    // version byte
+  v1.erase(v1.begin() + 13, v1.begin() + 21);   // u64 term after the epoch
+  const auto legacy = wire::RekeyRecord::decode_framed(v1);
+  EXPECT_EQ(legacy.term, 0u);
+  EXPECT_EQ(legacy.message.epoch, 41u);
+  EXPECT_EQ(legacy.message.group_key_version, 3u);
+}
+
+// ---------------------------------------------------- cluster property runs --
+
+class SchemeCluster : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeCluster,
+                         ::testing::Values("one-tree", "qt", "tt", "loss-bin"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST_P(SchemeCluster, HundredEpochsByteIdenticalOnEveryCommit) {
+  partition::SchemeConfig scheme_config;
+  scheme_config.degree = 3;
+  scheme_config.s_period_epochs = 2;
+  replica::ReplicaCluster::Config config;
+  config.standbys = 2;
+  config.journal.checkpoint_every = 8;
+  replica::ReplicaCluster cluster(
+      [&] { return partition::make_server(GetParam(), scheme_config, Rng(17)); },
+      config);
+
+  Rng churn(std::uint64_t{1000003} * static_cast<std::uint8_t>(GetParam()[0]));
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    const std::size_t joins = epoch == 0 ? 10 : 1 + churn.uniform_u64(2);
+    for (std::size_t j = 0; j < joins; ++j) {
+      (void)cluster.join(profile_for(next, epoch));
+      present.push_back(next++);
+    }
+    if (present.size() > 8) {
+      const auto pick = churn.uniform_u64(present.size());
+      cluster.leave(workload::make_member_id(present[pick]));
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    (void)cluster.end_epoch();
+    ASSERT_TRUE(cluster.standbys_identical()) << GetParam() << " epoch " << epoch;
+  }
+  // The rolling digest verified (nearly) every commit on every standby; the
+  // commits it missed fell on compaction epochs, where the shipped
+  // checkpoint is itself compared against the standby's own state.
+  for (std::size_t s = 0; s < cluster.standby_count(); ++s)
+    EXPECT_GE(cluster.standby(s).stats().digest_checks, 80u);
+}
+
+TEST(ReplicaCluster, ChannelFaultsHealWithinTheEpoch) {
+  replica::ReplicaCluster::Config config;
+  config.standbys = 3;
+  config.journal.checkpoint_every = 4;
+  replica::ReplicaCluster cluster([] { return blank_server("tt", 5); }, config);
+
+  const transport::ShipChannel::Fault faults[] = {
+      transport::ShipChannel::Fault::kTear, transport::ShipChannel::Fault::kBitFlip,
+      transport::ShipChannel::Fault::kDrop, transport::ShipChannel::Fault::kDelay};
+  std::uint64_t next = 1;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    cluster.arm_channel_fault(static_cast<std::size_t>(epoch) % 3,
+                              faults[static_cast<std::size_t>(epoch) % 4]);
+    (void)cluster.join(profile_for(next++, epoch));
+    (void)cluster.end_epoch();
+    ASSERT_TRUE(cluster.standbys_identical()) << "epoch " << epoch;
+  }
+  std::size_t damaged = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto& stats = cluster.channel_stats(s);
+    damaged += stats.torn + stats.flipped + stats.dropped + stats.delayed;
+  }
+  EXPECT_EQ(damaged, 8u);  // every armed fault actually fired
+}
+
+}  // namespace
+}  // namespace gk

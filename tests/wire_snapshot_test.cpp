@@ -54,8 +54,8 @@ class SnapshotRoundTrip : public ::testing::TestWithParam<std::size_t> {};
 INSTANTIATE_TEST_SUITE_P(Populations, SnapshotRoundTrip,
                          ::testing::Values(std::size_t{0}, std::size_t{1},
                                            std::size_t{10000}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST_P(SnapshotRoundTrip, EveryDurablePolicy) {
