@@ -4,12 +4,18 @@
 // per-node KEK-expansion cache (reproducing the seed's
 // one-expansion-per-wrap cost on the sequential path).
 //
-// Three modes per configuration:
+// Four modes per configuration:
 //   seed-crypto  no KEK cache, scalar kernels, 1 thread (the seed's cost)
 //   engine       KEK cache + parallel emission, kernels pinned to scalar
 //   simd         same, kernels at the native dispatch level (GK_CPU caps it)
+//   sharded      ShardedRekeyCore (--shards S): S per-shard arenas committed
+//                shard-parallel, native kernels
 // Pinning "engine" to scalar isolates the vector-kernel gain: simd/engine
-// at equal thread count is the kernel speedup alone.
+// at equal thread count is the kernel speedup alone; sharded/simd at equal
+// threads is the shard-parallelism gain. Every row carries speedup_vs_1t
+// (wraps/s relative to the same configuration at 1 thread) and the JSON
+// run record ends with a "scaling" block grouping those curves, so scaling
+// regressions are visible per-PR without cross-row arithmetic.
 //
 // Unlike the figure benches (paper bandwidth metrics), this measures the
 // *server CPU* hot path the arena rebuild targets. Results are printed as
@@ -20,9 +26,13 @@
 //
 // Usage:
 //   bench_throughput [--smoke] [--json PATH] [--epochs E] [--warmup W]
-//                    [--sizes N,N,...] [--threads T,T,...]
+//                    [--sizes N,N,...] [--threads T,T,...] [--shards S,S,...]
+//                    [--scaling-floor X]
 //
 //   --smoke   CI mode: one small group size, two thread counts, few epochs.
+//   --scaling-floor X   exit nonzero unless some sharded configuration
+//                       reaches X times its own 1-thread wraps/s at the
+//                       highest thread count (CI scaling-efficiency gate).
 
 #include <algorithm>
 #include <chrono>
@@ -59,14 +69,17 @@ struct Config {
   std::size_t warmup = 2;  // untimed epochs before each measured mode
   std::vector<std::size_t> sizes;    // empty = per-mode default
   std::vector<unsigned> threads;     // empty = per-mode default
+  std::vector<unsigned> shards;      // empty = per-mode default
+  double scaling_floor = 0.0;        // 0 = gate disabled
 };
 
 struct Row {
   std::string scheme;
   std::string git_sha;
   std::size_t members = 0;
-  std::string mode;  // "seed-crypto", "engine", or "simd"
-  std::string cpu;   // crypto dispatch level the mode ran at
+  std::string mode;   // "seed-crypto", "engine", "simd", or "sharded"
+  std::string cpu;    // crypto dispatch level the mode ran at
+  unsigned shards = 0;  // shard count for "sharded" rows; 0 otherwise
   unsigned threads = 1;
   std::size_t epochs = 0;
   std::size_t batch = 0;
@@ -84,6 +97,19 @@ struct Row {
     return seconds > 0.0 ? static_cast<double>(total_wraps) / seconds : 0.0;
   }
 };
+
+/// wraps/s of `row` relative to the 1-thread row of the same configuration
+/// (scheme, size, mode, shard count). 1.0 for 1-thread rows; 0.0 when the
+/// baseline is missing (e.g. --threads without 1).
+double speedup_vs_1t(const std::vector<Row>& rows, const Row& row) {
+  if (row.threads == 1) return row.wraps_per_sec() > 0.0 ? 1.0 : 0.0;
+  for (const Row& base : rows)
+    if (base.threads == 1 && base.scheme == row.scheme && base.members == row.members &&
+        base.mode == row.mode && base.shards == row.shards &&
+        base.wraps_per_sec() > 0.0)
+      return row.wraps_per_sec() / base.wraps_per_sec();
+  return 0.0;
+}
 
 double percentile(std::vector<double> sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -161,11 +187,11 @@ class ChurnDriver {
 };
 
 void fill_tree_shape(const partition::RekeyServer& server, Row& row) {
-  const auto* core = dynamic_cast<const engine::CoreServer*>(&server);
-  if (core == nullptr) return;
-  // Merged across every partition / loss bin, so qt/tt/pt rows report the
-  // real substrate shape instead of a hardcoded zero.
-  const auto stats = core->core().policy().tree_stats();
+  // tree_stats() is a RekeyServer virtual (merged across every partition,
+  // loss bin, and shard), so every mode of every scheme reports the real
+  // substrate shape — no downcast to a specific server facade that would
+  // silently zero the columns for servers behind a different one.
+  const auto stats = server.tree_stats();
   row.tree_height = stats.height;
   row.mean_leaf_depth = stats.mean_leaf_depth;
 }
@@ -187,15 +213,59 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
     const Row& r = rows[i];
     run << "        {\"scheme\": \"" << r.scheme << "\", \"git_sha\": \"" << r.git_sha
         << "\", \"members\": " << r.members << ", \"mode\": \"" << r.mode
-        << "\", \"cpu\": \"" << r.cpu << "\", \"threads\": " << r.threads
-        << ", \"epochs\": " << r.epochs
+        << "\", \"cpu\": \"" << r.cpu << "\", \"shards\": " << r.shards
+        << ", \"threads\": " << r.threads << ", \"epochs\": " << r.epochs
         << ", \"batch\": " << r.batch << ", \"total_wraps\": " << r.total_wraps
         << ", \"seconds\": " << r.seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec()
         << ", \"wraps_per_sec\": " << r.wraps_per_sec() << ", \"p50_ms\": " << r.p50_ms
         << ", \"p99_ms\": " << r.p99_ms << ", \"tree_height\": " << r.tree_height
-        << ", \"mean_leaf_depth\": " << r.mean_leaf_depth << "}"
+        << ", \"mean_leaf_depth\": " << r.mean_leaf_depth
+        << ", \"speedup_vs_1t\": " << speedup_vs_1t(rows, r) << "}"
         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  run << "      ],\n      \"scaling\": [\n";
+  // One thread-scaling curve per (scheme, size, mode, shards) group that
+  // was measured at more than one thread count, in first-seen row order.
+  std::vector<std::size_t> group_heads;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    bool seen = false;
+    std::size_t group_size = 0;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      const Row& o = rows[j];
+      if (o.scheme != r.scheme || o.members != r.members || o.mode != r.mode ||
+          o.shards != r.shards)
+        continue;
+      ++group_size;
+      if (j < i) seen = true;
+    }
+    if (!seen && group_size > 1) group_heads.push_back(i);
+  }
+  for (std::size_t g = 0; g < group_heads.size(); ++g) {
+    const Row& head = rows[group_heads[g]];
+    run << "        {\"scheme\": \"" << head.scheme << "\", \"members\": " << head.members
+        << ", \"mode\": \"" << head.mode << "\", \"shards\": " << head.shards
+        << ", \"threads\": [";
+    std::string wps;
+    std::string speedups;
+    bool first = true;
+    for (const Row& r : rows) {
+      if (r.scheme != head.scheme || r.members != head.members || r.mode != head.mode ||
+          r.shards != head.shards)
+        continue;
+      if (!first) {
+        run << ", ";
+        wps += ", ";
+        speedups += ", ";
+      }
+      first = false;
+      run << r.threads;
+      wps += fmt(r.wraps_per_sec(), 0);
+      speedups += fmt(speedup_vs_1t(rows, r), 3);
+    }
+    run << "], \"wraps_per_sec\": [" << wps << "], \"speedup_vs_1t\": [" << speedups
+        << "]}" << (g + 1 < group_heads.size() ? ",\n" : "\n");
   }
   run << "      ]\n    }";
   bench::append_json_run(path, "throughput", run.str());
@@ -222,9 +292,16 @@ int main(int argc, char** argv) {
       std::stringstream list(argv[++i]);
       for (std::string item; std::getline(list, item, ',');)
         config.threads.push_back(static_cast<unsigned>(std::stoul(item)));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      std::stringstream list(argv[++i]);
+      for (std::string item; std::getline(list, item, ',');)
+        config.shards.push_back(static_cast<unsigned>(std::stoul(item)));
+    } else if (std::strcmp(argv[i], "--scaling-floor") == 0 && i + 1 < argc) {
+      config.scaling_floor = std::stod(argv[++i]);
     } else {
       std::cerr << "usage: bench_throughput [--smoke] [--json PATH] [--epochs E] "
-                   "[--warmup W] [--sizes N,N,...] [--threads T,T,...]\n";
+                   "[--warmup W] [--sizes N,N,...] [--threads T,T,...] "
+                   "[--shards S,S,...] [--scaling-floor X]\n";
       return 2;
     }
   }
@@ -243,6 +320,10 @@ int main(int argc, char** argv) {
       : config.smoke          ? std::vector<unsigned>{1, 2}
                               : std::vector<unsigned>{1, 2, 4, 8};
   const std::size_t epochs = config.epochs ? config.epochs : (config.smoke ? 12 : 16);
+  const std::vector<unsigned> shard_counts =
+      !config.shards.empty() ? config.shards
+      : config.smoke         ? std::vector<unsigned>{2}
+                             : std::vector<unsigned>{8};
 
   // The env-respecting dispatch level: GK_CPU=scalar turns the simd rows
   // into a second scalar measurement, which CI diffs against the native run.
@@ -257,27 +338,23 @@ int main(int argc, char** argv) {
     pools.push_back(t > 1 ? std::make_unique<common::ThreadPool>(t) : nullptr);
 
   std::vector<Row> rows;
-  Table table({"scheme", "members", "mode", "cpu", "threads", "epochs/s", "wraps/s",
-               "p50 ms", "p99 ms"});
+  Table table({"scheme", "members", "mode", "cpu", "shards", "threads", "epochs/s",
+               "wraps/s", "p50 ms", "p99 ms", "x1t"});
 
   for (const std::size_t members : sizes) {
     // Batch scales with the group so dirty subtrees stay proportional.
     const std::size_t batch = std::max<std::size_t>(16, members / 1024);
     for (const auto& scheme : schemes) {
-      // One bootstrap per (scheme, size); modes run back-to-back on the
-      // live server — steady-state churn keeps the group size pinned, so
-      // later modes see the same population statistics.
       partition::SchemeConfig scheme_config;
       scheme_config.degree = 4;
       scheme_config.s_period_epochs = 8;
-      auto server = partition::make_server(scheme, scheme_config, Rng(0x5eed ^ members));
-      ChurnDriver driver(*server, members, Rng(0xc0ffee ^ members));
 
-      const auto measure = [&](const std::string& mode, unsigned threads,
-                               common::ThreadPool* pool, bool wrap_cache,
-                               crypto::CpuLevel level) {
-        server->set_wrap_cache(wrap_cache);
-        server->set_executor(pool);
+      const auto measure = [&](partition::RekeyServer& server, ChurnDriver& driver,
+                               const std::string& mode, unsigned shard_count,
+                               unsigned threads, common::ThreadPool* pool,
+                               bool wrap_cache, crypto::CpuLevel level) {
+        server.set_wrap_cache(wrap_cache);
+        server.set_executor(pool);
         (void)crypto::force_cpu_level(level);
         driver.warm_epochs(config.warmup, batch);
         Row row;
@@ -286,6 +363,7 @@ int main(int argc, char** argv) {
         row.members = members;
         row.mode = mode;
         row.cpu = bench::cpu_tag();
+        row.shards = shard_count;
         row.threads = threads;
         row.epochs = epochs;
         row.batch = batch;
@@ -293,21 +371,51 @@ int main(int argc, char** argv) {
         std::tie(row.total_wraps, row.seconds) = driver.run(epochs, batch, latencies);
         row.p50_ms = percentile(latencies, 0.50);
         row.p99_ms = percentile(latencies, 0.99);
-        fill_tree_shape(*server, row);
+        fill_tree_shape(server, row);
         rows.push_back(row);
         table.add_row({row.scheme, std::to_string(members), mode, row.cpu,
+                       shard_count > 0 ? std::to_string(shard_count) : "-",
                        std::to_string(threads), fmt(row.epochs_per_sec(), 1),
                        fmt(row.wraps_per_sec(), 0), fmt(row.p50_ms, 2),
-                       fmt(row.p99_ms, 2)});
+                       fmt(row.p99_ms, 2), fmt(speedup_vs_1t(rows, rows.back()), 2)});
       };
 
-      measure("seed-crypto", 1, nullptr, /*wrap_cache=*/false, crypto::CpuLevel::kScalar);
-      for (std::size_t t = 0; t < thread_counts.size(); ++t)
-        measure("engine", thread_counts[t], pools[t].get(), /*wrap_cache=*/true,
+      {
+        // One bootstrap per (scheme, size); the unsharded modes run
+        // back-to-back on the live server — steady-state churn keeps the
+        // group size pinned, so later modes see the same population
+        // statistics.
+        auto server =
+            partition::make_server(scheme, scheme_config, Rng(0x5eed ^ members));
+        ChurnDriver driver(*server, members, Rng(0xc0ffee ^ members));
+        // Settle the migration clock before the first measurement: with few
+        // epochs (smoke runs), QT/TT would otherwise measure — and report
+        // the tree shape of — a pre-steady-state group whose L-tree hasn't
+        // received a single migrant yet (the "tree_height: 0" rows).
+        driver.warm_epochs(scheme_config.s_period_epochs + 1, batch);
+        measure(*server, driver, "seed-crypto", 0, 1, nullptr, /*wrap_cache=*/false,
                 crypto::CpuLevel::kScalar);
-      for (std::size_t t = 0; t < thread_counts.size(); ++t)
-        measure("simd", thread_counts[t], pools[t].get(), /*wrap_cache=*/true,
-                native_level);
+        for (std::size_t t = 0; t < thread_counts.size(); ++t)
+          measure(*server, driver, "engine", 0, thread_counts[t], pools[t].get(),
+                  /*wrap_cache=*/true, crypto::CpuLevel::kScalar);
+        for (std::size_t t = 0; t < thread_counts.size(); ++t)
+          measure(*server, driver, "simd", 0, thread_counts[t], pools[t].get(),
+                  /*wrap_cache=*/true, native_level);
+      }
+
+      // Sharded mode: a fresh ShardedRekeyCore per shard count (shard
+      // topology is structural), swept over the same thread counts at the
+      // native kernel level.
+      for (const unsigned shard_count : shard_counts) {
+        auto sharded = partition::make_sharded_server(
+            scheme, scheme_config, shard_count,
+            Rng(0x5eed ^ members ^ (std::uint64_t{shard_count} << 32)));
+        ChurnDriver driver(*sharded, members, Rng(0xc0ffee ^ members));
+        driver.warm_epochs(scheme_config.s_period_epochs + 1, batch);
+        for (std::size_t t = 0; t < thread_counts.size(); ++t)
+          measure(*sharded, driver, "sharded", shard_count, thread_counts[t],
+                  pools[t].get(), /*wrap_cache=*/true, native_level);
+      }
     }
   }
   (void)crypto::force_cpu_level(native_level);
@@ -315,6 +423,13 @@ int main(int argc, char** argv) {
   bench::print_with_csv(table, "rekey-engine throughput");
 
   // Headline speedups at the largest size, one-keytree scheme.
+  const auto find_sharded = [&](unsigned shards, unsigned threads) -> const Row* {
+    for (const Row& r : rows)
+      if (r.scheme == "one-tree" && r.members == sizes.back() && r.mode == "sharded" &&
+          r.shards == shards && r.threads == threads)
+        return &r;
+    return nullptr;
+  };
   const auto find = [&](const std::string& mode, unsigned threads) -> const Row* {
     for (const Row& r : rows)
       if (r.scheme == "one-tree" && r.members == sizes.back() && r.mode == mode &&
@@ -341,7 +456,39 @@ int main(int argc, char** argv) {
                 << fmt(simd->wraps_per_sec() / engine->wraps_per_sec(), 2)
                 << "x scalar engine wraps/sec\n";
   }
+  // Shard-parallel thread scaling: each sharded configuration against its
+  // own 1-thread run.
+  for (const unsigned shard_count : shard_counts)
+    for (const unsigned t : thread_counts)
+      if (const Row* sharded = find_sharded(shard_count, t))
+        std::cout << "one-tree N=" << sizes.back() << ": sharded S=" << shard_count
+                  << " x" << t << " threads = " << fmt(speedup_vs_1t(rows, *sharded), 2)
+                  << "x its 1-thread wraps/sec\n";
 
   write_json(config.json_path, rows, config, epochs);
+
+  // CI scaling-efficiency gate: the machine must demonstrate the floor with
+  // at least one sharded configuration (best group counts — per-scheme
+  // wobble on shared runners must not flake the job; a broken parallel
+  // path fails every group and trips it).
+  if (config.scaling_floor > 0.0) {
+    double best = 0.0;
+    std::string best_desc = "none";
+    for (const Row& r : rows) {
+      if (r.mode != "sharded" || r.threads == 1) continue;
+      const double speedup = speedup_vs_1t(rows, r);
+      if (speedup > best) {
+        best = speedup;
+        best_desc = r.scheme + " N=" + std::to_string(r.members) + " S=" +
+                    std::to_string(r.shards) + " x" + std::to_string(r.threads);
+      }
+    }
+    std::cout << "scaling floor " << fmt(config.scaling_floor, 2) << "x: best sharded "
+              << best_desc << " = " << fmt(best, 2) << "x\n";
+    if (best < config.scaling_floor) {
+      std::cerr << "FAIL: no sharded configuration reached the scaling floor\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gk::common {
+
+template <typename Signature>
+class FunctionRef;
+
+/// A non-owning, trivially copyable view of a callable — two words: an
+/// object pointer and a call thunk. ThreadPool::parallel_for takes one so
+/// dispatching a per-epoch loop body never allocates (std::function may
+/// heap-allocate captures), which matters once the sharded engine fans a
+/// parallel_for out per commit.
+///
+/// Lifetime contract: the referenced callable must outlive every call
+/// through the view. Binding a temporary lambda to a FunctionRef parameter
+/// is fine — the temporary lives until the full expression (the call)
+/// completes — but storing a FunctionRef beyond the callable's scope is not.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::string_view — call sites pass lambdas directly.
+  FunctionRef(F&& callable) noexcept
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace gk::common

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace gk::common {
+
+/// Unbounded multi-producer single-consumer queue (Vyukov's non-intrusive
+/// design): producers stage with one atomic exchange + one release store —
+/// wait-free, no locks, no CAS loops — and the single consumer drains with
+/// plain acquire loads. The sharded rekey engine fronts its epoch barrier
+/// with one of these: any number of ingestion threads stage join/leave
+/// mutations while the committing thread drains the queue at the top of
+/// end_epoch().
+///
+/// Ordering: per-producer FIFO is preserved; mutations from different
+/// producers interleave in linearization order of their push() exchanges.
+/// A push that races the consumer's drain may be surfaced by the *next*
+/// drain instead of the current one (try_pop returns nullopt while a
+/// producer is mid-link) — exactly the barrier semantics staging wants:
+/// an op is guaranteed into epoch E's batch only if its push completed
+/// before E's drain began.
+///
+/// Only push() may be called from many threads; try_pop() and
+/// approx_empty() belong to the single consumer.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      if (node != &stub_) delete node;
+      node = next;
+    }
+  }
+
+  /// Stage one value. Wait-free; callable from any thread.
+  void push(T value) {
+    push_node(new Node(std::move(value)));
+  }
+
+  /// Dequeue the oldest staged value. Single-consumer. Returns nullopt when
+  /// the queue is empty *or* the head producer is mid-link (its value will
+  /// surface on a later call).
+  [[nodiscard]] std::optional<T> try_pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      // The stub carries no value; step past it if anything is linked.
+      if (next == nullptr) return std::nullopt;
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return take(tail);
+    }
+    if (tail != head_.load(std::memory_order_acquire))
+      return std::nullopt;  // a producer is between exchange and link
+    // `tail` is the last real node: re-insert the stub behind it so the
+    // list never empties, then consume `tail`.
+    push_node(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return take(tail);
+    }
+    return std::nullopt;
+  }
+
+  /// Consumer-side emptiness probe (save_state precondition checks). Never
+  /// reports empty while a fully pushed value is unconsumed.
+  [[nodiscard]] bool approx_empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr &&
+           tail_ == head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& moved) : value(std::move(moved)) {}
+    std::atomic<Node*> next{nullptr};
+    std::optional<T> value;  // engaged for real nodes, empty for the stub
+  };
+
+  void push_node(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::optional<T> take(Node* node) {
+    std::optional<T> value = std::move(node->value);
+    delete node;
+    return value;
+  }
+
+  std::atomic<Node*> head_;  // producers' end (most recent push)
+  Node* tail_;               // consumer's end (oldest unconsumed)
+  Node stub_;
+};
+
+}  // namespace gk::common

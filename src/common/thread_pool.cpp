@@ -28,9 +28,9 @@ void ThreadPool::drain_current_job() {
     const std::size_t end = std::min(job_end_, begin + job_grain_);
     cursor_ = end;
     ++in_flight_;
-    const auto* fn = job_;
+    const Task fn = *job_;  // two-word copy; the view outlives parallel_for
     mutex_.unlock();
-    (*fn)(begin, end);
+    fn(begin, end);
     mutex_.lock();
     --in_flight_;
   }
@@ -41,7 +41,7 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   while (true) {
     work_ready_.wait(lock, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+      return stop_ || (job_.has_value() && generation_ != seen_generation &&
                        cursor_ < job_end_);
     });
     if (stop_) return;
@@ -51,8 +51,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain, Task fn) {
   if (n == 0) return;
   grain = std::max<std::size_t>(1, grain);
   if (workers_.empty() || n <= grain) {
@@ -60,7 +59,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     return;
   }
   std::unique_lock lock(mutex_);
-  job_ = &fn;
+  job_ = fn;
   job_end_ = n;
   job_grain_ = grain;
   cursor_ = 0;
@@ -68,7 +67,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   work_ready_.notify_all();
   drain_current_job();  // the caller is a lane too
   work_done_.wait(lock, [&] { return cursor_ >= job_end_ && in_flight_ == 0; });
-  job_ = nullptr;
+  job_.reset();
 }
 
 }  // namespace gk::common

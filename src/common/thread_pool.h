@@ -2,10 +2,12 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/function_ref.h"
 
 namespace gk::common {
 
@@ -34,11 +36,14 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
+  /// The loop body: a non-owning view, so dispatching a parallel_for does
+  /// no per-call allocation no matter what the lambda captures.
+  using Task = FunctionRef<void(std::size_t, std::size_t)>;
+
   /// Apply `fn(begin, end)` over contiguous chunks covering [0, n), at most
   /// `grain` indices per call, in parallel. Blocks until every index is
   /// processed. Must not be called reentrantly from inside `fn`.
-  void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+  void parallel_for(std::size_t n, std::size_t grain, Task fn);
 
  private:
   void worker_loop();
@@ -49,7 +54,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::optional<Task> job_;
   std::size_t job_end_ = 0;
   std::size_t job_grain_ = 1;
   std::size_t cursor_ = 0;        // next unclaimed index

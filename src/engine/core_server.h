@@ -57,6 +57,9 @@ class CoreServer : public DurableRekeyServer {
     core_.reserve(expected_members);
   }
   void set_wrap_cache(bool enabled) override { core_.set_wrap_cache(enabled); }
+  [[nodiscard]] lkh::TreeStats tree_stats() const override {
+    return core_.policy().tree_stats();
+  }
 
   [[nodiscard]] RekeyCore& core() noexcept { return core_; }
   [[nodiscard]] const RekeyCore& core() const noexcept { return core_; }

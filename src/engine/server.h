@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "crypto/key.h"
 #include "crypto/keywrap.h"
+#include "lkh/key_tree.h"
 #include "lkh/rekey_message.h"
 #include "workload/member.h"
 
@@ -98,6 +99,13 @@ class RekeyServer {
   /// trees (benchmarks use `false` to reproduce the seed's
   /// one-expansion-per-wrap crypto cost). Default: no-op.
   virtual void set_wrap_cache(bool /*enabled*/) {}
+
+  /// Shape of the server's key-tree substrates, merged across partitions,
+  /// loss bins, and shards (TreeStats::merge). Benchmarks report height and
+  /// mean leaf depth from this — every server kind answers it, so bench
+  /// rows never fall back to zeros for schemes behind a facade. Default:
+  /// empty stats, for servers with no tree substrate.
+  [[nodiscard]] virtual lkh::TreeStats tree_stats() const { return {}; }
 };
 
 /// One key on a member's current path, with material (server-side view).

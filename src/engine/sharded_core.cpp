@@ -1,0 +1,262 @@
+#include "engine/sharded_core.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/ensure.h"
+#include "common/thread_pool.h"
+#include "wire/error.h"
+#include "wire/snapshot.h"
+
+namespace gk::engine {
+
+namespace {
+
+/// splitmix64 finalizer: sequential member ids (the common workload) spread
+/// uniformly over shards instead of striping.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedRekeyCore::ShardedRekeyCore(
+    std::vector<std::unique_ptr<PlacementPolicy>> shard_policies, Rng top_rng)
+    : top_ids_(lkh::IdAllocator::create()), dek_(top_rng, top_ids_) {
+  GK_ENSURE_MSG(shard_policies.size() >= 2,
+                "ShardedRekeyCore needs at least 2 shards (use CoreServer for 1)");
+  shards_.reserve(shard_policies.size());
+  for (auto& policy : shard_policies) {
+    GK_ENSURE_MSG(policy != nullptr, "sharded engine: null shard policy");
+    GK_ENSURE_MSG(policy->info().durable,
+                  "sharded engine requires a durable scheme, '"
+                      << policy->info().name << "' is not");
+    if (shards_.empty())
+      scheme_ = policy->info().name;
+    else
+      GK_ENSURE_MSG(policy->info().name == scheme_,
+                    "sharded engine: mixed schemes '" << scheme_ << "' and '"
+                                                      << policy->info().name << "'");
+    shards_.push_back(std::make_unique<RekeyCore>(std::move(policy)));
+  }
+  shard_slots_.resize(shards_.size());
+  shard_arrivals_.assign(shards_.size(), 0);
+}
+
+std::uint32_t ShardedRekeyCore::shard_of(workload::MemberId member) const noexcept {
+  return static_cast<std::uint32_t>(mix64(workload::raw(member)) % shards_.size());
+}
+
+Registration ShardedRekeyCore::apply_join(const workload::MemberProfile& profile) {
+  const auto shard = shard_of(profile.id);
+  shard_arrivals_[shard] = 1;
+  return shards_[shard]->join(profile);
+}
+
+void ShardedRekeyCore::apply_leave(workload::MemberId member) {
+  shards_[shard_of(member)]->leave(member);
+}
+
+Registration ShardedRekeyCore::join(const workload::MemberProfile& profile) {
+  return apply_join(profile);
+}
+
+void ShardedRekeyCore::leave(workload::MemberId member) { apply_leave(member); }
+
+void ShardedRekeyCore::stage_join(const workload::MemberProfile& profile) {
+  staged_.push({true, profile});
+}
+
+void ShardedRekeyCore::stage_leave(workload::MemberId member) {
+  workload::MemberProfile profile;
+  profile.id = member;
+  staged_.push({false, profile});
+}
+
+void ShardedRekeyCore::drain_staged() {
+  admissions_.clear();
+  evictions_.clear();
+  while (auto mutation = staged_.try_pop()) {
+    if (mutation->is_join)
+      admissions_.push_back({mutation->profile.id, apply_join(mutation->profile)});
+    else {
+      apply_leave(mutation->profile.id);
+      evictions_.push_back(mutation->profile.id);
+    }
+  }
+}
+
+void ShardedRekeyCore::apply_top_dek(EpochOutput& out) {
+  const bool compromised = out.s_departures + out.l_departures > 0;
+  if (compromised) {
+    // Someone who knew the DEK left: rotate, then re-wrap under every
+    // nonempty shard's (freshly committed) group key, in shard order.
+    dek_.rotate();
+    for (const auto& shard : shards_) {
+      if (shard->size() == 0) continue;
+      const auto kek = shard->group_key();
+      dek_.wrap_under(kek.key, shard->group_key_id(), kek.version, out.message);
+    }
+  } else if (out.joins > 0) {
+    // Join-only epoch: one wrap under the previous DEK serves every
+    // incumbent; shards with arrivals get their own audience wraps.
+    dek_.rotate();
+    dek_.wrap_under_previous(out.message);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_arrivals_[s] == 0 || shards_[s]->size() == 0) continue;
+      const auto kek = shards_[s]->group_key();
+      dek_.wrap_under(kek.key, shards_[s]->group_key_id(), kek.version, out.message);
+    }
+  }
+  // Migration-only or idle epochs leave the DEK alone.
+  dek_.stamp(out.message);
+}
+
+EpochOutput ShardedRekeyCore::end_epoch() {
+  // Step 1: pull staged mutations through the epoch barrier (committing
+  // thread only; racing pushes land in the next epoch).
+  drain_staged();
+
+  // Step 2: shard-parallel emission into pre-sized slots. Shard cores hold
+  // no executor, so there is no nested parallel_for; each slot is written
+  // by exactly one task and the bytes per shard are scheduling-independent.
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_for(shards_.size(), 1, [this](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s)
+        shard_slots_[s] = shards_[s]->end_epoch();
+    });
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      shard_slots_[s] = shards_[s]->end_epoch();
+  }
+
+  // Step 3: lock-free merge — concatenate slots in shard order, then run
+  // the top DEK step on the committing thread.
+  EpochOutput out;
+  out.epoch = epoch_;
+  out.message.epoch = epoch_;
+  std::size_t total_wraps = 0;
+  for (const auto& slot : shard_slots_) total_wraps += slot.message.wraps.size();
+  out.message.wraps.reserve(total_wraps + shards_.size() + 2);
+  for (auto& slot : shard_slots_) {
+    out.migrations += slot.migrations;
+    out.s_departures += slot.s_departures;
+    out.l_departures += slot.l_departures;
+    out.joins += slot.joins;
+    out.message.append(std::move(slot.message));
+  }
+  out.message.epoch = epoch_;
+  apply_top_dek(out);
+
+  shard_arrivals_.assign(shards_.size(), 0);
+  ++epoch_;
+  return out;
+}
+
+crypto::VersionedKey ShardedRekeyCore::group_key() const { return dek_.current(); }
+
+crypto::KeyId ShardedRekeyCore::group_key_id() const { return dek_.id(); }
+
+std::size_t ShardedRekeyCore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::vector<crypto::KeyId> ShardedRekeyCore::member_path(
+    workload::MemberId member) const {
+  auto path = shards_[shard_of(member)]->member_path(member);
+  path.push_back(dek_.id());
+  return path;
+}
+
+std::vector<PathKey> ShardedRekeyCore::member_path_keys(
+    workload::MemberId member) const {
+  auto keys = shards_[shard_of(member)]->member_path_keys(member);
+  keys.push_back({dek_.id(), dek_.current()});
+  return keys;
+}
+
+crypto::Key128 ShardedRekeyCore::member_individual_key(
+    workload::MemberId member) const {
+  return shards_[shard_of(member)]->member_individual_key(member);
+}
+
+crypto::KeyId ShardedRekeyCore::member_leaf_id(workload::MemberId member) const {
+  return shards_[shard_of(member)]->member_leaf_id(member);
+}
+
+void ShardedRekeyCore::reserve(std::size_t expected_members) {
+  // Hash routing balances members across shards; a little headroom absorbs
+  // the binomial spread around the mean.
+  const std::size_t per_shard =
+      expected_members / shards_.size() + expected_members / (4 * shards_.size()) + 16;
+  for (auto& shard : shards_) shard->reserve(per_shard);
+}
+
+void ShardedRekeyCore::set_wrap_cache(bool enabled) {
+  for (auto& shard : shards_) shard->set_wrap_cache(enabled);
+}
+
+lkh::TreeStats ShardedRekeyCore::tree_stats() const {
+  lkh::TreeStats merged;
+  for (const auto& shard : shards_) merged.merge(shard->policy().tree_stats());
+  return merged;
+}
+
+std::vector<std::uint8_t> ShardedRekeyCore::save_state() const {
+  GK_ENSURE_MSG(staged_.approx_empty(),
+                "commit queue-staged changes before saving server state");
+  wire::Snapshot snapshot;
+  snapshot.scheme = "sharded+" + scheme_;
+  snapshot.epoch = epoch_;
+  snapshot.id_watermark = top_ids_->watermark();
+  common::ByteWriter dek_bytes;
+  dek_.save_state(dek_bytes);
+  snapshot.dek_state = dek_bytes.take();
+  // Ledgers live inside the shard cores; the top-level ledger stays empty
+  // and the policy section carries one nested snapshot per shard.
+  common::ByteWriter shard_bytes;
+  shard_bytes.u32(static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) shard_bytes.blob(shard->save_state());
+  snapshot.policy_state = shard_bytes.take();
+  return snapshot.encode();
+}
+
+void ShardedRekeyCore::restore_state(std::span<const std::uint8_t> bytes) {
+  GK_ENSURE_MSG(staged_.approx_empty(),
+                "commit queue-staged changes before restoring server state");
+  auto snapshot = wire::Snapshot::decode(bytes);
+  const std::string expected = "sharded+" + scheme_;
+  if (snapshot.scheme != expected)
+    throw wire::WireError(wire::WireFault::kSchemeMismatch,
+                          "snapshot is for scheme '" + snapshot.scheme +
+                              "', this server runs '" + expected + "'");
+  if (!snapshot.dek_state.has_value())
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "sharded snapshot is missing the DEK section");
+  common::ByteReader shard_bytes(snapshot.policy_state);
+  const auto count = shard_bytes.u32();
+  GK_ENSURE_MSG(count == shards_.size(), "snapshot has " << count
+                                                         << " shards, this server has "
+                                                         << shards_.size());
+  for (auto& shard : shards_) shard->restore_state(shard_bytes.blob());
+  if (!shard_bytes.exhausted())
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "sharded snapshot has trailing shard bytes");
+  common::ByteReader dek_bytes(*snapshot.dek_state);
+  dek_.restore_state(dek_bytes);
+  if (!dek_bytes.exhausted())
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "snapshot DEK section has trailing bytes");
+  epoch_ = snapshot.epoch;
+  top_ids_->reset_to(snapshot.id_watermark);
+  shard_arrivals_.assign(shards_.size(), 0);
+  admissions_.clear();
+  evictions_.clear();
+}
+
+}  // namespace gk::engine

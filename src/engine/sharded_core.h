@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "common/rng.h"
+#include "engine/group_key.h"
+#include "engine/rekey_core.h"
+#include "engine/server.h"
+
+namespace gk::engine {
+
+/// A rekey engine sharded for multi-core commit: S full `RekeyCore`
+/// instances (each with its own flat arena, wrap buffer, PreparedKek/HMAC
+/// midstate caches, RNG stream, and disjoint key-id range) under one shared
+/// top-level session DEK — the same subtree-under-a-root split the
+/// loss-bin and partition policies perform for bandwidth, generalized here
+/// for parallelism.
+///
+/// Epoch commit runs in three steps:
+///  1. *Drain*: staged mutations are pulled from the MPSC queue (FIFO) and
+///     applied to their home shards on the committing thread. Producers
+///     keep staging concurrently; anything racing the drain lands in the
+///     next epoch (the queue is the epoch barrier).
+///  2. *Emit, shard-parallel*: every shard's end_epoch() runs as one
+///     parallel_for task writing into its own pre-sized output slot — zero
+///     cross-shard writes, no locks on the emission path.
+///  3. *Merge, deterministic*: slot messages are concatenated in shard
+///     order, then the top DEK step runs exactly the canonical
+///     PlacementPolicy::apply_dek skeleton with the shard roots as its
+///     audiences (compromise: rotate + wrap under every nonempty shard's
+///     group key; join-only: rotate + one wrap under the previous DEK +
+///     wraps for shards with arrivals; then stamp).
+///
+/// Determinism: each shard's emission is byte-identical regardless of
+/// scheduling (KeyTree's contract), the merge order is the fixed shard
+/// order, and the top DEK consumes randomness on the committing thread
+/// only — so commit bytes are independent of thread count, which is what
+/// the journal-replay and replica-shipping paths require. Member routing
+/// is a pure hash of the member id (no routing table to persist).
+///
+/// Shard cores never receive an executor: parallelism is across shards
+/// (ThreadPool::parallel_for must not nest). Construct via
+/// partition::make_sharded_server, which wires the disjoint id bases and
+/// the documented RNG fork order (top DEK first, then shard policies in
+/// shard order).
+class ShardedRekeyCore final : public DurableRekeyServer {
+ public:
+  /// `shard_policies` must contain at least 2 policies of the same durable
+  /// scheme, each built over a disjoint id-allocator base; `top_rng` feeds
+  /// the top DEK. (A 1-shard "sharded" server is just a CoreServer — the
+  /// factory returns one instead.)
+  explicit ShardedRekeyCore(std::vector<std::unique_ptr<PlacementPolicy>> shard_policies,
+                            Rng top_rng);
+
+  // ---- RekeyServer. ----
+
+  Registration join(const workload::MemberProfile& profile) override;
+  void leave(workload::MemberId member) override;
+  EpochOutput end_epoch() override;
+
+  [[nodiscard]] crypto::VersionedKey group_key() const override;
+  [[nodiscard]] crypto::KeyId group_key_id() const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::vector<crypto::KeyId> member_path(
+      workload::MemberId member) const override;
+
+  void set_executor(common::ThreadPool* pool) override { pool_ = pool; }
+  void reserve(std::size_t expected_members) override;
+  void set_wrap_cache(bool enabled) override;
+  [[nodiscard]] lkh::TreeStats tree_stats() const override;
+
+  // ---- DurableRekeyServer. ----
+
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void restore_state(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::vector<PathKey> member_path_keys(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::Key128 member_individual_key(
+      workload::MemberId member) const override;
+  [[nodiscard]] crypto::KeyId member_leaf_id(workload::MemberId member) const override;
+
+  // ---- Lock-free staged ingestion (any thread). ----
+
+  /// Stage a join ahead of the epoch barrier. Wait-free; the admission is
+  /// granted when the committing thread drains the queue, and surfaces in
+  /// last_admissions() after that end_epoch() returns.
+  void stage_join(const workload::MemberProfile& profile);
+
+  /// Stage a departure ahead of the epoch barrier. Wait-free.
+  void stage_leave(workload::MemberId member);
+
+  /// Registrations granted while draining the queue in the last
+  /// end_epoch(), in drain order. Valid until the next end_epoch().
+  struct StagedAdmission {
+    workload::MemberId member{};
+    Registration registration;
+  };
+  [[nodiscard]] const std::vector<StagedAdmission>& last_admissions() const noexcept {
+    return admissions_;
+  }
+  /// Members evicted by queue-staged leaves in the last end_epoch().
+  [[nodiscard]] const std::vector<workload::MemberId>& last_evictions() const noexcept {
+    return evictions_;
+  }
+
+  // ---- Shard topology. ----
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Deterministic home shard of a member: a hash of the raw member id, so
+  /// routing needs no persistent table and survives save/restore for free.
+  [[nodiscard]] std::uint32_t shard_of(workload::MemberId member) const noexcept;
+  [[nodiscard]] const RekeyCore& shard(std::size_t index) const {
+    return *shards_[index];
+  }
+
+ private:
+  struct Mutation {
+    bool is_join = false;
+    workload::MemberProfile profile;  // leave: only `id` is meaningful
+  };
+
+  Registration apply_join(const workload::MemberProfile& profile);
+  void apply_leave(workload::MemberId member);
+  /// Pull every completed push out of the MPSC queue and apply it.
+  void drain_staged();
+  /// Step 3's DEK half: the canonical apply_dek skeleton over shard roots.
+  void apply_top_dek(EpochOutput& out);
+
+  std::vector<std::unique_ptr<RekeyCore>> shards_;
+  std::string scheme_;  ///< inner scheme name ("one-tree", "qt", ...)
+  std::shared_ptr<lkh::IdAllocator> top_ids_;
+  GroupKeyManager dek_;
+  common::MpscQueue<Mutation> staged_;
+  common::ThreadPool* pool_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::vector<EpochOutput> shard_slots_;   ///< per-shard emission slots
+  std::vector<std::uint8_t> shard_arrivals_;  ///< shard had a join this epoch
+  std::vector<StagedAdmission> admissions_;
+  std::vector<workload::MemberId> evictions_;
+};
+
+}  // namespace gk::engine

@@ -12,6 +12,12 @@ namespace gk::lkh {
 /// run several trees under one session, so trees share an allocator.
 class IdAllocator {
  public:
+  /// `first_id` carves out a private id range: the sharded engine gives
+  /// every shard a disjoint base so key ids never collide across shards in
+  /// a member's KeyRing (which is an id-keyed map). 0 is reserved.
+  explicit IdAllocator(std::uint64_t first_id = 1)
+      : counter_(first_id == 0 ? 1 : first_id) {}
+
   [[nodiscard]] crypto::KeyId next() noexcept { return crypto::make_key_id(counter_++); }
 
   /// Ensure future ids exceed `used` (snapshot restore: ids in the restored
@@ -31,12 +37,12 @@ class IdAllocator {
   /// past ids consumed by throwaway blank construction is safe).
   void reset_to(std::uint64_t watermark) noexcept { counter_ = watermark; }
 
-  [[nodiscard]] static std::shared_ptr<IdAllocator> create() {
-    return std::make_shared<IdAllocator>();
+  [[nodiscard]] static std::shared_ptr<IdAllocator> create(std::uint64_t first_id = 1) {
+    return std::make_shared<IdAllocator>(first_id);
   }
 
  private:
-  std::uint64_t counter_ = 1;  // 0 is reserved as "no key"
+  std::uint64_t counter_;  // 0 is reserved as "no key"
 };
 
 }  // namespace gk::lkh

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/ensure.h"
+#include "engine/sharded_core.h"
 #include "partition/batch_policy.h"
 #include "partition/elk_tt_policy.h"
 #include "partition/oft_tt_policy.h"
@@ -16,23 +17,32 @@ namespace gk::partition {
 
 namespace {
 
+/// A pre-based allocator for schemes that honor SchemeConfig::id_base;
+/// nullptr keeps the policy's own default (byte-identical to the
+/// pre-sharding constructors).
+std::shared_ptr<lkh::IdAllocator> based_ids(const SchemeConfig& config) {
+  return config.id_base > 1 ? lkh::IdAllocator::create(config.id_base) : nullptr;
+}
+
 std::map<std::string, PolicyFactory, std::less<>>& registry() {
   static std::map<std::string, PolicyFactory, std::less<>> policies = {
       {"one-tree",
        [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
-         return std::make_unique<OneTreePolicy>(config.degree, rng);
+         return std::make_unique<OneTreePolicy>(config.degree, rng, based_ids(config));
        }},
       {"qt",
        [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
-         return std::make_unique<QtPolicy>(config.degree, config.s_period_epochs, rng);
+         return std::make_unique<QtPolicy>(config.degree, config.s_period_epochs, rng,
+                                           based_ids(config));
        }},
       {"tt",
        [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
-         return std::make_unique<TtPolicy>(config.degree, config.s_period_epochs, rng);
+         return std::make_unique<TtPolicy>(config.degree, config.s_period_epochs, rng,
+                                           based_ids(config));
        }},
       {"pt",
        [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
-         return std::make_unique<PtPolicy>(config.degree, rng);
+         return std::make_unique<PtPolicy>(config.degree, rng, based_ids(config));
        }},
       {"oft-tt",
        [](const SchemeConfig& config, Rng rng) -> std::unique_ptr<engine::PlacementPolicy> {
@@ -101,6 +111,31 @@ std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
   }
   GK_ENSURE_MSG(false, "unknown scheme kind");
   return nullptr;
+}
+
+std::unique_ptr<engine::DurableRekeyServer> make_sharded_server(
+    std::string_view name, const SchemeConfig& config, unsigned shards, Rng rng) {
+  GK_ENSURE_MSG(config.id_base == 1,
+                "make_sharded_server owns id_base; leave it at the default");
+  if (shards <= 1) return make_server(name, config, rng);
+  // RNG fork order (the determinism contract): top DEK first, then one fork
+  // per shard policy in shard order.
+  Rng top_rng = rng.fork();
+  // 2^40 ids per shard: collision-free for any realizable tree, and shard
+  // bases stay well clear of the top allocator (which only ever issues the
+  // DEK id from base 1).
+  constexpr unsigned kShardIdBits = 40;
+  std::vector<std::unique_ptr<engine::PlacementPolicy>> policies;
+  policies.reserve(shards);
+  for (unsigned shard = 0; shard < shards; ++shard) {
+    SchemeConfig shard_config = config;
+    shard_config.id_base = (std::uint64_t{shard} + 1) << kShardIdBits;
+    policies.push_back(make_policy(name, shard_config, rng.fork()));
+    GK_ENSURE_MSG(policies.back()->ids()->watermark() >= shard_config.id_base,
+                  "scheme '" << name
+                             << "' ignores SchemeConfig::id_base and cannot be sharded");
+  }
+  return std::make_unique<engine::ShardedRekeyCore>(std::move(policies), top_rng);
 }
 
 }  // namespace gk::partition

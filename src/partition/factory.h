@@ -24,6 +24,11 @@ struct SchemeConfig {
   /// Loss-bin ceilings for "loss-bin" (ascending; last bin absorbs the rest).
   std::vector<double> bin_upper_bounds = {0.05, 1.0};
   losshomo::Placement placement = losshomo::Placement::kLossHomogenized;
+  /// First key-node id the scheme's allocator hands out. The sharded engine
+  /// sets a disjoint base per shard so ids never collide across shards in a
+  /// member's id-keyed KeyRing; leave at 1 for standalone servers. Only the
+  /// four core LKH schemes (one-tree/qt/tt/pt) honor it.
+  std::uint64_t id_base = 1;
 };
 
 using PolicyFactory =
@@ -53,5 +58,14 @@ void register_policy(std::string name, PolicyFactory factory);
 /// `s_period_epochs` (K) is ignored by the one-keytree and PT schemes.
 [[nodiscard]] std::unique_ptr<RekeyServer> make_server(SchemeKind kind, unsigned degree,
                                                        unsigned s_period_epochs, Rng rng);
+
+/// Construct a shard-parallel engine: `shards` instances of the named
+/// scheme (each over a disjoint id range, RNG-forked in shard order after
+/// the top DEK) merged under one engine::ShardedRekeyCore. `shards <= 1`
+/// returns the plain unsharded CoreServer — byte-identical to make_server.
+/// Only schemes that honor SchemeConfig::id_base can be sharded; others
+/// throw ContractViolation. `config.id_base` must be left at its default.
+[[nodiscard]] std::unique_ptr<engine::DurableRekeyServer> make_sharded_server(
+    std::string_view name, const SchemeConfig& config, unsigned shards, Rng rng);
 
 }  // namespace gk::partition

@@ -6,7 +6,9 @@
 
 namespace gk::partition {
 
-OneTreePolicy::OneTreePolicy(unsigned degree, Rng rng) : tree_(degree, rng) {
+OneTreePolicy::OneTreePolicy(unsigned degree, Rng rng,
+                             std::shared_ptr<lkh::IdAllocator> ids)
+    : tree_(degree, rng, std::move(ids)) {
   info_.name = "one-tree";
   info_.durable = true;
 }

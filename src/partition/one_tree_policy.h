@@ -17,7 +17,10 @@ namespace gk::partition {
 /// RNG fork order: the tree consumes the seed Rng directly (no forks).
 class OneTreePolicy final : public engine::PlacementPolicy {
  public:
-  OneTreePolicy(unsigned degree, Rng rng);
+  /// `ids` (optional) supplies a pre-based id allocator — the sharded
+  /// engine gives each shard a disjoint id range (SchemeConfig::id_base).
+  OneTreePolicy(unsigned degree, Rng rng,
+                std::shared_ptr<lkh::IdAllocator> ids = nullptr);
 
   [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
     return info_;

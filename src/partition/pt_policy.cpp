@@ -6,8 +6,8 @@
 
 namespace gk::partition {
 
-PtPolicy::PtPolicy(unsigned degree, Rng rng)
-    : ids_(lkh::IdAllocator::create()),
+PtPolicy::PtPolicy(unsigned degree, Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
+    : ids_(ids != nullptr ? std::move(ids) : lkh::IdAllocator::create()),
       s_tree_(degree, rng.fork(), ids_),
       l_tree_(degree, rng.fork(), ids_),
       dek_(rng.fork(), ids_) {

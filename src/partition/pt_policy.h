@@ -19,7 +19,9 @@ namespace gk::partition {
 /// RNG fork order: S-tree, L-tree, DEK.
 class PtPolicy final : public engine::PlacementPolicy {
  public:
-  PtPolicy(unsigned degree, Rng rng);
+  /// `ids` (optional) supplies a pre-based id allocator — the sharded
+  /// engine gives each shard a disjoint id range (SchemeConfig::id_base).
+  PtPolicy(unsigned degree, Rng rng, std::shared_ptr<lkh::IdAllocator> ids = nullptr);
 
   [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
     return info_;

@@ -6,8 +6,9 @@
 
 namespace gk::partition {
 
-QtPolicy::QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng)
-    : ids_(lkh::IdAllocator::create()),
+QtPolicy::QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng,
+                   std::shared_ptr<lkh::IdAllocator> ids)
+    : ids_(ids != nullptr ? std::move(ids) : lkh::IdAllocator::create()),
       queue_(rng.fork(), ids_),
       l_tree_(degree, rng.fork(), ids_),
       dek_(rng.fork(), ids_) {

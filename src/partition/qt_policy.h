@@ -23,7 +23,10 @@ namespace gk::partition {
 /// RNG fork order: queue, L-tree, DEK.
 class QtPolicy final : public engine::PlacementPolicy {
  public:
-  QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng);
+  /// `ids` (optional) supplies a pre-based id allocator — the sharded
+  /// engine gives each shard a disjoint id range (SchemeConfig::id_base).
+  QtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng,
+           std::shared_ptr<lkh::IdAllocator> ids = nullptr);
 
   [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
     return info_;

@@ -22,7 +22,10 @@ namespace gk::partition {
 /// RNG fork order: S-tree, L-tree, DEK.
 class TtPolicy final : public engine::PlacementPolicy {
  public:
-  TtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng);
+  /// `ids` (optional) supplies a pre-based id allocator — the sharded
+  /// engine gives each shard a disjoint id range (SchemeConfig::id_base).
+  TtPolicy(unsigned degree, unsigned s_period_epochs, Rng rng,
+           std::shared_ptr<lkh::IdAllocator> ids = nullptr);
 
   [[nodiscard]] const engine::PolicyInfo& info() const noexcept override {
     return info_;

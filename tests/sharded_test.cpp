@@ -1,0 +1,453 @@
+// ShardedRekeyCore properties: the MPSC staging queue, S=1 factory
+// passthrough, thread-count independence of sharded emission (the
+// byte-identity contract), staged-vs-synchronous op equivalence, snapshot
+// round-trips, journal crash recovery, and replica journal shipping — all
+// over 100+ epoch randomized schedules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/mpsc_queue.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/sharded_core.h"
+#include "partition/factory.h"
+#include "partition/journaled_server.h"
+#include "replica/ship.h"
+#include "replica/standby.h"
+#include "wire/error.h"
+#include "workload/member.h"
+
+namespace gk {
+namespace {
+
+// ----------------------------------------------------------- MPSC queue --
+
+TEST(MpscQueue, SingleProducerIsFifo) {
+  common::MpscQueue<int> queue;
+  EXPECT_TRUE(queue.approx_empty());
+  EXPECT_FALSE(queue.try_pop().has_value());
+
+  for (int i = 0; i < 100; ++i) queue.push(i);
+  EXPECT_FALSE(queue.approx_empty());
+  for (int i = 0; i < 100; ++i) {
+    const auto value = queue.try_pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_TRUE(queue.approx_empty());
+  EXPECT_FALSE(queue.try_pop().has_value());
+
+  // Interleaved push/pop keeps working after the stub cycles through.
+  for (int round = 0; round < 50; ++round) {
+    queue.push(round);
+    const auto value = queue.try_pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, round);
+    EXPECT_TRUE(queue.approx_empty());
+  }
+}
+
+TEST(MpscQueue, MoveOnlyValuesSurvive) {
+  common::MpscQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(7));
+  queue.push(std::make_unique<int>(8));
+  auto first = queue.try_pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(**first, 7);
+  auto second = queue.try_pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(**second, 8);
+  // Destruction with unconsumed nodes must not leak (ASan would flag it).
+  queue.push(std::make_unique<int>(9));
+}
+
+// ------------------------------------------------------------- fixtures --
+
+workload::MemberProfile profile_of(std::uint64_t id, Rng& rng) {
+  workload::MemberProfile profile;
+  profile.id = workload::make_member_id(id);
+  profile.member_class = rng.bernoulli(0.6) ? workload::MemberClass::kShort
+                                            : workload::MemberClass::kLong;
+  profile.duration = profile.member_class == workload::MemberClass::kShort ? 30.0 : 900.0;
+  return profile;
+}
+
+void expect_identical(const lkh::RekeyMessage& a, const lkh::RekeyMessage& b,
+                      std::uint64_t epoch) {
+  ASSERT_EQ(a.epoch, b.epoch) << "epoch " << epoch;
+  ASSERT_EQ(a.group_key_id, b.group_key_id) << "epoch " << epoch;
+  ASSERT_EQ(a.group_key_version, b.group_key_version) << "epoch " << epoch;
+  ASSERT_EQ(a.wraps.size(), b.wraps.size()) << "epoch " << epoch;
+  for (std::size_t w = 0; w < a.wraps.size(); ++w) {
+    ASSERT_EQ(a.wraps[w].target_id, b.wraps[w].target_id) << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].target_version, b.wraps[w].target_version) << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].wrapping_id, b.wraps[w].wrapping_id) << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].wrapping_version, b.wraps[w].wrapping_version)
+        << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].nonce, b.wraps[w].nonce) << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].ciphertext, b.wraps[w].ciphertext) << epoch << ":" << w;
+    ASSERT_EQ(a.wraps[w].tag, b.wraps[w].tag) << epoch << ":" << w;
+  }
+}
+
+constexpr const char* kShardableSchemes[] = {"one-tree", "qt", "tt", "pt"};
+
+partition::SchemeConfig scheme_config() {
+  partition::SchemeConfig config;
+  config.degree = 3;
+  config.s_period_epochs = 4;
+  return config;
+}
+
+std::unique_ptr<engine::DurableRekeyServer> make_sharded(const std::string& scheme,
+                                                         unsigned shards,
+                                                         std::uint64_t seed) {
+  return partition::make_sharded_server(scheme, scheme_config(), shards, Rng(seed));
+}
+
+/// One schedule step applied to N lockstep servers: a few joins, a few
+/// leaves, then end_epoch on each. Caller compares the outputs.
+struct LockstepSchedule {
+  Rng rng;
+  std::vector<std::uint64_t> present;
+  std::uint64_t next = 0;
+
+  explicit LockstepSchedule(std::uint64_t seed) : rng(seed) {}
+
+  template <typename JoinFn, typename LeaveFn>
+  void step(JoinFn&& do_join, LeaveFn&& do_leave) {
+    const std::uint64_t joins = rng.uniform_u64(6);
+    for (std::uint64_t j = 0; j < joins; ++j) {
+      do_join(profile_of(next, rng));
+      present.push_back(next++);
+    }
+    const std::uint64_t leaves =
+        present.empty()
+            ? 0
+            : rng.uniform_u64(std::min<std::uint64_t>(4, present.size() + 1));
+    for (std::uint64_t l = 0; l < leaves; ++l) {
+      const auto victim = rng.uniform_u64(present.size());
+      do_leave(workload::make_member_id(present[victim]));
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+};
+
+// ------------------------------------------------- factory passthrough --
+
+TEST(ShardedFactory, SingleShardIsTheUnshardedServerByteForByte) {
+  // shards <= 1 must not change anything: the factory returns a plain
+  // CoreServer whose whole life is byte-identical to make_server's.
+  for (const auto* scheme : kShardableSchemes) {
+    auto plain = partition::make_server(scheme, scheme_config(), Rng(42));
+    auto sharded = make_sharded(scheme, 1, 42);
+
+    LockstepSchedule schedule(7);
+    for (std::uint64_t epoch = 0; epoch < 40; ++epoch) {
+      schedule.step(
+          [&](const workload::MemberProfile& profile) {
+            const auto reg_a = plain->join(profile);
+            const auto reg_b = sharded->join(profile);
+            ASSERT_EQ(reg_a.individual_key, reg_b.individual_key);
+            ASSERT_EQ(reg_a.leaf_id, reg_b.leaf_id);
+          },
+          [&](workload::MemberId member) {
+            plain->leave(member);
+            sharded->leave(member);
+          });
+      const auto out_a = plain->end_epoch();
+      const auto out_b = sharded->end_epoch();
+      expect_identical(out_a.message, out_b.message, epoch);
+      ASSERT_EQ(plain->group_key().key, sharded->group_key().key) << scheme;
+    }
+    EXPECT_EQ(plain->save_state(), sharded->save_state()) << scheme;
+  }
+}
+
+TEST(ShardedFactory, RejectsSchemesWithoutIdBaseSupport) {
+  // loss-bin ignores SchemeConfig::id_base; the factory must refuse to
+  // shard it rather than silently collide key ids across shards.
+  EXPECT_THROW((void)partition::make_sharded_server("loss-bin", scheme_config(), 4,
+                                                    Rng(1)),
+               ContractViolation);
+}
+
+// -------------------------------------- emission thread independence --
+
+TEST(ShardedCore, ParallelEmissionByteIdenticalToSequential) {
+  // The tentpole's determinism contract: with S=4 shards, commit bytes are
+  // independent of thread count. Twin servers run the same 120-epoch
+  // randomized schedule — one committing sequentially, one across a
+  // 4-thread pool — and every epoch must match byte for byte. 120 epochs
+  // at K=4 exercises the S->L migration path many times per scheme.
+  common::ThreadPool pool(4);
+  for (const auto* scheme : kShardableSchemes) {
+    auto sequential = make_sharded(scheme, 4, 99);
+    auto parallel = make_sharded(scheme, 4, 99);
+    parallel->set_executor(&pool);
+
+    LockstepSchedule schedule(0xabcd);
+    for (std::uint64_t epoch = 0; epoch < 120; ++epoch) {
+      schedule.step(
+          [&](const workload::MemberProfile& profile) {
+            const auto reg_a = sequential->join(profile);
+            const auto reg_b = parallel->join(profile);
+            ASSERT_EQ(reg_a.individual_key, reg_b.individual_key);
+            ASSERT_EQ(reg_a.leaf_id, reg_b.leaf_id);
+          },
+          [&](workload::MemberId member) {
+            sequential->leave(member);
+            parallel->leave(member);
+          });
+      const auto out_a = sequential->end_epoch();
+      const auto out_b = parallel->end_epoch();
+      ASSERT_EQ(out_a.migrations, out_b.migrations);
+      ASSERT_EQ(out_a.joins, out_b.joins);
+      expect_identical(out_a.message, out_b.message, epoch);
+      ASSERT_EQ(sequential->group_key().key, parallel->group_key().key)
+          << scheme << " epoch " << epoch;
+    }
+    // Post-run state must agree too (arenas, RNG streams, caches aside —
+    // save_state captures everything behaviour depends on).
+    EXPECT_EQ(sequential->save_state(), parallel->save_state()) << scheme;
+  }
+}
+
+TEST(ShardedCore, MemberPathIncludesTopDekAndRoutesStably) {
+  auto server = make_sharded("one-tree", 4, 5);
+  auto* sharded = dynamic_cast<engine::ShardedRekeyCore*>(server.get());
+  ASSERT_NE(sharded, nullptr);
+
+  Rng rng(3);
+  for (std::uint64_t m = 0; m < 64; ++m) (void)server->join(profile_of(m, rng));
+  (void)server->end_epoch();
+
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const auto id = workload::make_member_id(m);
+    const auto path = server->member_path(id);
+    ASSERT_FALSE(path.empty());
+    // The DEK terminates every member's path, whatever its home shard.
+    EXPECT_EQ(path.back(), server->group_key_id());
+    const auto keys = server->member_path_keys(id);
+    ASSERT_EQ(keys.back().id, server->group_key_id());
+    EXPECT_EQ(keys.back().key, server->group_key());
+    // Routing is a pure function of the id: stable across queries.
+    EXPECT_EQ(sharded->shard_of(id), sharded->shard_of(id));
+    EXPECT_LT(sharded->shard_of(id), sharded->shard_count());
+  }
+}
+
+// -------------------------------------------------- staged ingestion --
+
+TEST(ShardedCore, StagedMutationsMatchSynchronousOps) {
+  // One producer staging through the MPSC queue must commit exactly what
+  // the same ops applied synchronously commit: drain order is push order.
+  for (const auto* scheme : kShardableSchemes) {
+    auto sync_server = make_sharded(scheme, 4, 21);
+    auto staged_server = make_sharded(scheme, 4, 21);
+    auto* staged = dynamic_cast<engine::ShardedRekeyCore*>(staged_server.get());
+    ASSERT_NE(staged, nullptr);
+
+    LockstepSchedule schedule(0x57a6ed);
+    for (std::uint64_t epoch = 0; epoch < 60; ++epoch) {
+      std::vector<engine::Registration> sync_regs;
+      std::vector<workload::MemberId> joined;
+      std::vector<workload::MemberId> left;
+      schedule.step(
+          [&](const workload::MemberProfile& profile) {
+            sync_regs.push_back(sync_server->join(profile));
+            staged->stage_join(profile);
+            joined.push_back(profile.id);
+          },
+          [&](workload::MemberId member) {
+            sync_server->leave(member);
+            staged->stage_leave(member);
+            left.push_back(member);
+          });
+      const auto out_a = sync_server->end_epoch();
+      const auto out_b = staged_server->end_epoch();
+      expect_identical(out_a.message, out_b.message, epoch);
+
+      // Queue-granted admissions carry the same registrations the sync
+      // twin handed out at call time.
+      const auto& admissions = staged->last_admissions();
+      ASSERT_EQ(admissions.size(), sync_regs.size()) << "epoch " << epoch;
+      for (std::size_t j = 0; j < admissions.size(); ++j) {
+        EXPECT_EQ(admissions[j].member, joined[j]);
+        EXPECT_EQ(admissions[j].registration.individual_key,
+                  sync_regs[j].individual_key);
+        EXPECT_EQ(admissions[j].registration.leaf_id, sync_regs[j].leaf_id);
+      }
+      ASSERT_EQ(staged->last_evictions().size(), left.size());
+      for (std::size_t l = 0; l < left.size(); ++l)
+        EXPECT_EQ(staged->last_evictions()[l], left[l]);
+    }
+  }
+}
+
+// ------------------------------------------------------ save / restore --
+
+TEST(ShardedCore, SnapshotRoundTripContinuesInLockstep) {
+  auto original = make_sharded("qt", 4, 77);
+  LockstepSchedule schedule(0xcafe);
+  for (std::uint64_t epoch = 0; epoch < 50; ++epoch) {
+    schedule.step([&](const workload::MemberProfile& p) { (void)original->join(p); },
+                  [&](workload::MemberId m) { original->leave(m); });
+    (void)original->end_epoch();
+  }
+
+  const auto bytes = original->save_state();
+  auto restored = make_sharded("qt", 4, 1);  // different seed: state replaced
+  restored->restore_state(bytes);
+  EXPECT_EQ(restored->epoch(), original->epoch());
+  EXPECT_EQ(restored->group_key().key, original->group_key().key);
+  EXPECT_EQ(restored->save_state(), bytes);
+
+  // The restored server's future is byte-identical — RNG streams included.
+  for (std::uint64_t epoch = 0; epoch < 30; ++epoch) {
+    schedule.step(
+        [&](const workload::MemberProfile& profile) {
+          const auto reg_a = original->join(profile);
+          const auto reg_b = restored->join(profile);
+          ASSERT_EQ(reg_a.individual_key, reg_b.individual_key);
+        },
+        [&](workload::MemberId member) {
+          original->leave(member);
+          restored->leave(member);
+        });
+    const auto out_a = original->end_epoch();
+    const auto out_b = restored->end_epoch();
+    expect_identical(out_a.message, out_b.message, out_a.epoch);
+  }
+}
+
+TEST(ShardedCore, SnapshotRejectsWrongShardCountAndScheme) {
+  auto four = make_sharded("one-tree", 4, 1);
+  (void)four->end_epoch();
+  const auto bytes = four->save_state();
+
+  auto two = make_sharded("one-tree", 2, 1);
+  EXPECT_THROW(two->restore_state(bytes), ContractViolation);
+  auto other = make_sharded("qt", 4, 1);
+  EXPECT_THROW(other->restore_state(bytes), wire::WireError);
+}
+
+// ------------------------------------------------------ crash recovery --
+
+TEST(ShardedCrashRecovery, JournalReplayRegeneratesInterruptedEpoch) {
+  // The WAL guarantee must survive sharding: after 100+ epochs of churn, a
+  // crash between COMMIT_BEGIN and the in-memory commit recovers to a
+  // server whose re-run epoch — and whole future — is byte-identical.
+  common::ThreadPool pool(3);
+  auto make = [] { return make_sharded("tt", 4, 1234); };
+  partition::JournaledServer::Config config;
+  config.checkpoint_every = 16;
+  partition::JournaledServer twin(make(), config);
+  partition::JournaledServer victim(make(), config);
+  victim.set_executor(&pool);  // determinism is scheduling-independent
+
+  LockstepSchedule schedule(0xdead);
+  for (std::uint64_t epoch = 0; epoch < 105; ++epoch) {
+    schedule.step(
+        [&](const workload::MemberProfile& profile) {
+          (void)twin.join(profile);
+          (void)victim.join(profile);
+        },
+        [&](workload::MemberId member) {
+          twin.leave(member);
+          victim.leave(member);
+        });
+    const auto out_a = twin.end_epoch();
+    const auto out_b = victim.end_epoch();
+    expect_identical(out_a.message, out_b.message, epoch);
+  }
+
+  schedule.step(
+      [&](const workload::MemberProfile& profile) {
+        (void)twin.join(profile);
+        (void)victim.join(profile);
+      },
+      [&](workload::MemberId member) {
+        twin.leave(member);
+        victim.leave(member);
+      });
+  const auto expected = twin.end_epoch();
+  victim.arm_crash_before_commit();
+  EXPECT_THROW((void)victim.end_epoch(), partition::ServerCrashed);
+
+  auto recovery = partition::JournaledServer::recover(victim.journal_bytes(), make(),
+                                                      config);
+  ASSERT_TRUE(recovery.pending.has_value());
+  expect_identical(recovery.pending->message, expected.message, expected.epoch);
+
+  // Still in lockstep afterwards, executor reattached.
+  recovery.server->set_executor(&pool);
+  for (std::uint64_t epoch = 0; epoch < 5; ++epoch) {
+    schedule.step(
+        [&](const workload::MemberProfile& profile) {
+          (void)twin.join(profile);
+          (void)recovery.server->join(profile);
+        },
+        [&](workload::MemberId member) {
+          twin.leave(member);
+          recovery.server->leave(member);
+        });
+    const auto out_a = twin.end_epoch();
+    const auto out_b = recovery.server->end_epoch();
+    expect_identical(out_a.message, out_b.message, out_a.epoch);
+  }
+}
+
+// ----------------------------------------------------- replica shipping --
+
+TEST(ShardedReplica, StandbyFollowsShardedLeaderByteIdentically) {
+  // Journal shipping replays the leader's ops into a blank sharded server;
+  // the standby's full state must equal the leader's after every shipped
+  // commit, across 100 epochs of churn.
+  auto make = [] { return make_sharded("qt", 4, 31); };
+  partition::JournaledServer::Config config;
+  config.checkpoint_every = 8;
+  partition::JournaledServer leader(make(), config);
+  leader.set_term(1);
+  replica::StandbyReplica standby(1, make());
+
+  const auto sync = [&] {
+    const replica::JournalShipper shipper(leader);
+    while (const auto frame = shipper.next_frame(standby.cursor())) {
+      const auto offer = standby.offer(replica::encode_frame(*frame));
+      ASSERT_NE(offer, replica::StandbyReplica::Offer::kRejectedStale);
+      if (offer == replica::StandbyReplica::Offer::kNeedCheckpoint) {
+        ASSERT_EQ(standby.offer(replica::encode_frame(shipper.checkpoint_frame())),
+                  replica::StandbyReplica::Offer::kApplied);
+      }
+    }
+  };
+  sync();
+
+  LockstepSchedule schedule(0xbeef);
+  for (std::uint64_t epoch = 0; epoch < 100; ++epoch) {
+    schedule.step([&](const workload::MemberProfile& p) { (void)leader.join(p); },
+                  [&](workload::MemberId m) { leader.leave(m); });
+    (void)leader.end_epoch();
+    sync();
+    if (epoch % 10 == 9) {
+      ASSERT_EQ(standby.state_bytes(), leader.durable().save_state())
+          << "diverged after epoch " << epoch;
+    }
+  }
+  EXPECT_EQ(standby.applied_epoch(), leader.durable().epoch());
+  EXPECT_EQ(standby.state_bytes(), leader.durable().save_state());
+  // Checkpoint catch-ups skip the compacted tail's 'D' records, so the
+  // standby verifies most — not all — of the 100 per-commit digests.
+  EXPECT_GE(standby.stats().digest_checks, 50u);
+}
+
+}  // namespace
+}  // namespace gk
