@@ -1,0 +1,81 @@
+#pragma once
+
+/// Clang thread-safety capability annotations (DESIGN.md §13).
+///
+/// Every shared-state component in the tree declares its lock discipline
+/// with these macros: which mutex guards which field, which functions
+/// require or acquire which capability. Under Clang the declarations are
+/// *checked* — the `clang-threadsafety` CI job builds the tree with
+/// `-Wthread-safety -Wthread-safety-beta -Werror`, so a field access
+/// outside its lock is a compile error, not a TSan roll of the dice.
+/// Under GCC (and any non-Clang compiler) every macro expands to nothing.
+///
+/// gklint's `lock-discipline` rule enforces *presence*: in any class that
+/// owns a mutex or an MPSC queue, every data member must either be atomic,
+/// const, or carry one of these annotations, so new fields cannot land
+/// without a declared owner.
+
+#if defined(__clang__)
+#define GK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GK_THREAD_ANNOTATION__(x)
+#endif
+
+/// Type-level: this class is a lockable capability ("mutex").
+#define GK_CAPABILITY(x) GK_THREAD_ANNOTATION__(capability(x))
+
+/// Type-level: RAII object that holds a capability for its lifetime.
+#define GK_SCOPED_CAPABILITY GK_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field: may only be read or written while holding `x`.
+#define GK_GUARDED_BY(x) GK_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be touched while holding `x`.
+#define GK_PT_GUARDED_BY(x) GK_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering edges, for deadlock detection across capabilities.
+#define GK_ACQUIRED_BEFORE(...) GK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define GK_ACQUIRED_AFTER(...) GK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function: caller must already hold the capability (exclusive / shared).
+#define GK_REQUIRES(...) GK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define GK_REQUIRES_SHARED(...) \
+  GK_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires / releases the capability.
+#define GK_ACQUIRE(...) GK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define GK_ACQUIRE_SHARED(...) \
+  GK_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define GK_RELEASE(...) GK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define GK_RELEASE_SHARED(...) \
+  GK_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define GK_TRY_ACQUIRE(...) GK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function: must NOT be called while holding the capability.
+#define GK_EXCLUDES(...) GK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fatal if not).
+#define GK_ASSERT_CAPABILITY(x) GK_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define GK_RETURN_CAPABILITY(x) GK_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: turn the analysis off for one function. Every use needs a
+/// comment saying why the analysis cannot express the truth.
+#define GK_NO_THREAD_SAFETY_ANALYSIS GK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// ---- Documentation-grade ownership annotations ------------------------------
+//
+// Clang's analysis only models lock-shaped synchronization. Two ownership
+// disciplines in this tree are real but lock-free, so they get declarative
+// markers instead: they expand to nothing on every compiler, but gklint's
+// `lock-discipline` rule accepts them as a field's declared owner, and a
+// reviewer grepping for them finds the contract in one hop.
+
+/// Written only during construction or single-threaded setup, before any
+/// other thread can observe the object; immutable once threads exist.
+#define GK_CONST_AFTER_INIT
+
+/// Owned by the single consumer / committing thread of an MPSC design.
+/// Producers must never touch this field; there is no lock to take.
+#define GK_CONSUMER_ONLY

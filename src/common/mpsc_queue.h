@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/annotations.h"
+
 namespace gk::common {
 
 /// Unbounded multi-producer single-consumer queue (Vyukov's non-intrusive
@@ -35,6 +37,8 @@ class MpscQueue {
   ~MpscQueue() {
     Node* node = tail_;
     while (node != nullptr) {
+      // relaxed: destruction requires all producers to have quiesced, so
+      // there is no concurrent access left to order against.
       Node* next = node->next.load(std::memory_order_relaxed);
       if (node != &stub_) delete node;
       node = next;
@@ -92,6 +96,9 @@ class MpscQueue {
   };
 
   void push_node(Node* node) {
+    // relaxed: the node is still private to this producer; the exchange
+    // below is what publishes it, and the release store on prev->next is
+    // what makes the payload visible to the consumer.
     node->next.store(nullptr, std::memory_order_relaxed);
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
@@ -104,8 +111,12 @@ class MpscQueue {
   }
 
   std::atomic<Node*> head_;  // producers' end (most recent push)
-  Node* tail_;               // consumer's end (oldest unconsumed)
-  Node stub_;
+  /// Consumer's end (oldest unconsumed). Never touched by producers, so it
+  /// needs no atomicity — single-consumer is the class contract.
+  Node* tail_ GK_CONSUMER_ONLY;
+  /// Sentinel keeping the list non-empty; relinked only by the consumer,
+  /// its `next` field is atomic like every node's.
+  Node stub_ GK_CONSUMER_ONLY;
 };
 
 }  // namespace gk::common

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace gk::common {
+
+/// std::mutex with thread-safety capability annotations. The standard
+/// library's mutex carries no Clang capability attributes, so fields
+/// declared GK_GUARDED_BY(a std::mutex) are unverifiable; this wrapper is
+/// what makes `-Wthread-safety` bite. Same cost as std::mutex — the
+/// annotations are compile-time only.
+class GK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GK_ACQUIRE() { mutex_.lock(); }
+  void unlock() GK_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() GK_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock for Mutex (the std::scoped_lock shape, capability-annotated).
+class GK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GK_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() GK_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex. wait() is deliberately
+/// predicate-free: Clang analyzes a predicate lambda as a separate function
+/// that appears to read guarded fields without the lock, so callers write
+/// the standard `while (!cond) cv.wait(mutex);` loop instead — which the
+/// analysis follows exactly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, and reacquire before returning.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mutex) GK_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // the caller still logically holds the capability
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gk::common

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -37,18 +37,18 @@ void ThreadPool::drain_current_job() {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock lock(mutex_);
+  mutex_.lock();
   std::uint64_t seen_generation = 0;
   while (true) {
-    work_ready_.wait(lock, [&] {
-      return stop_ || (job_.has_value() && generation_ != seen_generation &&
-                       cursor_ < job_end_);
-    });
-    if (stop_) return;
+    while (!(stop_ || (job_.has_value() && generation_ != seen_generation &&
+                       cursor_ < job_end_)))
+      work_ready_.wait(mutex_);
+    if (stop_) break;
     seen_generation = generation_;
     drain_current_job();
     if (in_flight_ == 0 && cursor_ >= job_end_) work_done_.notify_all();
   }
+  mutex_.unlock();
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain, Task fn) {
@@ -58,7 +58,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, Task fn) {
     fn(0, n);
     return;
   }
-  std::unique_lock lock(mutex_);
+  mutex_.lock();
   job_ = fn;
   job_end_ = n;
   job_grain_ = grain;
@@ -66,8 +66,9 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, Task fn) {
   ++generation_;
   work_ready_.notify_all();
   drain_current_job();  // the caller is a lane too
-  work_done_.wait(lock, [&] { return cursor_ >= job_end_ && in_flight_ == 0; });
+  while (!(cursor_ >= job_end_ && in_flight_ == 0)) work_done_.wait(mutex_);
   job_.reset();
+  mutex_.unlock();
 }
 
 }  // namespace gk::common

@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/function_ref.h"
+#include "common/mutex.h"
 
 namespace gk::common {
 
@@ -46,21 +46,23 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain, Task fn);
 
  private:
-  void worker_loop();
-  void drain_current_job();
+  void worker_loop() GK_EXCLUDES(mutex_);
+  /// Claims and runs chunks until the cursor runs out. The lock is dropped
+  /// around each user-function call and reacquired to update the counters.
+  void drain_current_job() GK_REQUIRES(mutex_);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ GK_CONST_AFTER_INIT;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::optional<Task> job_;
-  std::size_t job_end_ = 0;
-  std::size_t job_grain_ = 1;
-  std::size_t cursor_ = 0;        // next unclaimed index
-  std::size_t in_flight_ = 0;     // chunks claimed but not finished
-  std::uint64_t generation_ = 0;  // bumps per parallel_for, wakes workers
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  std::optional<Task> job_ GK_GUARDED_BY(mutex_);
+  std::size_t job_end_ GK_GUARDED_BY(mutex_) = 0;
+  std::size_t job_grain_ GK_GUARDED_BY(mutex_) = 1;
+  std::size_t cursor_ GK_GUARDED_BY(mutex_) = 0;     // next unclaimed index
+  std::size_t in_flight_ GK_GUARDED_BY(mutex_) = 0;  // chunks claimed, unfinished
+  std::uint64_t generation_ GK_GUARDED_BY(mutex_) = 0;  // bumps per parallel_for
+  bool stop_ GK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gk::common

@@ -15,23 +15,24 @@ Key128 derive_key(const Key128& key, std::string_view label,
   for (int i = 0; i < 8; ++i)
     input.push_back(static_cast<std::uint8_t>(context >> (8 * i)));
 
-  const auto digest = hmac_sha256(key.bytes(), std::span<const std::uint8_t>(input));
-  std::array<std::uint8_t, Key128::kSize> bytes;
+  auto digest = hmac_sha256(key.bytes(), std::span<const std::uint8_t>(input));
+  WipedBytes<Key128::kSize> bytes;
   std::memcpy(bytes.data(), digest.data(), bytes.size());
-  return Key128(bytes);
+  secure_wipe(digest.data(), digest.size());
+  return Key128(bytes.array());
 }
 
 Key128 oft_blind(const Key128& key) noexcept { return derive_key(key, "oft-blind-g"); }
 
 Key128 oft_mix(const Key128& left_blinded, const Key128& right_blinded) noexcept {
-  std::array<std::uint8_t, Key128::kSize> mixed;
+  WipedBytes<Key128::kSize> mixed;
   const auto l = left_blinded.bytes();
   const auto r = right_blinded.bytes();
   for (std::size_t i = 0; i < mixed.size(); ++i)
     mixed[i] = static_cast<std::uint8_t>(l[i] ^ r[i]);
   // A final PRF application matches OFT's f() and avoids structural
   // relations between parent and children keys.
-  return derive_key(Key128(mixed), "oft-mix-f");
+  return derive_key(Key128(mixed.array()), "oft-mix-f");
 }
 
 }  // namespace gk::crypto

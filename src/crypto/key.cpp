@@ -7,13 +7,13 @@
 namespace gk::crypto {
 
 Key128 Key128::random(Rng& rng) noexcept {
-  std::array<std::uint8_t, kSize> bytes;
+  WipedBytes<kSize> bytes;
   for (std::size_t i = 0; i < kSize; i += 8) {
     const std::uint64_t word = rng();
     for (std::size_t j = 0; j < 8; ++j)
       bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
   }
-  return Key128(bytes);
+  return Key128(bytes.array());
 }
 
 bool Key128::is_zero() const noexcept {

@@ -185,11 +185,11 @@ std::optional<Key128> PreparedKek::unwrap(const WrappedKey& wrapped) const noexc
                 std::span<const std::uint8_t>(digest.data(), wrapped.tag.size())))
     return std::nullopt;
 
-  std::array<std::uint8_t, Key128::kSize> plain = wrapped.ciphertext;
+  WipedBytes<Key128::kSize> plain(wrapped.ciphertext);
   ChaCha20 cipher(std::span<const std::uint8_t, ChaCha20::kKeySize>(cipher_key_),
                   std::span<const std::uint8_t, ChaCha20::kNonceSize>(wrapped.nonce));
-  cipher.crypt(std::span<std::uint8_t>(plain));
-  return Key128(plain);
+  cipher.crypt(plain.span());
+  return Key128(plain.array());
 }
 
 void wrap_keys_batch(std::span<const PreparedWrapRequest> requests,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -39,5 +40,44 @@ inline void secure_wipe(void* data, std::size_t size) noexcept {
 inline void secure_wipe(std::span<std::uint8_t> data) noexcept {
   secure_wipe(data.data(), data.size());
 }
+
+/// A fixed-size stack buffer for key material that wipes itself on every
+/// exit path — returns, exceptions, early error branches — so the scratch
+/// bytes a derivation writes can never outlive the frame. gklint's
+/// `raii-wipe` rule flags plain byte arrays fed to derivation helpers;
+/// declaring the buffer WipedBytes is the structural fix (a manual
+/// secure_wipe() before each return is the spot fix, and cannot cover
+/// unwinding at all).
+template <std::size_t N>
+class WipedBytes {
+ public:
+  WipedBytes() noexcept = default;
+  explicit WipedBytes(const std::array<std::uint8_t, N>& bytes) noexcept
+      : bytes_(bytes) {}
+  ~WipedBytes() noexcept { secure_wipe(bytes_.data(), bytes_.size()); }
+
+  // No copies: every copy is another frame to scrub.
+  WipedBytes(const WipedBytes&) = delete;
+  WipedBytes& operator=(const WipedBytes&) = delete;
+
+  [[nodiscard]] std::array<std::uint8_t, N>& array() noexcept { return bytes_; }
+  [[nodiscard]] const std::array<std::uint8_t, N>& array() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::uint8_t* data() noexcept { return bytes_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  [[nodiscard]] static constexpr std::size_t size() noexcept { return N; }
+  [[nodiscard]] std::uint8_t& operator[](std::size_t i) noexcept { return bytes_[i]; }
+  [[nodiscard]] const std::uint8_t& operator[](std::size_t i) const noexcept {
+    return bytes_[i];
+  }
+  [[nodiscard]] std::span<std::uint8_t, N> span() noexcept { return bytes_; }
+  [[nodiscard]] std::span<const std::uint8_t, N> span() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  std::array<std::uint8_t, N> bytes_{};
+};
 
 }  // namespace gk::crypto

@@ -42,10 +42,16 @@ const CpuFeatures& cpu_features() noexcept {
   return features;
 }
 
-CpuLevel cpu_level() noexcept { return active_level().load(std::memory_order_relaxed); }
+CpuLevel cpu_level() noexcept {
+  // relaxed: the level is a monotone configuration value with no data
+  // ordered behind it; every kernel is correct at every level.
+  return active_level().load(std::memory_order_relaxed);
+}
 
 CpuLevel force_cpu_level(CpuLevel level) noexcept {
   if (level > cpu_features().best) level = cpu_features().best;
+  // relaxed: see cpu_level() — dispatch is level-independent-correct, so
+  // a stale read in another thread only picks a different valid kernel.
   return active_level().exchange(level, std::memory_order_relaxed);
 }
 

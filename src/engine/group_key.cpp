@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/secure.h"
+
 namespace gk::engine {
 
 GroupKeyManager::GroupKeyManager(Rng rng, std::shared_ptr<lkh::IdAllocator> ids)
@@ -44,10 +46,10 @@ void GroupKeyManager::save_state(common::ByteWriter& out) const {
 namespace {
 
 crypto::Key128 read_key(common::ByteReader& in) {
-  std::array<std::uint8_t, crypto::Key128::kSize> raw;
+  crypto::WipedBytes<crypto::Key128::kSize> raw;
   const auto view = in.bytes(raw.size());
-  std::copy(view.begin(), view.end(), raw.begin());
-  return crypto::Key128(raw);
+  std::copy(view.begin(), view.end(), raw.array().begin());
+  return crypto::Key128(raw.array());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/mpsc_queue.h"
 #include "common/rng.h"
 #include "engine/group_key.h"
@@ -132,17 +133,23 @@ class ShardedRekeyCore final : public DurableRekeyServer {
   /// Step 3's DEK half: the canonical apply_dek skeleton over shard roots.
   void apply_top_dek(EpochOutput& out);
 
-  std::vector<std::unique_ptr<RekeyCore>> shards_;
-  std::string scheme_;  ///< inner scheme name ("one-tree", "qt", ...)
-  std::shared_ptr<lkh::IdAllocator> top_ids_;
-  GroupKeyManager dek_;
+  // Thread contract: stage_join/stage_leave are the only entry points other
+  // threads may call (they touch nothing but the queue). Everything else —
+  // commit, accessors, save/restore — belongs to the single committing
+  // thread, hence GK_CONSUMER_ONLY on all remaining state. shard_slots_ is
+  // additionally written by pool workers *inside* end_epoch's parallel_for,
+  // one disjoint slot per task, bracketed by the pool's fork/join barrier.
+  std::vector<std::unique_ptr<RekeyCore>> shards_ GK_CONSUMER_ONLY;
+  std::string scheme_ GK_CONST_AFTER_INIT;  ///< inner scheme name ("one-tree", ...)
+  std::shared_ptr<lkh::IdAllocator> top_ids_ GK_CONSUMER_ONLY;
+  GroupKeyManager dek_ GK_CONSUMER_ONLY;
   common::MpscQueue<Mutation> staged_;
-  common::ThreadPool* pool_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::vector<EpochOutput> shard_slots_;   ///< per-shard emission slots
-  std::vector<std::uint8_t> shard_arrivals_;  ///< shard had a join this epoch
-  std::vector<StagedAdmission> admissions_;
-  std::vector<workload::MemberId> evictions_;
+  common::ThreadPool* pool_ GK_CONST_AFTER_INIT = nullptr;
+  std::uint64_t epoch_ GK_CONSUMER_ONLY = 0;
+  std::vector<EpochOutput> shard_slots_ GK_CONSUMER_ONLY;  ///< emission slots
+  std::vector<std::uint8_t> shard_arrivals_ GK_CONSUMER_ONLY;  ///< join this epoch
+  std::vector<StagedAdmission> admissions_ GK_CONSUMER_ONLY;
+  std::vector<workload::MemberId> evictions_ GK_CONSUMER_ONLY;
 };
 
 }  // namespace gk::engine

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/ensure.h"
+#include "crypto/secure.h"
 
 namespace gk::lkh {
 
@@ -106,10 +107,10 @@ void KeyQueue::restore_state(common::ByteReader& in) {
     Entry entry;
     entry.id = crypto::make_key_id(in.u64());
     max_id = std::max(max_id, crypto::raw(entry.id));
-    std::array<std::uint8_t, crypto::Key128::kSize> raw;
+    crypto::WipedBytes<crypto::Key128::kSize> raw;
     const auto view = in.bytes(raw.size());
-    std::copy(view.begin(), view.end(), raw.begin());
-    entry.key = crypto::Key128(raw);
+    std::copy(view.begin(), view.end(), raw.array().begin());
+    entry.key = crypto::Key128(raw.array());
     GK_ENSURE_MSG(members_.emplace(raw_id, entry).second,
                   "queue state corrupt: duplicate member");
   }

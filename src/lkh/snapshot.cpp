@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/ensure.h"
+#include "crypto/secure.h"
 
 // Two snapshot formats share one node encoding (a pre-order walk):
 //
@@ -46,10 +47,10 @@ struct SnapshotAccess {
   };
 
   static crypto::Key128 read_key(common::ByteReader& in) {
-    std::array<std::uint8_t, crypto::Key128::kSize> raw;
+    crypto::WipedBytes<crypto::Key128::kSize> raw;
     const auto view = in.bytes(raw.size());
-    std::copy(view.begin(), view.end(), raw.begin());
-    return crypto::Key128(raw);
+    std::copy(view.begin(), view.end(), raw.array().begin());
+    return crypto::Key128(raw.array());
   }
 
   static std::uint32_t read_node(common::ByteReader& in, KeyTree& tree,

@@ -1,8 +1,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "partition/server.h"
 
 namespace gk::partition {
@@ -23,38 +24,38 @@ class ConcurrentServer final : public RekeyServer {
       : inner_(std::move(inner)) {}
 
   Registration join(const workload::MemberProfile& profile) override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->join(profile);
   }
 
   void leave(workload::MemberId member) override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     inner_->leave(member);
   }
 
   EpochOutput end_epoch() override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->end_epoch();
   }
 
   [[nodiscard]] crypto::VersionedKey group_key() const override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->group_key();
   }
 
   [[nodiscard]] crypto::KeyId group_key_id() const override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->group_key_id();
   }
 
   [[nodiscard]] std::size_t size() const override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->size();
   }
 
   [[nodiscard]] std::vector<crypto::KeyId> member_path(
       workload::MemberId member) const override {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return inner_->member_path(member);
   }
 
@@ -62,13 +63,13 @@ class ConcurrentServer final : public RekeyServer {
   /// scheme-specific accessors (partition sizes, relocations).
   template <typename Fn>
   auto with_inner(Fn&& fn) const {
-    const std::scoped_lock lock(mutex_);
+    const common::MutexLock lock(mutex_);
     return fn(*inner_);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unique_ptr<RekeyServer> inner_;
+  mutable common::Mutex mutex_;
+  std::unique_ptr<RekeyServer> inner_ GK_GUARDED_BY(mutex_) GK_PT_GUARDED_BY(mutex_);
 };
 
 }  // namespace gk::partition

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "common/mutex.h"
 #include "replica/election.h"
 #include "replica/ship.h"
 
@@ -24,10 +25,12 @@ ReplicaCluster::ReplicaCluster(const Factory& factory, Config config)
         transport::ShipChannel(Rng(config_.channel_seed ^ (id * 0x9e3779b9ULL))),
     });
   }
+  const common::MutexLock lock(mutex_);
   ship();  // seed every standby with the founding checkpoint
 }
 
 engine::Registration ReplicaCluster::join(const workload::MemberProfile& profile) {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
   auto registration = leader_->join(profile);
   ship();
@@ -35,12 +38,14 @@ engine::Registration ReplicaCluster::join(const workload::MemberProfile& profile
 }
 
 void ReplicaCluster::leave(workload::MemberId member) {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
   leader_->leave(member);
   ship();
 }
 
 engine::EpochOutput ReplicaCluster::end_epoch() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader (run failover)");
   try {
     auto out = leader_->end_epoch();
@@ -65,22 +70,26 @@ engine::EpochOutput ReplicaCluster::end_epoch() {
 
 void ReplicaCluster::arm_channel_fault(std::size_t standby,
                                        transport::ShipChannel::Fault fault) {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(standby < nodes_.size(), "no such standby");
   nodes_[standby].channel.arm_fault(fault);
 }
 
 void ReplicaCluster::kill_leader_mid_commit() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to kill");
   leader_->arm_crash_before_commit();
 }
 
 void ReplicaCluster::partition_leader() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to partition");
   GK_ENSURE_MSG(stale_leader_ == nullptr, "a partitioned ex-leader already exists");
   stale_leader_ = std::move(leader_);
 }
 
 ReplicaCluster::StaleProbe ReplicaCluster::stale_commit() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(stale_leader_ != nullptr, "no partitioned ex-leader to probe");
   StaleProbe probe;
   probe.output = stale_leader_->end_epoch();
@@ -97,6 +106,7 @@ ReplicaCluster::StaleProbe ReplicaCluster::stale_commit() {
 }
 
 ReplicaCluster::FailoverResult ReplicaCluster::failover() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ == nullptr,
                 "failover with a live leader — kill or partition it first");
   std::vector<Candidate> candidates;
@@ -125,32 +135,38 @@ ReplicaCluster::FailoverResult ReplicaCluster::failover() {
 }
 
 const partition::JournaledServer& ReplicaCluster::leader() const {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader");
   return *leader_;
 }
 
 partition::JournaledServer& ReplicaCluster::leader() {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader");
   return *leader_;
 }
 
 const StandbyReplica& ReplicaCluster::standby(std::size_t index) const {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
   return *nodes_[index].standby;
 }
 
 const transport::ShipChannel::Stats& ReplicaCluster::channel_stats(
     std::size_t index) const {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
   return nodes_[index].channel.stats();
 }
 
 void ReplicaCluster::fence_standby(std::size_t index, std::uint64_t term) {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(index < nodes_.size(), "no such standby");
   nodes_[index].standby->fence(term);
 }
 
 bool ReplicaCluster::standbys_identical() const {
+  const common::MutexLock lock(mutex_);
   GK_ENSURE_MSG(leader_ != nullptr, "cluster has no leader to compare against");
   const auto golden = leader_->durable().save_state();
   for (const auto& node : nodes_) {

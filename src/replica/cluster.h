@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "engine/server.h"
 #include "partition/journaled_server.h"
 #include "replica/standby.h"
@@ -87,12 +89,24 @@ class ReplicaCluster {
   FailoverResult failover();
 
   // -- inspection --
-  [[nodiscard]] bool has_leader() const noexcept { return leader_ != nullptr; }
+  [[nodiscard]] bool has_leader() const noexcept {
+    const common::MutexLock lock(mutex_);
+    return leader_ != nullptr;
+  }
   [[nodiscard]] const partition::JournaledServer& leader() const;
   [[nodiscard]] partition::JournaledServer& leader();
-  [[nodiscard]] std::uint64_t leader_node() const noexcept { return leader_node_; }
-  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
-  [[nodiscard]] std::size_t standby_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t leader_node() const noexcept {
+    const common::MutexLock lock(mutex_);
+    return leader_node_;
+  }
+  [[nodiscard]] std::uint64_t term() const noexcept {
+    const common::MutexLock lock(mutex_);
+    return term_;
+  }
+  [[nodiscard]] std::size_t standby_count() const noexcept {
+    const common::MutexLock lock(mutex_);
+    return nodes_.size();
+  }
   [[nodiscard]] const StandbyReplica& standby(std::size_t index) const;
   [[nodiscard]] const transport::ShipChannel::Stats& channel_stats(
       std::size_t index) const;
@@ -110,17 +124,24 @@ class ReplicaCluster {
   };
 
   /// Advance every standby to the journal head (send + deliver + apply).
-  void ship();
+  void ship() GK_REQUIRES(mutex_);
   /// Deliver queued frames to one standby, retransmitting a checkpoint
   /// whenever it reports a gap or corruption.
-  void pump(Node& node);
+  void pump(Node& node) GK_REQUIRES(mutex_);
 
-  Config config_;
-  std::unique_ptr<partition::JournaledServer> leader_;
-  std::unique_ptr<partition::JournaledServer> stale_leader_;  ///< partitioned ex-leader
-  std::uint64_t leader_node_ = 0;
-  std::uint64_t term_ = 0;
-  std::vector<Node> nodes_;
+  /// One coarse lock covers every cluster transition: leader ops, fault
+  /// arming, failover, and inspection. A deployed cluster takes membership
+  /// calls from front-end threads while a drill (or an operator) runs
+  /// failover, and a half-installed leader observed mid-election is exactly
+  /// the split-brain state the epoch fencing exists to prevent.
+  mutable common::Mutex mutex_;
+  Config config_ GK_CONST_AFTER_INIT;
+  std::unique_ptr<partition::JournaledServer> leader_ GK_GUARDED_BY(mutex_);
+  /// The partitioned ex-leader, while a split-brain drill is running.
+  std::unique_ptr<partition::JournaledServer> stale_leader_ GK_GUARDED_BY(mutex_);
+  std::uint64_t leader_node_ GK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t term_ GK_GUARDED_BY(mutex_) = 0;
+  std::vector<Node> nodes_ GK_GUARDED_BY(mutex_);
 };
 
 }  // namespace gk::replica

@@ -51,9 +51,10 @@ TEST(ConcurrentServer, MixedChurnWithCommitterThread) {
 
   // Committer: periodic batch rekeying, as the Tp timer would.
   std::thread committer([&] {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_acquire)) {
       (void)server.end_epoch();
-      commits.fetch_add(1);
+      // relaxed: a plain event counter; it is only read after join().
+      commits.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
     }
   });
@@ -64,19 +65,21 @@ TEST(ConcurrentServer, MixedChurnWithCommitterThread) {
   for (int t = 0; t < 6; ++t) {
     frontends.emplace_back([&] {
       for (int i = 0; i < 400; ++i) {
-        const auto id = next_id.fetch_add(1);
+        // relaxed: ids only need to be unique, not ordered across threads.
+        const auto id = next_id.fetch_add(1, std::memory_order_relaxed);
         (void)server.join(profile_of(id));
         if (i % 2 == 0) server.leave(make_member_id(id));
       }
     });
   }
   for (auto& thread : frontends) thread.join();
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
   committer.join();
 
   // 6 threads x 400 joins, half leave again, on top of the 512 seeds.
   EXPECT_EQ(server.size(), 512u + 6u * 400u / 2u);
-  EXPECT_GT(commits.load(), 0u);
+  // relaxed: the committer thread was joined above.
+  EXPECT_GT(commits.load(std::memory_order_relaxed), 0u);
   // The tree is still coherent: one more epoch commits cleanly.
   const auto out = server.end_epoch();
   (void)out;
@@ -92,12 +95,13 @@ TEST(ConcurrentServer, ReadersNeverObserveTornState) {
   std::atomic<bool> torn{false};
 
   std::thread reader([&] {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_acquire)) {
       // group_key_id is fixed; a torn read of the key would pair a stale
       // version with a fresh id or vice versa — detect by re-reading.
       const auto a = server.group_key();
       const auto b = server.group_key();
-      if (b.version < a.version) torn.store(true);
+      // relaxed: a sticky flag, read only after the reader thread joins.
+      if (b.version < a.version) torn.store(true, std::memory_order_relaxed);
     }
   });
 
@@ -111,9 +115,10 @@ TEST(ConcurrentServer, ReadersNeverObserveTornState) {
     have_previous = true;
     (void)server.end_epoch();
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
   reader.join();
-  EXPECT_FALSE(torn.load());
+  // relaxed: the reader thread was joined above.
+  EXPECT_FALSE(torn.load(std::memory_order_relaxed));
 }
 
 }  // namespace

@@ -83,9 +83,13 @@ TEST(gklint, CtCompareAllowsHandWrittenEqualityOnlyInKeyHeader) {
 TEST(gklint, SecretLogCatchesStreamedKeyBytes) {
   const auto got = lint("src/transport/debug_dump.cpp",
                         fixture("secret_log_violation.cpp"));
+  // The flow-aware secret-taint rule independently tracks the Key128
+  // parameter into both sinks, so each line carries both rule ids.
   const std::vector<RuleLine> want = {{7, "secret-log"},
+                                      {7, "secret-taint"},
                                       {8, "secret-log"},
-                                      {8, "secret-log"}};
+                                      {8, "secret-log"},
+                                      {8, "secret-taint"}};
   EXPECT_EQ(got, want);
 }
 
@@ -244,6 +248,144 @@ TEST(gklint, SecretTypeMarkerRegistersNewTypes) {
   collect_markers("// gklint: secret-type(WrapSeed)\n", registry);
   EXPECT_EQ(registry.secret_types.count("WrapSeed"), 1u);
   EXPECT_EQ(registry.secret_types.count("Key128"), 1u);  // built in
+}
+
+// ------------------------------------------------------------ secret-taint --
+
+TEST(gklint, SecretTaintTracksAliasesIntoSinks) {
+  const auto got = lint("src/fake/taint.cpp", fixture("secret_taint_violation.cpp"));
+  const std::vector<RuleLine> want = {{10, "secret-taint"},
+                                      {16, "secret-taint"},
+                                      {21, "secret-taint"},
+                                      {25, "secret-taint"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, SecretTaintCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/taint.cpp", fixture("secret_taint_clean.cpp")).empty());
+}
+
+TEST(gklint, SecretTaintLogSinkAllowedInTests) {
+  // tests/ may print and memcpy key material, but the non-constant-time
+  // comparison sink still applies outside src/crypto/.
+  const auto got = lint("tests/fake_test.cpp", fixture("secret_taint_violation.cpp"));
+  const std::vector<RuleLine> want = {{16, "secret-taint"}};
+  EXPECT_EQ(got, want);
+}
+
+// --------------------------------------------------------- lock-discipline --
+
+TEST(gklint, LockDisciplineFlagsUnownedFields) {
+  const auto got =
+      lint("src/fake/staging.h", fixture("lock_discipline_violation.h"));
+  const std::vector<RuleLine> want = {{15, "lock-discipline"},
+                                      {16, "lock-discipline"},
+                                      {17, "lock-discipline"},
+                                      {18, "lock-discipline"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, LockDisciplineCleanFixturePasses) {
+  EXPECT_TRUE(
+      lint("src/fake/staging.h", fixture("lock_discipline_clean.h")).empty());
+}
+
+TEST(gklint, LockDisciplineIgnoresLockFreeClasses) {
+  const std::string text =
+      "class Plain {\n"
+      "  int a_ = 0;\n"
+      "  bool b_ = false;\n"
+      "};\n";
+  EXPECT_TRUE(lint("src/fake/plain.cpp", text).empty());
+}
+
+// ------------------------------------------------------ memory-order-audit --
+
+TEST(gklint, MemoryOrderAuditFlagsBareAndUnjustifiedOps) {
+  const auto got = lint("src/fake/atomics.cpp", fixture("memory_order_violation.cpp"));
+  const std::vector<RuleLine> want = {
+      {7, "memory-order-audit"},  {9, "memory-order-audit"},
+      {11, "memory-order-audit"}, {13, "memory-order-audit"},
+      {15, "memory-order-audit"}, {18, "memory-order-audit"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, MemoryOrderCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/atomics.cpp", fixture("memory_order_clean.cpp")).empty());
+}
+
+// -------------------------------------------------------------- raii-wipe --
+
+TEST(gklint, RaiiWipeFlagsUnwipedKeyBuffers) {
+  const auto got = lint("src/fake/wipe.cpp", fixture("raii_wipe_violation.cpp"));
+  const std::vector<RuleLine> want = {{15, "raii-wipe"},
+                                      {20, "raii-wipe"},
+                                      {29, "raii-wipe"},
+                                      {35, "raii-wipe"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(gklint, RaiiWipeCleanFixturePasses) {
+  EXPECT_TRUE(lint("src/fake/wipe.cpp", fixture("raii_wipe_clean.cpp")).empty());
+}
+
+TEST(gklint, RaiiWipeExemptsTestProcesses) {
+  EXPECT_TRUE(lint("tests/fake_test.cpp", fixture("raii_wipe_violation.cpp")).empty());
+}
+
+// ----------------------------------------------- suppression is rule-exact --
+
+TEST(gklint, SuppressionOnlySilencesTheNamedRule) {
+  // One line carries both a secret-log and a secret-taint finding; the
+  // allow() names only secret-log, so secret-taint must survive.
+  const auto got = lint("src/fake/dump.cpp", fixture("suppression_exact.cpp"));
+  const std::vector<RuleLine> want = {{11, "secret-taint"}};
+  EXPECT_EQ(got, want);
+}
+
+// --------------------------------------------------- severity / JSON / baseline --
+
+TEST(gklint, SeveritySplitsCorrectnessFromHygiene) {
+  EXPECT_EQ(severity_of("secret-taint"), "error");
+  EXPECT_EQ(severity_of("raii-wipe"), "error");
+  EXPECT_EQ(severity_of("memory-order-audit"), "error");
+  EXPECT_EQ(severity_of("lock-discipline"), "error");
+  EXPECT_EQ(severity_of("nodiscard"), "warning");
+  EXPECT_EQ(severity_of("include-order"), "warning");
+}
+
+TEST(gklint, RenderJsonEmitsOneObjectPerFinding) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "secret-taint", "leaky \"alias\""},
+      {"src/b.h", 9, "nodiscard", "droppable status"}};
+  const std::string json = render_json(findings);
+  EXPECT_NE(json.find("{\"file\": \"src/a.cpp\", \"line\": 3, \"rule\": "
+                      "\"secret-taint\", \"severity\": \"error\", \"message\": "
+                      "\"leaky \\\"alias\\\"\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_EQ(render_json({}), "[]\n");
+}
+
+TEST(gklint, BaselineMatchesByFileAndRule) {
+  const auto baseline = parse_baseline(
+      "# tolerated backlog\n"
+      "\n"
+      "src/a.cpp:secret-taint\n");
+  EXPECT_TRUE(baseline.covers({"src/a.cpp", 3, "secret-taint", "m"}));
+  EXPECT_TRUE(baseline.covers({"src/a.cpp", 99, "secret-taint", "m"}));  // any line
+  EXPECT_FALSE(baseline.covers({"src/a.cpp", 3, "raii-wipe", "m"}));     // other rule
+  EXPECT_FALSE(baseline.covers({"src/b.cpp", 3, "secret-taint", "m"}));  // other file
+}
+
+TEST(gklint, BaselineRoundTripsThroughRender) {
+  const std::vector<Finding> findings = {{"src/a.cpp", 3, "secret-taint", "m"},
+                                         {"src/a.cpp", 7, "secret-taint", "m"},
+                                         {"src/b.h", 9, "nodiscard", "m"}};
+  const auto reparsed = parse_baseline(render_baseline(findings));
+  EXPECT_EQ(reparsed.entries.size(), 2u);  // deduplicated by path:rule
+  EXPECT_TRUE(reparsed.covers(findings[0]));
+  EXPECT_TRUE(reparsed.covers(findings[2]));
 }
 
 }  // namespace

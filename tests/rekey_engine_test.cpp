@@ -37,10 +37,15 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   common::ThreadPool pool(4);
   constexpr std::size_t kN = 10'000;
   std::vector<std::atomic<int>> hits(kN);
+  // relaxed: parallel_for's join is the synchronization point; the counters
+  // are only read after it returns.
   pool.parallel_for(kN, 64, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
   });
-  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  // relaxed: reading after the parallel_for barrier.
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
 }
 
 TEST(ThreadPool, EmptyRangeIsANoOp) {
@@ -64,10 +69,11 @@ TEST(ThreadPool, ReusableAcrossManyRounds) {
   common::ThreadPool pool(3);
   for (int round = 0; round < 200; ++round) {
     std::atomic<std::size_t> covered{0};
+    // relaxed: parallel_for blocks until every chunk ran; the read is after.
     pool.parallel_for(257, 16, [&](std::size_t begin, std::size_t end) {
-      covered.fetch_add(end - begin);
+      covered.fetch_add(end - begin, std::memory_order_relaxed);
     });
-    ASSERT_EQ(covered.load(), 257u) << "round " << round;
+    ASSERT_EQ(covered.load(std::memory_order_relaxed), 257u) << "round " << round;
   }
 }
 

@@ -1,0 +1,40 @@
+// Annotation-vs-runtime cross-check, passing half (see DESIGN.md §13).
+//
+// This TU is the correctly-annotated twin of misannotated_fail.cpp: every
+// access to the guarded field holds the declared capability, so it must
+// compile clean under `clang++ -Wthread-safety -Wthread-safety-beta
+// -Werror`. CI compiles both fixtures; only this one may succeed. Together
+// they prove the analysis is load-bearing — a toolchain or annotation
+// regression that silenced the checker would flip the failing twin to
+// green and fail the WILL_FAIL ctest entry.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    gk::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] std::uint64_t read() {
+    gk::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  gk::common::Mutex mutex_;
+  std::uint64_t value_ GK_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return static_cast<int>(counter.read()) - 1;
+}

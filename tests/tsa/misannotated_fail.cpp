@@ -1,0 +1,37 @@
+// Annotation-vs-runtime cross-check, failing half (see DESIGN.md §13).
+//
+// Deliberately broken: bump() writes a GK_GUARDED_BY field without holding
+// the declared mutex. `clang++ -Wthread-safety -Wthread-safety-beta
+// -Werror` must REJECT this TU; the ctest entry is registered with
+// WILL_FAIL so a checker that stops firing (wrong flags, attributes
+// compiled out, wrapper losing its capability annotation) turns this
+// fixture green and breaks the build instead of silently losing coverage.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (on purpose): no lock held while writing value_.
+  void bump() { ++value_; }
+
+  [[nodiscard]] std::uint64_t read() {
+    gk::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  gk::common::Mutex mutex_;
+  std::uint64_t value_ GK_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return static_cast<int>(counter.read()) - 1;
+}

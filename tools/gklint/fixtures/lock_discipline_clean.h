@@ -1,0 +1,32 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+// Every field of a lock-owning class declares its owner: guarded, consumer-
+// owned, init-time-constant, atomic, or const. Nothing is left implicit.
+class StagingArea {
+ public:
+  void push(std::uint64_t v);
+  explicit StagingArea(unsigned lanes = 0);
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::uint64_t> staged_ GK_GUARDED_BY(mutex_);
+  std::size_t high_water_ GK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t* slots_ GK_PT_GUARDED_BY(mutex_) = nullptr;
+  std::size_t cursor_ GK_CONSUMER_ONLY = 0;
+  unsigned lanes_ GK_CONST_AFTER_INIT = 1;
+  std::atomic<bool> draining_ = false;
+  const double drain_rate_ = 1.0;
+};
+
+// No lock, no declared discipline required: a value type's fields are
+// whatever the enclosing object's discipline says they are.
+class PlainValue {
+ private:
+  std::vector<std::uint64_t> items_;
+  std::size_t count_ = 0;
+};

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+// A class that owns a lock but declares no ownership for its other state:
+// every plain field is a latent data race the next maintainer cannot see.
+class StagingArea {
+ public:
+  void push(std::uint64_t v);
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::uint64_t> staged_;
+  std::size_t high_water_ = 0;
+  bool draining_ = false;
+  double drain_rate_;
+};

@@ -1,0 +1,29 @@
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> epoch_;
+std::atomic<bool> stop_;
+
+std::uint64_t spelled_load() { return epoch_.load(std::memory_order_acquire); }
+
+void spelled_store(std::uint64_t v) { epoch_.store(v, std::memory_order_release); }
+
+std::uint64_t justified_relaxed() {
+  // relaxed: monotone counter read for stats only; no data is ordered
+  // behind it and a stale value is acceptable.
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+void spelled_rmw() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+// A local that shares an atomic member's name (the Vyukov-queue `next`
+// idiom) is plain memory; operator-form writes to it must not fire.
+struct Node {
+  std::atomic<Node*> next;
+};
+
+Node* advance(Node* node) {
+  Node* next = node->next.load(std::memory_order_acquire);
+  next = nullptr;
+  return next;
+}

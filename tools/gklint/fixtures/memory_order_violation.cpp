@@ -1,0 +1,19 @@
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> epoch_;
+std::atomic<bool> stop_;
+
+std::uint64_t bare_load() { return epoch_.load(); }
+
+void bare_store(std::uint64_t v) { epoch_.store(v); }
+
+void bare_rmw() { epoch_.fetch_add(1); }
+
+void operator_increment() { epoch_++; }
+
+void operator_assign() { stop_ = true; }
+
+std::uint64_t unjustified_relaxed() {
+  return epoch_.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,37 @@
+#include <array>
+#include <cstdint>
+
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+#include "crypto/key.h"
+#include "crypto/secure.h"
+
+// Wiped on every exit path: compute the result first, scrub, then return.
+gk::crypto::Key128 wiped_on_all_paths(bool fast_path) {
+  std::uint8_t seed[16];
+  fill_entropy(seed);
+  (void)gk::crypto::hmac_sha256(std::span<const std::uint8_t>(seed), {});
+  gk::crypto::secure_wipe(seed, sizeof seed);
+  if (fast_path) return gk::crypto::Key128();
+  return gk::crypto::Key128();
+}
+
+// WipedBytes scrubs itself during unwinding; no manual wipe needed.
+gk::crypto::Key128 raii_buffer() {
+  gk::crypto::WipedBytes<16> raw;
+  fill_entropy(raw.data());
+  return gk::crypto::Key128(raw.array());
+}
+
+// Domain-separation labels are public compile-time constants, not secrets.
+void public_label(std::span<const std::uint8_t> key) {
+  static constexpr std::uint8_t kLabel[] = {'g', 'k', 'c', '1'};
+  (void)gk::crypto::hmac_sha256(key, std::span(kLabel));
+}
+
+// A byte buffer that never feeds a derivation helper is not key material.
+void plain_io_buffer() {
+  std::uint8_t frame[64];
+  read_frame(frame);
+  parse_frame(frame);
+}

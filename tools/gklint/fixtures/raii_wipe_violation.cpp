@@ -1,0 +1,35 @@
+#include <array>
+#include <cstdint>
+
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+#include "crypto/key.h"
+
+// Four leak shapes: a C array that feeds an HMAC and dies unwiped, an early
+// return that skips the wipe, a std::array fed to a Key128 constructor, and
+// a buffer filled by a derivation that only some paths scrub.
+void hmac_scratch_leaks(std::span<const std::uint8_t> msg) {
+  std::uint8_t ikm[32];
+  fill_entropy(ikm);
+  (void)gk::crypto::hmac_sha256(std::span<const std::uint8_t>(ikm), msg);
+}
+
+int early_return_skips_wipe(bool fast_path) {
+  std::uint8_t seed[16];
+  (void)gk::crypto::hmac_sha256(std::span<const std::uint8_t>(seed), {});
+  if (fast_path) return 1;
+  gk::crypto::secure_wipe(seed, sizeof seed);
+  return 0;
+}
+
+gk::crypto::Key128 array_to_key_leaks() {
+  std::array<std::uint8_t, 16> raw;
+  fill_entropy(raw.data());
+  return gk::crypto::Key128(raw);
+}
+
+void derive_scratch_leaks(const gk::crypto::Key128& k) {
+  std::uint8_t context[8];
+  encode_context(context);
+  (void)gk::crypto::derive_key(k, "label", read_u64(context));
+}

@@ -1,0 +1,24 @@
+#include <cstring>
+#include <iostream>
+
+#include "crypto/key.h"
+#include "crypto/secure.h"
+
+// Redacted accessors are fine to stream: hex() shows 4 bytes + ellipsis.
+void redacted_log(const gk::crypto::Key128& key) {
+  std::cout << "rekeyed under " << key.hex() << "\n";
+}
+
+// A ByteReader-style .bytes(n) on a non-secret receiver is deserialization,
+// not key material; copying it around is the wire layer's whole job.
+void reader_copy(gk::common::ByteReader& in, std::uint8_t* out) {
+  const auto view = in.bytes(16);
+  std::memcpy(out, view.data(), 16);
+}
+
+// Comparing through ct_equal is the sanctioned path.
+bool sanctioned_compare(const gk::crypto::Key128& a, const gk::crypto::Key128& b) {
+  const auto lhs = a.bytes();
+  const auto rhs = b.bytes();
+  return gk::crypto::ct_equal(lhs, rhs);
+}

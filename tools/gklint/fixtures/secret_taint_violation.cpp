@@ -1,0 +1,26 @@
+#include <cstring>
+#include <iostream>
+
+#include "crypto/key.h"
+
+// Taint flows through aliases: no `.bytes` ever touches a sink directly,
+// which is exactly what the statement-local secret-log rule cannot see.
+void alias_reaches_stream(const gk::crypto::Key128& key) {
+  const auto view = key.bytes();
+  std::cout << "dump: " << view;
+}
+
+bool alias_reaches_equality(const gk::crypto::Key128& key, unsigned char probe) {
+  const auto view = key.bytes();
+  const auto head = view;
+  return head == probe;
+}
+
+void alias_reaches_memcpy(const gk::crypto::Key128& key, std::uint8_t* out) {
+  const auto raw = key.bytes().data();
+  std::memcpy(out, raw, 16);
+}
+
+void object_reaches_stream(const gk::crypto::Key128& key) {
+  std::cerr << key;
+}

@@ -1,0 +1,12 @@
+#include <iostream>
+
+#include "crypto/key.h"
+
+// One line, two rules: streaming .bytes() is a secret-log finding, and the
+// flow pass independently reports the tainted parameter reaching a logging
+// sink (secret-taint). The allow() below names only secret-log, so the
+// suppression must NOT silence the secret-taint finding on the same line.
+void dump(const gk::crypto::Key128& key) {
+  // gklint: allow(secret-log) demo: suppression is rule-exact, not line-wide
+  std::cout << static_cast<int>(key.bytes()[0]);
+}

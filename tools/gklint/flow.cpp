@@ -1,0 +1,712 @@
+#include "gklint/flow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace gk::lint {
+namespace {
+
+// ---------------------------------------------------------------- helpers ---
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] bool tok_is(const Token& t, std::string_view text) {
+  return t.text == text;
+}
+
+/// Index of the token matching the `(` at `open`, or toks.size() on overrun.
+[[nodiscard]] std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Index of the token matching the `{` at `open`, or toks.size() on overrun.
+[[nodiscard]] std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// SHOUTY_CASE identifiers are macros (GK_REQUIRES, EXPECT_EQ, ...), never
+/// function definitions worth analyzing.
+[[nodiscard]] bool is_macro_name(std::string_view name) {
+  bool has_upper = false;
+  for (const char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) has_upper = true;
+  }
+  return has_upper;
+}
+
+// ---------------------------------------------------- function extraction ---
+
+/// One function definition: its name, parameter-list and body token ranges.
+/// Extraction is heuristic (token-shape, not a parse tree): `name ( ... )`
+/// followed — after skipping specifiers, annotations, and a constructor
+/// init-list — by a `{`. Good enough for intra-procedural scanning; a missed
+/// body only means a missed finding, never a false one.
+struct FunctionDef {
+  std::string name;
+  std::size_t params_open = 0;  ///< index of `(`
+  std::size_t params_close = 0; ///< index of `)`
+  std::size_t body_open = 0;    ///< index of `{`
+  std::size_t body_close = 0;   ///< index of `}`
+};
+
+[[nodiscard]] std::vector<FunctionDef> extract_functions(
+    const std::vector<Token>& toks) {
+  static const std::set<std::string> kNotFunctions = {
+      "if",     "for",      "while",  "switch",   "return",        "catch",
+      "sizeof", "alignof",  "decltype", "noexcept", "static_assert", "assert",
+      "requires", "constexpr", "alignas", "defined", "throw"};
+  std::vector<FunctionDef> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !tok_is(toks[i + 1], "(")) continue;
+    if (kNotFunctions.count(toks[i].text) != 0) continue;
+    if (is_macro_name(toks[i].text)) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close >= toks.size()) continue;
+    // Walk past trailing specifiers / attributes / ctor init-list to the
+    // body `{`; a `;` or `=` first means declaration / `= default`.
+    std::size_t j = close + 1;
+    std::size_t body = toks.size();
+    while (j < toks.size()) {
+      const auto& t = toks[j];
+      if (tok_is(t, ";") || tok_is(t, "=")) break;
+      if (tok_is(t, "{")) {
+        body = j;
+        break;
+      }
+      if (tok_is(t, "(")) {
+        j = match_paren(toks, j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (body == toks.size()) continue;
+    const std::size_t end = match_brace(toks, body);
+    if (end == toks.size()) continue;
+    out.push_back({toks[i].text, i + 1, close, body, end});
+  }
+  return out;
+}
+
+// ------------------------------------------------------ rule: secret-taint --
+
+/// How a name became secret: a whole secret-typed object, or a view/pointer
+/// onto raw key bytes. Objects keep their own discipline (Key128's == is
+/// constant-time, its printers redact), so only *bytes* taint feeds the
+/// comparison and copy sinks; both kinds are barred from logging sinks.
+enum class TaintKind : std::uint8_t { kSecretObject, kSecretBytes };
+
+struct TaintedName {
+  TaintKind kind;
+  std::string origin;  ///< what made it secret, for the message
+};
+
+void rule_secret_taint(const std::string& path, const std::vector<Token>& toks,
+                       const Registry& reg, std::vector<Finding>* findings) {
+  const bool log_sink_ok = starts_with(path, "tests/") || starts_with(path, "tools/");
+  const bool compare_ok = starts_with(path, "src/crypto/");
+  const bool copy_ok = starts_with(path, "src/crypto/") || starts_with(path, "tests/");
+  if (log_sink_ok && compare_ok && copy_ok) return;
+
+  static const std::set<std::string> kPrintFns = {"printf", "fprintf", "puts", "fputs",
+                                                  "format", "print",   "println"};
+  static const std::set<std::string> kCopyFns = {"memcpy", "memmove", "copy", "copy_n"};
+
+  for (const auto& fn : extract_functions(toks)) {
+    std::map<std::string, TaintedName> tainted;
+
+    // Seed: parameters of a registered secret type.
+    for (std::size_t i = fn.params_open + 1; i < fn.params_close; ++i) {
+      if (toks[i].kind != TokKind::kIdent || reg.secret_types.count(toks[i].text) == 0)
+        continue;
+      // Parameter name: the last identifier before the next top-level , or ).
+      std::size_t j = i + 1;
+      std::string name;
+      int depth = 0;
+      for (; j < fn.params_close; ++j) {
+        if (tok_is(toks[j], "(") || tok_is(toks[j], "<")) ++depth;
+        if (tok_is(toks[j], ")") || tok_is(toks[j], ">")) --depth;
+        if (depth == 0 && (tok_is(toks[j], ",") || tok_is(toks[j], "="))) break;
+        if (toks[j].kind == TokKind::kIdent) name = toks[j].text;
+      }
+      if (!name.empty())
+        tainted.emplace(name, TaintedName{TaintKind::kSecretObject,
+                                          "parameter of secret type " + toks[i].text});
+    }
+
+    // Walk the body statement by statement, seeding, propagating, and
+    // checking sinks in source order (a name is only dangerous after it
+    // became secret).
+    std::size_t stmt_begin = fn.body_open + 1;
+    for (std::size_t i = stmt_begin; i <= fn.body_close; ++i) {
+      const bool boundary =
+          i == fn.body_close ||
+          (toks[i].kind == TokKind::kPunct &&
+           (tok_is(toks[i], ";") || tok_is(toks[i], "{") || tok_is(toks[i], "}")));
+      if (!boundary) continue;
+      const std::size_t begin = stmt_begin;
+      const std::size_t end = i;
+      stmt_begin = i + 1;
+      if (begin >= end) continue;
+
+      // --- sinks first: they act on taint established by *earlier* code ---
+      bool stream = false;
+      std::size_t print_open = 0;
+      for (std::size_t j = begin; j < end; ++j) {
+        if (toks[j].kind == TokKind::kPunct && tok_is(toks[j], "<<")) stream = true;
+        if (toks[j].kind == TokKind::kIdent && kPrintFns.count(toks[j].text) != 0 &&
+            j + 1 < end && tok_is(toks[j + 1], "("))
+          print_open = j + 1;
+      }
+      for (std::size_t j = begin; j < end; ++j) {
+        const auto& t = toks[j];
+        if (t.kind != TokKind::kIdent) continue;
+        const auto hit = tainted.find(t.text);
+        if (hit == tainted.end()) continue;
+        // Member access `x.foo` where foo happens to share a tainted name is
+        // a different variable.
+        if (j > begin && (tok_is(toks[j - 1], ".") || tok_is(toks[j - 1], "->")))
+          continue;
+        // `k.hex()` streams the *redacted* accessor — only raw accessors on
+        // a tainted receiver keep the taint flowing into the sink.
+        if (j + 2 < end &&
+            (tok_is(toks[j + 1], ".") || tok_is(toks[j + 1], "->"))) {
+          const std::string& member = toks[j + 2].text;
+          if (member != "bytes" && member != "mutable_bytes" && member != "hex_full")
+            continue;
+        }
+
+        const bool in_print =
+            print_open != 0 && j > print_open && j < match_paren(toks, print_open);
+        if ((stream || in_print) && !log_sink_ok) {
+          findings->push_back(
+              {path, t.line, "secret-taint",
+               "'" + t.text + "' (" + hit->second.origin +
+                   ") reaches a logging sink; log the redacted hex() instead"});
+          continue;
+        }
+        if (hit->second.kind == TaintKind::kSecretBytes && !compare_ok) {
+          const bool eq_adjacent =
+              (j + 1 < end && (tok_is(toks[j + 1], "==") || tok_is(toks[j + 1], "!="))) ||
+              (j > begin && (tok_is(toks[j - 1], "==") || tok_is(toks[j - 1], "!=")));
+          if (eq_adjacent) {
+            findings->push_back(
+                {path, t.line, "secret-taint",
+                 "'" + t.text + "' (" + hit->second.origin +
+                     ") compared with ==/!= is variable-time; use crypto::ct_equal()"});
+            continue;
+          }
+        }
+        if (!copy_ok) {
+          // Inside a raw-copy call's argument list?
+          for (std::size_t k = begin; k < j; ++k) {
+            if (toks[k].kind != TokKind::kIdent || kCopyFns.count(toks[k].text) == 0)
+              continue;
+            if (k + 1 >= end || !tok_is(toks[k + 1], "(")) continue;
+            if (k > begin && (tok_is(toks[k - 1], ".") || tok_is(toks[k - 1], "->")))
+              continue;  // someone's .copy() method, not std::copy/memcpy
+            if (j < match_paren(toks, k + 1)) {
+              findings->push_back(
+                  {path, t.line, "secret-taint",
+                   "'" + t.text + "' (" + hit->second.origin + ") passed to " +
+                       toks[k].text +
+                       "(): raw copies of key material belong in src/crypto/, and the "
+                       "destination must be wiped"});
+              break;
+            }
+          }
+        }
+      }
+
+      // --- seeds and propagation take effect for *later* statements -------
+      // Declaration of a secret-typed local: `Key128 k = ...;`
+      for (std::size_t j = begin; j + 1 < end; ++j) {
+        if (toks[j].kind != TokKind::kIdent || reg.secret_types.count(toks[j].text) == 0)
+          continue;
+        if (j + 1 < end && (tok_is(toks[j + 1], "::") || tok_is(toks[j + 1], "(")))
+          continue;  // qualified name or constructor call, not a declaration
+        std::size_t k = j + 1;
+        while (k < end && (tok_is(toks[k], "&") || tok_is(toks[k], "*") ||
+                           tok_is(toks[k], "const")))
+          ++k;
+        if (k < end && toks[k].kind == TokKind::kIdent)
+          tainted.emplace(toks[k].text,
+                          TaintedName{TaintKind::kSecretObject,
+                                      "local of secret type " + toks[j].text});
+      }
+      // Binding raw bytes or aliasing an already-tainted name: find the
+      // assignment target, then classify the right-hand side.
+      for (std::size_t j = begin; j < end; ++j) {
+        if (toks[j].kind != TokKind::kPunct || !tok_is(toks[j], "=")) continue;
+        if (j == begin || toks[j - 1].kind != TokKind::kIdent) break;
+        const std::string target = toks[j - 1].text;
+        bool rhs_bytes = false;
+        std::optional<TaintedName> rhs_alias;
+        std::size_t rhs_len = 0;
+        for (std::size_t k = j + 1; k < end; ++k, ++rhs_len) {
+          const auto& r = toks[k];
+          if (r.kind != TokKind::kIdent) continue;
+          const bool member =
+              k > 0 && (tok_is(toks[k - 1], ".") || tok_is(toks[k - 1], "->"));
+          if (member && (r.text == "bytes" || r.text == "mutable_bytes" ||
+                         r.text == "data")) {
+            // Only a *secret receiver's* .bytes()/.data() is key material —
+            // a ByteReader's in.bytes(n) is plain deserialization. The
+            // receiver is the identifier before the access operator.
+            const bool secret_recv =
+                k >= 2 && toks[k - 2].kind == TokKind::kIdent &&
+                (tainted.count(toks[k - 2].text) != 0 ||
+                 reg.secret_types.count(toks[k - 2].text) != 0);
+            if (secret_recv) rhs_bytes = true;
+          }
+          // hex_full() is the loud full-bytes escape hatch on any receiver.
+          if (member && r.text == "hex_full") rhs_bytes = true;
+          const auto hit = tainted.find(r.text);
+          if (!member && hit != tainted.end()) rhs_alias = hit->second;
+        }
+        if (rhs_bytes)
+          tainted.insert_or_assign(
+              target, TaintedName{TaintKind::kSecretBytes, "bound to raw key bytes"});
+        else if (rhs_alias.has_value() && rhs_len <= 4)
+          // Short right-hand side = a plain alias (`p = q;`), not an
+          // arbitrary expression that merely mentions a secret.
+          tainted.insert_or_assign(target, *rhs_alias);
+        break;  // one assignment per statement is enough for this pass
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- rule: lock-discipline --
+
+/// Field-shaped statement inside a class body: the declared name is an
+/// identifier directly followed by `;`, `=`, `{`, `[`, or a GK_ ownership
+/// annotation. Method declarations never match (their name is followed by
+/// `(`), neither do using-aliases or friends (keyword-guarded below).
+struct FieldDecl {
+  std::string name;
+  std::size_t line = 0;
+  bool is_sync_primitive = false;  ///< Mutex / CondVar / MpscQueue / atomic
+  bool owns_lock = false;          ///< the field that makes the class lock-owning
+  bool disciplined = false;        ///< annotated, atomic, or const
+};
+
+void rule_lock_discipline(const std::string& path, const std::vector<Token>& toks,
+                          std::vector<Finding>* findings) {
+  static const std::set<std::string> kLockTypes = {"Mutex", "mutex", "recursive_mutex",
+                                                   "shared_mutex", "timed_mutex",
+                                                   "MpscQueue"};
+  static const std::set<std::string> kSyncTypes = {"CondVar", "condition_variable",
+                                                   "condition_variable_any", "atomic",
+                                                   "atomic_flag"};
+  static const std::set<std::string> kOwnership = {"GK_GUARDED_BY", "GK_PT_GUARDED_BY",
+                                                   "GK_CONSUMER_ONLY",
+                                                   "GK_CONST_AFTER_INIT"};
+  static const std::set<std::string> kSkipStmt = {"using", "typedef", "friend",
+                                                  "static_assert", "enum"};
+  // Trailing tokens of *method* declarations that are identifier-shaped and
+  // would otherwise read as a field name (`void f() noexcept;`).
+  static const std::set<std::string> kNotFieldNames = {
+      "const",  "constexpr", "noexcept", "override", "final",
+      "default", "delete",   "mutable",  "volatile", "public",
+      "private", "protected", "true",    "false",    "nullptr"};
+
+  struct ClassScope {
+    std::string name;
+    int depth = 0;
+    bool owns_lock = false;
+    std::vector<FieldDecl> fields;
+  };
+  std::vector<ClassScope> stack;
+  int depth = 0;
+  std::optional<std::string> pending_class;
+
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i <= toks.size(); ++i) {
+    const bool at_end = i == toks.size();
+    const auto* t = at_end ? nullptr : &toks[i];
+
+    if (!at_end && t->kind == TokKind::kIdent) {
+      if ((tok_is(*t, "class") || tok_is(*t, "struct")) &&
+          !(i > 0 && tok_is(toks[i - 1], "enum"))) {
+        std::size_t j = i + 1;
+        while (j < toks.size() && (toks[j].kind == TokKind::kPunct ||
+                                   is_macro_name(toks[j].text) ||
+                                   tok_is(toks[j], "alignas") || tok_is(toks[j], "final")))
+          ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::kIdent)
+          pending_class = toks[j].text;
+      }
+      continue;
+    }
+    if (at_end || t->kind == TokKind::kPunct) {
+      const bool boundary = at_end || tok_is(*t, ";") || tok_is(*t, "{") ||
+                            tok_is(*t, "}");
+      if (boundary) {
+        // Classify the finished statement if we are directly inside a class.
+        const bool in_class = !stack.empty() && stack.back().depth == depth;
+        const bool ends_decl = at_end || tok_is(*t, ";");
+        if (in_class && ends_decl && stmt_begin < i) {
+          const std::size_t begin = stmt_begin;
+          bool skip = false;
+          bool is_static = false;
+          bool is_const = false;
+          bool has_lock_type = false;
+          bool has_sync_type = false;
+          bool has_ownership = false;
+          for (std::size_t j = begin; j < i; ++j) {
+            const auto& s = toks[j];
+            if (s.kind != TokKind::kIdent) continue;
+            if (kSkipStmt.count(s.text) != 0) skip = true;
+            if (s.text == "static") is_static = true;
+            if (s.text == "const" || s.text == "constexpr") is_const = true;
+            if (kLockTypes.count(s.text) != 0) has_lock_type = true;
+            if (kSyncTypes.count(s.text) != 0) has_sync_type = true;
+            if (kOwnership.count(s.text) != 0) has_ownership = true;
+          }
+          if (!skip) {
+            // The declared name: last ident followed by ; = { [ or annotation.
+            std::string name;
+            std::size_t line = 0;
+            int paren_depth = 0;
+            for (std::size_t j = begin; j + 1 <= i; ++j) {
+              if (toks[j].kind == TokKind::kPunct) {
+                if (tok_is(toks[j], "(")) ++paren_depth;
+                if (tok_is(toks[j], ")")) --paren_depth;
+                continue;
+              }
+              if (toks[j].kind != TokKind::kIdent) continue;
+              // A name inside parentheses is a parameter (possibly with a
+              // `= default-value`), never the declared field.
+              if (paren_depth != 0) continue;
+              if (kNotFieldNames.count(toks[j].text) != 0) continue;
+              if (is_macro_name(toks[j].text)) continue;
+              if (j > begin && (tok_is(toks[j - 1], ".") || tok_is(toks[j - 1], "->") ||
+                               tok_is(toks[j - 1], "::")))
+                continue;
+              const auto& next = j + 1 == i ? Token{TokKind::kPunct, ";", 0}
+                                            : toks[j + 1];
+              const bool field_shaped =
+                  tok_is(next, ";") || tok_is(next, "=") || tok_is(next, "{") ||
+                  tok_is(next, "[") ||
+                  (next.kind == TokKind::kIdent && kOwnership.count(next.text) != 0);
+              if (field_shaped) {
+                name = toks[j].text;
+                line = toks[j].line;
+                break;
+              }
+            }
+            if (!name.empty() && !is_static) {
+              FieldDecl field;
+              field.name = name;
+              field.line = line;
+              field.owns_lock = has_lock_type;
+              field.is_sync_primitive = has_lock_type || has_sync_type;
+              field.disciplined = has_ownership || has_sync_type || is_const;
+              if (has_lock_type) stack.back().owns_lock = true;
+              stack.back().fields.push_back(std::move(field));
+            }
+          }
+        }
+        stmt_begin = i + 1;
+      }
+      if (at_end) break;
+      if (tok_is(*t, "{")) {
+        ++depth;
+        if (pending_class.has_value()) {
+          stack.push_back({*pending_class, depth, false, {}});
+          pending_class.reset();
+        }
+      } else if (tok_is(*t, "}")) {
+        if (!stack.empty() && stack.back().depth == depth) {
+          const auto scope = std::move(stack.back());
+          stack.pop_back();
+          if (scope.owns_lock) {
+            for (const auto& field : scope.fields) {
+              if (field.is_sync_primitive || field.disciplined) continue;
+              findings->push_back(
+                  {path, field.line, "lock-discipline",
+                   "class " + scope.name + " owns a lock, so field '" + field.name +
+                       "' needs a declared owner: GK_GUARDED_BY(mutex), "
+                       "GK_CONSUMER_ONLY, GK_CONST_AFTER_INIT, an atomic type, "
+                       "or const"});
+            }
+          }
+        }
+        --depth;
+      } else if (tok_is(*t, ";")) {
+        pending_class.reset();  // forward declaration
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ rule: memory-order-audit --
+
+void rule_memory_order(const std::string& path, const std::vector<Token>& toks,
+                       const std::vector<Comment>& comments,
+                       std::vector<Finding>* findings) {
+  static const std::set<std::string> kAtomicOps = {
+      "load",      "store",     "exchange",     "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",     "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  static const std::set<std::string> kWeakOrders = {"memory_order_relaxed",
+                                                    "memory_order_consume"};
+  static const std::set<std::string> kCompound = {"+=", "-=", "|=", "&=", "^="};
+
+  // Does any comment ending within the four lines above `line` (or on it)
+  // mention the weak order by name? That is the justification convention:
+  // the comment must engage with *why* relaxed is enough, and naming the
+  // order is the cheapest machine-checkable proxy for that.
+  const auto justified = [&](std::size_t line) {
+    for (const auto& c : comments) {
+      if (c.last_line + 4 < line || c.last_line > line) continue;
+      if (c.text.find("relaxed") != std::string::npos ||
+          c.text.find("consume") != std::string::npos)
+        return true;
+    }
+    return false;
+  };
+
+  // --- explicit-call form: .load(...), ->fetch_add(...), ... ---------------
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdent || kAtomicOps.count(t.text) == 0) continue;
+    if (!(tok_is(toks[i - 1], ".") || tok_is(toks[i - 1], "->"))) continue;
+    if (!tok_is(toks[i + 1], "(")) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    bool has_order = false;
+    bool weak = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (starts_with(toks[j].text, "memory_order")) {
+        has_order = true;
+        if (kWeakOrders.count(toks[j].text) != 0) weak = true;
+      }
+    }
+    if (!has_order) {
+      // `.store(x)` on a non-atomic (e.g. a cache or a map) is conceivable,
+      // but every name in kAtomicOps is atomic-specific vocabulary except
+      // load/store/exchange — and flagging those on sight is the point: the
+      // reader should not have to know the receiver's type to audit it.
+      findings->push_back(
+          {path, t.line, "memory-order-audit",
+           "atomic ." + t.text +
+               "() defaults to seq_cst; spell the std::memory_order explicitly so "
+               "the ordering contract is visible at the call site"});
+    } else if (weak && !justified(t.line)) {
+      findings->push_back(
+          {path, t.line, "memory-order-audit",
+           "ordering weaker than acquire/release needs a justification comment "
+           "within 4 lines naming the order (why is 'relaxed' sufficient here?)"});
+    }
+  }
+
+  // --- operator form on names declared std::atomic<...> --------------------
+  // `counter_++` or `flag_ = true` compiles to a seq_cst RMW/store with no
+  // visible ordering at all. Collect names declared atomic in this file,
+  // then flag operator-form uses. Restricted to member-access uses and
+  // trailing-underscore names so a local that shadows an atomic field's
+  // name (common for `next` in queue code) cannot false-positive.
+  std::set<std::string> atomic_names;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "atomic" && toks[i].text != "atomic_flag"))
+      continue;
+    std::size_t j = i + 1;
+    if (tok_is(toks[j], "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (tok_is(toks[j], "<")) ++depth;
+        else if (tok_is(toks[j], ">") && --depth == 0) break;
+        else if (tok_is(toks[j], ">>") && (depth -= 2) <= 0) break;
+      }
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent)
+      atomic_names.insert(toks[j].text);
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    if (t.kind != TokKind::kIdent || atomic_names.count(t.text) == 0) continue;
+    if (i > 0 && tok_is(toks[i - 1], ">")) continue;  // the declaration itself
+    const bool member_access =
+        i > 0 && (tok_is(toks[i - 1], ".") || tok_is(toks[i - 1], "->"));
+    if (!member_access && !ends_with(t.text, "_")) continue;
+    std::string op;
+    if (i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct) {
+      const auto& n = toks[i + 1];
+      if (tok_is(n, "++") || tok_is(n, "--") || kCompound.count(n.text) != 0 ||
+          tok_is(n, "="))
+        op = n.text;
+    }
+    if (op.empty() && i > 0 && (tok_is(toks[i - 1], "++") || tok_is(toks[i - 1], "--")))
+      op = toks[i - 1].text;
+    if (op.empty()) continue;
+    findings->push_back(
+        {path, t.line, "memory-order-audit",
+         "operator-form '" + t.text + " " + op +
+             "' on an atomic is an implicit seq_cst operation; use "
+             ".store()/.fetch_*() with an explicit std::memory_order"});
+  }
+}
+
+// --------------------------------------------------------- rule: raii-wipe --
+
+void rule_raii_wipe(const std::string& path, const std::vector<Token>& toks,
+                    std::vector<Finding>* findings) {
+  // Test/bench/example processes exit immediately after running; their stack
+  // frames are not a realistic exfiltration surface, and wiping every
+  // fixture buffer would bury the signal. src/ and tools/ are enforced.
+  if (starts_with(path, "tests/") || starts_with(path, "bench/") ||
+      starts_with(path, "examples/"))
+    return;
+
+  // Functions that make a stack buffer secret by reading key material from
+  // it or writing key/keystream material into it.
+  static const std::set<std::string> kKeySinks = {
+      "hmac_sha256",   "hmac_sha256_many", "hmac_midstate", "hmac_midstate_many",
+      "derive_key",    "oft_blind",        "oft_mix",       "Key128",
+      "fill_chacha_state", "chacha20_blocks", "sha256_compress_many",
+      "sha256_many_resumed"};
+  static const std::set<std::string> kByteTypes = {"uint8_t", "byte", "char"};
+
+  for (const auto& fn : extract_functions(toks)) {
+    // 1. Stack byte buffers declared in this body (C arrays and std::array;
+    //    WipedBytes wipes itself and is exempt by construction).
+    struct Buffer {
+      std::string name;
+      std::size_t decl_tok = 0;
+      std::size_t line = 0;
+    };
+    std::vector<Buffer> buffers;
+    // A `static constexpr` byte array is a public compile-time constant
+    // (domain-separation labels and the like), not secret material.
+    const auto is_constant_decl = [&](std::size_t type_tok) {
+      for (std::size_t j = type_tok; j > fn.body_open; --j) {
+        const auto& s = toks[j - 1];
+        if (s.kind == TokKind::kPunct &&
+            (tok_is(s, ";") || tok_is(s, "{") || tok_is(s, "}")))
+          return false;
+        if (s.kind == TokKind::kIdent &&
+            (s.text == "static" || s.text == "constexpr" || s.text == "const"))
+          return true;
+      }
+      return false;
+    };
+    for (std::size_t i = fn.body_open + 1; i + 2 < fn.body_close; ++i) {
+      const auto& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (is_constant_decl(i)) continue;
+      // C array: `std::uint8_t name[` — the type ident precedes the name.
+      if (kByteTypes.count(t.text) != 0 && toks[i + 1].kind == TokKind::kIdent &&
+          tok_is(toks[i + 2], "[")) {
+        buffers.push_back({toks[i + 1].text, i + 1, toks[i + 1].line});
+        continue;
+      }
+      // std::array<std::uint8_t, N> name
+      if (t.text == "array" && tok_is(toks[i + 1], "<")) {
+        int depth = 0;
+        std::size_t j = i + 1;
+        bool byte_elem = false;
+        for (; j < fn.body_close; ++j) {
+          if (tok_is(toks[j], "<")) ++depth;
+          else if (tok_is(toks[j], ">") && --depth == 0) break;
+          else if (toks[j].kind == TokKind::kIdent && kByteTypes.count(toks[j].text) != 0)
+            byte_elem = true;
+        }
+        if (byte_elem && j + 1 < fn.body_close && toks[j + 1].kind == TokKind::kIdent)
+          buffers.push_back({toks[j + 1].text, j + 1, toks[j + 1].line});
+      }
+    }
+    if (buffers.empty()) continue;
+
+    // 2. For each buffer: first key-sink use, wipe positions, return exits.
+    for (const auto& buf : buffers) {
+      std::size_t first_use = fn.body_close;
+      std::string sink_name;
+      std::vector<std::size_t> wipes;
+      for (std::size_t i = buf.decl_tok + 1; i < fn.body_close; ++i) {
+        if (toks[i].kind != TokKind::kIdent) continue;
+        const bool is_sink = kKeySinks.count(toks[i].text) != 0;
+        const bool is_wipe = toks[i].text == "secure_wipe";
+        if ((!is_sink && !is_wipe) || i + 1 >= fn.body_close ||
+            !tok_is(toks[i + 1], "("))
+          continue;
+        const std::size_t close = match_paren(toks, i + 1);
+        bool names_buf = false;
+        for (std::size_t j = i + 2; j < close; ++j)
+          if (toks[j].kind == TokKind::kIdent && toks[j].text == buf.name)
+            names_buf = true;
+        if (!names_buf) continue;
+        if (is_wipe) {
+          wipes.push_back(i);
+        } else if (first_use == fn.body_close) {
+          first_use = i;
+          sink_name = toks[i].text;
+        }
+      }
+      if (first_use == fn.body_close) continue;  // never held key material
+
+      // 3. Every exit after the first secret use needs a preceding wipe.
+      //    (Exceptions want crypto::WipedBytes — a wipe call cannot guard a
+      //    throwing path, which the finding message says.)
+      const auto wiped_before = [&](std::size_t exit_tok) {
+        return std::any_of(wipes.begin(), wipes.end(), [&](std::size_t w) {
+          return w > first_use && w < exit_tok;
+        });
+      };
+      for (std::size_t i = first_use; i < fn.body_close; ++i) {
+        if (toks[i].kind == TokKind::kIdent && tok_is(toks[i], "return") &&
+            !wiped_before(i)) {
+          findings->push_back(
+              {path, toks[i].line, "raii-wipe",
+               "return leaves '" + buf.name + "' unwiped after it fed " + sink_name +
+                   "(); secure_wipe() it on this path or declare it "
+                   "crypto::WipedBytes so unwinding wipes it too"});
+        }
+      }
+      if (!wiped_before(fn.body_close)) {
+        findings->push_back(
+            {path, toks[fn.body_close].line, "raii-wipe",
+             "'" + buf.name + "' (declared line " + std::to_string(buf.line) +
+                 ") fed " + sink_name +
+                 "() but is never secure_wipe()d before the function ends; key "
+                 "material survives in the dead stack frame"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void lint_flow(const std::string& display_path, const LexResult& lexed,
+               const Registry& registry, std::vector<Finding>& findings) {
+  rule_secret_taint(display_path, lexed.tokens, registry, &findings);
+  rule_lock_discipline(display_path, lexed.tokens, &findings);
+  rule_memory_order(display_path, lexed.tokens, lexed.comments, &findings);
+  rule_raii_wipe(display_path, lexed.tokens, &findings);
+}
+
+}  // namespace gk::lint

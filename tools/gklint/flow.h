@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gklint/lexer.h"
+#include "gklint/lint.h"
+
+namespace gk::lint {
+
+/// Flow-aware pass layer (gklint v2). Where the rules in lint.cpp match
+/// token patterns anywhere in a file, these four reason about *where a value
+/// goes* inside one function, or *who owns a field* inside one class —
+/// intra-procedural only, no cross-TU state beyond the shared Registry.
+///
+///  - secret-taint:       a value derived from secret bytes (a registered
+///                        secret type, or anything bound to .bytes() /
+///                        .mutable_bytes()) must not reach a logging sink,
+///                        a non-ct_equal comparison, or a raw copy outside
+///                        the crypto allowlist. Tracks single-assignment
+///                        aliases, so `auto* p = k.bytes(); os << p;` is
+///                        caught even though no `.bytes` touches the sink.
+///  - lock-discipline:    in a class that owns a mutex (or an MPSC queue),
+///                        every data member must have a declared owner:
+///                        GK_GUARDED_BY / GK_PT_GUARDED_BY, GK_CONSUMER_ONLY,
+///                        GK_CONST_AFTER_INIT, an atomic type, or const.
+///                        New fields cannot land without a discipline.
+///  - memory-order-audit: every atomic operation must spell an explicit
+///                        std::memory_order; orders weaker than acq/rel
+///                        additionally need a nearby justification comment
+///                        mentioning the order. Operator-form atomics
+///                        (++ / += / =) are implicit seq_cst and flagged.
+///  - raii-wipe:          a stack byte buffer fed to a key-derivation or
+///                        keystream helper holds secret material; it must be
+///                        secure_wipe()d before every return that follows
+///                        the first such use (or be a crypto::WipedBytes,
+///                        which wipes itself).
+///
+/// Appends findings to `findings`; suppression and sorting happen in the
+/// caller (lint_source), so gklint allow-directives work uniformly.
+void lint_flow(const std::string& display_path, const LexResult& lexed,
+               const Registry& registry, std::vector<Finding>& findings);
+
+}  // namespace gk::lint

@@ -7,7 +7,13 @@
 // and CI. `--fix` rewrites the two mechanical rules in place (pragma-once,
 // include-order), iterating until the file is stable.
 //
-// Usage: gklint [--fix] [--root DIR] [paths...]
+// `--format=json` emits the findings as a JSON array (the CI artifact);
+// `--baseline FILE` drops findings listed in FILE (one `path:rule` per
+// line) so a new rule can land before its backlog is burned down; and
+// `--write-baseline FILE` snapshots the current findings into that format.
+//
+// Usage: gklint [--fix] [--format=text|json] [--baseline FILE]
+//               [--write-baseline FILE] [--root DIR] [paths...]
 
 #include <algorithm>
 #include <filesystem>
@@ -56,16 +62,28 @@ void collect(const fs::path& p, std::vector<fs::path>* out) {
 
 int main(int argc, char** argv) {
   bool fix = false;
+  bool json = false;
   fs::path root = fs::current_path();
+  fs::path baseline_path;
+  fs::path write_baseline_path;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fix") {
       fix = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: gklint [--fix] [--root DIR] [paths...]\n";
+      std::cout << "usage: gklint [--fix] [--format=text|json] [--baseline FILE] "
+                   "[--write-baseline FILE] [--root DIR] [paths...]\n";
       return 0;
     } else {
       args.push_back(arg);
@@ -107,12 +125,40 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
 
-  for (const auto& finding : findings) std::cout << finding.render() << "\n";
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary | std::ios::trunc);
+    out << gk::lint::render_baseline(findings);
+    std::cerr << "gklint: wrote baseline (" << findings.size() << " finding(s)) to "
+              << write_baseline_path.string() << "\n";
+    return 0;
+  }
+
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    if (!fs::exists(baseline_path)) {
+      std::cerr << "gklint: no such baseline file: " << baseline_path.string() << "\n";
+      return 2;
+    }
+    const auto baseline = gk::lint::parse_baseline(read_file(baseline_path));
+    const auto covered = [&](const gk::lint::Finding& f) { return baseline.covers(f); };
+    baselined = static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(), covered));
+    findings.erase(std::remove_if(findings.begin(), findings.end(), covered),
+                   findings.end());
+  }
+
+  if (json) {
+    std::cout << gk::lint::render_json(findings);
+  } else {
+    for (const auto& finding : findings) std::cout << finding.render() << "\n";
+  }
+  if (baselined != 0)
+    std::cerr << "gklint: " << baselined << " baselined finding(s) suppressed\n";
   if (!findings.empty()) {
     std::cerr << "gklint: " << findings.size() << " finding(s) in " << files.size()
               << " file(s)\n";
     return 1;
   }
-  std::cout << "gklint: clean (" << files.size() << " files)\n";
+  if (!json) std::cout << "gklint: clean (" << files.size() << " files)\n";
   return 0;
 }

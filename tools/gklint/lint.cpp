@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <optional>
 #include <sstream>
 
+#include "gklint/flow.h"
 #include "gklint/lexer.h"
 
 namespace gk::lint {
@@ -678,9 +680,77 @@ std::string Finding::render() const {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules = {
-      "ct-compare", "secret-log",    "raw-rng",   "banned-fn",      "pragma-once",
-      "include-order", "nodiscard", "explicit-ctor", "bad-suppression"};
+      "ct-compare",    "secret-log", "raw-rng",       "banned-fn",
+      "pragma-once",   "include-order", "nodiscard",  "explicit-ctor",
+      "bad-suppression",
+      // flow-aware pass layer (flow.cpp)
+      "secret-taint", "lock-discipline", "memory-order-audit", "raii-wipe"};
   return kRules;
+}
+
+std::string_view severity_of(std::string_view rule) {
+  static const std::set<std::string, std::less<>> kWarnings = {
+      "pragma-once", "include-order", "nodiscard", "explicit-ctor"};
+  return kWarnings.count(rule) != 0 ? "warning" : "error";
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  const auto escape = [](std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"file\": \"" + escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           escape(f.rule) + "\", \"severity\": \"" +
+           std::string(severity_of(f.rule)) + "\", \"message\": \"" +
+           escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+Baseline parse_baseline(std::string_view text) {
+  Baseline out;
+  for (const auto& raw : split_lines(text)) {
+    const auto line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    out.entries.insert(std::string(line));
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> entries;
+  for (const auto& f : findings) entries.insert(f.path + ":" + f.rule);
+  std::string out =
+      "# gklint baseline: tolerated pre-existing findings, one path:rule per "
+      "line.\n# Regenerate with --write-baseline; shrink it, never grow it.\n";
+  for (const auto& e : entries) {
+    out += e;
+    out += '\n';
+  }
+  return out;
 }
 
 void collect_markers(std::string_view text, Registry& registry) {
@@ -721,6 +791,7 @@ std::vector<Finding> lint_source(const std::string& display_path, std::string_vi
   rule_include_order(ctx, fix_sink, &fixed);
   rule_nodiscard(ctx);
   rule_explicit_ctor(ctx);
+  lint_flow(display_path, lexed, registry, raw);
 
   // Apply suppressions; malformed ones are findings and cannot be suppressed.
   std::vector<Finding> out = directives.bad;

@@ -31,6 +31,36 @@ struct Registry {
 /// anything else are themselves findings (rule `bad-suppression`).
 [[nodiscard]] const std::set<std::string>& known_rules();
 
+/// Severity of a rule: "error" for the secret-safety and concurrency rules
+/// (a wrong program), "warning" for the mechanical hygiene rules (a messy
+/// one). Both gate the exit status; the split exists for the JSON artifact
+/// so dashboards can rank.
+[[nodiscard]] std::string_view severity_of(std::string_view rule);
+
+/// Render findings as a JSON array of {file, line, rule, severity, message}
+/// objects — the `--format=json` CI artifact. Deterministic: callers pass
+/// findings already sorted.
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings);
+
+/// A baseline is the set of pre-existing findings a repo has chosen to
+/// tolerate while it burns them down: one `path:rule` entry per line, `#`
+/// comments and blanks ignored. Matching is per file+rule (not per line),
+/// so reflowing a file never resurrects a baselined finding — but a *new*
+/// rule violation in a clean file always fires.
+struct Baseline {
+  std::set<std::string> entries;
+
+  [[nodiscard]] bool covers(const Finding& finding) const {
+    return entries.count(finding.path + ":" + finding.rule) != 0;
+  }
+};
+
+[[nodiscard]] Baseline parse_baseline(std::string_view text);
+
+/// Render findings as baseline text (sorted, deduplicated `path:rule`
+/// lines) — what `--write-baseline` emits.
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& findings);
+
 /// Scan `text` for registry markers (pass 1).
 void collect_markers(std::string_view text, Registry& registry);
 
