@@ -1,0 +1,441 @@
+// bench_serve: mass-session load generator for the gkd daemon.
+//
+// Drives N concurrent member sessions over loopback TCP — by default it
+// forks its own daemon (net::SpawnedServer), so client and server each
+// stay under the per-process fd ceiling — ramps them all in, then runs
+// measured rekey epochs with Zipf-distributed churn (a handful of members
+// leave and fresh ones join each epoch, hot members churning most). For
+// every epoch it timestamps the kCommit request and each subscriber's
+// kRekey arrival, reporting end-to-end rekey-latency percentiles across
+// all sessions * epochs, and appends the run to BENCH_serve.json.
+//
+//   bench_serve --sessions 10000 --epochs 50 --churn 16 --scheme tt --shards 4
+//   bench_serve --smoke --expect-zero-evictions       # CI loopback gate
+//   bench_serve --connect 127.0.0.1:7100 ...          # drive an external gkd
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/spawn.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::size_t sessions = 10000;
+  std::size_t epochs = 50;
+  std::size_t churn = 16;
+  std::size_t ramp_batch = 512;
+  std::string scheme = "tt";
+  unsigned shards = 4;
+  std::uint64_t seed = 20030519;
+  double zipf_s = 1.1;
+  std::string connect_host;  ///< empty = fork our own daemon
+  std::uint16_t connect_port = 0;
+  std::string json_path = "BENCH_serve.json";
+  long timeout_ms = 120000;
+  bool expect_zero_evictions = false;
+  bool write_json = true;
+};
+
+/// One generated member connection. The load generator never unwraps key
+/// material; it measures delivery, so a session is just an fd, a frame
+/// cursor, and fan-out bookkeeping.
+struct LoadSession {
+  int fd = -1;
+  std::uint64_t member = 0;
+  gk::net::FrameCursor cursor;
+  bool admitted = false;   ///< currently subscribed to the fan-out
+  bool departing = false;  ///< kLeave sent; daemon closes us at next commit
+  int pending = 0;         ///< fan-out frames owed for the current epoch
+};
+
+[[nodiscard]] double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p / 100.0 *
+                                            static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+class LoadGen {
+ public:
+  LoadGen(const Options& options, std::uint16_t port)
+      : options_(options), port_(port), rng_(options.seed ^ 0xb0a710adULL) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+    control_.connect("127.0.0.1", port_);
+    (void)control_.hello(0xC0117201ULL);  // control id: outside the member range
+  }
+
+  ~LoadGen() {
+    for (auto& [fd, session] : sessions_) ::close(fd);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  void ramp() {
+    const auto t0 = Clock::now();
+    std::size_t opened = 0;
+    while (opened < options_.sessions) {
+      const auto batch = std::min(options_.ramp_batch, options_.sessions - opened);
+      for (std::size_t i = 0; i < batch; ++i) open_session(next_member_++);
+      opened += batch;
+      commit_and_drain(nullptr);  // admit the batch; spread the bootstrap cost
+      std::cout << "  ramp: " << opened << "/" << options_.sessions << " admitted\r"
+                << std::flush;
+    }
+    ramp_ms_ = std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0)
+                   .count();
+    std::cout << "\n  ramp complete in " << ramp_ms_ << " ms ("
+              << ramp_epochs_ << " bootstrap epochs)\n";
+  }
+
+  void run_epochs(std::vector<double>& latencies_us) {
+    for (std::size_t e = 0; e < options_.epochs; ++e) {
+      churn(options_.churn);
+      commit_and_drain(&latencies_us);
+      if ((e + 1) % 10 == 0 || e + 1 == options_.epochs)
+        std::cout << "  epoch " << (e + 1) << "/" << options_.epochs << ": "
+                  << active_count() << " subscribers\n";
+    }
+  }
+
+  [[nodiscard]] gk::net::ServerCounters finish() {
+    auto counters = control_.stats();
+    return counters;
+  }
+
+  void request_shutdown() { control_.request_shutdown(); }
+
+  [[nodiscard]] long ramp_ms() const noexcept { return ramp_ms_; }
+
+ private:
+  [[nodiscard]] std::size_t active_count() const {
+    std::size_t n = 0;
+    for (const auto& [fd, session] : sessions_)
+      if (session->admitted) ++n;
+    return n;
+  }
+
+  void open_session(std::uint64_t member) {
+    auto session = std::make_unique<LoadSession>();
+    session->member = member;
+    gk::net::Client boot;  // blocking handshake, then the fd goes nonblocking
+    boot.connect("127.0.0.1", port_);
+    (void)boot.hello(member);
+    (void)boot.join(gk::workload::MemberClass::kShort);
+    const int fd = release_fd(std::move(boot));
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    session->fd = fd;
+    session->admitted = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+      throw std::runtime_error("epoll_ctl ADD failed");
+    sessions_.emplace(fd, std::move(session));
+    members_.push_back(fd);
+  }
+
+  /// Steal the connected fd out of a Client without closing it.
+  [[nodiscard]] static int release_fd(gk::net::Client&& client) {
+    // Client has no release(); dup + close keeps its invariants intact.
+    const int fd = client.raw_fd();
+    const int kept = ::dup(fd);
+    client.close();
+    if (kept < 0) throw std::runtime_error("dup failed");
+    return kept;
+  }
+
+  void churn(std::size_t count) {
+    if (count == 0 || members_.empty()) return;
+    std::size_t departed = 0;
+    std::size_t guard = 0;
+    while (departed < count && guard++ < count * 64) {
+      const auto pick = rng_.zipf(members_.size(), options_.zipf_s) - 1;
+      const int fd = members_[pick];
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end() || !it->second->admitted) continue;
+      send_frame(*it->second, gk::net::make_empty(gk::net::FrameType::kLeave));
+      it->second->admitted = false;
+      it->second->departing = true;
+      ++departed;
+    }
+    for (std::size_t i = 0; i < departed; ++i) open_session(next_member_++);
+  }
+
+  void send_frame(LoadSession& session, const gk::net::Frame& frame) {
+    const auto bytes = gk::net::encode_frame(frame.type, frame.payload);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const auto n =
+          ::send(session.fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        throw std::runtime_error("send to daemon failed mid-run");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Issue one kCommit and drain the fan-out: every admitted session owes
+  /// exactly one kRekey frame. Records per-session commit->delivery
+  /// latency when `latencies_us` is given.
+  void commit_and_drain(std::vector<double>* latencies_us) {
+    std::size_t outstanding = 0;
+    for (auto& [fd, session] : sessions_)
+      if (session->admitted) {
+        session->pending = 1;
+        ++outstanding;
+      }
+    const auto t0 = Clock::now();
+    control_.send(gk::net::make_empty(gk::net::FrameType::kCommit));
+    ++ramp_epochs_;
+
+    const auto deadline = t0 + std::chrono::milliseconds(options_.timeout_ms);
+    epoll_event events[512];
+    while (outstanding > 0) {
+      if (Clock::now() > deadline)
+        throw std::runtime_error("timed out waiting for rekey fan-out (" +
+                                 std::to_string(outstanding) + " sessions owed)");
+      const int ready = ::epoll_wait(epoll_fd_, events, 512, 1000);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("epoll_wait failed");
+      }
+      for (int i = 0; i < ready; ++i)
+        handle_readable(events[i].data.fd, t0, latencies_us, outstanding);
+    }
+    // All subscribers served; now collect the ack (enqueued after fan-out).
+    const auto ack = gk::net::parse_commit_ack(control_.next_frame());
+    (void)ack;
+  }
+
+  void handle_readable(int fd, Clock::time_point t0, std::vector<double>* latencies_us,
+                       std::size_t& outstanding) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    LoadSession& session = *it->second;
+    std::uint8_t buffer[64 * 1024];
+    bool eof = false;
+    for (;;) {
+      const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        session.cursor.feed({buffer, static_cast<std::size_t>(n)});
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      eof = true;
+      break;
+    }
+    while (auto frame = session.cursor.next()) {
+      switch (frame->type) {
+        case gk::net::FrameType::kRekey:
+          if (session.pending > 0) {
+            session.pending = 0;
+            --outstanding;
+            if (latencies_us != nullptr)
+              latencies_us->push_back(
+                  std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+          }
+          break;
+        case gk::net::FrameType::kLeaveAck:
+          break;  // departure staged; EOF follows at the next commit
+        case gk::net::FrameType::kError: {
+          const auto body = gk::net::parse_error(*frame);
+          throw std::runtime_error("daemon error frame: " + body.text);
+        }
+        default:
+          break;
+      }
+    }
+    if (eof) {
+      if (!session.departing)
+        throw std::runtime_error("daemon dropped an active session (evicted?)");
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+      sessions_.erase(it);
+    }
+  }
+
+  Options options_;
+  std::uint16_t port_;
+  gk::Rng rng_;
+  int epoll_fd_ = -1;
+  gk::net::Client control_;
+  std::unordered_map<int, std::unique_ptr<LoadSession>> sessions_;
+  std::vector<int> members_;  ///< fds ever opened; zipf picks land here
+  std::uint64_t next_member_ = 1;
+  std::size_t ramp_epochs_ = 0;
+  long ramp_ms_ = 0;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      options.sessions = std::stoul(next());
+    } else if (arg == "--epochs") {
+      options.epochs = std::stoul(next());
+    } else if (arg == "--churn") {
+      options.churn = std::stoul(next());
+    } else if (arg == "--ramp-batch") {
+      options.ramp_batch = std::stoul(next());
+    } else if (arg == "--scheme") {
+      options.scheme = next();
+    } else if (arg == "--shards") {
+      options.shards = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (arg == "--zipf-s") {
+      options.zipf_s = std::stod(next());
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms = std::stol(next());
+    } else if (arg == "--json") {
+      options.json_path = next();
+    } else if (arg == "--no-json") {
+      options.write_json = false;
+    } else if (arg == "--expect-zero-evictions") {
+      options.expect_zero_evictions = true;
+    } else if (arg == "--smoke") {
+      options.sessions = 400;
+      options.epochs = 8;
+      options.churn = 8;
+      options.ramp_batch = 128;
+    } else if (arg == "--connect") {
+      const auto hostport = next();
+      const auto colon = hostport.rfind(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("--connect wants HOST:PORT");
+      options.connect_host = hostport.substr(0, colon);
+      options.connect_port =
+          static_cast<std::uint16_t>(std::stoul(hostport.substr(colon + 1)));
+    } else {
+      throw std::runtime_error("unknown option " + arg);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse_args(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_serve: " << error.what() << "\n";
+    return 2;
+  }
+
+  // One fd per session here plus one in the daemon; degrade the run
+  // rather than dying on EMFILE in a low-ulimit environment.
+  const std::size_t fd_cap = gk::net::raise_fd_limit();
+  if (fd_cap < options.sessions + 1024) {
+    options.sessions = fd_cap > 2048 ? fd_cap - 1024 : 1024;
+    std::cout << "bench_serve: fd limit " << fd_cap << " caps sessions at "
+              << options.sessions << "\n";
+  }
+
+  std::cout << "bench_serve: " << options.sessions << " sessions, " << options.epochs
+            << " epochs, churn " << options.churn << "/epoch, scheme "
+            << options.scheme << " x" << options.shards << " shards\n";
+
+  std::unique_ptr<gk::net::SpawnedServer> daemon;
+  std::uint16_t port = options.connect_port;
+  if (options.connect_host.empty()) {
+    gk::net::ServerConfig config;
+    config.scheme = options.scheme;
+    config.shards = options.shards;
+    config.seed = options.seed;
+    daemon = std::make_unique<gk::net::SpawnedServer>(config);
+    port = daemon->port();
+    std::cout << "  forked gkd on 127.0.0.1:" << port << "\n";
+  }
+
+  std::vector<double> latencies_us;
+  gk::net::ServerCounters counters;
+  long ramp_ms = 0;
+  try {
+    LoadGen generator(options, port);
+    generator.ramp();
+    generator.run_epochs(latencies_us);
+    counters = generator.finish();
+    ramp_ms = generator.ramp_ms();
+    if (daemon) generator.request_shutdown();
+  } catch (const std::exception& error) {
+    std::cerr << "bench_serve: FAILED: " << error.what() << "\n";
+    return 1;
+  }
+  if (daemon) daemon->terminate();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile(latencies_us, 50);
+  const double p90 = percentile(latencies_us, 90);
+  const double p99 = percentile(latencies_us, 99);
+  const double worst = latencies_us.empty() ? 0.0 : latencies_us.back();
+  std::cout << "  rekey latency over " << latencies_us.size() << " deliveries (us): "
+            << "p50=" << p50 << " p90=" << p90 << " p99=" << p99 << " max=" << worst
+            << "\n  daemon counters: epochs=" << counters.epochs_committed
+            << " joins=" << counters.joins << " leaves=" << counters.leaves
+            << " evictions=" << counters.evictions
+            << " rekey_bytes=" << counters.rekey_bytes_sent << "\n";
+
+  if (options.write_json) {
+    std::ostringstream record;
+    record << "    {\n"
+           << "      \"sha\": \"" << gk::bench::git_sha() << "\",\n"
+           << "      \"cpu\": \"" << gk::bench::cpu_tag() << "\",\n"
+           << "      \"scheme\": \"" << options.scheme << "\",\n"
+           << "      \"shards\": " << options.shards << ",\n"
+           << "      \"sessions\": " << options.sessions << ",\n"
+           << "      \"epochs\": " << options.epochs << ",\n"
+           << "      \"churn_per_epoch\": " << options.churn << ",\n"
+           << "      \"ramp_ms\": " << ramp_ms << ",\n"
+           << "      \"deliveries\": " << latencies_us.size() << ",\n"
+           << "      \"rekey_latency_us\": {\"p50\": " << p50 << ", \"p90\": " << p90
+           << ", \"p99\": " << p99 << ", \"max\": " << worst << "},\n"
+           << "      \"rekey_bytes_sent\": " << counters.rekey_bytes_sent << ",\n"
+           << "      \"resyncs\": " << counters.resyncs << ",\n"
+           << "      \"evictions\": " << counters.evictions << "\n"
+           << "    }";
+    gk::bench::append_json_run(options.json_path, "bench_serve", record.str());
+  }
+
+  if (options.expect_zero_evictions && counters.evictions != 0) {
+    std::cerr << "bench_serve: FAILED: " << counters.evictions
+              << " evictions at nominal load (expected zero)\n";
+    return 1;
+  }
+  std::cout << "bench_serve: OK\n";
+  return 0;
+}

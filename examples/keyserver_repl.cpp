@@ -10,7 +10,15 @@
 //   commit               end the rekey period, print the message summary
 //   stats                group/partition sizes and key version
 //   paths <id>           the member's key path (node ids)
+//   serve [port]         host this group over the network daemon (gkd)
 //   quit
+//
+// `serve` hands the REPL's engine to a net::Server and runs its epoll loop
+// on a background thread. From then on every REPL command is posted onto
+// the loop thread, so the interactive path and the socket path execute
+// through the same single-threaded daemon: a `commit` typed here fans the
+// rekey record out to every connected network subscriber, and a join that
+// arrives over TCP shows up in `stats` typed here.
 //
 // Usage: keyserver_repl [scheme] [degree] [K]
 // where scheme is any name from partition::registered_policies()
@@ -18,11 +26,15 @@
 // Also accepts a command script on stdin, e.g.:
 //   printf 'join 1\njoin 2\ncommit\nleave 1\ncommit\nquit\n' | ./keyserver_repl tt 3 2
 
+#include <functional>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
+#include "net/server.h"
 #include "partition/factory.h"
 
 namespace {
@@ -74,7 +86,31 @@ int main(int argc, char** argv) {
   std::cout << "scheme=" << scheme << " degree=" << config.degree
             << " K=" << config.s_period_epochs
             << "\ncommands: join/joinlong/leave <id>, commit, stats, "
-            << "paths <id>, quit\n";
+            << "paths <id>, serve [port], quit\n";
+
+  // The REPL keeps a raw handle to its engine; once `serve` moves ownership
+  // into the daemon the object itself stays put, but every access must then
+  // go through exec() so it happens on the daemon's loop thread.
+  engine::CoreServer* core = server.get();
+  std::unique_ptr<net::Server> daemon;
+  std::thread loop;
+
+  const auto exec = [&](const std::function<void()>& op) {
+    if (!daemon) {
+      op();
+      return;
+    }
+    std::promise<void> done;
+    daemon->post([&] {
+      try {
+        op();
+        done.set_value();
+      } catch (...) {
+        done.set_exception(std::current_exception());
+      }
+    });
+    done.get_future().get();
+  };
 
   std::uint64_t epoch = 0;
   std::string line;
@@ -88,30 +124,79 @@ int main(int argc, char** argv) {
         in >> id;
         const auto cls = command == "join" ? workload::MemberClass::kShort
                                            : workload::MemberClass::kLong;
-        const auto reg = server->join(profile_of(id, cls));
-        std::cout << "staged join " << id << " leaf-id=" << crypto::raw(reg.leaf_id)
-                  << " key=" << reg.individual_key.hex() << "\n";
+        exec([&] {
+          const auto reg = core->join(profile_of(id, cls));
+          std::cout << "staged join " << id << " leaf-id=" << crypto::raw(reg.leaf_id)
+                    << " key=" << reg.individual_key.hex() << "\n";
+        });
       } else if (command == "leave") {
         std::uint64_t id = 0;
         in >> id;
-        server->leave(workload::make_member_id(id));
-        std::cout << "staged leave " << id << '\n';
+        exec([&] {
+          core->leave(workload::make_member_id(id));
+          std::cout << "staged leave " << id << '\n';
+        });
       } else if (command == "commit") {
-        const auto out = server->end_epoch();
-        std::cout << "epoch " << out.epoch << ": " << out.multicast_cost()
-                  << " encrypted keys multicast (" << out.joins << " joins, "
-                  << out.s_departures + out.l_departures << " leaves, "
-                  << out.migrations << " migrations)\n";
-        ++epoch;
+        exec([&] {
+          if (daemon) {
+            // The daemon's commit is the REPL's commit: one end_epoch, one
+            // encode, fanned to every connected subscriber.
+            const auto committed = daemon->commit_epoch();
+            const auto& counters = daemon->stats().counters;
+            std::cout << "epoch " << committed << " committed; fanned to "
+                      << counters.subscribers << " subscribers ("
+                      << counters.evictions << " evictions so far)\n";
+          } else {
+            const auto out = server->end_epoch();
+            std::cout << "epoch " << out.epoch << ": " << out.multicast_cost()
+                      << " encrypted keys multicast (" << out.joins << " joins, "
+                      << out.s_departures + out.l_departures << " leaves, "
+                      << out.migrations << " migrations)\n";
+          }
+          ++epoch;
+        });
       } else if (command == "stats") {
-        print_stats(*server);
+        exec([&] {
+          print_stats(*core);
+          if (daemon) {
+            const auto& stats = daemon->stats();
+            std::cout << "serving: subscribers=" << stats.counters.subscribers
+                      << " epochs=" << stats.counters.epochs_committed
+                      << " resyncs=" << stats.counters.resyncs
+                      << " evictions=" << stats.counters.evictions
+                      << " connections=" << stats.accepted_connections << '\n';
+          }
+        });
       } else if (command == "paths") {
         std::uint64_t id = 0;
         in >> id;
-        std::cout << "member " << id << " path:";
-        for (const auto node : server->member_path(workload::make_member_id(id)))
-          std::cout << ' ' << crypto::raw(node);
-        std::cout << '\n';
+        exec([&] {
+          std::cout << "member " << id << " path:";
+          for (const auto node : core->member_path(workload::make_member_id(id)))
+            std::cout << ' ' << crypto::raw(node);
+          std::cout << '\n';
+        });
+      } else if (command == "serve") {
+        if (daemon) {
+          std::cout << "already serving\n";
+          continue;
+        }
+        net::ServerConfig net_config;
+        in >> net_config.port;  // stays 0 (ephemeral) if absent
+        net::Server* built = nullptr;
+        try {
+          daemon = std::make_unique<net::Server>(std::move(server), net_config);
+          built = daemon.get();
+          const auto port = daemon->listen();
+          std::cout << "serving " << scheme << " on " << net_config.bind_address
+                    << ":" << port << '\n';
+        } catch (const std::exception& e) {
+          // listen() failed: the engine lives on inside the dead daemon, so
+          // the REPL cannot continue against it; bail out loudly.
+          std::cerr << "serve failed: " << e.what() << '\n';
+          return 1;
+        }
+        loop = std::thread([built] { built->run(); });
       } else if (command == "quit" || command == "exit") {
         break;
       } else if (!command.empty() && command[0] != '#') {
@@ -120,6 +205,10 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << '\n';
     }
+  }
+  if (daemon) {
+    daemon->stop();
+    loop.join();
   }
   std::cout << "bye (" << epoch << " epochs committed)\n";
   return 0;

@@ -1,0 +1,181 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/ensure.h"
+#include "wire/error.h"
+
+namespace gk::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      cursor_(std::move(other.cursor_)),
+      rekeys_(std::move(other.rekeys_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    cursor_ = std::move(other.cursor_);
+    rekeys_ = std::move(other.rekeys_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  GK_ENSURE_MSG(fd_ < 0, "Client::connect called twice");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  GK_ENSURE_MSG(fd_ >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  GK_ENSURE_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "host is not a valid IPv4 address");
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    GK_ENSURE_MSG(false, "connect() to the key server failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const Frame& frame) {
+  GK_ENSURE_MSG(fd_ >= 0, "Client::send on a closed connection");
+  const auto bytes = encode_frame(frame.type, frame.payload);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const auto n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      GK_ENSURE_MSG(false, "send() to the key server failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::next_frame() {
+  GK_ENSURE_MSG(fd_ >= 0, "Client::next_frame on a closed connection");
+  for (;;) {
+    if (auto frame = cursor_.next()) return std::move(*frame);
+    std::uint8_t buffer[kReadChunk];
+    const auto n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      cursor_.feed({buffer, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    GK_ENSURE_MSG(false, "key server closed the connection");
+  }
+}
+
+std::optional<Frame> Client::poll_frame() {
+  GK_ENSURE_MSG(fd_ >= 0, "Client::poll_frame on a closed connection");
+  if (!rekeys_.empty()) {
+    Frame frame = std::move(rekeys_.front());
+    rekeys_.pop_front();
+    return frame;
+  }
+  if (auto frame = cursor_.next()) return std::move(*frame);
+  for (;;) {
+    std::uint8_t buffer[kReadChunk];
+    const auto n = ::recv(fd_, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n > 0) {
+      cursor_.feed({buffer, static_cast<std::size_t>(n)});
+      if (auto frame = cursor_.next()) return std::move(*frame);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return std::nullopt;
+    GK_ENSURE_MSG(false, "key server closed the connection");
+  }
+}
+
+Frame Client::expect(FrameType want, const char* what) {
+  for (;;) {
+    auto frame = next_frame();
+    if (frame.type == want) return frame;
+    if (frame.type == FrameType::kRekey) {
+      rekeys_.push_back(std::move(frame));
+      continue;
+    }
+    if (frame.type == FrameType::kError) {
+      const auto body = parse_error(frame);
+      throw wire::WireError(wire::WireFault::kMalformed,
+                            std::string(what) + ": server error: " + body.text);
+    }
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          std::string(what) + ": unexpected response frame");
+  }
+}
+
+HelloAckBody Client::hello(std::uint64_t member) {
+  send(make_hello({member, kProtocolVersion}));
+  return parse_hello_ack(expect(FrameType::kHelloAck, "hello"));
+}
+
+JoinAckBody Client::join(workload::MemberClass member_class) {
+  send(make_join({member_class}));
+  return parse_join_ack(expect(FrameType::kJoinAck, "join"));
+}
+
+void Client::leave() {
+  send(make_empty(FrameType::kLeave));
+  (void)expect(FrameType::kLeaveAck, "leave");
+}
+
+CommitAckBody Client::commit() {
+  send(make_empty(FrameType::kCommit));
+  return parse_commit_ack(expect(FrameType::kCommitAck, "commit"));
+}
+
+std::vector<crypto::WrappedKey> Client::resync() {
+  send(make_empty(FrameType::kResync));
+  return parse_resync_bundle(expect(FrameType::kResyncBundle, "resync"));
+}
+
+ServerCounters Client::stats() {
+  send(make_empty(FrameType::kStats));
+  return parse_stats_ack(expect(FrameType::kStatsAck, "stats"));
+}
+
+void Client::request_shutdown() { send(make_empty(FrameType::kShutdown)); }
+
+std::optional<Frame> Client::next_rekey() {
+  if (rekeys_.empty()) return std::nullopt;
+  auto frame = std::move(rekeys_.front());
+  rekeys_.pop_front();
+  return frame;
+}
+
+Frame Client::wait_rekey() {
+  if (auto stashed = next_rekey()) return std::move(*stashed);
+  return expect(FrameType::kRekey, "rekey");
+}
+
+}  // namespace gk::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keywrap.h"
+#include "net/frame.h"
+#include "workload/member.h"
+
+namespace gk::net {
+
+/// Blocking-socket client for one gkd connection: the REPL's `serve`
+/// peer, the loopback tests, and CI tooling speak through this. The
+/// request helpers run one round trip each; rekey fan-out frames that
+/// arrive interleaved with a response are stashed and replayed in order
+/// through next_rekey()/wait_rekey(), so a subscriber never loses an
+/// epoch by also issuing requests. (The mass load generator does not use
+/// this class — tens of thousands of concurrent sessions need a
+/// nonblocking loop — but it shares the same FrameCursor framing.)
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect (blocking) to a daemon. Throws common::ContractViolation on
+  /// connection failure.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// The underlying socket (load generators steal it to go nonblocking).
+  [[nodiscard]] int raw_fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Identify as `member`; returns the daemon's epoch and group size.
+  HelloAckBody hello(std::uint64_t member);
+
+  /// Join the group; returns the registration unicast.
+  JoinAckBody join(workload::MemberClass member_class);
+
+  /// Stage a departure (acknowledged; the daemon closes the connection at
+  /// the next commit).
+  void leave();
+
+  /// Ask the daemon to commit the staged epoch now.
+  CommitAckBody commit();
+
+  /// Fetch this member's catch-up bundle.
+  [[nodiscard]] std::vector<crypto::WrappedKey> resync();
+
+  [[nodiscard]] ServerCounters stats();
+
+  /// Ask the daemon to exit (no response; the daemon stops its loop).
+  void request_shutdown();
+
+  /// Send a raw frame (protocol tests).
+  void send(const Frame& frame);
+
+  /// Next frame of any type, blocking. Throws on EOF or a poisoned
+  /// stream.
+  [[nodiscard]] Frame next_frame();
+
+  /// Nonblocking pump: drain whatever the socket has (MSG_DONTWAIT) and
+  /// return the next complete frame, or nullopt when none is buffered.
+  /// Stashed rekey frames are replayed first. Callers fanning one epoch
+  /// across thousands of blocking clients must drain round-robin through
+  /// this — a serial blocking sweep leaves the tail's receive buffers
+  /// full while the daemon is still sending, and loopback TCP punishes
+  /// that with segment drops and minutes-long RTO backoff.
+  [[nodiscard]] std::optional<Frame> poll_frame();
+
+  /// Already-stashed rekey frame, if any (non-blocking).
+  [[nodiscard]] std::optional<Frame> next_rekey();
+
+  /// Block until a rekey fan-out frame arrives (stashed ones first).
+  [[nodiscard]] Frame wait_rekey();
+
+ private:
+  /// Read frames until one of type `want` arrives. kRekey frames are
+  /// stashed; a kError frame or any other type throws.
+  [[nodiscard]] Frame expect(FrameType want, const char* what);
+
+  int fd_ = -1;
+  FrameCursor cursor_;
+  std::deque<Frame> rekeys_;
+};
+
+}  // namespace gk::net

@@ -1,0 +1,257 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "crypto/secure.h"
+#include "wire/codec.h"
+#include "wire/error.h"
+#include "wire/wrap_codec.h"
+
+namespace gk::net {
+namespace {
+
+/// Validate one length prefix. `have` is how many payload bytes follow in
+/// the buffer so far (streaming callers pass what they have; one-shot
+/// callers pass the true remainder).
+void check_prefix(std::uint32_t length) {
+  if (length == 0)
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "net frame length prefix is zero (no type byte)");
+  if (length - 1 > kMaxFramePayload) {
+    std::ostringstream os;
+    os << "net frame payload of " << (length - 1) << " bytes exceeds the "
+       << kMaxFramePayload << "-byte ceiling";
+    throw wire::WireError(wire::WireFault::kMalformed, os.str());
+  }
+}
+
+Frame frame_of(FrameType type, common::ByteWriter&& body) {
+  return {type, std::move(body).take()};
+}
+
+wire::Reader reader_for(const Frame& frame, FrameType expected, const char* what) {
+  if (frame.type != expected) {
+    std::ostringstream os;
+    os << what << ": unexpected frame type " << static_cast<unsigned>(frame.type);
+    throw wire::WireError(wire::WireFault::kMalformed, os.str());
+  }
+  return wire::Reader(frame.payload);
+}
+
+}  // namespace
+
+Frame::~Frame() { crypto::secure_wipe(payload.data(), payload.size()); }
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "net frame payload exceeds the encode ceiling");
+  common::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  out.u8(static_cast<std::uint8_t>(type));
+  out.bytes(payload);
+  return std::move(out).take();
+}
+
+void FrameCursor::feed(std::span<const std::uint8_t> bytes) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameCursor::next() {
+  if (poisoned_)
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "net frame stream already rejected; drop the connection");
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= std::uint32_t{buffer_[consumed_ + static_cast<std::size_t>(i)]} << (8 * i);
+  try {
+    check_prefix(length);
+  } catch (const wire::WireError&) {
+    poisoned_ = true;
+    throw;
+  }
+  if (available < 4 + std::size_t{length}) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(buffer_[consumed_ + 4]);
+  frame.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 5),
+                       buffer_.begin() +
+                           static_cast<std::ptrdiff_t>(consumed_ + 4 + length));
+  consumed_ += 4 + std::size_t{length};
+  return frame;
+}
+
+std::vector<Frame> decode_frames(std::span<const std::uint8_t> bytes) {
+  FrameCursor cursor;
+  cursor.feed(bytes);
+  std::vector<Frame> frames;
+  while (auto frame = cursor.next()) frames.push_back(std::move(*frame));
+  if (!cursor.at_boundary())
+    throw wire::WireError(wire::WireFault::kTruncated,
+                          "net frame stream ends mid-frame");
+  return frames;
+}
+
+Frame make_hello(const HelloBody& body) {
+  common::ByteWriter out;
+  out.u64(body.member);
+  out.u32(body.protocol);
+  return frame_of(FrameType::kHello, std::move(out));
+}
+
+Frame make_hello_ack(const HelloAckBody& body) {
+  common::ByteWriter out;
+  out.u64(body.epoch);
+  out.u64(body.members);
+  return frame_of(FrameType::kHelloAck, std::move(out));
+}
+
+Frame make_join(const JoinBody& body) {
+  common::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(body.member_class));
+  return frame_of(FrameType::kJoin, std::move(out));
+}
+
+Frame make_join_ack(const JoinAckBody& body) {
+  common::ByteWriter out;
+  out.u64(body.leaf_id);
+  out.bytes(body.individual_key.bytes());
+  return frame_of(FrameType::kJoinAck, std::move(out));
+}
+
+Frame make_commit_ack(const CommitAckBody& body) {
+  common::ByteWriter out;
+  out.u64(body.epoch);
+  out.u32(body.wraps);
+  out.u32(body.subscribers);
+  return frame_of(FrameType::kCommitAck, std::move(out));
+}
+
+Frame make_resync_bundle(std::span<const crypto::WrappedKey> wraps) {
+  common::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(wraps.size()));
+  for (const auto& wrap : wraps) wire::encode_wrap(out, wrap);
+  return frame_of(FrameType::kResyncBundle, std::move(out));
+}
+
+Frame make_stats_ack(const ServerCounters& counters) {
+  common::ByteWriter out;
+  out.u64(counters.active_sessions);
+  out.u64(counters.subscribers);
+  out.u64(counters.epochs_committed);
+  out.u64(counters.joins);
+  out.u64(counters.leaves);
+  out.u64(counters.resyncs);
+  out.u64(counters.evictions);
+  out.u64(counters.rekey_bytes_sent);
+  return frame_of(FrameType::kStatsAck, std::move(out));
+}
+
+Frame make_error(FrameErrorCode code, const std::string& text) {
+  common::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(code));
+  out.blob({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  return frame_of(FrameType::kError, std::move(out));
+}
+
+Frame make_empty(FrameType type) { return {type, {}}; }
+
+HelloBody parse_hello(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kHello, "hello");
+  HelloBody body;
+  body.member = in.u64();
+  body.protocol = in.u32();
+  in.expect_exhausted("hello");
+  return body;
+}
+
+HelloAckBody parse_hello_ack(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kHelloAck, "hello-ack");
+  HelloAckBody body;
+  body.epoch = in.u64();
+  body.members = in.u64();
+  in.expect_exhausted("hello-ack");
+  return body;
+}
+
+JoinBody parse_join(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kJoin, "join");
+  const auto raw_class = in.u8();
+  if (raw_class > static_cast<std::uint8_t>(workload::MemberClass::kLong))
+    throw wire::WireError(wire::WireFault::kMalformed, "join: unknown member class");
+  in.expect_exhausted("join");
+  return {static_cast<workload::MemberClass>(raw_class)};
+}
+
+JoinAckBody parse_join_ack(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kJoinAck, "join-ack");
+  JoinAckBody body;
+  body.leaf_id = in.u64();
+  crypto::WipedBytes<crypto::Key128::kSize> raw;
+  const auto view = in.bytes(crypto::Key128::kSize);
+  std::copy(view.begin(), view.end(), raw.data());
+  body.individual_key = crypto::Key128(raw.array());
+  in.expect_exhausted("join-ack");
+  return body;
+}
+
+CommitAckBody parse_commit_ack(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kCommitAck, "commit-ack");
+  CommitAckBody body;
+  body.epoch = in.u64();
+  body.wraps = in.u32();
+  body.subscribers = in.u32();
+  in.expect_exhausted("commit-ack");
+  return body;
+}
+
+std::vector<crypto::WrappedKey> parse_resync_bundle(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kResyncBundle, "resync-bundle");
+  const auto count = in.u32();
+  if (std::size_t{count} * crypto::WrappedKey::kWireSize != in.remaining())
+    throw wire::WireError(wire::WireFault::kMalformed,
+                          "resync-bundle: count disagrees with payload size");
+  std::vector<crypto::WrappedKey> wraps;
+  wraps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) wraps.push_back(wire::decode_wrap(in));
+  in.expect_exhausted("resync-bundle");
+  return wraps;
+}
+
+ServerCounters parse_stats_ack(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kStatsAck, "stats-ack");
+  ServerCounters counters;
+  counters.active_sessions = in.u64();
+  counters.subscribers = in.u64();
+  counters.epochs_committed = in.u64();
+  counters.joins = in.u64();
+  counters.leaves = in.u64();
+  counters.resyncs = in.u64();
+  counters.evictions = in.u64();
+  counters.rekey_bytes_sent = in.u64();
+  in.expect_exhausted("stats-ack");
+  return counters;
+}
+
+ErrorBody parse_error(const Frame& frame) {
+  auto in = reader_for(frame, FrameType::kError, "error");
+  ErrorBody body;
+  body.code = static_cast<FrameErrorCode>(in.u8());
+  const auto text = in.blob();
+  body.text.assign(reinterpret_cast<const char*>(text.data()), text.size());
+  in.expect_exhausted("error");
+  return body;
+}
+
+}  // namespace gk::net

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/key.h"
+#include "crypto/keywrap.h"
+#include "workload/member.h"
+
+namespace gk::net {
+
+/// Protocol version spoken by net::Server, net::Client, and gkd. A Hello
+/// carrying a newer version is rejected with FrameErrorCode::kBadVersion.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. A length prefix above this is a
+/// hostile or corrupt stream and is rejected with wire::WireError before a
+/// single payload byte is buffered — the allocation-bomb guard. 64 MiB
+/// covers a flash-crowd rekey record for a ~1M-member group (68 B/wrap)
+/// with headroom.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Message kinds carried over a gkd TCP connection. The payload layouts
+/// live in the encode_*/parse_* helpers below; kRekey and kResyncBundle
+/// payloads reuse the existing wire:: codecs verbatim (a kRekey payload IS
+/// a wire::RekeyRecord byte string), so the daemon adds framing, not a
+/// second serialization of key material.
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< member id + protocol version
+  kHelloAck = 2,     ///< epoch + current group size
+  kJoin = 3,         ///< member class
+  kJoinAck = 4,      ///< leaf id + individual key (registration unicast)
+  kLeave = 5,        ///< stage departure
+  kLeaveAck = 6,     ///< departure staged
+  kCommit = 7,       ///< end the rekey period now
+  kCommitAck = 8,    ///< epoch + wrap count + subscriber count
+  kRekey = 9,        ///< fan-out: wire::RekeyRecord bytes
+  kResync = 10,      ///< request my catch-up bundle
+  kResyncBundle = 11,  ///< u32 count + count * 68 B wire wraps
+  kStats = 12,       ///< request server counters
+  kStatsAck = 13,    ///< ServerCounters
+  kShutdown = 14,    ///< stop the daemon
+  kError = 15,       ///< error code + text
+};
+
+/// One parsed frame: type byte plus raw payload. Frames carry wrapped and
+/// registration key material, so the buffer is treated as secret — never
+/// logged, wiped on destruction.
+struct Frame {  // gklint: secret-type(Frame)
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+
+  Frame() = default;
+  Frame(FrameType t, std::vector<std::uint8_t> body)
+      : type(t), payload(std::move(body)) {}
+  Frame(Frame&&) noexcept = default;
+  Frame& operator=(Frame&&) noexcept = default;
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+  ~Frame();
+};
+
+/// Serialize one frame: u32 length (type byte + payload, little-endian)
+/// followed by the type byte and the payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload);
+
+/// Incremental decoder for a TCP byte stream: feed() arbitrary chunks,
+/// next() yields complete frames in order. A partial frame is simply "not
+/// yet" (nullopt); a structurally bad prefix — zero length, or a length
+/// beyond kMaxFramePayload — throws wire::WireError(kMalformed), after
+/// which the stream is poisoned (the connection must be dropped; framing
+/// cannot resynchronize). Shared by the daemon, the client, the load
+/// generator, and the damage-sweep fuzz test, so all four agree on what a
+/// well-formed stream is.
+class FrameCursor {
+ public:
+  /// Append received bytes to the internal buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Next complete frame, or nullopt when more bytes are needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True when no partially received frame is buffered — the stream ended
+  /// on a frame boundary.
+  [[nodiscard]] bool at_boundary() const noexcept { return buffer_.size() == consumed_; }
+
+  /// Bytes buffered but not yet consumed as frames.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+/// One-shot decode of a complete byte string into frames. Throws
+/// wire::WireError kMalformed on a bad prefix and kTruncated when the
+/// bytes end mid-frame.
+[[nodiscard]] std::vector<Frame> decode_frames(std::span<const std::uint8_t> bytes);
+
+// ---- Typed payloads ---------------------------------------------------------
+
+struct HelloBody {
+  std::uint64_t member = 0;
+  std::uint32_t protocol = kProtocolVersion;
+};
+
+struct HelloAckBody {
+  std::uint64_t epoch = 0;
+  std::uint64_t members = 0;
+};
+
+struct JoinBody {
+  workload::MemberClass member_class = workload::MemberClass::kShort;
+};
+
+/// The registration unicast: what engine::RekeyServer::join returns. In a
+/// production deployment this frame rides the member's authenticated TLS
+/// channel; the daemon models that channel as the TCP connection itself.
+struct JoinAckBody {
+  std::uint64_t leaf_id = 0;
+  crypto::Key128 individual_key;
+};
+
+struct CommitAckBody {
+  std::uint64_t epoch = 0;
+  std::uint32_t wraps = 0;
+  std::uint32_t subscribers = 0;
+};
+
+/// Daemon counters exposed over the wire (kStatsAck) so load generators
+/// and CI gates can assert on evictions without sharing an address space.
+struct ServerCounters {
+  std::uint64_t active_sessions = 0;
+  std::uint64_t subscribers = 0;
+  std::uint64_t epochs_committed = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rekey_bytes_sent = 0;
+};
+
+enum class FrameErrorCode : std::uint8_t {
+  kBadVersion = 1,
+  kDuplicateMember = 2,
+  kNotAdmitted = 3,
+  kBadState = 4,
+  kRefused = 5,
+};
+
+struct ErrorBody {
+  FrameErrorCode code = FrameErrorCode::kRefused;
+  std::string text;
+};
+
+[[nodiscard]] Frame make_hello(const HelloBody& body);
+[[nodiscard]] Frame make_hello_ack(const HelloAckBody& body);
+[[nodiscard]] Frame make_join(const JoinBody& body);
+[[nodiscard]] Frame make_join_ack(const JoinAckBody& body);
+[[nodiscard]] Frame make_commit_ack(const CommitAckBody& body);
+[[nodiscard]] Frame make_resync_bundle(std::span<const crypto::WrappedKey> wraps);
+[[nodiscard]] Frame make_stats_ack(const ServerCounters& counters);
+[[nodiscard]] Frame make_error(FrameErrorCode code, const std::string& text);
+[[nodiscard]] Frame make_empty(FrameType type);
+
+/// Payload parsers: each validates the frame type and the exact payload
+/// length, throwing wire::WireError (kMalformed / kTruncated) on anything
+/// else — hostile payload bytes never reach an ENSURE abort.
+[[nodiscard]] HelloBody parse_hello(const Frame& frame);
+[[nodiscard]] HelloAckBody parse_hello_ack(const Frame& frame);
+[[nodiscard]] JoinBody parse_join(const Frame& frame);
+[[nodiscard]] JoinAckBody parse_join_ack(const Frame& frame);
+[[nodiscard]] CommitAckBody parse_commit_ack(const Frame& frame);
+[[nodiscard]] std::vector<crypto::WrappedKey> parse_resync_bundle(const Frame& frame);
+[[nodiscard]] ServerCounters parse_stats_ack(const Frame& frame);
+[[nodiscard]] ErrorBody parse_error(const Frame& frame);
+
+}  // namespace gk::net

@@ -1,0 +1,35 @@
+#include "net/outbound.h"
+
+#include <algorithm>
+
+namespace gk::net {
+
+std::size_t StragglerPolicy::backoff_after(std::size_t failed_attempts) const noexcept {
+  const std::size_t shift = failed_attempts - 1;
+  return shift >= 63 ? max_backoff_rounds
+                     : std::min(base_backoff_rounds << shift, max_backoff_rounds);
+}
+
+OutboundGate::Round OutboundGate::begin_round() noexcept {
+  if (backoff_left_ > 0) {
+    --backoff_left_;
+    ++waited_;
+    return Round::kBackoff;
+  }
+  return Round::kDeliver;
+}
+
+bool OutboundGate::note_failure() noexcept {
+  ++attempts_;
+  if (attempts_ >= policy_.retry_budget) return true;
+  backoff_left_ = policy_.backoff_after(attempts_);
+  return false;
+}
+
+void OutboundGate::reset() noexcept {
+  attempts_ = 0;
+  waited_ = 0;
+  backoff_left_ = 0;
+}
+
+}  // namespace gk::net

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gk::net {
+
+/// Slow-consumer policy shared by the netsim resync protocol and the socket
+/// daemon: how many delivery attempts a member gets, and how long the sender
+/// backs off between failed attempts.
+///
+/// This is the straggler logic that used to live inline in
+/// transport::run_resync, lifted out so the in-sim path and the on-socket
+/// path (net::Server's rekey fan-out) evict on *exactly* the same schedule:
+/// both drive an OutboundGate built from the same policy object, and the
+/// shared property test in tests/net_outbound_test.cpp pins the equality.
+struct StragglerPolicy {
+  /// Delivery attempts before the member is declared unreachable.
+  std::size_t retry_budget = 6;
+  /// Backoff before retry k (1-based) is
+  /// min(base_backoff_rounds << (k - 1), max_backoff_rounds) rounds.
+  std::size_t base_backoff_rounds = 1;
+  std::size_t max_backoff_rounds = 8;
+
+  /// Rounds to wait after the `failed_attempts`-th failed attempt
+  /// (1-based). Saturates at max_backoff_rounds, shift-overflow included.
+  [[nodiscard]] std::size_t backoff_after(std::size_t failed_attempts) const noexcept;
+};
+
+/// Per-consumer delivery gate: capped-exponential backoff and a retry
+/// budget over a sequence of *rounds* (protocol rounds in the sim, rekey
+/// epochs on a socket). Drive it as
+///
+///   for each round:
+///     if (gate.begin_round() == Round::kBackoff) continue;   // waiting
+///     attempt delivery;
+///     if (delivered) { gate.reset(); continue; }             // caught up
+///     if (gate.note_failure()) evict the consumer;           // budget gone
+///
+/// attempts()/rounds_waited() expose the same accounting ResyncReport
+/// carries, so a socket eviction can be checked against the sim's numbers.
+class OutboundGate {
+ public:
+  OutboundGate() = default;
+  explicit OutboundGate(const StragglerPolicy& policy) : policy_(policy) {}
+
+  enum class Round : std::uint8_t {
+    kDeliver,  ///< eligible: attempt delivery this round
+    kBackoff   ///< waiting out a backoff window; skip this round
+  };
+
+  /// Start one round; consumes one backoff round when waiting.
+  Round begin_round() noexcept;
+
+  /// Record a failed delivery attempt. Returns true when the retry budget
+  /// is exhausted and the consumer must be evicted *now*; otherwise arms
+  /// the next backoff window.
+  [[nodiscard]] bool note_failure() noexcept;
+
+  /// Consumer caught up: restore the full retry budget.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::size_t rounds_waited() const noexcept { return waited_; }
+  [[nodiscard]] const StragglerPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  StragglerPolicy policy_{};
+  std::size_t attempts_ = 0;
+  std::size_t waited_ = 0;
+  std::size_t backoff_left_ = 0;
+};
+
+/// One consumer's delivery endpoint, as the fan-out side sees it: bytes go
+/// in, and the implementation reports whether the consumer is keeping up.
+/// net::Server adapts a nonblocking socket (send queue depth vs high-water
+/// mark); tests drive mocks so backpressure decisions are schedulable.
+class Outbound {
+ public:
+  virtual ~Outbound() = default;
+
+  /// Hand one frame to the consumer. Returns false when the consumer could
+  /// not take it this round (the caller consults its OutboundGate).
+  virtual bool offer(std::span<const std::uint8_t> frame) = 0;
+
+  /// Bytes accepted but not yet drained by the consumer.
+  [[nodiscard]] virtual std::size_t backlog_bytes() const = 0;
+};
+
+}  // namespace gk::net

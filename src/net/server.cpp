@@ -1,0 +1,499 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/ensure.h"
+#include "wire/error.h"
+#include "wire/record.h"
+
+namespace gk::net {
+namespace {
+
+constexpr int kMaxEpollEvents = 256;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::unique_ptr<engine::DurableRekeyServer> engine_from(const ServerConfig& config) {
+  return partition::make_sharded_server(config.scheme, config.scheme_config,
+                                        config.shards, Rng(config.seed));
+}
+
+}  // namespace
+
+Server::Server(std::unique_ptr<engine::DurableRekeyServer> engine, ServerConfig config)
+    : config_(std::move(config)),
+      engine_(std::move(engine)),
+      resync_rng_(config_.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+Server::Server(const ServerConfig& config) : Server(engine_from(config), config) {}
+
+Server::~Server() {
+  for (auto& [fd, session] : sessions_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::uint16_t Server::listen() {
+  GK_ENSURE_MSG(listen_fd_ < 0, "Server::listen called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  GK_ENSURE_MSG(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  GK_ENSURE_MSG(::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+                "bind_address is not a valid IPv4 address");
+  GK_ENSURE_MSG(
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind() failed (port in use?)");
+  GK_ENSURE_MSG(::listen(listen_fd_, config_.listen_backlog) == 0, "listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  GK_ENSURE_MSG(
+      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0,
+      "getsockname() failed");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  GK_ENSURE_MSG(epoll_fd_ >= 0, "epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  GK_ENSURE_MSG(wake_fd_ >= 0, "eventfd() failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  GK_ENSURE_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+                "epoll_ctl(listen) failed");
+  ev.data.fd = wake_fd_;
+  GK_ENSURE_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                "epoll_ctl(wake) failed");
+  return ntohs(bound.sin_port);
+}
+
+void Server::run() {
+  GK_ENSURE_MSG(epoll_fd_ >= 0, "Server::run before listen()");
+  const bool timed = config_.epoch_interval_ms > 0;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(config_.epoch_interval_ms);
+  while (!stopped_.load(std::memory_order_acquire)) {
+    int timeout = -1;
+    if (timed) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        commit_epoch();
+        reap_doomed();
+        deadline = now + std::chrono::milliseconds(config_.epoch_interval_ms);
+      }
+      timeout = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     deadline - std::chrono::steady_clock::now())
+                                     .count());
+      if (timeout < 0) timeout = 0;
+    }
+    if (!poll_once(timeout)) break;
+  }
+}
+
+bool Server::poll_once(int timeout_ms) {
+  GK_ENSURE_MSG(epoll_fd_ >= 0, "Server::poll_once before listen()");
+  epoll_event events[kMaxEpollEvents];
+  int ready = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout_ms);
+  if (ready < 0) {
+    GK_ENSURE_MSG(errno == EINTR, "epoll_wait() failed");
+    ready = 0;
+  }
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      drain_wakeups();
+      run_posted();
+      continue;
+    }
+    if (fd == listen_fd_) {
+      handle_accept();
+      continue;
+    }
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;  // closed earlier in this batch
+    Session& session = *it->second;
+    if (session.doomed) continue;
+    if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+      close_session(session, session.joined);
+      continue;
+    }
+    if ((events[i].events & EPOLLOUT) != 0) handle_writable(session);
+    if (!session.doomed && (events[i].events & EPOLLIN) != 0) handle_readable(session);
+  }
+  reap_doomed();
+  return !stopped_.load(std::memory_order_acquire);
+}
+
+void Server::stop() noexcept {
+  stopped_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::post(std::function<void()> task) {
+  {
+    common::MutexLock lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::drain_wakeups() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void Server::run_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    common::MutexLock lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient per-connection error: nothing to do
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.session_sndbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.session_sndbuf,
+                   sizeof(config_.session_sndbuf));
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    session->gate = OutboundGate(config_.straggler);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    sessions_.emplace(fd, std::move(session));
+    ++stats_.accepted_connections;
+  }
+}
+
+void Server::handle_readable(Session& session) {
+  std::uint8_t buffer[kReadChunk];
+  for (;;) {
+    const auto n = ::recv(session.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      session.cursor.feed({buffer, static_cast<std::size_t>(n)});
+      if (static_cast<std::size_t>(n) < sizeof(buffer)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed; a joined member vanishing is a departure
+      close_session(session, session.joined);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_session(session, session.joined);
+    return;
+  }
+  try {
+    while (auto frame = session.cursor.next()) {
+      ++stats_.frames_received;
+      dispatch(session, *frame);
+      if (session.doomed) return;
+    }
+  } catch (const wire::WireError&) {
+    // Hostile or corrupt framing: the stream cannot resynchronize.
+    close_session(session, session.joined);
+  } catch (const ContractViolation& violation) {
+    // The engine rejected the request (e.g. a join for a member id that is
+    // already in the group). Engine contracts check before they mutate, so
+    // the group state is intact: refuse the one connection, keep serving.
+    send_error(session, FrameErrorCode::kRefused, violation.what());
+    flush(session);
+    close_session(session, session.joined);
+  }
+}
+
+void Server::dispatch(Session& session, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      on_hello(session, frame);
+      return;
+    case FrameType::kJoin:
+      on_join(session, frame);
+      return;
+    case FrameType::kLeave:
+      on_leave(session);
+      return;
+    case FrameType::kResync:
+      on_resync(session);
+      return;
+    case FrameType::kCommit:
+      on_commit(session);
+      return;
+    case FrameType::kStats:
+      send(session, make_stats_ack(counters_snapshot()));
+      return;
+    case FrameType::kShutdown:
+      if (!config_.allow_remote_shutdown) {
+        send_error(session, FrameErrorCode::kRefused, "remote shutdown disabled");
+        return;
+      }
+      stop();
+      return;
+    default:
+      send_error(session, FrameErrorCode::kBadState, "frame not valid at a server");
+      return;
+  }
+}
+
+void Server::on_hello(Session& session, const Frame& frame) {
+  const auto body = parse_hello(frame);
+  if (session.state != Session::State::kHandshake) {
+    send_error(session, FrameErrorCode::kBadState, "hello already exchanged");
+    return;
+  }
+  if (body.protocol > kProtocolVersion) {
+    send_error(session, FrameErrorCode::kBadVersion, "protocol version too new");
+    close_session(session, false);
+    return;
+  }
+  if (registry_.contains(body.member)) {
+    send_error(session, FrameErrorCode::kDuplicateMember,
+               "member id already connected");
+    close_session(session, false);
+    return;
+  }
+  session.member = workload::make_member_id(body.member);
+  session.state = Session::State::kActive;
+  registry_.emplace(body.member, &session);
+  send(session, make_hello_ack({engine_->epoch(), engine_->size()}));
+}
+
+void Server::on_join(Session& session, const Frame& frame) {
+  const auto body = parse_join(frame);
+  if (session.state != Session::State::kActive || session.joined) {
+    send_error(session, FrameErrorCode::kBadState, "join requires hello, once");
+    return;
+  }
+  workload::MemberProfile profile;
+  profile.id = session.member;
+  profile.member_class = body.member_class;
+  const auto registration = engine_->join(profile);
+  session.joined = true;
+  session.joined_epoch = engine_->epoch();
+  ++stats_.counters.joins;
+  send(session,
+       make_join_ack({crypto::raw(registration.leaf_id), registration.individual_key}));
+}
+
+void Server::on_leave(Session& session) {
+  if (!session.joined) {
+    send_error(session, FrameErrorCode::kBadState, "leave without a joined member");
+    return;
+  }
+  engine_->leave(session.member);
+  session.joined = false;
+  session.state = Session::State::kDeparting;
+  ++stats_.counters.leaves;
+  send(session, make_empty(FrameType::kLeaveAck));
+}
+
+void Server::on_resync(Session& session) {
+  if (!session.joined || engine_->epoch() <= session.joined_epoch) {
+    send_error(session, FrameErrorCode::kNotAdmitted,
+               "resync needs a committed membership");
+    return;
+  }
+  const auto bundle = engine::make_catchup_bundle(*engine_, session.member, resync_rng_);
+  ++stats_.counters.resyncs;
+  send(session, make_resync_bundle(bundle));
+  // The member is actively catching up; give it back its full budget.
+  session.gate.reset();
+  session.first_blocked_epoch = 0;
+}
+
+void Server::on_commit(Session& session) {
+  if (!config_.allow_remote_commit) {
+    send_error(session, FrameErrorCode::kRefused, "remote commit disabled");
+    return;
+  }
+  ++stats_.commits_requested;
+  const auto epoch = commit_epoch();
+  if (session.doomed) return;  // the requester itself straggled out
+  CommitAckBody ack;
+  ack.epoch = epoch;
+  ack.wraps = last_commit_wraps_;
+  ack.subscribers = last_commit_subscribers_;
+  send(session, make_commit_ack(ack));
+}
+
+std::uint64_t Server::commit_epoch() {
+  const auto output = engine_->end_epoch();
+  ++stats_.counters.epochs_committed;
+  const auto payload = wire::RekeyRecord::encode(output.message);
+  auto framed = std::make_shared<const std::vector<std::uint8_t>>(
+      encode_frame(FrameType::kRekey, payload));
+  last_commit_wraps_ = static_cast<std::uint32_t>(output.message.wraps.size());
+  std::uint32_t subscribers = 0;
+  for (auto& [fd, owned] : sessions_) {
+    Session& session = *owned;
+    if (session.doomed) continue;
+    if (session.state == Session::State::kDeparting) {
+      close_session(session, false);
+      continue;
+    }
+    if (!session.joined) continue;
+    if (deliver_epoch(session, framed, output.epoch)) ++subscribers;
+  }
+  last_commit_subscribers_ = subscribers;
+  return output.epoch;
+}
+
+bool Server::deliver_epoch(Session& session,
+                           const std::shared_ptr<const std::vector<std::uint8_t>>& frame,
+                           std::uint64_t epoch) {
+  switch (session.gate.begin_round()) {
+    case OutboundGate::Round::kBackoff:
+      return true;  // sits this epoch out; resync will catch it up
+    case OutboundGate::Round::kDeliver:
+      break;
+  }
+  const bool blocked = session.backlog > config_.max_outbound_bytes;
+  if (!blocked) {
+    stats_.counters.rekey_bytes_sent += frame->size();
+    enqueue(session, frame);
+    session.gate.reset();
+    session.first_blocked_epoch = 0;
+    return true;
+  }
+  if (session.first_blocked_epoch == 0) session.first_blocked_epoch = epoch;
+  if (session.gate.note_failure()) {
+    evict(session, epoch);
+    return false;
+  }
+  return true;
+}
+
+void Server::evict(Session& session, std::uint64_t epoch) {
+  EvictionRecord record;
+  record.member = session.member;
+  record.first_blocked_epoch = session.first_blocked_epoch;
+  record.evicted_epoch = epoch;
+  record.attempts = session.gate.attempts();
+  record.rounds_waited = session.gate.rounds_waited();
+  stats_.eviction_log.push_back(record);
+  ++stats_.counters.evictions;
+  close_session(session, true);
+}
+
+void Server::enqueue(Session& session,
+                     std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+  session.backlog += bytes->size();
+  session.outbox.push_back({std::move(bytes), 0});
+  flush(session);
+}
+
+void Server::send(Session& session, const Frame& frame) {
+  enqueue(session, std::make_shared<const std::vector<std::uint8_t>>(
+                       encode_frame(frame.type, frame.payload)));
+}
+
+void Server::send_error(Session& session, FrameErrorCode code, const std::string& text) {
+  send(session, make_error(code, text));
+}
+
+void Server::flush(Session& session) {
+  while (!session.outbox.empty()) {
+    auto& chunk = session.outbox.front();
+    const auto* data = chunk.bytes->data() + chunk.offset;
+    const auto left = chunk.bytes->size() - chunk.offset;
+    const auto n = ::send(session.fd, data, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      chunk.offset += static_cast<std::size_t>(n);
+      session.backlog -= static_cast<std::size_t>(n);
+      if (chunk.offset == chunk.bytes->size()) session.outbox.pop_front();
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      arm_epollout(session, true);
+      return;
+    }
+    close_session(session, session.joined);
+    return;
+  }
+  arm_epollout(session, false);
+}
+
+void Server::handle_writable(Session& session) { flush(session); }
+
+void Server::arm_epollout(Session& session, bool want) {
+  if (session.epollout_armed == want) return;
+  session.epollout_armed = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = session.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session.fd, &ev);
+}
+
+void Server::close_session(Session& session, bool stage_leave) {
+  if (session.doomed) return;
+  session.doomed = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, session.fd, nullptr);
+  if (session.state != Session::State::kHandshake)
+    registry_.erase(workload::raw(session.member));
+  if (stage_leave && session.joined) {
+    engine_->leave(session.member);
+    session.joined = false;
+    ++stats_.counters.leaves;
+  }
+  ++stats_.disconnects;
+  doomed_fds_.push_back(session.fd);
+}
+
+void Server::reap_doomed() {
+  for (const int fd : doomed_fds_) {
+    ::close(fd);
+    sessions_.erase(fd);
+  }
+  doomed_fds_.clear();
+}
+
+ServerCounters Server::counters_snapshot() const {
+  ServerCounters counters = stats_.counters;
+  std::uint64_t active = 0;
+  std::uint64_t joined = 0;
+  for (const auto& [fd, session] : sessions_) {
+    if (session->doomed) continue;
+    ++active;
+    if (session->joined) ++joined;
+  }
+  counters.active_sessions = active;
+  counters.subscribers = joined;
+  return counters;
+}
+
+}  // namespace gk::net

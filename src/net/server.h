@@ -1,0 +1,186 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "engine/server.h"
+#include "net/frame.h"
+#include "net/outbound.h"
+#include "net/server_config.h"
+
+namespace gk::net {
+
+/// One connected member endpoint inside the daemon: handshake state, the
+/// inbound frame cursor, the outbound queue (which holds wrapped-key frames
+/// in flight), and the straggler gate. Registered as a gklint secret type:
+/// sessions are never logged, and their queued frames wipe on destruction.
+struct Session {  // gklint: secret-type(Session)
+  enum class State : std::uint8_t {
+    kHandshake,  ///< connected, no Hello yet
+    kActive,     ///< identified; may join/leave/resync
+    kDeparting   ///< leave staged; closes at the next commit
+  };
+
+  /// One queued write: a frame buffer shared across the fan-out (the rekey
+  /// record is encoded once per epoch, not once per subscriber) plus this
+  /// session's progress through it.
+  struct OutChunk {
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+    std::size_t offset = 0;
+  };
+
+  int fd = -1;
+  State state = State::kHandshake;
+  workload::MemberId member{};
+  /// Joined the group and not yet departed: receives the rekey fan-out.
+  bool joined = false;
+  /// Engine epoch at which the join was staged; resync is meaningful only
+  /// after the admitting commit.
+  std::uint64_t joined_epoch = 0;
+  FrameCursor cursor;
+  std::deque<OutChunk> outbox;
+  std::size_t backlog = 0;  ///< bytes queued in outbox
+  bool epollout_armed = false;
+  OutboundGate gate;
+  /// Epoch of the first blocked delivery of the current straggle streak
+  /// (0 = none); eviction records report it.
+  std::uint64_t first_blocked_epoch = 0;
+  /// Closed and unregistered; the fd is reaped at the end of the current
+  /// dispatch batch (events already collected may still reference it).
+  bool doomed = false;
+};
+
+/// Why and when the daemon gave up on a subscriber. attempts/rounds_waited
+/// mirror transport::ResyncReport so tests can equate the socket schedule
+/// with the sim schedule.
+struct EvictionRecord {
+  workload::MemberId member{};
+  std::uint64_t first_blocked_epoch = 0;
+  std::uint64_t evicted_epoch = 0;
+  std::size_t attempts = 0;
+  std::size_t rounds_waited = 0;
+};
+
+/// Daemon-side accounting. `counters` is what kStatsAck ships over the
+/// wire; the eviction log is richer and only reachable in-process.
+struct ServerStats {
+  ServerCounters counters;
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t commits_requested = 0;
+  std::vector<EvictionRecord> eviction_log;
+};
+
+/// Single-threaded nonblocking TCP key-server daemon: an epoll event loop
+/// over accept/read/write state machines, a session registry keyed by
+/// member id, and length-prefixed net::Frame framing of the wire:: codecs.
+/// Serves join/leave/resync, and fans each committed rekey epoch out to
+/// every subscribed connection under the straggler policy.
+///
+/// Threading contract: everything runs on the loop thread (the thread
+/// inside run() / poll_once()). The only cross-thread entry points are
+/// stop() — async-signal-safe — and post(), which marshals a closure onto
+/// the loop thread; engine(), stats(), and commit_epoch() must only be
+/// touched from the loop thread (or from inside a posted closure).
+class Server {
+ public:
+  /// Own an engine built elsewhere (the REPL's group, a pre-warmed tree).
+  Server(std::unique_ptr<engine::DurableRekeyServer> engine, ServerConfig config);
+
+  /// Build the engine from the config's scheme/shards/seed via
+  /// partition::make_sharded_server.
+  explicit Server(const ServerConfig& config);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind and start listening; returns the actual port (useful with
+  /// port 0). Must be called once, before run()/poll_once().
+  std::uint16_t listen();
+
+  /// Event loop until stop(). Runs the epoch timer when
+  /// epoch_interval_ms > 0.
+  void run();
+
+  /// One epoll dispatch with the given timeout; returns false once the
+  /// server has been stopped. For callers embedding the loop.
+  bool poll_once(int timeout_ms);
+
+  /// Request shutdown from any thread or a signal handler (atomic store +
+  /// eventfd write; no locks, no allocation).
+  void stop() noexcept;
+
+  /// Run `task` on the loop thread before its next epoll wait.
+  void post(std::function<void()> task);
+
+  /// Commit the staged epoch and fan the rekey record out to every
+  /// subscriber. Loop thread only. Returns the committed epoch.
+  std::uint64_t commit_epoch();
+
+  [[nodiscard]] engine::DurableRekeyServer& engine() noexcept { return *engine_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  void handle_accept();
+  void handle_readable(Session& session);
+  void handle_writable(Session& session);
+  void dispatch(Session& session, const Frame& frame);
+  void on_hello(Session& session, const Frame& frame);
+  void on_join(Session& session, const Frame& frame);
+  void on_leave(Session& session);
+  void on_resync(Session& session);
+  void on_commit(Session& session);
+  void enqueue(Session& session, std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  void send(Session& session, const Frame& frame);
+  void send_error(Session& session, FrameErrorCode code, const std::string& text);
+  void flush(Session& session);
+  void arm_epollout(Session& session, bool want);
+  /// Deliver one epoch's rekey frame through the session's straggler gate;
+  /// returns false when the session was evicted.
+  bool deliver_epoch(Session& session,
+                     const std::shared_ptr<const std::vector<std::uint8_t>>& frame,
+                     std::uint64_t epoch);
+  void evict(Session& session, std::uint64_t epoch);
+  /// Close and unregister. `stage_leave` stages a departure for a session
+  /// that joined but vanished without a kLeave.
+  void close_session(Session& session, bool stage_leave);
+  /// Close and erase sessions doomed during the current batch.
+  void reap_doomed();
+  void drain_wakeups();
+  void run_posted();
+  [[nodiscard]] ServerCounters counters_snapshot() const;
+
+  // Loop-thread state. The daemon is single-threaded by design; the mutex
+  // below exists only for the post() mailbox, hence GK_CONSUMER_ONLY on
+  // everything the loop thread owns.
+  ServerConfig config_ GK_CONST_AFTER_INIT;
+  std::unique_ptr<engine::DurableRekeyServer> engine_ GK_CONSUMER_ONLY;
+  Rng resync_rng_ GK_CONSUMER_ONLY;  ///< nonce stream for catch-up bundles
+  int epoll_fd_ GK_CONST_AFTER_INIT = -1;
+  int listen_fd_ GK_CONST_AFTER_INIT = -1;
+  int wake_fd_ GK_CONST_AFTER_INIT = -1;
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_ GK_CONSUMER_ONLY;
+  /// Member id -> session, the registry the protocol handlers consult.
+  std::unordered_map<std::uint64_t, Session*> registry_ GK_CONSUMER_ONLY;
+  ServerStats stats_ GK_CONSUMER_ONLY;
+  std::vector<int> doomed_fds_ GK_CONSUMER_ONLY;  ///< closed during commit sweep
+  std::uint32_t last_commit_wraps_ GK_CONSUMER_ONLY = 0;
+  std::uint32_t last_commit_subscribers_ GK_CONSUMER_ONLY = 0;
+
+  std::atomic<bool> stopped_{false};
+  common::Mutex post_mutex_;
+  std::vector<std::function<void()>> posted_ GK_GUARDED_BY(post_mutex_);
+};
+
+}  // namespace gk::net

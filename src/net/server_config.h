@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/outbound.h"
+#include "partition/factory.h"
+
+namespace gk::net {
+
+/// Everything a gkd daemon needs to serve one group: which rekeying scheme
+/// and shard count back it (any name partition::factory knows), where to
+/// listen, and the backpressure contract slow subscribers are held to.
+struct ServerConfig {
+  /// Scheme name for partition::make_sharded_server ("one-tree", "qt",
+  /// "tt", "pt", "oft-tt", "elk-tt", "loss-bin", "batch").
+  std::string scheme = "tt";
+  partition::SchemeConfig scheme_config{};
+  /// Subtree shards under the shared top DEK (1 = plain unsharded engine).
+  unsigned shards = 1;
+  /// Seed of the engine's RNG stream. A twin engine built with the same
+  /// seed and fed the same membership operations emits byte-identical
+  /// wraps — the property the loopback tests pin.
+  std::uint64_t seed = 20030519;
+
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (listen() returns
+  /// the actual one).
+  std::uint16_t port = 0;
+  int listen_backlog = 1024;
+
+  /// Commit a rekey epoch every this many milliseconds; 0 serves epochs on
+  /// demand only (kCommit frames, or commit_epoch() posted by an owner).
+  std::uint32_t epoch_interval_ms = 0;
+
+  /// Straggler contract for the rekey fan-out: a subscriber whose send
+  /// queue is still above the high-water mark when an epoch fans out burns
+  /// one delivery attempt, waits out the policy's backoff, and is evicted
+  /// (connection closed, departure staged) when the budget runs out —
+  /// the same schedule transport::run_resync applies in-sim.
+  StragglerPolicy straggler{};
+  /// Per-session queued-byte high-water mark above which an epoch delivery
+  /// counts as blocked.
+  std::size_t max_outbound_bytes = 4u << 20;
+  /// SO_SNDBUF for accepted sessions; 0 keeps the kernel's autotuned
+  /// default. Tests pin it low so a stalled subscriber's backpressure
+  /// surfaces in the daemon's own queue deterministically instead of
+  /// vanishing into elastic kernel buffering.
+  int session_sndbuf = 0;
+
+  /// Accept kCommit / kShutdown control frames from connected peers.
+  /// Load generators and CI drive the daemon through these; a deployment
+  /// embedding the server behind its own control plane turns them off.
+  bool allow_remote_commit = true;
+  bool allow_remote_shutdown = true;
+};
+
+}  // namespace gk::net

@@ -1,0 +1,96 @@
+#include "net/spawn.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/ensure.h"
+#include "net/server.h"
+
+namespace gk::net {
+
+std::size_t raise_fd_limit() noexcept {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 1024;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+    ::getrlimit(RLIMIT_NOFILE, &limit);
+  }
+  if (limit.rlim_cur == RLIM_INFINITY) return std::size_t{1} << 20;
+  return static_cast<std::size_t>(limit.rlim_cur);
+}
+
+namespace {
+
+Server* g_spawned_server = nullptr;
+
+void handle_term(int /*signum*/) {
+  if (g_spawned_server != nullptr) g_spawned_server->stop();
+}
+
+[[noreturn]] void child_main(const ServerConfig& config, int port_pipe) {
+  Server server(config);
+  g_spawned_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handle_term;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::uint16_t port = server.listen();
+  ssize_t n;
+  do {
+    n = ::write(port_pipe, &port, sizeof(port));
+  } while (n < 0 && errno == EINTR);
+  ::close(port_pipe);
+  if (n != sizeof(port)) std::_Exit(3);
+  server.run();
+  std::_Exit(0);
+}
+
+}  // namespace
+
+SpawnedServer::SpawnedServer(const ServerConfig& config) {
+  int pipe_fds[2];
+  GK_ENSURE_MSG(::pipe(pipe_fds) == 0, "pipe() failed");
+  pid_ = ::fork();
+  GK_ENSURE_MSG(pid_ >= 0, "fork() failed");
+  if (pid_ == 0) {
+    ::close(pipe_fds[0]);
+    child_main(config, pipe_fds[1]);  // never returns
+  }
+  ::close(pipe_fds[1]);
+  std::uint16_t port = 0;
+  ssize_t n;
+  do {
+    n = ::read(pipe_fds[0], &port, sizeof(port));
+  } while (n < 0 && errno == EINTR);
+  ::close(pipe_fds[0]);
+  if (n != sizeof(port)) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    reaped_ = true;
+    GK_ENSURE_MSG(false, "spawned key server died before reporting its port");
+  }
+  port_ = port;
+}
+
+SpawnedServer::~SpawnedServer() {
+  if (!reaped_) (void)terminate();
+}
+
+int SpawnedServer::terminate() {
+  if (reaped_) return 0;
+  ::kill(pid_, SIGTERM);
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  reaped_ = true;
+  return status;
+}
+
+}  // namespace gk::net

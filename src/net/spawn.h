@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <sys/types.h>
+
+#include "net/server_config.h"
+
+namespace gk::net {
+
+/// Raise RLIMIT_NOFILE's soft limit to the hard limit and return the
+/// resulting soft limit. Mass-session processes (the load generator, the
+/// 10k-session e2e) call this before opening tens of thousands of
+/// sockets, then clamp their session target under what they got — a
+/// default 1024-fd environment should degrade to a smaller run, not die
+/// on EMFILE mid-ramp.
+std::size_t raise_fd_limit() noexcept;
+
+/// A gkd daemon forked into its own process. The 10k-session loopback
+/// tests and the load generator need roughly one fd per session on each
+/// end; splitting client and server across two processes keeps both under
+/// the per-process fd ceiling, and also proves the daemon serves real
+/// sockets with no shared address space. The child builds the engine,
+/// listens, reports the bound port back over a pipe, and runs until
+/// SIGTERM (handled via Server::stop(), which is async-signal-safe) or a
+/// kShutdown frame.
+class SpawnedServer {
+ public:
+  /// Fork and start a daemon with this config. Blocks until the child
+  /// reports its port.
+  explicit SpawnedServer(const ServerConfig& config);
+
+  /// SIGTERMs and reaps the child if still running.
+  ~SpawnedServer();
+  SpawnedServer(const SpawnedServer&) = delete;
+  SpawnedServer& operator=(const SpawnedServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+  /// Ask the child to stop (SIGTERM) and wait for it; returns its exit
+  /// status. Safe to call once; the destructor covers the rest.
+  int terminate();
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  bool reaped_ = false;
+};
+
+}  // namespace gk::net

@@ -1,13 +1,12 @@
 #include "transport/resync.h"
 
-#include <algorithm>
-
 #include "common/ensure.h"
 
 namespace gk::transport {
 
 ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
-                        netsim::Receiver& channel, const ResyncConfig& config) {
+                        common::FunctionRef<bool()> receives,
+                        const ResyncConfig& config) {
   GK_ENSURE_MSG(config.keys_per_packet > 0, "keys_per_packet must be positive");
   GK_ENSURE_MSG(config.retry_budget > 0, "retry_budget must be positive");
 
@@ -18,8 +17,13 @@ ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
     return report;
   }
 
+  // The straggler schedule (retry budget, capped exponential backoff) is
+  // the shared net::OutboundGate — the same gate the socket daemon drives
+  // per rekey epoch, so both paths evict a slow member at the same point.
+  net::OutboundGate gate(config.straggler());
   std::size_t missing = bundle.size();
-  for (std::size_t attempt = 1; attempt <= config.retry_budget; ++attempt) {
+  for (;;) {
+    if (gate.begin_round() == net::OutboundGate::Round::kBackoff) continue;
     ++report.attempts;
     // Retransmit only what the member's NACK reported missing, packed into
     // unicast packets; each packet survives or drops as a unit.
@@ -29,7 +33,7 @@ ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
       if (report.received[w]) continue;
       if (in_packet == 0) {
         ++report.packets_sent;
-        packet_arrives = channel.receives();
+        packet_arrives = receives();
       }
       ++report.key_transmissions;
       if (packet_arrives) {
@@ -40,19 +44,22 @@ ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
     }
     if (missing == 0) {
       report.delivered = true;
-      return report;
+      break;
     }
-    if (attempt < config.retry_budget) {
-      const std::size_t shift = attempt - 1;
-      const std::size_t backoff =
-          shift >= 63 ? config.max_backoff_rounds
-                      : std::min(config.base_backoff_rounds << shift,
-                                 config.max_backoff_rounds);
-      report.rounds_waited += backoff;
+    if (gate.note_failure()) {
+      report.evicted = true;
+      break;
     }
   }
-  report.evicted = true;
+  report.rounds_waited = gate.rounds_waited();
   return report;
+}
+
+ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
+                        netsim::Receiver& channel, const ResyncConfig& config) {
+  return run_resync(
+      bundle, common::FunctionRef<bool()>([&channel] { return channel.receives(); }),
+      config);
 }
 
 }  // namespace gk::transport

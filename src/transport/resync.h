@@ -4,7 +4,9 @@
 #include <span>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "crypto/keywrap.h"
+#include "net/outbound.h"
 #include "netsim/receiver.h"
 
 namespace gk::transport {
@@ -29,6 +31,14 @@ struct ResyncConfig {
   /// min(base_backoff_rounds << (k - 1), max_backoff_rounds) rounds.
   std::size_t base_backoff_rounds = 1;
   std::size_t max_backoff_rounds = 8;
+
+  /// The straggler half of this config as the shared policy object the
+  /// socket daemon's fan-out gate (net::OutboundGate) consumes. Resync and
+  /// the daemon evicting from one policy is what keeps the in-sim and
+  /// on-socket eviction schedules identical.
+  [[nodiscard]] net::StragglerPolicy straggler() const noexcept {
+    return {retry_budget, base_backoff_rounds, max_backoff_rounds};
+  }
 };
 
 struct ResyncReport {
@@ -53,6 +63,14 @@ struct ResyncReport {
 /// still-missing wraps are retransmitted on each attempt.
 [[nodiscard]] ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
                                       netsim::Receiver& channel,
+                                      const ResyncConfig& config);
+
+/// Same protocol over an arbitrary per-packet delivery oracle (`receives`
+/// is drawn once per unicast packet, like netsim::Receiver::receives).
+/// Exists so property tests can script loss patterns and prove the sim and
+/// socket paths share one eviction schedule.
+[[nodiscard]] ResyncReport run_resync(std::span<const crypto::WrappedKey> bundle,
+                                      common::FunctionRef<bool()> receives,
                                       const ResyncConfig& config);
 
 }  // namespace gk::transport

@@ -1,0 +1,198 @@
+// net::Frame streaming codec: framing round trips, typed payload bodies,
+// and the hostile-stream hardening — oversized and truncated length
+// prefixes must surface as typed wire::WireError, never as an allocation
+// bomb, an ENSURE abort, or a silently mis-framed stream. The damage
+// sweep mirrors fuzz_test's ShippedStreamDamageNeverCorruptsStandby: every
+// single-bit corruption of a valid stream either still parses as frames
+// (payload damage is the payload parsers' problem, and those throw typed
+// errors too) or throws WireError at the framing layer.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/frame.h"
+#include "wire/error.h"
+
+namespace gk::net {
+namespace {
+
+std::vector<std::uint8_t> concat(std::initializer_list<const Frame*> frames) {
+  std::vector<std::uint8_t> stream;
+  for (const auto* frame : frames) {
+    const auto bytes = encode_frame(frame->type, frame->payload);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  return stream;
+}
+
+TEST(NetFrame, RoundTripsEveryBodyType) {
+  const auto hello = make_hello({42, kProtocolVersion});
+  const auto parsed_hello = parse_hello(hello);
+  EXPECT_EQ(parsed_hello.member, 42u);
+  EXPECT_EQ(parsed_hello.protocol, kProtocolVersion);
+
+  const auto hello_ack = make_hello_ack({7, 1000});
+  const auto parsed_hello_ack = parse_hello_ack(hello_ack);
+  EXPECT_EQ(parsed_hello_ack.epoch, 7u);
+  EXPECT_EQ(parsed_hello_ack.members, 1000u);
+
+  const auto join = make_join({workload::MemberClass::kLong});
+  EXPECT_EQ(parse_join(join).member_class, workload::MemberClass::kLong);
+
+  crypto::Key128 key;
+  key.mutable_bytes()[0] = 0x5a;
+  const auto join_ack = make_join_ack({99, key});
+  const auto parsed_join_ack = parse_join_ack(join_ack);
+  EXPECT_EQ(parsed_join_ack.leaf_id, 99u);
+  EXPECT_EQ(parsed_join_ack.individual_key, key);
+
+  const auto commit_ack = make_commit_ack({12, 34, 56});
+  const auto parsed_commit = parse_commit_ack(commit_ack);
+  EXPECT_EQ(parsed_commit.epoch, 12u);
+  EXPECT_EQ(parsed_commit.wraps, 34u);
+  EXPECT_EQ(parsed_commit.subscribers, 56u);
+
+  ServerCounters counters;
+  counters.active_sessions = 1;
+  counters.subscribers = 2;
+  counters.epochs_committed = 3;
+  counters.rekey_bytes_sent = 4;
+  const auto stats_ack = make_stats_ack(counters);
+  const auto parsed_stats = parse_stats_ack(stats_ack);
+  EXPECT_EQ(parsed_stats.active_sessions, 1u);
+  EXPECT_EQ(parsed_stats.rekey_bytes_sent, 4u);
+
+  const auto error = make_error(FrameErrorCode::kNotAdmitted, "not yet");
+  const auto parsed_error = parse_error(error);
+  EXPECT_EQ(parsed_error.code, FrameErrorCode::kNotAdmitted);
+  EXPECT_EQ(parsed_error.text, "not yet");
+}
+
+TEST(NetFrame, CursorReassemblesArbitraryChunking) {
+  const auto a = make_hello({1, kProtocolVersion});
+  const auto b = make_error(FrameErrorCode::kRefused, "x");
+  const auto c = make_commit_ack({9, 8, 7});
+  const auto stream = concat({&a, &b, &c});
+
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameCursor cursor;
+    std::vector<Frame> got;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const auto chunk = 1 + rng.uniform_u64(5);
+      const auto take = std::min<std::size_t>(chunk, stream.size() - offset);
+      cursor.feed({stream.data() + offset, take});
+      offset += take;
+      while (auto frame = cursor.next()) got.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_TRUE(cursor.at_boundary());
+    EXPECT_EQ(got[0].type, FrameType::kHello);
+    EXPECT_EQ(got[1].type, FrameType::kError);
+    EXPECT_EQ(got[2].type, FrameType::kCommitAck);
+    EXPECT_EQ(got[2].payload, c.payload);
+  }
+}
+
+TEST(NetFrame, RejectsZeroLengthPrefix) {
+  const std::vector<std::uint8_t> zeros(4, 0);  // length 0: no type byte
+  FrameCursor cursor;
+  cursor.feed(zeros);
+  EXPECT_THROW((void)cursor.next(), wire::WireError);
+}
+
+TEST(NetFrame, RejectsOversizedPrefixBeforeBuffering) {
+  // A hostile 4 GiB length prefix must throw immediately, long before any
+  // payload arrives — never allocate-and-wait.
+  std::vector<std::uint8_t> huge = {0xff, 0xff, 0xff, 0xff};
+  FrameCursor cursor;
+  cursor.feed(huge);
+  try {
+    (void)cursor.next();
+    FAIL() << "oversized prefix accepted";
+  } catch (const wire::WireError& error) {
+    EXPECT_EQ(error.fault(), wire::WireFault::kMalformed);
+  }
+}
+
+TEST(NetFrame, PoisonedCursorStaysPoisoned) {
+  std::vector<std::uint8_t> bad = {0, 0, 0, 0};
+  FrameCursor cursor;
+  cursor.feed(bad);
+  EXPECT_THROW((void)cursor.next(), wire::WireError);
+  // Even after feeding a perfectly valid frame: framing cannot resync.
+  const auto good = make_hello({1, kProtocolVersion});
+  cursor.feed(encode_frame(good.type, good.payload));
+  EXPECT_THROW((void)cursor.next(), wire::WireError);
+}
+
+TEST(NetFrame, OneShotDecodeFlagsTruncation) {
+  const auto frame = make_hello_ack({1, 2});
+  auto stream = encode_frame(frame.type, frame.payload);
+  for (std::size_t cut = 1; cut < stream.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(stream.begin(),
+                                           stream.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)decode_frames(prefix), wire::WireError) << "cut " << cut;
+  }
+  EXPECT_EQ(decode_frames(stream).size(), 1u);
+}
+
+TEST(NetFrame, EncodeRejectsOversizedPayload) {
+  // Don't allocate 64 MiB in a unit test; probe the guard via a span with
+  // a hostile size over a small buffer is UB, so use resize-once instead.
+  std::vector<std::uint8_t> payload(kMaxFramePayload + 1);
+  EXPECT_THROW((void)encode_frame(FrameType::kHello, payload), wire::WireError);
+}
+
+// The damage sweep: flip every bit of a short multi-frame stream and feed
+// the result through a fresh cursor. Every outcome must be one of
+// (a) frames parse — type/payload damage is caught downstream by the typed
+// payload parsers, which themselves may only throw WireError — or
+// (b) WireError at the framing layer. Nothing else: no aborts, no
+// unbounded allocation, no silent desync past the stream's end.
+TEST(NetFrame, DamageSweepNeverEscapesTypedErrors) {
+  const auto a = make_hello({77, kProtocolVersion});
+  const auto b = make_join_ack({5, crypto::Key128()});
+  const auto c = make_error(FrameErrorCode::kBadState, "zz");
+  const auto stream = concat({&a, &b, &c});
+
+  for (std::size_t bit = 0; bit < stream.size() * 8; ++bit) {
+    auto damaged = stream;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameCursor cursor;
+    cursor.feed(damaged);
+    try {
+      while (auto frame = cursor.next()) {
+        // Payload parsers on a damaged body: typed errors only. The type
+        // byte may have mutated, so try the parser matching the original
+        // position loosely — every parser must hold the same contract.
+        try {
+          switch (frame->type) {
+            case FrameType::kHello:
+              (void)parse_hello(*frame);
+              break;
+            case FrameType::kJoinAck:
+              (void)parse_join_ack(*frame);
+              break;
+            case FrameType::kError:
+              (void)parse_error(*frame);
+              break;
+            default:
+              break;  // mutated type byte: framing still held
+          }
+        } catch (const wire::WireError&) {
+          // typed rejection is a pass
+        }
+      }
+    } catch (const wire::WireError&) {
+      // framing-layer rejection is a pass
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gk::net

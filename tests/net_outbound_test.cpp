@@ -1,0 +1,169 @@
+// net::StragglerPolicy / net::OutboundGate: the one backpressure policy
+// object shared by transport::run_resync (the simulated unicast path) and
+// net::Server's socket fan-out. The property pinned here is the PR's
+// refactor contract: for any policy and any failure pattern, the schedule
+// the gate produces — attempts burned, backoff rounds waited, eviction
+// round — is bit-for-bit the schedule run_resync produces, whether the
+// resync rides the scripted oracle or a netsim::Receiver channel.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/function_ref.h"
+#include "common/rng.h"
+#include "crypto/keywrap.h"
+#include "net/outbound.h"
+#include "netsim/receiver.h"
+#include "transport/resync.h"
+
+namespace gk::net {
+namespace {
+
+TEST(StragglerPolicy, BackoffDoublesAndSaturates) {
+  const StragglerPolicy policy{6, 1, 8};
+  EXPECT_EQ(policy.backoff_after(1), 1u);
+  EXPECT_EQ(policy.backoff_after(2), 2u);
+  EXPECT_EQ(policy.backoff_after(3), 4u);
+  EXPECT_EQ(policy.backoff_after(4), 8u);
+  EXPECT_EQ(policy.backoff_after(5), 8u);
+  // A shift past the width of size_t must saturate, not wrap to zero.
+  EXPECT_EQ(policy.backoff_after(70), 8u);
+  EXPECT_EQ(policy.backoff_after(64), 8u);
+}
+
+TEST(OutboundGate, AlwaysFailingScheduleIsDeterministic) {
+  OutboundGate gate(StragglerPolicy{3, 1, 4});
+  std::vector<char> trace;  // 'D' = delivery attempt, 'B' = backoff round
+  bool evicted = false;
+  for (int round = 0; round < 32 && !evicted; ++round) {
+    switch (gate.begin_round()) {
+      case OutboundGate::Round::kBackoff:
+        trace.push_back('B');
+        break;
+      case OutboundGate::Round::kDeliver:
+        trace.push_back('D');
+        evicted = gate.note_failure();
+        break;
+    }
+  }
+  // attempt, wait 1, attempt, wait 2, attempt -> evict.
+  EXPECT_EQ(std::string(trace.begin(), trace.end()), "DBDBBD");
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(gate.attempts(), 3u);
+  EXPECT_EQ(gate.rounds_waited(), 3u);
+}
+
+TEST(OutboundGate, ResetRestoresFullBudget) {
+  OutboundGate gate(StragglerPolicy{2, 1, 2});
+  EXPECT_EQ(gate.begin_round(), OutboundGate::Round::kDeliver);
+  EXPECT_FALSE(gate.note_failure());
+  gate.reset();
+  EXPECT_EQ(gate.attempts(), 0u);
+  EXPECT_EQ(gate.rounds_waited(), 0u);
+  // Fresh budget: a further failure is attempt 1 of 2 again, not eviction.
+  EXPECT_EQ(gate.begin_round(), OutboundGate::Round::kDeliver);
+  EXPECT_FALSE(gate.note_failure());
+}
+
+/// The daemon's deliver_epoch loop, reduced to its schedule: one gate
+/// round per epoch, `fails[k]` scripts whether delivery attempt k+1 finds
+/// the subscriber blocked. Returns {attempts, rounds_waited, evicted,
+/// rounds_elapsed}.
+struct GateSchedule {
+  std::size_t attempts = 0;
+  std::size_t rounds_waited = 0;
+  bool evicted = false;
+  bool delivered = false;
+};
+
+GateSchedule replay_gate(const StragglerPolicy& policy, const std::vector<bool>& fails) {
+  OutboundGate gate(policy);
+  GateSchedule schedule;
+  std::size_t attempt = 0;
+  for (int round = 0; round < 4096; ++round) {
+    if (gate.begin_round() == OutboundGate::Round::kBackoff) continue;
+    const bool fail = attempt < fails.size() ? fails[attempt] : false;
+    ++attempt;
+    if (!fail) {
+      schedule.delivered = true;
+      break;
+    }
+    if (gate.note_failure()) {
+      schedule.evicted = true;
+      break;
+    }
+  }
+  schedule.attempts = gate.attempts() + (schedule.delivered ? 1 : 0);
+  schedule.rounds_waited = gate.rounds_waited();
+  return schedule;
+}
+
+/// run_resync counts the delivering attempt too; align the gate replay's
+/// attempt accounting with ResyncReport in replay_gate above.
+TEST(SharedSchedule, GateMatchesResyncOracleForAnyPattern) {
+  Rng rng(0xDEC0DEULL);
+  const std::vector<crypto::WrappedKey> bundle(1);  // one packet per attempt
+  for (int trial = 0; trial < 500; ++trial) {
+    transport::ResyncConfig config;
+    config.keys_per_packet = 16;
+    config.retry_budget = 1 + rng.uniform_u64(8);
+    config.base_backoff_rounds = rng.uniform_u64(4);
+    config.max_backoff_rounds = 1 + rng.uniform_u64(10);
+
+    std::vector<bool> fails(config.retry_budget + 2);
+    for (auto&& f : fails) f = rng.uniform() < 0.7;
+
+    std::size_t cursor = 0;
+    const auto report = transport::run_resync(
+        bundle,
+        common::FunctionRef<bool()>([&fails, &cursor] {
+          const bool fail = cursor < fails.size() ? fails[cursor] : false;
+          ++cursor;
+          return !fail;
+        }),
+        config);
+
+    const auto schedule = replay_gate(config.straggler(), fails);
+    EXPECT_EQ(report.attempts, schedule.attempts) << "trial " << trial;
+    EXPECT_EQ(report.rounds_waited, schedule.rounds_waited) << "trial " << trial;
+    EXPECT_EQ(report.evicted, schedule.evicted) << "trial " << trial;
+    EXPECT_EQ(report.delivered, schedule.delivered) << "trial " << trial;
+  }
+}
+
+TEST(SharedSchedule, NetsimChannelAndOracleOverloadAreOnePath) {
+  // Two netsim receivers built from the same seed draw identical loss
+  // sequences, so driving one through the Receiver overload and wrapping
+  // its twin in the oracle overload must produce identical reports across
+  // lossy regimes — including evictions at near-total loss.
+  const std::vector<crypto::WrappedKey> bundle(5);
+  for (const double loss : {0.0, 0.3, 0.8, 0.99}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      transport::ResyncConfig config;
+      config.keys_per_packet = 2;  // 3 packets per attempt
+      config.retry_budget = 3;
+
+      netsim::Receiver channel(workload::make_member_id(1), loss, Rng(seed));
+      netsim::Receiver twin(workload::make_member_id(1), loss, Rng(seed));
+      const auto via_channel = transport::run_resync(bundle, channel, config);
+      const auto via_oracle = transport::run_resync(
+          bundle, common::FunctionRef<bool()>([&twin] { return twin.receives(); }),
+          config);
+
+      EXPECT_EQ(via_channel.delivered, via_oracle.delivered) << loss << "/" << seed;
+      EXPECT_EQ(via_channel.evicted, via_oracle.evicted) << loss << "/" << seed;
+      EXPECT_EQ(via_channel.attempts, via_oracle.attempts) << loss << "/" << seed;
+      EXPECT_EQ(via_channel.rounds_waited, via_oracle.rounds_waited)
+          << loss << "/" << seed;
+      EXPECT_EQ(via_channel.packets_sent, via_oracle.packets_sent) << loss << "/" << seed;
+      EXPECT_EQ(via_channel.key_transmissions, via_oracle.key_transmissions)
+          << loss << "/" << seed;
+      EXPECT_EQ(via_channel.received, via_oracle.received) << loss << "/" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gk::net

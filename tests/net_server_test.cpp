@@ -1,0 +1,386 @@
+// net::Server: the epoll key-server daemon over loopback TCP. Covers the
+// protocol state machine (hello/join/leave/resync/commit and their error
+// frames), byte-identity of served rekey records against a twin in-process
+// engine for several scheme/shard configurations, and the PR's headline
+// refactor property: a deliberately stalled subscriber is evicted by
+// exactly the straggler schedule transport::run_resync applies in-sim —
+// same attempts, same backoff rounds, same epoch span.
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/ensure.h"
+#include "common/function_ref.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "partition/factory.h"
+#include "transport/resync.h"
+#include "wire/error.h"
+#include "wire/record.h"
+
+namespace gk::net {
+namespace {
+
+/// In-process daemon on its own thread. The loop thread owns the server;
+/// the test thread talks TCP like any member would, and only reads
+/// stats()/engine() after stop() + join.
+class ServerThread {
+ public:
+  explicit ServerThread(ServerConfig config) : server_(std::move(config)) {
+    port_ = server_.listen();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  /// Host an engine built elsewhere (the REPL-embedding path).
+  ServerThread(std::unique_ptr<engine::DurableRekeyServer> engine, ServerConfig config)
+      : server_(std::move(engine), std::move(config)) {
+    port_ = server_.listen();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerThread() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_.stop();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] Server& server() noexcept { return server_; }
+
+ private:
+  Server server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+std::unique_ptr<engine::DurableRekeyServer> twin_of(const ServerConfig& config) {
+  return partition::make_sharded_server(config.scheme, config.scheme_config,
+                                        config.shards, Rng(config.seed));
+}
+
+workload::MemberProfile profile_of(std::uint64_t member) {
+  workload::MemberProfile profile;
+  profile.id = workload::make_member_id(member);
+  profile.member_class = workload::MemberClass::kShort;
+  return profile;
+}
+
+TEST(NetServer, HelloJoinCommitResyncRoundTrip) {
+  ServerConfig config;
+  config.scheme = "tt";
+  ServerThread daemon(config);
+  auto twin = twin_of(config);
+
+  Client alice;
+  alice.connect("127.0.0.1", daemon.port());
+  const auto hello = alice.hello(1);
+  EXPECT_EQ(hello.members, 0u);
+
+  const auto alice_reg = alice.join(workload::MemberClass::kShort);
+  const auto twin_alice = twin->join(profile_of(1));
+  EXPECT_EQ(alice_reg.leaf_id, crypto::raw(twin_alice.leaf_id));
+  EXPECT_EQ(alice_reg.individual_key, twin_alice.individual_key);
+
+  Client bob;
+  bob.connect("127.0.0.1", daemon.port());
+  (void)bob.hello(2);
+  (void)bob.join(workload::MemberClass::kShort);
+  (void)twin->join(profile_of(2));
+
+  const auto ack = bob.commit();
+  const auto twin_out = twin->end_epoch();
+  EXPECT_EQ(ack.epoch, twin_out.epoch);
+  EXPECT_EQ(ack.subscribers, 2u);
+
+  const auto expected = wire::RekeyRecord::encode(twin_out.message);
+  const auto alice_rekey = alice.wait_rekey();
+  const auto bob_rekey = bob.wait_rekey();
+  EXPECT_EQ(alice_rekey.payload, expected);
+  EXPECT_EQ(bob_rekey.payload, expected);
+
+  // Post-commit, a member can pull its catch-up bundle; it carries alice's
+  // full path (>= leaf + root for a 2-member tree).
+  const auto bundle = alice.resync();
+  EXPECT_GE(bundle.size(), 2u);
+
+  // A fresh member sees the daemon's group size in its hello-ack.
+  Client carol;
+  carol.connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(carol.hello(3).members, 2u);
+}
+
+TEST(NetServer, LeaveStagesDepartureAndClosesAtCommit) {
+  ServerConfig config;
+  ServerThread daemon(config);
+  auto twin = twin_of(config);
+
+  Client alice;
+  Client bob;
+  alice.connect("127.0.0.1", daemon.port());
+  bob.connect("127.0.0.1", daemon.port());
+  (void)alice.hello(1);
+  (void)bob.hello(2);
+  (void)alice.join(workload::MemberClass::kShort);
+  (void)bob.join(workload::MemberClass::kShort);
+  (void)twin->join(profile_of(1));
+  (void)twin->join(profile_of(2));
+  (void)alice.commit();
+  (void)twin->end_epoch();
+  (void)alice.wait_rekey();
+  (void)bob.wait_rekey();
+
+  bob.leave();
+  twin->leave(workload::make_member_id(2));
+  const auto ack = alice.commit();
+  const auto twin_out = twin->end_epoch();
+  EXPECT_EQ(ack.subscribers, 1u);  // bob no longer receives the fan-out
+  EXPECT_EQ(alice.wait_rekey().payload, wire::RekeyRecord::encode(twin_out.message));
+
+  // The daemon closes bob's connection at the commit; his next read EOFs.
+  EXPECT_THROW((void)bob.next_frame(), ContractViolation);
+}
+
+TEST(NetServer, ProtocolErrorsAreTypedFrames) {
+  ServerConfig config;
+  ServerThread daemon(config);
+
+  // Join before hello.
+  Client early;
+  early.connect("127.0.0.1", daemon.port());
+  early.send(make_join({workload::MemberClass::kShort}));
+  auto frame = early.next_frame();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(parse_error(frame).code, FrameErrorCode::kBadState);
+
+  // Resync before the admitting commit.
+  Client eager;
+  eager.connect("127.0.0.1", daemon.port());
+  (void)eager.hello(7);
+  (void)eager.join(workload::MemberClass::kShort);
+  eager.send(make_empty(FrameType::kResync));
+  frame = eager.next_frame();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(parse_error(frame).code, FrameErrorCode::kNotAdmitted);
+
+  // Duplicate member id.
+  Client imposter;
+  imposter.connect("127.0.0.1", daemon.port());
+  imposter.send(make_hello({7, kProtocolVersion}));
+  frame = imposter.next_frame();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(parse_error(frame).code, FrameErrorCode::kDuplicateMember);
+
+  // Future protocol version.
+  Client traveler;
+  traveler.connect("127.0.0.1", daemon.port());
+  traveler.send(make_hello({8, kProtocolVersion + 1}));
+  frame = traveler.next_frame();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(parse_error(frame).code, FrameErrorCode::kBadVersion);
+}
+
+TEST(NetServer, MalformedFramingDropsTheConnectionNotTheDaemon) {
+  ServerConfig config;
+  ServerThread daemon(config);
+
+  // A hostile length prefix (zero) poisons the stream; the daemon drops
+  // the connection without serving anything further.
+  Client hostile;
+  hostile.connect("127.0.0.1", daemon.port());
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(hostile.raw_fd(), zeros, sizeof(zeros), MSG_NOSIGNAL), 4);
+  EXPECT_THROW((void)hostile.next_frame(), ContractViolation);  // EOF
+
+  // A well-framed but wrong-length payload is a typed parser error, and
+  // the connection (pre-hello) is likewise dropped.
+  Client raw;
+  raw.connect("127.0.0.1", daemon.port());
+  raw.send(Frame(FrameType::kHello, std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_THROW((void)raw.next_frame(), ContractViolation);
+
+  // The daemon survives both and keeps serving.
+  Client healthy;
+  healthy.connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(healthy.hello(3).members, 0u);
+}
+
+TEST(NetServer, EngineRejectionRefusesTheConnectionNotTheDaemon) {
+  // Host a pre-populated engine (the REPL's `serve` path): member 1 is
+  // already in the group before the daemon ever sees a socket. A network
+  // join for that id violates the engine's join contract — the daemon must
+  // surface it as a typed kRefused error and drop that one connection, not
+  // let the exception unwind the event loop.
+  ServerConfig config;
+  auto engine = twin_of(config);
+  (void)engine->join(profile_of(1));
+  (void)engine->end_epoch();
+  ServerThread daemon(std::move(engine), config);
+
+  Client imposter;
+  imposter.connect("127.0.0.1", daemon.port());
+  (void)imposter.hello(1);  // registry is empty, so the hello is fine
+  EXPECT_THROW((void)imposter.join(workload::MemberClass::kShort), wire::WireError);
+
+  // Group state is intact and the daemon keeps serving.
+  Client fresh;
+  fresh.connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(fresh.hello(2).members, 1u);
+  (void)fresh.join(workload::MemberClass::kShort);
+  const auto ack = fresh.commit();
+  EXPECT_EQ(ack.subscribers, 1u);
+}
+
+TEST(NetServer, ServesAnySchemeAndShardCount) {
+  // "batch" ignores SchemeConfig::id_base, so it only serves unsharded.
+  const std::pair<const char*, unsigned> combos[] = {
+      {"one-tree", 1}, {"one-tree", 3}, {"qt", 1}, {"qt", 3}, {"batch", 1}, {"tt", 3}};
+  for (const auto& [scheme, shards] : combos) {
+    {
+      ServerConfig config;
+      config.scheme = scheme;
+      config.shards = shards;
+      config.seed = 77;
+      ServerThread daemon(config);
+      auto twin = twin_of(config);
+
+      std::vector<Client> clients(4);
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        clients[i].connect("127.0.0.1", daemon.port());
+        (void)clients[i].hello(i + 1);
+        (void)clients[i].join(workload::MemberClass::kShort);
+        (void)twin->join(profile_of(i + 1));
+      }
+      (void)clients[0].commit();
+      const auto expected = wire::RekeyRecord::encode(twin->end_epoch().message);
+      for (auto& client : clients)
+        EXPECT_EQ(client.wait_rekey().payload, expected)
+            << scheme << " x" << shards;
+    }
+  }
+}
+
+// The multi-layer refactor's acceptance property: the socket path and the
+// sim path share one straggler policy object, so a subscriber that stops
+// reading is evicted on the same schedule run_resync would evict it —
+// identical attempt count, identical backoff rounds, and an epoch span
+// equal to the schedule's length.
+TEST(NetServer, StalledSubscriberEvictedOnTheSimSchedule) {
+  ServerConfig config;
+  config.scheme = "tt";
+  config.straggler = {3, 1, 4};     // D B D BB D -> evict on attempt 3
+  config.max_outbound_bytes = 512;  // any lingering backlog counts as blocked
+  config.session_sndbuf = 1;        // kernel clamps to its minimum (~4.5 KiB)
+  ServerThread daemon(config);
+
+  Client stalled;
+  stalled.connect("127.0.0.1", daemon.port());
+  // Clamp the receive buffer before any fan-out data flows so the stall
+  // backs up into the daemon's queue after a few KiB, not a few hundred.
+  const int tiny = 4096;
+  ::setsockopt(stalled.raw_fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  (void)stalled.hello(1000);
+  (void)stalled.join(workload::MemberClass::kShort);
+  // From here on the stalled client never reads its socket again.
+
+  Client driver;
+  driver.connect("127.0.0.1", daemon.port());
+  (void)driver.hello(1001);
+  (void)driver.join(workload::MemberClass::kShort);
+
+  // Churn a rotating cohort each epoch so every rekey record is far larger
+  // than the stalled session's send buffer.
+  std::uint64_t next_member = 1;
+  std::vector<Client> cohort;
+  const auto refill = [&] {
+    std::vector<Client> fresh(24);
+    for (auto& member : fresh) {
+      member.connect("127.0.0.1", daemon.port());
+      (void)member.hello(next_member);
+      (void)member.join(workload::MemberClass::kShort);
+      ++next_member;
+    }
+    cohort.swap(fresh);
+  };
+  refill();
+
+  bool evicted = false;
+  std::uint64_t evicted_at = 0;
+  for (int epoch = 0; epoch < 100 && !evicted; ++epoch) {
+    for (auto& member : cohort) member.leave();
+    refill();
+    const auto ack = driver.commit();
+    (void)driver.wait_rekey();
+    for (auto& member : cohort) (void)member.wait_rekey();
+    // kStats reflects the eviction as soon as it happens.
+    const auto counters = driver.stats();
+    if (counters.evictions > 0) {
+      evicted = true;
+      evicted_at = ack.epoch;
+    }
+  }
+  ASSERT_TRUE(evicted) << "stalled subscriber never evicted";
+  daemon.stop();
+
+  // The daemon's record must equal the sim schedule for a member that
+  // never receives: run_resync with an always-failing oracle.
+  transport::ResyncConfig resync;
+  resync.retry_budget = config.straggler.retry_budget;
+  resync.base_backoff_rounds = config.straggler.base_backoff_rounds;
+  resync.max_backoff_rounds = config.straggler.max_backoff_rounds;
+  const std::vector<crypto::WrappedKey> bundle(1);
+  const auto sim = transport::run_resync(
+      bundle, common::FunctionRef<bool()>([] { return false; }), resync);
+  ASSERT_TRUE(sim.evicted);
+
+  const auto& log = daemon.server().stats().eviction_log;
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(workload::raw(log[0].member), 1000u);
+  EXPECT_EQ(log[0].attempts, sim.attempts);
+  EXPECT_EQ(log[0].rounds_waited, sim.rounds_waited);
+  // One gate round per epoch: the blocked span covers attempts + waits.
+  EXPECT_EQ(log[0].evicted_epoch - log[0].first_blocked_epoch + 1,
+            sim.attempts + sim.rounds_waited);
+  EXPECT_EQ(log[0].evicted_epoch, evicted_at);
+
+  // Eviction staged a departure (leaves counts it), so the next commit
+  // rotates every key the straggler knew.
+  const auto& counters = daemon.server().stats().counters;
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_GE(counters.leaves, 1u);
+}
+
+TEST(NetServer, PostAndOwnerCommitRunOnLoopThread) {
+  ServerConfig config;
+  config.allow_remote_commit = false;
+  ServerThread daemon(config);
+
+  Client member;
+  member.connect("127.0.0.1", daemon.port());
+  (void)member.hello(1);
+  (void)member.join(workload::MemberClass::kShort);
+
+  // Remote commits are refused under this config...
+  member.send(make_empty(FrameType::kCommit));
+  auto frame = member.next_frame();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(parse_error(frame).code, FrameErrorCode::kRefused);
+
+  // ...but the owning process can post one onto the loop thread.
+  daemon.server().post([&daemon] { (void)daemon.server().commit_epoch(); });
+  const auto rekey = member.wait_rekey();
+  EXPECT_EQ(rekey.type, FrameType::kRekey);
+}
+
+}  // namespace
+}  // namespace gk::net

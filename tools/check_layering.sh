@@ -23,10 +23,16 @@ check() {
   fi
 }
 
-check src/engine 'partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka' \
+check src/engine 'partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka|net' \
   "src/engine must not include scheme or app layers"
-check src/wire 'engine|partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka' \
+check src/wire 'engine|partition|losshomo|oft|elk|sim|netsim|faultsim|transport|wka|net' \
   "src/wire must not include the engine or anything above it"
+# The daemon layer sits beside the simulators: src/net serves the real
+# engine over real sockets and must never reach into the simulation stack
+# (transport may include net/outbound.h — the shared straggler policy —
+# but not the reverse, or the policy object would cycle).
+check src/net 'sim|netsim|faultsim|transport|replica' \
+  "src/net must not include the simulation stack"
 
 if [ "$fail" -ne 0 ]; then
   exit 1
